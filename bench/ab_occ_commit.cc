@@ -1,0 +1,172 @@
+// Ablation (Section 6.3): optimistic concurrency control vs holding the
+// global catalog lock while generating ROS metadata.
+//
+// "Holding the lock while generating ROS containers increases contention
+// and should be kept to a minimum... The new paradigm leads to optimized
+// concurrency and reduced lock contention."
+//
+// Discrete-event simulation over the real Catalog: N workers each run
+// transactions with an expensive prepare phase (ROS generation, ~1 ms of
+// simulated work) and a short commit. The lock regime holds the global
+// catalog lock across prepare+commit (serializing everything); the OCC
+// regime prepares concurrently, validates the read set at commit against
+// the real catalog, and redoes prepare on conflict. Every 8th transaction
+// touches a shared hot table (genuinely conflicting DDL).
+
+#include <queue>
+
+#include "bench/bench_util.h"
+#include "catalog/catalog.h"
+
+namespace eon {
+namespace bench {
+namespace {
+
+constexpr int64_t kPrepareMicros = 1000;  // ROS generation.
+constexpr int64_t kCommitMicros = 50;     // Validate + apply + log append.
+
+struct RunStats {
+  int64_t makespan_micros = 0;
+  uint64_t committed = 0;
+  uint64_t occ_retries = 0;
+};
+
+/// One worker's pending commit attempt.
+struct Attempt {
+  int64_t ready_at;  // Prepare finished.
+  int worker;
+  Oid target;
+  uint64_t read_version;
+
+  bool operator>(const Attempt& o) const { return ready_at > o.ready_at; }
+};
+
+RunStats RunRegime(bool use_occ, int workers, int txns_per_worker) {
+  Catalog catalog;
+  {
+    CatalogTxn txn;
+    TableDef hot;
+    hot.oid = 1;
+    hot.name = "hot";
+    hot.schema = Schema({{"c", DataType::kInt64}});
+    txn.PutTable(hot);
+    for (int w = 0; w < workers; ++w) {
+      TableDef mine;
+      mine.oid = static_cast<Oid>(10 + w);
+      mine.name = "worker" + std::to_string(w);
+      mine.schema = Schema({{"c", DataType::kInt64}});
+      txn.PutTable(mine);
+    }
+    EON_CHECK(catalog.Commit(txn).ok());
+  }
+
+  RunStats stats;
+  std::vector<int> done(workers, 0);
+
+  auto target_of = [&](int worker, int txn_index) {
+    return txn_index % 8 == 0 ? Oid{1} : static_cast<Oid>(10 + worker);
+  };
+  auto make_txn = [&](Oid target, uint64_t read_version, CatalogTxn* txn) {
+    StorageContainerMeta c;
+    c.oid = catalog.NextOid();
+    c.projection_oid = 2;
+    c.shard = 0;
+    c.base_key = "data/x" + std::to_string(c.oid);
+    c.num_columns = 1;
+    txn->PutContainer(c);
+    TableDef updated = *catalog.snapshot()->FindTable(target);
+    txn->PutTable(updated);
+    txn->ExpectVersion(target, read_version);
+  };
+
+  if (!use_occ) {
+    // Global lock: prepare runs inside the critical section, so the whole
+    // workload serializes regardless of worker count.
+    int64_t now = 0;
+    for (int w = 0; w < workers; ++w) {
+      for (int t = 0; t < txns_per_worker; ++t) {
+        now += kPrepareMicros + kCommitMicros;
+        const Oid target = target_of(w, t);
+        CatalogTxn txn;
+        make_txn(target, catalog.snapshot()->ModVersion(target), &txn);
+        EON_CHECK(catalog.Commit(txn).ok());
+        stats.committed++;
+      }
+    }
+    stats.makespan_micros = now;
+    return stats;
+  }
+
+  // OCC: all workers prepare concurrently (no lock); commits serialize on
+  // the short commit section only, and conflicting read sets retry with a
+  // fresh prepare.
+  std::priority_queue<Attempt, std::vector<Attempt>, std::greater<Attempt>>
+      ready;
+  for (int w = 0; w < workers; ++w) {
+    const Oid target = target_of(w, 0);
+    ready.push(Attempt{kPrepareMicros, w, target,
+                       catalog.snapshot()->ModVersion(target)});
+  }
+  int64_t commit_free_at = 0;
+  int64_t makespan = 0;
+  while (!ready.empty()) {
+    Attempt a = ready.top();
+    ready.pop();
+    const int64_t start = std::max(a.ready_at, commit_free_at);
+    commit_free_at = start + kCommitMicros;
+    makespan = commit_free_at;
+
+    CatalogTxn txn;
+    make_txn(a.target, a.read_version, &txn);
+    const bool ok = catalog.Commit(txn).ok();
+    if (!ok) {
+      // Conflict: redo the prepare with a fresh snapshot.
+      stats.occ_retries++;
+      ready.push(Attempt{commit_free_at + kPrepareMicros, a.worker, a.target,
+                         catalog.snapshot()->ModVersion(a.target)});
+      continue;
+    }
+    stats.committed++;
+    done[a.worker]++;
+    if (done[a.worker] < txns_per_worker) {
+      const Oid target = target_of(a.worker, done[a.worker]);
+      ready.push(Attempt{commit_free_at + kPrepareMicros, a.worker, target,
+                         catalog.snapshot()->ModVersion(target)});
+    }
+  }
+  stats.makespan_micros = makespan;
+  return stats;
+}
+
+int Run() {
+  printf("# Ablation: OCC vs global catalog lock for DDL+load commits\n");
+  printf("# prepare (ROS generation) = %lld us, commit = %lld us, every "
+         "8th txn touches a shared hot table\n",
+         static_cast<long long>(kPrepareMicros),
+         static_cast<long long>(kCommitMicros));
+  printf("%-10s %16s %16s %12s %14s\n", "workers", "lock_txn_per_s",
+         "occ_txn_per_s", "speedup", "occ_retries");
+  const int kTxns = 64;
+  for (int workers : {1, 2, 4, 8, 16}) {
+    RunStats lock_stats = RunRegime(false, workers, kTxns);
+    RunStats occ_stats = RunRegime(true, workers, kTxns);
+    const double lock_rate =
+        1e6 * static_cast<double>(lock_stats.committed) /
+        static_cast<double>(lock_stats.makespan_micros);
+    const double occ_rate = 1e6 * static_cast<double>(occ_stats.committed) /
+                            static_cast<double>(occ_stats.makespan_micros);
+    printf("%-10d %16.0f %16.0f %12.2f %14llu\n", workers, lock_rate,
+           occ_rate, occ_rate / lock_rate,
+           static_cast<unsigned long long>(occ_stats.occ_retries));
+  }
+  printf("# shape check: OCC throughput scales with workers (prepare runs "
+         "concurrently, only the short commit serializes); the lock "
+         "regime is flat at 1/(prepare+commit)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace eon
+
+int main() { return eon::bench::Run(); }

@@ -1,0 +1,90 @@
+#ifndef EON_BENCH_BENCH_UTIL_H_
+#define EON_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "storage/sim_object_store.h"
+#include "workload/tpch.h"
+
+namespace eon {
+namespace bench {
+
+/// Wall time in microseconds (CPU side of the cost model).
+inline int64_t WallMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// A ready-to-query Eon cluster over simulated S3 plus the workload data.
+struct EonFixture {
+  SimClock clock;
+  std::unique_ptr<SimObjectStore> store;
+  std::unique_ptr<EonCluster> cluster;
+  TpchOptions tpch_options;
+  TpchData data;
+};
+
+/// Build an Eon cluster with `nodes` nodes and `shards` shards over
+/// simulated S3 and load the TPC-H-style dataset at `scale`.
+inline std::unique_ptr<EonFixture> MakeEonFixture(
+    int nodes, uint32_t shards, double scale,
+    uint64_t cache_bytes = 256ULL << 20) {
+  auto f = std::make_unique<EonFixture>();
+  SimStoreOptions sopts;  // Default latency model approximates S3.
+  f->store = std::make_unique<SimObjectStore>(sopts, &f->clock);
+
+  ClusterOptions copts;
+  copts.num_shards = shards;
+  copts.k_safety = 2;
+  copts.node.cache.capacity_bytes = cache_bytes;
+  std::vector<NodeSpec> specs;
+  for (int i = 1; i <= nodes; ++i) {
+    specs.push_back(NodeSpec{"node" + std::to_string(i), ""});
+  }
+  auto cluster = EonCluster::Create(f->store.get(), &f->clock, copts, specs);
+  if (!cluster.ok()) {
+    fprintf(stderr, "cluster create failed: %s\n",
+            cluster.status().ToString().c_str());
+    return nullptr;
+  }
+  f->cluster = std::move(cluster).value();
+
+  f->tpch_options.scale = scale;
+  f->data = GenerateTpch(f->tpch_options);
+  if (!CreateTpchTables(f->cluster.get()).ok() ||
+      !LoadTpch(f->cluster.get(), f->data, 512).ok()) {
+    fprintf(stderr, "load failed\n");
+    return nullptr;
+  }
+  return f;
+}
+
+/// Measured query cost: CPU wall time plus simulated I/O time.
+struct MeasuredMicros {
+  int64_t cpu = 0;
+  int64_t sim_io = 0;
+  int64_t total() const { return cpu + sim_io; }
+  double total_ms() const { return static_cast<double>(total()) / 1000.0; }
+};
+
+/// Run `fn` once, combining wall CPU time with SimClock-charged I/O time.
+template <typename Fn>
+MeasuredMicros Measure(SimClock* clock, Fn&& fn) {
+  MeasuredMicros m;
+  const int64_t sim0 = clock->NowMicros();
+  const int64_t wall0 = WallMicros();
+  fn();
+  m.cpu = WallMicros() - wall0;
+  m.sim_io = clock->NowMicros() - sim0;
+  return m;
+}
+
+}  // namespace bench
+}  // namespace eon
+
+#endif  // EON_BENCH_BENCH_UTIL_H_

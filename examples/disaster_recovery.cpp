@@ -1,0 +1,108 @@
+// Disaster recovery (paper Section 3.5): the catalog sync service uploads
+// transaction logs and checkpoints; a consensus truncation version is
+// published in cluster_info.json with a lease; after losing the whole
+// cluster, `revive` starts a fresh cluster from shared storage alone —
+// discarding only the transactions that never became durable.
+//
+// Uses a real directory (PosixObjectStore) as the shared storage so you
+// can inspect the objects the cluster leaves behind.
+//
+//   ./build/examples/disaster_recovery [storage_dir]
+
+#include <cstdio>
+#include <filesystem>
+
+#include "cluster/cluster.h"
+#include "engine/ddl.h"
+#include "engine/session.h"
+#include "storage/posix_object_store.h"
+#include "workload/tpch.h"
+
+using namespace eon;
+
+int main(int argc, char** argv) {
+  const std::string root =
+      argc > 1 ? argv[1]
+               : (std::filesystem::temp_directory_path() / "eon_dr_demo")
+                     .string();
+  std::filesystem::remove_all(root);
+  PosixObjectStore shared_storage(root);
+  SimClock clock;  // Drives lease timestamps deterministically.
+
+  ClusterOptions options;
+  options.num_shards = 2;
+  options.lease_duration_micros = 30LL * 1000 * 1000;
+  std::vector<NodeSpec> specs = {NodeSpec{"a", ""}, NodeSpec{"b", ""},
+                                 NodeSpec{"c", ""}};
+
+  uint64_t durable_version = 0;
+  {
+    auto cluster = EonCluster::Create(&shared_storage, &clock, options, specs);
+    if (!cluster.ok()) {
+      fprintf(stderr, "create: %s\n", cluster.status().ToString().c_str());
+      return 1;
+    }
+    Schema schema({{"id", DataType::kInt64}, {"note", DataType::kString}});
+    if (!CreateTable(cluster->get(), "journal", schema, std::nullopt,
+                     {ProjectionSpec{"journal_p", {}, {"id"}, {"id"}}})
+             .ok()) {
+      return 1;
+    }
+    std::vector<Row> rows;
+    for (int64_t i = 0; i < 100; ++i) {
+      rows.push_back(Row{Value::Int(i), Value::Str("entry " + std::to_string(i))});
+    }
+    if (!CopyInto(cluster->get(), "journal", rows).ok()) return 1;
+
+    // Make everything durable: logs + checkpoints + cluster_info.json.
+    (void)(*cluster)->SyncAll(/*force_checkpoint=*/true);
+    (void)(*cluster)->UpdateClusterInfo();
+    durable_version = (*cluster)->last_truncation_version();
+    printf("cluster 1: loaded 100 rows; durable truncation version %llu, "
+           "incarnation %s\n",
+           static_cast<unsigned long long>(durable_version),
+           (*cluster)->incarnation().ToHex().substr(0, 8).c_str());
+
+    // One more commit that never syncs: it will be truncated away.
+    std::vector<Row> doomed = {{Value::Int(999), Value::Str("never durable")}};
+    (void)CopyInto(cluster->get(), "journal", doomed);
+    printf("cluster 1: committed 1 extra row WITHOUT syncing metadata, "
+           "then the entire cluster is lost\n");
+  }  // Every node's local state is gone.
+
+  // Revive attempt while the old lease is unexpired must abort.
+  auto blocked = EonCluster::Revive(&shared_storage, &clock, options, specs);
+  printf("\nimmediate revive: %s (lease still held)\n",
+         blocked.ok() ? "UNEXPECTED SUCCESS" : blocked.status().ToString().c_str());
+  clock.AdvanceMicros(options.lease_duration_micros + 1);
+
+  auto revived = EonCluster::Revive(&shared_storage, &clock, options,
+                                    {NodeSpec{"a2", ""}, NodeSpec{"b2", ""},
+                                     NodeSpec{"c2", ""}});
+  if (!revived.ok()) {
+    fprintf(stderr, "revive: %s\n", revived.status().ToString().c_str());
+    return 1;
+  }
+  printf("revived at version %llu with new incarnation %s\n",
+         static_cast<unsigned long long>(
+             (*revived)->node(1)->catalog()->version()),
+         (*revived)->incarnation().ToHex().substr(0, 8).c_str());
+
+  EonSession session(revived->get());
+  QuerySpec count;
+  count.scan.table = "journal";
+  count.scan.columns = {"id"};
+  count.aggregates = {{AggFn::kCount, "", "n"},
+                      {AggFn::kMax, "id", "max_id"}};
+  auto result = session.Execute(count);
+  if (!result.ok()) {
+    fprintf(stderr, "query: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  printf("journal after revive: %lld rows, max id %lld "
+         "(the never-durable row was truncated, as designed)\n",
+         static_cast<long long>(result->rows[0][0].int_value()),
+         static_cast<long long>(result->rows[0][1].int_value()));
+  printf("\nshared storage directory: %s\n", root.c_str());
+  return 0;
+}

@@ -1,0 +1,190 @@
+// eonsql: a vsql-style interactive prompt over an Eon cluster preloaded
+// with the TPC-H-style sample data. Type SQL SELECTs or meta commands.
+//
+//   ./build/examples/eonsql            # interactive
+//   echo "SELECT ..." | ./build/examples/eonsql   # scripted
+//
+// Meta commands:
+//   \tables            list tables
+//   \projections <t>   list projections of a table
+//   \nodes             node status + cache stats
+//   \storage           shared-storage metrics
+//   \kill <node>       stop a node (queries keep working)
+//   \restart <node>    recover a node
+//   \q                 quit
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "engine/session.h"
+#include "engine/sql.h"
+#include "storage/sim_object_store.h"
+#include "workload/tpch.h"
+
+using namespace eon;
+
+namespace {
+
+void ListTables(const CatalogState& state) {
+  printf(" %-24s %-8s %-10s\n", "table", "columns", "rows");
+  for (const auto& [oid, t] : state.tables) {
+    uint64_t rows = 0;
+    for (const ProjectionDef* p : state.ProjectionsOf(t.oid)) {
+      if (p->columns.size() != t.schema.num_columns()) continue;
+      for (const StorageContainerMeta* c : state.ContainersOf(p->oid)) {
+        rows += c->row_count;
+      }
+      break;
+    }
+    printf(" %-24s %-8zu %-10llu%s\n", t.name.c_str(),
+           t.schema.num_columns(), static_cast<unsigned long long>(rows),
+           t.is_live_aggregate() ? "  (live aggregate)"
+                                 : (t.is_flattened() ? "  (flattened)" : ""));
+  }
+}
+
+void ListProjections(const CatalogState& state, const std::string& table) {
+  const TableDef* t = state.FindTableByName(table);
+  if (t == nullptr) {
+    printf("no such table: %s\n", table.c_str());
+    return;
+  }
+  for (const ProjectionDef* p : state.ProjectionsOf(t->oid)) {
+    std::string seg = p->replicated() ? "replicated" : "HASH(";
+    if (!p->replicated()) {
+      for (size_t i = 0; i < p->segmentation_columns.size(); ++i) {
+        if (i) seg += ", ";
+        seg += t->schema.column(p->columns[p->segmentation_columns[i]]).name;
+      }
+      seg += ")";
+    }
+    size_t containers = state.ContainersOf(p->oid).size();
+    printf(" %-28s %-24s %zu containers\n", p->name.c_str(), seg.c_str(),
+           containers);
+  }
+}
+
+void ShowNodes(EonCluster* cluster) {
+  printf(" %-10s %-6s %-12s %-10s %-10s\n", "node", "state", "subcluster",
+         "cache_mb", "hit_rate");
+  for (const auto& n : cluster->nodes()) {
+    CacheStats cs = n->cache()->stats();
+    printf(" %-10s %-6s %-12s %-10.1f %5.0f%%\n", n->name().c_str(),
+           n->is_up() ? "UP" : "DOWN",
+           n->subcluster().empty() ? "-" : n->subcluster().c_str(),
+           static_cast<double>(n->cache()->size_bytes()) / 1e6,
+           100 * cs.HitRate());
+  }
+}
+
+}  // namespace
+
+int main() {
+  SimClock clock;
+  SimObjectStore shared_storage(SimStoreOptions{}, &clock);
+  ClusterOptions options;
+  options.num_shards = 3;
+  auto cluster = EonCluster::Create(&shared_storage, &clock, options,
+                                    {NodeSpec{"node1", ""},
+                                     NodeSpec{"node2", ""},
+                                     NodeSpec{"node3", ""},
+                                     NodeSpec{"node4", ""}});
+  if (!cluster.ok()) {
+    fprintf(stderr, "%s\n", cluster.status().ToString().c_str());
+    return 1;
+  }
+  TpchOptions topts;
+  topts.scale = 0.2;
+  if (!CreateTpchTables(cluster->get()).ok() ||
+      !LoadTpch(cluster->get(), GenerateTpch(topts)).ok()) {
+    fprintf(stderr, "sample data load failed\n");
+    return 1;
+  }
+
+  printf("eonsql — 4 nodes, 3 shards, TPC-H-style sample loaded.\n");
+  printf("Try: SELECT l_returnflag, COUNT(*) AS n FROM lineitem GROUP BY "
+         "l_returnflag ORDER BY l_returnflag;\n");
+  printf("Meta: \\tables \\projections <t> \\nodes \\storage \\kill <n> "
+         "\\restart <n> \\q\n\n");
+
+  EonSession session(cluster->get());
+  std::string line;
+  while (true) {
+    printf("eon=> ");
+    fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+
+    if (line[0] == '\\') {
+      std::string cmd = line.substr(1);
+      std::string arg;
+      size_t space = cmd.find(' ');
+      if (space != std::string::npos) {
+        arg = cmd.substr(space + 1);
+        cmd = cmd.substr(0, space);
+      }
+      auto snapshot = (*cluster)->AnyUpNode()->catalog()->snapshot();
+      if (cmd == "q" || cmd == "quit") break;
+      if (cmd == "tables") {
+        ListTables(*snapshot);
+      } else if (cmd == "projections") {
+        ListProjections(*snapshot, arg);
+      } else if (cmd == "nodes") {
+        ShowNodes(cluster->get());
+      } else if (cmd == "storage") {
+        ObjectStoreMetrics m = shared_storage.metrics();
+        printf(" puts=%llu gets=%llu written=%.2fMB read=%.2fMB cost=$%.6f\n",
+               static_cast<unsigned long long>(m.puts),
+               static_cast<unsigned long long>(m.gets),
+               static_cast<double>(m.bytes_written) / 1e6,
+               static_cast<double>(m.bytes_read) / 1e6,
+               static_cast<double>(m.cost_microdollars) / 1e6);
+      } else if (cmd == "kill") {
+        Node* n = (*cluster)->node_by_name(arg);
+        if (n == nullptr) {
+          printf("no such node\n");
+        } else {
+          Status s = (*cluster)->KillNode(n->oid());
+          printf("%s\n", s.ok() ? "node down; shards stay available"
+                                : s.ToString().c_str());
+        }
+      } else if (cmd == "restart") {
+        Node* n = (*cluster)->node_by_name(arg);
+        if (n == nullptr) {
+          printf("no such node\n");
+        } else {
+          Status s = (*cluster)->RestartNode(n->oid());
+          printf("%s\n", s.ok() ? "node recovered (re-subscribed, cache "
+                                  "warmed from peer)"
+                                : s.ToString().c_str());
+        }
+      } else {
+        printf("unknown meta command: \\%s\n", cmd.c_str());
+      }
+      continue;
+    }
+
+    auto snapshot = (*cluster)->AnyUpNode()->catalog()->snapshot();
+    auto spec = ParseSelect(*snapshot, line);
+    if (!spec.ok()) {
+      printf("parse error: %s\n", spec.status().ToString().c_str());
+      continue;
+    }
+    auto result = session.Execute(*spec);
+    if (!result.ok()) {
+      printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    fputs(FormatResult(*result).c_str(), stdout);
+    printf("-- %zu nodes, %llu rows scanned, %llu blocks pruned%s%s\n\n",
+           result->stats.participating_nodes,
+           static_cast<unsigned long long>(result->stats.scan.rows_visited),
+           static_cast<unsigned long long>(result->stats.scan.blocks_pruned),
+           result->stats.local_join ? "" : ", reshuffled join",
+           result->stats.used_live_aggregate ? ", live aggregate" : "");
+  }
+  printf("\nbye\n");
+  return 0;
+}

@@ -1,0 +1,207 @@
+#include "cache/file_cache.h"
+
+namespace eon {
+
+FileCache::FileCache(CacheOptions options, ObjectStore* shared_storage)
+    : options_(options), shared_(shared_storage) {}
+
+CachePolicy FileCache::PolicyFor(const std::string& key) const {
+  // Longest matching prefix wins.
+  CachePolicy policy = CachePolicy::kDefault;
+  size_t best_len = 0;
+  for (const auto& [prefix, p] : prefix_policies_) {
+    if (prefix.size() >= best_len &&
+        key.compare(0, prefix.size(), prefix) == 0) {
+      policy = p;
+      best_len = prefix.size();
+    }
+  }
+  return policy;
+}
+
+void FileCache::EvictIfNeededLocked() {
+  // Evict from the LRU tail; pinned entries are skipped in a first pass
+  // and only reclaimed if unpinned entries alone cannot fit the budget.
+  auto evict_pass = [&](bool include_pinned) {
+    auto it = lru_.end();
+    while (size_bytes_ > options_.capacity_bytes && it != lru_.begin()) {
+      --it;
+      auto eit = entries_.find(*it);
+      if (!include_pinned && eit->second.pinned) continue;
+      size_bytes_ -= eit->second.data.size();
+      stats_.evictions++;
+      it = lru_.erase(it);
+      entries_.erase(eit);
+    }
+  };
+  evict_pass(/*include_pinned=*/false);
+  evict_pass(/*include_pinned=*/true);
+}
+
+Result<std::string> FileCache::FetchInternal(const std::string& key,
+                                             bool allow_insert) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      stats_.hits++;
+      stats_.bytes_hit += it->second.data.size();
+      lru_.erase(it->second.lru_it);
+      lru_.push_front(key);
+      it->second.lru_it = lru_.begin();
+      return it->second.data;
+    }
+    stats_.misses++;
+  }
+  EON_ASSIGN_OR_RETURN(std::string data, shared_->Get(key));
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.bytes_filled += data.size();
+  if (allow_insert && PolicyFor(key) != CachePolicy::kNeverCache &&
+      data.size() <= options_.capacity_bytes) {
+    if (!entries_.count(key)) {
+      lru_.push_front(key);
+      Entry e;
+      e.data = data;
+      e.pinned = PolicyFor(key) == CachePolicy::kPin;
+      e.lru_it = lru_.begin();
+      size_bytes_ += data.size();
+      entries_.emplace(key, std::move(e));
+      stats_.insertions++;
+      EvictIfNeededLocked();
+    }
+  }
+  return data;
+}
+
+Result<std::string> FileCache::Fetch(const std::string& key) {
+  return FetchInternal(key, /*allow_insert=*/true);
+}
+
+Result<std::string> FileCache::FetchBypass(const std::string& key) {
+  return FetchInternal(key, /*allow_insert=*/false);
+}
+
+Status FileCache::Insert(const std::string& key, const std::string& data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!options_.write_through) return Status::OK();
+  if (PolicyFor(key) == CachePolicy::kNeverCache ||
+      data.size() > options_.capacity_bytes) {
+    return Status::OK();
+  }
+  if (entries_.count(key)) return Status::OK();  // Files are immutable.
+  lru_.push_front(key);
+  Entry e;
+  e.data = data;
+  e.pinned = PolicyFor(key) == CachePolicy::kPin;
+  e.lru_it = lru_.begin();
+  size_bytes_ += data.size();
+  entries_.emplace(key, std::move(e));
+  stats_.insertions++;
+  EvictIfNeededLocked();
+  return Status::OK();
+}
+
+void FileCache::Drop(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  size_bytes_ -= it->second.data.size();
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+  stats_.drops++;
+}
+
+void FileCache::DropPrefix(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) == 0) {
+      size_bytes_ -= it->second.data.size();
+      lru_.erase(it->second.lru_it);
+      stats_.drops++;
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool FileCache::Contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.count(key) > 0;
+}
+
+void FileCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+  size_bytes_ = 0;
+}
+
+void FileCache::SetPolicy(const std::string& key_prefix, CachePolicy policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  prefix_policies_[key_prefix] = policy;
+  // Apply pin status to already-resident entries.
+  for (auto& [key, entry] : entries_) {
+    if (key.compare(0, key_prefix.size(), key_prefix) == 0) {
+      entry.pinned = policy == CachePolicy::kPin;
+    }
+  }
+}
+
+std::vector<std::string> FileCache::MostRecentlyUsed(
+    uint64_t budget_bytes) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  uint64_t used = 0;
+  for (const std::string& key : lru_) {
+    auto it = entries_.find(key);
+    const uint64_t sz = it->second.data.size();
+    if (used + sz > budget_bytes) break;
+    used += sz;
+    out.push_back(key);
+  }
+  return out;
+}
+
+Status FileCache::WarmFrom(const std::vector<std::string>& keys,
+                           FileFetcher* source) {
+  // Warm in reverse so the most-recently-used file ends up most recent
+  // here too, making the new cache "resemble the cache of its peer".
+  for (auto it = keys.rbegin(); it != keys.rend(); ++it) {
+    Result<std::string> data = source->Fetch(*it);
+    if (!data.ok()) {
+      if (data.status().IsNotFound()) continue;  // Peer evicted meanwhile.
+      return data.status();
+    }
+    EON_RETURN_IF_ERROR(Insert(*it, *data));
+  }
+  return Status::OK();
+}
+
+Result<std::string> FileCache::TryGetResident(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return Status::NotFound("not resident: " + key);
+  }
+  return it->second.data;
+}
+
+uint64_t FileCache::size_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return size_bytes_;
+}
+
+uint64_t FileCache::file_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+uint64_t FileCache::capacity_bytes() const { return options_.capacity_bytes; }
+
+CacheStats FileCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace eon

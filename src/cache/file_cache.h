@@ -1,0 +1,138 @@
+#ifndef EON_CACHE_FILE_CACHE_H_
+#define EON_CACHE_FILE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "columnar/ros.h"
+#include "storage/object_store.h"
+
+namespace eon {
+
+/// Shaping policies (Section 5.2): users can keep large batch scans from
+/// evicting files that low-latency dashboards depend on.
+enum class CachePolicy : uint8_t {
+  kDefault = 0,    ///< Normal LRU residency.
+  kPin = 1,        ///< Evicted only when nothing unpinned remains.
+  kNeverCache = 2, ///< Pass through to shared storage; never inserted.
+};
+
+struct CacheOptions {
+  uint64_t capacity_bytes = 1ULL << 30;
+  /// Newly loaded files are likely to be queried: insert on write
+  /// (Section 5.2). Can be disabled for archive loads.
+  bool write_through = true;
+};
+
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t bytes_hit = 0;
+  uint64_t bytes_filled = 0;  ///< Bytes fetched from shared storage on miss.
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  uint64_t drops = 0;
+
+  double HitRate() const {
+    uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+/// Whole-file LRU disk cache in front of shared storage (Section 5.2).
+/// Because storage files are never modified once written, the cache only
+/// handles add and drop — never invalidate. Serves the engine through the
+/// FileFetcher interface.
+///
+/// Thread-safe.
+class FileCache : public FileFetcher {
+ public:
+  FileCache(CacheOptions options, ObjectStore* shared_storage);
+
+  /// Fetch through the cache: hit serves the cached copy and refreshes
+  /// recency; miss reads shared storage and (policy permitting) inserts.
+  Result<std::string> Fetch(const std::string& key) override;
+
+  /// Fetch bypassing residency ("don't use the cache for this query"):
+  /// a hit is still served, but a miss does not insert.
+  Result<std::string> FetchBypass(const std::string& key);
+
+  /// Write-through insert at load/mergeout time.
+  Status Insert(const std::string& key, const std::string& data);
+
+  /// Remove a file (storage drop or unsubscription purge). Idempotent.
+  void Drop(const std::string& key);
+
+  /// Drop every cached file with the given key prefix (shard purge).
+  void DropPrefix(const std::string& prefix);
+
+  bool Contains(const std::string& key) const;
+  void Clear();
+
+  /// Set the shaping policy for keys with the given prefix (e.g. a table's
+  /// storage-id prefix: "cache recent partitions of T" / "never cache T2").
+  void SetPolicy(const std::string& key_prefix, CachePolicy policy);
+
+  /// Most-recently-used file keys whose cumulative size fits the budget —
+  /// the list a warming peer supplies to a new subscriber (Section 5.2).
+  std::vector<std::string> MostRecentlyUsed(uint64_t budget_bytes) const;
+
+  /// Warm this cache: fetch `keys` from `source` (a peer's cache or shared
+  /// storage) and insert. Missing keys are skipped, not errors.
+  Status WarmFrom(const std::vector<std::string>& keys, FileFetcher* source);
+
+  /// Resident lookup without recency update or fill — the peer side of
+  /// cache warming serves from this so warming neither perturbs the peer's
+  /// LRU order nor triggers shared-storage reads on the peer.
+  Result<std::string> TryGetResident(const std::string& key) const;
+
+  uint64_t size_bytes() const;
+  uint64_t file_count() const;
+  uint64_t capacity_bytes() const;
+  CacheStats stats() const;
+  ObjectStore* shared_storage() const { return shared_; }
+
+ private:
+  struct Entry {
+    std::string data;
+    bool pinned = false;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  CachePolicy PolicyFor(const std::string& key) const;
+  void EvictIfNeededLocked();
+  Result<std::string> FetchInternal(const std::string& key, bool allow_insert);
+
+  const CacheOptions options_;
+  ObjectStore* shared_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  ///< Front = most recent.
+  std::map<std::string, CachePolicy> prefix_policies_;
+  uint64_t size_bytes_ = 0;
+  CacheStats stats_;
+};
+
+/// FileFetcher over a peer's cache: serves only files resident on the peer
+/// (NotFound otherwise). The warming subscriber "can then either fetch the
+/// files from shared storage or from the peer itself" (Section 5.2).
+class PeerCacheFetcher : public FileFetcher {
+ public:
+  explicit PeerCacheFetcher(const FileCache* peer) : peer_(peer) {}
+  Result<std::string> Fetch(const std::string& key) override {
+    return peer_->TryGetResident(key);
+  }
+
+ private:
+  const FileCache* peer_;
+};
+
+}  // namespace eon
+
+#endif  // EON_CACHE_FILE_CACHE_H_

@@ -1,0 +1,268 @@
+#include "catalog/sync.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/json.h"
+
+namespace eon {
+
+namespace {
+
+std::string VersionSuffix(uint64_t version) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%020" PRIu64, version);
+  return buf;
+}
+
+Result<uint64_t> ParseVersionSuffix(const std::string& key,
+                                    const std::string& prefix) {
+  if (key.size() <= prefix.size()) {
+    return Status::Corruption("bad metadata key: " + key);
+  }
+  return static_cast<uint64_t>(
+      strtoull(key.c_str() + prefix.size(), nullptr, 10));
+}
+
+constexpr char kClusterInfoPrefix[] = "cluster_info/";
+
+}  // namespace
+
+CatalogSync::CatalogSync(ObjectStore* store, IncarnationId incarnation,
+                         Oid node_oid)
+    : store_(store), incarnation_(incarnation), node_oid_(node_oid) {}
+
+std::string CatalogSync::NodePrefix() const {
+  return NodePrefixFor(incarnation_, node_oid_);
+}
+
+std::string CatalogSync::NodePrefixFor(const IncarnationId& inc,
+                                       Oid node_oid) {
+  return "meta/" + inc.ToHex() + "/node" + std::to_string(node_oid) + "/";
+}
+
+Status CatalogSync::SyncNow(const Catalog& catalog, bool force_checkpoint) {
+  const std::string prefix = NodePrefix();
+
+  // Upload log records newer than what is already durable.
+  std::vector<TxnLogRecord> logs = catalog.LogsAfter(uploaded_version_);
+  for (const TxnLogRecord& rec : logs) {
+    const std::string key = prefix + "log_" + VersionSuffix(rec.version);
+    Status s = store_->Put(key, rec.Serialize());
+    if (!s.ok() && !s.IsAlreadyExists()) return s;
+    uploaded_version_ = rec.version;
+    commits_since_checkpoint_++;
+  }
+
+  const uint64_t current = catalog.version();
+  const bool want_checkpoint =
+      force_checkpoint || (commits_since_checkpoint_ >= checkpoint_every_ &&
+                           current > last_checkpoint_version_);
+  if (want_checkpoint && current > 0) {
+    const std::string key = prefix + "ckpt_" + VersionSuffix(current);
+    Status s = store_->Put(key, catalog.SerializeCheckpoint());
+    if (!s.ok() && !s.IsAlreadyExists()) return s;
+    last_checkpoint_version_ = current;
+    commits_since_checkpoint_ = 0;
+    if (interval_.lower == 0) interval_.lower = current;
+  }
+
+  interval_.upper = std::max(uploaded_version_, last_checkpoint_version_);
+  return Status::OK();
+}
+
+Status CatalogSync::DeleteStale(int keep) {
+  const std::string prefix = NodePrefix();
+  EON_ASSIGN_OR_RETURN(std::vector<ObjectMeta> ckpts,
+                       store_->List(prefix + "ckpt_"));
+  if (static_cast<int>(ckpts.size()) <= keep) return Status::OK();
+
+  // Keys sort by zero-padded version, so the newest `keep` are at the end.
+  const size_t drop = ckpts.size() - static_cast<size_t>(keep);
+  uint64_t oldest_kept = 0;
+  {
+    EON_ASSIGN_OR_RETURN(
+        oldest_kept,
+        ParseVersionSuffix(ckpts[drop].key, prefix + "ckpt_"));
+  }
+  for (size_t i = 0; i < drop; ++i) {
+    Status s = store_->Delete(ckpts[i].key);
+    if (!s.ok() && !s.IsNotFound()) return s;
+  }
+  // Logs at or below the oldest kept checkpoint are no longer needed.
+  EON_ASSIGN_OR_RETURN(std::vector<ObjectMeta> logs,
+                       store_->List(prefix + "log_"));
+  for (const ObjectMeta& m : logs) {
+    EON_ASSIGN_OR_RETURN(uint64_t v,
+                         ParseVersionSuffix(m.key, prefix + "log_"));
+    if (v <= oldest_kept) {
+      Status s = store_->Delete(m.key);
+      if (!s.ok() && !s.IsNotFound()) return s;
+    }
+  }
+  interval_.lower = oldest_kept;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Catalog>> DownloadCatalog(
+    ObjectStore* store, const IncarnationId& incarnation, Oid node_oid,
+    uint64_t upto_version, const std::set<ShardId>* shard_filter) {
+  const std::string prefix = CatalogSync::NodePrefixFor(incarnation, node_oid);
+
+  EON_ASSIGN_OR_RETURN(std::vector<ObjectMeta> ckpts,
+                       store->List(prefix + "ckpt_"));
+  // Pick the newest checkpoint at or below the target version.
+  std::string best_key;
+  uint64_t best_version = 0;
+  for (const ObjectMeta& m : ckpts) {
+    EON_ASSIGN_OR_RETURN(uint64_t v,
+                         ParseVersionSuffix(m.key, prefix + "ckpt_"));
+    if (v <= upto_version && v >= best_version) {
+      best_version = v;
+      best_key = m.key;
+    }
+  }
+  if (best_key.empty()) {
+    return Status::NotFound("no usable checkpoint under " + prefix);
+  }
+  EON_ASSIGN_OR_RETURN(std::string ckpt_data, store->Get(best_key));
+
+  EON_ASSIGN_OR_RETURN(std::vector<ObjectMeta> log_metas,
+                       store->List(prefix + "log_"));
+  std::vector<TxnLogRecord> logs;
+  for (const ObjectMeta& m : log_metas) {
+    EON_ASSIGN_OR_RETURN(uint64_t v,
+                         ParseVersionSuffix(m.key, prefix + "log_"));
+    if (v <= best_version || v > upto_version) continue;
+    EON_ASSIGN_OR_RETURN(std::string data, store->Get(m.key));
+    EON_ASSIGN_OR_RETURN(TxnLogRecord rec, TxnLogRecord::Deserialize(data));
+    logs.push_back(std::move(rec));
+  }
+  return Catalog::Restore(ckpt_data, logs, upto_version, shard_filter);
+}
+
+Result<SyncInterval> ReadSyncInterval(ObjectStore* store,
+                                      const IncarnationId& incarnation,
+                                      Oid node_oid) {
+  const std::string prefix = CatalogSync::NodePrefixFor(incarnation, node_oid);
+  SyncInterval interval;
+
+  EON_ASSIGN_OR_RETURN(std::vector<ObjectMeta> ckpts,
+                       store->List(prefix + "ckpt_"));
+  uint64_t oldest_ckpt = 0, newest_ckpt = 0;
+  for (const ObjectMeta& m : ckpts) {
+    EON_ASSIGN_OR_RETURN(uint64_t v,
+                         ParseVersionSuffix(m.key, prefix + "ckpt_"));
+    if (oldest_ckpt == 0 || v < oldest_ckpt) oldest_ckpt = v;
+    newest_ckpt = std::max(newest_ckpt, v);
+  }
+  if (oldest_ckpt == 0) return interval;  // Nothing durable yet.
+  interval.lower = oldest_ckpt;
+  interval.upper = newest_ckpt;
+
+  // Logs contiguously extending past the newest checkpoint raise the upper
+  // bound; a gap means later logs are unusable.
+  EON_ASSIGN_OR_RETURN(std::vector<ObjectMeta> logs,
+                       store->List(prefix + "log_"));
+  std::vector<uint64_t> versions;
+  for (const ObjectMeta& m : logs) {
+    EON_ASSIGN_OR_RETURN(uint64_t v,
+                         ParseVersionSuffix(m.key, prefix + "log_"));
+    if (v > newest_ckpt) versions.push_back(v);
+  }
+  std::sort(versions.begin(), versions.end());
+  uint64_t upper = newest_ckpt;
+  for (uint64_t v : versions) {
+    if (v == upper + 1) {
+      upper = v;
+    } else if (v > upper + 1) {
+      break;
+    }
+  }
+  interval.upper = upper;
+  return interval;
+}
+
+uint64_t ComputeTruncationVersion(
+    const CatalogState& state,
+    const std::map<Oid, uint64_t>& node_upload_upper) {
+  // Per shard: the best (highest) durable version among subscribers; a
+  // shard with no synced subscriber pins the consensus at 0.
+  const std::set<SubscriptionState> any_serving = {
+      SubscriptionState::kActive, SubscriptionState::kPassive,
+      SubscriptionState::kRemoving};
+  uint64_t consensus = UINT64_MAX;
+  const uint32_t total = state.sharding.num_shards_total();
+  for (ShardId shard = 0; shard < total; ++shard) {
+    uint64_t shard_best = 0;
+    for (Oid node : state.SubscribersOf(shard, any_serving)) {
+      auto it = node_upload_upper.find(node);
+      if (it != node_upload_upper.end()) {
+        shard_best = std::max(shard_best, it->second);
+      }
+    }
+    consensus = std::min(consensus, shard_best);
+  }
+  return consensus == UINT64_MAX ? 0 : consensus;
+}
+
+std::string ClusterInfo::ToJsonText() const {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("truncation_version",
+          JsonValue::Int(static_cast<int64_t>(truncation_version)));
+  obj.Set("incarnation", JsonValue::Str(incarnation.ToHex()));
+  obj.Set("timestamp_micros", JsonValue::Int(timestamp_micros));
+  obj.Set("lease_expiry_micros", JsonValue::Int(lease_expiry_micros));
+  obj.Set("database", JsonValue::Str(database_name));
+  JsonValue nodes = JsonValue::Array();
+  for (const std::string& n : node_names) nodes.Append(JsonValue::Str(n));
+  obj.Set("nodes", std::move(nodes));
+  return obj.Dump();
+}
+
+Result<ClusterInfo> ClusterInfo::FromJsonText(const std::string& text) {
+  EON_ASSIGN_OR_RETURN(JsonValue v, JsonValue::Parse(text));
+  if (!v.is_object()) return Status::Corruption("cluster_info not an object");
+  ClusterInfo info;
+  info.truncation_version =
+      static_cast<uint64_t>(v.Get("truncation_version").int_value());
+  EON_ASSIGN_OR_RETURN(
+      info.incarnation,
+      IncarnationId::FromHex(v.Get("incarnation").string_value()));
+  info.timestamp_micros = v.Get("timestamp_micros").int_value();
+  info.lease_expiry_micros = v.Get("lease_expiry_micros").int_value();
+  info.database_name = v.Get("database").string_value();
+  const JsonValue& nodes = v.Get("nodes");
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    info.node_names.push_back(nodes.at(i).string_value());
+  }
+  return info;
+}
+
+Status ClusterInfo::WriteTo(ObjectStore* store) const {
+  EON_ASSIGN_OR_RETURN(std::vector<ObjectMeta> existing,
+                       store->List(kClusterInfoPrefix));
+  uint64_t next_seq = 1;
+  if (!existing.empty()) {
+    EON_ASSIGN_OR_RETURN(
+        uint64_t last,
+        ParseVersionSuffix(existing.back().key, kClusterInfoPrefix));
+    next_seq = last + 1;
+  }
+  const std::string key =
+      std::string(kClusterInfoPrefix) + VersionSuffix(next_seq);
+  return store->Put(key, ToJsonText());
+}
+
+Result<ClusterInfo> ClusterInfo::ReadLatest(ObjectStore* store) {
+  EON_ASSIGN_OR_RETURN(std::vector<ObjectMeta> existing,
+                       store->List(kClusterInfoPrefix));
+  if (existing.empty()) {
+    return Status::NotFound("no cluster_info on shared storage");
+  }
+  EON_ASSIGN_OR_RETURN(std::string text, store->Get(existing.back().key));
+  return FromJsonText(text);
+}
+
+}  // namespace eon

@@ -1,0 +1,118 @@
+#ifndef EON_CATALOG_SYNC_H_
+#define EON_CATALOG_SYNC_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/sid.h"
+#include "storage/object_store.h"
+
+namespace eon {
+
+/// Range of catalog versions a node could revive to from its uploads:
+/// [oldest retained checkpoint, newest uploaded log] (Section 3.5).
+struct SyncInterval {
+  uint64_t lower = 0;
+  uint64_t upper = 0;
+};
+
+/// Uploads one node's catalog (transaction logs + periodic checkpoints) to
+/// shared storage. Metadata durability is asynchronous: data files reach
+/// shared storage before commit, but logs upload on an interval, so a
+/// catastrophic cluster loss can lose recent transactions — reconciled by
+/// the truncation version (Section 3.5).
+///
+/// Object layout (keys qualified by incarnation id so each revived cluster
+/// writes to a distinct location):
+///   meta/<incarnation>/node<oid>/ckpt_<version %020u>
+///   meta/<incarnation>/node<oid>/log_<version %020u>
+class CatalogSync {
+ public:
+  CatalogSync(ObjectStore* store, IncarnationId incarnation, Oid node_oid);
+
+  /// Upload all not-yet-uploaded log records; additionally write a
+  /// checkpoint when `force_checkpoint` or every `checkpoint_every`
+  /// commits. Called by the sync service on its interval and at clean
+  /// shutdown (with force flushing everything).
+  Status SyncNow(const Catalog& catalog, bool force_checkpoint = false);
+
+  /// Remove all but the newest `keep` checkpoints and any logs at or below
+  /// the oldest kept checkpoint (Vertica retains two checkpoints,
+  /// Section 2.4). Raises the sync interval's lower bound.
+  Status DeleteStale(int keep = 2);
+
+  /// The node's current sync interval based on completed uploads.
+  SyncInterval interval() const { return interval_; }
+
+  Oid node_oid() const { return node_oid_; }
+
+  /// Key prefixes (exposed for tests and the revive path).
+  std::string NodePrefix() const;
+  static std::string NodePrefixFor(const IncarnationId& inc, Oid node_oid);
+
+  /// How many commits between automatic checkpoints.
+  void set_checkpoint_every(uint64_t n) { checkpoint_every_ = n; }
+
+ private:
+  ObjectStore* store_;
+  IncarnationId incarnation_;
+  Oid node_oid_;
+  uint64_t uploaded_version_ = 0;      ///< Highest log version uploaded.
+  uint64_t last_checkpoint_version_ = 0;
+  uint64_t commits_since_checkpoint_ = 0;
+  uint64_t checkpoint_every_ = 16;
+  SyncInterval interval_;
+};
+
+/// Download a catalog from one node's uploads: newest checkpoint at or
+/// below `upto_version` plus subsequent logs, replayed to exactly
+/// `upto_version`. `shard_filter` restricts storage metadata as in
+/// Catalog::Restore.
+Result<std::unique_ptr<Catalog>> DownloadCatalog(
+    ObjectStore* store, const IncarnationId& incarnation, Oid node_oid,
+    uint64_t upto_version, const std::set<ShardId>* shard_filter = nullptr);
+
+/// Highest version to which node `node_oid`'s uploads could restore a
+/// catalog (upper bound of its sync interval as visible on storage).
+Result<SyncInterval> ReadSyncInterval(ObjectStore* store,
+                                      const IncarnationId& incarnation,
+                                      Oid node_oid);
+
+/// Consensus truncation version (Figure 5): for every shard, the highest
+/// version some subscriber has durably uploaded; the cluster-wide
+/// truncation version is the minimum of these per-shard maxima — the
+/// highest version consistent with respect to ALL shards.
+///
+/// `node_upload_upper` maps node oid → upper bound of its sync interval.
+/// Nodes missing from the map contribute nothing (e.g. never synced).
+uint64_t ComputeTruncationVersion(
+    const CatalogState& state,
+    const std::map<Oid, uint64_t>& node_upload_upper);
+
+/// Contents of cluster_info.json (Section 3.5): the revive commit point.
+struct ClusterInfo {
+  uint64_t truncation_version = 0;
+  IncarnationId incarnation;
+  int64_t timestamp_micros = 0;
+  int64_t lease_expiry_micros = 0;
+  std::string database_name;
+  std::vector<std::string> node_names;
+
+  std::string ToJsonText() const;
+  static Result<ClusterInfo> FromJsonText(const std::string& text);
+
+  /// Upload as the next numbered cluster_info object. Objects are
+  /// immutable, so instead of overwriting one key we write
+  /// cluster_info/<seq>.json and readers take the highest sequence — the
+  /// Put of that object is the atomic commit point for revive.
+  Status WriteTo(ObjectStore* store) const;
+  static Result<ClusterInfo> ReadLatest(ObjectStore* store);
+};
+
+}  // namespace eon
+
+#endif  // EON_CATALOG_SYNC_H_

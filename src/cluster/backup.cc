@@ -1,0 +1,37 @@
+#include "cluster/backup.h"
+
+#include <set>
+
+namespace eon {
+
+Result<BackupStats> BackupDatabase(EonCluster* source,
+                                   ObjectStore* target_storage) {
+  // Metadata first: the backup must contain a consistent revive point.
+  EON_RETURN_IF_ERROR(source->SyncAll(/*force_checkpoint=*/true));
+  EON_RETURN_IF_ERROR(source->UpdateClusterInfo());
+
+  BackupStats stats;
+  EON_ASSIGN_OR_RETURN(std::vector<ObjectMeta> objects,
+                       source->shared_storage()->List(""));
+  EON_ASSIGN_OR_RETURN(std::vector<ObjectMeta> existing,
+                       target_storage->List(""));
+  std::set<std::string> present;
+  for (const ObjectMeta& m : existing) present.insert(m.key);
+
+  for (const ObjectMeta& m : objects) {
+    if (present.count(m.key)) {
+      stats.objects_skipped++;
+      continue;
+    }
+    EON_ASSIGN_OR_RETURN(std::string data,
+                         source->shared_storage()->Get(m.key));
+    Status s = target_storage->Put(m.key, data);
+    // AlreadyExists races are fine: immutable objects are content-stable.
+    if (!s.ok() && !s.IsAlreadyExists()) return s;
+    stats.objects_copied++;
+    stats.bytes_copied += data.size();
+  }
+  return stats;
+}
+
+}  // namespace eon

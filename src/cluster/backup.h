@@ -1,0 +1,33 @@
+#ifndef EON_CLUSTER_BACKUP_H_
+#define EON_CLUSTER_BACKUP_H_
+
+#include "cluster/cluster.h"
+
+namespace eon {
+
+/// Result of a backup pass.
+struct BackupStats {
+  uint64_t objects_copied = 0;
+  uint64_t objects_skipped = 0;  ///< Already present (incremental).
+  uint64_t bytes_copied = 0;
+};
+
+/// Back up a database to another shared-storage location: flush metadata
+/// (logs + checkpoints + cluster_info.json), then copy every object not
+/// already present at the target.
+///
+/// Because storage identifiers are globally unique (node instance id +
+/// local id, Figure 7), object names can be copied verbatim: "repeated
+/// copies between clusters, potentially bidirectional" never collide and
+/// never need persistent name mappings (Section 5.1). Immutability makes
+/// the copy naturally incremental — an object that exists at the target
+/// is already correct.
+///
+/// Restore = EonCluster::Revive against the backup location (after its
+/// lease expires).
+Result<BackupStats> BackupDatabase(EonCluster* source,
+                                   ObjectStore* target_storage);
+
+}  // namespace eon
+
+#endif  // EON_CLUSTER_BACKUP_H_

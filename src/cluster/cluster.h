@@ -1,0 +1,207 @@
+#ifndef EON_CLUSTER_CLUSTER_H_
+#define EON_CLUSTER_CLUSTER_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/node.h"
+#include "shard/participation.h"
+
+namespace eon {
+
+/// Static description of a node at cluster creation.
+struct NodeSpec {
+  std::string name;
+  std::string subcluster;  ///< Empty = "default".
+};
+
+struct ClusterOptions {
+  uint32_t num_shards = 4;
+  /// Subscribers per shard ("for node fault tolerance, there must be more
+  /// than one subscriber to each shard", Section 3.1).
+  int k_safety = 2;
+  NodeOptions node;
+  uint64_t seed = 42;
+  std::string db_name = "eon";
+  /// Revive-lease duration; revive aborts while another cluster's lease on
+  /// the shared storage location is unexpired (Section 3.5).
+  int64_t lease_duration_micros = 60LL * 1000 * 1000;
+};
+
+/// A file awaiting deletion from shared storage (Section 6.5): reclaimed
+/// only once no query cluster-wide can reference it AND the dropping
+/// transaction is durable past the truncation version.
+struct PendingFileDelete {
+  std::string key;
+  uint64_t drop_version = 0;
+};
+
+/// The Eon mode cluster: owns the nodes, replicates catalog commits to
+/// shard subscribers, drives the subscription state machine (Figure 4),
+/// handles node failure/recovery/instance loss, runs the metadata sync +
+/// truncation-version service, revives from shared storage, and reclaims
+/// files.
+class EonCluster {
+ public:
+  /// Bootstrap a fresh database on empty shared storage: sharding config,
+  /// node registry, k-safe subscription layout (all ACTIVE), first sync
+  /// and cluster_info.json upload.
+  static Result<std::unique_ptr<EonCluster>> Create(
+      ObjectStore* shared_storage, Clock* clock, const ClusterOptions& options,
+      const std::vector<NodeSpec>& specs);
+
+  /// Start a cluster from shared storage (Section 3.5): read the latest
+  /// cluster_info.json, honor the lease, download each node's catalog,
+  /// truncate to the consensus version, adopt a fresh incarnation id and
+  /// publish a new cluster_info.json as the commit point.
+  static Result<std::unique_ptr<EonCluster>> Revive(
+      ObjectStore* shared_storage, Clock* clock, const ClusterOptions& options,
+      const std::vector<NodeSpec>& specs);
+
+  /// Attach a READ-ONLY secondary compute cluster to a running database's
+  /// shared storage (the paper's "database sharing" direction, Section
+  /// 10): downloads the catalog at the published truncation version
+  /// without taking the revive lease; serves queries from its own caches;
+  /// never commits. See also cluster/sharing.h.
+  static Result<std::unique_ptr<EonCluster>> AttachReadOnly(
+      ObjectStore* shared_storage, Clock* clock, const ClusterOptions& options,
+      const std::vector<NodeSpec>& specs);
+
+  /// Advance a reader cluster to the source's latest published truncation
+  /// version by replaying uploaded transaction logs. Returns the number of
+  /// versions applied. Fails if the source was revived since attach.
+  Result<uint64_t> RefreshReadOnly();
+
+  bool is_read_only() const { return read_only_; }
+
+  // --- Topology access ---
+
+  Node* node(Oid oid);
+  Node* node_by_name(const std::string& name);
+  const std::vector<std::unique_ptr<Node>>& nodes() const { return nodes_; }
+  std::set<Oid> up_node_oids() const;
+  /// Any up node (commit coordination, snapshots); null if none.
+  Node* AnyUpNode();
+
+  const IncarnationId& incarnation() const { return incarnation_; }
+  ShardingConfig sharding() const;
+  Clock* clock() { return clock_; }
+  ObjectStore* shared_storage() { return shared_; }
+  const ClusterOptions& options() const { return options_; }
+  bool is_shutdown() const { return shutdown_; }
+
+  // --- Distributed commit (Section 3.2) ---
+
+  /// Commit `txn` on `coordinator` and replicate the log record to every
+  /// other up node (each applying under its shard filter). When
+  /// `observed_subscribers` is given (one entry per shard the transaction
+  /// wrote storage into), commit validates that no additional subscriber
+  /// "snuck in" since planning — new subscribers would lack the eagerly
+  /// distributed metadata — and aborts otherwise.
+  Result<uint64_t> CommitDistributed(
+      Oid coordinator, const CatalogTxn& txn,
+      const std::map<ShardId, std::set<Oid>>* observed_subscribers = nullptr);
+
+  // --- Subscription lifecycle (Figure 4) ---
+
+  /// PENDING → metadata transfer → PASSIVE → (cache warm) → ACTIVE.
+  Status SubscribeNode(Oid node_oid, ShardId shard, bool warm_cache = true);
+
+  /// REMOVING → (fault-tolerance check) → drop metadata + purge cache →
+  /// subscription dropped. Refuses (Unavailable) while dropping would
+  /// leave the shard without enough other ACTIVE subscribers.
+  Status UnsubscribeNode(Oid node_oid, ShardId shard);
+
+  /// Drive subscriptions toward the planned k-safe layout (node add /
+  /// remove elasticity, Section 6.4).
+  Status Rebalance(bool warm_cache = true);
+
+  // --- Node failure & recovery (Sections 3.3, 6.1) ---
+
+  /// Process termination: the node stops serving; shards it served remain
+  /// available via other subscribers. Shuts the cluster down if quorum or
+  /// shard coverage is lost.
+  Status KillNode(Oid node_oid);
+
+  /// Process restart with local disk intact: catch up on missed log
+  /// records from a peer (incremental diffs), re-subscribe (ACTIVE subs
+  /// forced through PENDING), optionally warm the lukewarm cache.
+  Status RestartNode(Oid node_oid, bool warm_cache = true);
+
+  /// Instance loss: local catalog and cache wiped.
+  Status DestroyNodeInstance(Oid node_oid);
+
+  /// Rebuild a destroyed instance: metadata from a peer (no transaction
+  /// loss), cold cache warmed from a same-subcluster peer.
+  Status RecoverDestroyedNode(Oid node_oid, bool warm_cache = true);
+
+  /// Quorum of up nodes AND every shard has an up ACTIVE subscriber
+  /// (Section 3.4's viability invariants).
+  bool IsViable() const;
+
+  // --- Metadata durability service (Section 3.5) ---
+
+  /// Upload pending transaction logs (and periodic checkpoints) from every
+  /// up node. Clean shutdowns call with force_checkpoint = true.
+  Status SyncAll(bool force_checkpoint = false);
+
+  /// Recompute the consensus truncation version (Figure 5) from uploaded
+  /// sync intervals and publish a new cluster_info.json with a fresh lease.
+  Status UpdateClusterInfo();
+
+  uint64_t last_truncation_version() const { return last_truncation_; }
+
+  // --- File deletion (Section 6.5) ---
+
+  /// Called when a commit drops storage: files leave every node's cache
+  /// immediately (local refcount zero) and enter the pending-delete queue
+  /// for shared storage.
+  void TrackDroppedFiles(const std::vector<std::string>& keys,
+                         uint64_t drop_version);
+
+  /// Online reaper: delete pending files whose drop version is below both
+  /// the gossiped cluster-minimum running-query version and the truncation
+  /// version. Returns the number of files deleted.
+  Result<uint64_t> ReapFiles();
+
+  /// Fallback global enumeration for leaked files (crash mid-operation):
+  /// list shared storage, keep anything referenced by any node's catalog,
+  /// pending deletion, or minted by a live node instance; delete the rest.
+  Result<uint64_t> CleanLeakedFiles();
+
+  size_t pending_delete_count() const { return pending_deletes_.size(); }
+
+ private:
+  EonCluster(ObjectStore* shared_storage, Clock* clock,
+             const ClusterOptions& options);
+
+  Status BuildNodes(const std::vector<NodeSpec>& specs);
+  /// Apply log records the target missed, fetched from any up peer.
+  Status BringNodeUpToDate(Node* target);
+  /// Full storage-metadata import for a shard from a source node.
+  Status TransferShardMetadata(Node* target, ShardId shard);
+  /// Pick a warm peer, preferring the same subcluster (Section 5.2).
+  Node* PickWarmPeer(const Node& target, ShardId shard);
+  Status WarmNodeCache(Node* target);
+  Status ResubscribeNode(Node* target, bool warm_cache);
+  void CheckViabilityAndMaybeShutdown();
+
+  ObjectStore* shared_;
+  Clock* clock_;
+  ClusterOptions options_;
+  IncarnationId incarnation_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<PendingFileDelete> pending_deletes_;
+  uint64_t last_truncation_ = 0;
+  bool shutdown_ = false;
+  /// Reader clusters (AttachReadOnly): no commits, no metadata uploads;
+  /// incarnation_ records the SOURCE database's incarnation.
+  bool read_only_ = false;
+};
+
+}  // namespace eon
+
+#endif  // EON_CLUSTER_CLUSTER_H_

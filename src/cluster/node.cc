@@ -1,0 +1,95 @@
+#include "cluster/node.h"
+
+#include "common/hash.h"
+
+namespace eon {
+
+Node::Node(Oid oid, std::string name, std::string subcluster,
+           ObjectStore* shared_storage, Clock* clock,
+           const NodeOptions& options, uint64_t seed)
+    : oid_(oid),
+      name_(std::move(name)),
+      subcluster_(std::move(subcluster)),
+      shared_(shared_storage),
+      clock_(clock),
+      options_(options),
+      seed_(seed) {
+  instance_id_ = NodeInstanceId::Generate(seed_, oid_);
+  catalog_ = std::make_unique<Catalog>();
+  cache_ = std::make_unique<FileCache>(options_.cache, shared_);
+}
+
+std::string Node::MintStorageKey(const std::string& prefix) {
+  StorageId sid;
+  sid.instance = instance_id_;
+  sid.local_id = catalog_->NextOid();
+  return prefix + sid.ToString();
+}
+
+std::set<ShardId> Node::SubscribedShards(
+    const std::set<SubscriptionState>& states) const {
+  std::set<ShardId> out;
+  auto snapshot = catalog_->snapshot();
+  for (const auto& [key, sub] : snapshot->subscriptions) {
+    if (key.first == oid_ && states.count(sub.state)) out.insert(key.second);
+  }
+  return out;
+}
+
+std::set<ShardId> Node::AllSubscribedShards() const {
+  return SubscribedShards({SubscriptionState::kPending,
+                           SubscriptionState::kPassive,
+                           SubscriptionState::kActive,
+                           SubscriptionState::kRemoving});
+}
+
+void Node::MarkUp() {
+  // A fresh process gets a fresh strongly random instance id, preserving
+  // SID uniqueness across restarts (Figure 7 discussion).
+  seed_ = Mix64(seed_ + 0x517CC1B727220A95ULL);
+  instance_id_ = NodeInstanceId::Generate(seed_, oid_);
+  up_ = true;
+}
+
+void Node::DestroyLocalState() {
+  catalog_ = std::make_unique<Catalog>();
+  cache_->Clear();
+  sync_.reset();
+  up_ = false;
+}
+
+void Node::ReplaceCatalog(std::unique_ptr<Catalog> catalog) {
+  catalog_ = std::move(catalog);
+}
+
+void Node::SetIncarnation(const IncarnationId& incarnation) {
+  sync_ = std::make_unique<CatalogSync>(shared_, incarnation, oid_);
+  sync_->set_checkpoint_every(options_.sync_checkpoint_every);
+}
+
+void Node::RegisterQuery(uint64_t version) {
+  std::lock_guard<std::mutex> lock(query_mu_);
+  running_query_versions_.insert(version);
+}
+
+void Node::UnregisterQuery(uint64_t version) {
+  std::lock_guard<std::mutex> lock(query_mu_);
+  auto it = running_query_versions_.find(version);
+  if (it != running_query_versions_.end()) {
+    running_query_versions_.erase(it);
+  }
+}
+
+uint64_t Node::MinRunningQueryVersion() const {
+  std::lock_guard<std::mutex> lock(query_mu_);
+  uint64_t v = running_query_versions_.empty()
+                   ? catalog_->version()
+                   : *running_query_versions_.begin();
+  // "taking care to ensure the reported value is monotonically increasing"
+  // (Section 6.5).
+  if (v < reported_min_version_) v = reported_min_version_;
+  reported_min_version_ = v;
+  return v;
+}
+
+}  // namespace eon

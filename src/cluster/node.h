@@ -1,0 +1,116 @@
+#ifndef EON_CLUSTER_NODE_H_
+#define EON_CLUSTER_NODE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "cache/file_cache.h"
+#include "catalog/catalog.h"
+#include "catalog/sync.h"
+#include "common/clock.h"
+#include "common/sid.h"
+#include "storage/object_store.h"
+
+namespace eon {
+
+struct NodeOptions {
+  CacheOptions cache;
+  uint64_t sync_checkpoint_every = 8;
+};
+
+/// One Eon compute node: a catalog replica (global objects + storage
+/// objects of subscribed shards), a file cache, a catalog sync service and
+/// a node instance identity.
+///
+/// Failure model distinguishes (Section 3.5):
+///  - process termination (Kill/Restart): local transaction logs survive —
+///    the catalog object is retained; a restart mints a new instance id;
+///  - instance loss (DestroyInstance): local disk gone — catalog and cache
+///    are wiped and must be rebuilt from a peer or by revive.
+class Node {
+ public:
+  Node(Oid oid, std::string name, std::string subcluster,
+       ObjectStore* shared_storage, Clock* clock, const NodeOptions& options,
+       uint64_t seed);
+
+  Oid oid() const { return oid_; }
+  const std::string& name() const { return name_; }
+  const std::string& subcluster() const { return subcluster_; }
+  bool is_up() const { return up_; }
+
+  Catalog* catalog() { return catalog_.get(); }
+  const Catalog* catalog() const { return catalog_.get(); }
+  FileCache* cache() { return cache_.get(); }
+  CatalogSync* sync() { return sync_.get(); }
+  Clock* clock() { return clock_; }
+  ObjectStore* shared_storage() { return shared_; }
+
+  const NodeInstanceId& instance_id() const { return instance_id_; }
+
+  /// Mint a globally unique storage key under `prefix` ("data/", "dv/").
+  /// SID = node instance id + local catalog oid (Figure 7): no
+  /// coordination with other nodes, no collisions in the flat namespace.
+  std::string MintStorageKey(const std::string& prefix);
+
+  /// Shards this node subscribes to in any of `states` (its own catalog's
+  /// view of itself).
+  std::set<ShardId> SubscribedShards(
+      const std::set<SubscriptionState>& states) const;
+
+  /// All shards with a subscription row for this node, any state.
+  std::set<ShardId> AllSubscribedShards() const;
+
+  // --- Failure-model transitions; drive via EonCluster, not directly. ---
+
+  /// Process termination: node stops serving; local state retained.
+  void MarkDown() { up_ = false; }
+  /// Process restart: new instance id; catalog (local disk) intact.
+  void MarkUp();
+  /// Instance loss: local disk wiped; fresh empty catalog and cold cache.
+  void DestroyLocalState();
+  /// Replace the catalog wholesale (metadata rebuild from peer / revive).
+  void ReplaceCatalog(std::unique_ptr<Catalog> catalog);
+
+  /// (Re)bind the catalog sync service to a cluster incarnation; metadata
+  /// uploads are qualified by it so each revived cluster writes to a
+  /// distinct location (Section 3.5).
+  void SetIncarnation(const IncarnationId& incarnation);
+
+  // --- Running-query version tracking (file-deletion gossip, §6.5). ---
+
+  /// Register a query running at catalog version `v`; call Unregister when
+  /// it finishes. MinRunningQueryVersion feeds the cluster-wide gossip.
+  void RegisterQuery(uint64_t version);
+  void UnregisterQuery(uint64_t version);
+
+  /// Lowest catalog version any running query on this node reads, or the
+  /// node's current version when idle. Monotone non-decreasing as
+  /// required by the gossip protocol.
+  uint64_t MinRunningQueryVersion() const;
+
+ private:
+  const Oid oid_;
+  const std::string name_;
+  const std::string subcluster_;
+  ObjectStore* shared_;
+  Clock* clock_;
+  const NodeOptions options_;
+  uint64_t seed_;
+
+  NodeInstanceId instance_id_;
+  std::unique_ptr<Catalog> catalog_;
+  std::unique_ptr<FileCache> cache_;
+  std::unique_ptr<CatalogSync> sync_;
+  std::atomic<bool> up_{true};
+
+  mutable std::mutex query_mu_;
+  std::multiset<uint64_t> running_query_versions_;
+  mutable uint64_t reported_min_version_ = 0;  ///< Monotonicity clamp.
+};
+
+}  // namespace eon
+
+#endif  // EON_CLUSTER_NODE_H_

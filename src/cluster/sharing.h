@@ -1,0 +1,38 @@
+#ifndef EON_CLUSTER_SHARING_H_
+#define EON_CLUSTER_SHARING_H_
+
+#include "cluster/cluster.h"
+
+namespace eon {
+
+/// Database sharing (the paper's concluding direction: "the idea of two or
+/// more databases sharing the same metadata and data files is practical
+/// and compelling ... strong fault and workload isolation, align spending
+/// with business unit resource consumption").
+///
+/// AttachReadOnly brings up a secondary compute cluster against a RUNNING
+/// database's shared storage:
+///  - it reads the published cluster_info.json and downloads the catalog
+///    at the truncation version, WITHOUT taking the revive lease (readers
+///    do not conflict with the writer or each other);
+///  - it serves queries from its own caches — complete workload and fault
+///    isolation from the primary (its nodes failing cannot touch the
+///    primary, and its scans cannot evict the primary's caches);
+///  - it never commits: every mutation path fails with NotSupported;
+///  - RefreshReadOnly catches it up to the primary's latest *published*
+///    (durable) version by replaying uploaded transaction logs.
+inline Result<std::unique_ptr<EonCluster>> AttachReadOnly(
+    ObjectStore* shared_storage, Clock* clock, const ClusterOptions& options,
+    const std::vector<NodeSpec>& specs) {
+  return EonCluster::AttachReadOnly(shared_storage, clock, options, specs);
+}
+
+/// Advance a reader cluster to the source database's latest published
+/// truncation version. Returns the number of versions applied.
+inline Result<uint64_t> RefreshReadOnly(EonCluster* reader) {
+  return reader->RefreshReadOnly();
+}
+
+}  // namespace eon
+
+#endif  // EON_CLUSTER_SHARING_H_

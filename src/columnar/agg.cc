@@ -1,0 +1,17 @@
+#include "columnar/agg.h"
+
+namespace eon {
+
+const char* AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kCount: return "count";
+    case AggFn::kSum: return "sum";
+    case AggFn::kMin: return "min";
+    case AggFn::kMax: return "max";
+    case AggFn::kAvg: return "avg";
+    case AggFn::kCountDistinct: return "count_distinct";
+  }
+  return "?";
+}
+
+}  // namespace eon

@@ -1,0 +1,23 @@
+#ifndef EON_COLUMNAR_AGG_H_
+#define EON_COLUMNAR_AGG_H_
+
+#include <cstdint>
+
+namespace eon {
+
+/// Aggregate functions. Shared between the execution engine's aggregate
+/// expressions and the catalog's live-aggregate projection definitions.
+enum class AggFn : uint8_t {
+  kCount = 0,
+  kSum = 1,
+  kMin = 2,
+  kMax = 3,
+  kAvg = 4,
+  kCountDistinct = 5,
+};
+
+const char* AggFnName(AggFn fn);
+
+}  // namespace eon
+
+#endif  // EON_COLUMNAR_AGG_H_

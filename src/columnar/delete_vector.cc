@@ -1,0 +1,78 @@
+#include "columnar/delete_vector.h"
+
+#include <algorithm>
+
+#include "common/codec.h"
+#include "common/hash.h"
+
+namespace eon {
+
+namespace {
+constexpr uint32_t kDeleteVectorMagic = 0xDE1E7EC5;
+}  // namespace
+
+DeleteVector::DeleteVector(std::vector<uint64_t> positions)
+    : positions_(std::move(positions)) {
+  std::sort(positions_.begin(), positions_.end());
+  positions_.erase(std::unique(positions_.begin(), positions_.end()),
+                   positions_.end());
+}
+
+void DeleteVector::Union(const DeleteVector& other) {
+  std::vector<uint64_t> merged;
+  merged.reserve(positions_.size() + other.positions_.size());
+  std::merge(positions_.begin(), positions_.end(), other.positions_.begin(),
+             other.positions_.end(), std::back_inserter(merged));
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  positions_ = std::move(merged);
+}
+
+bool DeleteVector::IsDeleted(uint64_t position) const {
+  return std::binary_search(positions_.begin(), positions_.end(), position);
+}
+
+std::string DeleteVector::Serialize() const {
+  std::string out;
+  PutFixed32(&out, kDeleteVectorMagic);
+  PutVarint64(&out, positions_.size());
+  uint64_t prev = 0;
+  for (uint64_t p : positions_) {
+    PutVarint64(&out, p - prev);  // Sorted: deltas are non-negative.
+    prev = p;
+  }
+  PutFixed32(&out, Crc32c(out.data(), out.size()));
+  return out;
+}
+
+Result<DeleteVector> DeleteVector::Deserialize(Slice data) {
+  if (data.size() < 8) return Status::Corruption("delete vector too short");
+  uint32_t stored_crc;
+  Slice crc_slice(data.data() + data.size() - 4, 4);
+  EON_RETURN_IF_ERROR(GetFixed32(&crc_slice, &stored_crc));
+  uint32_t actual = Crc32c(data.data(), data.size() - 4);
+  if (actual != stored_crc) {
+    return Status::Corruption("delete vector checksum mismatch");
+  }
+  Slice in(data.data(), data.size() - 4);
+  uint32_t magic;
+  EON_RETURN_IF_ERROR(GetFixed32(&in, &magic));
+  if (magic != kDeleteVectorMagic) {
+    return Status::Corruption("delete vector bad magic");
+  }
+  uint64_t count;
+  EON_RETURN_IF_ERROR(GetVarint64(&in, &count));
+  std::vector<uint64_t> positions;
+  positions.reserve(count);
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t delta;
+    EON_RETURN_IF_ERROR(GetVarint64(&in, &delta));
+    prev += delta;
+    positions.push_back(prev);
+  }
+  DeleteVector dv;
+  dv.positions_ = std::move(positions);
+  return dv;
+}
+
+}  // namespace eon

@@ -1,0 +1,42 @@
+#ifndef EON_COLUMNAR_DELETE_VECTOR_H_
+#define EON_COLUMNAR_DELETE_VECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+
+namespace eon {
+
+/// Tombstone positions for a single ROS container (paper Section 2.3).
+/// Deletes never modify data files: a delete vector is an additional
+/// immutable storage object listing deleted tuple positions; updates are a
+/// delete plus an insert; deleted rows are purged at mergeout.
+class DeleteVector {
+ public:
+  DeleteVector() = default;
+
+  /// Build from positions (need not be sorted or unique; normalized here).
+  explicit DeleteVector(std::vector<uint64_t> positions);
+
+  /// Merge positions from another delete vector (union).
+  void Union(const DeleteVector& other);
+
+  bool IsDeleted(uint64_t position) const;
+  uint64_t count() const { return positions_.size(); }
+  bool empty() const { return positions_.empty(); }
+  const std::vector<uint64_t>& positions() const { return positions_; }
+
+  /// Serialize in the same delta-varint style as regular columns.
+  std::string Serialize() const;
+  static Result<DeleteVector> Deserialize(Slice data);
+
+ private:
+  std::vector<uint64_t> positions_;  // Sorted, unique.
+};
+
+}  // namespace eon
+
+#endif  // EON_COLUMNAR_DELETE_VECTOR_H_

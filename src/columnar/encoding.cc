@@ -1,0 +1,213 @@
+#include "columnar/encoding.h"
+
+#include <map>
+
+#include "columnar/value_codec.h"
+#include "common/codec.h"
+
+namespace eon {
+
+const char* EncodingName(Encoding e) {
+  switch (e) {
+    case Encoding::kPlain: return "plain";
+    case Encoding::kRle: return "rle";
+    case Encoding::kDict: return "dict";
+    case Encoding::kDeltaVarint: return "delta";
+  }
+  return "?";
+}
+
+namespace {
+
+void EncodePlain(const std::vector<Value>& values, std::string* out) {
+  for (const Value& v : values) PutValue(out, v);
+}
+
+Status DecodePlain(Slice* in, DataType type, uint64_t count,
+                   std::vector<Value>* out) {
+  for (uint64_t i = 0; i < count; ++i) {
+    Value v;
+    EON_RETURN_IF_ERROR(GetValue(in, type, &v));
+    out->push_back(std::move(v));
+  }
+  return Status::OK();
+}
+
+void EncodeRle(const std::vector<Value>& values, std::string* out) {
+  size_t i = 0;
+  while (i < values.size()) {
+    size_t j = i + 1;
+    while (j < values.size() && values[j] == values[i]) ++j;
+    PutVarint64(out, j - i);
+    PutValue(out, values[i]);
+    i = j;
+  }
+}
+
+Status DecodeRle(Slice* in, DataType type, uint64_t count,
+                 std::vector<Value>* out) {
+  uint64_t produced = 0;
+  while (produced < count) {
+    uint64_t run;
+    EON_RETURN_IF_ERROR(GetVarint64(in, &run));
+    if (run == 0 || produced + run > count) {
+      return Status::Corruption("RLE run overflow");
+    }
+    Value v;
+    EON_RETURN_IF_ERROR(GetValue(in, type, &v));
+    for (uint64_t k = 0; k < run; ++k) out->push_back(v);
+    produced += run;
+  }
+  return Status::OK();
+}
+
+void EncodeDict(const std::vector<Value>& values, std::string* out) {
+  // Codes: 0 = NULL, k>0 = dictionary entry k-1.
+  std::map<Value, uint32_t> dict;  // Value has operator<.
+  std::vector<Value> entries;
+  std::vector<uint32_t> codes;
+  codes.reserve(values.size());
+  for (const Value& v : values) {
+    if (v.is_null()) {
+      codes.push_back(0);
+      continue;
+    }
+    auto [it, inserted] =
+        dict.emplace(v, static_cast<uint32_t>(entries.size() + 1));
+    if (inserted) entries.push_back(v);
+    codes.push_back(it->second);
+  }
+  PutVarint64(out, entries.size());
+  for (const Value& v : entries) PutValue(out, v);
+  for (uint32_t c : codes) PutVarint32(out, c);
+}
+
+Status DecodeDict(Slice* in, DataType type, uint64_t count,
+                  std::vector<Value>* out) {
+  uint64_t dict_size;
+  EON_RETURN_IF_ERROR(GetVarint64(in, &dict_size));
+  std::vector<Value> entries;
+  entries.reserve(dict_size);
+  for (uint64_t i = 0; i < dict_size; ++i) {
+    Value v;
+    EON_RETURN_IF_ERROR(GetValue(in, type, &v));
+    entries.push_back(std::move(v));
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t code;
+    EON_RETURN_IF_ERROR(GetVarint32(in, &code));
+    if (code == 0) {
+      out->push_back(Value::Null(type));
+    } else if (code <= entries.size()) {
+      out->push_back(entries[code - 1]);
+    } else {
+      return Status::Corruption("dictionary code out of range");
+    }
+  }
+  return Status::OK();
+}
+
+Status EncodeDelta(const std::vector<Value>& values, std::string* out) {
+  int64_t prev = 0;
+  for (const Value& v : values) {
+    if (v.is_null() || v.type() != DataType::kInt64) {
+      return Status::InvalidArgument("delta encoding needs non-null int64");
+    }
+    PutVarint64Signed(out, v.int_value() - prev);
+    prev = v.int_value();
+  }
+  return Status::OK();
+}
+
+Status DecodeDelta(Slice* in, uint64_t count, std::vector<Value>* out) {
+  int64_t prev = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    int64_t delta;
+    EON_RETURN_IF_ERROR(GetVarint64Signed(in, &delta));
+    prev += delta;
+    out->push_back(Value::Int(prev));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::string> EncodeChunk(const std::vector<Value>& values,
+                                DataType type, Encoding encoding) {
+  (void)type;  // Part of the API contract; encoders read value tags.
+  std::string out;
+  out.push_back(static_cast<char>(encoding));
+  PutVarint64(&out, values.size());
+  switch (encoding) {
+    case Encoding::kPlain:
+      EncodePlain(values, &out);
+      break;
+    case Encoding::kRle:
+      EncodeRle(values, &out);
+      break;
+    case Encoding::kDict:
+      EncodeDict(values, &out);
+      break;
+    case Encoding::kDeltaVarint:
+      EON_RETURN_IF_ERROR(EncodeDelta(values, &out));
+      break;
+  }
+  return out;
+}
+
+Status DecodeChunk(Slice data, DataType type, std::vector<Value>* out) {
+  if (data.empty()) return Status::Corruption("empty chunk");
+  uint8_t enc_byte = static_cast<uint8_t>(data[0]);
+  data.remove_prefix(1);
+  if (enc_byte > static_cast<uint8_t>(Encoding::kDeltaVarint)) {
+    return Status::Corruption("unknown encoding byte");
+  }
+  Encoding encoding = static_cast<Encoding>(enc_byte);
+  uint64_t count;
+  EON_RETURN_IF_ERROR(GetVarint64(&data, &count));
+  out->reserve(out->size() + count);
+  switch (encoding) {
+    case Encoding::kPlain:
+      return DecodePlain(&data, type, count, out);
+    case Encoding::kRle:
+      return DecodeRle(&data, type, count, out);
+    case Encoding::kDict:
+      return DecodeDict(&data, type, count, out);
+    case Encoding::kDeltaVarint:
+      return DecodeDelta(&data, count, out);
+  }
+  return Status::Corruption("unknown encoding");
+}
+
+Encoding ChooseEncoding(const std::vector<Value>& values, DataType type) {
+  if (values.empty()) return Encoding::kPlain;
+
+  size_t runs = 1;
+  bool sorted = true;
+  bool has_null = false;
+  std::map<Value, int> distinct;
+  const size_t kDistinctCap = values.size() / 4 + 2;
+  bool low_cardinality = true;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i].is_null()) has_null = true;
+    if (i > 0) {
+      if (values[i] != values[i - 1]) ++runs;
+      if (values[i].Compare(values[i - 1]) < 0) sorted = false;
+    }
+    if (low_cardinality) {
+      distinct[values[i]]++;
+      if (distinct.size() > kDistinctCap) low_cardinality = false;
+    }
+  }
+  // Long runs → RLE dominates everything.
+  if (runs <= values.size() / 8 + 1) return Encoding::kRle;
+  if (type == DataType::kInt64 && !has_null && sorted) {
+    return Encoding::kDeltaVarint;
+  }
+  if (low_cardinality && distinct.size() <= values.size() / 4 + 1) {
+    return Encoding::kDict;
+  }
+  return Encoding::kPlain;
+}
+
+}  // namespace eon

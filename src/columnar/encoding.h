@@ -1,0 +1,42 @@
+#ifndef EON_COLUMNAR_ENCODING_H_
+#define EON_COLUMNAR_ENCODING_H_
+
+#include <string>
+#include <vector>
+
+#include "columnar/types.h"
+#include "common/result.h"
+#include "common/slice.h"
+
+namespace eon {
+
+/// Column chunk encodings. Vertica sorts data and operates directly on
+/// encoded values; here we implement the four classic column encodings and
+/// pick automatically per block (sorted data usually compresses well —
+/// paper Section 2.1).
+enum class Encoding : uint8_t {
+  kPlain = 0,        ///< Values back to back.
+  kRle = 1,          ///< (run length, value) pairs; great for sorted columns.
+  kDict = 2,         ///< Distinct-value dictionary + per-row codes.
+  kDeltaVarint = 3,  ///< Zigzag deltas; great for sorted non-null int64.
+};
+
+const char* EncodingName(Encoding e);
+
+/// Encode `values` (all of type `type`) with the given encoding.
+/// Format: [encoding:1][count:varint][payload]. Nulls are supported by
+/// every encoding. Returns InvalidArgument if the encoding cannot represent
+/// the data (kDeltaVarint with nulls or non-int64).
+Result<std::string> EncodeChunk(const std::vector<Value>& values,
+                                DataType type, Encoding encoding);
+
+/// Decode a chunk produced by EncodeChunk. Appends to `out`.
+Status DecodeChunk(Slice data, DataType type, std::vector<Value>* out);
+
+/// Heuristic auto-selection: delta for sorted non-null ints, RLE for long
+/// runs, dictionary for low cardinality, otherwise plain.
+Encoding ChooseEncoding(const std::vector<Value>& values, DataType type);
+
+}  // namespace eon
+
+#endif  // EON_COLUMNAR_ENCODING_H_

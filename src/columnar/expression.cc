@@ -1,0 +1,176 @@
+#include "columnar/expression.h"
+
+namespace eon {
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return "=";
+    case CmpOp::kNe: return "<>";
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+PredicatePtr Predicate::True() {
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = Kind::kTrue;
+  return p;
+}
+
+PredicatePtr Predicate::Cmp(size_t col_index, CmpOp op, Value literal) {
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = Kind::kCmp;
+  p->col_ = col_index;
+  p->op_ = op;
+  p->literal_ = std::move(literal);
+  return p;
+}
+
+PredicatePtr Predicate::And(PredicatePtr a, PredicatePtr b) {
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = Kind::kAnd;
+  p->left_ = std::move(a);
+  p->right_ = std::move(b);
+  return p;
+}
+
+PredicatePtr Predicate::Or(PredicatePtr a, PredicatePtr b) {
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = Kind::kOr;
+  p->left_ = std::move(a);
+  p->right_ = std::move(b);
+  return p;
+}
+
+PredicatePtr Predicate::Not(PredicatePtr a) {
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = Kind::kNot;
+  p->left_ = std::move(a);
+  return p;
+}
+
+bool Predicate::Eval(const Row& row) const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return true;
+    case Kind::kCmp: {
+      if (col_ >= row.size()) return false;
+      const Value& v = row[col_];
+      if (v.is_null() || literal_.is_null()) return false;
+      int c = v.Compare(literal_);
+      switch (op_) {
+        case CmpOp::kEq: return c == 0;
+        case CmpOp::kNe: return c != 0;
+        case CmpOp::kLt: return c < 0;
+        case CmpOp::kLe: return c <= 0;
+        case CmpOp::kGt: return c > 0;
+        case CmpOp::kGe: return c >= 0;
+      }
+      return false;
+    }
+    case Kind::kAnd:
+      return left_->Eval(row) && right_->Eval(row);
+    case Kind::kOr:
+      return left_->Eval(row) || right_->Eval(row);
+    case Kind::kNot:
+      return !left_->Eval(row);
+  }
+  return false;
+}
+
+bool Predicate::CouldMatch(const std::vector<ValueRange>& ranges) const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return true;
+    case Kind::kCmp: {
+      if (col_ >= ranges.size()) return true;
+      const ValueRange& r = ranges[col_];
+      if (!r.valid || literal_.is_null()) return true;
+      // All range bounds are non-null by construction (null rows tracked by
+      // has_null and never satisfy a comparison anyway).
+      int cmin = r.min.Compare(literal_);
+      int cmax = r.max.Compare(literal_);
+      switch (op_) {
+        case CmpOp::kEq: return cmin <= 0 && cmax >= 0;
+        case CmpOp::kNe: return !(cmin == 0 && cmax == 0);
+        case CmpOp::kLt: return cmin < 0;
+        case CmpOp::kLe: return cmin <= 0;
+        case CmpOp::kGt: return cmax > 0;
+        case CmpOp::kGe: return cmax >= 0;
+      }
+      return true;
+    }
+    case Kind::kAnd:
+      return left_->CouldMatch(ranges) && right_->CouldMatch(ranges);
+    case Kind::kOr:
+      return left_->CouldMatch(ranges) || right_->CouldMatch(ranges);
+    case Kind::kNot:
+      // NOT cannot be range-refuted without interval complement logic;
+      // stay conservative.
+      return true;
+  }
+  return true;
+}
+
+void Predicate::CollectColumns(std::set<size_t>* cols) const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return;
+    case Kind::kCmp:
+      cols->insert(col_);
+      return;
+    case Kind::kAnd:
+    case Kind::kOr:
+      left_->CollectColumns(cols);
+      right_->CollectColumns(cols);
+      return;
+    case Kind::kNot:
+      left_->CollectColumns(cols);
+      return;
+  }
+}
+
+double Predicate::EstimatedSelectivity() const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return 1.0;
+    case Kind::kCmp:
+      switch (op_) {
+        case CmpOp::kEq: return 0.05;
+        case CmpOp::kNe: return 0.95;
+        default: return 0.3;
+      }
+    case Kind::kAnd:
+      return left_->EstimatedSelectivity() * right_->EstimatedSelectivity();
+    case Kind::kOr: {
+      double a = left_->EstimatedSelectivity();
+      double b = right_->EstimatedSelectivity();
+      return a + b - a * b;
+    }
+    case Kind::kNot:
+      return 1.0 - left_->EstimatedSelectivity();
+  }
+  return 1.0;
+}
+
+std::string Predicate::ToString() const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return "TRUE";
+    case Kind::kCmp:
+      return "col" + std::to_string(col_) + " " + CmpOpName(op_) + " " +
+             literal_.ToString();
+    case Kind::kAnd:
+      return "(" + left_->ToString() + " AND " + right_->ToString() + ")";
+    case Kind::kOr:
+      return "(" + left_->ToString() + " OR " + right_->ToString() + ")";
+    case Kind::kNot:
+      return "NOT (" + left_->ToString() + ")";
+  }
+  return "?";
+}
+
+}  // namespace eon

@@ -1,0 +1,84 @@
+#ifndef EON_COLUMNAR_EXPRESSION_H_
+#define EON_COLUMNAR_EXPRESSION_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "columnar/types.h"
+
+namespace eon {
+
+/// Comparison operators for simple column-vs-constant predicates.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CmpOpName(CmpOp op);
+
+/// Closed min/max range of a column within some storage unit (block or
+/// container). Vertica tracks these per storage and uses expression
+/// analysis to skip storage a predicate can never match (paper Section 2.1).
+struct ValueRange {
+  bool valid = false;  ///< False when stats are unavailable → cannot prune.
+  bool has_null = false;
+  Value min;
+  Value max;
+};
+
+class Predicate;
+using PredicatePtr = std::shared_ptr<const Predicate>;
+
+/// Boolean predicate tree over a projection's rows: comparisons against
+/// constants composed with AND/OR. Supports row evaluation and min/max
+/// range analysis ("could this predicate ever be true given these column
+/// ranges?") used for file and block pruning.
+class Predicate {
+ public:
+  enum class Kind { kTrue, kCmp, kAnd, kOr, kNot };
+
+  /// Always-true predicate (scan everything).
+  static PredicatePtr True();
+  /// column[col_index] <op> literal.
+  static PredicatePtr Cmp(size_t col_index, CmpOp op, Value literal);
+  static PredicatePtr And(PredicatePtr a, PredicatePtr b);
+  static PredicatePtr Or(PredicatePtr a, PredicatePtr b);
+  static PredicatePtr Not(PredicatePtr a);
+
+  Kind kind() const { return kind_; }
+  size_t col_index() const { return col_; }
+  CmpOp op() const { return op_; }
+  const Value& literal() const { return literal_; }
+  const PredicatePtr& left() const { return left_; }
+  const PredicatePtr& right() const { return right_; }
+
+  /// Evaluate on a full row (indexed by projection column position).
+  /// NULL comparisons evaluate false (SQL semantics, no three-valued logic).
+  bool Eval(const Row& row) const;
+
+  /// Conservative test: false only if no row within `ranges` can satisfy
+  /// the predicate. `ranges` is indexed by projection column position;
+  /// invalid ranges never prune.
+  bool CouldMatch(const std::vector<ValueRange>& ranges) const;
+
+  /// Column positions referenced by this predicate.
+  void CollectColumns(std::set<size_t>* cols) const;
+
+  /// Selectivity guess for planning (crunch-scaling mode choice).
+  double EstimatedSelectivity() const;
+
+  std::string ToString() const;
+
+ private:
+  Predicate() = default;
+
+  Kind kind_ = Kind::kTrue;
+  size_t col_ = 0;
+  CmpOp op_ = CmpOp::kEq;
+  Value literal_;
+  PredicatePtr left_;
+  PredicatePtr right_;
+};
+
+}  // namespace eon
+
+#endif  // EON_COLUMNAR_EXPRESSION_H_

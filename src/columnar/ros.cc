@@ -1,0 +1,349 @@
+#include "columnar/ros.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "columnar/encoding.h"
+#include "columnar/value_codec.h"
+#include "common/codec.h"
+#include "common/hash.h"
+#include "storage/object_store.h"
+
+namespace eon {
+
+namespace {
+
+constexpr uint32_t kColumnFileMagic = 0xEC01F11E;
+
+void UpdateRange(ValueRange* range, const Value& v) {
+  if (v.is_null()) {
+    range->has_null = true;
+    return;
+  }
+  if (!range->valid) {
+    range->valid = true;
+    range->min = v;
+    range->max = v;
+    return;
+  }
+  if (v.Compare(range->min) < 0) range->min = v;
+  if (v.Compare(range->max) > 0) range->max = v;
+}
+
+void PutRange(std::string* dst, const ValueRange& r) {
+  dst->push_back(r.valid ? 1 : 0);
+  dst->push_back(r.has_null ? 1 : 0);
+  if (r.valid) {
+    PutValue(dst, r.min);
+    PutValue(dst, r.max);
+  }
+}
+
+Status GetRange(Slice* in, DataType type, ValueRange* r) {
+  if (in->size() < 2) return Status::Corruption("range underflow");
+  r->valid = (*in)[0] != 0;
+  r->has_null = (*in)[1] != 0;
+  in->remove_prefix(2);
+  if (r->valid) {
+    EON_RETURN_IF_ERROR(GetValue(in, type, &r->min));
+    EON_RETURN_IF_ERROR(GetValue(in, type, &r->max));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::string> DirectFetcher::Fetch(const std::string& key) {
+  return store_->Get(key);
+}
+
+std::string RosContainerWriter::ColumnKey(const std::string& base_key,
+                                          size_t col) {
+  return base_key + "_c" + std::to_string(col);
+}
+
+Result<RosBuildResult> RosContainerWriter::Build(
+    const Schema& schema, const std::vector<Row>& rows,
+    const std::string& base_key, const RosWriteOptions& options) {
+  if (options.rows_per_block == 0) {
+    return Status::InvalidArgument("rows_per_block must be positive");
+  }
+  for (const Row& row : rows) {
+    if (!schema.RowMatches(row)) {
+      return Status::InvalidArgument("row does not match schema");
+    }
+  }
+
+  RosBuildResult result;
+  result.row_count = rows.size();
+  result.column_ranges.resize(schema.num_columns());
+
+  for (size_t col = 0; col < schema.num_columns(); ++col) {
+    const DataType type = schema.column(col).type;
+    std::string file;
+    std::vector<BlockMeta> blocks;
+
+    for (uint64_t start = 0; start < rows.size();
+         start += options.rows_per_block) {
+      const uint64_t end =
+          std::min<uint64_t>(start + options.rows_per_block, rows.size());
+      std::vector<Value> chunk;
+      chunk.reserve(end - start);
+      ValueRange range;
+      for (uint64_t r = start; r < end; ++r) {
+        chunk.push_back(rows[r][col]);
+        UpdateRange(&range, rows[r][col]);
+        UpdateRange(&result.column_ranges[col], rows[r][col]);
+      }
+      const Encoding enc = ChooseEncoding(chunk, type);
+      EON_ASSIGN_OR_RETURN(std::string encoded, EncodeChunk(chunk, type, enc));
+      PutFixed32(&encoded, Crc32c(encoded.data(), encoded.size()));
+
+      BlockMeta meta;
+      meta.offset = file.size();
+      meta.length = encoded.size();
+      meta.row_count = end - start;
+      meta.first_row = start;
+      meta.range = range;
+      blocks.push_back(meta);
+      file += encoded;
+    }
+
+    // Footer: position index + per-block min/max, checksummed.
+    std::string footer;
+    PutVarint64(&footer, blocks.size());
+    PutVarint64(&footer, rows.size());
+    for (const BlockMeta& b : blocks) {
+      PutVarint64(&footer, b.offset);
+      PutVarint64(&footer, b.length);
+      PutVarint64(&footer, b.row_count);
+      PutVarint64(&footer, b.first_row);
+      PutRange(&footer, b.range);
+    }
+    PutFixed32(&footer, Crc32c(footer.data(), footer.size()));
+
+    const uint64_t footer_len = footer.size();
+    file += footer;
+    PutFixed64(&file, footer_len);
+    PutFixed32(&file, kColumnFileMagic);
+
+    result.total_bytes += file.size();
+    result.files.push_back(
+        RosColumnFile{ColumnKey(base_key, col), std::move(file)});
+  }
+  return result;
+}
+
+Result<ColumnFileReader> ColumnFileReader::Open(std::string file_data,
+                                                DataType type) {
+  ColumnFileReader reader;
+  reader.data_ = std::move(file_data);
+  reader.type_ = type;
+  const std::string& data = reader.data_;
+  if (data.size() < 12) return Status::Corruption("column file too short");
+
+  Slice tail(data.data() + data.size() - 12, 12);
+  uint64_t footer_len;
+  uint32_t magic;
+  EON_RETURN_IF_ERROR(GetFixed64(&tail, &footer_len));
+  EON_RETURN_IF_ERROR(GetFixed32(&tail, &magic));
+  if (magic != kColumnFileMagic) {
+    return Status::Corruption("column file bad magic");
+  }
+  if (footer_len + 12 > data.size()) {
+    return Status::Corruption("column file footer length invalid");
+  }
+  const char* footer_start = data.data() + data.size() - 12 - footer_len;
+  if (footer_len < 4) return Status::Corruption("footer too short");
+  Slice footer(footer_start, footer_len - 4);
+  Slice crc_slice(footer_start + footer_len - 4, 4);
+  uint32_t stored_crc;
+  EON_RETURN_IF_ERROR(GetFixed32(&crc_slice, &stored_crc));
+  if (Crc32c(footer.data(), footer.size()) != stored_crc) {
+    return Status::Corruption("column file footer checksum mismatch");
+  }
+
+  uint64_t num_blocks;
+  EON_RETURN_IF_ERROR(GetVarint64(&footer, &num_blocks));
+  EON_RETURN_IF_ERROR(GetVarint64(&footer, &reader.row_count_));
+  reader.blocks_.reserve(num_blocks);
+  for (uint64_t i = 0; i < num_blocks; ++i) {
+    BlockMeta meta;
+    EON_RETURN_IF_ERROR(GetVarint64(&footer, &meta.offset));
+    EON_RETURN_IF_ERROR(GetVarint64(&footer, &meta.length));
+    EON_RETURN_IF_ERROR(GetVarint64(&footer, &meta.row_count));
+    EON_RETURN_IF_ERROR(GetVarint64(&footer, &meta.first_row));
+    EON_RETURN_IF_ERROR(GetRange(&footer, reader.type_, &meta.range));
+    if (meta.offset + meta.length >
+        reader.data_.size() - 12 - footer_len) {
+      return Status::Corruption("block extends past data region");
+    }
+    reader.blocks_.push_back(std::move(meta));
+  }
+  return reader;
+}
+
+Status ColumnFileReader::DecodeBlock(size_t i, std::vector<Value>* out) const {
+  if (i >= blocks_.size()) return Status::OutOfRange("block index");
+  const BlockMeta& meta = blocks_[i];
+  if (meta.length < 4) return Status::Corruption("block too short");
+  Slice block(data_.data() + meta.offset, meta.length - 4);
+  Slice crc_slice(data_.data() + meta.offset + meta.length - 4, 4);
+  uint32_t stored_crc;
+  EON_RETURN_IF_ERROR(GetFixed32(&crc_slice, &stored_crc));
+  if (Crc32c(block.data(), block.size()) != stored_crc) {
+    return Status::Corruption("block checksum mismatch");
+  }
+  const size_t before = out->size();
+  EON_RETURN_IF_ERROR(DecodeChunk(block, type_, out));
+  if (out->size() - before != meta.row_count) {
+    return Status::Corruption("block row count mismatch");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Row>> ScanRosContainer(const Schema& schema,
+                                          const std::string& base_key,
+                                          FileFetcher* fetcher,
+                                          const RosScanOptions& options,
+                                          RosScanStats* stats) {
+  RosScanStats local_stats;
+  RosScanStats* st = stats ? stats : &local_stats;
+
+  // Columns we must fetch: outputs plus predicate inputs.
+  std::set<size_t> needed(options.output_columns.begin(),
+                          options.output_columns.end());
+  if (options.predicate) options.predicate->CollectColumns(&needed);
+  for (size_t col : needed) {
+    if (col >= schema.num_columns()) {
+      return Status::InvalidArgument("column index out of range");
+    }
+  }
+
+  // Fetch and open each needed column file.
+  std::map<size_t, ColumnFileReader> readers;
+  for (size_t col : needed) {
+    EON_ASSIGN_OR_RETURN(
+        std::string data,
+        fetcher->Fetch(RosContainerWriter::ColumnKey(base_key, col)));
+    st->files_fetched++;
+    st->bytes_fetched += data.size();
+    EON_ASSIGN_OR_RETURN(
+        ColumnFileReader reader,
+        ColumnFileReader::Open(std::move(data), schema.column(col).type));
+    readers.emplace(col, std::move(reader));
+  }
+
+  std::vector<Row> out;
+  if (needed.empty()) return out;  // Degenerate: no columns requested.
+
+  const ColumnFileReader& first = readers.begin()->second;
+  const size_t num_blocks = first.num_blocks();
+  // Blocks are aligned across columns by construction; verify.
+  for (const auto& [col, r] : readers) {
+    if (r.num_blocks() != num_blocks || r.row_count() != first.row_count()) {
+      return Status::Corruption("column files disagree on block layout");
+    }
+  }
+
+  for (size_t b = 0; b < num_blocks; ++b) {
+    const BlockMeta& bm = first.block(b);
+    st->blocks_total++;
+
+    // Row-range restriction (container split).
+    const uint64_t block_begin = bm.first_row;
+    const uint64_t block_end = bm.first_row + bm.row_count;
+    if (block_end <= options.row_begin || block_begin >= options.row_end) {
+      st->blocks_pruned++;
+      continue;
+    }
+
+    // Min/max pruning using every fetched column's stats for this block.
+    if (options.predicate) {
+      std::vector<ValueRange> ranges(schema.num_columns());
+      for (const auto& [col, r] : readers) ranges[col] = r.block(b).range;
+      if (!options.predicate->CouldMatch(ranges)) {
+        st->blocks_pruned++;
+        continue;
+      }
+    }
+
+    // Decode the block for each needed column.
+    std::map<size_t, std::vector<Value>> cols;
+    for (const auto& [col, r] : readers) {
+      std::vector<Value> values;
+      EON_RETURN_IF_ERROR(r.DecodeBlock(b, &values));
+      cols.emplace(col, std::move(values));
+    }
+
+    Row probe(schema.num_columns());
+    for (uint64_t i = 0; i < bm.row_count; ++i) {
+      const uint64_t pos = block_begin + i;
+      if (pos < options.row_begin || pos >= options.row_end) continue;
+      st->rows_visited++;
+      if (options.deletes && options.deletes->IsDeleted(pos)) continue;
+      for (const auto& [col, values] : cols) probe[col] = values[i];
+      if (options.predicate && !options.predicate->Eval(probe)) continue;
+      Row out_row;
+      out_row.reserve(options.output_columns.size());
+      for (size_t col : options.output_columns) out_row.push_back(probe[col]);
+      out.push_back(std::move(out_row));
+      st->rows_output++;
+    }
+  }
+  return out;
+}
+
+Result<std::vector<uint64_t>> FindMatchingPositions(
+    const Schema& schema, const std::string& base_key, FileFetcher* fetcher,
+    const PredicatePtr& predicate, const DeleteVector* deletes) {
+  std::set<size_t> needed;
+  if (predicate) predicate->CollectColumns(&needed);
+  if (needed.empty()) {
+    // Match-all: positions derive from any column's footer; fetch column 0.
+    needed.insert(0);
+  }
+
+  std::map<size_t, ColumnFileReader> readers;
+  for (size_t col : needed) {
+    if (col >= schema.num_columns()) {
+      return Status::InvalidArgument("column index out of range");
+    }
+    EON_ASSIGN_OR_RETURN(
+        std::string data,
+        fetcher->Fetch(RosContainerWriter::ColumnKey(base_key, col)));
+    EON_ASSIGN_OR_RETURN(
+        ColumnFileReader reader,
+        ColumnFileReader::Open(std::move(data), schema.column(col).type));
+    readers.emplace(col, std::move(reader));
+  }
+
+  std::vector<uint64_t> positions;
+  const ColumnFileReader& first = readers.begin()->second;
+  for (size_t b = 0; b < first.num_blocks(); ++b) {
+    const BlockMeta& bm = first.block(b);
+    if (predicate) {
+      std::vector<ValueRange> ranges(schema.num_columns());
+      for (const auto& [col, r] : readers) ranges[col] = r.block(b).range;
+      if (!predicate->CouldMatch(ranges)) continue;
+    }
+    std::map<size_t, std::vector<Value>> cols;
+    for (const auto& [col, r] : readers) {
+      std::vector<Value> values;
+      EON_RETURN_IF_ERROR(r.DecodeBlock(b, &values));
+      cols.emplace(col, std::move(values));
+    }
+    Row probe(schema.num_columns());
+    for (uint64_t i = 0; i < bm.row_count; ++i) {
+      const uint64_t pos = bm.first_row + i;
+      if (deletes && deletes->IsDeleted(pos)) continue;
+      for (const auto& [col, values] : cols) probe[col] = values[i];
+      if (predicate && !predicate->Eval(probe)) continue;
+      positions.push_back(pos);
+    }
+  }
+  return positions;
+}
+
+}  // namespace eon

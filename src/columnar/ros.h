@@ -1,0 +1,160 @@
+#ifndef EON_COLUMNAR_ROS_H_
+#define EON_COLUMNAR_ROS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "columnar/delete_vector.h"
+#include "columnar/expression.h"
+#include "columnar/schema.h"
+#include "common/result.h"
+
+namespace eon {
+
+/// Abstraction through which the scan layer obtains whole column files.
+/// In Eon mode the implementation is the node's file cache backed by shared
+/// storage; in Enterprise mode it is the node's private disk; in tests it
+/// is the object store directly. Caching whole files matches the paper's
+/// disk cache of entire data files (Section 5.2).
+class FileFetcher {
+ public:
+  virtual ~FileFetcher() = default;
+
+  /// Return the complete contents of `key`.
+  virtual Result<std::string> Fetch(const std::string& key) = 0;
+};
+
+/// FileFetcher that reads straight from an ObjectStore (no cache).
+class ObjectStore;
+class DirectFetcher : public FileFetcher {
+ public:
+  explicit DirectFetcher(ObjectStore* store) : store_(store) {}
+  Result<std::string> Fetch(const std::string& key) override;
+
+ private:
+  ObjectStore* store_;
+};
+
+/// Per-block metadata kept in each column file's footer: position index
+/// entry plus min/max used by the execution engine to skip blocks
+/// (paper Section 2.3).
+struct BlockMeta {
+  uint64_t offset = 0;       ///< Byte offset of the block in the file.
+  uint64_t length = 0;       ///< Byte length including trailing checksum.
+  uint64_t row_count = 0;
+  uint64_t first_row = 0;    ///< Container-relative position of first row.
+  ValueRange range;
+};
+
+/// One column file of a ROS container, ready to be Put to storage.
+struct RosColumnFile {
+  std::string key;
+  std::string data;
+};
+
+/// Everything produced when writing a ROS container: the immutable column
+/// files plus the stats that go into the catalog's storage metadata.
+struct RosBuildResult {
+  std::vector<RosColumnFile> files;       ///< One per schema column.
+  std::vector<ValueRange> column_ranges;  ///< Container-level min/max.
+  uint64_t row_count = 0;
+  uint64_t total_bytes = 0;
+};
+
+struct RosWriteOptions {
+  uint64_t rows_per_block = 4096;
+};
+
+/// Serializes sorted rows into per-column immutable files. Vertica writes
+/// actual column data followed by a footer with a position index (Section
+/// 2.3); files are never modified once written.
+class RosContainerWriter {
+ public:
+  /// `rows` must already be sorted by the projection sort order; the writer
+  /// does not re-sort (sorting belongs to the load pipeline / mergeout).
+  static Result<RosBuildResult> Build(const Schema& schema,
+                                      const std::vector<Row>& rows,
+                                      const std::string& base_key,
+                                      const RosWriteOptions& options = {});
+
+  /// Storage key of column `col` of the container named `base_key`.
+  static std::string ColumnKey(const std::string& base_key, size_t col);
+};
+
+/// Parses one column file: footer, block index, and on-demand block decode.
+class ColumnFileReader {
+ public:
+  static Result<ColumnFileReader> Open(std::string file_data, DataType type);
+
+  size_t num_blocks() const { return blocks_.size(); }
+  const BlockMeta& block(size_t i) const { return blocks_[i]; }
+  uint64_t row_count() const { return row_count_; }
+
+  /// Decode block `i`, appending its values to `out`.
+  Status DecodeBlock(size_t i, std::vector<Value>* out) const;
+
+ private:
+  ColumnFileReader() = default;
+
+  std::string data_;
+  DataType type_ = DataType::kInt64;
+  std::vector<BlockMeta> blocks_;
+  uint64_t row_count_ = 0;
+};
+
+/// Scan parameters for one ROS container.
+struct RosScanOptions {
+  /// Projection column positions to materialize, in output order.
+  std::vector<size_t> output_columns;
+  /// Optional predicate over the projection row (column positions refer to
+  /// the projection schema). Drives block pruning and row filtering.
+  PredicatePtr predicate;
+  /// Optional tombstones for this container.
+  const DeleteVector* deletes = nullptr;
+  /// Container-relative row range [row_begin, row_end): used by
+  /// container-split crunch scaling (Section 4.4). Default = whole file.
+  uint64_t row_begin = 0;
+  uint64_t row_end = UINT64_MAX;
+};
+
+/// Observability for tests, the cost model, and the pruning benches.
+struct RosScanStats {
+  uint64_t files_fetched = 0;
+  uint64_t bytes_fetched = 0;
+  uint64_t blocks_total = 0;
+  uint64_t blocks_pruned = 0;
+  uint64_t rows_visited = 0;
+  uint64_t rows_output = 0;
+
+  void Add(const RosScanStats& o) {
+    files_fetched += o.files_fetched;
+    bytes_fetched += o.bytes_fetched;
+    blocks_total += o.blocks_total;
+    blocks_pruned += o.blocks_pruned;
+    rows_visited += o.rows_visited;
+    rows_output += o.rows_output;
+  }
+};
+
+/// Scan a ROS container: fetches only the needed column files (true column
+/// store — columns are physically separate), prunes blocks by min/max,
+/// applies the predicate and delete vector, and returns rows containing
+/// exactly `output_columns` in order.
+Result<std::vector<Row>> ScanRosContainer(const Schema& schema,
+                                          const std::string& base_key,
+                                          FileFetcher* fetcher,
+                                          const RosScanOptions& options,
+                                          RosScanStats* stats = nullptr);
+
+/// Container-relative positions of live rows matching `predicate`
+/// (tombstoned positions in `deletes` are excluded). Drives the DELETE
+/// path: delete vectors store positions, not keys (Section 2.3).
+Result<std::vector<uint64_t>> FindMatchingPositions(
+    const Schema& schema, const std::string& base_key, FileFetcher* fetcher,
+    const PredicatePtr& predicate, const DeleteVector* deletes = nullptr);
+
+}  // namespace eon
+
+#endif  // EON_COLUMNAR_ROS_H_

@@ -1,0 +1,20 @@
+#include "columnar/schema.h"
+
+namespace eon {
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::InvalidArgument("no such column: " + name);
+}
+
+bool Schema::RowMatches(const Row& row) const {
+  if (row.size() != columns_.size()) return false;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (!row[i].is_null() && row[i].type() != columns_[i].type) return false;
+  }
+  return true;
+}
+
+}  // namespace eon

@@ -1,0 +1,48 @@
+#ifndef EON_COLUMNAR_SCHEMA_H_
+#define EON_COLUMNAR_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "columnar/types.h"
+#include "common/result.h"
+
+namespace eon {
+
+/// A named, typed column in a table or projection schema.
+struct ColumnDef {
+  std::string name;
+  DataType type = DataType::kInt64;
+
+  bool operator==(const ColumnDef& o) const {
+    return name == o.name && type == o.type;
+  }
+};
+
+/// Ordered list of columns. Immutable once constructed (schema evolution
+/// creates a new Schema version through the catalog).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns)
+      : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Index of the named column, or InvalidArgument.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  /// True if `row` has the right arity and types (nulls always pass).
+  bool RowMatches(const Row& row) const;
+
+  bool operator==(const Schema& o) const { return columns_ == o.columns_; }
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace eon
+
+#endif  // EON_COLUMNAR_SCHEMA_H_

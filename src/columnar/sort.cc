@@ -1,0 +1,56 @@
+#include "columnar/sort.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace eon {
+
+void SortRowsBy(std::vector<Row>* rows, const std::vector<size_t>& sort_cols) {
+  std::stable_sort(rows->begin(), rows->end(), RowComparator{&sort_cols});
+}
+
+bool IsSortedBy(const std::vector<Row>& rows,
+                const std::vector<size_t>& sort_cols) {
+  RowComparator cmp{&sort_cols};
+  for (size_t i = 1; i < rows.size(); ++i) {
+    if (cmp(rows[i], rows[i - 1])) return false;
+  }
+  return true;
+}
+
+std::vector<Row> MergeSortedRuns(std::vector<std::vector<Row>> runs,
+                                 const std::vector<size_t>& sort_cols) {
+  RowComparator cmp{&sort_cols};
+  struct HeapEntry {
+    size_t run;
+    size_t index;
+  };
+  auto heap_cmp = [&](const HeapEntry& a, const HeapEntry& b) {
+    // Min-heap on row order; tie-break on run index for stability.
+    if (cmp(runs[b.run][b.index], runs[a.run][a.index])) return true;
+    if (cmp(runs[a.run][a.index], runs[b.run][b.index])) return false;
+    return a.run > b.run;
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, decltype(heap_cmp)>
+      heap(heap_cmp);
+
+  size_t total = 0;
+  for (size_t r = 0; r < runs.size(); ++r) {
+    total += runs[r].size();
+    if (!runs[r].empty()) heap.push(HeapEntry{r, 0});
+  }
+
+  std::vector<Row> out;
+  out.reserve(total);
+  while (!heap.empty()) {
+    HeapEntry e = heap.top();
+    heap.pop();
+    out.push_back(std::move(runs[e.run][e.index]));
+    if (e.index + 1 < runs[e.run].size()) {
+      heap.push(HeapEntry{e.run, e.index + 1});
+    }
+  }
+  return out;
+}
+
+}  // namespace eon

@@ -1,0 +1,39 @@
+#ifndef EON_COLUMNAR_SORT_H_
+#define EON_COLUMNAR_SORT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "columnar/types.h"
+
+namespace eon {
+
+/// Comparator over the given column positions (lexicographic).
+struct RowComparator {
+  const std::vector<size_t>* sort_columns;
+
+  bool operator()(const Row& a, const Row& b) const {
+    for (size_t col : *sort_columns) {
+      int c = a[col].Compare(b[col]);
+      if (c != 0) return c < 0;
+    }
+    return false;
+  }
+};
+
+/// Stable-sort rows by the projection sort order. Every ROS container is
+/// totally sorted on its projection's sort order (paper Section 2.1).
+void SortRowsBy(std::vector<Row>* rows, const std::vector<size_t>& sort_cols);
+
+/// True if rows are sorted by `sort_cols` (test/mergeout invariant checks).
+bool IsSortedBy(const std::vector<Row>& rows,
+                const std::vector<size_t>& sort_cols);
+
+/// K-way merge of runs that are each sorted by `sort_cols`; the output is
+/// one sorted run. Used by mergeout to combine ROS containers.
+std::vector<Row> MergeSortedRuns(std::vector<std::vector<Row>> runs,
+                                 const std::vector<size_t>& sort_cols);
+
+}  // namespace eon
+
+#endif  // EON_COLUMNAR_SORT_H_

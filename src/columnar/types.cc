@@ -1,0 +1,69 @@
+#include "columnar/types.h"
+
+#include <cstdio>
+
+namespace eon {
+
+const char* DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kInt64: return "int64";
+    case DataType::kDouble: return "double";
+    case DataType::kString: return "string";
+  }
+  return "?";
+}
+
+int Value::Compare(const Value& other) const {
+  EON_CHECK_MSG(type_ == other.type_, "comparing values of different types");
+  if (null_ && other.null_) return 0;
+  if (null_) return -1;
+  if (other.null_) return 1;
+  switch (type_) {
+    case DataType::kInt64:
+      return int_ < other.int_ ? -1 : (int_ > other.int_ ? 1 : 0);
+    case DataType::kDouble:
+      return dbl_ < other.dbl_ ? -1 : (dbl_ > other.dbl_ ? 1 : 0);
+    case DataType::kString:
+      return str_ < other.str_ ? -1 : (str_ > other.str_ ? 1 : 0);
+  }
+  return 0;
+}
+
+uint32_t Value::SegHash() const {
+  if (null_) return 0x9E3779B9u;
+  switch (type_) {
+    case DataType::kInt64:
+      return SegmentationHashInt(int_);
+    case DataType::kDouble: {
+      // Hash the bit pattern; equal doubles hash equal.
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(dbl_));
+      memcpy(&bits, &dbl_, sizeof(bits));
+      return SegmentationHashInt(static_cast<int64_t>(bits));
+    }
+    case DataType::kString:
+      return SegmentationHash(str_.data(), str_.size());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  if (null_) return "NULL";
+  switch (type_) {
+    case DataType::kInt64: {
+      char buf[32];
+      snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(int_));
+      return buf;
+    }
+    case DataType::kDouble: {
+      char buf[48];
+      snprintf(buf, sizeof(buf), "%g", dbl_);
+      return buf;
+    }
+    case DataType::kString:
+      return "'" + str_ + "'";
+  }
+  return "?";
+}
+
+}  // namespace eon

@@ -1,0 +1,103 @@
+#ifndef EON_COLUMNAR_TYPES_H_
+#define EON_COLUMNAR_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace eon {
+
+/// Column data types. Dates/timestamps are stored as kInt64 (days or micros
+/// since epoch), matching how a column engine treats them physically.
+enum class DataType : uint8_t {
+  kInt64 = 0,
+  kDouble = 1,
+  kString = 2,
+};
+
+const char* DataTypeName(DataType t);
+
+/// A single (nullable) typed value. Total order: NULL sorts first, then by
+/// value; comparing values of different types is a programmer error.
+class Value {
+ public:
+  Value() : type_(DataType::kInt64), null_(true) {}
+
+  static Value Null(DataType t) {
+    Value v;
+    v.type_ = t;
+    return v;
+  }
+  static Value Int(int64_t i) {
+    Value v;
+    v.type_ = DataType::kInt64;
+    v.null_ = false;
+    v.int_ = i;
+    return v;
+  }
+  static Value Dbl(double d) {
+    Value v;
+    v.type_ = DataType::kDouble;
+    v.null_ = false;
+    v.dbl_ = d;
+    return v;
+  }
+  static Value Str(std::string s) {
+    Value v;
+    v.type_ = DataType::kString;
+    v.null_ = false;
+    v.str_ = std::move(s);
+    return v;
+  }
+
+  DataType type() const { return type_; }
+  bool is_null() const { return null_; }
+  int64_t int_value() const {
+    EON_CHECK(!null_ && type_ == DataType::kInt64);
+    return int_;
+  }
+  double dbl_value() const {
+    EON_CHECK(!null_ && type_ == DataType::kDouble);
+    return dbl_;
+  }
+  const std::string& str_value() const {
+    EON_CHECK(!null_ && type_ == DataType::kString);
+    return str_;
+  }
+
+  /// Numeric view: int64 widened to double. Precondition: numeric, non-null.
+  double AsDouble() const {
+    return type_ == DataType::kInt64 ? static_cast<double>(int_value())
+                                     : dbl_value();
+  }
+
+  /// Three-way compare. NULL < any non-null; NULL == NULL.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& o) const { return Compare(o) == 0; }
+  bool operator!=(const Value& o) const { return Compare(o) != 0; }
+  bool operator<(const Value& o) const { return Compare(o) < 0; }
+
+  /// Segmentation hash contribution of this value (32-bit space).
+  uint32_t SegHash() const;
+
+  /// Human-readable form for debugging and example output.
+  std::string ToString() const;
+
+ private:
+  DataType type_;
+  bool null_ = true;
+  int64_t int_ = 0;
+  double dbl_ = 0;
+  std::string str_;
+};
+
+/// A tuple: one Value per schema column.
+using Row = std::vector<Value>;
+
+}  // namespace eon
+
+#endif  // EON_COLUMNAR_TYPES_H_

@@ -1,0 +1,52 @@
+#include "columnar/value_codec.h"
+
+namespace eon {
+
+void PutValue(std::string* dst, const Value& v) {
+  dst->push_back(v.is_null() ? 0 : 1);
+  if (v.is_null()) return;
+  switch (v.type()) {
+    case DataType::kInt64:
+      PutVarint64Signed(dst, v.int_value());
+      break;
+    case DataType::kDouble:
+      PutDouble(dst, v.dbl_value());
+      break;
+    case DataType::kString:
+      PutLengthPrefixed(dst, v.str_value());
+      break;
+  }
+}
+
+Status GetValue(Slice* input, DataType type, Value* out) {
+  if (input->empty()) return Status::Corruption("value underflow");
+  uint8_t flag = static_cast<uint8_t>((*input)[0]);
+  input->remove_prefix(1);
+  if (flag == 0) {
+    *out = Value::Null(type);
+    return Status::OK();
+  }
+  switch (type) {
+    case DataType::kInt64: {
+      int64_t i;
+      EON_RETURN_IF_ERROR(GetVarint64Signed(input, &i));
+      *out = Value::Int(i);
+      return Status::OK();
+    }
+    case DataType::kDouble: {
+      double d;
+      EON_RETURN_IF_ERROR(GetDouble(input, &d));
+      *out = Value::Dbl(d);
+      return Status::OK();
+    }
+    case DataType::kString: {
+      Slice s;
+      EON_RETURN_IF_ERROR(GetLengthPrefixed(input, &s));
+      *out = Value::Str(s.ToString());
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("unknown data type");
+}
+
+}  // namespace eon

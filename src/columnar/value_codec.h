@@ -1,0 +1,20 @@
+#ifndef EON_COLUMNAR_VALUE_CODEC_H_
+#define EON_COLUMNAR_VALUE_CODEC_H_
+
+#include <string>
+
+#include "columnar/types.h"
+#include "common/codec.h"
+
+namespace eon {
+
+/// Serialize a single Value (with null flag) for footers, min/max stats,
+/// catalog records, and the RLE/dictionary encodings.
+void PutValue(std::string* dst, const Value& v);
+
+/// Deserialize a Value of known type.
+Status GetValue(Slice* input, DataType type, Value* out);
+
+}  // namespace eon
+
+#endif  // EON_COLUMNAR_VALUE_CODEC_H_

@@ -1,0 +1,18 @@
+#include "common/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace eon {
+
+int64_t WallClock::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void WallClock::AdvanceMicros(int64_t micros) {
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
+
+}  // namespace eon

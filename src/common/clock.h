@@ -1,0 +1,50 @@
+#ifndef EON_COMMON_CLOCK_H_
+#define EON_COMMON_CLOCK_H_
+
+#include <cstdint>
+#include <memory>
+
+namespace eon {
+
+/// Time source abstraction. The whole cluster simulation runs against a
+/// Clock so experiments can use simulated time (deterministic, free to
+/// advance) while examples may use wall time.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in microseconds since an arbitrary epoch.
+  virtual int64_t NowMicros() const = 0;
+
+  /// Advance time by `micros`. Wall clocks sleep; sim clocks jump.
+  virtual void AdvanceMicros(int64_t micros) = 0;
+
+  int64_t NowMillis() const { return NowMicros() / 1000; }
+};
+
+/// Simulated clock: starts at 0, moves only when advanced. Not thread-safe;
+/// the discrete-event simulator owns it.
+class SimClock : public Clock {
+ public:
+  SimClock() = default;
+
+  int64_t NowMicros() const override { return now_; }
+  void AdvanceMicros(int64_t micros) override { now_ += micros; }
+
+  /// Jump directly to an absolute time. Precondition: t >= NowMicros().
+  void SetMicros(int64_t t) { now_ = t; }
+
+ private:
+  int64_t now_ = 0;
+};
+
+/// Real wall-clock time (steady). AdvanceMicros sleeps.
+class WallClock : public Clock {
+ public:
+  int64_t NowMicros() const override;
+  void AdvanceMicros(int64_t micros) override;
+};
+
+}  // namespace eon
+
+#endif  // EON_COMMON_CLOCK_H_

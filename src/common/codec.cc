@@ -1,0 +1,113 @@
+#include "common/codec.h"
+
+#include <cstring>
+
+namespace eon {
+
+void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  memcpy(buf, &v, 4);
+  dst->append(buf, 4);
+}
+
+void PutFixed64(std::string* dst, uint64_t v) {
+  char buf[8];
+  memcpy(buf, &v, 8);
+  dst->append(buf, 8);
+}
+
+void PutVarint32(std::string* dst, uint32_t v) {
+  while (v >= 0x80) {
+    dst->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  dst->push_back(static_cast<char>(v));
+}
+
+void PutVarint64(std::string* dst, uint64_t v) {
+  while (v >= 0x80) {
+    dst->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  dst->push_back(static_cast<char>(v));
+}
+
+void PutVarint64Signed(std::string* dst, int64_t v) {
+  uint64_t zz = (static_cast<uint64_t>(v) << 1) ^
+                static_cast<uint64_t>(v >> 63);
+  PutVarint64(dst, zz);
+}
+
+void PutLengthPrefixed(std::string* dst, const Slice& s) {
+  PutVarint64(dst, s.size());
+  dst->append(s.data(), s.size());
+}
+
+void PutDouble(std::string* dst, double v) {
+  uint64_t bits;
+  memcpy(&bits, &v, 8);
+  PutFixed64(dst, bits);
+}
+
+Status GetFixed32(Slice* input, uint32_t* v) {
+  if (input->size() < 4) return Status::Corruption("fixed32 underflow");
+  memcpy(v, input->data(), 4);
+  input->remove_prefix(4);
+  return Status::OK();
+}
+
+Status GetFixed64(Slice* input, uint64_t* v) {
+  if (input->size() < 8) return Status::Corruption("fixed64 underflow");
+  memcpy(v, input->data(), 8);
+  input->remove_prefix(8);
+  return Status::OK();
+}
+
+Status GetVarint64(Slice* input, uint64_t* v) {
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63 && !input->empty(); shift += 7) {
+    uint8_t byte = static_cast<uint8_t>((*input)[0]);
+    input->remove_prefix(1);
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("varint64 malformed");
+}
+
+Status GetVarint32(Slice* input, uint32_t* v) {
+  uint64_t v64;
+  EON_RETURN_IF_ERROR(GetVarint64(input, &v64));
+  if (v64 > 0xFFFFFFFFull) return Status::Corruption("varint32 overflow");
+  *v = static_cast<uint32_t>(v64);
+  return Status::OK();
+}
+
+Status GetVarint64Signed(Slice* input, int64_t* v) {
+  uint64_t zz;
+  EON_RETURN_IF_ERROR(GetVarint64(input, &zz));
+  *v = static_cast<int64_t>((zz >> 1) ^ (~(zz & 1) + 1));
+  return Status::OK();
+}
+
+Status GetLengthPrefixed(Slice* input, Slice* out) {
+  uint64_t len;
+  EON_RETURN_IF_ERROR(GetVarint64(input, &len));
+  if (input->size() < len) {
+    return Status::Corruption("length-prefixed string underflow");
+  }
+  *out = Slice(input->data(), static_cast<size_t>(len));
+  input->remove_prefix(static_cast<size_t>(len));
+  return Status::OK();
+}
+
+Status GetDouble(Slice* input, double* v) {
+  uint64_t bits;
+  EON_RETURN_IF_ERROR(GetFixed64(input, &bits));
+  memcpy(v, &bits, 8);
+  return Status::OK();
+}
+
+}  // namespace eon

@@ -1,0 +1,39 @@
+#ifndef EON_COMMON_CODEC_H_
+#define EON_COMMON_CODEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace eon {
+
+/// Little-endian fixed-width and varint binary encoding helpers, in the
+/// LevelDB/RocksDB coding style. All storage formats (ROS blocks, catalog
+/// transaction logs, checkpoints) are built on these primitives.
+
+void PutFixed32(std::string* dst, uint32_t v);
+void PutFixed64(std::string* dst, uint64_t v);
+void PutVarint32(std::string* dst, uint32_t v);
+void PutVarint64(std::string* dst, uint64_t v);
+/// Zigzag-encode a signed value then varint it (small magnitudes stay small).
+void PutVarint64Signed(std::string* dst, int64_t v);
+/// Length-prefixed byte string.
+void PutLengthPrefixed(std::string* dst, const Slice& s);
+void PutDouble(std::string* dst, double v);
+
+/// Each Get* consumes from the front of `input` on success and returns OK;
+/// on underflow/corruption it returns Corruption and leaves `input`
+/// unspecified.
+Status GetFixed32(Slice* input, uint32_t* v);
+Status GetFixed64(Slice* input, uint64_t* v);
+Status GetVarint32(Slice* input, uint32_t* v);
+Status GetVarint64(Slice* input, uint64_t* v);
+Status GetVarint64Signed(Slice* input, int64_t* v);
+Status GetLengthPrefixed(Slice* input, Slice* out);
+Status GetDouble(Slice* input, double* v);
+
+}  // namespace eon
+
+#endif  // EON_COMMON_CODEC_H_

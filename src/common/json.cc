@@ -1,0 +1,303 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace eon {
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Int(int64_t i) {
+  JsonValue v;
+  v.type_ = Type::kInt;
+  v.int_ = i;
+  return v;
+}
+
+JsonValue JsonValue::Double(double d) {
+  JsonValue v;
+  v.type_ = Type::kDouble;
+  v.dbl_ = d;
+  return v;
+}
+
+JsonValue JsonValue::Str(std::string s) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.str_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+double JsonValue::double_value() const {
+  return type_ == Type::kInt ? static_cast<double>(int_) : dbl_;
+}
+
+void JsonValue::Append(JsonValue v) { arr_.push_back(std::move(v)); }
+
+void JsonValue::Set(const std::string& key, JsonValue v) {
+  obj_[key] = std::move(v);
+}
+
+bool JsonValue::Has(const std::string& key) const {
+  return obj_.count(key) > 0;
+}
+
+const JsonValue& JsonValue::Get(const std::string& key) const {
+  static const JsonValue* null_value = new JsonValue();
+  auto it = obj_.find(key);
+  return it == obj_.end() ? *null_value : it->second;
+}
+
+namespace {
+
+void EscapeTo(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  switch (type_) {
+    case Type::kNull:
+      out = "null";
+      break;
+    case Type::kBool:
+      out = bool_ ? "true" : "false";
+      break;
+    case Type::kInt: {
+      char buf[32];
+      snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(int_));
+      out = buf;
+      break;
+    }
+    case Type::kDouble: {
+      char buf[64];
+      snprintf(buf, sizeof(buf), "%.17g", dbl_);
+      out = buf;
+      break;
+    }
+    case Type::kString:
+      EscapeTo(str_, &out);
+      break;
+    case Type::kArray: {
+      out = "[";
+      for (size_t i = 0; i < arr_.size(); ++i) {
+        if (i) out += ",";
+        out += arr_[i].Dump();
+      }
+      out += "]";
+      break;
+    }
+    case Type::kObject: {
+      out = "{";
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) out += ",";
+        first = false;
+        EscapeTo(k, &out);
+        out += ":";
+        out += v.Dump();
+      }
+      out += "}";
+      break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Result<JsonValue> Parse() {
+    SkipWs();
+    EON_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+    SkipWs();
+    if (pos_ != s_.size()) {
+      return Status::InvalidArgument("trailing characters in JSON");
+    }
+    return v;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() && isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    if (pos_ >= s_.size()) return Status::InvalidArgument("unexpected EOF");
+    char c = s_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      EON_ASSIGN_OR_RETURN(std::string str, ParseString());
+      return JsonValue::Str(std::move(str));
+    }
+    if (s_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return JsonValue::Null();
+    }
+    if (s_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return JsonValue::Bool(true);
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return JsonValue::Bool(false);
+    }
+    return ParseNumber();
+  }
+
+  Result<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    bool is_double = false;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' ||
+            s_[pos_] == '-')) {
+      if (s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E') {
+        is_double = true;
+      }
+      ++pos_;
+    }
+    if (pos_ == start) return Status::InvalidArgument("bad number");
+    std::string num = s_.substr(start, pos_ - start);
+    if (is_double) return JsonValue::Double(strtod(num.c_str(), nullptr));
+    return JsonValue::Int(strtoll(num.c_str(), nullptr, 10));
+  }
+
+  Result<std::string> ParseString() {
+    if (!Consume('"')) return Status::InvalidArgument("expected '\"'");
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return Status::InvalidArgument("bad escape");
+        char e = s_[pos_++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) {
+              return Status::InvalidArgument("bad \\u escape");
+            }
+            unsigned code = strtoul(s_.substr(pos_, 4).c_str(), nullptr, 16);
+            pos_ += 4;
+            // ASCII-only support; adequate for our metadata files.
+            out.push_back(static_cast<char>(code & 0x7F));
+            break;
+          }
+          default:
+            return Status::InvalidArgument("bad escape char");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    if (!Consume('"')) return Status::InvalidArgument("unterminated string");
+    return out;
+  }
+
+  Result<JsonValue> ParseArray() {
+    Consume('[');
+    JsonValue arr = JsonValue::Array();
+    SkipWs();
+    if (Consume(']')) return arr;
+    while (true) {
+      SkipWs();
+      EON_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+      arr.Append(std::move(v));
+      SkipWs();
+      if (Consume(']')) return arr;
+      if (!Consume(',')) return Status::InvalidArgument("expected ',' or ']'");
+    }
+  }
+
+  Result<JsonValue> ParseObject() {
+    Consume('{');
+    JsonValue obj = JsonValue::Object();
+    SkipWs();
+    if (Consume('}')) return obj;
+    while (true) {
+      SkipWs();
+      EON_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWs();
+      if (!Consume(':')) return Status::InvalidArgument("expected ':'");
+      SkipWs();
+      EON_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+      obj.Set(key, std::move(v));
+      SkipWs();
+      if (Consume('}')) return obj;
+      if (!Consume(',')) return Status::InvalidArgument("expected ',' or '}'");
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> JsonValue::Parse(const std::string& text) {
+  Parser p(text);
+  return p.Parse();
+}
+
+}  // namespace eon

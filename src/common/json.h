@@ -1,0 +1,69 @@
+#ifndef EON_COMMON_JSON_H_
+#define EON_COMMON_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace eon {
+
+/// Minimal JSON document model, sufficient for `cluster_info.json` (paper
+/// Section 3.5) and bench output. Supports null, bool, int64, double,
+/// string, array, object. Keys in objects keep sorted order for
+/// deterministic serialization.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Int(int64_t v);
+  static JsonValue Double(double v);
+  static JsonValue Str(std::string s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+
+  bool bool_value() const { return bool_; }
+  int64_t int_value() const { return int_; }
+  double double_value() const;
+  const std::string& string_value() const { return str_; }
+
+  /// Array ops.
+  void Append(JsonValue v);
+  size_t size() const { return arr_.size(); }
+  const JsonValue& at(size_t i) const { return arr_[i]; }
+
+  /// Object ops. Get returns null value when absent; Has checks presence.
+  void Set(const std::string& key, JsonValue v);
+  bool Has(const std::string& key) const;
+  const JsonValue& Get(const std::string& key) const;
+
+  /// Serialize to compact JSON text.
+  std::string Dump() const;
+
+  /// Parse JSON text.
+  static Result<JsonValue> Parse(const std::string& text);
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double dbl_ = 0;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::map<std::string, JsonValue> obj_;
+};
+
+}  // namespace eon
+
+#endif  // EON_COMMON_JSON_H_

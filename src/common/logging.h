@@ -1,0 +1,72 @@
+#ifndef EON_COMMON_LOGGING_H_
+#define EON_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace eon {
+
+/// Log severity. Default threshold is kWarn so tests/benches stay quiet;
+/// raise with SetLogLevel for debugging.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& msg);
+
+/// Stream collector used by the EON_LOG macro.
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogStream() { LogMessage(level_, file_, line_, ss_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream ss_;
+};
+
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& msg);
+
+}  // namespace internal
+
+#define EON_LOG(level)                                                   \
+  if (static_cast<int>(::eon::LogLevel::level) <                         \
+      static_cast<int>(::eon::GetLogLevel())) {                          \
+  } else                                                                 \
+    ::eon::internal::LogStream(::eon::LogLevel::level, __FILE__, __LINE__)
+
+/// Invariant check: aborts the process with a message on failure. Use for
+/// programmer errors only; recoverable conditions return Status instead.
+#define EON_CHECK(expr)                                                  \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::eon::internal::CheckFailed(__FILE__, __LINE__, #expr, "");       \
+    }                                                                    \
+  } while (false)
+
+#define EON_CHECK_MSG(expr, msg)                                         \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::eon::internal::CheckFailed(__FILE__, __LINE__, #expr, (msg));    \
+    }                                                                    \
+  } while (false)
+
+}  // namespace eon
+
+#endif  // EON_COMMON_LOGGING_H_

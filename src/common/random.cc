@@ -1,0 +1,26 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace eon {
+
+uint64_t Random::Zipf(uint64_t n, double theta) {
+  if (n <= 1) return 0;
+  // zeta(n, theta) approximated by the integral; adequate for workload skew.
+  const double zetan =
+      (std::pow(static_cast<double>(n), 1.0 - theta) - 1.0) / (1.0 - theta) +
+      1.0;
+  const double alpha = 1.0 / (1.0 - theta);
+  const double eta =
+      (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+      (1.0 - 2.0 * (1.0 / zetan));
+  const double u = NextDouble();
+  const double uz = u * zetan;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta)) return 1;
+  uint64_t v = static_cast<uint64_t>(
+      static_cast<double>(n) * std::pow(eta * u - eta + 1.0, alpha));
+  return v >= n ? n - 1 : v;
+}
+
+}  // namespace eon

@@ -1,0 +1,50 @@
+#ifndef EON_COMMON_RANDOM_H_
+#define EON_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+#include "common/hash.h"
+
+namespace eon {
+
+/// Deterministic pseudo-random generator (splitmix64 + xoshiro-style
+/// mixing). Everything in the simulator that needs randomness takes a seeded
+/// Random so every experiment is reproducible bit-for-bit.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : state_(seed ? seed : 0x9E3779B97F4A7C15ULL) {}
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    state_ += 0x9E3779B97F4A7C15ULL;
+    return Mix64(state_);
+  }
+
+  /// Uniform in [0, n). Precondition: n > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Zipfian-distributed value in [0, n) with skew parameter `theta` in
+  /// (0, 1); higher theta = more skew. Uses the quick approximation from
+  /// Gray et al. ("Quickly generating billion-record synthetic databases").
+  uint64_t Zipf(uint64_t n, double theta);
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace eon
+
+#endif  // EON_COMMON_RANDOM_H_

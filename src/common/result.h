@@ -1,0 +1,78 @@
+#ifndef EON_COMMON_RESULT_H_
+#define EON_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace eon {
+
+/// A value-or-error return type: either holds a T or a non-OK Status.
+/// Follows the Arrow Result<T> idiom.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return value;` in Result-returning code.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status: allows `return Status::NotFound(...);`.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Access the contained value. Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assign the value of a Result expression or propagate its error.
+/// Usage: EON_ASSIGN_OR_RETURN(auto x, ComputeX());
+#define EON_ASSIGN_OR_RETURN(decl, expr)             \
+  EON_ASSIGN_OR_RETURN_IMPL(                         \
+      EON_RESULT_CONCAT(_eon_result_, __LINE__), decl, expr)
+
+#define EON_ASSIGN_OR_RETURN_IMPL(tmp, decl, expr)   \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  decl = std::move(tmp).value()
+
+#define EON_RESULT_CONCAT_INNER(a, b) a##b
+#define EON_RESULT_CONCAT(a, b) EON_RESULT_CONCAT_INNER(a, b)
+
+}  // namespace eon
+
+#endif  // EON_COMMON_RESULT_H_

@@ -1,0 +1,134 @@
+#include "common/sid.h"
+
+#include <cstdio>
+
+#include "common/hash.h"
+
+namespace eon {
+
+namespace {
+
+const char kHexDigits[] = "0123456789abcdef";
+
+void AppendHexByte(std::string* out, uint8_t b) {
+  out->push_back(kHexDigits[b >> 4]);
+  out->push_back(kHexDigits[b & 0xF]);
+}
+
+void AppendHex64(std::string* out, uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    AppendHexByte(out, static_cast<uint8_t>(v >> shift));
+  }
+}
+
+int HexVal(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+Result<uint64_t> ParseHex64(const std::string& s, size_t off) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < 16; ++i) {
+    int d = HexVal(s[off + i]);
+    if (d < 0) return Status::InvalidArgument("bad hex digit");
+    v = (v << 4) | static_cast<uint64_t>(d);
+  }
+  return v;
+}
+
+}  // namespace
+
+NodeInstanceId NodeInstanceId::Generate(uint64_t entropy_a,
+                                        uint64_t entropy_b) {
+  NodeInstanceId id;
+  uint64_t a = Mix64(entropy_a ^ 0xA5A5A5A5DEADBEEFULL);
+  uint64_t b = Mix64(entropy_b ^ 0x0123456789ABCDEFULL);
+  uint64_t c = Mix64(a ^ b);
+  for (int i = 0; i < 8; ++i) id.bytes[i] = static_cast<uint8_t>(a >> (8 * i));
+  for (int i = 0; i < 7; ++i) {
+    id.bytes[8 + i] = static_cast<uint8_t>((b ^ c) >> (8 * i));
+  }
+  return id;
+}
+
+std::string NodeInstanceId::ToHex() const {
+  std::string out;
+  out.reserve(30);
+  for (uint8_t b : bytes) AppendHexByte(&out, b);
+  return out;
+}
+
+Result<NodeInstanceId> NodeInstanceId::FromHex(const std::string& hex) {
+  if (hex.size() != 30) {
+    return Status::InvalidArgument("instance id must be 30 hex chars");
+  }
+  NodeInstanceId id;
+  for (size_t i = 0; i < 15; ++i) {
+    int hi = HexVal(hex[2 * i]);
+    int lo = HexVal(hex[2 * i + 1]);
+    if (hi < 0 || lo < 0) return Status::InvalidArgument("bad hex digit");
+    id.bytes[i] = static_cast<uint8_t>((hi << 4) | lo);
+  }
+  return id;
+}
+
+std::string StorageId::ToString() const {
+  std::string out;
+  out.reserve(48);
+  AppendHexByte(&out, version);
+  out += instance.ToHex();
+  AppendHex64(&out, local_id);
+  return out;
+}
+
+Result<StorageId> StorageId::Parse(const std::string& s) {
+  if (s.size() != 48) {
+    return Status::InvalidArgument("storage id must be 48 hex chars");
+  }
+  StorageId sid;
+  int hi = HexVal(s[0]);
+  int lo = HexVal(s[1]);
+  if (hi < 0 || lo < 0) return Status::InvalidArgument("bad hex digit");
+  sid.version = static_cast<uint8_t>((hi << 4) | lo);
+  EON_ASSIGN_OR_RETURN(sid.instance, NodeInstanceId::FromHex(s.substr(2, 30)));
+  EON_ASSIGN_OR_RETURN(sid.local_id, ParseHex64(s, 32));
+  return sid;
+}
+
+bool StorageId::operator<(const StorageId& o) const {
+  if (version != o.version) return version < o.version;
+  if (instance.bytes != o.instance.bytes) {
+    return instance.bytes < o.instance.bytes;
+  }
+  return local_id < o.local_id;
+}
+
+IncarnationId IncarnationId::Generate(uint64_t entropy_a, uint64_t entropy_b) {
+  IncarnationId id;
+  id.hi = Mix64(entropy_a ^ 0x6A09E667F3BCC908ULL);
+  id.lo = Mix64(entropy_b ^ 0xBB67AE8584CAA73BULL);
+  if (id.IsZero()) id.lo = 1;  // Reserve zero for "no incarnation".
+  return id;
+}
+
+std::string IncarnationId::ToHex() const {
+  std::string out;
+  out.reserve(32);
+  AppendHex64(&out, hi);
+  AppendHex64(&out, lo);
+  return out;
+}
+
+Result<IncarnationId> IncarnationId::FromHex(const std::string& hex) {
+  if (hex.size() != 32) {
+    return Status::InvalidArgument("incarnation id must be 32 hex chars");
+  }
+  IncarnationId id;
+  EON_ASSIGN_OR_RETURN(id.hi, ParseHex64(hex, 0));
+  EON_ASSIGN_OR_RETURN(id.lo, ParseHex64(hex, 16));
+  return id;
+}
+
+}  // namespace eon

@@ -1,0 +1,73 @@
+#ifndef EON_COMMON_SID_H_
+#define EON_COMMON_SID_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace eon {
+
+/// Node instance identifier: a strongly random 120-bit value generated once
+/// per Vertica (here: Node) process lifetime. Two clusters cloned from the
+/// same catalog still mint distinct SIDs because their processes have
+/// distinct instance ids (paper Section 5.1, Figure 7).
+struct NodeInstanceId {
+  std::array<uint8_t, 15> bytes{};  // 120 bits.
+
+  /// Mint a fresh instance id from the given entropy source state.
+  static NodeInstanceId Generate(uint64_t entropy_a, uint64_t entropy_b);
+
+  std::string ToHex() const;
+  static Result<NodeInstanceId> FromHex(const std::string& hex);
+
+  bool operator==(const NodeInstanceId& o) const { return bytes == o.bytes; }
+  bool operator!=(const NodeInstanceId& o) const { return !(*this == o); }
+};
+
+/// Globally unique Storage Identifier (Figure 7):
+///   version (8 bits) | node instance id (120 bits) | local id (64 bits)
+/// Used to construct object names on shared storage; every node can mint
+/// SIDs without coordination, so all nodes write into one flat namespace
+/// without collision.
+struct StorageId {
+  uint8_t version = 1;
+  NodeInstanceId instance;
+  uint64_t local_id = 0;  ///< Catalog OID counter component.
+
+  /// Canonical object-name form: lowercase hex, 48 chars:
+  ///   vv + 30 hex chars of instance + 16 hex chars of local id.
+  std::string ToString() const;
+  static Result<StorageId> Parse(const std::string& s);
+
+  bool operator==(const StorageId& o) const {
+    return version == o.version && instance == o.instance &&
+           local_id == o.local_id;
+  }
+  bool operator!=(const StorageId& o) const { return !(*this == o); }
+  bool operator<(const StorageId& o) const;
+};
+
+/// 128-bit incarnation id (RFC 4122-style UUID without the variant
+/// bookkeeping). Changes on every revive so each revived cluster writes
+/// metadata to a distinct location (paper Section 3.5).
+struct IncarnationId {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  static IncarnationId Generate(uint64_t entropy_a, uint64_t entropy_b);
+
+  std::string ToHex() const;
+  static Result<IncarnationId> FromHex(const std::string& hex);
+
+  bool IsZero() const { return hi == 0 && lo == 0; }
+  bool operator==(const IncarnationId& o) const {
+    return hi == o.hi && lo == o.lo;
+  }
+  bool operator!=(const IncarnationId& o) const { return !(*this == o); }
+};
+
+}  // namespace eon
+
+#endif  // EON_COMMON_SID_H_

@@ -1,0 +1,109 @@
+#ifndef EON_COMMON_STATUS_H_
+#define EON_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace eon {
+
+/// Outcome of an operation that can fail. Modeled after the RocksDB/Arrow
+/// Status idiom: core code paths never throw; errors propagate as values.
+///
+/// A Status is cheap to copy when OK (no allocation) and carries a code plus
+/// a human-readable message otherwise.
+class Status {
+ public:
+  /// Error taxonomy. Codes are stable and used in tests; add at the end.
+  enum class Code : int {
+    kOk = 0,
+    kNotFound = 1,        ///< Object/key/file does not exist.
+    kAlreadyExists = 2,   ///< Create of something that exists (immutability).
+    kInvalidArgument = 3, ///< Caller passed something malformed.
+    kIOError = 4,         ///< Storage subsystem failure (possibly transient).
+    kCorruption = 5,      ///< Data failed validation (checksum, magic, ...).
+    kNotSupported = 6,    ///< Operation not available (e.g. append on S3).
+    kAborted = 7,         ///< Transaction rolled back (OCC conflict, ...).
+    kUnavailable = 8,     ///< Node down, quorum lost, lease held, throttled.
+    kTimedOut = 9,        ///< Retries exhausted.
+    kOutOfRange = 10,     ///< Read past end, bad offset.
+    kInternal = 11,       ///< Invariant violation; indicates a bug.
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(Code::kAborted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(Code::kTimedOut, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+  bool IsTimedOut() const { return code_ == Code::kTimedOut; }
+  bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+/// Propagate a non-OK status to the caller. Use in functions returning Status.
+#define EON_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::eon::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+}  // namespace eon
+
+#endif  // EON_COMMON_STATUS_H_

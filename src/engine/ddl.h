@@ -1,0 +1,106 @@
+#ifndef EON_ENGINE_DDL_H_
+#define EON_ENGINE_DDL_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "columnar/agg.h"
+
+namespace eon {
+
+/// Declarative projection description (CREATE PROJECTION ... SEGMENTED BY
+/// HASH(cols), Section 2.2). Names refer to table columns.
+struct ProjectionSpec {
+  std::string name;
+  /// Projection columns; empty = all table columns (a superprojection).
+  std::vector<std::string> columns;
+  std::vector<std::string> sort_columns;
+  /// Segmentation clause; empty = replicated projection.
+  std::vector<std::string> segmentation_columns;
+};
+
+/// Create a table plus its projections in one transaction. The first
+/// projection must be a superprojection (all columns) so DML (UPDATE,
+/// mergeout) can reconstruct complete tuples. Returns the table oid.
+Result<Oid> CreateTable(EonCluster* cluster, const std::string& name,
+                        const Schema& schema,
+                        std::optional<std::string> partition_column,
+                        const std::vector<ProjectionSpec>& projections);
+
+/// One aggregate column of a live aggregate projection (by name).
+struct LiveAggColumn {
+  AggFn fn = AggFn::kCount;
+  std::string column;  ///< Base column; empty for kCount.
+};
+
+/// Create a live aggregate projection (Section 2.1): a materialized table
+/// of per-group partial aggregates (COUNT/SUM/MIN/MAX), sorted and
+/// segmented by the group columns, maintained automatically at load time
+/// and used by the optimizer to answer matching aggregate queries without
+/// touching the base data. In exchange, the base table loses DELETE and
+/// UPDATE (the paper's "restrictions on how the base table can be
+/// updated"). Existing base data is backfilled. Returns the oid of the
+/// materializing table.
+Result<Oid> CreateLiveAggregateProjection(
+    EonCluster* cluster, const std::string& base_table,
+    const std::string& name, const std::vector<std::string>& group_columns,
+    const std::vector<LiveAggColumn>& aggregates);
+
+/// One denormalized column clause of a flattened table (by name).
+struct FlattenedColumn {
+  std::string as;         ///< New column name on the flattened table.
+  std::string fact_key;   ///< Join key column on the flattened table.
+  std::string dim_table;  ///< Dimension table.
+  std::string dim_key;    ///< Join key column on the dimension.
+  std::string dim_value;  ///< Dimension column to copy.
+};
+
+/// Create a flattened table (Section 2.1): `base_schema` plus one derived
+/// column per clause, denormalized by joining against the dimension at
+/// load time. Loads provide rows with the base columns only; the engine
+/// appends the looked-up values. RefreshFlattenedTable re-derives the
+/// denormalized columns after the dimension changes.
+Result<Oid> CreateFlattenedTable(
+    EonCluster* cluster, const std::string& name, const Schema& base_schema,
+    std::optional<std::string> partition_column,
+    const std::vector<ProjectionSpec>& projections,
+    const std::vector<FlattenedColumn>& flattened_columns);
+
+/// Re-derive every denormalized column of a flattened table from the
+/// current dimension contents (the paper's refresh mechanism). Returns the
+/// number of rows whose values changed.
+Result<uint64_t> RefreshFlattenedTable(EonCluster* cluster,
+                                       const std::string& table);
+
+/// copy_table (Section 5.1): clone a table's definition AND reference the
+/// SAME storage files from the new table's containers — "storage is not
+/// owned by any particular node ... [or] tied to a specific table". No
+/// data is read or written; only metadata commits. Returns the new
+/// table's oid.
+Result<Oid> CopyTable(EonCluster* cluster, const std::string& source,
+                      const std::string& destination);
+
+/// DROP TABLE (cascades to the table's live aggregate projections).
+/// Storage files are handed to the reaper only when no other table's
+/// containers still reference them (the copy_table sharing case).
+Status DropTable(EonCluster* cluster, const std::string& table);
+
+/// CREATE PROJECTION on an existing table: registers the projection and
+/// backfills it from the superprojection so it can serve queries
+/// immediately. Returns the projection oid.
+Result<Oid> AddProjection(EonCluster* cluster, const std::string& table,
+                          const ProjectionSpec& spec);
+
+/// ADD COLUMN under optimistic concurrency control (Section 6.3): the new
+/// table definition is prepared offline against a snapshot; commit
+/// validates the table's version in the OCC write set and aborts on
+/// conflict (caller re-reads and retries). New columns read as NULL from
+/// containers written before the change.
+Status AddColumn(EonCluster* cluster, const std::string& table,
+                 const ColumnDef& column);
+
+}  // namespace eon
+
+#endif  // EON_ENGINE_DDL_H_

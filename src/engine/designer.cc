@@ -1,0 +1,192 @@
+#include "engine/designer.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace eon {
+
+namespace {
+
+/// Workload features extracted for one query touching the target table.
+struct QueryFeatures {
+  std::set<std::string> columns;        ///< Columns the query reads.
+  std::vector<std::string> predicates;  ///< Filtered columns (sort cands).
+  std::string key_column;  ///< Join or group key (segmentation candidate).
+};
+
+void CollectPredicateColumns(const PredicatePtr& pred, const Schema& schema,
+                             QueryFeatures* f) {
+  if (pred == nullptr) return;
+  std::set<size_t> cols;
+  pred->CollectColumns(&cols);
+  for (size_t c : cols) {
+    if (c < schema.num_columns()) {
+      f->predicates.push_back(schema.column(c).name);
+      f->columns.insert(schema.column(c).name);
+    }
+  }
+}
+
+}  // namespace
+
+Result<std::vector<DesignedProjection>> DesignProjections(
+    const CatalogState& state, const DesignInput& input) {
+  const TableDef* table = state.FindTableByName(input.table);
+  if (table == nullptr) {
+    return Status::NotFound("no such table: " + input.table);
+  }
+
+  // --- Feature extraction per query. ---
+  std::vector<QueryFeatures> features;
+  for (const QuerySpec& q : input.workload) {
+    QueryFeatures f;
+    bool touches = false;
+    if (q.scan.table == input.table) {
+      touches = true;
+      for (const std::string& c : q.scan.columns) {
+        if (table->schema.IndexOf(c).ok()) f.columns.insert(c);
+      }
+      CollectPredicateColumns(q.scan.predicate, table->schema, &f);
+      if (q.join && table->schema.IndexOf(q.join->left_key).ok()) {
+        f.key_column = q.join->left_key;
+        f.columns.insert(q.join->left_key);
+      }
+    } else if (q.join && q.join->right.table == input.table) {
+      touches = true;
+      for (const std::string& c : q.join->right.columns) {
+        if (table->schema.IndexOf(c).ok()) f.columns.insert(c);
+      }
+      CollectPredicateColumns(q.join->right.predicate, table->schema, &f);
+      if (table->schema.IndexOf(q.join->right_key).ok()) {
+        f.key_column = q.join->right_key;
+        f.columns.insert(q.join->right_key);
+      }
+    }
+    if (!touches) continue;
+    // Group-by keys segment just as well as join keys (local group-by).
+    if (f.key_column.empty()) {
+      for (const std::string& g : q.group_by) {
+        if (table->schema.IndexOf(g).ok()) {
+          f.key_column = g;
+          f.columns.insert(g);
+          break;
+        }
+      }
+    }
+    for (const AggSpec& a : q.aggregates) {
+      if (!a.column.empty() && table->schema.IndexOf(a.column).ok()) {
+        f.columns.insert(a.column);
+      }
+    }
+    features.push_back(std::move(f));
+  }
+  if (features.empty()) {
+    return Status::InvalidArgument(
+        "workload contains no queries touching " + input.table);
+  }
+
+  // --- Candidate formation: group queries by segmentation key. ---
+  std::map<std::string, std::vector<const QueryFeatures*>> by_key;
+  for (const QueryFeatures& f : features) {
+    by_key[f.key_column].push_back(&f);  // "" bucket = no key preference.
+  }
+
+  struct Candidate {
+    std::string seg_column;
+    std::string sort_column;
+    std::set<std::string> columns;
+    int benefit = 0;
+  };
+  std::vector<Candidate> candidates;
+  for (auto& [key, fs] : by_key) {
+    Candidate cand;
+    cand.seg_column = key;
+    cand.benefit = static_cast<int>(fs.size());
+    // Most common predicate column becomes the sort order (pruning).
+    std::map<std::string, int> pred_freq;
+    for (const QueryFeatures* f : fs) {
+      cand.columns.insert(f->columns.begin(), f->columns.end());
+      for (const std::string& p : f->predicates) pred_freq[p]++;
+    }
+    int best = 0;
+    for (const auto& [col, n] : pred_freq) {
+      if (n > best) {
+        best = n;
+        cand.sort_column = col;
+      }
+    }
+    if (cand.sort_column.empty()) {
+      cand.sort_column = !key.empty() ? key : *cand.columns.begin();
+    }
+    if (!key.empty()) cand.columns.insert(key);
+    candidates.push_back(std::move(cand));
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.benefit > b.benefit;
+            });
+
+  // --- Suppress candidates an existing projection already serves. ---
+  auto already_served = [&](const Candidate& c) {
+    for (const ProjectionDef* proj : state.ProjectionsOf(table->oid)) {
+      // Segmentation match?
+      bool seg_match;
+      if (c.seg_column.empty()) {
+        seg_match = true;  // Any projection covers a keyless scan.
+      } else {
+        seg_match = proj->segmentation_columns.size() == 1 &&
+                    table->schema.column(
+                            proj->columns[proj->segmentation_columns[0]])
+                            .name == c.seg_column;
+      }
+      if (!seg_match) continue;
+      // Column coverage?
+      std::set<std::string> have;
+      for (size_t pc : proj->columns) {
+        have.insert(table->schema.column(pc).name);
+      }
+      bool covers = true;
+      for (const std::string& col : c.columns) {
+        if (!have.count(col)) covers = false;
+      }
+      if (covers) return true;
+    }
+    return false;
+  };
+
+  std::vector<DesignedProjection> design;
+  for (const Candidate& c : candidates) {
+    if (design.size() >= input.max_projections) break;
+    if (already_served(c)) continue;
+    DesignedProjection d;
+    d.queries_benefited = c.benefit;
+    d.spec.name = input.table + "_dd_" +
+                  (c.seg_column.empty() ? "scan" : c.seg_column);
+    d.spec.columns.assign(c.columns.begin(), c.columns.end());
+    d.spec.sort_columns = {c.sort_column};
+    if (!c.seg_column.empty()) {
+      d.spec.segmentation_columns = {c.seg_column};
+      d.rationale = "segments by " + c.seg_column + " for local join/group (" +
+                    std::to_string(c.benefit) + " queries); sorts by " +
+                    c.sort_column + " for min/max pruning";
+    } else {
+      d.spec.segmentation_columns = {c.sort_column};
+      d.rationale = "narrow scan projection sorted by " + c.sort_column +
+                    " (" + std::to_string(c.benefit) + " queries)";
+    }
+    design.push_back(std::move(d));
+  }
+  return design;
+}
+
+Status ApplyDesign(EonCluster* cluster, const std::string& table,
+                   const std::vector<DesignedProjection>& design) {
+  for (const DesignedProjection& d : design) {
+    Result<Oid> r = AddProjection(cluster, table, d.spec);
+    if (!r.ok()) return r.status();
+  }
+  return Status::OK();
+}
+
+}  // namespace eon

@@ -1,0 +1,49 @@
+#ifndef EON_ENGINE_DESIGNER_H_
+#define EON_ENGINE_DESIGNER_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/ddl.h"
+#include "engine/query.h"
+
+namespace eon {
+
+/// Input to the Database Designer (Section 2.1: "a Database Designer
+/// utility that uses the schema, some sample data, and queries from the
+/// workload to automatically determine an optimized set of projections").
+struct DesignInput {
+  std::string table;
+  std::vector<QuerySpec> workload;
+  /// Cap on proposed projections beyond what already exists (customers
+  /// typically keep one to four projections per table).
+  size_t max_projections = 3;
+};
+
+/// One proposed projection with the evidence behind it.
+struct DesignedProjection {
+  ProjectionSpec spec;
+  /// Number of workload queries this projection improves.
+  int queries_benefited = 0;
+  /// Human-readable reasoning ("co-segments join on l_orderkey; sort on
+  /// l_shipdate prunes 12 predicates").
+  std::string rationale;
+};
+
+/// Analyze the workload and propose projections for `table`:
+///  - join keys and group-by keys become segmentation candidates
+///    (enables local joins / local group-bys, Section 2.2);
+///  - frequently filtered columns become sort-order candidates (sorted
+///    min/max pruning, Section 2.1);
+///  - each proposal carries only the columns its queries touch.
+/// Proposals equivalent to existing projections are suppressed.
+Result<std::vector<DesignedProjection>> DesignProjections(
+    const CatalogState& state, const DesignInput& input);
+
+/// Create and backfill every proposed projection.
+Status ApplyDesign(EonCluster* cluster, const std::string& table,
+                   const std::vector<DesignedProjection>& design);
+
+}  // namespace eon
+
+#endif  // EON_ENGINE_DESIGNER_H_

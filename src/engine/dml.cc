@@ -1,0 +1,629 @@
+#include "engine/dml.h"
+
+#include <algorithm>
+#include <map>
+
+#include "columnar/sort.h"
+#include "engine/executor.h"
+
+namespace eon {
+
+Result<PredicatePtr> RebindPredicate(const PredicatePtr& pred,
+                                     const ProjectionDef& proj) {
+  if (pred == nullptr) return PredicatePtr(nullptr);
+  switch (pred->kind()) {
+    case Predicate::Kind::kTrue:
+      return Predicate::True();
+    case Predicate::Kind::kCmp: {
+      for (size_t pos = 0; pos < proj.columns.size(); ++pos) {
+        if (proj.columns[pos] == pred->col_index()) {
+          return Predicate::Cmp(pos, pred->op(), pred->literal());
+        }
+      }
+      return Status::InvalidArgument(
+          "projection " + proj.name + " lacks predicate column " +
+          std::to_string(pred->col_index()));
+    }
+    case Predicate::Kind::kAnd: {
+      EON_ASSIGN_OR_RETURN(PredicatePtr l, RebindPredicate(pred->left(), proj));
+      EON_ASSIGN_OR_RETURN(PredicatePtr r,
+                           RebindPredicate(pred->right(), proj));
+      return Predicate::And(std::move(l), std::move(r));
+    }
+    case Predicate::Kind::kOr: {
+      EON_ASSIGN_OR_RETURN(PredicatePtr l, RebindPredicate(pred->left(), proj));
+      EON_ASSIGN_OR_RETURN(PredicatePtr r,
+                           RebindPredicate(pred->right(), proj));
+      return Predicate::Or(std::move(l), std::move(r));
+    }
+    case Predicate::Kind::kNot: {
+      EON_ASSIGN_OR_RETURN(PredicatePtr l, RebindPredicate(pred->left(), proj));
+      return Predicate::Not(std::move(l));
+    }
+  }
+  return Status::Internal("unknown predicate kind");
+}
+
+Result<DeleteVector> LoadDeleteVector(const CatalogState& state,
+                                      const StorageContainerMeta& container,
+                                      FileFetcher* fetcher) {
+  DeleteVector merged;
+  for (const DeleteVectorMeta* meta : state.DeleteVectorsOf(container.oid)) {
+    EON_ASSIGN_OR_RETURN(std::string data, fetcher->Fetch(meta->key));
+    EON_ASSIGN_OR_RETURN(DeleteVector dv, DeleteVector::Deserialize(data));
+    merged.Union(dv);
+  }
+  return merged;
+}
+
+namespace {
+
+/// One container's worth of rows ready to write: target shard + the rows.
+struct WriteGroup {
+  ShardId shard = 0;
+  std::vector<Row> rows;
+};
+
+/// Split projection rows by shard, then by table partition value within
+/// each shard (each file contains data from only one partition so file
+/// pruning aligns with the partition expression, Section 2.1).
+std::vector<WriteGroup> SplitRows(const ShardingConfig& sharding,
+                                  const ProjectionDef& proj,
+                                  std::optional<size_t> partition_col_in_proj,
+                                  std::vector<Row> proj_rows) {
+  // Shard bucketing: replicated projections go whole to the replica shard.
+  std::map<ShardId, std::vector<Row>> by_shard;
+  if (proj.replicated()) {
+    by_shard[sharding.replica_shard()] = std::move(proj_rows);
+  } else {
+    for (Row& row : proj_rows) {
+      ShardId s = sharding.ShardForHash(proj.SegHashRow(row));
+      by_shard[s].push_back(std::move(row));
+    }
+  }
+
+  std::vector<WriteGroup> groups;
+  for (auto& [shard, rows] : by_shard) {
+    if (rows.empty()) continue;
+    if (!partition_col_in_proj.has_value()) {
+      groups.push_back(WriteGroup{shard, std::move(rows)});
+      continue;
+    }
+    std::map<Value, std::vector<Row>> by_partition;
+    for (Row& row : rows) {
+      by_partition[row[*partition_col_in_proj]].push_back(std::move(row));
+    }
+    for (auto& [value, part_rows] : by_partition) {
+      groups.push_back(WriteGroup{shard, std::move(part_rows)});
+    }
+  }
+  return groups;
+}
+
+/// Position of the table partition column within the projection, if the
+/// projection carries it.
+std::optional<size_t> PartitionColInProj(const TableDef& table,
+                                         const ProjectionDef& proj) {
+  if (!table.partition_column.has_value()) return std::nullopt;
+  for (size_t pos = 0; pos < proj.columns.size(); ++pos) {
+    if (proj.columns[pos] == *table.partition_column) return pos;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::vector<Row> ComputeLiveAggRows(const TableDef& lap,
+                                    const std::vector<Row>& base_rows) {
+  struct KeyLess {
+    bool operator()(const std::vector<Value>& a,
+                    const std::vector<Value>& b) const {
+      for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+        int c = a[i].Compare(b[i]);
+        if (c != 0) return c < 0;
+      }
+      return a.size() < b.size();
+    }
+  };
+  struct Partial {
+    int64_t count = 0;
+    double sum = 0;
+    int64_t sum_int = 0;
+    bool sum_is_int = true;
+    Value min, max;
+  };
+  std::map<std::vector<Value>, std::vector<Partial>, KeyLess> groups;
+  for (const Row& row : base_rows) {
+    std::vector<Value> key;
+    key.reserve(lap.lap_group_columns.size());
+    for (size_t c : lap.lap_group_columns) key.push_back(row[c]);
+    auto [it, inserted] = groups.try_emplace(
+        std::move(key), std::vector<Partial>(lap.lap_aggs.size()));
+    for (size_t a = 0; a < lap.lap_aggs.size(); ++a) {
+      Partial& p = it->second[a];
+      const LiveAggSpec& spec = lap.lap_aggs[a];
+      if (spec.fn == AggFn::kCount) {
+        p.count++;
+        continue;
+      }
+      const Value& v = row[spec.source_column];
+      if (v.is_null()) continue;
+      switch (spec.fn) {
+        case AggFn::kSum:
+          if (v.type() == DataType::kInt64) {
+            p.sum_int += v.int_value();
+          } else {
+            p.sum_is_int = false;
+            p.sum += v.AsDouble();
+          }
+          break;
+        case AggFn::kMin:
+          if (p.min.is_null() || v.Compare(p.min) < 0) p.min = v;
+          break;
+        case AggFn::kMax:
+          if (p.max.is_null() || v.Compare(p.max) > 0) p.max = v;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  std::vector<Row> out;
+  out.reserve(groups.size());
+  const size_t ngroups = lap.lap_group_columns.size();
+  for (const auto& [key, partials] : groups) {
+    Row row = key;
+    for (size_t a = 0; a < partials.size(); ++a) {
+      const Partial& p = partials[a];
+      const LiveAggSpec& spec = lap.lap_aggs[a];
+      const DataType agg_type = lap.schema.column(ngroups + a).type;
+      switch (spec.fn) {
+        case AggFn::kCount:
+          row.push_back(Value::Int(p.count));
+          break;
+        case AggFn::kSum:
+          if (agg_type == DataType::kInt64) {
+            row.push_back(Value::Int(p.sum_int));
+          } else {
+            row.push_back(Value::Dbl(p.sum + static_cast<double>(p.sum_int)));
+          }
+          break;
+        case AggFn::kMin:
+          row.push_back(p.min.is_null() ? Value::Null(agg_type) : p.min);
+          break;
+        case AggFn::kMax:
+          row.push_back(p.max.is_null() ? Value::Null(agg_type) : p.max);
+          break;
+        default:
+          row.push_back(Value::Null(agg_type));
+          break;
+      }
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+Result<std::map<Value, Value>> BuildDimensionLookup(
+    EonCluster* cluster, const CatalogState& snapshot,
+    const FlattenedColDef& def) {
+  const TableDef* dim = snapshot.FindTable(def.dim_table);
+  if (dim == nullptr) return Status::NotFound("flattened dimension dropped");
+  QuerySpec q;
+  q.scan.table = dim->name;
+  q.scan.columns = {dim->schema.column(def.dim_key_column).name,
+                    dim->schema.column(def.dim_value_column).name};
+  EON_ASSIGN_OR_RETURN(ExecContext ctx,
+                       BuildExecContext(cluster, "", def.dim_table));
+  EON_ASSIGN_OR_RETURN(QueryResult result, ExecuteQuery(cluster, q, ctx));
+  std::map<Value, Value> lookup;
+  for (Row& row : result.rows) lookup[row[0]] = row[1];
+  return lookup;
+}
+
+Result<uint64_t> CopyInto(EonCluster* cluster, const std::string& table,
+                          const std::vector<Row>& rows,
+                          const CopyOptions& options) {
+  Node* coord = cluster->AnyUpNode();
+  if (coord == nullptr) return Status::Unavailable("no up nodes");
+  auto snapshot = coord->catalog()->snapshot();
+  const TableDef* tdef = snapshot->FindTableByName(table);
+  if (tdef == nullptr) return Status::NotFound("no such table: " + table);
+  if (tdef->is_live_aggregate()) {
+    return Status::InvalidArgument(
+        "cannot COPY directly into a live aggregate projection");
+  }
+
+  // Flattened-table denormalization (Section 2.1): callers load the base
+  // columns; the derived columns are filled by joining the dimensions at
+  // load time.
+  std::vector<Row> expanded;
+  const std::vector<Row>* effective_rows = &rows;
+  if (tdef->is_flattened()) {
+    const size_t base_arity =
+        tdef->schema.num_columns() - tdef->flattened.size();
+    std::vector<std::map<Value, Value>> lookups;
+    for (const FlattenedColDef& def : tdef->flattened) {
+      using DimLookupMap = std::map<Value, Value>;
+      EON_ASSIGN_OR_RETURN(DimLookupMap lookup,
+                           BuildDimensionLookup(cluster, *snapshot, def));
+      lookups.push_back(std::move(lookup));
+    }
+    expanded.reserve(rows.size());
+    for (const Row& row : rows) {
+      if (row.size() != base_arity) {
+        return Status::InvalidArgument(
+            "flattened table load expects the base columns only");
+      }
+      Row full = row;
+      for (size_t i = 0; i < tdef->flattened.size(); ++i) {
+        const FlattenedColDef& def = tdef->flattened[i];
+        const DataType type = tdef->schema.column(def.target_column).type;
+        auto it = lookups[i].find(full[def.fact_key_column]);
+        full.push_back(it == lookups[i].end() ? Value::Null(type)
+                                              : it->second);
+      }
+      expanded.push_back(std::move(full));
+    }
+    effective_rows = &expanded;
+  }
+
+  // Live aggregate maintenance (Section 2.1): the same load transaction
+  // appends each LAP's partial aggregates for this batch.
+  std::vector<std::pair<std::string, std::vector<Row>>> loads;
+  loads.emplace_back(table, *effective_rows);
+  for (const auto& [oid, t] : snapshot->tables) {
+    if (t.lap_base == tdef->oid) {
+      loads.emplace_back(t.name, ComputeLiveAggRows(t, *effective_rows));
+    }
+  }
+  return LoadIntoTables(cluster, loads, options);
+}
+
+namespace {
+
+/// Shared writer: when `only_projection` is set, containers are written
+/// for that projection alone (new-projection backfill).
+Result<uint64_t> LoadIntoTablesFiltered(
+    EonCluster* cluster,
+    const std::vector<std::pair<std::string, std::vector<Row>>>& loads,
+    const CopyOptions& options, Oid only_projection) {
+  Node* coord = cluster->AnyUpNode();
+  if (coord == nullptr) return Status::Unavailable("no up nodes");
+  auto snapshot = coord->catalog()->snapshot();
+  for (const auto& [table, rows] : loads) {
+    const TableDef* tdef = snapshot->FindTableByName(table);
+    if (tdef == nullptr) return Status::NotFound("no such table: " + table);
+    for (const Row& row : rows) {
+      if (!tdef->schema.RowMatches(row)) {
+        return Status::InvalidArgument("row does not match table schema of " +
+                                       table);
+      }
+    }
+  }
+
+  ParticipationOptions popts;
+  popts.variation_seed = options.variation_seed;
+  EON_ASSIGN_OR_RETURN(
+      ParticipationResult participation,
+      SelectParticipatingNodes(*snapshot, cluster->up_node_oids(), popts));
+
+  const std::set<SubscriptionState> receiving = {
+      SubscriptionState::kPending, SubscriptionState::kPassive,
+      SubscriptionState::kActive, SubscriptionState::kRemoving};
+
+  CatalogTxn txn;
+  std::map<ShardId, std::set<Oid>> observed_subscribers;
+  std::vector<std::string> uploaded_keys;  // For rollback.
+
+  // Roll back uploads if anything fails past the first upload.
+  auto rollback = [&]() {
+    for (const std::string& key : uploaded_keys) {
+      cluster->shared_storage()->Delete(key);  // Best effort.
+      for (const auto& n : cluster->nodes()) n->cache()->Drop(key);
+    }
+  };
+
+  for (const auto& [load_table, rows] : loads) {
+  const TableDef* tdef = snapshot->FindTableByName(load_table);
+  for (const auto& [poid, proj] : snapshot->projections) {
+    if (proj.table_oid != tdef->oid) continue;
+    if (only_projection != kInvalidOid && proj.oid != only_projection) {
+      continue;
+    }
+
+    // Project table rows onto the projection's columns.
+    std::vector<Row> proj_rows;
+    proj_rows.reserve(rows.size());
+    for (const Row& row : rows) {
+      Row pr;
+      pr.reserve(proj.columns.size());
+      for (size_t tc : proj.columns) pr.push_back(row[tc]);
+      proj_rows.push_back(std::move(pr));
+    }
+
+    const Schema proj_schema = proj.DeriveSchema(tdef->schema);
+    std::vector<WriteGroup> groups =
+        SplitRows(snapshot->sharding, proj, PartitionColInProj(*tdef, proj),
+                  std::move(proj_rows));
+
+    for (WriteGroup& group : groups) {
+      // Writer: the participating node for segment shards; replicated
+      // projections use a single participating node as the writer.
+      Oid writer_oid;
+      if (group.shard == snapshot->sharding.replica_shard()) {
+        writer_oid = *participation.Nodes().begin();
+      } else {
+        writer_oid = participation.shard_to_node.at(group.shard);
+      }
+      Node* writer = cluster->node(writer_oid);
+      if (writer == nullptr || !writer->is_up()) {
+        rollback();
+        return Status::Unavailable("writer node is down");
+      }
+      for (Oid sub : snapshot->SubscribersOf(group.shard, receiving)) {
+        observed_subscribers[group.shard].insert(sub);
+      }
+
+      // Each container is totally sorted by the projection sort order.
+      SortRowsBy(&group.rows, proj.sort_columns);
+
+      const std::string base_key = writer->MintStorageKey("data/");
+      RosWriteOptions wopts;
+      wopts.rows_per_block = options.rows_per_block;
+      Result<RosBuildResult> built =
+          RosContainerWriter::Build(proj_schema, group.rows, base_key, wopts);
+      if (!built.ok()) {
+        rollback();
+        return built.status();
+      }
+
+      for (const RosColumnFile& file : built->files) {
+        // Write-through the writer's cache, upload, then push to peers.
+        if (options.write_through_cache) {
+          Status s = writer->cache()->Insert(file.key, file.data);
+          if (!s.ok()) {
+            rollback();
+            return s;
+          }
+        }
+        Status up = cluster->shared_storage()->Put(file.key, file.data);
+        if (!up.ok()) {
+          rollback();
+          return up;
+        }
+        uploaded_keys.push_back(file.key);
+        if (options.write_through_cache) {
+          for (Oid sub : observed_subscribers[group.shard]) {
+            if (sub == writer_oid) continue;
+            Node* peer = cluster->node(sub);
+            if (peer != nullptr && peer->is_up()) {
+              peer->cache()->Insert(file.key, file.data);
+            }
+          }
+        }
+      }
+
+      StorageContainerMeta meta;
+      meta.oid = coord->catalog()->NextOid();
+      meta.projection_oid = proj.oid;
+      meta.shard = group.shard;
+      meta.base_key = base_key;
+      meta.row_count = built->row_count;
+      meta.total_bytes = built->total_bytes;
+      meta.num_columns = proj_schema.num_columns();
+      meta.column_ranges = built->column_ranges;
+      meta.stratum = 0;
+      meta.create_version = snapshot->version + 1;  // Best-effort tag.
+      txn.PutContainer(meta);
+    }
+  }
+  }
+
+  // Commit point: all data is on shared storage; node failure past this
+  // point cannot lose files. The subscription-change invariant is checked
+  // inside CommitDistributed and rolls the transaction back if violated.
+  Result<uint64_t> version =
+      cluster->CommitDistributed(coord->oid(), txn, &observed_subscribers);
+  if (!version.ok()) {
+    rollback();
+    return version.status();
+  }
+  return *version;
+}
+
+}  // namespace
+
+Result<uint64_t> LoadIntoTables(
+    EonCluster* cluster,
+    const std::vector<std::pair<std::string, std::vector<Row>>>& loads,
+    const CopyOptions& options) {
+  return LoadIntoTablesFiltered(cluster, loads, options, kInvalidOid);
+}
+
+Result<uint64_t> BackfillProjection(EonCluster* cluster,
+                                    const std::string& table,
+                                    Oid projection_oid,
+                                    const std::vector<Row>& rows,
+                                    const CopyOptions& options) {
+  std::vector<std::pair<std::string, std::vector<Row>>> loads;
+  loads.emplace_back(table, rows);
+  return LoadIntoTablesFiltered(cluster, loads, options, projection_oid);
+}
+
+Result<uint64_t> DeleteWhere(EonCluster* cluster, const std::string& table,
+                             const PredicatePtr& table_predicate) {
+  Node* coord = cluster->AnyUpNode();
+  if (coord == nullptr) return Status::Unavailable("no up nodes");
+  auto snapshot = coord->catalog()->snapshot();
+  const TableDef* tdef = snapshot->FindTableByName(table);
+  if (tdef == nullptr) return Status::NotFound("no such table: " + table);
+  // Live aggregates trade pre-computation for update restrictions
+  // (Section 2.1): a base with LAPs cannot be deleted from, and LAPs are
+  // never targeted directly.
+  if (tdef->is_live_aggregate()) {
+    return Status::InvalidArgument(
+        "cannot DELETE from a live aggregate projection");
+  }
+  for (const auto& [toid, t] : snapshot->tables) {
+    if (t.lap_base == tdef->oid) {
+      return Status::NotSupported(
+          "table " + table + " has live aggregate projection " + t.name +
+          "; DELETE/UPDATE are restricted (drop the projection first)");
+    }
+  }
+
+  ParticipationOptions popts;
+  EON_ASSIGN_OR_RETURN(
+      ParticipationResult participation,
+      SelectParticipatingNodes(*snapshot, cluster->up_node_oids(), popts));
+
+  CatalogTxn txn;
+  std::map<ShardId, std::set<Oid>> observed_subscribers;
+  const std::set<SubscriptionState> receiving = {
+      SubscriptionState::kPending, SubscriptionState::kPassive,
+      SubscriptionState::kActive, SubscriptionState::kRemoving};
+  std::vector<std::string> superseded_dv_keys;
+  uint64_t deleted_rows = 0;
+  bool first_projection = true;
+
+  for (const auto& [poid, proj] : snapshot->projections) {
+    if (proj.table_oid != tdef->oid) continue;
+    EON_ASSIGN_OR_RETURN(PredicatePtr pred,
+                         RebindPredicate(table_predicate, proj));
+    const Schema proj_schema = proj.DeriveSchema(tdef->schema);
+
+    for (const StorageContainerMeta* container :
+         snapshot->ContainersOf(proj.oid)) {
+      // Executor for this shard: the participating node (replica shard:
+      // any participant). It computes positions and the new delete vector.
+      Oid exec_oid = container->shard == snapshot->sharding.replica_shard()
+                         ? *participation.Nodes().begin()
+                         : participation.shard_to_node.at(container->shard);
+      Node* executor = cluster->node(exec_oid);
+      if (executor == nullptr || !executor->is_up()) {
+        return Status::Unavailable("executor node is down");
+      }
+
+      EON_ASSIGN_OR_RETURN(
+          DeleteVector existing,
+          LoadDeleteVector(*snapshot, *container, executor->cache()));
+      EON_ASSIGN_OR_RETURN(
+          std::vector<uint64_t> positions,
+          FindMatchingPositions(proj_schema, container->base_key,
+                                executor->cache(), pred, &existing));
+      if (positions.empty()) continue;
+      if (first_projection) deleted_rows += positions.size();
+
+      DeleteVector merged(positions);
+      merged.Union(existing);
+
+      const std::string dv_key = executor->MintStorageKey("dv/");
+      const std::string dv_data = merged.Serialize();
+      EON_RETURN_IF_ERROR(executor->cache()->Insert(dv_key, dv_data));
+      EON_RETURN_IF_ERROR(cluster->shared_storage()->Put(dv_key, dv_data));
+
+      DeleteVectorMeta meta;
+      meta.oid = coord->catalog()->NextOid();
+      meta.container_oid = container->oid;
+      meta.shard = container->shard;
+      meta.key = dv_key;
+      meta.deleted_count = merged.count();
+      txn.PutDeleteVector(meta);
+
+      // The merged vector supersedes all previous ones for the container.
+      for (const DeleteVectorMeta* old :
+           snapshot->DeleteVectorsOf(container->oid)) {
+        txn.DropDeleteVector(old->oid, old->shard);
+        superseded_dv_keys.push_back(old->key);
+      }
+      for (Oid sub : snapshot->SubscribersOf(container->shard, receiving)) {
+        observed_subscribers[container->shard].insert(sub);
+      }
+    }
+    first_projection = false;
+  }
+
+  if (txn.empty()) return 0;
+  EON_ASSIGN_OR_RETURN(
+      uint64_t version,
+      cluster->CommitDistributed(coord->oid(), txn, &observed_subscribers));
+  cluster->TrackDroppedFiles(superseded_dv_keys, version);
+  return deleted_rows;
+}
+
+Result<uint64_t> UpdateWhere(EonCluster* cluster, const std::string& table,
+                             const PredicatePtr& table_predicate,
+                             const std::function<void(Row*)>& updater) {
+  Node* coord = cluster->AnyUpNode();
+  if (coord == nullptr) return Status::Unavailable("no up nodes");
+  auto snapshot = coord->catalog()->snapshot();
+  const TableDef* tdef = snapshot->FindTableByName(table);
+  if (tdef == nullptr) return Status::NotFound("no such table: " + table);
+
+  // Read complete matching tuples from the superprojection.
+  const ProjectionDef* super = nullptr;
+  for (const auto& [poid, proj] : snapshot->projections) {
+    if (proj.table_oid == tdef->oid &&
+        proj.columns.size() == tdef->schema.num_columns()) {
+      super = &proj;
+      break;
+    }
+  }
+  if (super == nullptr) {
+    return Status::InvalidArgument("table lacks a superprojection");
+  }
+
+  ParticipationOptions popts;
+  EON_ASSIGN_OR_RETURN(
+      ParticipationResult participation,
+      SelectParticipatingNodes(*snapshot, cluster->up_node_oids(), popts));
+  EON_ASSIGN_OR_RETURN(PredicatePtr pred,
+                       RebindPredicate(table_predicate, *super));
+  const Schema proj_schema = super->DeriveSchema(tdef->schema);
+
+  std::vector<Row> matched;
+  for (const StorageContainerMeta* container :
+       snapshot->ContainersOf(super->oid)) {
+    Oid exec_oid = container->shard == snapshot->sharding.replica_shard()
+                       ? *participation.Nodes().begin()
+                       : participation.shard_to_node.at(container->shard);
+    Node* executor = cluster->node(exec_oid);
+    if (executor == nullptr || !executor->is_up()) {
+      return Status::Unavailable("executor node is down");
+    }
+    EON_ASSIGN_OR_RETURN(
+        DeleteVector deletes,
+        LoadDeleteVector(*snapshot, *container, executor->cache()));
+    RosScanOptions scan;
+    for (size_t c = 0; c < proj_schema.num_columns(); ++c) {
+      scan.output_columns.push_back(c);
+    }
+    scan.predicate = pred;
+    scan.deletes = &deletes;
+    EON_ASSIGN_OR_RETURN(
+        std::vector<Row> rows,
+        ScanRosContainer(proj_schema, container->base_key, executor->cache(),
+                         scan));
+    for (Row& row : rows) matched.push_back(std::move(row));
+  }
+  if (matched.empty()) return 0;
+
+  // The superprojection's column order equals the table's.
+  for (Row& row : matched) updater(&row);
+  EON_ASSIGN_OR_RETURN(uint64_t deleted,
+                       DeleteWhere(cluster, table, table_predicate));
+  (void)deleted;
+  // Flattened tables reload base columns; derived values are re-looked-up.
+  if (tdef->is_flattened()) {
+    const size_t base_arity =
+        tdef->schema.num_columns() - tdef->flattened.size();
+    for (Row& row : matched) row.resize(base_arity);
+  }
+  EON_ASSIGN_OR_RETURN(uint64_t version, CopyInto(cluster, table, matched));
+  (void)version;
+  return matched.size();
+}
+
+}  // namespace eon

@@ -1,0 +1,911 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/codec.h"
+#include "engine/dml.h"
+
+namespace eon {
+
+uint64_t RowBytes(const Row& row) {
+  uint64_t bytes = 0;
+  for (const Value& v : row) {
+    bytes += 1;  // Null/type tag.
+    if (v.is_null()) continue;
+    bytes += v.type() == DataType::kString ? v.str_value().size() + 4 : 8;
+  }
+  return bytes;
+}
+
+namespace {
+
+/// Scanned data of one table, partitioned by the node that produced it.
+struct ScanOutput {
+  Schema schema;                      ///< Output columns (named).
+  std::vector<std::string> names;     ///< Output column names.
+  std::map<Oid, std::vector<Row>> rows_by_node;
+  /// Name of the output column equal to the projection's (single)
+  /// segmentation column, when the scan preserved row placement by its
+  /// hash — the locality token joins and group-bys test.
+  std::string segmented_by;
+};
+
+Result<const ProjectionDef*> ChooseProjection(
+    const CatalogState& state, const TableDef& table,
+    const std::set<size_t>& needed_table_cols,
+    std::optional<size_t> prefer_seg_table_col) {
+  const ProjectionDef* best = nullptr;
+  int best_score = -1;
+  for (const ProjectionDef* proj : state.ProjectionsOf(table.oid)) {
+    std::set<size_t> have(proj->columns.begin(), proj->columns.end());
+    bool covers = true;
+    for (size_t c : needed_table_cols) {
+      if (!have.count(c)) {
+        covers = false;
+        break;
+      }
+    }
+    if (!covers) continue;
+    // Prefer a projection segmented exactly on the join/group column, then
+    // narrower projections (less I/O).
+    int score = 0;
+    if (prefer_seg_table_col && proj->segmentation_columns.size() == 1 &&
+        proj->columns[proj->segmentation_columns[0]] ==
+            *prefer_seg_table_col) {
+      score += 1000;
+    }
+    score += static_cast<int>(table.schema.num_columns() -
+                              proj->columns.size());
+    if (score > best_score) {
+      best_score = score;
+      best = proj;
+    }
+  }
+  if (best == nullptr) {
+    return Status::InvalidArgument(
+        "no projection of " + table.name + " covers the required columns");
+  }
+  return best;
+}
+
+/// Scan one table across the participating nodes.
+Result<ScanOutput> ScanDistributed(EonCluster* cluster,
+                                   const ExecContext& context,
+                                   const CatalogState& snapshot,
+                                   const ScanSpec& spec,
+                                   const std::vector<std::string>& extra_cols,
+                                   ExecStats* stats) {
+  const TableDef* table = snapshot.FindTableByName(spec.table);
+  if (table == nullptr) {
+    return Status::NotFound("no such table: " + spec.table);
+  }
+
+  // Output column names: requested + extras (deduplicated, order kept).
+  std::vector<std::string> out_names;
+  std::set<std::string> seen;
+  for (const std::string& c : spec.columns) {
+    if (seen.insert(c).second) out_names.push_back(c);
+  }
+  for (const std::string& c : extra_cols) {
+    if (seen.insert(c).second) out_names.push_back(c);
+  }
+
+  std::set<size_t> needed_table_cols;
+  std::vector<size_t> out_table_cols;
+  for (const std::string& name : out_names) {
+    EON_ASSIGN_OR_RETURN(size_t idx, table->schema.IndexOf(name));
+    out_table_cols.push_back(idx);
+    needed_table_cols.insert(idx);
+  }
+  if (spec.predicate) {
+    std::set<size_t> pred_cols;
+    spec.predicate->CollectColumns(&pred_cols);
+    needed_table_cols.insert(pred_cols.begin(), pred_cols.end());
+  }
+
+  // Prefer a projection segmented on the first extra column (the join or
+  // group key) so downstream operators stay local.
+  std::optional<size_t> prefer_seg;
+  if (!extra_cols.empty()) {
+    Result<size_t> idx = table->schema.IndexOf(extra_cols[0]);
+    if (idx.ok()) prefer_seg = *idx;
+  }
+  EON_ASSIGN_OR_RETURN(
+      const ProjectionDef* proj,
+      ChooseProjection(snapshot, *table, needed_table_cols, prefer_seg));
+  const Schema proj_schema = proj->DeriveSchema(table->schema);
+  EON_ASSIGN_OR_RETURN(PredicatePtr pred,
+                       RebindPredicate(spec.predicate, *proj));
+
+  // Map output table columns to projection positions.
+  std::vector<size_t> out_proj_cols;
+  for (size_t table_col : out_table_cols) {
+    bool found = false;
+    for (size_t pos = 0; pos < proj->columns.size(); ++pos) {
+      if (proj->columns[pos] == table_col) {
+        out_proj_cols.push_back(pos);
+        found = true;
+        break;
+      }
+    }
+    EON_CHECK(found);
+  }
+
+  // Hash-filter crunch needs the segmentation column values per row: make
+  // sure they ride along, then strip them after filtering.
+  const bool sharing =
+      context.crunch != CrunchMode::kNone && !context.crunch_nodes.empty();
+  std::vector<size_t> scan_cols = out_proj_cols;
+  std::vector<size_t> seg_positions_in_scan;
+  if (sharing && context.crunch == CrunchMode::kHashFilter &&
+      !proj->replicated()) {
+    for (size_t seg_col : proj->segmentation_columns) {
+      auto it = std::find(scan_cols.begin(), scan_cols.end(), seg_col);
+      if (it == scan_cols.end()) {
+        seg_positions_in_scan.push_back(scan_cols.size());
+        scan_cols.push_back(seg_col);
+      } else {
+        seg_positions_in_scan.push_back(
+            static_cast<size_t>(it - scan_cols.begin()));
+      }
+    }
+  }
+
+  ScanOutput output;
+  output.names = out_names;
+  {
+    std::vector<ColumnDef> cols;
+    for (size_t pos : out_proj_cols) cols.push_back(proj_schema.column(pos));
+    // Column names in the output are the table names requested.
+    for (size_t i = 0; i < cols.size(); ++i) cols[i].name = out_names[i];
+    output.schema = Schema(std::move(cols));
+  }
+  if (proj->segmentation_columns.size() == 1 && !proj->replicated() &&
+      context.crunch != CrunchMode::kContainerSplit) {
+    const size_t seg_table_col = proj->columns[proj->segmentation_columns[0]];
+    for (size_t i = 0; i < out_table_cols.size(); ++i) {
+      if (out_table_cols[i] == seg_table_col) {
+        output.segmented_by = out_names[i];
+        break;
+      }
+    }
+  }
+
+  // Shard worklist: segment shards for segmented projections; the replica
+  // shard (served by one participating node) for replicated ones.
+  struct ShardWork {
+    ShardId shard;
+    std::vector<Oid> nodes;
+  };
+  std::vector<ShardWork> work;
+  if (proj->replicated()) {
+    work.push_back(ShardWork{snapshot.sharding.replica_shard(),
+                             {*context.participation.Nodes().begin()}});
+  } else {
+    for (const auto& [shard, node] : context.participation.shard_to_node) {
+      auto it = context.crunch_nodes.find(shard);
+      if (sharing && it != context.crunch_nodes.end() &&
+          it->second.size() > 1) {
+        work.push_back(ShardWork{shard, it->second});
+      } else {
+        work.push_back(ShardWork{shard, {node}});
+      }
+    }
+  }
+
+  for (const ShardWork& sw : work) {
+    // "When an executor node receives a query plan, it attaches storage
+    // for the shards the session has instructed it to serve" (Section 4):
+    // the container list comes from the serving node's own catalog — the
+    // node subscribed to the shard tracks its storage metadata.
+    Node* serving = cluster->node(sw.nodes[0]);
+    if (serving == nullptr || !serving->is_up()) {
+      return Status::Unavailable("participating node is down");
+    }
+    auto serving_snapshot = serving->catalog()->snapshot();
+    for (const StorageContainerMeta* container :
+         serving_snapshot->ContainersOf(proj->oid, sw.shard)) {
+      stats->containers_total++;
+      // Container-level pruning via catalog min/max (Section 2.1).
+      if (pred && !container->column_ranges.empty() &&
+          !pred->CouldMatch(container->column_ranges)) {
+        stats->containers_pruned++;
+        continue;
+      }
+      const size_t k = sw.nodes.size();
+      for (size_t rank = 0; rank < k; ++rank) {
+        Node* executor = cluster->node(sw.nodes[rank]);
+        if (executor == nullptr || !executor->is_up()) {
+          return Status::Unavailable("participating node is down");
+        }
+        EON_ASSIGN_OR_RETURN(
+            DeleteVector deletes,
+            LoadDeleteVector(*serving_snapshot, *container,
+                             executor->cache()));
+        RosScanOptions scan;
+        scan.output_columns = scan_cols;
+        scan.predicate = pred;
+        scan.deletes = &deletes;
+        if (k > 1 && context.crunch == CrunchMode::kContainerSplit) {
+          // Physical split: each sharing node reads a distinct row range
+          // (each row read once; segmentation property lost).
+          scan.row_begin = container->row_count * rank / k;
+          scan.row_end = container->row_count * (rank + 1) / k;
+        }
+        EON_ASSIGN_OR_RETURN(
+            std::vector<Row> rows,
+            ScanRosContainer(proj_schema, container->base_key,
+                             executor->cache(), scan, &stats->scan));
+        std::vector<Row>& sink = output.rows_by_node[sw.nodes[rank]];
+        for (Row& row : rows) {
+          if (k > 1 && context.crunch == CrunchMode::kHashFilter) {
+            // Secondary hash segmentation predicate applied per row: only
+            // rank (hash % k) keeps the row (Section 4.4).
+            uint32_t h = 0;
+            bool first = true;
+            for (size_t pos : seg_positions_in_scan) {
+              h = first ? row[pos].SegHash()
+                        : SegmentationHashCombine(h, row[pos].SegHash());
+              first = false;
+            }
+            if (h % k != rank) continue;
+          }
+          row.resize(out_proj_cols.size());  // Strip ride-along seg columns.
+          sink.push_back(std::move(row));
+        }
+      }
+    }
+  }
+  return output;
+}
+
+/// Aggregation state for one group.
+struct AggState {
+  int64_t count = 0;
+  double sum = 0;
+  bool sum_is_int = true;
+  int64_t sum_int = 0;
+  Value min, max;
+  std::set<Value> distinct;
+
+  void Accumulate(const AggSpec& spec, const Value& v) {
+    switch (spec.fn) {
+      case AggFn::kCount:
+        count++;
+        return;
+      case AggFn::kSum:
+      case AggFn::kAvg:
+        if (v.is_null()) return;
+        count++;
+        if (v.type() == DataType::kInt64) {
+          sum_int += v.int_value();
+        } else {
+          sum_is_int = false;
+        }
+        sum += v.AsDouble();
+        return;
+      case AggFn::kMin:
+        if (v.is_null()) return;
+        if (min.is_null() || v.Compare(min) < 0) min = v;
+        return;
+      case AggFn::kMax:
+        if (v.is_null()) return;
+        if (max.is_null() || v.Compare(max) > 0) max = v;
+        return;
+      case AggFn::kCountDistinct:
+        if (!v.is_null()) distinct.insert(v);
+        return;
+    }
+  }
+
+  void Merge(const AggState& o) {
+    count += o.count;
+    sum += o.sum;
+    sum_int += o.sum_int;
+    sum_is_int = sum_is_int && o.sum_is_int;
+    if (!o.min.is_null() && (min.is_null() || o.min.Compare(min) < 0)) {
+      min = o.min;
+    }
+    if (!o.max.is_null() && (max.is_null() || o.max.Compare(max) > 0)) {
+      max = o.max;
+    }
+    distinct.insert(o.distinct.begin(), o.distinct.end());
+  }
+
+  Value Finalize(const AggSpec& spec, DataType input_type) const {
+    switch (spec.fn) {
+      case AggFn::kCount:
+        return Value::Int(count);
+      case AggFn::kSum:
+        if (count == 0) return Value::Null(input_type);
+        return sum_is_int && input_type == DataType::kInt64
+                   ? Value::Int(sum_int)
+                   : Value::Dbl(sum);
+      case AggFn::kAvg:
+        return count == 0 ? Value::Null(DataType::kDouble)
+                          : Value::Dbl(sum / static_cast<double>(count));
+      case AggFn::kMin:
+        return min.is_null() ? Value::Null(input_type) : min;
+      case AggFn::kMax:
+        return max.is_null() ? Value::Null(input_type) : max;
+      case AggFn::kCountDistinct:
+        return Value::Int(static_cast<int64_t>(distinct.size()));
+    }
+    return Value::Null(input_type);
+  }
+
+  /// Approximate transfer size when shipped as a partial aggregate.
+  uint64_t TransferBytes() const {
+    uint64_t bytes = 32;
+    for (const Value& v : distinct) {
+      bytes += v.type() == DataType::kString ? v.str_value().size() + 4 : 9;
+    }
+    return bytes;
+  }
+};
+
+using GroupKey = std::vector<Value>;
+
+struct GroupKeyLess {
+  bool operator()(const GroupKey& a, const GroupKey& b) const {
+    for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+      int c = a[i].Compare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  }
+};
+
+using GroupMap = std::map<GroupKey, std::vector<AggState>, GroupKeyLess>;
+
+/// Rebase a base-table predicate onto a live aggregate projection's
+/// columns (only group columns may be referenced). Returns null predicate
+/// unchanged; fails when a non-group column is referenced.
+Result<PredicatePtr> RebaseLapPredicate(const PredicatePtr& pred,
+                                        const TableDef& lap) {
+  if (pred == nullptr) return PredicatePtr(nullptr);
+  switch (pred->kind()) {
+    case Predicate::Kind::kTrue:
+      return Predicate::True();
+    case Predicate::Kind::kCmp:
+      for (size_t pos = 0; pos < lap.lap_group_columns.size(); ++pos) {
+        if (lap.lap_group_columns[pos] == pred->col_index()) {
+          return Predicate::Cmp(pos, pred->op(), pred->literal());
+        }
+      }
+      return Status::InvalidArgument("predicate not on a group column");
+    case Predicate::Kind::kAnd: {
+      EON_ASSIGN_OR_RETURN(PredicatePtr l,
+                           RebaseLapPredicate(pred->left(), lap));
+      EON_ASSIGN_OR_RETURN(PredicatePtr r,
+                           RebaseLapPredicate(pred->right(), lap));
+      return Predicate::And(std::move(l), std::move(r));
+    }
+    case Predicate::Kind::kOr: {
+      EON_ASSIGN_OR_RETURN(PredicatePtr l,
+                           RebaseLapPredicate(pred->left(), lap));
+      EON_ASSIGN_OR_RETURN(PredicatePtr r,
+                           RebaseLapPredicate(pred->right(), lap));
+      return Predicate::Or(std::move(l), std::move(r));
+    }
+    case Predicate::Kind::kNot: {
+      EON_ASSIGN_OR_RETURN(PredicatePtr l,
+                           RebaseLapPredicate(pred->left(), lap));
+      return Predicate::Not(std::move(l));
+    }
+  }
+  return Status::Internal("unknown predicate kind");
+}
+
+/// Try to answer an aggregate query from a live aggregate projection
+/// (Section 2.1): eligible when there is no join, every aggregate is a
+/// re-mergeable COUNT/SUM/MIN/MAX present in some LAP of the table, the
+/// grouping keys are a subset of that LAP's group columns, and the
+/// predicate touches only group columns. The rewrite merges partials —
+/// COUNT becomes SUM of partial counts, SUM a SUM of sums, MIN/MAX a
+/// MIN/MAX of partial extrema — preserving the original output names.
+bool TryLiveAggregateRewrite(const CatalogState& state, const QuerySpec& spec,
+                             QuerySpec* rewritten) {
+  if (spec.join || spec.aggregates.empty()) return false;
+  const TableDef* base = state.FindTableByName(spec.scan.table);
+  if (base == nullptr || base->is_live_aggregate()) return false;
+
+  for (const auto& [oid, lap] : state.tables) {
+    if (lap.lap_base != base->oid) continue;
+
+    // Group-column names of this LAP (positions 0..G-1 in its schema).
+    std::set<std::string> group_names;
+    for (size_t g = 0; g < lap.lap_group_columns.size(); ++g) {
+      group_names.insert(lap.schema.column(g).name);
+    }
+    bool groups_ok = true;
+    for (const std::string& g : spec.group_by) {
+      if (!group_names.count(g)) groups_ok = false;
+    }
+    if (!groups_ok) continue;
+
+    // Map each query aggregate to a LAP partial column.
+    std::vector<AggSpec> merged;
+    bool aggs_ok = true;
+    for (const AggSpec& a : spec.aggregates) {
+      size_t src = SIZE_MAX;
+      if (a.fn != AggFn::kCount) {
+        Result<size_t> idx = base->schema.IndexOf(a.column);
+        if (!idx.ok()) {
+          aggs_ok = false;
+          break;
+        }
+        src = *idx;
+      }
+      size_t match = SIZE_MAX;
+      for (size_t i = 0; i < lap.lap_aggs.size(); ++i) {
+        if (lap.lap_aggs[i].fn == a.fn &&
+            (a.fn == AggFn::kCount || lap.lap_aggs[i].source_column == src)) {
+          match = i;
+          break;
+        }
+      }
+      if (match == SIZE_MAX ||
+          (a.fn != AggFn::kCount && a.fn != AggFn::kSum &&
+           a.fn != AggFn::kMin && a.fn != AggFn::kMax)) {
+        aggs_ok = false;
+        break;
+      }
+      const std::string partial_col =
+          lap.schema.column(lap.lap_group_columns.size() + match).name;
+      AggSpec m;
+      switch (a.fn) {
+        case AggFn::kCount:
+        case AggFn::kSum:
+          m.fn = AggFn::kSum;
+          break;
+        case AggFn::kMin:
+          m.fn = AggFn::kMin;
+          break;
+        case AggFn::kMax:
+          m.fn = AggFn::kMax;
+          break;
+        default:
+          aggs_ok = false;
+          break;
+      }
+      m.column = partial_col;
+      // Preserve the original output column name exactly.
+      m.as = a.as.empty()
+                 ? std::string(AggFnName(a.fn)) + "(" + a.column + ")"
+                 : a.as;
+      merged.push_back(std::move(m));
+    }
+    if (!aggs_ok) continue;
+
+    Result<PredicatePtr> pred = RebaseLapPredicate(spec.scan.predicate, lap);
+    if (!pred.ok()) continue;
+
+    rewritten->scan.table = lap.name;
+    rewritten->scan.columns = spec.group_by;
+    rewritten->scan.predicate = *pred;
+    rewritten->join.reset();
+    rewritten->group_by = spec.group_by;
+    rewritten->aggregates = std::move(merged);
+    rewritten->order_by = spec.order_by;
+    rewritten->order_desc = spec.order_desc;
+    rewritten->limit = spec.limit;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<ExecContext> BuildExecContext(EonCluster* cluster,
+                                     const std::string& connected_node,
+                                     uint64_t variation_seed,
+                                     CrunchMode crunch) {
+  Node* coord = cluster->AnyUpNode();
+  if (coord == nullptr) return Status::Unavailable("no up nodes");
+  if (cluster->is_shutdown()) {
+    return Status::Unavailable("cluster is shut down");
+  }
+  auto snapshot = coord->catalog()->snapshot();
+
+  ExecContext context;
+  ParticipationOptions popts;
+  popts.variation_seed = variation_seed;
+
+  // Subcluster workload isolation (Section 4.3): a session connected to a
+  // subcluster node prioritizes that subcluster; the workload escapes only
+  // when failures leave shards uncovered inside it.
+  Node* connected =
+      connected_node.empty() ? nullptr : cluster->node_by_name(connected_node);
+  if (connected != nullptr && !connected->subcluster().empty()) {
+    std::vector<Oid> in_group, out_group;
+    for (const auto& n : cluster->nodes()) {
+      if (!n->is_up()) continue;
+      (n->subcluster() == connected->subcluster() ? in_group : out_group)
+          .push_back(n->oid());
+    }
+    if (!in_group.empty()) popts.priority_groups.push_back(in_group);
+    if (!out_group.empty()) popts.priority_groups.push_back(out_group);
+  }
+
+  EON_ASSIGN_OR_RETURN(
+      context.participation,
+      SelectParticipatingNodes(*snapshot, cluster->up_node_oids(), popts));
+  context.crunch = crunch;
+
+  if (crunch != CrunchMode::kNone) {
+    // Fan each shard out over every up ACTIVE subscriber (assigned node
+    // first) so idle nodes share the scan (Section 4.4).
+    for (const auto& [shard, assigned] : context.participation.shard_to_node) {
+      std::vector<Oid> sharing = {assigned};
+      for (Oid n :
+           snapshot->SubscribersOf(shard, {SubscriptionState::kActive})) {
+        if (n != assigned && cluster->up_node_oids().count(n)) {
+          sharing.push_back(n);
+        }
+      }
+      context.crunch_nodes[shard] = std::move(sharing);
+    }
+  }
+  return context;
+}
+
+Result<QueryResult> ExecuteQuery(EonCluster* cluster,
+                                 const QuerySpec& original_spec,
+                                 const ExecContext& context) {
+  Node* coord = cluster->AnyUpNode();
+  if (coord == nullptr) return Status::Unavailable("no up nodes");
+  if (cluster->is_shutdown()) {
+    return Status::Unavailable(
+        "cluster is shut down (viability constraints violated)");
+  }
+  auto snapshot = coord->catalog()->snapshot();
+
+  // Live-aggregate rewrite (Section 2.1): answer eligible aggregate
+  // queries from pre-computed partials instead of the base data.
+  QuerySpec lap_spec;
+  const bool used_lap =
+      TryLiveAggregateRewrite(*snapshot, original_spec, &lap_spec);
+  const QuerySpec& spec = used_lap ? lap_spec : original_spec;
+
+  // Register the reading version on every participating node for the
+  // file-deletion gossip (Section 6.5); unregister on scope exit.
+  struct QueryGuard {
+    EonCluster* cluster;
+    std::set<Oid> nodes;
+    uint64_t version;
+    ~QueryGuard() {
+      for (Oid n : nodes) {
+        Node* node = cluster->node(n);
+        if (node != nullptr) node->UnregisterQuery(version);
+      }
+    }
+  } guard{cluster, context.participation.Nodes(), snapshot->version};
+  for (Oid n : guard.nodes) {
+    Node* node = cluster->node(n);
+    if (node != nullptr) node->RegisterQuery(snapshot->version);
+  }
+
+  ExecStats stats;
+  stats.participating_nodes = guard.nodes.size();
+  stats.crunch = static_cast<ExecStats::Crunch>(context.crunch);
+  stats.used_live_aggregate = used_lap;
+
+  // --- Scan (left side), with join key riding along if needed. ---
+  std::vector<std::string> left_extras;
+  if (spec.join) left_extras.push_back(spec.join->left_key);
+  for (const std::string& g : spec.group_by) left_extras.push_back(g);
+  for (const AggSpec& a : spec.aggregates) {
+    if (!a.column.empty()) left_extras.push_back(a.column);
+  }
+  // Extras that belong to the right table are resolved there instead.
+  if (spec.join) {
+    const TableDef* left_table = snapshot->FindTableByName(spec.scan.table);
+    if (left_table == nullptr) {
+      return Status::NotFound("no such table: " + spec.scan.table);
+    }
+    std::vector<std::string> filtered;
+    for (const std::string& name : left_extras) {
+      if (left_table->schema.IndexOf(name).ok()) filtered.push_back(name);
+    }
+    left_extras = std::move(filtered);
+  }
+  EON_ASSIGN_OR_RETURN(ScanOutput left,
+                       ScanDistributed(cluster, context, *snapshot, spec.scan,
+                                       left_extras, &stats));
+
+  // --- Join ---
+  Schema joined_schema = left.schema;
+  std::vector<std::string> joined_names = left.names;
+  std::map<Oid, std::vector<Row>> data = std::move(left.rows_by_node);
+  std::string segmented_by = left.segmented_by;
+
+  if (spec.join) {
+    std::vector<std::string> right_extras = {spec.join->right_key};
+    for (const std::string& g : spec.group_by) {
+      const TableDef* rt = snapshot->FindTableByName(spec.join->right.table);
+      if (rt != nullptr && rt->schema.IndexOf(g).ok() &&
+          std::find(left.names.begin(), left.names.end(), g) ==
+              left.names.end()) {
+        right_extras.push_back(g);
+      }
+    }
+    EON_ASSIGN_OR_RETURN(
+        ScanOutput right,
+        ScanDistributed(cluster, context, *snapshot, spec.join->right,
+                        right_extras, &stats));
+
+    size_t left_key_pos = SIZE_MAX, right_key_pos = SIZE_MAX;
+    for (size_t i = 0; i < left.names.size(); ++i) {
+      if (left.names[i] == spec.join->left_key) left_key_pos = i;
+    }
+    for (size_t i = 0; i < right.names.size(); ++i) {
+      if (right.names[i] == spec.join->right_key) right_key_pos = i;
+    }
+    if (left_key_pos == SIZE_MAX || right_key_pos == SIZE_MAX) {
+      return Status::InvalidArgument("join key not in scan output");
+    }
+
+    // Locality: both sides placed by the hash of their join key → every
+    // key's rows meet on one node; no reshuffle (Section 4).
+    const bool co_located =
+        !left.segmented_by.empty() &&
+        left.segmented_by == spec.join->left_key &&
+        ((!right.segmented_by.empty() &&
+          right.segmented_by == spec.join->right_key) ||
+         right.segmented_by == "__replicated__");
+    // Replicated right side also joins locally (full copy everywhere).
+    bool right_replicated = right.rows_by_node.size() == 1 &&
+                            right.segmented_by.empty();
+    // Heuristic: a replica-shard scan lands on exactly one node; broadcast
+    // it (cheap for dimension tables) instead of reshuffling the left.
+    stats.local_join = co_located;
+
+    // Output schema: left columns then right columns (right key and
+    // collisions renamed with the right table prefix).
+    std::set<std::string> names_taken(joined_names.begin(),
+                                      joined_names.end());
+    std::vector<std::string> right_out_names = right.names;
+    for (std::string& name : right_out_names) {
+      if (names_taken.count(name)) {
+        name = spec.join->right.table + "." + name;
+      }
+      names_taken.insert(name);
+    }
+    {
+      std::vector<ColumnDef> cols = joined_schema.columns();
+      for (size_t i = 0; i < right.schema.num_columns(); ++i) {
+        ColumnDef c = right.schema.column(i);
+        c.name = right_out_names[i];
+        cols.push_back(c);
+      }
+      joined_schema = Schema(std::move(cols));
+      joined_names.insert(joined_names.end(), right_out_names.begin(),
+                          right_out_names.end());
+    }
+
+    auto hash_join = [&](const std::vector<Row>& build,
+                         const std::vector<Row>& probe,
+                         std::vector<Row>* out) {
+      std::multimap<Value, const Row*> table;
+      for (const Row& r : build) table.emplace(r[right_key_pos], &r);
+      for (const Row& l : probe) {
+        auto [lo, hi] = table.equal_range(l[left_key_pos]);
+        for (auto it = lo; it != hi; ++it) {
+          if (l[left_key_pos].is_null()) continue;
+          Row joined = l;
+          joined.insert(joined.end(), it->second->begin(), it->second->end());
+          out->push_back(std::move(joined));
+        }
+      }
+    };
+
+    std::map<Oid, std::vector<Row>> joined;
+    if (co_located) {
+      for (auto& [node, lrows] : data) {
+        auto rit = right.rows_by_node.find(node);
+        static const std::vector<Row> kEmpty;
+        const std::vector<Row>& rrows =
+            rit == right.rows_by_node.end() ? kEmpty : rit->second;
+        hash_join(rrows, lrows, &joined[node]);
+      }
+    } else if (right_replicated) {
+      // Broadcast join: ship the single right copy to every left node.
+      const std::vector<Row>& rrows = right.rows_by_node.begin()->second;
+      uint64_t rbytes = 0;
+      for (const Row& r : rrows) rbytes += RowBytes(r);
+      stats.network_bytes += rbytes * std::max<size_t>(1, data.size() - 1);
+      stats.rows_shuffled += rrows.size() * std::max<size_t>(1, data.size());
+      for (auto& [node, lrows] : data) {
+        hash_join(rrows, lrows, &joined[node]);
+      }
+      stats.local_join = false;
+    } else {
+      // Reshuffle both sides by join key (every row moves once).
+      std::vector<Row> all_left, all_right;
+      for (auto& [node, rows] : data) {
+        for (Row& r : rows) {
+          stats.network_bytes += RowBytes(r);
+          stats.rows_shuffled++;
+          all_left.push_back(std::move(r));
+        }
+      }
+      for (auto& [node, rows] : right.rows_by_node) {
+        for (Row& r : rows) {
+          stats.network_bytes += RowBytes(r);
+          stats.rows_shuffled++;
+          all_right.push_back(std::move(r));
+        }
+      }
+      hash_join(all_right, all_left, &joined[coord->oid()]);
+      stats.local_join = false;
+      segmented_by.clear();
+    }
+    data = std::move(joined);
+    if (!co_located) segmented_by.clear();
+  }
+
+  // --- Group-by / aggregation ---
+  Schema out_schema = joined_schema;
+  std::vector<Row> final_rows;
+
+  if (!spec.aggregates.empty() || !spec.group_by.empty()) {
+    // Resolve group and aggregate column positions in the joined layout.
+    std::vector<size_t> group_pos;
+    for (const std::string& g : spec.group_by) {
+      auto it = std::find(joined_names.begin(), joined_names.end(), g);
+      if (it == joined_names.end()) {
+        return Status::InvalidArgument("group-by column not in output: " + g);
+      }
+      group_pos.push_back(static_cast<size_t>(it - joined_names.begin()));
+    }
+    std::vector<size_t> agg_pos;
+    std::vector<DataType> agg_types;
+    for (const AggSpec& a : spec.aggregates) {
+      if (a.column.empty()) {
+        agg_pos.push_back(SIZE_MAX);
+        agg_types.push_back(DataType::kInt64);
+        continue;
+      }
+      auto it = std::find(joined_names.begin(), joined_names.end(), a.column);
+      if (it == joined_names.end()) {
+        return Status::InvalidArgument("aggregate column not in output: " +
+                                       a.column);
+      }
+      const size_t pos = static_cast<size_t>(it - joined_names.begin());
+      agg_pos.push_back(pos);
+      agg_types.push_back(joined_schema.column(pos).type);
+    }
+
+    // Local when the grouping keys include the column the data is
+    // segmented by: every group's rows live on one node (Section 4).
+    const bool local =
+        !segmented_by.empty() &&
+        std::find(spec.group_by.begin(), spec.group_by.end(), segmented_by) !=
+            spec.group_by.end();
+    stats.local_group_by = local;
+
+    auto aggregate_into = [&](const std::vector<Row>& rows, GroupMap* groups) {
+      for (const Row& row : rows) {
+        GroupKey key;
+        key.reserve(group_pos.size());
+        for (size_t p : group_pos) key.push_back(row[p]);
+        auto [it, inserted] = groups->try_emplace(
+            std::move(key), std::vector<AggState>(spec.aggregates.size()));
+        for (size_t a = 0; a < spec.aggregates.size(); ++a) {
+          const Value& v = agg_pos[a] == SIZE_MAX ? row[0] : row[agg_pos[a]];
+          it->second[a].Accumulate(spec.aggregates[a], v);
+        }
+      }
+    };
+
+    GroupMap merged;
+    if (local) {
+      // Fully local: per-node aggregation is final; concatenate.
+      for (auto& [node, rows] : data) aggregate_into(rows, &merged);
+    } else {
+      // Partial per node, then merge with accounted transfer.
+      for (auto& [node, rows] : data) {
+        GroupMap partial;
+        aggregate_into(rows, &partial);
+        for (auto& [key, states] : partial) {
+          for (const AggState& s : states) {
+            stats.network_bytes += s.TransferBytes();
+          }
+          auto [it, inserted] = merged.try_emplace(key, std::move(states));
+          if (!inserted) {
+            for (size_t a = 0; a < it->second.size(); ++a) {
+              it->second[a].Merge(states[a]);
+            }
+          }
+        }
+      }
+    }
+
+    // Output schema: group columns then aggregates.
+    std::vector<ColumnDef> cols;
+    for (size_t i = 0; i < spec.group_by.size(); ++i) {
+      ColumnDef c = joined_schema.column(group_pos[i]);
+      c.name = spec.group_by[i];
+      cols.push_back(c);
+    }
+    for (size_t a = 0; a < spec.aggregates.size(); ++a) {
+      const AggSpec& spec_a = spec.aggregates[a];
+      DataType t;
+      switch (spec_a.fn) {
+        case AggFn::kCount:
+        case AggFn::kCountDistinct:
+          t = DataType::kInt64;
+          break;
+        case AggFn::kAvg:
+          t = DataType::kDouble;
+          break;
+        case AggFn::kSum:
+          t = agg_types[a];
+          break;
+        default:
+          t = agg_types[a];
+      }
+      cols.push_back(ColumnDef{
+          spec_a.as.empty()
+              ? std::string(AggFnName(spec_a.fn)) + "(" + spec_a.column + ")"
+              : spec_a.as,
+          t});
+    }
+    out_schema = Schema(std::move(cols));
+
+    // A global aggregate (no GROUP BY) over zero input rows still yields
+    // exactly one row (COUNT = 0, SUM = NULL), per SQL semantics.
+    if (merged.empty() && spec.group_by.empty()) {
+      merged.try_emplace(GroupKey{},
+                         std::vector<AggState>(spec.aggregates.size()));
+    }
+    for (const auto& [key, states] : merged) {
+      Row row = key;
+      for (size_t a = 0; a < states.size(); ++a) {
+        row.push_back(states[a].Finalize(spec.aggregates[a], agg_types[a]));
+      }
+      final_rows.push_back(std::move(row));
+    }
+  } else {
+    // No aggregation: gather all node outputs on the initiator (accounted
+    // as network transfer for rows produced on other nodes).
+    for (auto& [node, rows] : data) {
+      for (Row& r : rows) {
+        if (node != coord->oid()) stats.network_bytes += RowBytes(r);
+        final_rows.push_back(std::move(r));
+      }
+    }
+  }
+
+  // --- Order / limit ---
+  if (spec.order_by) {
+    size_t pos = SIZE_MAX;
+    for (size_t i = 0; i < out_schema.num_columns(); ++i) {
+      if (out_schema.column(i).name == *spec.order_by) pos = i;
+    }
+    if (pos == SIZE_MAX) {
+      return Status::InvalidArgument("order-by column not in output: " +
+                                     *spec.order_by);
+    }
+    std::stable_sort(final_rows.begin(), final_rows.end(),
+                     [&](const Row& a, const Row& b) {
+                       int c = a[pos].Compare(b[pos]);
+                       return spec.order_desc ? c > 0 : c < 0;
+                     });
+  }
+  if (spec.limit >= 0 &&
+      final_rows.size() > static_cast<size_t>(spec.limit)) {
+    final_rows.resize(static_cast<size_t>(spec.limit));
+  }
+
+  QueryResult result;
+  result.schema = std::move(out_schema);
+  result.rows = std::move(final_rows);
+  result.stats = stats;
+  result.catalog_version = snapshot->version;
+  return result;
+}
+
+}  // namespace eon

@@ -1,0 +1,86 @@
+#ifndef EON_ENGINE_QUERY_H_
+#define EON_ENGINE_QUERY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "columnar/agg.h"
+#include "columnar/expression.h"
+#include "columnar/ros.h"
+#include "columnar/schema.h"
+
+namespace eon {
+
+/// One aggregate expression: fn(column) AS name. kCount ignores `column`.
+struct AggSpec {
+  AggFn fn = AggFn::kCount;
+  std::string column;
+  std::string as;
+};
+
+/// Scan of one table: which columns to read and an optional predicate
+/// (column names refer to the table schema; the engine maps them onto the
+/// chosen projection).
+struct ScanSpec {
+  std::string table;
+  std::vector<std::string> columns;
+  /// Predicate over the named columns below; built with Predicate::Cmp
+  /// using *table column positions* — the engine rebinds it to projection
+  /// positions.
+  PredicatePtr predicate;
+};
+
+/// Inner equi-join against a second table.
+struct JoinSpec {
+  ScanSpec right;
+  std::string left_key;   ///< Column name on the left (driving) table.
+  std::string right_key;  ///< Column name on the right table.
+};
+
+/// A declarative query: scan [join] [group-by/aggregate] [order] [limit].
+/// This is the shape of the paper's workloads (dashboard joins +
+/// aggregations, TPC-H style scans); plans are built directly — the
+/// paper's contribution sits below the SQL optimizer, which it reuses.
+struct QuerySpec {
+  ScanSpec scan;
+  std::optional<JoinSpec> join;
+  std::vector<std::string> group_by;  ///< Output column names to group on.
+  std::vector<AggSpec> aggregates;
+  std::optional<std::string> order_by;
+  bool order_desc = false;
+  int64_t limit = -1;  ///< -1 = unlimited.
+};
+
+/// Per-query execution statistics: the inputs to the benches' cost model
+/// and the locality assertions in tests.
+struct ExecStats {
+  RosScanStats scan;
+  uint64_t containers_total = 0;
+  uint64_t containers_pruned = 0;  ///< Skipped via container-level min/max.
+  uint64_t network_bytes = 0;      ///< Shuffled / merged across nodes.
+  uint64_t rows_shuffled = 0;
+  bool local_join = true;      ///< Join executed without reshuffle.
+  bool local_group_by = true;  ///< Group-by executed without reshuffle.
+  size_t participating_nodes = 0;
+  /// Crunch scaling mode actually used (Section 4.4).
+  enum class Crunch : uint8_t { kNone, kHashFilter, kContainerSplit };
+  Crunch crunch = Crunch::kNone;
+  /// The optimizer answered from a live aggregate projection (§2.1).
+  bool used_live_aggregate = false;
+};
+
+/// Query output: schema + rows + stats + the catalog version it read.
+struct QueryResult {
+  Schema schema;
+  std::vector<Row> rows;
+  ExecStats stats;
+  uint64_t catalog_version = 0;
+};
+
+/// Rough serialized size of a row (network cost accounting).
+uint64_t RowBytes(const Row& row);
+
+}  // namespace eon
+
+#endif  // EON_ENGINE_QUERY_H_

@@ -1,0 +1,53 @@
+#ifndef EON_ENGINE_SESSION_H_
+#define EON_ENGINE_SESSION_H_
+
+#include <string>
+
+#include "engine/executor.h"
+
+namespace eon {
+
+/// A client session: binds a cluster and (optionally) a connected node.
+/// Each query selects a fresh covering set of participating subscriptions
+/// (with a varying seed so repeated queries spread over equivalent
+/// assignments, Section 4.1); a session connected to a subcluster node
+/// keeps its workload inside that subcluster (Section 4.3).
+class EonSession {
+ public:
+  explicit EonSession(EonCluster* cluster, std::string connected_node = "",
+                      uint64_t seed = 0)
+      : cluster_(cluster),
+        connected_node_(std::move(connected_node)),
+        seed_(seed) {}
+
+  /// Execute a query; participation is re-selected per call.
+  Result<QueryResult> Execute(const QuerySpec& spec) {
+    EON_ASSIGN_OR_RETURN(
+        ExecContext context,
+        BuildExecContext(cluster_, connected_node_, seed_ + sequence_++,
+                         crunch_));
+    EON_ASSIGN_OR_RETURN(QueryResult result,
+                         ExecuteQuery(cluster_, spec, context));
+    last_stats_ = result.stats;
+    return result;
+  }
+
+  /// Crunch scaling for subsequent queries (Section 4.4); effective when
+  /// more nodes than shards are available.
+  void set_crunch_mode(CrunchMode mode) { crunch_ = mode; }
+
+  const ExecStats& last_stats() const { return last_stats_; }
+  EonCluster* cluster() { return cluster_; }
+
+ private:
+  EonCluster* cluster_;
+  std::string connected_node_;
+  uint64_t seed_;
+  uint64_t sequence_ = 0;
+  CrunchMode crunch_ = CrunchMode::kNone;
+  ExecStats last_stats_;
+};
+
+}  // namespace eon
+
+#endif  // EON_ENGINE_SESSION_H_

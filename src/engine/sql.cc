@@ -1,0 +1,429 @@
+#include "engine/sql.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace eon {
+
+namespace {
+
+struct Token {
+  enum class Type { kIdent, kNumber, kString, kSymbol, kEnd };
+  Type type = Type::kEnd;
+  std::string text;   ///< Raw text; keywords upper-cased in `upper`.
+  std::string upper;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : in_(input) { Advance(); }
+
+  const Token& peek() const { return current_; }
+
+  Token Take() {
+    Token t = current_;
+    Advance();
+    return t;
+  }
+
+  bool ConsumeKeyword(const std::string& kw) {
+    if (current_.type == Token::Type::kIdent && current_.upper == kw) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeSymbol(const std::string& s) {
+    if (current_.type == Token::Type::kSymbol && current_.text == s) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  void Advance() {
+    while (pos_ < in_.size() && isspace(static_cast<unsigned char>(in_[pos_]))) {
+      ++pos_;
+    }
+    current_ = Token{};
+    if (pos_ >= in_.size()) return;
+    const char c = in_[pos_];
+    if (isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < in_.size() &&
+             (isalnum(static_cast<unsigned char>(in_[pos_])) ||
+              in_[pos_] == '_' || in_[pos_] == '.')) {
+        ++pos_;
+      }
+      current_.type = Token::Type::kIdent;
+      current_.text = in_.substr(start, pos_ - start);
+      current_.upper = current_.text;
+      std::transform(current_.upper.begin(), current_.upper.end(),
+                     current_.upper.begin(), ::toupper);
+      return;
+    }
+    if (isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos_ + 1 < in_.size() &&
+         isdigit(static_cast<unsigned char>(in_[pos_ + 1])))) {
+      size_t start = pos_;
+      ++pos_;
+      while (pos_ < in_.size() &&
+             (isdigit(static_cast<unsigned char>(in_[pos_])) ||
+              in_[pos_] == '.')) {
+        ++pos_;
+      }
+      current_.type = Token::Type::kNumber;
+      current_.text = in_.substr(start, pos_ - start);
+      return;
+    }
+    if (c == '\'') {
+      ++pos_;
+      size_t start = pos_;
+      while (pos_ < in_.size() && in_[pos_] != '\'') ++pos_;
+      current_.type = Token::Type::kString;
+      current_.text = in_.substr(start, pos_ - start);
+      if (pos_ < in_.size()) ++pos_;  // Closing quote.
+      return;
+    }
+    // Multi-char comparison symbols.
+    for (const char* sym : {"<=", ">=", "<>"}) {
+      if (in_.compare(pos_, 2, sym) == 0) {
+        current_.type = Token::Type::kSymbol;
+        current_.text = sym;
+        pos_ += 2;
+        return;
+      }
+    }
+    current_.type = Token::Type::kSymbol;
+    current_.text = std::string(1, c);
+    ++pos_;
+  }
+
+  const std::string& in_;
+  size_t pos_ = 0;
+  Token current_;
+};
+
+Result<CmpOp> ParseOp(const std::string& sym) {
+  if (sym == "=") return CmpOp::kEq;
+  if (sym == "<>") return CmpOp::kNe;
+  if (sym == "<") return CmpOp::kLt;
+  if (sym == "<=") return CmpOp::kLe;
+  if (sym == ">") return CmpOp::kGt;
+  if (sym == ">=") return CmpOp::kGe;
+  return Status::InvalidArgument("unknown comparison operator: " + sym);
+}
+
+struct SelectItem {
+  bool is_aggregate = false;
+  AggSpec agg;
+  std::string column;  ///< Plain column when not an aggregate.
+};
+
+Result<SelectItem> ParseItem(Lexer* lex) {
+  SelectItem item;
+  Token t = lex->Take();
+  if (t.type != Token::Type::kIdent) {
+    return Status::InvalidArgument("expected column or aggregate, got '" +
+                                   t.text + "'");
+  }
+  static const std::map<std::string, AggFn> kAggs = {
+      {"COUNT", AggFn::kCount}, {"SUM", AggFn::kSum}, {"MIN", AggFn::kMin},
+      {"MAX", AggFn::kMax},     {"AVG", AggFn::kAvg}};
+  auto agg_it = kAggs.find(t.upper);
+  if (agg_it != kAggs.end() && lex->ConsumeSymbol("(")) {
+    item.is_aggregate = true;
+    item.agg.fn = agg_it->second;
+    if (item.agg.fn == AggFn::kCount) {
+      if (lex->ConsumeSymbol("*")) {
+        // COUNT(*).
+      } else if (lex->ConsumeKeyword("DISTINCT")) {
+        item.agg.fn = AggFn::kCountDistinct;
+        Token col = lex->Take();
+        if (col.type != Token::Type::kIdent) {
+          return Status::InvalidArgument("expected column after DISTINCT");
+        }
+        item.agg.column = col.text;
+      } else {
+        Token col = lex->Take();
+        if (col.type != Token::Type::kIdent) {
+          return Status::InvalidArgument("expected column in COUNT()");
+        }
+        // COUNT(col) counts rows (our engine's kCount ignores the column).
+      }
+    } else {
+      Token col = lex->Take();
+      if (col.type != Token::Type::kIdent) {
+        return Status::InvalidArgument("expected column in aggregate");
+      }
+      item.agg.column = col.text;
+    }
+    if (!lex->ConsumeSymbol(")")) {
+      return Status::InvalidArgument("expected ')' after aggregate");
+    }
+    if (lex->ConsumeKeyword("AS")) {
+      Token alias = lex->Take();
+      if (alias.type != Token::Type::kIdent) {
+        return Status::InvalidArgument("expected alias after AS");
+      }
+      item.agg.as = alias.text;
+    }
+    return item;
+  }
+  item.column = t.text;
+  return item;
+}
+
+/// Resolve a column name against the main table, or the join table when
+/// the main lacks it. Returns (schema position, belongs-to-right).
+Result<std::pair<size_t, bool>> ResolveColumn(const CatalogState& state,
+                                              const QuerySpec& spec,
+                                              const std::string& name) {
+  const TableDef* left = state.FindTableByName(spec.scan.table);
+  if (left != nullptr) {
+    Result<size_t> idx = left->schema.IndexOf(name);
+    if (idx.ok()) return std::make_pair(*idx, false);
+  }
+  if (spec.join) {
+    const TableDef* right = state.FindTableByName(spec.join->right.table);
+    if (right != nullptr) {
+      Result<size_t> idx = right->schema.IndexOf(name);
+      if (idx.ok()) return std::make_pair(*idx, true);
+    }
+  }
+  return Status::InvalidArgument("unknown column: " + name);
+}
+
+Result<Value> ParseLiteral(Lexer* lex, DataType type) {
+  Token t = lex->Take();
+  switch (t.type) {
+    case Token::Type::kNumber:
+      if (type == DataType::kDouble) {
+        return Value::Dbl(strtod(t.text.c_str(), nullptr));
+      }
+      if (type == DataType::kInt64) {
+        return Value::Int(strtoll(t.text.c_str(), nullptr, 10));
+      }
+      return Status::InvalidArgument("numeric literal for string column");
+    case Token::Type::kString:
+      if (type != DataType::kString) {
+        return Status::InvalidArgument("string literal for numeric column");
+      }
+      return Value::Str(t.text);
+    default:
+      return Status::InvalidArgument("expected literal, got '" + t.text + "'");
+  }
+}
+
+}  // namespace
+
+Result<QuerySpec> ParseSelect(const CatalogState& state,
+                              const std::string& sql) {
+  Lexer lex(sql);
+  if (!lex.ConsumeKeyword("SELECT")) {
+    return Status::InvalidArgument("expected SELECT");
+  }
+
+  std::vector<SelectItem> items;
+  do {
+    EON_ASSIGN_OR_RETURN(SelectItem item, ParseItem(&lex));
+    items.push_back(std::move(item));
+  } while (lex.ConsumeSymbol(","));
+
+  if (!lex.ConsumeKeyword("FROM")) {
+    return Status::InvalidArgument("expected FROM");
+  }
+  Token table = lex.Take();
+  if (table.type != Token::Type::kIdent) {
+    return Status::InvalidArgument("expected table name after FROM");
+  }
+
+  QuerySpec spec;
+  spec.scan.table = table.text;
+  if (state.FindTableByName(table.text) == nullptr) {
+    return Status::NotFound("no such table: " + table.text);
+  }
+
+  if (lex.ConsumeKeyword("JOIN")) {
+    Token right = lex.Take();
+    if (right.type != Token::Type::kIdent) {
+      return Status::InvalidArgument("expected table name after JOIN");
+    }
+    if (state.FindTableByName(right.text) == nullptr) {
+      return Status::NotFound("no such table: " + right.text);
+    }
+    if (!lex.ConsumeKeyword("ON")) {
+      return Status::InvalidArgument("expected ON");
+    }
+    Token a = lex.Take();
+    if (!lex.ConsumeSymbol("=")) {
+      return Status::InvalidArgument("expected '=' in join condition");
+    }
+    Token b = lex.Take();
+    if (a.type != Token::Type::kIdent || b.type != Token::Type::kIdent) {
+      return Status::InvalidArgument("expected columns in join condition");
+    }
+    spec.join = JoinSpec{{right.text, {}, nullptr}, "", ""};
+    // Either order: left_col = right_col or right_col = left_col.
+    const TableDef* left_table = state.FindTableByName(spec.scan.table);
+    if (left_table->schema.IndexOf(a.text).ok()) {
+      spec.join->left_key = a.text;
+      spec.join->right_key = b.text;
+    } else {
+      spec.join->left_key = b.text;
+      spec.join->right_key = a.text;
+    }
+  }
+
+  // Distribute select items: plain columns to the owning side's column
+  // list; aggregates collected.
+  for (const SelectItem& item : items) {
+    if (item.is_aggregate) {
+      spec.aggregates.push_back(item.agg);
+      if (!item.agg.column.empty()) {
+        EON_ASSIGN_OR_RETURN(auto where,
+                             ResolveColumn(state, spec, item.agg.column));
+        (void)where;
+      }
+      continue;
+    }
+    EON_ASSIGN_OR_RETURN(auto where, ResolveColumn(state, spec, item.column));
+    if (where.second) {
+      spec.join->right.columns.push_back(item.column);
+    } else {
+      spec.scan.columns.push_back(item.column);
+    }
+  }
+
+  if (lex.ConsumeKeyword("WHERE")) {
+    PredicatePtr left_pred, right_pred;
+    bool pending_or_left = false, pending_or_right = false;
+    while (true) {
+      Token col = lex.Take();
+      if (col.type != Token::Type::kIdent) {
+        return Status::InvalidArgument("expected column in WHERE");
+      }
+      EON_ASSIGN_OR_RETURN(auto where, ResolveColumn(state, spec, col.text));
+      Token op = lex.Take();
+      if (op.type != Token::Type::kSymbol) {
+        return Status::InvalidArgument("expected comparison operator");
+      }
+      EON_ASSIGN_OR_RETURN(CmpOp cmp, ParseOp(op.text));
+      const TableDef* owner = state.FindTableByName(
+          where.second ? spec.join->right.table : spec.scan.table);
+      EON_ASSIGN_OR_RETURN(
+          Value literal,
+          ParseLiteral(&lex, owner->schema.column(where.first).type));
+      PredicatePtr cond = Predicate::Cmp(where.first, cmp, literal);
+
+      PredicatePtr* target = where.second ? &right_pred : &left_pred;
+      bool* pending_or = where.second ? &pending_or_right : &pending_or_left;
+      if (*target == nullptr) {
+        *target = cond;
+      } else if (*pending_or) {
+        *target = Predicate::Or(*target, cond);
+      } else {
+        *target = Predicate::And(*target, cond);
+      }
+      if (lex.ConsumeKeyword("AND")) {
+        pending_or_left = pending_or_right = false;
+        continue;
+      }
+      if (lex.ConsumeKeyword("OR")) {
+        pending_or_left = pending_or_right = true;
+        continue;
+      }
+      break;
+    }
+    spec.scan.predicate = left_pred;
+    if (right_pred != nullptr) spec.join->right.predicate = right_pred;
+  }
+
+  if (lex.ConsumeKeyword("GROUP")) {
+    if (!lex.ConsumeKeyword("BY")) {
+      return Status::InvalidArgument("expected BY after GROUP");
+    }
+    do {
+      Token col = lex.Take();
+      if (col.type != Token::Type::kIdent) {
+        return Status::InvalidArgument("expected column in GROUP BY");
+      }
+      spec.group_by.push_back(col.text);
+    } while (lex.ConsumeSymbol(","));
+  }
+
+  if (lex.ConsumeKeyword("ORDER")) {
+    if (!lex.ConsumeKeyword("BY")) {
+      return Status::InvalidArgument("expected BY after ORDER");
+    }
+    Token col = lex.Take();
+    if (col.type != Token::Type::kIdent) {
+      return Status::InvalidArgument("expected column in ORDER BY");
+    }
+    spec.order_by = col.text;
+    if (lex.ConsumeKeyword("DESC")) {
+      spec.order_desc = true;
+    } else {
+      (void)lex.ConsumeKeyword("ASC");
+    }
+  }
+
+  if (lex.ConsumeKeyword("LIMIT")) {
+    Token n = lex.Take();
+    if (n.type != Token::Type::kNumber) {
+      return Status::InvalidArgument("expected number after LIMIT");
+    }
+    spec.limit = strtoll(n.text.c_str(), nullptr, 10);
+  }
+
+  (void)lex.ConsumeSymbol(";");
+  if (lex.peek().type != Token::Type::kEnd) {
+    return Status::InvalidArgument("unexpected trailing input: '" +
+                                   lex.peek().text + "'");
+  }
+  return spec;
+}
+
+std::string FormatResult(const QueryResult& result) {
+  std::vector<size_t> widths(result.schema.num_columns());
+  std::vector<std::vector<std::string>> cells;
+  for (size_t c = 0; c < result.schema.num_columns(); ++c) {
+    widths[c] = result.schema.column(c).name.size();
+  }
+  for (const Row& row : result.rows) {
+    std::vector<std::string> line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::string text = row[c].ToString();
+      widths[c] = std::max(widths[c], text.size());
+      line.push_back(std::move(text));
+    }
+    cells.push_back(std::move(line));
+  }
+
+  std::ostringstream out;
+  for (size_t c = 0; c < result.schema.num_columns(); ++c) {
+    out << (c ? " | " : " ") << result.schema.column(c).name;
+    out << std::string(widths[c] - result.schema.column(c).name.size(), ' ');
+  }
+  out << "\n";
+  for (size_t c = 0; c < result.schema.num_columns(); ++c) {
+    out << (c ? "-+-" : "-") << std::string(widths[c], '-');
+  }
+  out << "\n";
+  for (const auto& line : cells) {
+    for (size_t c = 0; c < line.size(); ++c) {
+      out << (c ? " | " : " ") << line[c]
+          << std::string(widths[c] - line[c].size(), ' ');
+    }
+    out << "\n";
+  }
+  out << "(" << result.rows.size() << " row"
+      << (result.rows.size() == 1 ? "" : "s") << ")\n";
+  return out.str();
+}
+
+}  // namespace eon

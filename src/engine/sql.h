@@ -1,0 +1,41 @@
+#ifndef EON_ENGINE_SQL_H_
+#define EON_ENGINE_SQL_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "engine/query.h"
+
+namespace eon {
+
+/// Parse a minimal SQL SELECT into the engine's QuerySpec. Grammar:
+///
+///   SELECT item [, item]...
+///   FROM table
+///   [JOIN table2 ON col1 = col2]
+///   [WHERE cond [AND|OR cond]...]
+///   [GROUP BY col [, col]...]
+///   [ORDER BY col [DESC]]
+///   [LIMIT n]
+///
+///   item := column
+///         | COUNT(*) | COUNT(DISTINCT column)
+///         | SUM(column) | MIN(column) | MAX(column) | AVG(column)
+///         [AS alias]
+///   cond := column op literal      (op: = <> < <= > >=)
+///   literal := integer | floating | 'string'
+///
+/// AND/OR associate left to right (no parentheses). WHERE conditions bind
+/// to whichever side of the join defines the column. Identifiers are
+/// case-insensitive keywords, case-sensitive names. This is a convenience
+/// layer for the REPL and examples; the paper's contribution sits below
+/// the SQL surface, which Vertica reuses unchanged.
+Result<QuerySpec> ParseSelect(const CatalogState& state,
+                              const std::string& sql);
+
+/// Render a result set as an aligned text table (REPL output).
+std::string FormatResult(const QueryResult& result);
+
+}  // namespace eon
+
+#endif  // EON_ENGINE_SQL_H_

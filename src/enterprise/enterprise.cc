@@ -1,0 +1,116 @@
+#include "enterprise/enterprise.h"
+
+namespace eon {
+
+Result<std::unique_ptr<EnterpriseCluster>> EnterpriseCluster::Create(
+    Clock* clock, const EnterpriseOptions& options,
+    const std::vector<std::string>& node_names) {
+  auto ec = std::unique_ptr<EnterpriseCluster>(new EnterpriseCluster());
+  ec->options_ = options;
+  ec->clock_ = clock;
+  // The union of the nodes' private disks. Reads never hit it during
+  // queries (unbounded write-through caches model local storage); it backs
+  // durability like direct-attached disk does.
+  ec->disk_union_ = std::make_unique<MemObjectStore>();
+
+  ClusterOptions copts;
+  copts.num_shards = static_cast<uint32_t>(node_names.size());
+  copts.k_safety = 2;  // Base + buddy projection.
+  copts.seed = options.seed;
+  copts.db_name = "enterprise";
+  copts.node.cache.capacity_bytes = UINT64_MAX;  // Private disk: unbounded.
+  copts.node.cache.write_through = true;
+
+  std::vector<NodeSpec> specs;
+  for (const std::string& name : node_names) specs.push_back(NodeSpec{name, ""});
+  EON_ASSIGN_OR_RETURN(
+      ec->cluster_,
+      EonCluster::Create(ec->disk_union_.get(), clock, copts, specs));
+  return ec;
+}
+
+Result<Oid> EnterpriseCluster::CreateTable(
+    const std::string& name, const Schema& schema,
+    std::optional<std::string> partition_column,
+    const std::vector<ProjectionSpec>& projections) {
+  return eon::CreateTable(cluster_.get(), name, schema, partition_column,
+                          projections);
+}
+
+Result<uint64_t> EnterpriseCluster::Copy(const std::string& table,
+                                         const std::vector<Row>& rows) {
+  return CopyInto(cluster_.get(), table, rows);
+}
+
+Result<ExecContext> EnterpriseCluster::FixedContext() {
+  ExecContext context;
+  const uint32_t n = static_cast<uint32_t>(cluster_->nodes().size());
+  for (uint32_t region = 0; region < n; ++region) {
+    // Enterprise's deterministic mapping: region i lives on node i+1 (oids
+    // are 1-based); a down node's region falls to the rotated-ring buddy.
+    for (uint32_t probe = 0; probe < n; ++probe) {
+      const Oid owner = static_cast<Oid>((region + probe) % n + 1);
+      Node* node = cluster_->node(owner);
+      if (node != nullptr && node->is_up()) {
+        context.participation.shard_to_node[region] = owner;
+        break;
+      }
+    }
+    if (!context.participation.shard_to_node.count(region)) {
+      return Status::Unavailable("region " + std::to_string(region) +
+                                 " has no live node");
+    }
+  }
+  return context;
+}
+
+Result<QueryResult> EnterpriseCluster::Execute(const QuerySpec& spec) {
+  EON_ASSIGN_OR_RETURN(ExecContext context, FixedContext());
+  return ExecuteQuery(cluster_.get(), spec, context);
+}
+
+Status EnterpriseCluster::KillNode(const std::string& name) {
+  Node* node = cluster_->node_by_name(name);
+  if (node == nullptr) return Status::NotFound("no such node");
+  return cluster_->KillNode(node->oid());
+}
+
+Result<uint64_t> EnterpriseCluster::RecoveryBytes(const std::string& name) {
+  Node* node = cluster_->node_by_name(name);
+  if (node == nullptr) return Status::NotFound("no such node");
+  Node* any = cluster_->AnyUpNode();
+  if (any == nullptr) return Status::Unavailable("no up nodes");
+  auto snapshot = any->catalog()->snapshot();
+
+  // Everything this node stores: all containers of every shard it
+  // subscribes to (base + buddy regions) plus replicated projections.
+  std::set<ShardId> shards;
+  for (const auto& [key, sub] : snapshot->subscriptions) {
+    if (key.first == node->oid()) shards.insert(key.second);
+  }
+  uint64_t bytes = 0;
+  for (const auto& [oid, c] : snapshot->containers) {
+    if (shards.count(c.shard)) bytes += c.total_bytes;
+  }
+  return bytes;
+}
+
+Result<uint64_t> EnterpriseCluster::RestartNodeWithRecovery(
+    const std::string& name) {
+  Node* node = cluster_->node_by_name(name);
+  if (node == nullptr) return Status::NotFound("no such node");
+  EON_ASSIGN_OR_RETURN(uint64_t bytes, RecoveryBytes(name));
+
+  // Enterprise recovery: each table/projection is repaired by logically
+  // transferring data from the buddy (an executed query plan, not a byte
+  // copy). Charge the full-dataset transfer to the clock.
+  if (options_.disk_bandwidth_bytes_per_sec > 0) {
+    clock_->AdvanceMicros(static_cast<int64_t>(
+        static_cast<double>(bytes) * 1e6 /
+        static_cast<double>(options_.disk_bandwidth_bytes_per_sec)));
+  }
+  EON_RETURN_IF_ERROR(cluster_->RestartNode(node->oid(), /*warm_cache=*/true));
+  return bytes;
+}
+
+}  // namespace eon

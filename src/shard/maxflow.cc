@@ -1,0 +1,84 @@
+#include "shard/maxflow.h"
+
+#include <queue>
+
+#include "common/logging.h"
+
+namespace eon {
+
+MaxFlowGraph::MaxFlowGraph(int num_vertices) : adj_(num_vertices) {}
+
+int MaxFlowGraph::AddEdge(int from, int to, int64_t capacity) {
+  EON_CHECK(from >= 0 && from < num_vertices());
+  EON_CHECK(to >= 0 && to < num_vertices());
+  const int id = static_cast<int>(edge_index_.size());
+  adj_[from].push_back(
+      Edge{to, capacity, static_cast<int>(adj_[to].size())});
+  adj_[to].push_back(
+      Edge{from, 0, static_cast<int>(adj_[from].size()) - 1});
+  edge_index_.emplace_back(from, static_cast<int>(adj_[from].size()) - 1);
+  original_capacity_.push_back(capacity);
+  return id;
+}
+
+bool MaxFlowGraph::Bfs(int source, int sink) {
+  level_.assign(num_vertices(), -1);
+  std::queue<int> q;
+  level_[source] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    int v = q.front();
+    q.pop();
+    for (const Edge& e : adj_[v]) {
+      if (e.capacity > 0 && level_[e.to] < 0) {
+        level_[e.to] = level_[v] + 1;
+        q.push(e.to);
+      }
+    }
+  }
+  return level_[sink] >= 0;
+}
+
+int64_t MaxFlowGraph::Dfs(int v, int sink, int64_t pushed) {
+  if (v == sink) return pushed;
+  for (int& i = iter_[v]; i < static_cast<int>(adj_[v].size()); ++i) {
+    Edge& e = adj_[v][i];
+    if (e.capacity > 0 && level_[v] < level_[e.to]) {
+      int64_t d = Dfs(e.to, sink, std::min(pushed, e.capacity));
+      if (d > 0) {
+        e.capacity -= d;
+        adj_[e.to][e.rev].capacity += d;
+        return d;
+      }
+    }
+  }
+  return 0;
+}
+
+int64_t MaxFlowGraph::Solve(int source, int sink) {
+  while (Bfs(source, sink)) {
+    iter_.assign(num_vertices(), 0);
+    int64_t f;
+    while ((f = Dfs(source, sink, INT64_MAX)) > 0) total_flow_ += f;
+  }
+  return total_flow_;
+}
+
+int64_t MaxFlowGraph::EdgeFlow(int edge_id) const {
+  const auto& [v, pos] = edge_index_[edge_id];
+  const Edge& e = adj_[v][pos];
+  // Flow = original capacity - residual capacity... but capacity may have
+  // been raised; track against recorded original.
+  return original_capacity_[edge_id] - e.capacity;
+}
+
+void MaxFlowGraph::SetCapacity(int edge_id, int64_t capacity) {
+  const auto& [v, pos] = edge_index_[edge_id];
+  Edge& e = adj_[v][pos];
+  const int64_t flow = original_capacity_[edge_id] - e.capacity;
+  EON_CHECK_MSG(capacity >= flow, "cannot lower capacity below routed flow");
+  e.capacity = capacity - flow;
+  original_capacity_[edge_id] = capacity;
+}
+
+}  // namespace eon

@@ -1,0 +1,55 @@
+#ifndef EON_SHARD_MAXFLOW_H_
+#define EON_SHARD_MAXFLOW_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace eon {
+
+/// Max-flow solver (Dinic's algorithm) used by participating-subscription
+/// selection (paper Section 4.1, Figure 6). Graphs are tiny (shards + nodes
+/// + 2), so simplicity beats asymptotics; Dinic also supports the paper's
+/// successive-rounds usage: raise capacities, re-solve, and existing flow
+/// is preserved and extended.
+class MaxFlowGraph {
+ public:
+  explicit MaxFlowGraph(int num_vertices);
+
+  /// Add a directed edge with the given capacity; returns an edge id for
+  /// later flow inspection / capacity adjustment.
+  int AddEdge(int from, int to, int64_t capacity);
+
+  /// Augment the current flow to a maximum flow from source to sink.
+  /// Returns the *total* flow routed so far (including earlier calls).
+  int64_t Solve(int source, int sink);
+
+  /// Flow currently routed over edge `edge_id`.
+  int64_t EdgeFlow(int edge_id) const;
+
+  /// Raise (or set) the capacity of an edge. Lowering below current flow
+  /// is not supported.
+  void SetCapacity(int edge_id, int64_t capacity);
+
+  int num_vertices() const { return static_cast<int>(adj_.size()); }
+
+ private:
+  struct Edge {
+    int to;
+    int64_t capacity;  ///< Residual capacity.
+    int rev;           ///< Index of the reverse edge in adj_[to].
+  };
+
+  bool Bfs(int source, int sink);
+  int64_t Dfs(int v, int sink, int64_t pushed);
+
+  std::vector<std::vector<Edge>> adj_;
+  std::vector<std::pair<int, int>> edge_index_;  ///< edge id → (vertex, pos).
+  std::vector<int64_t> original_capacity_;
+  std::vector<int> level_;
+  std::vector<int> iter_;
+  int64_t total_flow_ = 0;
+};
+
+}  // namespace eon
+
+#endif  // EON_SHARD_MAXFLOW_H_

@@ -1,0 +1,159 @@
+#include "shard/participation.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "shard/maxflow.h"
+
+namespace eon {
+
+std::set<Oid> ParticipationResult::Nodes() const {
+  std::set<Oid> out;
+  for (const auto& [shard, node] : shard_to_node) out.insert(node);
+  return out;
+}
+
+std::vector<ShardId> ParticipationResult::ShardsOf(Oid node) const {
+  std::vector<ShardId> out;
+  for (const auto& [shard, n] : shard_to_node) {
+    if (n == node) out.push_back(shard);
+  }
+  return out;
+}
+
+Result<ParticipationResult> SelectParticipatingNodes(
+    const CatalogState& state, const std::set<Oid>& up_nodes,
+    const ParticipationOptions& options) {
+  const uint32_t num_shards = state.sharding.num_segment_shards;
+  if (num_shards == 0) {
+    return Status::InvalidArgument("sharding not configured");
+  }
+
+  // Serving states: ACTIVE normally; REMOVING still serves (Figure 4).
+  const std::set<SubscriptionState> serving = {SubscriptionState::kActive,
+                                               SubscriptionState::kRemoving};
+
+  // Collect candidate nodes per shard, and the overall node universe.
+  std::vector<std::vector<Oid>> shard_candidates(num_shards);
+  std::set<Oid> all_nodes;
+  for (ShardId s = 0; s < num_shards; ++s) {
+    for (Oid n : state.SubscribersOf(s, serving)) {
+      if (!up_nodes.count(n)) continue;
+      shard_candidates[s].push_back(n);
+      all_nodes.insert(n);
+    }
+    if (shard_candidates[s].empty()) {
+      return Status::Unavailable("shard " + std::to_string(s) +
+                                 " has no live ACTIVE subscriber");
+    }
+  }
+
+  // Priority groups: default is one group with every candidate node.
+  std::vector<std::vector<Oid>> groups = options.priority_groups;
+  if (groups.empty()) {
+    groups.push_back(std::vector<Oid>(all_nodes.begin(), all_nodes.end()));
+  }
+
+  // Vertex numbering: 0 = source, 1..S = shards, then nodes, last = sink.
+  std::map<Oid, int> node_vertex;
+  int next_vertex = 1 + static_cast<int>(num_shards);
+  for (Oid n : all_nodes) node_vertex[n] = next_vertex++;
+  const int sink = next_vertex;
+  MaxFlowGraph graph(sink + 1);
+  const int source = 0;
+
+  for (ShardId s = 0; s < num_shards; ++s) {
+    graph.AddEdge(source, 1 + static_cast<int>(s), 1);
+  }
+
+  // Shard→node edges; creation order varied by seed so equivalent max
+  // flows differ run to run, spreading load (Section 4.1).
+  Random rng(options.variation_seed + 1);
+  std::map<std::pair<ShardId, Oid>, int> shard_node_edge;
+  for (ShardId s = 0; s < num_shards; ++s) {
+    std::vector<Oid> cands = shard_candidates[s];
+    for (size_t i = cands.size(); i > 1; --i) {
+      std::swap(cands[i - 1], cands[rng.Uniform(i)]);
+    }
+    for (Oid n : cands) {
+      shard_node_edge[{s, n}] =
+          graph.AddEdge(1 + static_cast<int>(s), node_vertex[n], 1);
+    }
+  }
+
+  // Node→sink edges start with the top priority group at even capacity.
+  const int64_t base_capacity = std::max<int64_t>(
+      1, num_shards / std::max<size_t>(1, all_nodes.size()));
+  std::map<Oid, int> sink_edge;
+  size_t group_idx = 0;
+  int64_t capacity = base_capacity;
+
+  auto add_group = [&](size_t g) {
+    for (Oid n : groups[g]) {
+      if (!node_vertex.count(n) || sink_edge.count(n)) continue;
+      sink_edge[n] = graph.AddEdge(node_vertex[n], sink, capacity);
+    }
+  };
+  add_group(group_idx++);
+
+  // Successive rounds: add lower-priority groups first, then raise
+  // capacities; existing flow is left intact (paper Section 4.1).
+  int64_t flow = graph.Solve(source, sink);
+  while (flow < num_shards) {
+    if (group_idx < groups.size()) {
+      add_group(group_idx++);
+    } else {
+      capacity++;
+      if (capacity > static_cast<int64_t>(num_shards)) {
+        return Status::Internal("participation flow cannot cover all shards");
+      }
+      for (const auto& [n, edge] : sink_edge) {
+        graph.SetCapacity(edge, capacity);
+      }
+    }
+    flow = graph.Solve(source, sink);
+  }
+
+  ParticipationResult result;
+  for (const auto& [key, edge] : shard_node_edge) {
+    if (graph.EdgeFlow(edge) > 0) {
+      result.shard_to_node[key.first] = key.second;
+    }
+  }
+  EON_CHECK(result.shard_to_node.size() == num_shards);
+  return result;
+}
+
+std::vector<std::pair<Oid, ShardId>> PlanSubscriptionLayout(
+    const CatalogState& state, const std::vector<NodeDef>& nodes, int k) {
+  const uint32_t num_shards = state.sharding.num_segment_shards;
+  std::vector<std::pair<Oid, ShardId>> out;
+  if (num_shards == 0 || nodes.empty()) return out;
+
+  // Group nodes by subcluster; each subcluster covers all shards on its own.
+  std::map<std::string, std::vector<Oid>> by_subcluster;
+  for (const NodeDef& n : nodes) by_subcluster[n.subcluster].push_back(n.oid);
+
+  std::set<std::pair<Oid, ShardId>> dedup;
+  for (auto& [name, ring] : by_subcluster) {
+    std::sort(ring.begin(), ring.end());
+    const int replicas =
+        std::min<int>(std::max(k, 1), static_cast<int>(ring.size()));
+    for (ShardId s = 0; s < num_shards; ++s) {
+      for (int r = 0; r < replicas; ++r) {
+        Oid node = ring[(s + static_cast<uint32_t>(r)) % ring.size()];
+        if (dedup.insert({node, s}).second) out.emplace_back(node, s);
+      }
+    }
+    // Every node subscribes to the replica shard (replicated projections
+    // live on all nodes).
+    for (Oid node : ring) {
+      if (dedup.insert({node, state.sharding.replica_shard()}).second) {
+        out.emplace_back(node, state.sharding.replica_shard());
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace eon

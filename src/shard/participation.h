@@ -1,0 +1,63 @@
+#ifndef EON_SHARD_PARTICIPATION_H_
+#define EON_SHARD_PARTICIPATION_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "catalog/catalog.h"
+
+namespace eon {
+
+/// Inputs to participating-subscription selection (Section 4.1).
+struct ParticipationOptions {
+  /// Node priority groups, highest priority first. The flow graph starts
+  /// with node→sink edges only for group 0 (e.g. the session's subcluster
+  /// or rack); lower groups are added only if max flow cannot cover all
+  /// shards — this is how subcluster workload isolation stays strict until
+  /// node failures force outside help (Section 4.3).
+  std::vector<std::vector<Oid>> priority_groups;
+
+  /// Varies the order graph edges are created so repeated selections
+  /// spread over equivalent assignments, increasing throughput because the
+  /// same nodes are not "full" serving the same shards for all queries.
+  uint64_t variation_seed = 0;
+};
+
+/// A covering assignment: exactly one serving node per segment shard.
+struct ParticipationResult {
+  std::map<ShardId, Oid> shard_to_node;
+
+  /// Distinct participating nodes.
+  std::set<Oid> Nodes() const;
+  /// Shards assigned to `node`.
+  std::vector<ShardId> ShardsOf(Oid node) const;
+};
+
+/// Select the nodes that will serve each segment shard for one session /
+/// query, by max flow over the Figure 6 graph:
+///
+///   SOURCE --1--> shard_i --1--> node_j --cap--> SINK
+///
+/// shard→node edges exist where `node_j` is in `up_nodes` and holds an
+/// ACTIVE (or REMOVING — still serving) subscription to shard_i. Node→sink
+/// capacities start at max(S/N, 1) and are raised in successive rounds,
+/// preserving flow, until all shards are covered with minimal skew.
+/// Returns Unavailable if some shard has no live subscriber.
+Result<ParticipationResult> SelectParticipatingNodes(
+    const CatalogState& state, const std::set<Oid>& up_nodes,
+    const ParticipationOptions& options = {});
+
+/// Desired subscription layout: every shard gets `k` subscribers drawn
+/// round-robin from `nodes` (ring layout); if subcluster names are present
+/// on the nodes, each subcluster independently covers all shards so it can
+/// serve queries in isolation (Sections 3.1, 4.3, 6.4).
+///
+/// Returns (node, shard) pairs that SHOULD exist; the caller diffs against
+/// current subscriptions and drives the Figure 4 state machine.
+std::vector<std::pair<Oid, ShardId>> PlanSubscriptionLayout(
+    const CatalogState& state, const std::vector<NodeDef>& nodes, int k);
+
+}  // namespace eon
+
+#endif  // EON_SHARD_PARTICIPATION_H_

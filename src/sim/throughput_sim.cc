@@ -1,0 +1,219 @@
+#include "sim/throughput_sim.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace eon {
+
+namespace {
+
+struct Event {
+  int64_t time;
+  enum class Type { kCompletion, kIssue, kKill, kRestart } type;
+  int id;  ///< Thread id for completion/issue, node index for kill/restart.
+
+  bool operator>(const Event& o) const { return time > o.time; }
+};
+
+}  // namespace
+
+ThroughputSim::RunResult ThroughputSim::Run(const Options& options) {
+  EON_CHECK(options.num_nodes > 0 && options.num_shards > 0);
+  const int n = options.num_nodes;
+  const int s = options.num_shards;
+
+  std::vector<int> busy(n, 0);       // Occupied slots per node.
+  std::vector<bool> up(n, true);
+  std::vector<int64_t> blackout_until(s, 0);  // Per-shard failover stall.
+  Random rng(options.seed);
+
+  // Subscription layout: node j's primary shard is j % s, and it also
+  // backs the next k-1 shards (rotated ring) — so with more nodes than
+  // shards every node serves queries, the condition for elastic
+  // throughput scaling (Section 4.2). Enterprise (s == n) degenerates to
+  // region i on node i with its ring buddy next.
+  auto subscribers = [&](int shard) {
+    std::vector<int> subs;
+    const int k = std::min(options.k_safety, n);
+    for (int r = 0; r < k; ++r) {
+      for (int j = 0; j < n; ++j) {
+        if ((j + r) % s == shard) subs.push_back(j);
+      }
+    }
+    return subs;
+  };
+
+  // Pick the serving node per shard for one query: least-loaded up
+  // subscriber (the load-spreading behavior max-flow selection produces);
+  // Enterprise takes the first up subscriber in ring order (fixed layout).
+  // Returns empty if some shard is unserveable (all subscribers down).
+  auto assign = [&](int64_t now) {
+    std::vector<int> chosen(s, -1);
+    for (int shard = 0; shard < s; ++shard) {
+      if (blackout_until[shard] > now) return std::vector<int>();
+      int best = -1;
+      for (int node : subscribers(shard)) {
+        if (!up[node]) continue;
+        if (options.enterprise) {
+          best = node;
+          break;
+        }
+        if (best < 0 || busy[node] < busy[best]) best = node;
+      }
+      if (best < 0) return std::vector<int>();
+      chosen[shard] = best;
+    }
+    return chosen;
+  };
+
+  // A query can start when every chosen node has a free slot. In
+  // Enterprise a query may take several slots on one node (buddy serving
+  // two regions); count required slots per node.
+  auto try_start = [&](int64_t now, std::vector<int>* out_nodes) {
+    std::vector<int> chosen = assign(now);
+    if (chosen.empty()) return false;
+    std::vector<int> need(n, 0);
+    for (int node : chosen) need[node]++;
+    for (int node = 0; node < n; ++node) {
+      if (need[node] > 0 &&
+          busy[node] + need[node] > options.slots_per_node) {
+        return false;
+      }
+    }
+    for (int node = 0; node < n; ++node) busy[node] += need[node];
+    *out_nodes = std::move(chosen);
+    return true;
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  for (const auto& [t, node] : options.kill_events) {
+    events.push(Event{t, Event::Type::kKill, node});
+  }
+  for (const auto& [t, node] : options.restart_events) {
+    events.push(Event{t, Event::Type::kRestart, node});
+  }
+
+  // Per-thread state: slots currently held (by node).
+  std::vector<std::vector<int>> holding(options.threads);
+  std::deque<int> waiting;  // Thread ids blocked on slot availability.
+
+  RunResult result;
+  const int64_t num_buckets =
+      (options.duration_micros + options.bucket_micros - 1) /
+      options.bucket_micros;
+  std::vector<uint64_t> buckets(static_cast<size_t>(num_buckets), 0);
+
+  auto release = [&](int thread) {
+    for (int node : holding[thread]) busy[node]--;
+    holding[thread].clear();
+  };
+
+  auto issue = [&](int thread, int64_t now) {
+    std::vector<int> nodes;
+    if (try_start(now, &nodes)) {
+      holding[thread] = std::move(nodes);
+      // Small service-time jitter (±10%) models variance.
+      const int64_t jitter =
+          options.service_micros / 10 > 0
+              ? rng.UniformRange(-options.service_micros / 10,
+                                 options.service_micros / 10)
+              : 0;
+      events.push(Event{now + options.service_micros + jitter,
+                        Event::Type::kCompletion, thread});
+    } else {
+      waiting.push_back(thread);
+    }
+  };
+
+  auto drain_waiting = [&](int64_t now) {
+    // FIFO retry: stop at the first thread that still cannot start.
+    size_t attempts = waiting.size();
+    while (attempts-- > 0 && !waiting.empty()) {
+      int thread = waiting.front();
+      waiting.pop_front();
+      std::vector<int> nodes;
+      if (try_start(now, &nodes)) {
+        holding[thread] = std::move(nodes);
+        const int64_t jitter =
+            options.service_micros / 10 > 0
+                ? rng.UniformRange(-options.service_micros / 10,
+                                   options.service_micros / 10)
+                : 0;
+        events.push(Event{now + options.service_micros + jitter,
+                          Event::Type::kCompletion, thread});
+      } else {
+        waiting.push_front(thread);
+        break;
+      }
+    }
+  };
+
+  for (int thread = 0; thread < options.threads; ++thread) issue(thread, 0);
+
+  while (!events.empty()) {
+    Event ev = events.top();
+    events.pop();
+    if (ev.time >= options.duration_micros) break;
+    switch (ev.type) {
+      case Event::Type::kCompletion: {
+        release(ev.id);
+        result.completed++;
+        const size_t bucket =
+            static_cast<size_t>(ev.time / options.bucket_micros);
+        if (bucket < buckets.size()) buckets[bucket]++;
+        drain_waiting(ev.time);
+        if (options.think_micros > 0) {
+          events.push(Event{ev.time + options.think_micros,
+                            Event::Type::kIssue, ev.id});
+        } else {
+          issue(ev.id, ev.time);
+        }
+        break;
+      }
+      case Event::Type::kIssue:
+        issue(ev.id, ev.time);
+        break;
+      case Event::Type::kKill: {
+        if (ev.id < 0 || ev.id >= n) break;
+        up[ev.id] = false;
+        // Shards the node was subscribed to stall for the failover
+        // blackout; other subscribers then pick them up.
+        for (int shard = 0; shard < s; ++shard) {
+          for (int sub : subscribers(shard)) {
+            if (sub == ev.id) {
+              blackout_until[shard] = std::max(
+                  blackout_until[shard],
+                  ev.time + options.failover_blackout_micros);
+            }
+          }
+        }
+        if (options.failover_blackout_micros > 0) {
+          // Wake blocked threads once failover completes (id -1 = no
+          // topology change, just a retry tick).
+          events.push(Event{ev.time + options.failover_blackout_micros + 1,
+                            Event::Type::kRestart, -1});
+        }
+        break;
+      }
+      case Event::Type::kRestart: {
+        if (ev.id >= 0 && ev.id < n) up[ev.id] = true;
+        drain_waiting(ev.time);
+        break;
+      }
+    }
+  }
+
+  result.per_minute = static_cast<double>(result.completed) * 60e6 /
+                      static_cast<double>(options.duration_micros);
+  for (int64_t b = 0; b < num_buckets; ++b) {
+    result.buckets.emplace_back(b * options.bucket_micros,
+                                buckets[static_cast<size_t>(b)]);
+  }
+  return result;
+}
+
+}  // namespace eon

@@ -1,0 +1,61 @@
+#ifndef EON_SIM_THROUGHPUT_SIM_H_
+#define EON_SIM_THROUGHPUT_SIM_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace eon {
+
+/// Closed-loop discrete-event simulator of the paper's execution-slot
+/// model (Section 4.2): a database with S shards, N nodes and E execution
+/// slots per node runs a query on S of the N·E slots — one slot on each
+/// node the session's participation assigns a shard to. If S < E, adding
+/// individual nodes yields linear throughput scale-out; Enterprise mode is
+/// the degenerate S == N configuration where every query touches every
+/// node.
+///
+/// Used to regenerate Figures 11a, 11b and 12.
+class ThroughputSim {
+ public:
+  struct Options {
+    int num_nodes = 3;
+    int num_shards = 3;
+    int slots_per_node = 4;
+    int k_safety = 2;  ///< Subscribers per shard (ring layout).
+    /// Closed-loop client threads, each issuing queries back to back.
+    int threads = 10;
+    /// Slot hold time per query (the short dashboard query ~100 ms).
+    int64_t service_micros = 100000;
+    /// Client think time between a completion and the next issue (result
+    /// processing / file preparation on the client side). Keeps low
+    /// thread counts below saturation, as in the paper's curves.
+    int64_t think_micros = 0;
+    int64_t duration_micros = 60LL * 1000 * 1000;
+    /// Enterprise mode: fixed region→node map; a down node's regions land
+    /// on its ring buddy, concentrating double load there (Section 6.1).
+    bool enterprise = false;
+    /// Node-kill / node-restart events: (time, node index).
+    std::vector<std::pair<int64_t, int>> kill_events;
+    std::vector<std::pair<int64_t, int>> restart_events;
+    /// After a kill, shards the dead node served are unavailable for this
+    /// long (failure detection + participation re-selection).
+    int64_t failover_blackout_micros = 0;
+    /// Throughput series bucket width (Figure 12 samples every 4 min).
+    int64_t bucket_micros = 4LL * 60 * 1000 * 1000;
+    uint64_t seed = 1;
+  };
+
+  struct RunResult {
+    uint64_t completed = 0;
+    double per_minute = 0;
+    /// (bucket start micros, queries completed in bucket).
+    std::vector<std::pair<int64_t, uint64_t>> buckets;
+  };
+
+  static RunResult Run(const Options& options);
+};
+
+}  // namespace eon
+
+#endif  // EON_SIM_THROUGHPUT_SIM_H_

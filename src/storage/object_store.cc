@@ -1,0 +1,114 @@
+#include "storage/object_store.h"
+
+#include <map>
+#include <mutex>
+
+namespace eon {
+
+Result<bool> ObjectStore::Exists(const std::string& key) {
+  EON_ASSIGN_OR_RETURN(std::vector<ObjectMeta> metas, List(key));
+  for (const ObjectMeta& m : metas) {
+    if (m.key == key) return true;
+  }
+  return false;
+}
+
+Result<uint64_t> ObjectStore::Size(const std::string& key) {
+  EON_ASSIGN_OR_RETURN(std::vector<ObjectMeta> metas, List(key));
+  for (const ObjectMeta& m : metas) {
+    if (m.key == key) return m.size;
+  }
+  return Status::NotFound("object not found: " + key);
+}
+
+struct MemObjectStore::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, std::string> objects;
+  ObjectStoreMetrics metrics;
+  uint64_t total_bytes = 0;
+};
+
+MemObjectStore::MemObjectStore() : impl_(new Impl()) {}
+MemObjectStore::~MemObjectStore() = default;
+
+Status MemObjectStore::Put(const std::string& key, const std::string& data) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->metrics.puts++;
+  if (impl_->objects.count(key)) {
+    return Status::AlreadyExists("object exists: " + key);
+  }
+  impl_->metrics.bytes_written += data.size();
+  impl_->total_bytes += data.size();
+  impl_->objects.emplace(key, data);
+  return Status::OK();
+}
+
+Result<std::string> MemObjectStore::Get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->metrics.gets++;
+  auto it = impl_->objects.find(key);
+  if (it == impl_->objects.end()) {
+    return Status::NotFound("object not found: " + key);
+  }
+  impl_->metrics.bytes_read += it->second.size();
+  return it->second;
+}
+
+Result<std::string> MemObjectStore::ReadRange(const std::string& key,
+                                              uint64_t offset, uint64_t len) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->metrics.gets++;
+  auto it = impl_->objects.find(key);
+  if (it == impl_->objects.end()) {
+    return Status::NotFound("object not found: " + key);
+  }
+  const std::string& data = it->second;
+  if (offset > data.size()) {
+    return Status::OutOfRange("offset beyond object size");
+  }
+  uint64_t n = std::min<uint64_t>(len, data.size() - offset);
+  impl_->metrics.bytes_read += n;
+  return data.substr(static_cast<size_t>(offset), static_cast<size_t>(n));
+}
+
+Result<std::vector<ObjectMeta>> MemObjectStore::List(
+    const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->metrics.lists++;
+  std::vector<ObjectMeta> out;
+  for (auto it = impl_->objects.lower_bound(prefix);
+       it != impl_->objects.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(ObjectMeta{it->first, it->second.size()});
+  }
+  return out;
+}
+
+Status MemObjectStore::Delete(const std::string& key) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->metrics.deletes++;
+  auto it = impl_->objects.find(key);
+  if (it == impl_->objects.end()) {
+    return Status::NotFound("object not found: " + key);
+  }
+  impl_->total_bytes -= it->second.size();
+  impl_->objects.erase(it);
+  return Status::OK();
+}
+
+ObjectStoreMetrics MemObjectStore::metrics() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->metrics;
+}
+
+uint64_t MemObjectStore::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->total_bytes;
+}
+
+uint64_t MemObjectStore::ObjectCount() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->objects.size();
+}
+
+}  // namespace eon

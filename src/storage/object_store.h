@@ -1,0 +1,107 @@
+#ifndef EON_STORAGE_OBJECT_STORE_H_
+#define EON_STORAGE_OBJECT_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace eon {
+
+/// Metadata returned by List.
+struct ObjectMeta {
+  std::string key;
+  uint64_t size = 0;
+};
+
+/// Per-store operation counters. The simulated S3 additionally accounts a
+/// dollar cost per request class, because "requests cost money" (paper
+/// Section 5.3) is part of the design pressure on the cache.
+struct ObjectStoreMetrics {
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+  uint64_t lists = 0;
+  uint64_t deletes = 0;
+  uint64_t bytes_written = 0;
+  uint64_t bytes_read = 0;
+  uint64_t failures_injected = 0;
+  uint64_t throttled = 0;
+
+  /// Estimated request cost in micro-dollars (S3-style pricing knobs).
+  uint64_t cost_microdollars = 0;
+};
+
+/// The UDFS storage abstraction (paper Section 5.3, Figure 9). Vertica's
+/// execution engine accesses all filesystems through this API; we provide
+/// in-memory, simulated-S3, and POSIX backends.
+///
+/// Semantics follow shared object storage, not POSIX:
+///  - objects are immutable: no append, no rename, no overwrite (Put of an
+///    existing key fails with AlreadyExists);
+///  - existence checks go through List with a key prefix, never a HEAD
+///    (avoids S3's eventual-consistency-after-HEAD trap, Section 5.3);
+///  - any operation may fail transiently; callers that need reliability
+///    wrap the store in RetryingObjectStore.
+///
+/// Implementations must be thread-safe.
+class ObjectStore {
+ public:
+  virtual ~ObjectStore() = default;
+
+  /// Create a new immutable object.
+  virtual Status Put(const std::string& key, const std::string& data) = 0;
+
+  /// Read a whole object.
+  virtual Result<std::string> Get(const std::string& key) = 0;
+
+  /// Read `len` bytes at `offset`. Short reads at end-of-object are OK and
+  /// return the available bytes; offset beyond the object is OutOfRange.
+  virtual Result<std::string> ReadRange(const std::string& key,
+                                        uint64_t offset, uint64_t len) = 0;
+
+  /// List all objects whose key starts with `prefix`, sorted by key.
+  virtual Result<std::vector<ObjectMeta>> List(const std::string& prefix) = 0;
+
+  /// Delete an object. Deleting a missing key returns NotFound.
+  virtual Status Delete(const std::string& key) = 0;
+
+  /// Existence via List-with-prefix (the paper's strongly consistent idiom).
+  Result<bool> Exists(const std::string& key);
+
+  /// Size of an object via List.
+  Result<uint64_t> Size(const std::string& key);
+
+  virtual ObjectStoreMetrics metrics() const = 0;
+};
+
+/// Plain in-memory object store: the reference implementation and the
+/// backing tier under SimObjectStore.
+class MemObjectStore : public ObjectStore {
+ public:
+  MemObjectStore();
+  ~MemObjectStore() override;
+
+  Status Put(const std::string& key, const std::string& data) override;
+  Result<std::string> Get(const std::string& key) override;
+  Result<std::string> ReadRange(const std::string& key, uint64_t offset,
+                                uint64_t len) override;
+  Result<std::vector<ObjectMeta>> List(const std::string& prefix) override;
+  Status Delete(const std::string& key) override;
+  ObjectStoreMetrics metrics() const override;
+
+  /// Total bytes stored (for tests and capacity reports).
+  uint64_t TotalBytes() const;
+  /// Number of objects stored.
+  uint64_t ObjectCount() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace eon
+
+#endif  // EON_STORAGE_OBJECT_STORE_H_

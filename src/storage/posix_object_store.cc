@@ -1,0 +1,177 @@
+#include "storage/posix_object_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+
+#include "common/hash.h"
+
+namespace fs = std::filesystem;
+
+namespace eon {
+
+struct PosixObjectStore::Impl {
+  std::string root;
+  mutable std::mutex mu;
+  ObjectStoreMetrics metrics;
+
+  /// Hash-based two-level fan-out: root/ab/cd/<escaped-key>. A hash prefix
+  /// (not the key's own leading chars) keeps recent, similarly-named keys
+  /// spread across directories.
+  fs::path PathFor(const std::string& key) const {
+    uint32_t h = static_cast<uint32_t>(Hash64(key.data(), key.size()));
+    char d1[4], d2[4];
+    snprintf(d1, sizeof(d1), "%02x", (h >> 8) & 0xFF);
+    snprintf(d2, sizeof(d2), "%02x", h & 0xFF);
+    return fs::path(root) / d1 / d2 / Escape(key);
+  }
+
+  /// Keys may contain '/'; escape to a flat filename.
+  static std::string Escape(const std::string& key) {
+    std::string out;
+    out.reserve(key.size());
+    for (char c : key) {
+      if (c == '/') {
+        out += "%2f";
+      } else if (c == '%') {
+        out += "%25";
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  static std::string Unescape(const std::string& name) {
+    std::string out;
+    for (size_t i = 0; i < name.size(); ++i) {
+      if (name[i] == '%' && i + 2 < name.size()) {
+        if (name.compare(i, 3, "%2f") == 0) {
+          out.push_back('/');
+          i += 2;
+          continue;
+        }
+        if (name.compare(i, 3, "%25") == 0) {
+          out.push_back('%');
+          i += 2;
+          continue;
+        }
+      }
+      out.push_back(name[i]);
+    }
+    return out;
+  }
+};
+
+PosixObjectStore::PosixObjectStore(std::string root) : impl_(new Impl()) {
+  impl_->root = std::move(root);
+  std::error_code ec;
+  fs::create_directories(impl_->root, ec);
+}
+
+PosixObjectStore::~PosixObjectStore() = default;
+
+Status PosixObjectStore::Put(const std::string& key, const std::string& data) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->metrics.puts++;
+  fs::path path = impl_->PathFor(key);
+  std::error_code ec;
+  if (fs::exists(path, ec)) {
+    return Status::AlreadyExists("object exists: " + key);
+  }
+  fs::create_directories(path.parent_path(), ec);
+  // Write to a temp file then rename so readers never observe partial
+  // objects (POSIX backend can afford rename; S3 backends cannot and use
+  // single-shot puts instead).
+  fs::path tmp = path;
+  tmp += ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot open for write: " + key);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    if (!out) return Status::IOError("short write: " + key);
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) return Status::IOError("rename failed: " + ec.message());
+  impl_->metrics.bytes_written += data.size();
+  return Status::OK();
+}
+
+Result<std::string> PosixObjectStore::Get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->metrics.gets++;
+  fs::path path = impl_->PathFor(key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("object not found: " + key);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  impl_->metrics.bytes_read += data.size();
+  return data;
+}
+
+Result<std::string> PosixObjectStore::ReadRange(const std::string& key,
+                                                uint64_t offset,
+                                                uint64_t len) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->metrics.gets++;
+  fs::path path = impl_->PathFor(key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("object not found: " + key);
+  in.seekg(0, std::ios::end);
+  uint64_t size = static_cast<uint64_t>(in.tellg());
+  if (offset > size) return Status::OutOfRange("offset beyond object size");
+  uint64_t n = std::min<uint64_t>(len, size - offset);
+  std::string out(static_cast<size_t>(n), '\0');
+  in.seekg(static_cast<std::streamoff>(offset));
+  in.read(out.data(), static_cast<std::streamsize>(n));
+  if (!in) return Status::IOError("short read: " + key);
+  impl_->metrics.bytes_read += n;
+  return out;
+}
+
+Result<std::vector<ObjectMeta>> PosixObjectStore::List(
+    const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->metrics.lists++;
+  std::vector<ObjectMeta> out;
+  std::error_code ec;
+  for (const auto& entry :
+       fs::recursive_directory_iterator(impl_->root, ec)) {
+    if (!entry.is_regular_file()) continue;
+    std::string name = entry.path().filename().string();
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      continue;
+    }
+    std::string key = Impl::Unescape(name);
+    if (key.compare(0, prefix.size(), prefix) != 0) continue;
+    out.push_back(
+        ObjectMeta{key, static_cast<uint64_t>(entry.file_size())});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ObjectMeta& a, const ObjectMeta& b) {
+              return a.key < b.key;
+            });
+  return out;
+}
+
+Status PosixObjectStore::Delete(const std::string& key) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->metrics.deletes++;
+  fs::path path = impl_->PathFor(key);
+  std::error_code ec;
+  if (!fs::remove(path, ec)) {
+    return Status::NotFound("object not found: " + key);
+  }
+  return Status::OK();
+}
+
+ObjectStoreMetrics PosixObjectStore::metrics() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->metrics;
+}
+
+const std::string& PosixObjectStore::root() const { return impl_->root; }
+
+}  // namespace eon

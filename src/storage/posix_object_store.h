@@ -1,0 +1,42 @@
+#ifndef EON_STORAGE_POSIX_OBJECT_STORE_H_
+#define EON_STORAGE_POSIX_OBJECT_STORE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/object_store.h"
+
+namespace eon {
+
+/// ObjectStore over a local directory tree (the UDFS "POSIX" backend).
+/// Keys map to files under `root`; a two-level hash-prefix fan-out directory
+/// scheme avoids overloading the filesystem with too many files in one
+/// directory and avoids hotspotting on recent keys (paper Sections 5.1/5.3).
+///
+/// Examples can point `root` at a MinIO/S3 FUSE mount to run against real
+/// shared storage.
+class PosixObjectStore : public ObjectStore {
+ public:
+  /// Creates `root` (and fan-out directories lazily) if missing.
+  explicit PosixObjectStore(std::string root);
+  ~PosixObjectStore() override;
+
+  Status Put(const std::string& key, const std::string& data) override;
+  Result<std::string> Get(const std::string& key) override;
+  Result<std::string> ReadRange(const std::string& key, uint64_t offset,
+                                uint64_t len) override;
+  Result<std::vector<ObjectMeta>> List(const std::string& prefix) override;
+  Status Delete(const std::string& key) override;
+  ObjectStoreMetrics metrics() const override;
+
+  const std::string& root() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace eon
+
+#endif  // EON_STORAGE_POSIX_OBJECT_STORE_H_

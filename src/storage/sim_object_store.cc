@@ -1,0 +1,260 @@
+#include "storage/sim_object_store.h"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <mutex>
+
+namespace eon {
+
+struct SimObjectStore::Impl {
+  SimStoreOptions options;
+  Clock* clock;
+  MemObjectStore backing;
+  mutable std::mutex mu;
+  Random rng;
+  ObjectStoreMetrics extra;  // Failure/throttle/cost counters.
+  std::map<std::string, int64_t> created_at;  // For HEAD staleness.
+
+  Impl(SimStoreOptions opts, Clock* c)
+      : options(opts), clock(c), rng(opts.seed) {}
+
+  /// Charge request latency plus transfer time for `bytes`.
+  void ChargeTime(int64_t base_micros, uint64_t bytes) {
+    int64_t transfer =
+        options.bandwidth_bytes_per_sec > 0
+            ? static_cast<int64_t>(bytes * 1000000.0 /
+                                   static_cast<double>(
+                                       options.bandwidth_bytes_per_sec))
+            : 0;
+    clock->AdvanceMicros(base_micros + transfer);
+  }
+
+  /// Returns a non-OK status if fault injection fires for this request.
+  Status MaybeInjectFault() {
+    if (options.throttle_prob > 0 && rng.Bernoulli(options.throttle_prob)) {
+      extra.throttled++;
+      return Status::Unavailable("simulated throttle (503 SlowDown)");
+    }
+    if (options.transient_failure_prob > 0 &&
+        rng.Bernoulli(options.transient_failure_prob)) {
+      extra.failures_injected++;
+      return Status::IOError("simulated transient storage failure");
+    }
+    return Status::OK();
+  }
+};
+
+SimObjectStore::SimObjectStore(SimStoreOptions options, Clock* clock)
+    : impl_(new Impl(options, clock)) {}
+SimObjectStore::~SimObjectStore() = default;
+
+Status SimObjectStore::Put(const std::string& key, const std::string& data) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->ChargeTime(impl_->options.put_latency_micros, data.size());
+  impl_->extra.cost_microdollars += impl_->options.put_cost_microdollars;
+  // Fault may fire after the object landed (lost response case).
+  bool fault_after = impl_->rng.Bernoulli(0.5);
+  if (!fault_after) {
+    EON_RETURN_IF_ERROR(impl_->MaybeInjectFault());
+  }
+  Status put = impl_->backing.Put(key, data);
+  if (put.ok() && impl_->options.head_staleness_micros > 0) {
+    impl_->created_at[key] = impl_->clock->NowMicros();
+  }
+  if (fault_after) {
+    Status fault = impl_->MaybeInjectFault();
+    if (!fault.ok()) return fault;  // Data may or may not have landed.
+  }
+  return put;
+}
+
+Result<std::string> SimObjectStore::Get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->extra.cost_microdollars += impl_->options.get_cost_microdollars;
+  EON_RETURN_IF_ERROR(impl_->MaybeInjectFault());
+  EON_ASSIGN_OR_RETURN(std::string data, impl_->backing.Get(key));
+  impl_->ChargeTime(impl_->options.get_latency_micros, data.size());
+  return data;
+}
+
+Result<std::string> SimObjectStore::ReadRange(const std::string& key,
+                                              uint64_t offset, uint64_t len) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->extra.cost_microdollars += impl_->options.get_cost_microdollars;
+  EON_RETURN_IF_ERROR(impl_->MaybeInjectFault());
+  EON_ASSIGN_OR_RETURN(std::string data,
+                       impl_->backing.ReadRange(key, offset, len));
+  impl_->ChargeTime(impl_->options.get_latency_micros, data.size());
+  return data;
+}
+
+Result<std::vector<ObjectMeta>> SimObjectStore::List(
+    const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->extra.cost_microdollars += impl_->options.list_cost_microdollars;
+  EON_RETURN_IF_ERROR(impl_->MaybeInjectFault());
+  impl_->ChargeTime(impl_->options.list_latency_micros, 0);
+  return impl_->backing.List(prefix);
+}
+
+Status SimObjectStore::Delete(const std::string& key) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  EON_RETURN_IF_ERROR(impl_->MaybeInjectFault());
+  impl_->ChargeTime(impl_->options.delete_latency_micros, 0);
+  return impl_->backing.Delete(key);
+}
+
+ObjectStoreMetrics SimObjectStore::metrics() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  ObjectStoreMetrics m = impl_->backing.metrics();
+  m.failures_injected = impl_->extra.failures_injected;
+  m.throttled = impl_->extra.throttled;
+  m.cost_microdollars = impl_->extra.cost_microdollars;
+  return m;
+}
+
+Result<bool> SimObjectStore::HeadProbe(const std::string& key) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->extra.cost_microdollars += impl_->options.get_cost_microdollars;
+  EON_RETURN_IF_ERROR(impl_->MaybeInjectFault());
+  impl_->ChargeTime(impl_->options.get_latency_micros, 0);
+  EON_ASSIGN_OR_RETURN(bool exists, impl_->backing.Exists(key));
+  if (!exists) return false;
+  auto it = impl_->created_at.find(key);
+  if (it != impl_->created_at.end() &&
+      impl_->clock->NowMicros() - it->second <
+          impl_->options.head_staleness_micros) {
+    return false;  // Fresh object not yet visible to HEAD.
+  }
+  return true;
+}
+
+MemObjectStore* SimObjectStore::backing() { return &impl_->backing; }
+
+const SimStoreOptions& SimObjectStore::options() const {
+  return impl_->options;
+}
+
+struct RetryingObjectStore::Impl {
+  ObjectStore* base;
+  RetryOptions options;
+  Clock* clock;
+  std::atomic<uint64_t> retries{0};
+
+  Impl(ObjectStore* b, RetryOptions o, Clock* c)
+      : base(b), options(o), clock(c) {}
+
+  static bool IsRetryable(const Status& s) {
+    return s.IsIOError() || s.IsUnavailable();
+  }
+
+  void Backoff(int attempt) {
+    double b = static_cast<double>(options.initial_backoff_micros);
+    for (int i = 0; i < attempt; ++i) b *= options.backoff_multiplier;
+    int64_t micros = std::min<int64_t>(static_cast<int64_t>(b),
+                                       options.max_backoff_micros);
+    clock->AdvanceMicros(micros);
+  }
+};
+
+RetryingObjectStore::RetryingObjectStore(ObjectStore* base,
+                                         RetryOptions options, Clock* clock)
+    : impl_(new Impl(base, options, clock)) {}
+RetryingObjectStore::~RetryingObjectStore() = default;
+
+Status RetryingObjectStore::Put(const std::string& key,
+                                const std::string& data) {
+  Status last;
+  for (int attempt = 0; attempt < impl_->options.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      impl_->retries.fetch_add(1);
+      impl_->Backoff(attempt - 1);
+    }
+    last = impl_->base->Put(key, data);
+    if (last.ok()) return last;
+    // A retried Put observing AlreadyExists means a previous attempt landed
+    // but its response was lost: that is success.
+    if (last.IsAlreadyExists()) {
+      return attempt > 0 ? Status::OK() : last;
+    }
+    if (!Impl::IsRetryable(last)) return last;
+  }
+  return Status::TimedOut("Put retries exhausted: " + last.ToString());
+}
+
+Result<std::string> RetryingObjectStore::Get(const std::string& key) {
+  Status last;
+  for (int attempt = 0; attempt < impl_->options.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      impl_->retries.fetch_add(1);
+      impl_->Backoff(attempt - 1);
+    }
+    Result<std::string> r = impl_->base->Get(key);
+    if (r.ok()) return r;
+    last = r.status();
+    if (!Impl::IsRetryable(last)) return last;
+  }
+  return Status::TimedOut("Get retries exhausted: " + last.ToString());
+}
+
+Result<std::string> RetryingObjectStore::ReadRange(const std::string& key,
+                                                   uint64_t offset,
+                                                   uint64_t len) {
+  Status last;
+  for (int attempt = 0; attempt < impl_->options.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      impl_->retries.fetch_add(1);
+      impl_->Backoff(attempt - 1);
+    }
+    Result<std::string> r = impl_->base->ReadRange(key, offset, len);
+    if (r.ok()) return r;
+    last = r.status();
+    if (!Impl::IsRetryable(last)) return last;
+  }
+  return Status::TimedOut("ReadRange retries exhausted: " + last.ToString());
+}
+
+Result<std::vector<ObjectMeta>> RetryingObjectStore::List(
+    const std::string& prefix) {
+  Status last;
+  for (int attempt = 0; attempt < impl_->options.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      impl_->retries.fetch_add(1);
+      impl_->Backoff(attempt - 1);
+    }
+    Result<std::vector<ObjectMeta>> r = impl_->base->List(prefix);
+    if (r.ok()) return r;
+    last = r.status();
+    if (!Impl::IsRetryable(last)) return last;
+  }
+  return Status::TimedOut("List retries exhausted: " + last.ToString());
+}
+
+Status RetryingObjectStore::Delete(const std::string& key) {
+  Status last;
+  for (int attempt = 0; attempt < impl_->options.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      impl_->retries.fetch_add(1);
+      impl_->Backoff(attempt - 1);
+    }
+    last = impl_->base->Delete(key);
+    if (last.ok()) return last;
+    // A retried Delete observing NotFound means a previous attempt landed.
+    if (last.IsNotFound()) {
+      return attempt > 0 ? Status::OK() : last;
+    }
+    if (!Impl::IsRetryable(last)) return last;
+  }
+  return Status::TimedOut("Delete retries exhausted: " + last.ToString());
+}
+
+ObjectStoreMetrics RetryingObjectStore::metrics() const {
+  return impl_->base->metrics();
+}
+
+uint64_t RetryingObjectStore::total_retries() const {
+  return impl_->retries.load();
+}
+
+}  // namespace eon

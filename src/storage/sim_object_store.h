@@ -1,0 +1,124 @@
+#ifndef EON_STORAGE_SIM_OBJECT_STORE_H_
+#define EON_STORAGE_SIM_OBJECT_STORE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "storage/object_store.h"
+
+namespace eon {
+
+/// Latency / cost / failure model for the simulated shared storage.
+/// Defaults approximate S3 seen from an EC2 instance in-region.
+struct SimStoreOptions {
+  /// First-byte latency per request class, microseconds.
+  int64_t get_latency_micros = 15000;     // ~15 ms to first byte.
+  int64_t put_latency_micros = 25000;     // ~25 ms.
+  int64_t list_latency_micros = 30000;    // ~30 ms.
+  int64_t delete_latency_micros = 15000;
+
+  /// Streaming bandwidth once a transfer starts, bytes/second.
+  int64_t bandwidth_bytes_per_sec = 200LL * 1000 * 1000;  // ~200 MB/s.
+
+  /// Probability that any single request fails transiently with IOError
+  /// ("operations that would rarely fail in a real filesystem do fail
+  /// occasionally on S3", Section 5.3).
+  double transient_failure_prob = 0.0;
+
+  /// Probability of a throttle response (Unavailable), modeling S3 503s.
+  double throttle_prob = 0.0;
+
+  /// Request pricing, micro-dollars per request (S3-like: PUT/LIST cost
+  /// ~10x GET).
+  uint64_t put_cost_microdollars = 5;
+  uint64_t get_cost_microdollars = 1;
+  uint64_t list_cost_microdollars = 5;
+
+  /// Window during which a HEAD probe of a freshly created object may
+  /// still report "not found" (S3's historical read-after-write caveat:
+  /// checking existence with a HEAD before writing downgrades the
+  /// subsequent read to eventual consistency, Section 5.3). List and Get
+  /// stay strongly consistent, which is why Vertica never uses HEAD.
+  int64_t head_staleness_micros = 0;
+
+  uint64_t seed = 42;
+};
+
+/// Shared-storage simulator: wraps a MemObjectStore with the latency, cost
+/// and fault-injection model above. Time is charged to the supplied Clock
+/// (a SimClock in experiments), so benchmark harnesses measure exactly the
+/// I/O behavior the paper attributes to S3.
+///
+/// All failure injection happens *before* the inner operation for reads and
+/// deletes; for Put the failure may be injected after the data reached the
+/// inner store, modelling the "request succeeded but response lost" case a
+/// retry loop must tolerate (retrying Put then observes AlreadyExists, which
+/// RetryingObjectStore treats as success).
+class SimObjectStore : public ObjectStore {
+ public:
+  SimObjectStore(SimStoreOptions options, Clock* clock);
+  ~SimObjectStore() override;
+
+  Status Put(const std::string& key, const std::string& data) override;
+  Result<std::string> Get(const std::string& key) override;
+  Result<std::string> ReadRange(const std::string& key, uint64_t offset,
+                                uint64_t len) override;
+  Result<std::vector<ObjectMeta>> List(const std::string& prefix) override;
+  Status Delete(const std::string& key) override;
+  ObjectStoreMetrics metrics() const override;
+
+  /// HEAD-style existence probe, exhibiting S3's eventual consistency:
+  /// objects created within `head_staleness_micros` may report absent.
+  /// Provided to DEMONSTRATE the trap — the production code path never
+  /// calls it (Exists goes through List, Section 5.3).
+  Result<bool> HeadProbe(const std::string& key);
+
+  /// Direct access to the backing store (tests; reaper global enumeration).
+  MemObjectStore* backing();
+
+  const SimStoreOptions& options() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Options for the retry wrapper.
+struct RetryOptions {
+  int max_attempts = 6;
+  int64_t initial_backoff_micros = 2000;
+  double backoff_multiplier = 2.0;
+  int64_t max_backoff_micros = 500000;
+};
+
+/// A "properly balanced retry loop" (paper Section 5.3) over any
+/// ObjectStore: retries transient IOError/Unavailable with exponential
+/// backoff, gives up with TimedOut after max_attempts, and treats
+/// AlreadyExists on a retried Put as success (the first attempt landed).
+class RetryingObjectStore : public ObjectStore {
+ public:
+  RetryingObjectStore(ObjectStore* base, RetryOptions options, Clock* clock);
+  ~RetryingObjectStore() override;
+
+  Status Put(const std::string& key, const std::string& data) override;
+  Result<std::string> Get(const std::string& key) override;
+  Result<std::string> ReadRange(const std::string& key, uint64_t offset,
+                                uint64_t len) override;
+  Result<std::vector<ObjectMeta>> List(const std::string& prefix) override;
+  Status Delete(const std::string& key) override;
+  ObjectStoreMetrics metrics() const override;
+
+  /// Number of retries performed across all operations.
+  uint64_t total_retries() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace eon
+
+#endif  // EON_STORAGE_SIM_OBJECT_STORE_H_

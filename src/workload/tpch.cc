@@ -1,0 +1,449 @@
+#include "workload/tpch.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace eon {
+
+namespace {
+
+const char* kReturnFlags[] = {"A", "N", "R"};
+const char* kLineStatus[] = {"O", "F"};
+const char* kShipModes[] = {"AIR", "RAIL", "SHIP", "TRUCK", "MAIL"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM", "4-LOW"};
+const char* kPartTypes[] = {"BRASS", "COPPER", "NICKEL", "STEEL", "TIN"};
+
+}  // namespace
+
+Schema TpchCustomerSchema() {
+  return Schema({{"c_custkey", DataType::kInt64},
+                 {"c_name", DataType::kString},
+                 {"c_nationkey", DataType::kInt64},
+                 {"c_acctbal", DataType::kDouble}});
+}
+
+Schema TpchOrdersSchema() {
+  return Schema({{"o_orderkey", DataType::kInt64},
+                 {"o_custkey", DataType::kInt64},
+                 {"o_orderdate", DataType::kInt64},
+                 {"o_totalprice", DataType::kDouble},
+                 {"o_orderpriority", DataType::kString}});
+}
+
+Schema TpchLineitemSchema() {
+  return Schema({{"l_orderkey", DataType::kInt64},
+                 {"l_partkey", DataType::kInt64},
+                 {"l_quantity", DataType::kInt64},
+                 {"l_extendedprice", DataType::kDouble},
+                 {"l_discount", DataType::kDouble},
+                 {"l_returnflag", DataType::kString},
+                 {"l_linestatus", DataType::kString},
+                 {"l_shipdate", DataType::kInt64},
+                 {"l_shipmode", DataType::kString}});
+}
+
+Schema TpchPartSchema() {
+  return Schema({{"p_partkey", DataType::kInt64},
+                 {"p_type", DataType::kString},
+                 {"p_brand", DataType::kString},
+                 {"p_retailprice", DataType::kDouble}});
+}
+
+TpchData GenerateTpch(const TpchOptions& options) {
+  Random rng(options.seed);
+  TpchData data;
+  const uint64_t n_cust = std::max<uint64_t>(
+      1, static_cast<uint64_t>(options.base_customers * options.scale));
+  const uint64_t n_orders = std::max<uint64_t>(
+      1, static_cast<uint64_t>(options.base_orders * options.scale));
+  const uint64_t n_items = std::max<uint64_t>(
+      1, static_cast<uint64_t>(options.base_lineitems * options.scale));
+  const uint64_t n_parts = std::max<uint64_t>(
+      1, static_cast<uint64_t>(options.base_parts * options.scale));
+  const int64_t first_day = options.last_day - options.days;
+
+  for (uint64_t i = 0; i < n_cust; ++i) {
+    data.customers.push_back(
+        Row{Value::Int(static_cast<int64_t>(i + 1)),
+            Value::Str("Customer#" + std::to_string(i + 1)),
+            Value::Int(rng.UniformRange(0, 24)),
+            Value::Dbl(rng.UniformRange(-99900, 999900) / 100.0)});
+  }
+  for (uint64_t i = 0; i < n_parts; ++i) {
+    data.parts.push_back(
+        Row{Value::Int(static_cast<int64_t>(i + 1)),
+            Value::Str(kPartTypes[rng.Uniform(5)]),
+            Value::Str("Brand#" + std::to_string(rng.UniformRange(1, 5))),
+            Value::Dbl(rng.UniformRange(90000, 200000) / 100.0)});
+  }
+  for (uint64_t i = 0; i < n_orders; ++i) {
+    // Order dates are skewed toward recent days, like real event data.
+    int64_t day =
+        options.last_day -
+        static_cast<int64_t>(rng.Zipf(static_cast<uint64_t>(options.days),
+                                      0.4));
+    data.orders.push_back(
+        Row{Value::Int(static_cast<int64_t>(i + 1)),
+            Value::Int(static_cast<int64_t>(rng.Uniform(n_cust) + 1)),
+            Value::Int(day), Value::Dbl(rng.UniformRange(100, 500000) / 10.0),
+            Value::Str(kPriorities[rng.Uniform(4)])});
+  }
+  for (uint64_t i = 0; i < n_items; ++i) {
+    const uint64_t order = rng.Uniform(n_orders);
+    const int64_t order_day = data.orders[order][2].int_value();
+    const int64_t ship_day = order_day + rng.UniformRange(1, 30);
+    data.lineitems.push_back(
+        Row{Value::Int(static_cast<int64_t>(order + 1)),
+            Value::Int(static_cast<int64_t>(rng.Uniform(n_parts) + 1)),
+            Value::Int(rng.UniformRange(1, 50)),
+            Value::Dbl(rng.UniformRange(10000, 1000000) / 100.0),
+            Value::Dbl(rng.UniformRange(0, 10) / 100.0),
+            Value::Str(kReturnFlags[rng.Uniform(3)]),
+            Value::Str(kLineStatus[rng.Uniform(2)]),
+            Value::Int(std::min(ship_day, options.last_day)),
+            Value::Str(kShipModes[rng.Uniform(5)])});
+  }
+  // Clamp first_day references (generator invariant, not data dependent).
+  (void)first_day;
+  return data;
+}
+
+Status CreateTpchTables(EonCluster* cluster) {
+  {
+    Result<Oid> r = CreateTable(
+        cluster, "customer", TpchCustomerSchema(), std::nullopt,
+        {ProjectionSpec{"customer_super", {}, {"c_custkey"}, {"c_custkey"}}});
+    if (!r.ok()) return r.status();
+  }
+  {
+    Result<Oid> r = CreateTable(
+        cluster, "orders", TpchOrdersSchema(), std::string("o_orderdate"),
+        {ProjectionSpec{"orders_super", {}, {"o_orderdate"}, {"o_orderkey"}},
+         // Second projection segmented by customer for customer-joins
+         // (most customers keep one to four projections, Section 2.1).
+         ProjectionSpec{"orders_bycust",
+                        {"o_custkey", "o_orderkey", "o_totalprice"},
+                        {"o_custkey"},
+                        {"o_custkey"}}});
+    if (!r.ok()) return r.status();
+  }
+  {
+    Result<Oid> r = CreateTable(
+        cluster, "lineitem", TpchLineitemSchema(), std::string("l_shipdate"),
+        {ProjectionSpec{"lineitem_super",
+                        {},
+                        {"l_shipdate", "l_orderkey"},
+                        {"l_orderkey"}}});
+    if (!r.ok()) return r.status();
+  }
+  {
+    // Dimension table: replicated projection (empty segmentation clause).
+    Result<Oid> r = CreateTable(
+        cluster, "part", TpchPartSchema(), std::nullopt,
+        {ProjectionSpec{"part_super", {}, {"p_partkey"}, {}}});
+    if (!r.ok()) return r.status();
+  }
+  return Status::OK();
+}
+
+Status LoadTpch(EonCluster* cluster, const TpchData& data,
+                uint64_t rows_per_block) {
+  CopyOptions opts;
+  opts.rows_per_block = rows_per_block;
+  for (const auto& [table, rows] :
+       std::vector<std::pair<std::string, const std::vector<Row>*>>{
+           {"customer", &data.customers},
+           {"orders", &data.orders},
+           {"lineitem", &data.lineitems},
+           {"part", &data.parts}}) {
+    Result<uint64_t> v = CopyInto(cluster, table, *rows, opts);
+    if (!v.ok()) return v.status();
+  }
+  return Status::OK();
+}
+
+std::vector<std::pair<std::string, QuerySpec>> TpchQuerySet(
+    const TpchOptions& options) {
+  std::vector<std::pair<std::string, QuerySpec>> queries;
+  const int64_t last = options.last_day;
+  const Schema li = TpchLineitemSchema();
+  const Schema ord = TpchOrdersSchema();
+
+  auto licol = [&](const char* name) {
+    return *li.IndexOf(name);
+  };
+  auto ocol = [&](const char* name) { return *ord.IndexOf(name); };
+
+  // Q1-style: pricing summary by flag/status over most of the data.
+  {
+    QuerySpec q;
+    q.scan.table = "lineitem";
+    q.scan.columns = {"l_returnflag", "l_linestatus", "l_quantity",
+                      "l_extendedprice", "l_discount"};
+    q.scan.predicate = Predicate::Cmp(licol("l_shipdate"), CmpOp::kLe,
+                                      Value::Int(last - 30));
+    q.group_by = {"l_returnflag", "l_linestatus"};
+    q.aggregates = {{AggFn::kSum, "l_quantity", "sum_qty"},
+                    {AggFn::kSum, "l_extendedprice", "sum_price"},
+                    {AggFn::kAvg, "l_discount", "avg_disc"},
+                    {AggFn::kCount, "", "count_order"}};
+    q.order_by = "l_returnflag";
+    queries.emplace_back("Q01_pricing_summary", q);
+  }
+  // Q6-style: selective revenue scan.
+  {
+    QuerySpec q;
+    q.scan.table = "lineitem";
+    q.scan.columns = {"l_extendedprice"};
+    q.scan.predicate = Predicate::And(
+        Predicate::Cmp(licol("l_shipdate"), CmpOp::kGe,
+                       Value::Int(last - 365)),
+        Predicate::And(Predicate::Cmp(licol("l_shipdate"), CmpOp::kLt,
+                                      Value::Int(last - 180)),
+                       Predicate::Cmp(licol("l_quantity"), CmpOp::kLt,
+                                      Value::Int(24))));
+    q.aggregates = {{AggFn::kSum, "l_extendedprice", "revenue"}};
+    queries.emplace_back("Q06_forecast_revenue", q);
+  }
+  // Q3-style: co-segmented join + group by order date, top 10.
+  {
+    QuerySpec q;
+    q.scan.table = "lineitem";
+    q.scan.columns = {"l_orderkey", "l_extendedprice"};
+    q.join = JoinSpec{{"orders", {"o_orderkey", "o_orderdate"}, nullptr},
+                      "l_orderkey",
+                      "o_orderkey"};
+    q.join->right.predicate =
+        Predicate::Cmp(ocol("o_orderdate"), CmpOp::kGe, Value::Int(last - 90));
+    q.group_by = {"o_orderdate"};
+    q.aggregates = {{AggFn::kSum, "l_extendedprice", "revenue"}};
+    q.order_by = "revenue";
+    q.order_desc = true;
+    q.limit = 10;
+    queries.emplace_back("Q03_shipping_priority", q);
+  }
+  // Q4-style: order priority counts over a quarter.
+  {
+    QuerySpec q;
+    q.scan.table = "orders";
+    q.scan.columns = {"o_orderpriority"};
+    q.scan.predicate = Predicate::And(
+        Predicate::Cmp(ocol("o_orderdate"), CmpOp::kGe,
+                       Value::Int(last - 90)),
+        Predicate::Cmp(ocol("o_orderdate"), CmpOp::kLe, Value::Int(last)));
+    q.group_by = {"o_orderpriority"};
+    q.aggregates = {{AggFn::kCount, "", "order_count"}};
+    q.order_by = "o_orderpriority";
+    queries.emplace_back("Q04_order_priority", q);
+  }
+  // Q12-style: shipmode counts joined with orders.
+  {
+    QuerySpec q;
+    q.scan.table = "lineitem";
+    q.scan.columns = {"l_orderkey", "l_shipmode"};
+    q.scan.predicate = Predicate::Cmp(licol("l_shipdate"), CmpOp::kGe,
+                                      Value::Int(last - 365));
+    q.join = JoinSpec{{"orders", {"o_orderkey", "o_orderpriority"}, nullptr},
+                      "l_orderkey",
+                      "o_orderkey"};
+    q.group_by = {"l_shipmode"};
+    q.aggregates = {{AggFn::kCount, "", "line_count"}};
+    q.order_by = "l_shipmode";
+    queries.emplace_back("Q12_shipmode", q);
+  }
+
+  // Additional shapes filling out the 20-query set.
+  const struct {
+    const char* name;
+    int64_t lo_days_back;
+    int64_t hi_days_back;
+    int64_t min_qty;
+  } kWindows[] = {
+      {"Q05_recent_week", 7, 0, 0},    {"Q07_last_month", 30, 0, 0},
+      {"Q08_quarter", 90, 0, 10},      {"Q09_half_year", 180, 0, 0},
+      {"Q10_full_year", 365, 0, 25},   {"Q11_old_archive", 720, 360, 0},
+  };
+  for (const auto& w : kWindows) {
+    QuerySpec q;
+    q.scan.table = "lineitem";
+    q.scan.columns = {"l_returnflag", "l_quantity", "l_extendedprice"};
+    PredicatePtr p = Predicate::Cmp(licol("l_shipdate"), CmpOp::kGe,
+                                    Value::Int(last - w.lo_days_back));
+    if (w.hi_days_back > 0) {
+      p = Predicate::And(p, Predicate::Cmp(licol("l_shipdate"), CmpOp::kLt,
+                                           Value::Int(last - w.hi_days_back)));
+    }
+    if (w.min_qty > 0) {
+      p = Predicate::And(p, Predicate::Cmp(licol("l_quantity"), CmpOp::kGe,
+                                           Value::Int(w.min_qty)));
+    }
+    q.scan.predicate = p;
+    q.group_by = {"l_returnflag"};
+    q.aggregates = {{AggFn::kCount, "", "cnt"},
+                    {AggFn::kSum, "l_extendedprice", "rev"}};
+    queries.emplace_back(w.name, q);
+  }
+  // Q13-style: customer order counts (segmented-by-customer projection).
+  {
+    QuerySpec q;
+    q.scan.table = "orders";
+    q.scan.columns = {"o_custkey"};
+    q.group_by = {"o_custkey"};
+    q.aggregates = {{AggFn::kCount, "", "orders"}};
+    q.order_by = "orders";
+    q.order_desc = true;
+    q.limit = 20;
+    queries.emplace_back("Q13_customer_distribution", q);
+  }
+  // Q14-style: broadcast join with the replicated part dimension.
+  {
+    QuerySpec q;
+    q.scan.table = "lineitem";
+    q.scan.columns = {"l_partkey", "l_extendedprice"};
+    q.scan.predicate = Predicate::Cmp(licol("l_shipdate"), CmpOp::kGe,
+                                      Value::Int(last - 30));
+    q.join = JoinSpec{{"part", {"p_partkey", "p_type"}, nullptr}, "l_partkey",
+                      "p_partkey"};
+    q.group_by = {"p_type"};
+    q.aggregates = {{AggFn::kSum, "l_extendedprice", "rev"}};
+    q.order_by = "p_type";
+    queries.emplace_back("Q14_promotion_effect", q);
+  }
+  // Q15-style: top revenue days.
+  {
+    QuerySpec q;
+    q.scan.table = "lineitem";
+    q.scan.columns = {"l_shipdate", "l_extendedprice"};
+    q.group_by = {"l_shipdate"};
+    q.aggregates = {{AggFn::kSum, "l_extendedprice", "rev"}};
+    q.order_by = "rev";
+    q.order_desc = true;
+    q.limit = 5;
+    queries.emplace_back("Q15_top_supplier_days", q);
+  }
+  // Q16-style: distinct parts per brand (high-cardinality distinct).
+  {
+    QuerySpec q;
+    q.scan.table = "part";
+    q.scan.columns = {"p_brand", "p_partkey"};
+    q.group_by = {"p_brand"};
+    q.aggregates = {{AggFn::kCountDistinct, "p_partkey", "distinct_parts"}};
+    q.order_by = "p_brand";
+    queries.emplace_back("Q16_parts_by_brand", q);
+  }
+  // Q17-style: small-quantity average price.
+  {
+    QuerySpec q;
+    q.scan.table = "lineitem";
+    q.scan.columns = {"l_extendedprice"};
+    q.scan.predicate =
+        Predicate::Cmp(licol("l_quantity"), CmpOp::kLt, Value::Int(5));
+    q.aggregates = {{AggFn::kAvg, "l_extendedprice", "avg_yearly"}};
+    queries.emplace_back("Q17_small_quantity", q);
+  }
+  // Q18-style: large orders via co-segmented join.
+  {
+    QuerySpec q;
+    q.scan.table = "lineitem";
+    q.scan.columns = {"l_orderkey", "l_quantity"};
+    q.join = JoinSpec{{"orders", {"o_orderkey", "o_totalprice"}, nullptr},
+                      "l_orderkey",
+                      "o_orderkey"};
+    q.join->right.predicate = Predicate::Cmp(ocol("o_totalprice"), CmpOp::kGt,
+                                             Value::Dbl(45000.0));
+    q.group_by = {"l_orderkey"};
+    q.aggregates = {{AggFn::kSum, "l_quantity", "total_qty"}};
+    q.order_by = "total_qty";
+    q.order_desc = true;
+    q.limit = 10;
+    queries.emplace_back("Q18_large_volume", q);
+  }
+  // Q19-style: discounted heavy items.
+  {
+    QuerySpec q;
+    q.scan.table = "lineitem";
+    q.scan.columns = {"l_extendedprice", "l_discount"};
+    q.scan.predicate = Predicate::And(
+        Predicate::Cmp(licol("l_quantity"), CmpOp::kGe, Value::Int(30)),
+        Predicate::Cmp(licol("l_discount"), CmpOp::kGe, Value::Dbl(0.05)));
+    q.aggregates = {{AggFn::kSum, "l_extendedprice", "revenue"},
+                    {AggFn::kCount, "", "items"}};
+    queries.emplace_back("Q19_discounted_revenue", q);
+  }
+  // Q20-style: shipmode × returnflag matrix.
+  {
+    QuerySpec q;
+    q.scan.table = "lineitem";
+    q.scan.columns = {"l_shipmode", "l_returnflag"};
+    q.group_by = {"l_shipmode", "l_returnflag"};
+    q.aggregates = {{AggFn::kCount, "", "cnt"}};
+    q.order_by = "l_shipmode";
+    queries.emplace_back("Q20_mode_flag_matrix", q);
+  }
+  // Q02-style: customer account scan with filter.
+  {
+    QuerySpec q;
+    q.scan.table = "customer";
+    q.scan.columns = {"c_nationkey", "c_acctbal"};
+    Schema cs = TpchCustomerSchema();
+    q.scan.predicate =
+        Predicate::Cmp(*cs.IndexOf("c_acctbal"), CmpOp::kGt, Value::Dbl(0.0));
+    q.group_by = {"c_nationkey"};
+    q.aggregates = {{AggFn::kAvg, "c_acctbal", "avg_bal"},
+                    {AggFn::kCount, "", "customers"}};
+    q.order_by = "c_nationkey";
+    queries.emplace_back("Q02_national_balance", q);
+  }
+
+  return queries;
+}
+
+QuerySpec DashboardQuery(const TpchOptions& options) {
+  // Short customer-style query: multiple joins and aggregations over
+  // recent data; runs in ~100 ms at the paper's scale.
+  QuerySpec q;
+  const Schema li = TpchLineitemSchema();
+  q.scan.table = "lineitem";
+  q.scan.columns = {"l_orderkey", "l_shipmode", "l_extendedprice"};
+  q.scan.predicate = Predicate::Cmp(*li.IndexOf("l_shipdate"), CmpOp::kGe,
+                                    Value::Int(options.last_day - 7));
+  q.join = JoinSpec{{"orders", {"o_orderkey", "o_orderpriority"}, nullptr},
+                    "l_orderkey",
+                    "o_orderkey"};
+  q.group_by = {"l_shipmode"};
+  q.aggregates = {{AggFn::kCount, "", "shipments"},
+                  {AggFn::kSum, "l_extendedprice", "revenue"}};
+  q.order_by = "l_shipmode";
+  return q;
+}
+
+Schema IotEventSchema() {
+  return Schema({{"device_id", DataType::kInt64},
+                 {"ts", DataType::kInt64},
+                 {"metric", DataType::kString},
+                 {"value", DataType::kDouble}});
+}
+
+Status CreateIotTable(EonCluster* cluster) {
+  Result<Oid> r = CreateTable(
+      cluster, "iot_events", IotEventSchema(), std::nullopt,
+      {ProjectionSpec{"iot_super", {}, {"device_id", "ts"}, {"device_id"}}});
+  return r.ok() ? Status::OK() : r.status();
+}
+
+std::vector<Row> GenerateIotBatch(uint64_t seed, uint64_t rows) {
+  Random rng(seed);
+  std::vector<Row> out;
+  out.reserve(rows);
+  static const char* kMetrics[] = {"temp", "rpm", "volt", "amps"};
+  for (uint64_t i = 0; i < rows; ++i) {
+    out.push_back(Row{Value::Int(rng.UniformRange(1, 10000)),
+                      Value::Int(static_cast<int64_t>(seed * 1000 + i)),
+                      Value::Str(kMetrics[rng.Uniform(4)]),
+                      Value::Dbl(rng.UniformRange(0, 100000) / 100.0)});
+  }
+  return out;
+}
+
+}  // namespace eon

@@ -1,0 +1,77 @@
+#ifndef EON_WORKLOAD_TPCH_H_
+#define EON_WORKLOAD_TPCH_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/ddl.h"
+#include "engine/dml.h"
+#include "engine/query.h"
+
+namespace eon {
+
+/// Scaled-down deterministic TPC-H-style dataset (the paper evaluates
+/// TPC-H at SF200 on a 4-node EC2 cluster; we preserve the schema shape,
+/// distributions, and query access patterns at laptop scale).
+struct TpchOptions {
+  /// Fraction of rows relative to the built-in base sizes below.
+  double scale = 1.0;
+  uint64_t seed = 7;
+  /// Base row counts at scale 1.0.
+  uint64_t base_customers = 1000;
+  uint64_t base_orders = 5000;
+  uint64_t base_lineitems = 20000;
+  uint64_t base_parts = 400;
+  /// Order dates span this many days ending at day `last_day`.
+  int64_t days = 730;
+  int64_t last_day = 10000;
+};
+
+/// Generated relations, ready for CopyInto.
+struct TpchData {
+  std::vector<Row> customers;
+  std::vector<Row> orders;
+  std::vector<Row> lineitems;
+  std::vector<Row> parts;
+};
+
+/// Table schemas.
+Schema TpchCustomerSchema();
+Schema TpchOrdersSchema();
+Schema TpchLineitemSchema();
+Schema TpchPartSchema();
+
+/// Deterministically generate the dataset.
+TpchData GenerateTpch(const TpchOptions& options);
+
+/// Create the four tables with the paper-motivated physical design:
+/// lineitem segmented by HASH(l_orderkey) and orders by HASH(o_orderkey)
+/// (co-segmented join), customer by HASH(c_custkey), part replicated
+/// (dimension table), lineitem additionally partitioned by l_shipdate.
+Status CreateTpchTables(EonCluster* cluster);
+
+/// Load the generated data (COPY per table).
+Status LoadTpch(EonCluster* cluster, const TpchData& data,
+                uint64_t rows_per_block = 1024);
+
+/// The 20-query evaluation set for Figure 10: named query shapes mirroring
+/// TPC-H access patterns over this schema (scan-heavy aggregation,
+/// selective filters, co-segmented and broadcast joins, group-bys, top-k).
+std::vector<std::pair<std::string, QuerySpec>> TpchQuerySet(
+    const TpchOptions& options);
+
+/// The customer-style short dashboard query used by Figures 11a and 12:
+/// a join plus aggregations that completes in ~100 ms on the paper's
+/// testbed.
+QuerySpec DashboardQuery(const TpchOptions& options);
+
+/// IoT-style micro-batch for Figure 11b: `rows` rows of a narrow events
+/// table keyed by device id.
+Schema IotEventSchema();
+Status CreateIotTable(EonCluster* cluster);
+std::vector<Row> GenerateIotBatch(uint64_t seed, uint64_t rows);
+
+}  // namespace eon
+
+#endif  // EON_WORKLOAD_TPCH_H_

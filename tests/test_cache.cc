@@ -1,0 +1,178 @@
+// Unit tests for the LRU file cache: residency, eviction, shaping
+// policies, peer warming (Section 5.2).
+
+#include <gtest/gtest.h>
+
+#include "cache/file_cache.h"
+
+namespace eon {
+namespace {
+
+class FileCacheTest : public ::testing::Test {
+ protected:
+  FileCacheTest() {
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_TRUE(
+          store_.Put("f" + std::to_string(i), std::string(100, 'a' + i)).ok());
+    }
+  }
+
+  FileCache MakeCache(uint64_t capacity) {
+    CacheOptions opts;
+    opts.capacity_bytes = capacity;
+    return FileCache(opts, &store_);
+  }
+
+  MemObjectStore store_;
+};
+
+TEST_F(FileCacheTest, MissFillsThenHits) {
+  FileCache cache = MakeCache(1000);
+  auto first = cache.Fetch("f0");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  auto second = cache.Fetch("f0");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(*second, std::string(100, 'a'));
+  // Only the miss touched shared storage.
+  EXPECT_EQ(store_.metrics().gets, 1u);
+}
+
+TEST_F(FileCacheTest, LruEvictionOrder) {
+  FileCache cache = MakeCache(300);  // Fits 3 files.
+  for (const char* k : {"f0", "f1", "f2"}) ASSERT_TRUE(cache.Fetch(k).ok());
+  ASSERT_TRUE(cache.Fetch("f0").ok());  // f0 now most recent.
+  ASSERT_TRUE(cache.Fetch("f3").ok());  // Evicts f1 (least recent).
+  EXPECT_TRUE(cache.Contains("f0"));
+  EXPECT_FALSE(cache.Contains("f1"));
+  EXPECT_TRUE(cache.Contains("f2"));
+  EXPECT_TRUE(cache.Contains("f3"));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST_F(FileCacheTest, WriteThroughInsert) {
+  FileCache cache = MakeCache(1000);
+  ASSERT_TRUE(cache.Insert("new_file", "fresh data").ok());
+  EXPECT_TRUE(cache.Contains("new_file"));
+  // Served from cache even though shared storage never saw it.
+  auto got = cache.Fetch("new_file");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "fresh data");
+}
+
+TEST_F(FileCacheTest, NeverCachePolicy) {
+  FileCache cache = MakeCache(1000);
+  cache.SetPolicy("f", CachePolicy::kNeverCache);
+  ASSERT_TRUE(cache.Fetch("f0").ok());
+  EXPECT_FALSE(cache.Contains("f0"));
+  ASSERT_TRUE(cache.Insert("f9", "x").ok());
+  EXPECT_FALSE(cache.Contains("f9"));
+}
+
+TEST_F(FileCacheTest, PinPolicySurvivesEviction) {
+  FileCache cache = MakeCache(300);
+  cache.SetPolicy("f0", CachePolicy::kPin);
+  for (const char* k : {"f0", "f1", "f2"}) ASSERT_TRUE(cache.Fetch(k).ok());
+  // Stream f3..f6 through: f0 stays pinned, others churn.
+  for (const char* k : {"f3", "f4", "f5", "f6"}) {
+    ASSERT_TRUE(cache.Fetch(k).ok());
+  }
+  EXPECT_TRUE(cache.Contains("f0"));
+}
+
+TEST_F(FileCacheTest, BypassServesHitsButDoesNotFill) {
+  FileCache cache = MakeCache(1000);
+  auto miss = cache.FetchBypass("f0");
+  ASSERT_TRUE(miss.ok());
+  EXPECT_FALSE(cache.Contains("f0"));  // "don't use the cache for this query"
+  ASSERT_TRUE(cache.Fetch("f0").ok());
+  auto hit = cache.FetchBypass("f0");
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST_F(FileCacheTest, DropAndDropPrefix) {
+  FileCache cache = MakeCache(10000);
+  ASSERT_TRUE(cache.Insert("data/x_c0", "a").ok());
+  ASSERT_TRUE(cache.Insert("data/x_c1", "b").ok());
+  ASSERT_TRUE(cache.Insert("data/y_c0", "c").ok());
+  cache.Drop("data/x_c0");
+  EXPECT_FALSE(cache.Contains("data/x_c0"));
+  EXPECT_TRUE(cache.Contains("data/x_c1"));
+  cache.DropPrefix("data/x");
+  EXPECT_FALSE(cache.Contains("data/x_c1"));
+  EXPECT_TRUE(cache.Contains("data/y_c0"));
+  cache.Drop("data/never_there");  // Idempotent.
+}
+
+TEST_F(FileCacheTest, MostRecentlyUsedWithinBudget) {
+  FileCache cache = MakeCache(10000);
+  for (const char* k : {"f0", "f1", "f2", "f3"}) {
+    ASSERT_TRUE(cache.Fetch(k).ok());
+  }
+  // MRU order: f3, f2, f1, f0; budget for 2 files of 100 bytes.
+  auto mru = cache.MostRecentlyUsed(250);
+  ASSERT_EQ(mru.size(), 2u);
+  EXPECT_EQ(mru[0], "f3");
+  EXPECT_EQ(mru[1], "f2");
+}
+
+TEST_F(FileCacheTest, PeerWarmingMirrorsPeer) {
+  FileCache peer = MakeCache(10000);
+  for (const char* k : {"f0", "f1", "f2"}) ASSERT_TRUE(peer.Fetch(k).ok());
+
+  FileCache fresh = MakeCache(10000);
+  PeerCacheFetcher peer_view(&peer);
+  std::vector<std::string> mru = peer.MostRecentlyUsed(10000);
+  ASSERT_TRUE(fresh.WarmFrom(mru, &peer_view).ok());
+  for (const char* k : {"f0", "f1", "f2"}) {
+    EXPECT_TRUE(fresh.Contains(k)) << k;
+  }
+  // Warming pulled from the peer, not shared storage (3 initial misses
+  // were the only storage reads).
+  EXPECT_EQ(store_.metrics().gets, 3u);
+  // And preserved recency: f2 was the peer's most recent.
+  auto order = fresh.MostRecentlyUsed(150);
+  ASSERT_EQ(order.size(), 1u);
+  EXPECT_EQ(order[0], "f2");
+}
+
+TEST_F(FileCacheTest, WarmingSkipsEvictedPeerFiles) {
+  FileCache peer = MakeCache(10000);
+  ASSERT_TRUE(peer.Fetch("f0").ok());
+  FileCache fresh = MakeCache(10000);
+  PeerCacheFetcher peer_view(&peer);
+  // Ask for a file the peer no longer holds: skipped, not an error.
+  ASSERT_TRUE(fresh.WarmFrom({"f0", "f5"}, &peer_view).ok());
+  EXPECT_TRUE(fresh.Contains("f0"));
+  EXPECT_FALSE(fresh.Contains("f5"));
+}
+
+TEST_F(FileCacheTest, OversizedObjectNotCached) {
+  FileCache cache = MakeCache(50);  // Smaller than any file.
+  ASSERT_TRUE(cache.Fetch("f0").ok());
+  EXPECT_FALSE(cache.Contains("f0"));
+  EXPECT_EQ(cache.size_bytes(), 0u);
+}
+
+TEST_F(FileCacheTest, ClearEmptiesEverything) {
+  FileCache cache = MakeCache(10000);
+  ASSERT_TRUE(cache.Fetch("f0").ok());
+  ASSERT_TRUE(cache.Fetch("f1").ok());
+  cache.Clear();
+  EXPECT_EQ(cache.file_count(), 0u);
+  EXPECT_EQ(cache.size_bytes(), 0u);
+}
+
+TEST_F(FileCacheTest, StatsHitRate) {
+  FileCache cache = MakeCache(10000);
+  ASSERT_TRUE(cache.Fetch("f0").ok());
+  ASSERT_TRUE(cache.Fetch("f0").ok());
+  ASSERT_TRUE(cache.Fetch("f0").ok());
+  ASSERT_TRUE(cache.Fetch("f1").ok());
+  EXPECT_DOUBLE_EQ(cache.stats().HitRate(), 0.5);
+}
+
+}  // namespace
+}  // namespace eon

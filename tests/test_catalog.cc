@@ -1,0 +1,316 @@
+// Unit tests for the MVCC catalog: transactions, OCC validation, log
+// replication with shard filters, checkpoints, restore/truncation.
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+
+namespace eon {
+namespace {
+
+TableDef MakeTable(Oid oid, const std::string& name) {
+  TableDef t;
+  t.oid = oid;
+  t.name = name;
+  t.schema = Schema({{"id", DataType::kInt64}, {"v", DataType::kString}});
+  return t;
+}
+
+StorageContainerMeta MakeContainer(Oid oid, Oid proj, ShardId shard) {
+  StorageContainerMeta c;
+  c.oid = oid;
+  c.projection_oid = proj;
+  c.shard = shard;
+  c.base_key = "data/test" + std::to_string(oid);
+  c.row_count = 10;
+  c.total_bytes = 100;
+  c.num_columns = 2;
+  return c;
+}
+
+TEST(CatalogTest, CommitBumpsVersionAndSnapshotIsolation) {
+  Catalog catalog;
+  EXPECT_EQ(catalog.version(), 0u);
+  auto old_snapshot = catalog.snapshot();
+
+  CatalogTxn txn;
+  txn.PutTable(MakeTable(catalog.NextOid(), "t1"));
+  auto v = catalog.Commit(txn);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 1u);
+
+  // The old snapshot is unchanged (copy-on-write MVCC, Section 2.4).
+  EXPECT_EQ(old_snapshot->tables.size(), 0u);
+  EXPECT_EQ(catalog.snapshot()->tables.size(), 1u);
+  EXPECT_NE(catalog.snapshot()->FindTableByName("t1"), nullptr);
+}
+
+TEST(CatalogTest, OccConflictAborts) {
+  Catalog catalog;
+  const Oid oid = catalog.NextOid();
+  CatalogTxn create;
+  create.PutTable(MakeTable(oid, "t"));
+  ASSERT_TRUE(catalog.Commit(create).ok());
+
+  auto snapshot = catalog.snapshot();
+  const uint64_t read_version = snapshot->ModVersion(oid);
+
+  // A concurrent writer modifies the table...
+  CatalogTxn concurrent;
+  concurrent.PutTable(MakeTable(oid, "t_renamed"));
+  ASSERT_TRUE(catalog.Commit(concurrent).ok());
+
+  // ...so our prepared transaction fails OCC validation (Section 6.3).
+  CatalogTxn stale;
+  stale.PutTable(MakeTable(oid, "t_mine"));
+  stale.ExpectVersion(oid, read_version);
+  EXPECT_TRUE(catalog.Commit(stale).status().IsAborted());
+
+  // Retry against the fresh version succeeds.
+  CatalogTxn retry;
+  retry.PutTable(MakeTable(oid, "t_mine"));
+  retry.ExpectVersion(oid, catalog.snapshot()->ModVersion(oid));
+  EXPECT_TRUE(catalog.Commit(retry).ok());
+}
+
+TEST(CatalogTest, OccOnUnmodifiedObjectsPasses) {
+  Catalog catalog;
+  const Oid a = catalog.NextOid();
+  CatalogTxn create;
+  create.PutTable(MakeTable(a, "a"));
+  ASSERT_TRUE(catalog.Commit(create).ok());
+
+  // Unrelated commit does not invalidate our read set.
+  CatalogTxn other;
+  other.PutTable(MakeTable(catalog.NextOid(), "b"));
+  ASSERT_TRUE(catalog.Commit(other).ok());
+
+  CatalogTxn mine;
+  mine.PutTable(MakeTable(a, "a2"));
+  mine.ExpectVersion(a, 1);
+  EXPECT_TRUE(catalog.Commit(mine).ok());
+}
+
+TEST(CatalogTest, LogRecordSerializationRoundTrip) {
+  TxnLogRecord rec;
+  rec.version = 42;
+  CatalogOp op;
+  op.type = CatalogOp::Type::kPutContainer;
+  op.shard = 3;
+  op.oid = 99;
+  op.payload = "some payload bytes";
+  rec.ops.push_back(op);
+
+  auto parsed = TxnLogRecord::Deserialize(rec.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->version, 42u);
+  ASSERT_EQ(parsed->ops.size(), 1u);
+  EXPECT_EQ(parsed->ops[0].shard, 3u);
+  EXPECT_EQ(parsed->ops[0].payload, "some payload bytes");
+}
+
+TEST(CatalogTest, LogRecordChecksumDetectsCorruption) {
+  TxnLogRecord rec;
+  rec.version = 1;
+  std::string data = rec.Serialize();
+  data[0] ^= 0x01;
+  EXPECT_TRUE(TxnLogRecord::Deserialize(data).status().IsCorruption());
+}
+
+TEST(CatalogTest, ApplyReplicationSequential) {
+  Catalog primary, replica;
+  CatalogTxn txn;
+  txn.PutTable(MakeTable(1, "t"));
+  ASSERT_TRUE(primary.Commit(txn).ok());
+
+  auto logs = primary.LogsAfter(0);
+  ASSERT_EQ(logs.size(), 1u);
+  ASSERT_TRUE(replica.Apply(logs[0]).ok());
+  EXPECT_EQ(replica.version(), 1u);
+  EXPECT_NE(replica.snapshot()->FindTableByName("t"), nullptr);
+
+  // Out-of-order apply rejected.
+  TxnLogRecord skip = logs[0];
+  skip.version = 5;
+  EXPECT_TRUE(replica.Apply(skip).IsInvalidArgument());
+}
+
+TEST(CatalogTest, ShardFilterSkipsStorageOpsOnly) {
+  Catalog primary, replica;
+  CatalogTxn txn;
+  txn.PutTable(MakeTable(1, "t"));          // Global: always applies.
+  txn.PutContainer(MakeContainer(10, 2, 0));  // Shard 0.
+  txn.PutContainer(MakeContainer(11, 2, 1));  // Shard 1.
+  ASSERT_TRUE(primary.Commit(txn).ok());
+
+  std::set<ShardId> filter = {1};
+  ASSERT_TRUE(replica.Apply(primary.LogsAfter(0)[0], &filter).ok());
+  EXPECT_NE(replica.snapshot()->FindTableByName("t"), nullptr);
+  EXPECT_EQ(replica.snapshot()->containers.count(10), 0u);
+  EXPECT_EQ(replica.snapshot()->containers.count(11), 1u);
+  // Version still advances in lockstep.
+  EXPECT_EQ(replica.version(), primary.version());
+}
+
+TEST(CatalogTest, CheckpointRestoreRoundTrip) {
+  Catalog catalog;
+  CatalogTxn txn;
+  txn.PutTable(MakeTable(1, "t"));
+  txn.PutContainer(MakeContainer(10, 2, 0));
+  Subscription sub{5, 0, SubscriptionState::kActive};
+  txn.PutSubscription(sub);
+  ASSERT_TRUE(catalog.Commit(txn).ok());
+
+  auto restored = Catalog::Restore(catalog.SerializeCheckpoint(), {},
+                                   catalog.version());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  auto snapshot = (*restored)->snapshot();
+  EXPECT_EQ(snapshot->version, 1u);
+  EXPECT_NE(snapshot->FindTableByName("t"), nullptr);
+  EXPECT_EQ(snapshot->containers.count(10), 1u);
+  EXPECT_NE(snapshot->FindSubscription(5, 0), nullptr);
+  // OID counter restored: next oid does not collide.
+  EXPECT_GT((*restored)->NextOid(), 10u);
+}
+
+TEST(CatalogTest, RestoreReplaysLogsToTargetVersion) {
+  Catalog catalog;
+  std::string checkpoint_v1;
+  for (int i = 1; i <= 5; ++i) {
+    CatalogTxn txn;
+    txn.PutTable(MakeTable(static_cast<Oid>(i * 100), "t" + std::to_string(i)));
+    ASSERT_TRUE(catalog.Commit(txn).ok());
+    if (i == 1) checkpoint_v1 = catalog.SerializeCheckpoint();
+  }
+
+  // Truncation: restore to version 3 discards commits 4 and 5.
+  auto restored = Catalog::Restore(checkpoint_v1, catalog.LogsAfter(0), 3);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  auto snapshot = (*restored)->snapshot();
+  EXPECT_EQ(snapshot->version, 3u);
+  EXPECT_NE(snapshot->FindTableByName("t3"), nullptr);
+  EXPECT_EQ(snapshot->FindTableByName("t4"), nullptr);
+}
+
+TEST(CatalogTest, RestoreFailsOnLogGap) {
+  Catalog catalog;
+  std::string checkpoint;
+  for (int i = 1; i <= 3; ++i) {
+    CatalogTxn txn;
+    txn.PutTable(MakeTable(static_cast<Oid>(i), "t" + std::to_string(i)));
+    ASSERT_TRUE(catalog.Commit(txn).ok());
+    if (i == 1) checkpoint = catalog.SerializeCheckpoint();
+  }
+  auto logs = catalog.LogsAfter(0);
+  // Drop the record for version 2: gap.
+  std::vector<TxnLogRecord> gapped;
+  for (const auto& rec : logs) {
+    if (rec.version != 2) gapped.push_back(rec);
+  }
+  EXPECT_FALSE(Catalog::Restore(checkpoint, gapped, 3).ok());
+}
+
+TEST(CatalogTest, CheckpointChecksumDetectsCorruption) {
+  Catalog catalog;
+  CatalogTxn txn;
+  txn.PutTable(MakeTable(1, "t"));
+  ASSERT_TRUE(catalog.Commit(txn).ok());
+  std::string ckpt = catalog.SerializeCheckpoint();
+  ckpt[ckpt.size() / 2] ^= 0x01;
+  EXPECT_TRUE(Catalog::Restore(ckpt, {}, 1).status().IsCorruption());
+}
+
+TEST(CatalogTest, ImportAndPurgeShard) {
+  Catalog catalog;
+  ASSERT_TRUE(
+      catalog
+          .ImportStorageObjects({MakeContainer(10, 2, 0), MakeContainer(11, 2, 1)},
+                                {})
+          .ok());
+  EXPECT_EQ(catalog.snapshot()->containers.size(), 2u);
+  // No version bump: imports represent already-committed state.
+  EXPECT_EQ(catalog.version(), 0u);
+
+  ASSERT_TRUE(catalog.PurgeShard(0).ok());
+  EXPECT_EQ(catalog.snapshot()->containers.size(), 1u);
+  EXPECT_EQ(catalog.snapshot()->containers.count(11), 1u);
+}
+
+TEST(CatalogTest, SubscribersOfFiltersByState) {
+  Catalog catalog;
+  CatalogTxn txn;
+  txn.PutSubscription(Subscription{1, 0, SubscriptionState::kActive});
+  txn.PutSubscription(Subscription{2, 0, SubscriptionState::kPending});
+  txn.PutSubscription(Subscription{3, 1, SubscriptionState::kActive});
+  ASSERT_TRUE(catalog.Commit(txn).ok());
+
+  auto snapshot = catalog.snapshot();
+  EXPECT_EQ(snapshot->SubscribersOf(0, {SubscriptionState::kActive}),
+            (std::vector<Oid>{1}));
+  EXPECT_EQ(snapshot
+                ->SubscribersOf(0, {SubscriptionState::kActive,
+                                    SubscriptionState::kPending})
+                .size(),
+            2u);
+}
+
+TEST(ShardingConfigTest, HashSpacePartition) {
+  ShardingConfig cfg;
+  cfg.num_segment_shards = 4;
+  EXPECT_EQ(cfg.ShardForHash(0), 0u);
+  EXPECT_EQ(cfg.ShardForHash(0x3FFFFFFF), 0u);
+  EXPECT_EQ(cfg.ShardForHash(0x40000000), 1u);
+  EXPECT_EQ(cfg.ShardForHash(0xFFFFFFFF), 3u);
+  EXPECT_EQ(cfg.replica_shard(), 4u);
+  EXPECT_EQ(cfg.ShardLowerBound(2), 0x80000000u);
+}
+
+TEST(ShardingConfigTest, NonPowerOfTwoShards) {
+  ShardingConfig cfg;
+  cfg.num_segment_shards = 3;
+  // Every hash maps to a valid shard, including the top of the space.
+  EXPECT_LT(cfg.ShardForHash(0xFFFFFFFF), 3u);
+  EXPECT_EQ(cfg.ShardForHash(0), 0u);
+}
+
+TEST(ObjectSerializationTest, ProjectionRoundTrip) {
+  ProjectionDef p;
+  p.oid = 7;
+  p.table_oid = 3;
+  p.name = "proj";
+  p.columns = {0, 2, 4};
+  p.sort_columns = {1};
+  p.segmentation_columns = {0, 1};
+  std::string buf;
+  SerializeProjection(p, &buf);
+  Slice in(buf);
+  auto parsed = DeserializeProjection(&in);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->columns, p.columns);
+  EXPECT_EQ(parsed->segmentation_columns, p.segmentation_columns);
+  EXPECT_FALSE(parsed->replicated());
+}
+
+TEST(ObjectSerializationTest, ContainerWithRangesRoundTrip) {
+  StorageContainerMeta c = MakeContainer(5, 2, 1);
+  ValueRange r;
+  r.valid = true;
+  r.min = Value::Int(1);
+  r.max = Value::Int(100);
+  c.column_ranges = {r, ValueRange{}};
+  c.stratum = 3;
+  std::string buf;
+  SerializeContainer(c, &buf);
+  Slice in(buf);
+  auto parsed = DeserializeContainer(&in);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->base_key, c.base_key);
+  ASSERT_EQ(parsed->column_ranges.size(), 2u);
+  EXPECT_TRUE(parsed->column_ranges[0].valid);
+  EXPECT_EQ(parsed->column_ranges[0].max.int_value(), 100);
+  EXPECT_FALSE(parsed->column_ranges[1].valid);
+  EXPECT_EQ(parsed->stratum, 3u);
+}
+
+}  // namespace
+}  // namespace eon

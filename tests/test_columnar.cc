@@ -1,0 +1,468 @@
+// Unit tests for the columnar substrate: encodings, ROS container format,
+// pruning, delete vectors, sorting.
+
+#include <gtest/gtest.h>
+
+#include "columnar/delete_vector.h"
+#include "columnar/encoding.h"
+#include "columnar/ros.h"
+#include "columnar/sort.h"
+#include "columnar/value_codec.h"
+#include "common/random.h"
+#include "storage/object_store.h"
+
+namespace eon {
+namespace {
+
+// ---------------------------------------------------------------- Values
+
+TEST(ValueTest, CompareTotalOrderWithNulls) {
+  EXPECT_EQ(Value::Int(1).Compare(Value::Int(1)), 0);
+  EXPECT_LT(Value::Int(1).Compare(Value::Int(2)), 0);
+  EXPECT_LT(Value::Null(DataType::kInt64).Compare(Value::Int(-100)), 0);
+  EXPECT_EQ(Value::Null(DataType::kInt64).Compare(Value::Null(DataType::kInt64)),
+            0);
+  EXPECT_LT(Value::Str("a").Compare(Value::Str("b")), 0);
+  EXPECT_LT(Value::Dbl(1.5).Compare(Value::Dbl(2.5)), 0);
+}
+
+TEST(ValueTest, SegHashEqualValuesEqualHashes) {
+  EXPECT_EQ(Value::Int(42).SegHash(), Value::Int(42).SegHash());
+  EXPECT_EQ(Value::Str("abc").SegHash(), Value::Str("abc").SegHash());
+  EXPECT_NE(Value::Int(42).SegHash(), Value::Int(43).SegHash());
+}
+
+TEST(ValueCodecTest, RoundTripAllTypes) {
+  for (const Value& v :
+       {Value::Int(-12345), Value::Dbl(2.718), Value::Str("hello"),
+        Value::Null(DataType::kString), Value::Int(0)}) {
+    std::string buf;
+    PutValue(&buf, v);
+    Slice in(buf);
+    Value out;
+    ASSERT_TRUE(GetValue(&in, v.type(), &out).ok());
+    EXPECT_EQ(out.Compare(v), 0);
+    EXPECT_EQ(out.is_null(), v.is_null());
+  }
+}
+
+// ------------------------------------------------------------- Encodings
+
+struct EncodingCase {
+  const char* name;
+  DataType type;
+  int pattern;  // 0=sorted ints, 1=runs, 2=low card, 3=random, 4=nulls.
+  Encoding encoding;
+};
+
+std::vector<Value> MakePattern(DataType type, int pattern, size_t n) {
+  Random rng(17);
+  std::vector<Value> out;
+  for (size_t i = 0; i < n; ++i) {
+    switch (pattern) {
+      case 0:  // Sorted.
+        out.push_back(type == DataType::kInt64
+                          ? Value::Int(static_cast<int64_t>(i * 3))
+                          : Value::Dbl(static_cast<double>(i)));
+        break;
+      case 1:  // Long runs.
+        out.push_back(type == DataType::kString
+                          ? Value::Str(i / 50 % 2 ? "AAA" : "BBB")
+                          : Value::Int(static_cast<int64_t>(i / 64)));
+        break;
+      case 2:  // Low cardinality.
+        out.push_back(type == DataType::kString
+                          ? Value::Str("v" + std::to_string(rng.Uniform(8)))
+                          : Value::Int(static_cast<int64_t>(rng.Uniform(8))));
+        break;
+      case 3:  // Random.
+        out.push_back(
+            type == DataType::kInt64
+                ? Value::Int(static_cast<int64_t>(rng.Next()))
+                : (type == DataType::kDouble
+                       ? Value::Dbl(rng.NextDouble() * 1e6)
+                       : Value::Str(std::to_string(rng.Next()))));
+        break;
+      case 4:  // Sprinkled nulls.
+        out.push_back(rng.Bernoulli(0.2)
+                          ? Value::Null(type)
+                          : Value::Int(static_cast<int64_t>(rng.Uniform(99))));
+        break;
+    }
+  }
+  return out;
+}
+
+class EncodingRoundTrip : public ::testing::TestWithParam<EncodingCase> {};
+
+TEST_P(EncodingRoundTrip, Lossless) {
+  const EncodingCase& c = GetParam();
+  std::vector<Value> values = MakePattern(c.type, c.pattern, 500);
+  auto encoded = EncodeChunk(values, c.type, c.encoding);
+  ASSERT_TRUE(encoded.ok()) << encoded.status().ToString();
+  std::vector<Value> decoded;
+  ASSERT_TRUE(DecodeChunk(*encoded, c.type, &decoded).ok());
+  ASSERT_EQ(decoded.size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(decoded[i].Compare(values[i]), 0) << c.name << " row " << i;
+    EXPECT_EQ(decoded[i].is_null(), values[i].is_null());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEncodings, EncodingRoundTrip,
+    ::testing::Values(
+        EncodingCase{"plain_int", DataType::kInt64, 3, Encoding::kPlain},
+        EncodingCase{"plain_str", DataType::kString, 3, Encoding::kPlain},
+        EncodingCase{"plain_dbl", DataType::kDouble, 3, Encoding::kPlain},
+        EncodingCase{"plain_nulls", DataType::kInt64, 4, Encoding::kPlain},
+        EncodingCase{"rle_runs_int", DataType::kInt64, 1, Encoding::kRle},
+        EncodingCase{"rle_runs_str", DataType::kString, 1, Encoding::kRle},
+        EncodingCase{"rle_nulls", DataType::kInt64, 4, Encoding::kRle},
+        EncodingCase{"dict_lowcard_str", DataType::kString, 2,
+                     Encoding::kDict},
+        EncodingCase{"dict_lowcard_int", DataType::kInt64, 2, Encoding::kDict},
+        EncodingCase{"dict_nulls", DataType::kInt64, 4, Encoding::kDict},
+        EncodingCase{"delta_sorted", DataType::kInt64, 0,
+                     Encoding::kDeltaVarint}),
+    [](const ::testing::TestParamInfo<EncodingCase>& info) {
+      return info.param.name;
+    });
+
+TEST(EncodingTest, DeltaRejectsNullsAndNonInt) {
+  std::vector<Value> with_null = {Value::Int(1), Value::Null(DataType::kInt64)};
+  EXPECT_TRUE(EncodeChunk(with_null, DataType::kInt64, Encoding::kDeltaVarint)
+                  .status()
+                  .IsInvalidArgument());
+  std::vector<Value> dbl = {Value::Dbl(1.0)};
+  EXPECT_TRUE(EncodeChunk(dbl, DataType::kDouble, Encoding::kDeltaVarint)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(EncodingTest, ChooseEncodingHeuristics) {
+  EXPECT_EQ(ChooseEncoding(MakePattern(DataType::kInt64, 0, 500),
+                           DataType::kInt64),
+            Encoding::kDeltaVarint);
+  EXPECT_EQ(ChooseEncoding(MakePattern(DataType::kInt64, 1, 500),
+                           DataType::kInt64),
+            Encoding::kRle);
+  EXPECT_EQ(ChooseEncoding(MakePattern(DataType::kString, 2, 500),
+                           DataType::kString),
+            Encoding::kDict);
+  EXPECT_EQ(ChooseEncoding(MakePattern(DataType::kString, 3, 500),
+                           DataType::kString),
+            Encoding::kPlain);
+}
+
+TEST(EncodingTest, SortedDataCompressesWell) {
+  // "Sorted data usually results in better compression" (Section 2.1).
+  std::vector<Value> sorted = MakePattern(DataType::kInt64, 0, 4096);
+  std::vector<Value> random = MakePattern(DataType::kInt64, 3, 4096);
+  auto s = EncodeChunk(sorted, DataType::kInt64,
+                       ChooseEncoding(sorted, DataType::kInt64));
+  auto r = EncodeChunk(random, DataType::kInt64,
+                       ChooseEncoding(random, DataType::kInt64));
+  ASSERT_TRUE(s.ok() && r.ok());
+  EXPECT_LT(s->size() * 3, r->size());
+}
+
+TEST(EncodingTest, DecodeRejectsGarbage) {
+  std::vector<Value> out;
+  EXPECT_TRUE(DecodeChunk(Slice("", 0), DataType::kInt64, &out).IsCorruption());
+  std::string bad = "\xFFgarbage";
+  EXPECT_TRUE(DecodeChunk(bad, DataType::kInt64, &out).IsCorruption());
+}
+
+// ------------------------------------------------------------ Predicates
+
+TEST(PredicateTest, EvalComparisons) {
+  Row row = {Value::Int(5), Value::Str("x")};
+  EXPECT_TRUE(Predicate::Cmp(0, CmpOp::kEq, Value::Int(5))->Eval(row));
+  EXPECT_FALSE(Predicate::Cmp(0, CmpOp::kNe, Value::Int(5))->Eval(row));
+  EXPECT_TRUE(Predicate::Cmp(0, CmpOp::kLt, Value::Int(6))->Eval(row));
+  EXPECT_TRUE(Predicate::Cmp(0, CmpOp::kGe, Value::Int(5))->Eval(row));
+  EXPECT_TRUE(Predicate::Cmp(1, CmpOp::kEq, Value::Str("x"))->Eval(row));
+}
+
+TEST(PredicateTest, NullNeverMatches) {
+  Row row = {Value::Null(DataType::kInt64)};
+  EXPECT_FALSE(Predicate::Cmp(0, CmpOp::kEq, Value::Int(5))->Eval(row));
+  EXPECT_FALSE(Predicate::Cmp(0, CmpOp::kNe, Value::Int(5))->Eval(row));
+  EXPECT_FALSE(Predicate::Cmp(0, CmpOp::kLt, Value::Int(5))->Eval(row));
+}
+
+TEST(PredicateTest, BooleanComposition) {
+  Row row = {Value::Int(5)};
+  auto lt10 = Predicate::Cmp(0, CmpOp::kLt, Value::Int(10));
+  auto gt7 = Predicate::Cmp(0, CmpOp::kGt, Value::Int(7));
+  EXPECT_FALSE(Predicate::And(lt10, gt7)->Eval(row));
+  EXPECT_TRUE(Predicate::Or(lt10, gt7)->Eval(row));
+  EXPECT_TRUE(Predicate::Not(gt7)->Eval(row));
+  EXPECT_TRUE(Predicate::True()->Eval(row));
+}
+
+TEST(PredicateTest, CouldMatchPrunes) {
+  // Block with col0 in [10, 20].
+  std::vector<ValueRange> ranges(1);
+  ranges[0].valid = true;
+  ranges[0].min = Value::Int(10);
+  ranges[0].max = Value::Int(20);
+
+  EXPECT_FALSE(Predicate::Cmp(0, CmpOp::kEq, Value::Int(5))->CouldMatch(ranges));
+  EXPECT_TRUE(Predicate::Cmp(0, CmpOp::kEq, Value::Int(15))->CouldMatch(ranges));
+  EXPECT_FALSE(Predicate::Cmp(0, CmpOp::kLt, Value::Int(10))->CouldMatch(ranges));
+  EXPECT_TRUE(Predicate::Cmp(0, CmpOp::kLe, Value::Int(10))->CouldMatch(ranges));
+  EXPECT_FALSE(Predicate::Cmp(0, CmpOp::kGt, Value::Int(20))->CouldMatch(ranges));
+  EXPECT_TRUE(Predicate::Cmp(0, CmpOp::kGe, Value::Int(20))->CouldMatch(ranges));
+}
+
+TEST(PredicateTest, CouldMatchConservativeOnInvalidRange) {
+  std::vector<ValueRange> ranges(1);  // Invalid: no stats.
+  EXPECT_TRUE(Predicate::Cmp(0, CmpOp::kEq, Value::Int(5))->CouldMatch(ranges));
+  // NOT is never used for pruning (no interval complement logic).
+  std::vector<ValueRange> valid(1);
+  valid[0].valid = true;
+  valid[0].min = Value::Int(1);
+  valid[0].max = Value::Int(1);
+  EXPECT_TRUE(Predicate::Not(Predicate::Cmp(0, CmpOp::kEq, Value::Int(1)))
+                  ->CouldMatch(valid));
+}
+
+TEST(PredicateTest, AndOrRangeAnalysis) {
+  std::vector<ValueRange> ranges(2);
+  ranges[0].valid = true;
+  ranges[0].min = Value::Int(10);
+  ranges[0].max = Value::Int(20);
+  ranges[1].valid = true;
+  ranges[1].min = Value::Int(0);
+  ranges[1].max = Value::Int(5);
+
+  auto a = Predicate::Cmp(0, CmpOp::kGe, Value::Int(15));  // Possible.
+  auto b = Predicate::Cmp(1, CmpOp::kGt, Value::Int(9));   // Impossible.
+  EXPECT_FALSE(Predicate::And(a, b)->CouldMatch(ranges));
+  EXPECT_TRUE(Predicate::Or(a, b)->CouldMatch(ranges));
+}
+
+TEST(PredicateTest, CollectColumns) {
+  auto p = Predicate::And(Predicate::Cmp(2, CmpOp::kEq, Value::Int(1)),
+                          Predicate::Or(Predicate::Cmp(5, CmpOp::kLt,
+                                                       Value::Int(9)),
+                                        Predicate::True()));
+  std::set<size_t> cols;
+  p->CollectColumns(&cols);
+  EXPECT_EQ(cols, (std::set<size_t>{2, 5}));
+}
+
+// --------------------------------------------------------- Delete vector
+
+TEST(DeleteVectorTest, NormalizesAndQueries) {
+  DeleteVector dv({5, 1, 5, 3});
+  EXPECT_EQ(dv.count(), 3u);
+  EXPECT_TRUE(dv.IsDeleted(1));
+  EXPECT_TRUE(dv.IsDeleted(3));
+  EXPECT_TRUE(dv.IsDeleted(5));
+  EXPECT_FALSE(dv.IsDeleted(2));
+}
+
+TEST(DeleteVectorTest, SerializeRoundTrip) {
+  DeleteVector dv({1, 100, 100000, 1ULL << 40});
+  auto parsed = DeleteVector::Deserialize(dv.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->positions(), dv.positions());
+}
+
+TEST(DeleteVectorTest, DetectsCorruption) {
+  std::string data = DeleteVector({1, 2, 3}).Serialize();
+  data[data.size() / 2] ^= 0x10;
+  EXPECT_TRUE(DeleteVector::Deserialize(data).status().IsCorruption());
+}
+
+TEST(DeleteVectorTest, UnionMerges) {
+  DeleteVector a({1, 3}), b({3, 7});
+  a.Union(b);
+  EXPECT_EQ(a.positions(), (std::vector<uint64_t>{1, 3, 7}));
+}
+
+// ------------------------------------------------------------------ Sort
+
+TEST(SortTest, SortAndCheck) {
+  std::vector<Row> rows = {{Value::Int(3), Value::Str("c")},
+                           {Value::Int(1), Value::Str("a")},
+                           {Value::Int(2), Value::Str("b")}};
+  EXPECT_FALSE(IsSortedBy(rows, {0}));
+  SortRowsBy(&rows, {0});
+  EXPECT_TRUE(IsSortedBy(rows, {0}));
+  EXPECT_EQ(rows[0][1].str_value(), "a");
+}
+
+TEST(SortTest, MergeSortedRuns) {
+  std::vector<std::vector<Row>> runs = {
+      {{Value::Int(1)}, {Value::Int(4)}, {Value::Int(9)}},
+      {{Value::Int(2)}, {Value::Int(3)}},
+      {},
+      {{Value::Int(0)}}};
+  std::vector<Row> merged = MergeSortedRuns(std::move(runs), {0});
+  ASSERT_EQ(merged.size(), 6u);
+  EXPECT_TRUE(IsSortedBy(merged, {0}));
+  EXPECT_EQ(merged.front()[0].int_value(), 0);
+  EXPECT_EQ(merged.back()[0].int_value(), 9);
+}
+
+// ------------------------------------------------------------------- ROS
+
+class RosTest : public ::testing::Test {
+ protected:
+  RosTest()
+      : schema_({{"id", DataType::kInt64},
+                 {"price", DataType::kDouble},
+                 {"tag", DataType::kString}}),
+        fetcher_(&store_) {}
+
+  std::vector<Row> MakeRows(size_t n) {
+    std::vector<Row> rows;
+    for (size_t i = 0; i < n; ++i) {
+      rows.push_back(Row{Value::Int(static_cast<int64_t>(i)),
+                         Value::Dbl(i * 1.5),
+                         Value::Str("t" + std::to_string(i % 7))});
+    }
+    return rows;
+  }
+
+  void WriteContainer(const std::vector<Row>& rows, uint64_t rows_per_block) {
+    RosWriteOptions opts;
+    opts.rows_per_block = rows_per_block;
+    auto built = RosContainerWriter::Build(schema_, rows, "data/test", opts);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    build_ = std::move(built).value();
+    for (const RosColumnFile& f : build_.files) {
+      ASSERT_TRUE(store_.Put(f.key, f.data).ok());
+    }
+  }
+
+  Schema schema_;
+  MemObjectStore store_;
+  DirectFetcher fetcher_;
+  RosBuildResult build_;
+};
+
+TEST_F(RosTest, RoundTripAllColumns) {
+  std::vector<Row> rows = MakeRows(1000);
+  WriteContainer(rows, 128);
+  EXPECT_EQ(build_.row_count, 1000u);
+  EXPECT_EQ(build_.files.size(), 3u);
+
+  RosScanOptions scan;
+  scan.output_columns = {0, 1, 2};
+  auto out = ScanRosContainer(schema_, "data/test", &fetcher_, scan);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->size(), 1000u);
+  for (size_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ((*out)[i][0].int_value(), static_cast<int64_t>(i));
+    EXPECT_DOUBLE_EQ((*out)[i][1].dbl_value(), i * 1.5);
+  }
+}
+
+TEST_F(RosTest, ColumnStoreFetchesOnlyNeededColumns) {
+  WriteContainer(MakeRows(500), 100);
+  RosScanOptions scan;
+  scan.output_columns = {1};  // Only "price".
+  RosScanStats stats;
+  auto out = ScanRosContainer(schema_, "data/test", &fetcher_, scan, &stats);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(stats.files_fetched, 1u);  // True column store (Section 2.3).
+}
+
+TEST_F(RosTest, BlockPruningViaMinMax) {
+  WriteContainer(MakeRows(1000), 100);  // 10 blocks, ids 0..999 sorted.
+  RosScanOptions scan;
+  scan.output_columns = {0};
+  scan.predicate = Predicate::Cmp(0, CmpOp::kGe, Value::Int(950));
+  RosScanStats stats;
+  auto out = ScanRosContainer(schema_, "data/test", &fetcher_, scan, &stats);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 50u);
+  EXPECT_EQ(stats.blocks_total, 10u);
+  EXPECT_EQ(stats.blocks_pruned, 9u);  // Only the last block can match.
+}
+
+TEST_F(RosTest, DeleteVectorFiltersRows) {
+  WriteContainer(MakeRows(100), 50);
+  DeleteVector dv({0, 1, 2, 99});
+  RosScanOptions scan;
+  scan.output_columns = {0};
+  scan.deletes = &dv;
+  auto out = ScanRosContainer(schema_, "data/test", &fetcher_, scan);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 96u);
+  EXPECT_EQ((*out)[0][0].int_value(), 3);
+}
+
+TEST_F(RosTest, RowRangeRestriction) {
+  WriteContainer(MakeRows(100), 10);
+  RosScanOptions scan;
+  scan.output_columns = {0};
+  scan.row_begin = 25;
+  scan.row_end = 75;
+  auto out = ScanRosContainer(schema_, "data/test", &fetcher_, scan);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 50u);
+  EXPECT_EQ((*out)[0][0].int_value(), 25);
+  EXPECT_EQ(out->back()[0].int_value(), 74);
+}
+
+TEST_F(RosTest, ContainerRangesCoverData) {
+  WriteContainer(MakeRows(100), 64);
+  ASSERT_EQ(build_.column_ranges.size(), 3u);
+  EXPECT_EQ(build_.column_ranges[0].min.int_value(), 0);
+  EXPECT_EQ(build_.column_ranges[0].max.int_value(), 99);
+}
+
+TEST_F(RosTest, CorruptedBlockDetected) {
+  WriteContainer(MakeRows(100), 50);
+  // Flip a byte inside the first column object's data region.
+  std::string data = *store_.Get("data/test_c0");
+  data[10] ^= 0x01;
+  ASSERT_TRUE(store_.Delete("data/test_c0").ok());
+  ASSERT_TRUE(store_.Put("data/test_c0", data).ok());
+  RosScanOptions scan;
+  scan.output_columns = {0};
+  auto out = ScanRosContainer(schema_, "data/test", &fetcher_, scan);
+  EXPECT_TRUE(out.status().IsCorruption());
+}
+
+TEST_F(RosTest, FindMatchingPositions) {
+  WriteContainer(MakeRows(100), 25);
+  auto pred = Predicate::Cmp(0, CmpOp::kLt, Value::Int(10));
+  auto positions =
+      FindMatchingPositions(schema_, "data/test", &fetcher_, pred);
+  ASSERT_TRUE(positions.ok());
+  ASSERT_EQ(positions->size(), 10u);
+  EXPECT_EQ((*positions)[9], 9u);
+
+  DeleteVector dv({0, 5});
+  auto remaining =
+      FindMatchingPositions(schema_, "data/test", &fetcher_, pred, &dv);
+  ASSERT_TRUE(remaining.ok());
+  EXPECT_EQ(remaining->size(), 8u);
+}
+
+TEST_F(RosTest, EmptyContainer) {
+  WriteContainer({}, 10);
+  EXPECT_EQ(build_.row_count, 0u);
+  RosScanOptions scan;
+  scan.output_columns = {0, 1, 2};
+  auto out = ScanRosContainer(schema_, "data/test", &fetcher_, scan);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->empty());
+}
+
+TEST_F(RosTest, RejectsMismatchedRows) {
+  std::vector<Row> bad = {{Value::Int(1)}};  // Wrong arity.
+  EXPECT_TRUE(RosContainerWriter::Build(schema_, bad, "data/x", {})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace eon

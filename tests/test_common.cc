@@ -1,0 +1,310 @@
+// Unit tests for the common runtime: Status/Result, hashing, codec, SIDs,
+// JSON, RNG, clocks.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/clock.h"
+#include "common/codec.h"
+#include "common/hash.h"
+#include "common/json.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/sid.h"
+#include "common/status.h"
+
+namespace eon {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, CodesAndMessages) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_FALSE(s.IsIOError());
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+  EXPECT_EQ(s.message(), "missing thing");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingPredicates) {
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_TRUE(Status::TimedOut("x").IsTimedOut());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+Result<int> Doubled(Result<int> in) {
+  EON_ASSIGN_OR_RETURN(int v, std::move(in));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubled(21), 42);
+  EXPECT_TRUE(Doubled(Status::IOError("disk")).status().IsIOError());
+}
+
+TEST(HashTest, Deterministic) {
+  const char* data = "hello eon mode";
+  EXPECT_EQ(Hash64(data, 14), Hash64(data, 14));
+  EXPECT_NE(Hash64(data, 14), Hash64(data, 13));
+  EXPECT_NE(Hash64(data, 14, 1), Hash64(data, 14, 2));
+}
+
+TEST(HashTest, CoversLongInputs) {
+  std::string big(1000, 'x');
+  for (size_t i = 0; i < big.size(); ++i) big[i] = static_cast<char>(i);
+  uint64_t h1 = Hash64(big.data(), big.size());
+  big[500] ^= 1;
+  EXPECT_NE(h1, Hash64(big.data(), big.size()));
+}
+
+TEST(HashTest, SegmentationHashSpreads) {
+  // Sequential keys should land in all regions of a 4-way split.
+  std::set<uint32_t> shards;
+  for (int64_t k = 0; k < 1000; ++k) {
+    shards.insert(SegmentationHashInt(k) >> 30);  // Top 2 bits = 4 regions.
+  }
+  EXPECT_EQ(shards.size(), 4u);
+}
+
+TEST(HashTest, Crc32cKnownVector) {
+  // CRC-32C of "123456789" is 0xE3069283 (Castagnoli reference value).
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+}
+
+TEST(HashTest, Crc32cDetectsBitFlip) {
+  std::string data = "the quick brown fox";
+  uint32_t crc = Crc32c(data.data(), data.size());
+  data[3] ^= 0x40;
+  EXPECT_NE(crc, Crc32c(data.data(), data.size()));
+}
+
+TEST(CodecTest, FixedRoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0xDEADBEEF);
+  PutFixed64(&buf, 0x0123456789ABCDEFULL);
+  Slice in(buf);
+  uint32_t v32;
+  uint64_t v64;
+  ASSERT_TRUE(GetFixed32(&in, &v32).ok());
+  ASSERT_TRUE(GetFixed64(&in, &v64).ok());
+  EXPECT_EQ(v32, 0xDEADBEEFu);
+  EXPECT_EQ(v64, 0x0123456789ABCDEFULL);
+  EXPECT_TRUE(in.empty());
+}
+
+class VarintRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VarintRoundTrip, Unsigned) {
+  std::string buf;
+  PutVarint64(&buf, GetParam());
+  Slice in(buf);
+  uint64_t v;
+  ASSERT_TRUE(GetVarint64(&in, &v).ok());
+  EXPECT_EQ(v, GetParam());
+}
+
+TEST_P(VarintRoundTrip, SignedBothSigns) {
+  for (int64_t sign : {1, -1}) {
+    int64_t value = sign * static_cast<int64_t>(GetParam() >> 1);
+    std::string buf;
+    PutVarint64Signed(&buf, value);
+    Slice in(buf);
+    int64_t v;
+    ASSERT_TRUE(GetVarint64Signed(&in, &v).ok());
+    EXPECT_EQ(v, value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, VarintRoundTrip,
+                         ::testing::Values(0ULL, 1ULL, 127ULL, 128ULL,
+                                           16383ULL, 16384ULL, 1ULL << 31,
+                                           (1ULL << 32) - 1, 1ULL << 32,
+                                           UINT64_MAX));
+
+TEST(CodecTest, VarintUnderflowIsCorruption) {
+  std::string buf;
+  PutVarint64(&buf, UINT64_MAX);
+  buf.resize(buf.size() - 1);  // Chop the terminator byte.
+  Slice in(buf);
+  uint64_t v;
+  EXPECT_TRUE(GetVarint64(&in, &v).IsCorruption());
+}
+
+TEST(CodecTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string(300, 'z'));
+  Slice in(buf);
+  Slice a, b, c;
+  ASSERT_TRUE(GetLengthPrefixed(&in, &a).ok());
+  ASSERT_TRUE(GetLengthPrefixed(&in, &b).ok());
+  ASSERT_TRUE(GetLengthPrefixed(&in, &c).ok());
+  EXPECT_EQ(a.ToString(), "hello");
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(c.size(), 300u);
+}
+
+TEST(CodecTest, DoubleRoundTrip) {
+  for (double d : {0.0, -1.5, 3.14159, 1e300, -1e-300}) {
+    std::string buf;
+    PutDouble(&buf, d);
+    Slice in(buf);
+    double v;
+    ASSERT_TRUE(GetDouble(&in, &v).ok());
+    EXPECT_EQ(v, d);
+  }
+}
+
+TEST(SidTest, StorageIdRoundTrip) {
+  StorageId sid;
+  sid.version = 1;
+  sid.instance = NodeInstanceId::Generate(123, 456);
+  sid.local_id = 0xCAFEBABE;
+  const std::string text = sid.ToString();
+  EXPECT_EQ(text.size(), 48u);
+  auto parsed = StorageId::Parse(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, sid);
+}
+
+TEST(SidTest, DistinctInstancesMintDistinctIds) {
+  // Two cloned clusters (same local id counters) still produce unique SIDs
+  // because their node instance ids differ (paper Section 5.1).
+  StorageId a, b;
+  a.instance = NodeInstanceId::Generate(1, 1);
+  b.instance = NodeInstanceId::Generate(2, 1);
+  a.local_id = b.local_id = 42;
+  EXPECT_NE(a.ToString(), b.ToString());
+}
+
+TEST(SidTest, ParseRejectsBadInput) {
+  EXPECT_FALSE(StorageId::Parse("tooshort").ok());
+  EXPECT_FALSE(StorageId::Parse(std::string(48, 'g')).ok());  // Not hex.
+}
+
+TEST(SidTest, IncarnationRoundTrip) {
+  IncarnationId inc = IncarnationId::Generate(7, 8);
+  EXPECT_FALSE(inc.IsZero());
+  auto parsed = IncarnationId::FromHex(inc.ToHex());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, inc);
+}
+
+TEST(JsonTest, RoundTrip) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("name", JsonValue::Str("eon"));
+  obj.Set("version", JsonValue::Int(9));
+  obj.Set("ratio", JsonValue::Double(0.5));
+  obj.Set("beta", JsonValue::Bool(true));
+  JsonValue arr = JsonValue::Array();
+  arr.Append(JsonValue::Str("n1"));
+  arr.Append(JsonValue::Str("n2"));
+  obj.Set("nodes", std::move(arr));
+
+  auto parsed = JsonValue::Parse(obj.Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Get("name").string_value(), "eon");
+  EXPECT_EQ(parsed->Get("version").int_value(), 9);
+  EXPECT_DOUBLE_EQ(parsed->Get("ratio").double_value(), 0.5);
+  EXPECT_TRUE(parsed->Get("beta").bool_value());
+  EXPECT_EQ(parsed->Get("nodes").size(), 2u);
+}
+
+TEST(JsonTest, EscapesSpecials) {
+  JsonValue v = JsonValue::Str("line1\nline2\t\"quoted\"\\");
+  auto parsed = JsonValue::Parse(v.Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->string_value(), "line1\nline2\t\"quoted\"\\");
+}
+
+TEST(JsonTest, RejectsMalformed) {
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1,2,").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":}").ok());
+  EXPECT_FALSE(JsonValue::Parse("{} trailing").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").ok());
+}
+
+TEST(RandomTest, Deterministic) {
+  Random a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RandomTest, ZipfBoundedAndSkewed) {
+  Random rng(2);
+  uint64_t low = 0, total = 2000;
+  for (uint64_t i = 0; i < total; ++i) {
+    uint64_t v = rng.Zipf(1000, 0.8);
+    EXPECT_LT(v, 1000u);
+    if (v < 100) low++;
+  }
+  // Strong skew: far more than 10% of draws land in the lowest 10%.
+  EXPECT_GT(low, total / 3);
+}
+
+TEST(ClockTest, SimClockJumps) {
+  SimClock clock;
+  EXPECT_EQ(clock.NowMicros(), 0);
+  clock.AdvanceMicros(1500);
+  EXPECT_EQ(clock.NowMicros(), 1500);
+  clock.SetMicros(10000);
+  EXPECT_EQ(clock.NowMicros(), 10000);
+}
+
+TEST(ClockTest, WallClockMonotone) {
+  WallClock clock;
+  int64_t a = clock.NowMicros();
+  clock.AdvanceMicros(1000);
+  EXPECT_GE(clock.NowMicros(), a + 1000);
+}
+
+TEST(SliceTest, CompareAndPrefix) {
+  EXPECT_EQ(Slice("abc").compare(Slice("abc")), 0);
+  EXPECT_LT(Slice("abc").compare(Slice("abd")), 0);
+  EXPECT_GT(Slice("abcd").compare(Slice("abc")), 0);
+  EXPECT_TRUE(Slice("abcdef").starts_with(Slice("abc")));
+  EXPECT_FALSE(Slice("ab").starts_with(Slice("abc")));
+  Slice s("hello");
+  s.remove_prefix(2);
+  EXPECT_EQ(s.ToString(), "llo");
+}
+
+}  // namespace
+}  // namespace eon

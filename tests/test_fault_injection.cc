@@ -1,0 +1,151 @@
+// Fault-injection integration tests: the whole stack running over a
+// misbehaving shared storage (transient failures, throttling) behind the
+// retry wrapper, per the paper's "any filesystem access can (and will)
+// fail ... a properly balanced retry loop is required" (Section 5.3).
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "engine/ddl.h"
+#include "engine/dml.h"
+#include "engine/session.h"
+#include "storage/sim_object_store.h"
+#include "tm/tuple_mover.h"
+
+namespace eon {
+namespace {
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SimStoreOptions sopts;
+    sopts.get_latency_micros = 0;
+    sopts.put_latency_micros = 0;
+    sopts.list_latency_micros = 0;
+    sopts.delete_latency_micros = 0;
+    sopts.transient_failure_prob = 0.15;  // Nasty but realistic S3 day.
+    sopts.throttle_prob = 0.05;
+    sopts.seed = 1234;
+    flaky_ = std::make_unique<SimObjectStore>(sopts, &clock_);
+    RetryOptions ropts;
+    ropts.max_attempts = 12;
+    ropts.initial_backoff_micros = 10;
+    retrying_ =
+        std::make_unique<RetryingObjectStore>(flaky_.get(), ropts, &clock_);
+
+    ClusterOptions copts;
+    copts.num_shards = 2;
+    auto cluster = EonCluster::Create(
+        retrying_.get(), &clock_, copts,
+        {NodeSpec{"n1", ""}, NodeSpec{"n2", ""}, NodeSpec{"n3", ""}});
+    ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+    cluster_ = std::move(cluster).value();
+
+    Schema schema({{"id", DataType::kInt64}, {"v", DataType::kDouble}});
+    ASSERT_TRUE(CreateTable(cluster_.get(), "t", schema, std::nullopt,
+                            {ProjectionSpec{"t_super", {}, {"id"}, {"id"}}})
+                    .ok());
+  }
+
+  SimClock clock_;
+  std::unique_ptr<SimObjectStore> flaky_;
+  std::unique_ptr<RetryingObjectStore> retrying_;
+  std::unique_ptr<EonCluster> cluster_;
+};
+
+TEST_F(FaultInjectionTest, LoadQueryDeleteMergeoutSurviveFaults) {
+  // Sustained activity over the flaky store: every operation must succeed
+  // through the retry loop, and results stay correct.
+  int64_t expected_sum = 0;
+  for (int b = 0; b < 6; ++b) {
+    std::vector<Row> rows;
+    for (int64_t i = 0; i < 100; ++i) {
+      int64_t id = b * 100 + i;
+      rows.push_back(Row{Value::Int(id), Value::Dbl(1.0)});
+      expected_sum += id;
+    }
+    auto v = CopyInto(cluster_.get(), "t", rows);
+    ASSERT_TRUE(v.ok()) << "batch " << b << ": " << v.status().ToString();
+  }
+  EXPECT_GT(retrying_->total_retries(), 0u);  // Faults actually fired.
+
+  EonSession session(cluster_.get());
+  QuerySpec sum;
+  sum.scan.table = "t";
+  sum.scan.columns = {"id"};
+  sum.aggregates = {{AggFn::kSum, "id", "s"}};
+
+  // Cold-cache read path also rides the retry loop.
+  for (const auto& n : cluster_->nodes()) n->cache()->Clear();
+  auto result = session.Execute(sum);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows[0][0].int_value(), expected_sum);
+
+  auto deleted = DeleteWhere(cluster_.get(), "t",
+                             Predicate::Cmp(0, CmpOp::kLt, Value::Int(100)));
+  ASSERT_TRUE(deleted.ok()) << deleted.status().ToString();
+  EXPECT_EQ(*deleted, 100u);
+  expected_sum -= 99 * 100 / 2;
+
+  TupleMover tm(cluster_.get(), MergeoutOptions{.stratum_fanin = 2});
+  auto jobs = tm.RunOnce();
+  ASSERT_TRUE(jobs.ok()) << jobs.status().ToString();
+
+  result = session.Execute(sum);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows[0][0].int_value(), expected_sum);
+}
+
+TEST_F(FaultInjectionTest, MetadataSyncAndReviveSurviveFaults) {
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 200; ++i) {
+    rows.push_back(Row{Value::Int(i), Value::Dbl(2.0)});
+  }
+  ASSERT_TRUE(CopyInto(cluster_.get(), "t", rows).ok());
+  ASSERT_TRUE(cluster_->SyncAll(true).ok());
+  ASSERT_TRUE(cluster_->UpdateClusterInfo().ok());
+  const int64_t lease = cluster_->options().lease_duration_micros;
+  cluster_.reset();
+
+  clock_.AdvanceMicros(lease + 1);
+  ClusterOptions copts;
+  copts.num_shards = 2;
+  auto revived = EonCluster::Revive(
+      retrying_.get(), &clock_, copts,
+      {NodeSpec{"r1", ""}, NodeSpec{"r2", ""}, NodeSpec{"r3", ""}});
+  ASSERT_TRUE(revived.ok()) << revived.status().ToString();
+
+  EonSession session(revived->get());
+  QuerySpec count;
+  count.scan.table = "t";
+  count.scan.columns = {"id"};
+  count.aggregates = {{AggFn::kCount, "", "n"}};
+  auto result = session.Execute(count);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows[0][0].int_value(), 200);
+}
+
+TEST_F(FaultInjectionTest, NodeRecoveryUnderFaults) {
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 300; ++i) {
+    rows.push_back(Row{Value::Int(i), Value::Dbl(1.0)});
+  }
+  ASSERT_TRUE(CopyInto(cluster_.get(), "t", rows).ok());
+  ASSERT_TRUE(cluster_->KillNode(2).ok());
+  ASSERT_TRUE(CopyInto(cluster_.get(), "t", rows).ok());  // Missed commits.
+  ASSERT_TRUE(cluster_->RestartNode(2).ok());
+  EXPECT_EQ(cluster_->node(2)->catalog()->version(),
+            cluster_->node(1)->catalog()->version());
+
+  EonSession session(cluster_.get());
+  QuerySpec count;
+  count.scan.table = "t";
+  count.scan.columns = {"id"};
+  count.aggregates = {{AggFn::kCount, "", "n"}};
+  auto result = session.Execute(count);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows[0][0].int_value(), 600);
+}
+
+}  // namespace
+}  // namespace eon

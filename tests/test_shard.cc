@@ -1,0 +1,243 @@
+// Unit tests for max flow and participating-subscription selection
+// (Section 4.1, Figure 6) and subscription layout planning.
+
+#include <gtest/gtest.h>
+
+#include "shard/maxflow.h"
+#include "shard/participation.h"
+
+namespace eon {
+namespace {
+
+TEST(MaxFlowTest, SimpleGraph) {
+  // source(0) → a(1) → sink(3), source → b(2) → sink.
+  MaxFlowGraph g(4);
+  g.AddEdge(0, 1, 2);
+  g.AddEdge(0, 2, 3);
+  int a_sink = g.AddEdge(1, 3, 1);
+  int b_sink = g.AddEdge(2, 3, 5);
+  EXPECT_EQ(g.Solve(0, 3), 4);
+  EXPECT_EQ(g.EdgeFlow(a_sink), 1);
+  EXPECT_EQ(g.EdgeFlow(b_sink), 3);
+}
+
+TEST(MaxFlowTest, IncrementalCapacityRaisePreservesFlow) {
+  MaxFlowGraph g(3);
+  g.AddEdge(0, 1, 10);
+  int bottleneck = g.AddEdge(1, 2, 1);
+  EXPECT_EQ(g.Solve(0, 2), 1);
+  // Successive-rounds usage: raise capacity and re-solve.
+  g.SetCapacity(bottleneck, 5);
+  EXPECT_EQ(g.Solve(0, 2), 5);
+  EXPECT_EQ(g.EdgeFlow(bottleneck), 5);
+}
+
+TEST(MaxFlowTest, DisconnectedIsZero) {
+  MaxFlowGraph g(4);
+  g.AddEdge(0, 1, 5);
+  g.AddEdge(2, 3, 5);
+  EXPECT_EQ(g.Solve(0, 3), 0);
+}
+
+class ParticipationTest : public ::testing::Test {
+ protected:
+  /// Build a catalog: `shards` segment shards, nodes 1..n each ACTIVE on
+  /// shards (i-1 + r) % shards for r in 0..k-1 (ring layout).
+  void Setup(uint32_t shards, int n, int k,
+             const std::vector<std::string>& subclusters = {}) {
+    CatalogTxn txn;
+    ShardingConfig cfg;
+    cfg.num_segment_shards = shards;
+    txn.SetSharding(cfg);
+    for (int i = 1; i <= n; ++i) {
+      NodeDef def;
+      def.oid = static_cast<Oid>(i);
+      def.name = "n" + std::to_string(i);
+      def.subcluster = subclusters.empty() ? "" : subclusters[i - 1];
+      txn.PutNode(def);
+      up_.insert(def.oid);
+    }
+    // Ring layout per shard: shard s is served by nodes (s % n)+1 ...
+    // (s+k-1 % n)+1, covering every shard even when shards > nodes.
+    for (ShardId s = 0; s < shards; ++s) {
+      for (int r = 0; r < k; ++r) {
+        txn.PutSubscription(Subscription{
+            static_cast<Oid>((s + static_cast<uint32_t>(r)) % n + 1), s,
+            SubscriptionState::kActive});
+      }
+    }
+    ASSERT_TRUE(catalog_.Commit(txn).ok());
+  }
+
+  Catalog catalog_;
+  std::set<Oid> up_;
+};
+
+TEST_F(ParticipationTest, CoversAllShardsExactlyOnce) {
+  Setup(4, 4, 2);
+  auto result = SelectParticipatingNodes(*catalog_.snapshot(), up_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->shard_to_node.size(), 4u);
+  for (const auto& [shard, node] : result->shard_to_node) {
+    EXPECT_GE(node, 1u);
+    EXPECT_LE(node, 4u);
+  }
+}
+
+TEST_F(ParticipationTest, BalancedAssignment) {
+  // 8 shards, 4 nodes, k=2: each node should serve exactly 2 shards.
+  Setup(8, 4, 2);
+  auto result = SelectParticipatingNodes(*catalog_.snapshot(), up_);
+  ASSERT_TRUE(result.ok());
+  for (Oid n = 1; n <= 4; ++n) {
+    EXPECT_EQ(result->ShardsOf(n).size(), 2u) << "node " << n;
+  }
+}
+
+TEST_F(ParticipationTest, SkipsDownNodes) {
+  Setup(4, 4, 2);
+  up_.erase(2);
+  auto result = SelectParticipatingNodes(*catalog_.snapshot(), up_);
+  ASSERT_TRUE(result.ok());
+  for (const auto& [shard, node] : result->shard_to_node) {
+    EXPECT_NE(node, 2u);
+  }
+}
+
+TEST_F(ParticipationTest, UnavailableWhenShardUncovered) {
+  Setup(4, 4, 1);  // k=1: shard i only on node i+1.
+  up_.erase(3);    // Shard 2 now uncovered.
+  auto result = SelectParticipatingNodes(*catalog_.snapshot(), up_);
+  EXPECT_TRUE(result.status().IsUnavailable());
+}
+
+TEST_F(ParticipationTest, SkewedSubscriptionsStillCovered) {
+  // One node subscribes to everything, others to one shard each: the
+  // successive-round capacity raises must still cover all shards.
+  CatalogTxn txn;
+  ShardingConfig cfg;
+  cfg.num_segment_shards = 4;
+  txn.SetSharding(cfg);
+  for (ShardId s = 0; s < 4; ++s) {
+    txn.PutSubscription(Subscription{1, s, SubscriptionState::kActive});
+  }
+  txn.PutSubscription(Subscription{2, 0, SubscriptionState::kActive});
+  ASSERT_TRUE(catalog_.Commit(txn).ok());
+  up_ = {1, 2};
+  auto result = SelectParticipatingNodes(*catalog_.snapshot(), up_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->shard_to_node.size(), 4u);
+  // Node 1 must pick up at least 3 shards.
+  EXPECT_GE(result->ShardsOf(1).size(), 3u);
+}
+
+TEST_F(ParticipationTest, VariationSeedSpreadsAssignments) {
+  Setup(3, 6, 3);  // Plenty of equivalent assignments.
+  std::set<std::string> distinct;
+  for (uint64_t seed = 0; seed < 16; ++seed) {
+    ParticipationOptions opts;
+    opts.variation_seed = seed;
+    auto result =
+        SelectParticipatingNodes(*catalog_.snapshot(), up_, opts);
+    ASSERT_TRUE(result.ok());
+    std::string key;
+    for (const auto& [shard, node] : result->shard_to_node) {
+      key += std::to_string(node) + ",";
+    }
+    distinct.insert(key);
+  }
+  // Edge-order variation should produce multiple distinct assignments.
+  EXPECT_GT(distinct.size(), 1u);
+}
+
+TEST_F(ParticipationTest, PriorityGroupsKeepWorkloadInside) {
+  Setup(3, 6, 3, {"a", "a", "a", "b", "b", "b"});
+  ParticipationOptions opts;
+  opts.priority_groups = {{1, 2, 3}, {4, 5, 6}};
+  auto result = SelectParticipatingNodes(*catalog_.snapshot(), up_, opts);
+  ASSERT_TRUE(result.ok());
+  // Subcluster "a" covers all shards: workload must not escape.
+  for (const auto& [shard, node] : result->shard_to_node) {
+    EXPECT_LE(node, 3u);
+  }
+}
+
+TEST_F(ParticipationTest, WorkloadEscapesOnlyOnFailure) {
+  // k=6 on 3 shards: every node subscribes to every shard. Kill all of
+  // subcluster "a": the workload must escape to "b".
+  Setup(3, 6, 6, {"a", "a", "a", "b", "b", "b"});
+  up_ = {4, 5, 6};
+  ParticipationOptions opts;
+  opts.priority_groups = {{1, 2, 3}, {4, 5, 6}};
+  auto result = SelectParticipatingNodes(*catalog_.snapshot(), up_, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  for (const auto& [shard, node] : result->shard_to_node) {
+    EXPECT_GE(node, 4u);
+  }
+}
+
+TEST(PlanLayoutTest, EveryShardGetsKSubscribers) {
+  Catalog catalog;
+  CatalogTxn txn;
+  ShardingConfig cfg;
+  cfg.num_segment_shards = 4;
+  txn.SetSharding(cfg);
+  ASSERT_TRUE(catalog.Commit(txn).ok());
+
+  std::vector<NodeDef> nodes;
+  for (Oid i = 1; i <= 4; ++i) {
+    nodes.push_back(NodeDef{i, "n" + std::to_string(i), ""});
+  }
+  auto layout = PlanSubscriptionLayout(*catalog.snapshot(), nodes, 2);
+
+  std::map<ShardId, int> coverage;
+  std::map<Oid, int> replica_subs;
+  for (const auto& [node, shard] : layout) {
+    if (shard == 4) {
+      replica_subs[node]++;
+    } else {
+      coverage[shard]++;
+    }
+  }
+  for (ShardId s = 0; s < 4; ++s) EXPECT_EQ(coverage[s], 2) << "shard " << s;
+  // Every node subscribes to the replica shard.
+  EXPECT_EQ(replica_subs.size(), 4u);
+}
+
+TEST(PlanLayoutTest, SubclustersEachCoverAllShards) {
+  Catalog catalog;
+  CatalogTxn txn;
+  ShardingConfig cfg;
+  cfg.num_segment_shards = 3;
+  txn.SetSharding(cfg);
+  ASSERT_TRUE(catalog.Commit(txn).ok());
+
+  std::vector<NodeDef> nodes;
+  for (Oid i = 1; i <= 6; ++i) {
+    nodes.push_back(NodeDef{i, "n" + std::to_string(i), i <= 3 ? "a" : "b"});
+  }
+  auto layout = PlanSubscriptionLayout(*catalog.snapshot(), nodes, 2);
+  std::map<std::string, std::set<ShardId>> covered;
+  for (const auto& [node, shard] : layout) {
+    if (shard == 3) continue;  // Replica shard.
+    covered[node <= 3 ? "a" : "b"].insert(shard);
+  }
+  EXPECT_EQ(covered["a"].size(), 3u);
+  EXPECT_EQ(covered["b"].size(), 3u);
+}
+
+TEST(PlanLayoutTest, FewerNodesThanKClamps) {
+  Catalog catalog;
+  CatalogTxn txn;
+  ShardingConfig cfg;
+  cfg.num_segment_shards = 2;
+  txn.SetSharding(cfg);
+  ASSERT_TRUE(catalog.Commit(txn).ok());
+  std::vector<NodeDef> nodes = {NodeDef{1, "only", ""}};
+  auto layout = PlanSubscriptionLayout(*catalog.snapshot(), nodes, 3);
+  // One node: it simply subscribes to everything once.
+  EXPECT_EQ(layout.size(), 3u);  // 2 segment shards + replica shard.
+}
+
+}  // namespace
+}  // namespace eon

@@ -1,0 +1,157 @@
+// Tests for database sharing (the paper's Section 10 direction): a
+// read-only compute cluster attached to a running database's shared
+// storage, refreshing to published versions, fully isolated from the
+// primary.
+
+#include <gtest/gtest.h>
+
+#include "cluster/sharing.h"
+#include "engine/ddl.h"
+#include "engine/dml.h"
+#include "engine/session.h"
+#include "storage/sim_object_store.h"
+
+namespace eon {
+namespace {
+
+class SharingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SimStoreOptions sopts;
+    sopts.get_latency_micros = 0;
+    sopts.put_latency_micros = 0;
+    sopts.list_latency_micros = 0;
+    store_ = std::make_unique<SimObjectStore>(sopts, &clock_);
+    options_.num_shards = 2;
+    auto primary = EonCluster::Create(
+        store_.get(), &clock_, options_,
+        {NodeSpec{"p1", ""}, NodeSpec{"p2", ""}, NodeSpec{"p3", ""}});
+    ASSERT_TRUE(primary.ok());
+    primary_ = std::move(primary).value();
+
+    Schema schema({{"id", DataType::kInt64}, {"v", DataType::kDouble}});
+    ASSERT_TRUE(CreateTable(primary_.get(), "t", schema, std::nullopt,
+                            {ProjectionSpec{"t_super", {}, {"id"}, {"id"}}})
+                    .ok());
+    LoadN(0, 300);
+    Publish();
+  }
+
+  void LoadN(int64_t start, int64_t n) {
+    std::vector<Row> rows;
+    for (int64_t i = start; i < start + n; ++i) {
+      rows.push_back(Row{Value::Int(i), Value::Dbl(1.0)});
+    }
+    ASSERT_TRUE(CopyInto(primary_.get(), "t", rows).ok());
+  }
+
+  /// Sync + publish a new truncation version (the reader's refresh point).
+  void Publish() {
+    ASSERT_TRUE(primary_->SyncAll(true).ok());
+    ASSERT_TRUE(primary_->UpdateClusterInfo().ok());
+  }
+
+  Result<std::unique_ptr<EonCluster>> Attach() {
+    return AttachReadOnly(store_.get(), &clock_, options_,
+                          {NodeSpec{"r1", ""}, NodeSpec{"r2", ""},
+                           NodeSpec{"r3", ""}});
+  }
+
+  int64_t Count(EonCluster* cluster) {
+    EonSession session(cluster);
+    QuerySpec q;
+    q.scan.table = "t";
+    q.scan.columns = {"id"};
+    q.aggregates = {{AggFn::kCount, "", "n"}};
+    auto r = session.Execute(q);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? r->rows[0][0].int_value() : -1;
+  }
+
+  SimClock clock_;
+  ClusterOptions options_;
+  std::unique_ptr<SimObjectStore> store_;
+  std::unique_ptr<EonCluster> primary_;
+};
+
+TEST_F(SharingTest, ReaderSeesPublishedData) {
+  auto reader = Attach();
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_TRUE((*reader)->is_read_only());
+  EXPECT_EQ(Count(reader->get()), 300);
+  // Primary unaffected and still writable.
+  EXPECT_EQ(Count(primary_.get()), 300);
+  LoadN(300, 10);
+  EXPECT_EQ(Count(primary_.get()), 310);
+}
+
+TEST_F(SharingTest, AttachDoesNotTakeTheLease) {
+  // Unlike revive, attach works while the primary's lease is live.
+  auto reader = Attach();
+  ASSERT_TRUE(reader.ok());
+  // And a second reader can attach concurrently.
+  auto reader2 = Attach();
+  ASSERT_TRUE(reader2.ok());
+  EXPECT_EQ(Count(reader2->get()), 300);
+}
+
+TEST_F(SharingTest, ReaderCannotCommit) {
+  auto reader = Attach();
+  ASSERT_TRUE(reader.ok());
+  std::vector<Row> rows = {{Value::Int(999), Value::Dbl(0)}};
+  EXPECT_TRUE(
+      CopyInto(reader->get(), "t", rows).status().IsNotSupported());
+  EXPECT_TRUE(DeleteWhere(reader->get(), "t", Predicate::True())
+                  .status()
+                  .IsNotSupported());
+  Schema s({{"x", DataType::kInt64}});
+  EXPECT_TRUE(CreateTable(reader->get(), "nope", s, std::nullopt,
+                          {ProjectionSpec{"p", {}, {"x"}, {"x"}}})
+                  .status()
+                  .IsNotSupported());
+}
+
+TEST_F(SharingTest, RefreshAdvancesToPublishedVersion) {
+  auto reader = Attach();
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(Count(reader->get()), 300);
+
+  // Primary commits more; the reader sees nothing until publish+refresh.
+  LoadN(300, 100);
+  auto stale = (*reader)->RefreshReadOnly();
+  ASSERT_TRUE(stale.ok());
+  EXPECT_EQ(*stale, 0u);  // Not yet published.
+  EXPECT_EQ(Count(reader->get()), 300);
+
+  Publish();
+  auto advanced = (*reader)->RefreshReadOnly();
+  ASSERT_TRUE(advanced.ok()) << advanced.status().ToString();
+  EXPECT_GT(*advanced, 0u);
+  EXPECT_EQ(Count(reader->get()), 400);
+}
+
+TEST_F(SharingTest, ReaderFailuresAreIsolatedFromPrimary) {
+  auto reader = Attach();
+  ASSERT_TRUE(reader.ok());
+  ASSERT_TRUE((*reader)->KillNode(1).ok());
+  EXPECT_EQ(Count(reader->get()), 300);  // Reader's buddy coverage.
+  EXPECT_EQ(Count(primary_.get()), 300);  // Primary untouched.
+  LoadN(300, 10);
+  EXPECT_EQ(Count(primary_.get()), 310);
+}
+
+TEST_F(SharingTest, RefreshRejectsRevivedSource) {
+  auto reader = Attach();
+  ASSERT_TRUE(reader.ok());
+  // Primary dies; someone revives it (new incarnation).
+  primary_.reset();
+  clock_.AdvanceMicros(options_.lease_duration_micros + 1);
+  auto revived = EonCluster::Revive(
+      store_.get(), &clock_, options_,
+      {NodeSpec{"q1", ""}, NodeSpec{"q2", ""}, NodeSpec{"q3", ""}});
+  ASSERT_TRUE(revived.ok()) << revived.status().ToString();
+  EXPECT_TRUE((*reader)->RefreshReadOnly().status().IsNotSupported());
+}
+
+}  // namespace
+}  // namespace eon

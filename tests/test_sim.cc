@@ -1,0 +1,168 @@
+// Unit tests for the execution-slot throughput simulator (Section 4.2):
+// the model behind Figures 11a, 11b and 12.
+
+#include <gtest/gtest.h>
+
+#include "sim/throughput_sim.h"
+
+namespace eon {
+namespace {
+
+ThroughputSim::Options Base() {
+  ThroughputSim::Options o;
+  o.num_nodes = 3;
+  o.num_shards = 3;
+  o.slots_per_node = 4;
+  o.k_safety = 2;
+  o.threads = 10;
+  o.service_micros = 100000;
+  o.duration_micros = 60LL * 1000 * 1000;
+  return o;
+}
+
+TEST(ThroughputSimTest, CompletesQueries) {
+  auto r = ThroughputSim::Run(Base());
+  EXPECT_GT(r.completed, 0u);
+  EXPECT_GT(r.per_minute, 0.0);
+}
+
+TEST(ThroughputSimTest, CapacityBoundRespected) {
+  // 3 nodes × 4 slots / 3 slots-per-query = 4 concurrent queries max;
+  // at 100 ms service → ~2400/min upper bound.
+  auto o = Base();
+  o.threads = 64;
+  auto r = ThroughputSim::Run(o);
+  EXPECT_LE(r.per_minute, 2400 * 1.12);  // Allow jitter slack.
+  EXPECT_GE(r.per_minute, 2400 * 0.80);
+}
+
+TEST(ThroughputSimTest, LinearScaleOutWithNodes) {
+  // Eon's elastic throughput scaling: S=3 shards fixed, nodes 3→6→9.
+  auto o = Base();
+  o.threads = 64;
+  double base = 0;
+  for (int nodes : {3, 6, 9}) {
+    o.num_nodes = nodes;
+    auto r = ThroughputSim::Run(o);
+    if (base == 0) {
+      base = r.per_minute;
+    } else {
+      const double expected = base * nodes / 3.0;
+      EXPECT_NEAR(r.per_minute, expected, expected * 0.15)
+          << nodes << " nodes should scale linearly";
+    }
+  }
+}
+
+TEST(ThroughputSimTest, ThroughputSaturatesWithThreads) {
+  auto o = Base();
+  double at_capacity = 0;
+  for (int threads : {1, 4, 16, 64}) {
+    o.threads = threads;
+    auto r = ThroughputSim::Run(o);
+    if (threads >= 16) {
+      if (at_capacity == 0) {
+        at_capacity = r.per_minute;
+      } else {
+        EXPECT_NEAR(r.per_minute, at_capacity, at_capacity * 0.1);
+      }
+    }
+  }
+}
+
+TEST(ThroughputSimTest, EnterpriseDoesNotScaleWithNodes) {
+  // Enterprise: shards == nodes, every query uses every node → adding
+  // nodes does not increase concurrent-query capacity.
+  auto o = Base();
+  o.enterprise = true;
+  o.threads = 64;
+  o.num_nodes = o.num_shards = 3;
+  double three = ThroughputSim::Run(o).per_minute;
+  o.num_nodes = o.num_shards = 9;
+  double nine = ThroughputSim::Run(o).per_minute;
+  EXPECT_LT(nine, three * 1.3);
+}
+
+TEST(ThroughputSimTest, EonNodeDownDegradesSmoothly) {
+  // 4 nodes, 3 shards: killing 1 node costs ~1/4 of capacity, not half.
+  auto o = Base();
+  o.num_nodes = 4;
+  o.threads = 32;
+  o.duration_micros = 120LL * 1000 * 1000;
+  o.bucket_micros = 30LL * 1000 * 1000;
+  auto healthy = ThroughputSim::Run(o);
+
+  o.kill_events = {{60LL * 1000 * 1000, 0}};
+  auto degraded = ThroughputSim::Run(o);
+  ASSERT_EQ(degraded.buckets.size(), 4u);
+  const double before = static_cast<double>(degraded.buckets[1].second);
+  const double after = static_cast<double>(degraded.buckets[3].second);
+  EXPECT_LT(after, before);          // It does degrade...
+  EXPECT_GT(after, before * 0.55);   // ...but not a cliff (Figure 12).
+  (void)healthy;
+}
+
+TEST(ThroughputSimTest, EnterpriseNodeDownIsWorse) {
+  auto kill_at = 60LL * 1000 * 1000;
+  // Eon: 4 nodes / 3 shards. Enterprise: 4 nodes / 4 regions, buddy
+  // fallback concentrates the dead node's region on one neighbor.
+  auto eon = Base();
+  eon.num_nodes = 4;
+  eon.threads = 32;
+  eon.duration_micros = 120LL * 1000 * 1000;
+  eon.bucket_micros = 30LL * 1000 * 1000;
+  eon.kill_events = {{kill_at, 0}};
+  auto eon_run = ThroughputSim::Run(eon);
+
+  auto ent = eon;
+  ent.enterprise = true;
+  ent.num_shards = 4;
+  auto ent_run = ThroughputSim::Run(ent);
+
+  auto retained = [](const ThroughputSim::RunResult& r) {
+    return static_cast<double>(r.buckets[3].second) /
+           static_cast<double>(r.buckets[1].second);
+  };
+  EXPECT_GT(retained(eon_run), retained(ent_run));
+}
+
+TEST(ThroughputSimTest, FailoverBlackoutShowsDip) {
+  auto o = Base();
+  o.num_nodes = 4;
+  o.threads = 16;
+  o.duration_micros = 90LL * 1000 * 1000;
+  o.bucket_micros = 10LL * 1000 * 1000;
+  o.kill_events = {{30LL * 1000 * 1000, 1}};
+  o.failover_blackout_micros = 5LL * 1000 * 1000;
+  auto r = ThroughputSim::Run(o);
+  // Bucket containing the blackout dips below its neighbors.
+  const uint64_t dip = r.buckets[3].second;
+  EXPECT_LT(dip, r.buckets[1].second);
+  EXPECT_LT(dip, r.buckets[6].second);
+}
+
+TEST(ThroughputSimTest, RestartRestoresCapacity) {
+  auto o = Base();
+  o.num_nodes = 4;
+  o.threads = 32;
+  o.duration_micros = 180LL * 1000 * 1000;
+  o.bucket_micros = 30LL * 1000 * 1000;
+  o.kill_events = {{60LL * 1000 * 1000, 0}};
+  o.restart_events = {{120LL * 1000 * 1000, 0}};
+  auto r = ThroughputSim::Run(o);
+  const double before = static_cast<double>(r.buckets[1].second);
+  const double down = static_cast<double>(r.buckets[3].second);
+  const double recovered = static_cast<double>(r.buckets[5].second);
+  EXPECT_LT(down, before);
+  EXPECT_GT(recovered, down * 1.1);
+}
+
+TEST(ThroughputSimTest, DeterministicForSeed) {
+  auto o = Base();
+  auto a = ThroughputSim::Run(o);
+  auto b = ThroughputSim::Run(o);
+  EXPECT_EQ(a.completed, b.completed);
+}
+
+}  // namespace
+}  // namespace eon

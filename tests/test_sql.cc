@@ -1,0 +1,166 @@
+// Unit tests for the mini SQL layer: parsing into QuerySpec and
+// end-to-end execution equivalence with hand-built specs.
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "engine/session.h"
+#include "engine/sql.h"
+#include "storage/sim_object_store.h"
+#include "workload/tpch.h"
+
+namespace eon {
+namespace {
+
+class SqlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SimStoreOptions sopts;
+    sopts.get_latency_micros = 0;
+    sopts.put_latency_micros = 0;
+    sopts.list_latency_micros = 0;
+    store_ = std::make_unique<SimObjectStore>(sopts, &clock_);
+    ClusterOptions copts;
+    copts.num_shards = 2;
+    auto cluster = EonCluster::Create(
+        store_.get(), &clock_, copts,
+        {NodeSpec{"n1", ""}, NodeSpec{"n2", ""}, NodeSpec{"n3", ""}});
+    ASSERT_TRUE(cluster.ok());
+    cluster_ = std::move(cluster).value();
+    topts_.scale = 0.1;
+    data_ = GenerateTpch(topts_);
+    ASSERT_TRUE(CreateTpchTables(cluster_.get()).ok());
+    ASSERT_TRUE(LoadTpch(cluster_.get(), data_).ok());
+  }
+
+  Result<QuerySpec> Parse(const std::string& sql) {
+    return ParseSelect(*cluster_->node(1)->catalog()->snapshot(), sql);
+  }
+
+  Result<QueryResult> Run(const std::string& sql) {
+    EON_ASSIGN_OR_RETURN(QuerySpec spec, Parse(sql));
+    EonSession session(cluster_.get());
+    return session.Execute(spec);
+  }
+
+  SimClock clock_;
+  std::unique_ptr<SimObjectStore> store_;
+  std::unique_ptr<EonCluster> cluster_;
+  TpchOptions topts_;
+  TpchData data_;
+};
+
+TEST_F(SqlTest, SimpleProjection) {
+  auto spec = Parse("SELECT l_orderkey, l_quantity FROM lineitem LIMIT 5");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->scan.table, "lineitem");
+  EXPECT_EQ(spec->scan.columns,
+            (std::vector<std::string>{"l_orderkey", "l_quantity"}));
+  EXPECT_EQ(spec->limit, 5);
+  auto result = Run("SELECT l_orderkey, l_quantity FROM lineitem LIMIT 5");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 5u);
+}
+
+TEST_F(SqlTest, WherePredicateTypesAndOps) {
+  auto result = Run(
+      "SELECT COUNT(*) AS n FROM lineitem "
+      "WHERE l_quantity <= 10 AND l_returnflag = 'A'");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  int64_t expected = 0;
+  for (const Row& r : data_.lineitems) {
+    if (r[2].int_value() <= 10 && r[5].str_value() == "A") expected++;
+  }
+  EXPECT_EQ(result->rows[0][0].int_value(), expected);
+}
+
+TEST_F(SqlTest, OrPrecedenceLeftToRight) {
+  auto result = Run(
+      "SELECT COUNT(*) AS n FROM lineitem "
+      "WHERE l_quantity = 1 OR l_quantity = 2");
+  ASSERT_TRUE(result.ok());
+  int64_t expected = 0;
+  for (const Row& r : data_.lineitems) {
+    int64_t q = r[2].int_value();
+    if (q == 1 || q == 2) expected++;
+  }
+  EXPECT_EQ(result->rows[0][0].int_value(), expected);
+}
+
+TEST_F(SqlTest, GroupByWithAggregates) {
+  auto result = Run(
+      "SELECT l_returnflag, COUNT(*) AS n, SUM(l_extendedprice) AS rev, "
+      "AVG(l_discount) AS d FROM lineitem GROUP BY l_returnflag "
+      "ORDER BY l_returnflag");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows.size(), 3u);
+  EXPECT_EQ(result->schema.column(1).name, "n");
+  EXPECT_EQ(result->schema.column(2).name, "rev");
+}
+
+TEST_F(SqlTest, JoinEitherKeyOrder) {
+  for (const char* on : {"l_orderkey = o_orderkey", "o_orderkey = l_orderkey"}) {
+    std::string sql =
+        "SELECT l_shipmode, COUNT(*) AS n FROM lineitem JOIN orders ON " +
+        std::string(on) + " GROUP BY l_shipmode ORDER BY l_shipmode";
+    auto result = Run(sql);
+    ASSERT_TRUE(result.ok()) << sql << ": " << result.status().ToString();
+    EXPECT_EQ(result->rows.size(), 5u);
+    int64_t total = 0;
+    for (const Row& r : result->rows) total += r[1].int_value();
+    EXPECT_EQ(total, static_cast<int64_t>(data_.lineitems.size()));
+  }
+}
+
+TEST_F(SqlTest, WhereOnJoinedTable) {
+  auto spec = Parse(
+      "SELECT l_orderkey FROM lineitem JOIN orders ON l_orderkey = "
+      "o_orderkey WHERE o_totalprice > 10000.0");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  ASSERT_TRUE(spec->join.has_value());
+  EXPECT_NE(spec->join->right.predicate, nullptr);
+  EXPECT_EQ(spec->scan.predicate, nullptr);
+}
+
+TEST_F(SqlTest, CountDistinctAndTopK) {
+  auto result = Run(
+      "SELECT l_shipmode, COUNT(DISTINCT l_orderkey) AS orders "
+      "FROM lineitem GROUP BY l_shipmode ORDER BY orders DESC LIMIT 2");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows.size(), 2u);
+  EXPECT_GE(result->rows[0][1].int_value(), result->rows[1][1].int_value());
+}
+
+TEST_F(SqlTest, RejectsMalformed) {
+  EXPECT_FALSE(Parse("SELEKT x FROM t").ok());
+  EXPECT_FALSE(Parse("SELECT FROM lineitem").ok());
+  EXPECT_FALSE(Parse("SELECT l_orderkey lineitem").ok());
+  EXPECT_FALSE(Parse("SELECT l_orderkey FROM nope").ok());
+  EXPECT_FALSE(Parse("SELECT bogus_col FROM lineitem").ok());
+  EXPECT_FALSE(
+      Parse("SELECT l_orderkey FROM lineitem WHERE l_quantity ~ 3").ok());
+  EXPECT_FALSE(
+      Parse("SELECT l_orderkey FROM lineitem WHERE l_quantity = 'str'").ok());
+  EXPECT_FALSE(Parse("SELECT l_orderkey FROM lineitem trailing junk").ok());
+  EXPECT_FALSE(Parse("SELECT SUM( FROM lineitem").ok());
+}
+
+TEST_F(SqlTest, CaseInsensitiveKeywords) {
+  auto result = Run("select count(*) as n from lineitem where l_quantity < 5");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->rows[0][0].int_value(), 0);
+}
+
+TEST_F(SqlTest, FormatResultAligns) {
+  auto result = Run(
+      "SELECT l_returnflag, COUNT(*) AS n FROM lineitem "
+      "GROUP BY l_returnflag ORDER BY l_returnflag");
+  ASSERT_TRUE(result.ok());
+  std::string text = FormatResult(*result);
+  EXPECT_NE(text.find("l_returnflag"), std::string::npos);
+  EXPECT_NE(text.find("(3 rows)"), std::string::npos);
+  EXPECT_NE(text.find("'A'"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eon

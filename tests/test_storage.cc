@@ -1,0 +1,301 @@
+// Unit tests for the UDFS/ObjectStore layer: semantics, simulation model,
+// fault injection, retry wrapper, POSIX backend.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/clock.h"
+#include "storage/object_store.h"
+#include "storage/posix_object_store.h"
+#include "storage/sim_object_store.h"
+
+namespace eon {
+namespace {
+
+TEST(MemObjectStoreTest, PutGetDelete) {
+  MemObjectStore store;
+  ASSERT_TRUE(store.Put("a/key1", "hello").ok());
+  auto data = store.Get("a/key1");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "hello");
+  ASSERT_TRUE(store.Delete("a/key1").ok());
+  EXPECT_TRUE(store.Get("a/key1").status().IsNotFound());
+  EXPECT_TRUE(store.Delete("a/key1").IsNotFound());
+}
+
+TEST(MemObjectStoreTest, ObjectsAreImmutable) {
+  MemObjectStore store;
+  ASSERT_TRUE(store.Put("k", "v1").ok());
+  // No overwrite, no append, no rename: S3-style semantics.
+  EXPECT_TRUE(store.Put("k", "v2").IsAlreadyExists());
+  EXPECT_EQ(*store.Get("k"), "v1");
+}
+
+TEST(MemObjectStoreTest, ListByPrefixSorted) {
+  MemObjectStore store;
+  ASSERT_TRUE(store.Put("data/b", "2").ok());
+  ASSERT_TRUE(store.Put("data/a", "1").ok());
+  ASSERT_TRUE(store.Put("meta/x", "3").ok());
+  auto listed = store.List("data/");
+  ASSERT_TRUE(listed.ok());
+  ASSERT_EQ(listed->size(), 2u);
+  EXPECT_EQ((*listed)[0].key, "data/a");
+  EXPECT_EQ((*listed)[1].key, "data/b");
+  EXPECT_EQ((*listed)[1].size, 1u);
+}
+
+TEST(MemObjectStoreTest, ExistsViaListNeverHead) {
+  // The paper avoids HEAD requests (eventual consistency trap); Exists is
+  // built on List.
+  MemObjectStore store;
+  ASSERT_TRUE(store.Put("k1", "v").ok());
+  EXPECT_TRUE(*store.Exists("k1"));
+  EXPECT_FALSE(*store.Exists("k2"));
+  EXPECT_EQ(*store.Size("k1"), 1u);
+  EXPECT_TRUE(store.Size("k2").status().IsNotFound());
+}
+
+TEST(MemObjectStoreTest, ReadRange) {
+  MemObjectStore store;
+  ASSERT_TRUE(store.Put("k", "0123456789").ok());
+  EXPECT_EQ(*store.ReadRange("k", 2, 3), "234");
+  EXPECT_EQ(*store.ReadRange("k", 8, 100), "89");  // Short read at end.
+  EXPECT_TRUE(store.ReadRange("k", 11, 1).status().IsOutOfRange());
+}
+
+TEST(MemObjectStoreTest, TracksMetrics) {
+  MemObjectStore store;
+  ASSERT_TRUE(store.Put("k", "abcd").ok());
+  (void)store.Get("k");
+  (void)store.List("");
+  auto m = store.metrics();
+  EXPECT_EQ(m.puts, 1u);
+  EXPECT_EQ(m.gets, 1u);
+  EXPECT_EQ(m.lists, 1u);
+  EXPECT_EQ(m.bytes_written, 4u);
+  EXPECT_EQ(m.bytes_read, 4u);
+  EXPECT_EQ(store.TotalBytes(), 4u);
+  EXPECT_EQ(store.ObjectCount(), 1u);
+}
+
+TEST(SimObjectStoreTest, ChargesLatencyToClock) {
+  SimClock clock;
+  SimStoreOptions opts;
+  opts.get_latency_micros = 1000;
+  opts.put_latency_micros = 2000;
+  opts.bandwidth_bytes_per_sec = 1000000;  // 1 MB/s → 1 µs per byte.
+  SimObjectStore store(opts, &clock);
+
+  ASSERT_TRUE(store.Put("k", std::string(500, 'x')).ok());
+  EXPECT_EQ(clock.NowMicros(), 2000 + 500);
+  (void)store.Get("k");
+  EXPECT_EQ(clock.NowMicros(), 2000 + 500 + 1000 + 500);
+}
+
+TEST(SimObjectStoreTest, AccountsRequestCost) {
+  SimClock clock;
+  SimStoreOptions opts;
+  opts.put_cost_microdollars = 5;
+  opts.get_cost_microdollars = 1;
+  SimObjectStore store(opts, &clock);
+  ASSERT_TRUE(store.Put("k", "v").ok());
+  (void)store.Get("k");
+  (void)store.Get("k");
+  EXPECT_EQ(store.metrics().cost_microdollars, 5u + 2u);
+}
+
+TEST(SimObjectStoreTest, InjectsTransientFailures) {
+  SimClock clock;
+  SimStoreOptions opts;
+  opts.transient_failure_prob = 0.5;
+  opts.seed = 11;
+  SimObjectStore store(opts, &clock);
+  ASSERT_TRUE(store.backing()->Put("k", "v").ok());
+  int failures = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (!store.Get("k").ok()) failures++;
+  }
+  EXPECT_GT(failures, 20);
+  EXPECT_LT(failures, 80);
+  EXPECT_GT(store.metrics().failures_injected, 0u);
+}
+
+TEST(SimObjectStoreTest, Throttles) {
+  SimClock clock;
+  SimStoreOptions opts;
+  opts.throttle_prob = 1.0;
+  SimObjectStore store(opts, &clock);
+  Status s = store.Get("k").status();
+  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_GT(store.metrics().throttled, 0u);
+}
+
+TEST(RetryingObjectStoreTest, RetriesTransientFailures) {
+  SimClock clock;
+  SimStoreOptions opts;
+  opts.transient_failure_prob = 0.3;
+  opts.seed = 3;
+  SimObjectStore base(opts, &clock);
+  RetryOptions ropts;
+  ropts.max_attempts = 10;
+  RetryingObjectStore store(&base, ropts, &clock);
+
+  // With a "properly balanced retry loop" every operation succeeds.
+  for (int i = 0; i < 50; ++i) {
+    std::string key = "k" + std::to_string(i);
+    ASSERT_TRUE(store.Put(key, "v").ok()) << key;
+    auto got = store.Get(key);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(*got, "v");
+  }
+  EXPECT_GT(store.total_retries(), 0u);
+}
+
+TEST(RetryingObjectStoreTest, LostPutResponseIsSuccess) {
+  // A Put whose first attempt landed but whose response was lost sees
+  // AlreadyExists on retry; the wrapper reports success.
+  SimClock clock;
+  MemObjectStore base;
+  ASSERT_TRUE(base.Put("k", "v").ok());
+
+  // Fake "retry after lost response" by a wrapper-level second attempt:
+  struct FailOnce : public ObjectStore {
+    MemObjectStore* inner;
+    int fails_left = 1;
+    explicit FailOnce(MemObjectStore* s) : inner(s) {}
+    Status Put(const std::string& key, const std::string& data) override {
+      Status s = inner->Put(key, data);
+      if (fails_left-- > 0) return Status::IOError("response lost");
+      return s;
+    }
+    Result<std::string> Get(const std::string& key) override {
+      return inner->Get(key);
+    }
+    Result<std::string> ReadRange(const std::string& key, uint64_t off,
+                                  uint64_t len) override {
+      return inner->ReadRange(key, off, len);
+    }
+    Result<std::vector<ObjectMeta>> List(const std::string& p) override {
+      return inner->List(p);
+    }
+    Status Delete(const std::string& key) override {
+      return inner->Delete(key);
+    }
+    ObjectStoreMetrics metrics() const override { return inner->metrics(); }
+  } flaky(&base);
+
+  RetryingObjectStore store(&flaky, RetryOptions{}, &clock);
+  // First attempt writes + reports IOError; retry sees AlreadyExists → OK.
+  EXPECT_TRUE(store.Put("newkey", "data").ok());
+  EXPECT_EQ(*base.Get("newkey"), "data");
+}
+
+TEST(RetryingObjectStoreTest, ExhaustsToTimedOut) {
+  SimClock clock;
+  SimStoreOptions opts;
+  opts.transient_failure_prob = 1.0;
+  SimObjectStore base(opts, &clock);
+  RetryOptions ropts;
+  ropts.max_attempts = 3;
+  RetryingObjectStore store(&base, ropts, &clock);
+  EXPECT_TRUE(store.Get("k").status().IsTimedOut());
+}
+
+TEST(RetryingObjectStoreTest, DoesNotRetryNotFound) {
+  SimClock clock;
+  MemObjectStore base;
+  RetryingObjectStore store(&base, RetryOptions{}, &clock);
+  EXPECT_TRUE(store.Get("missing").status().IsNotFound());
+  EXPECT_EQ(store.total_retries(), 0u);
+}
+
+class PosixObjectStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::temp_directory_path() /
+            ("eon_posix_test_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(root_);
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+  std::filesystem::path root_;
+};
+
+TEST_F(PosixObjectStoreTest, PutGetListDelete) {
+  PosixObjectStore store(root_.string());
+  ASSERT_TRUE(store.Put("data/abc", "payload").ok());
+  ASSERT_TRUE(store.Put("data/abd", "x").ok());
+  ASSERT_TRUE(store.Put("meta/y", "z").ok());
+  EXPECT_EQ(*store.Get("data/abc"), "payload");
+  EXPECT_TRUE(store.Put("data/abc", "again").IsAlreadyExists());
+
+  auto listed = store.List("data/");
+  ASSERT_TRUE(listed.ok());
+  ASSERT_EQ(listed->size(), 2u);
+  EXPECT_EQ((*listed)[0].key, "data/abc");
+
+  EXPECT_EQ(*store.ReadRange("data/abc", 3, 4), "load");
+  ASSERT_TRUE(store.Delete("data/abc").ok());
+  EXPECT_TRUE(store.Get("data/abc").status().IsNotFound());
+}
+
+TEST_F(PosixObjectStoreTest, SurvivesReopen) {
+  {
+    PosixObjectStore store(root_.string());
+    ASSERT_TRUE(store.Put("k", "persisted").ok());
+  }
+  PosixObjectStore reopened(root_.string());
+  EXPECT_EQ(*reopened.Get("k"), "persisted");
+}
+
+TEST_F(PosixObjectStoreTest, KeysWithSpecialChars) {
+  PosixObjectStore store(root_.string());
+  const std::string key = "a/b/c%d/e";
+  ASSERT_TRUE(store.Put(key, "v").ok());
+  EXPECT_EQ(*store.Get(key), "v");
+  auto listed = store.List("a/b/");
+  ASSERT_TRUE(listed.ok());
+  ASSERT_EQ(listed->size(), 1u);
+  EXPECT_EQ((*listed)[0].key, key);
+}
+
+}  // namespace
+}  // namespace eon
+
+namespace eon {
+namespace {
+
+TEST(SimObjectStoreTest, HeadProbeIsEventuallyConsistent) {
+  // Section 5.3: existence checks via HEAD are only eventually consistent
+  // for fresh objects; List (the idiom Vertica uses) is strong. This test
+  // documents the trap the production code avoids.
+  SimClock clock;
+  SimStoreOptions opts;
+  opts.get_latency_micros = 0;
+  opts.put_latency_micros = 0;
+  opts.list_latency_micros = 0;
+  opts.head_staleness_micros = 10000;
+  SimObjectStore store(opts, &clock);
+
+  ASSERT_TRUE(store.Put("fresh", "v").ok());
+  // HEAD lies about the fresh object...
+  auto head = store.HeadProbe("fresh");
+  ASSERT_TRUE(head.ok());
+  EXPECT_FALSE(*head);
+  // ...while the List-based Exists is strongly consistent immediately.
+  auto listed = store.Exists("fresh");
+  ASSERT_TRUE(listed.ok());
+  EXPECT_TRUE(*listed);
+  // After the staleness window, HEAD converges.
+  clock.AdvanceMicros(20000);
+  head = store.HeadProbe("fresh");
+  ASSERT_TRUE(head.ok());
+  EXPECT_TRUE(*head);
+  // And HEAD on a truly absent key is simply false.
+  auto absent = store.HeadProbe("never");
+  ASSERT_TRUE(absent.ok());
+  EXPECT_FALSE(*absent);
+}
+
+}  // namespace
+}  // namespace eon

@@ -1,0 +1,182 @@
+// Unit tests for catalog durability: sync uploads, sync intervals,
+// consensus truncation version (Figure 5), cluster_info.json.
+
+#include <gtest/gtest.h>
+
+#include "catalog/sync.h"
+#include "common/clock.h"
+#include "storage/object_store.h"
+
+namespace eon {
+namespace {
+
+class SyncTest : public ::testing::Test {
+ protected:
+  SyncTest() : incarnation_(IncarnationId::Generate(1, 2)) {}
+
+  void CommitN(Catalog* catalog, int n) {
+    for (int i = 0; i < n; ++i) {
+      CatalogTxn txn;
+      TableDef t;
+      t.oid = catalog->NextOid();
+      t.name = "t" + std::to_string(catalog->version());
+      t.schema = Schema({{"c", DataType::kInt64}});
+      txn.PutTable(t);
+      ASSERT_TRUE(catalog->Commit(txn).ok());
+    }
+  }
+
+  MemObjectStore store_;
+  IncarnationId incarnation_;
+};
+
+TEST_F(SyncTest, UploadsLogsAndCheckpoints) {
+  Catalog catalog;
+  CatalogSync sync(&store_, incarnation_, /*node_oid=*/1);
+  sync.set_checkpoint_every(1000);  // Only forced checkpoints.
+
+  CommitN(&catalog, 3);
+  ASSERT_TRUE(sync.SyncNow(catalog).ok());
+  auto logs = store_.List(sync.NodePrefix() + "log_");
+  ASSERT_TRUE(logs.ok());
+  EXPECT_EQ(logs->size(), 3u);
+  EXPECT_EQ(sync.interval().upper, 3u);
+
+  ASSERT_TRUE(sync.SyncNow(catalog, /*force_checkpoint=*/true).ok());
+  auto ckpts = store_.List(sync.NodePrefix() + "ckpt_");
+  ASSERT_TRUE(ckpts.ok());
+  EXPECT_EQ(ckpts->size(), 1u);
+
+  // Idempotent: re-sync uploads nothing new.
+  ASSERT_TRUE(sync.SyncNow(catalog).ok());
+  EXPECT_EQ(store_.List(sync.NodePrefix() + "log_")->size(), 3u);
+}
+
+TEST_F(SyncTest, DeleteStaleKeepsTwoCheckpoints) {
+  Catalog catalog;
+  CatalogSync sync(&store_, incarnation_, 1);
+  for (int round = 0; round < 4; ++round) {
+    CommitN(&catalog, 2);
+    ASSERT_TRUE(sync.SyncNow(catalog, /*force_checkpoint=*/true).ok());
+  }
+  EXPECT_EQ(store_.List(sync.NodePrefix() + "ckpt_")->size(), 4u);
+  ASSERT_TRUE(sync.DeleteStale(/*keep=*/2).ok());
+  auto ckpts = store_.List(sync.NodePrefix() + "ckpt_");
+  EXPECT_EQ(ckpts->size(), 2u);
+  // Logs at or below the oldest kept checkpoint were trimmed.
+  auto logs = store_.List(sync.NodePrefix() + "log_");
+  for (const ObjectMeta& m : *logs) {
+    EXPECT_GT(m.key, sync.NodePrefix() + "log_00000000000000000006");
+  }
+}
+
+TEST_F(SyncTest, ReadSyncIntervalHonorsLogGaps) {
+  Catalog catalog;
+  CatalogSync sync(&store_, incarnation_, 1);
+  CommitN(&catalog, 1);
+  ASSERT_TRUE(sync.SyncNow(catalog, true).ok());  // ckpt at v1.
+  CommitN(&catalog, 4);
+  ASSERT_TRUE(sync.SyncNow(catalog).ok());  // Logs v2..v5.
+
+  auto interval = ReadSyncInterval(&store_, incarnation_, 1);
+  ASSERT_TRUE(interval.ok());
+  EXPECT_EQ(interval->lower, 1u);
+  EXPECT_EQ(interval->upper, 5u);
+
+  // Deleting v3's log makes v4/v5 unusable: upper falls to 2.
+  ASSERT_TRUE(
+      store_.Delete(sync.NodePrefix() + "log_00000000000000000003").ok());
+  interval = ReadSyncInterval(&store_, incarnation_, 1);
+  ASSERT_TRUE(interval.ok());
+  EXPECT_EQ(interval->upper, 2u);
+}
+
+TEST_F(SyncTest, DownloadCatalogRestores) {
+  Catalog catalog;
+  CatalogSync sync(&store_, incarnation_, 1);
+  CommitN(&catalog, 2);
+  ASSERT_TRUE(sync.SyncNow(catalog, true).ok());
+  CommitN(&catalog, 3);
+  ASSERT_TRUE(sync.SyncNow(catalog).ok());
+
+  auto restored = DownloadCatalog(&store_, incarnation_, 1, 4);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ((*restored)->version(), 4u);
+  EXPECT_EQ((*restored)->snapshot()->tables.size(), 4u);
+}
+
+TEST(TruncationTest, Figure5Scenario) {
+  // Figure 5: four nodes, four shards; per-shard best uploads 5,7,4,3...
+  // the consensus is the min across shards of the per-shard max.
+  Catalog catalog;
+  CatalogTxn txn;
+  ShardingConfig cfg;
+  cfg.num_segment_shards = 4;
+  txn.SetSharding(cfg);
+  // Node n subscribes to shards n-1 and n mod 4 (ring, k=2).
+  for (Oid n = 1; n <= 4; ++n) {
+    txn.PutSubscription(Subscription{
+        n, static_cast<ShardId>(n - 1), SubscriptionState::kActive});
+    txn.PutSubscription(Subscription{n, static_cast<ShardId>(n % 4),
+                                     SubscriptionState::kActive});
+    // Everyone on the replica shard.
+    txn.PutSubscription(Subscription{n, 4, SubscriptionState::kActive});
+  }
+  ASSERT_TRUE(catalog.Commit(txn).ok());
+  auto snapshot = catalog.snapshot();
+
+  // Node uploads: node1→5, node2→7, node3→4, node4→3.
+  std::map<Oid, uint64_t> uploads = {{1, 5}, {2, 7}, {3, 4}, {4, 3}};
+  // Shard 0: nodes 1,4 → max 5. Shard 1: nodes 1,2 → 7. Shard 2: nodes
+  // 2,3 → 7. Shard 3: nodes 3,4 → 4. Replica shard: all → 7. Min = 4.
+  EXPECT_EQ(ComputeTruncationVersion(*snapshot, uploads), 4u);
+
+  // A node with no uploads pins its solo shard at 0.
+  uploads.erase(3);
+  uploads.erase(4);
+  EXPECT_EQ(ComputeTruncationVersion(*snapshot, uploads), 0u);
+}
+
+TEST(ClusterInfoTest, JsonRoundTrip) {
+  ClusterInfo info;
+  info.truncation_version = 17;
+  info.incarnation = IncarnationId::Generate(3, 4);
+  info.timestamp_micros = 123456;
+  info.lease_expiry_micros = 789000;
+  info.database_name = "eon_db";
+  info.node_names = {"n1", "n2"};
+
+  auto parsed = ClusterInfo::FromJsonText(info.ToJsonText());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->truncation_version, 17u);
+  EXPECT_EQ(parsed->incarnation, info.incarnation);
+  EXPECT_EQ(parsed->lease_expiry_micros, 789000);
+  EXPECT_EQ(parsed->node_names, info.node_names);
+}
+
+TEST(ClusterInfoTest, WriteIsImmutableSequence) {
+  // cluster_info objects are never overwritten: each write is a new
+  // numbered object and readers take the latest — the atomic revive
+  // commit point.
+  MemObjectStore store;
+  ClusterInfo a;
+  a.truncation_version = 1;
+  a.incarnation = IncarnationId::Generate(1, 1);
+  ASSERT_TRUE(a.WriteTo(&store).ok());
+  ClusterInfo b = a;
+  b.truncation_version = 2;
+  ASSERT_TRUE(b.WriteTo(&store).ok());
+
+  auto latest = ClusterInfo::ReadLatest(&store);
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest->truncation_version, 2u);
+  EXPECT_EQ(store.List("cluster_info/")->size(), 2u);
+}
+
+TEST(ClusterInfoTest, ReadLatestOnEmptyStorageIsNotFound) {
+  MemObjectStore store;
+  EXPECT_TRUE(ClusterInfo::ReadLatest(&store).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace eon

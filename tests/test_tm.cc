@@ -1,0 +1,186 @@
+// Unit tests for the tuple mover: strata selection, mergeout correctness,
+// coordinator election/failover, delegation, purge (Section 6.2).
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "engine/ddl.h"
+#include "engine/dml.h"
+#include "engine/session.h"
+#include "storage/sim_object_store.h"
+#include "tm/tuple_mover.h"
+
+namespace eon {
+namespace {
+
+class TupleMoverTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SimStoreOptions sopts;
+    sopts.get_latency_micros = 0;
+    sopts.put_latency_micros = 0;
+    sopts.list_latency_micros = 0;
+    store_ = std::make_unique<SimObjectStore>(sopts, &clock_);
+
+    ClusterOptions copts;
+    copts.num_shards = 2;
+    copts.k_safety = 2;
+    std::vector<NodeSpec> specs;
+    for (int i = 1; i <= 3; ++i) {
+      specs.push_back(NodeSpec{"n" + std::to_string(i), ""});
+    }
+    auto cluster = EonCluster::Create(store_.get(), &clock_, copts, specs);
+    ASSERT_TRUE(cluster.ok());
+    cluster_ = std::move(cluster).value();
+
+    Schema schema({{"id", DataType::kInt64}, {"v", DataType::kDouble}});
+    ASSERT_TRUE(CreateTable(cluster_.get(), "t", schema, std::nullopt,
+                            {ProjectionSpec{"t_super", {}, {"id"}, {"id"}}})
+                    .ok());
+  }
+
+  void LoadBatches(int batches, int rows_per_batch) {
+    for (int b = 0; b < batches; ++b) {
+      std::vector<Row> rows;
+      for (int i = 0; i < rows_per_batch; ++i) {
+        int64_t id = b * rows_per_batch + i;
+        rows.push_back(Row{Value::Int(id), Value::Dbl(id * 0.25)});
+      }
+      ASSERT_TRUE(CopyInto(cluster_.get(), "t", rows).ok());
+    }
+  }
+
+  size_t ContainerCount() {
+    return cluster_->node(1)->catalog()->snapshot()->containers.size();
+  }
+
+  int64_t SumIds() {
+    EonSession session(cluster_.get());
+    QuerySpec q;
+    q.scan.table = "t";
+    q.scan.columns = {"id"};
+    q.aggregates = {{AggFn::kSum, "id", "s"}};
+    auto r = session.Execute(q);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? r->rows[0][0].int_value() : -1;
+  }
+
+  SimClock clock_;
+  std::unique_ptr<SimObjectStore> store_;
+  std::unique_ptr<EonCluster> cluster_;
+};
+
+TEST_F(TupleMoverTest, MergeoutReducesContainerCount) {
+  LoadBatches(8, 50);
+  const size_t before = ContainerCount();
+  const int64_t sum_before = SumIds();
+
+  TupleMover tm(cluster_.get(), MergeoutOptions{.stratum_fanin = 4});
+  auto jobs = tm.RunOnce();
+  ASSERT_TRUE(jobs.ok()) << jobs.status().ToString();
+  EXPECT_GT(*jobs, 0u);
+  EXPECT_LT(ContainerCount(), before);
+  EXPECT_EQ(SumIds(), sum_before);
+  EXPECT_GT(tm.stats().containers_merged, tm.stats().containers_created);
+}
+
+TEST_F(TupleMoverTest, NoJobsBelowFanin) {
+  LoadBatches(2, 50);  // Only 2 containers per (shard, stratum): below 4.
+  TupleMover tm(cluster_.get(), MergeoutOptions{.stratum_fanin = 4});
+  auto jobs = tm.RunOnce();
+  ASSERT_TRUE(jobs.ok());
+  EXPECT_EQ(*jobs, 0u);
+}
+
+TEST_F(TupleMoverTest, MergedContainersAreSortedAndTiered) {
+  LoadBatches(4, 100);
+  TupleMover tm(cluster_.get(), MergeoutOptions{.stratum_fanin = 4});
+  ASSERT_TRUE(tm.RunOnce().ok());
+  // Outputs moved up a stratum.
+  auto snapshot = cluster_->node(1)->catalog()->snapshot();
+  bool saw_merged = false;
+  for (const auto& [oid, c] : snapshot->containers) {
+    if (c.stratum > 0) saw_merged = true;
+  }
+  EXPECT_TRUE(saw_merged);
+}
+
+TEST_F(TupleMoverTest, PurgesDeletedRows) {
+  LoadBatches(4, 100);
+  auto deleted = DeleteWhere(cluster_.get(), "t",
+                             Predicate::Cmp(0, CmpOp::kLt, Value::Int(100)));
+  ASSERT_TRUE(deleted.ok());
+  EXPECT_EQ(*deleted, 100u);
+  const int64_t sum_after_delete = SumIds();
+
+  TupleMover tm(cluster_.get(), MergeoutOptions{.stratum_fanin = 2});
+  ASSERT_TRUE(tm.RunOnce().ok());
+  EXPECT_GT(tm.stats().deleted_rows_purged, 0u);
+  EXPECT_EQ(SumIds(), sum_after_delete);
+
+  // After purge+merge, the old delete vectors are gone from the catalog.
+  auto snapshot = cluster_->node(1)->catalog()->snapshot();
+  uint64_t remaining_tombstones = 0;
+  for (const auto& [oid, dv] : snapshot->delete_vectors) {
+    remaining_tombstones += dv.deleted_count;
+  }
+  EXPECT_EQ(remaining_tombstones, 0u);
+}
+
+TEST_F(TupleMoverTest, SingleCoordinatorPerShard) {
+  TupleMover tm(cluster_.get());
+  ASSERT_TRUE(tm.ReassignCoordinators().ok());
+  auto c0 = tm.CoordinatorFor(0);
+  auto c1 = tm.CoordinatorFor(1);
+  ASSERT_TRUE(c0.ok());
+  ASSERT_TRUE(c1.ok());
+  // Stable until something fails.
+  EXPECT_EQ(*tm.CoordinatorFor(0), *c0);
+}
+
+TEST_F(TupleMoverTest, CoordinatorFailsOver) {
+  TupleMover tm(cluster_.get());
+  auto before = tm.CoordinatorFor(0);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(cluster_->KillNode(*before).ok());
+  auto after = tm.CoordinatorFor(0);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_NE(*after, *before);
+  // And mergeout still runs with the dead node.
+  LoadBatches(4, 50);
+  auto jobs = TupleMover(cluster_.get(), MergeoutOptions{.stratum_fanin = 4})
+                  .RunOnce();
+  EXPECT_TRUE(jobs.ok()) << jobs.status().ToString();
+}
+
+TEST_F(TupleMoverTest, DelegationSpreadsWork) {
+  LoadBatches(8, 50);
+  MergeoutOptions opts;
+  opts.stratum_fanin = 2;
+  opts.delegate_jobs = true;
+  TupleMover tm(cluster_.get(), opts);
+  auto jobs = tm.RunOnce();
+  ASSERT_TRUE(jobs.ok());
+  EXPECT_GT(*jobs, 0u);
+  // Results are still correct.
+  EXPECT_EQ(SumIds(), 399LL * 400 / 2);
+}
+
+TEST_F(TupleMoverTest, DroppedInputFilesGoToReaper) {
+  LoadBatches(4, 50);
+  ASSERT_EQ(cluster_->pending_delete_count(), 0u);
+  TupleMover tm(cluster_.get(), MergeoutOptions{.stratum_fanin = 4});
+  ASSERT_TRUE(tm.RunOnce().ok());
+  EXPECT_GT(cluster_->pending_delete_count(), 0u);
+
+  // Make the drop durable, then reap.
+  ASSERT_TRUE(cluster_->SyncAll(true).ok());
+  ASSERT_TRUE(cluster_->UpdateClusterInfo().ok());
+  auto reaped = cluster_->ReapFiles();
+  ASSERT_TRUE(reaped.ok());
+  EXPECT_GT(*reaped, 0u);
+  EXPECT_EQ(cluster_->pending_delete_count(), 0u);
+}
+
+}  // namespace
+}  // namespace eon

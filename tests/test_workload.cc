@@ -1,0 +1,116 @@
+// Unit tests for the workload generators: determinism, referential
+// integrity, schema alignment, query-set sanity.
+
+#include <gtest/gtest.h>
+
+#include "workload/tpch.h"
+
+namespace eon {
+namespace {
+
+TEST(TpchGeneratorTest, Deterministic) {
+  TpchOptions opts;
+  opts.scale = 0.1;
+  TpchData a = GenerateTpch(opts);
+  TpchData b = GenerateTpch(opts);
+  ASSERT_EQ(a.lineitems.size(), b.lineitems.size());
+  for (size_t i = 0; i < a.lineitems.size(); ++i) {
+    for (size_t c = 0; c < a.lineitems[i].size(); ++c) {
+      EXPECT_EQ(a.lineitems[i][c].Compare(b.lineitems[i][c]), 0);
+    }
+  }
+}
+
+TEST(TpchGeneratorTest, ScaleControlsRowCounts) {
+  TpchOptions small;
+  small.scale = 0.1;
+  TpchOptions big;
+  big.scale = 1.0;
+  EXPECT_NEAR(static_cast<double>(GenerateTpch(big).lineitems.size()),
+              10.0 * GenerateTpch(small).lineitems.size(), 5.0);
+}
+
+TEST(TpchGeneratorTest, RowsMatchSchemas) {
+  TpchData data = GenerateTpch(TpchOptions{.scale = 0.05});
+  for (const Row& r : data.customers) {
+    EXPECT_TRUE(TpchCustomerSchema().RowMatches(r));
+  }
+  for (const Row& r : data.orders) {
+    EXPECT_TRUE(TpchOrdersSchema().RowMatches(r));
+  }
+  for (const Row& r : data.lineitems) {
+    EXPECT_TRUE(TpchLineitemSchema().RowMatches(r));
+  }
+  for (const Row& r : data.parts) {
+    EXPECT_TRUE(TpchPartSchema().RowMatches(r));
+  }
+}
+
+TEST(TpchGeneratorTest, ReferentialIntegrity) {
+  TpchOptions opts;
+  opts.scale = 0.05;
+  TpchData data = GenerateTpch(opts);
+  const int64_t n_orders = static_cast<int64_t>(data.orders.size());
+  const int64_t n_parts = static_cast<int64_t>(data.parts.size());
+  for (const Row& li : data.lineitems) {
+    EXPECT_GE(li[0].int_value(), 1);
+    EXPECT_LE(li[0].int_value(), n_orders);
+    EXPECT_GE(li[1].int_value(), 1);
+    EXPECT_LE(li[1].int_value(), n_parts);
+    // Ship date not before order date (clamped at the dataset horizon).
+    const Row& order = data.orders[li[0].int_value() - 1];
+    EXPECT_GE(li[7].int_value(), order[2].int_value());
+  }
+}
+
+TEST(TpchGeneratorTest, DatesSkewRecent) {
+  TpchOptions opts;
+  opts.scale = 0.5;
+  TpchData data = GenerateTpch(opts);
+  int64_t recent = 0;
+  for (const Row& o : data.orders) {
+    if (o[2].int_value() >= opts.last_day - opts.days / 10) recent++;
+  }
+  // Zipf-skewed toward recent days: well above the uniform 10% share in
+  // the last decile.
+  EXPECT_GT(recent * 5, static_cast<int64_t>(data.orders.size()));
+}
+
+TEST(TpchQuerySetTest, TwentyDistinctNames) {
+  auto queries = TpchQuerySet(TpchOptions{});
+  EXPECT_EQ(queries.size(), 20u);
+  std::set<std::string> names;
+  for (const auto& [name, spec] : queries) names.insert(name);
+  EXPECT_EQ(names.size(), 20u);
+}
+
+TEST(TpchQuerySetTest, MixOfShapes) {
+  auto queries = TpchQuerySet(TpchOptions{});
+  int joins = 0, aggs = 0, topk = 0;
+  for (const auto& [name, spec] : queries) {
+    if (spec.join) joins++;
+    if (!spec.aggregates.empty()) aggs++;
+    if (spec.limit > 0) topk++;
+  }
+  EXPECT_GE(joins, 4);
+  EXPECT_GE(aggs, 15);
+  EXPECT_GE(topk, 2);
+}
+
+TEST(IotTest, BatchShapeAndDeterminism) {
+  auto a = GenerateIotBatch(5, 100);
+  auto b = GenerateIotBatch(5, 100);
+  ASSERT_EQ(a.size(), 100u);
+  for (const Row& r : a) EXPECT_TRUE(IotEventSchema().RowMatches(r));
+  EXPECT_EQ(a[0][0].int_value(), b[0][0].int_value());
+  // Different seeds → different batches.
+  auto c = GenerateIotBatch(6, 100);
+  bool differs = false;
+  for (size_t i = 0; i < a.size() && !differs; ++i) {
+    differs = a[i][0].int_value() != c[i][0].int_value();
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace eon
