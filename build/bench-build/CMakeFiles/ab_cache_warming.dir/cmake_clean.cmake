@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ab_cache_warming"
+  "../bench/ab_cache_warming.pdb"
+  "CMakeFiles/ab_cache_warming.dir/ab_cache_warming.cc.o"
+  "CMakeFiles/ab_cache_warming.dir/ab_cache_warming.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab_cache_warming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

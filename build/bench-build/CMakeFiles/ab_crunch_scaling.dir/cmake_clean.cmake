@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ab_crunch_scaling"
+  "../bench/ab_crunch_scaling.pdb"
+  "CMakeFiles/ab_crunch_scaling.dir/ab_crunch_scaling.cc.o"
+  "CMakeFiles/ab_crunch_scaling.dir/ab_crunch_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab_crunch_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ab_elasticity"
+  "../bench/ab_elasticity.pdb"
+  "CMakeFiles/ab_elasticity.dir/ab_elasticity.cc.o"
+  "CMakeFiles/ab_elasticity.dir/ab_elasticity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab_elasticity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

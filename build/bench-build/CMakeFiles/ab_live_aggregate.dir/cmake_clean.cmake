@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ab_live_aggregate"
+  "../bench/ab_live_aggregate.pdb"
+  "CMakeFiles/ab_live_aggregate.dir/ab_live_aggregate.cc.o"
+  "CMakeFiles/ab_live_aggregate.dir/ab_live_aggregate.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab_live_aggregate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

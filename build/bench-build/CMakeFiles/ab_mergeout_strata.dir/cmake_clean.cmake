@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ab_mergeout_strata"
+  "../bench/ab_mergeout_strata.pdb"
+  "CMakeFiles/ab_mergeout_strata.dir/ab_mergeout_strata.cc.o"
+  "CMakeFiles/ab_mergeout_strata.dir/ab_mergeout_strata.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab_mergeout_strata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

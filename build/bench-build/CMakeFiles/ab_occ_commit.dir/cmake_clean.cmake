@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ab_occ_commit"
+  "../bench/ab_occ_commit.pdb"
+  "CMakeFiles/ab_occ_commit.dir/ab_occ_commit.cc.o"
+  "CMakeFiles/ab_occ_commit.dir/ab_occ_commit.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab_occ_commit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

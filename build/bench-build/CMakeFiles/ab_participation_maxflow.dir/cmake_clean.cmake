@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ab_participation_maxflow"
+  "../bench/ab_participation_maxflow.pdb"
+  "CMakeFiles/ab_participation_maxflow.dir/ab_participation_maxflow.cc.o"
+  "CMakeFiles/ab_participation_maxflow.dir/ab_participation_maxflow.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab_participation_maxflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

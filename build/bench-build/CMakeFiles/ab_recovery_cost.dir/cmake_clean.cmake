@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ab_recovery_cost"
+  "../bench/ab_recovery_cost.pdb"
+  "CMakeFiles/ab_recovery_cost.dir/ab_recovery_cost.cc.o"
+  "CMakeFiles/ab_recovery_cost.dir/ab_recovery_cost.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab_recovery_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

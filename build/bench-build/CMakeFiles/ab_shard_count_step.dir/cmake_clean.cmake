@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ab_shard_count_step"
+  "../bench/ab_shard_count_step.pdb"
+  "CMakeFiles/ab_shard_count_step.dir/ab_shard_count_step.cc.o"
+  "CMakeFiles/ab_shard_count_step.dir/ab_shard_count_step.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab_shard_count_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ab_shard_count_step.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_tpch_baseline"
+  "../bench/fig10_tpch_baseline.pdb"
+  "CMakeFiles/fig10_tpch_baseline.dir/fig10_tpch_baseline.cc.o"
+  "CMakeFiles/fig10_tpch_baseline.dir/fig10_tpch_baseline.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_tpch_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

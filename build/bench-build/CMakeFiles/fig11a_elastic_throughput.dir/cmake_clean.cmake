@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11a_elastic_throughput"
+  "../bench/fig11a_elastic_throughput.pdb"
+  "CMakeFiles/fig11a_elastic_throughput.dir/fig11a_elastic_throughput.cc.o"
+  "CMakeFiles/fig11a_elastic_throughput.dir/fig11a_elastic_throughput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11a_elastic_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

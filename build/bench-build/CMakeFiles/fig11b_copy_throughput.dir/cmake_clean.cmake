@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11b_copy_throughput"
+  "../bench/fig11b_copy_throughput.pdb"
+  "CMakeFiles/fig11b_copy_throughput.dir/fig11b_copy_throughput.cc.o"
+  "CMakeFiles/fig11b_copy_throughput.dir/fig11b_copy_throughput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11b_copy_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_node_down"
+  "../bench/fig12_node_down.pdb"
+  "CMakeFiles/fig12_node_down.dir/fig12_node_down.cc.o"
+  "CMakeFiles/fig12_node_down.dir/fig12_node_down.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_node_down.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastic_dashboard.dir/elastic_dashboard.cpp.o"
+  "CMakeFiles/elastic_dashboard.dir/elastic_dashboard.cpp.o.d"
+  "elastic_dashboard"
+  "elastic_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastic_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

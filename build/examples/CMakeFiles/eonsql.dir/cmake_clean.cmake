@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eonsql.dir/eonsql.cpp.o"
+  "CMakeFiles/eonsql.dir/eonsql.cpp.o.d"
+  "eonsql"
+  "eonsql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eonsql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eon_cache.dir/file_cache.cc.o"
+  "CMakeFiles/eon_cache.dir/file_cache.cc.o.d"
+  "libeon_cache.a"
+  "libeon_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eon_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

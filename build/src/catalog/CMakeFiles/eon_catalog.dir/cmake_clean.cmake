@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eon_catalog.dir/catalog.cc.o"
+  "CMakeFiles/eon_catalog.dir/catalog.cc.o.d"
+  "CMakeFiles/eon_catalog.dir/objects.cc.o"
+  "CMakeFiles/eon_catalog.dir/objects.cc.o.d"
+  "CMakeFiles/eon_catalog.dir/sync.cc.o"
+  "CMakeFiles/eon_catalog.dir/sync.cc.o.d"
+  "libeon_catalog.a"
+  "libeon_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eon_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

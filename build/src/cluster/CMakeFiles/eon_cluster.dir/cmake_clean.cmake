@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eon_cluster.dir/backup.cc.o"
+  "CMakeFiles/eon_cluster.dir/backup.cc.o.d"
+  "CMakeFiles/eon_cluster.dir/cluster.cc.o"
+  "CMakeFiles/eon_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/eon_cluster.dir/node.cc.o"
+  "CMakeFiles/eon_cluster.dir/node.cc.o.d"
+  "libeon_cluster.a"
+  "libeon_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eon_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/columnar/agg.cc" "src/columnar/CMakeFiles/eon_columnar.dir/agg.cc.o" "gcc" "src/columnar/CMakeFiles/eon_columnar.dir/agg.cc.o.d"
+  "/root/repo/src/columnar/delete_vector.cc" "src/columnar/CMakeFiles/eon_columnar.dir/delete_vector.cc.o" "gcc" "src/columnar/CMakeFiles/eon_columnar.dir/delete_vector.cc.o.d"
+  "/root/repo/src/columnar/encoding.cc" "src/columnar/CMakeFiles/eon_columnar.dir/encoding.cc.o" "gcc" "src/columnar/CMakeFiles/eon_columnar.dir/encoding.cc.o.d"
+  "/root/repo/src/columnar/expression.cc" "src/columnar/CMakeFiles/eon_columnar.dir/expression.cc.o" "gcc" "src/columnar/CMakeFiles/eon_columnar.dir/expression.cc.o.d"
+  "/root/repo/src/columnar/ros.cc" "src/columnar/CMakeFiles/eon_columnar.dir/ros.cc.o" "gcc" "src/columnar/CMakeFiles/eon_columnar.dir/ros.cc.o.d"
+  "/root/repo/src/columnar/schema.cc" "src/columnar/CMakeFiles/eon_columnar.dir/schema.cc.o" "gcc" "src/columnar/CMakeFiles/eon_columnar.dir/schema.cc.o.d"
+  "/root/repo/src/columnar/sort.cc" "src/columnar/CMakeFiles/eon_columnar.dir/sort.cc.o" "gcc" "src/columnar/CMakeFiles/eon_columnar.dir/sort.cc.o.d"
+  "/root/repo/src/columnar/types.cc" "src/columnar/CMakeFiles/eon_columnar.dir/types.cc.o" "gcc" "src/columnar/CMakeFiles/eon_columnar.dir/types.cc.o.d"
+  "/root/repo/src/columnar/value_codec.cc" "src/columnar/CMakeFiles/eon_columnar.dir/value_codec.cc.o" "gcc" "src/columnar/CMakeFiles/eon_columnar.dir/value_codec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/eon_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eon_columnar.dir/agg.cc.o"
+  "CMakeFiles/eon_columnar.dir/agg.cc.o.d"
+  "CMakeFiles/eon_columnar.dir/delete_vector.cc.o"
+  "CMakeFiles/eon_columnar.dir/delete_vector.cc.o.d"
+  "CMakeFiles/eon_columnar.dir/encoding.cc.o"
+  "CMakeFiles/eon_columnar.dir/encoding.cc.o.d"
+  "CMakeFiles/eon_columnar.dir/expression.cc.o"
+  "CMakeFiles/eon_columnar.dir/expression.cc.o.d"
+  "CMakeFiles/eon_columnar.dir/ros.cc.o"
+  "CMakeFiles/eon_columnar.dir/ros.cc.o.d"
+  "CMakeFiles/eon_columnar.dir/schema.cc.o"
+  "CMakeFiles/eon_columnar.dir/schema.cc.o.d"
+  "CMakeFiles/eon_columnar.dir/sort.cc.o"
+  "CMakeFiles/eon_columnar.dir/sort.cc.o.d"
+  "CMakeFiles/eon_columnar.dir/types.cc.o"
+  "CMakeFiles/eon_columnar.dir/types.cc.o.d"
+  "CMakeFiles/eon_columnar.dir/value_codec.cc.o"
+  "CMakeFiles/eon_columnar.dir/value_codec.cc.o.d"
+  "libeon_columnar.a"
+  "libeon_columnar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eon_columnar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eon_common.dir/clock.cc.o"
+  "CMakeFiles/eon_common.dir/clock.cc.o.d"
+  "CMakeFiles/eon_common.dir/codec.cc.o"
+  "CMakeFiles/eon_common.dir/codec.cc.o.d"
+  "CMakeFiles/eon_common.dir/hash.cc.o"
+  "CMakeFiles/eon_common.dir/hash.cc.o.d"
+  "CMakeFiles/eon_common.dir/json.cc.o"
+  "CMakeFiles/eon_common.dir/json.cc.o.d"
+  "CMakeFiles/eon_common.dir/logging.cc.o"
+  "CMakeFiles/eon_common.dir/logging.cc.o.d"
+  "CMakeFiles/eon_common.dir/random.cc.o"
+  "CMakeFiles/eon_common.dir/random.cc.o.d"
+  "CMakeFiles/eon_common.dir/sid.cc.o"
+  "CMakeFiles/eon_common.dir/sid.cc.o.d"
+  "CMakeFiles/eon_common.dir/status.cc.o"
+  "CMakeFiles/eon_common.dir/status.cc.o.d"
+  "libeon_common.a"
+  "libeon_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eon_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/ddl.cc" "src/engine/CMakeFiles/eon_engine.dir/ddl.cc.o" "gcc" "src/engine/CMakeFiles/eon_engine.dir/ddl.cc.o.d"
+  "/root/repo/src/engine/designer.cc" "src/engine/CMakeFiles/eon_engine.dir/designer.cc.o" "gcc" "src/engine/CMakeFiles/eon_engine.dir/designer.cc.o.d"
+  "/root/repo/src/engine/dml.cc" "src/engine/CMakeFiles/eon_engine.dir/dml.cc.o" "gcc" "src/engine/CMakeFiles/eon_engine.dir/dml.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/engine/CMakeFiles/eon_engine.dir/executor.cc.o" "gcc" "src/engine/CMakeFiles/eon_engine.dir/executor.cc.o.d"
+  "/root/repo/src/engine/sql.cc" "src/engine/CMakeFiles/eon_engine.dir/sql.cc.o" "gcc" "src/engine/CMakeFiles/eon_engine.dir/sql.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/columnar/CMakeFiles/eon_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/eon_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/eon_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/shard/CMakeFiles/eon_shard.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/eon_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/eon_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eon_engine.dir/ddl.cc.o"
+  "CMakeFiles/eon_engine.dir/ddl.cc.o.d"
+  "CMakeFiles/eon_engine.dir/designer.cc.o"
+  "CMakeFiles/eon_engine.dir/designer.cc.o.d"
+  "CMakeFiles/eon_engine.dir/dml.cc.o"
+  "CMakeFiles/eon_engine.dir/dml.cc.o.d"
+  "CMakeFiles/eon_engine.dir/executor.cc.o"
+  "CMakeFiles/eon_engine.dir/executor.cc.o.d"
+  "CMakeFiles/eon_engine.dir/sql.cc.o"
+  "CMakeFiles/eon_engine.dir/sql.cc.o.d"
+  "libeon_engine.a"
+  "libeon_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eon_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/enterprise/enterprise.cc" "src/enterprise/CMakeFiles/eon_enterprise.dir/enterprise.cc.o" "gcc" "src/enterprise/CMakeFiles/eon_enterprise.dir/enterprise.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/eon_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/eon_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/shard/CMakeFiles/eon_shard.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/eon_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/eon_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/columnar/CMakeFiles/eon_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/eon_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eon_enterprise.dir/enterprise.cc.o"
+  "CMakeFiles/eon_enterprise.dir/enterprise.cc.o.d"
+  "libeon_enterprise.a"
+  "libeon_enterprise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eon_enterprise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eon_shard.dir/maxflow.cc.o"
+  "CMakeFiles/eon_shard.dir/maxflow.cc.o.d"
+  "CMakeFiles/eon_shard.dir/participation.cc.o"
+  "CMakeFiles/eon_shard.dir/participation.cc.o.d"
+  "libeon_shard.a"
+  "libeon_shard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eon_shard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eon_sim.dir/throughput_sim.cc.o"
+  "CMakeFiles/eon_sim.dir/throughput_sim.cc.o.d"
+  "libeon_sim.a"
+  "libeon_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eon_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

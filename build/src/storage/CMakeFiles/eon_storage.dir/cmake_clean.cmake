@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eon_storage.dir/object_store.cc.o"
+  "CMakeFiles/eon_storage.dir/object_store.cc.o.d"
+  "CMakeFiles/eon_storage.dir/posix_object_store.cc.o"
+  "CMakeFiles/eon_storage.dir/posix_object_store.cc.o.d"
+  "CMakeFiles/eon_storage.dir/sim_object_store.cc.o"
+  "CMakeFiles/eon_storage.dir/sim_object_store.cc.o.d"
+  "libeon_storage.a"
+  "libeon_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eon_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eon_tm.dir/tuple_mover.cc.o"
+  "CMakeFiles/eon_tm.dir/tuple_mover.cc.o.d"
+  "libeon_tm.a"
+  "libeon_tm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eon_tm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeon_tm.a"
+)

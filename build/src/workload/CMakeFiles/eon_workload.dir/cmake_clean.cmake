@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eon_workload.dir/tpch.cc.o"
+  "CMakeFiles/eon_workload.dir/tpch.cc.o.d"
+  "libeon_workload.a"
+  "libeon_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eon_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

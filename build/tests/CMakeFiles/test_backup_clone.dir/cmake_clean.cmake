@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_backup_clone.dir/test_backup_clone.cc.o"
+  "CMakeFiles/test_backup_clone.dir/test_backup_clone.cc.o.d"
+  "test_backup_clone"
+  "test_backup_clone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_backup_clone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

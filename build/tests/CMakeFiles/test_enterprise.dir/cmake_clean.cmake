@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_enterprise.dir/test_enterprise.cc.o"
+  "CMakeFiles/test_enterprise.dir/test_enterprise.cc.o.d"
+  "test_enterprise"
+  "test_enterprise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_enterprise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flattened.dir/test_flattened.cc.o"
+  "CMakeFiles/test_flattened.dir/test_flattened.cc.o.d"
+  "test_flattened"
+  "test_flattened.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flattened.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_live_aggregate.dir/test_live_aggregate.cc.o"
+  "CMakeFiles/test_live_aggregate.dir/test_live_aggregate.cc.o.d"
+  "test_live_aggregate"
+  "test_live_aggregate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_live_aggregate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/test_sim.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/eon_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/enterprise/CMakeFiles/eon_enterprise.dir/DependInfo.cmake"
+  "/root/repo/build/src/tm/CMakeFiles/eon_tm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/eon_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/eon_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/shard/CMakeFiles/eon_shard.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/eon_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/eon_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/columnar/CMakeFiles/eon_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/eon_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

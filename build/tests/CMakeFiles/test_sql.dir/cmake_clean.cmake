@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sql.dir/test_sql.cc.o"
+  "CMakeFiles/test_sql.dir/test_sql.cc.o.d"
+  "test_sql"
+  "test_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
