@@ -7,6 +7,7 @@
 #include <string>
 
 #include "cluster/cluster.h"
+#include "obs/export.h"
 #include "storage/sim_object_store.h"
 #include "workload/tpch.h"
 
@@ -82,6 +83,21 @@ MeasuredMicros Measure(SimClock* clock, Fn&& fn) {
   m.cpu = WallMicros() - wall0;
   m.sim_io = clock->NowMicros() - sim0;
   return m;
+}
+
+/// Dump the default-registry metrics snapshot as JSON next to a figure's
+/// data file: "<figure_output>.metrics.json". Every cache / store / query
+/// instrument touched while producing the figure lands in one file, so a
+/// figure's cost story (S3 requests, dollars, hit rates) is reproducible
+/// alongside its data points.
+inline void DumpMetricsSnapshot(const std::string& figure_output) {
+  const std::string path = figure_output + ".metrics.json";
+  Status s = obs::WriteSnapshotJsonFile(path);
+  if (s.ok()) {
+    fprintf(stderr, "metrics snapshot: %s\n", path.c_str());
+  } else {
+    fprintf(stderr, "metrics snapshot failed: %s\n", s.ToString().c_str());
+  }
 }
 
 }  // namespace bench

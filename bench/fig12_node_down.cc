@@ -56,6 +56,7 @@ int Run() {
     o.kill_events = {{kKillAt, 1}};
     // Brief stall while participation re-selects around the dead node.
     o.failover_blackout_micros = 10LL * 1000 * 1000;
+    o.metrics_name = enterprise ? "fig12_enterprise" : "fig12_eon";
     return ThroughputSim::Run(o);
   };
 
@@ -82,6 +83,7 @@ int Run() {
   printf("# shape check: capacity retained after kill — eon %.0f%% "
          "(paper: smooth ~75%%), enterprise %.0f%% (cliff)\n",
          100 * retained(eon_run), 100 * retained(ent_run));
+  DumpMetricsSnapshot("fig12_node_down");
   return 0;
 }
 

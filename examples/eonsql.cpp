@@ -9,17 +9,22 @@
 //   \projections <t>   list projections of a table
 //   \nodes             node status + cache stats
 //   \storage           shared-storage metrics
+//   \profile           full profile of the last query (phases, cache, $)
+//   \metrics           Prometheus-text dump of all registry instruments
 //   \kill <node>       stop a node (queries keep working)
 //   \restart <node>    recover a node
 //   \q                 quit
 
 #include <cstdio>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "cluster/cluster.h"
 #include "engine/session.h"
 #include "engine/sql.h"
+#include "obs/export.h"
+#include "obs/profile.h"
 #include "storage/sim_object_store.h"
 #include "workload/tpch.h"
 
@@ -106,10 +111,11 @@ int main() {
   printf("eonsql — 4 nodes, 3 shards, TPC-H-style sample loaded.\n");
   printf("Try: SELECT l_returnflag, COUNT(*) AS n FROM lineitem GROUP BY "
          "l_returnflag ORDER BY l_returnflag;\n");
-  printf("Meta: \\tables \\projections <t> \\nodes \\storage \\kill <n> "
-         "\\restart <n> \\q\n\n");
+  printf("Meta: \\tables \\projections <t> \\nodes \\storage \\profile "
+         "\\metrics \\kill <n> \\restart <n> \\q\n\n");
 
   EonSession session(cluster->get());
+  std::optional<obs::QueryProfile> last_profile;
   std::string line;
   while (true) {
     printf("eon=> ");
@@ -141,6 +147,17 @@ int main() {
                static_cast<double>(m.bytes_written) / 1e6,
                static_cast<double>(m.bytes_read) / 1e6,
                static_cast<double>(m.cost_microdollars) / 1e6);
+      } else if (cmd == "profile") {
+        if (!last_profile) {
+          printf("no query executed yet\n");
+        } else {
+          fputs(last_profile->ToText().c_str(), stdout);
+        }
+      } else if (cmd == "metrics") {
+        fputs(obs::ExportPrometheusText(
+                  obs::MetricsRegistry::Default()->Snapshot())
+                  .c_str(),
+              stdout);
       } else if (cmd == "kill") {
         Node* n = (*cluster)->node_by_name(arg);
         if (n == nullptr) {
@@ -177,6 +194,7 @@ int main() {
       printf("error: %s\n", result.status().ToString().c_str());
       continue;
     }
+    last_profile = result->profile;
     fputs(FormatResult(*result).c_str(), stdout);
     printf("-- %zu nodes, %llu rows scanned, %llu blocks pruned%s%s\n\n",
            result->stats.participating_nodes,

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Build the concurrency-sensitive tests under ThreadSanitizer and run
+# everything labeled `race` (see tests/CMakeLists.txt). Uses a separate
+# build directory so the normal build/ stays sanitizer-free.
+#
+#   scripts/tsan.sh            # configure + build + run
+#   BUILD_DIR=out scripts/tsan.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . -DEON_SANITIZE=thread \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" --target test_obs test_cache -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" -L race --output-on-failure

@@ -1,9 +1,32 @@
 #include "cache/file_cache.h"
 
+#include <atomic>
+
 namespace eon {
 
 FileCache::FileCache(CacheOptions options, ObjectStore* shared_storage)
-    : options_(options), shared_(shared_storage) {}
+    : options_(options), shared_(shared_storage) {
+  if (options_.metrics_name.empty()) {
+    // Distinct auto label per anonymous instance so two caches never
+    // accumulate into one instrument family member.
+    static std::atomic<uint64_t> next_instance{1};
+    metrics_name_ = "cache" + std::to_string(next_instance.fetch_add(1));
+  } else {
+    metrics_name_ = options_.metrics_name;
+  }
+  obs::MetricsRegistry* reg = obs::OrDefault(options_.registry);
+  const obs::LabelSet labels{{"cache", metrics_name_}};
+  metrics_.hits = reg->GetCounter("eon_cache_hits_total", labels);
+  metrics_.misses = reg->GetCounter("eon_cache_misses_total", labels);
+  metrics_.bytes_hit = reg->GetCounter("eon_cache_bytes_hit_total", labels);
+  metrics_.bytes_filled =
+      reg->GetCounter("eon_cache_fill_bytes_total", labels);
+  metrics_.insertions = reg->GetCounter("eon_cache_insertions_total", labels);
+  metrics_.evictions = reg->GetCounter("eon_cache_evictions_total", labels);
+  metrics_.drops = reg->GetCounter("eon_cache_drops_total", labels);
+  metrics_.size_bytes = reg->GetGauge("eon_cache_size_bytes", labels);
+  metrics_.files = reg->GetGauge("eon_cache_files", labels);
+}
 
 CachePolicy FileCache::PolicyFor(const std::string& key) const {
   // Longest matching prefix wins.
@@ -29,7 +52,7 @@ void FileCache::EvictIfNeededLocked() {
       auto eit = entries_.find(*it);
       if (!include_pinned && eit->second.pinned) continue;
       size_bytes_ -= eit->second.data.size();
-      stats_.evictions++;
+      metrics_.evictions->Increment();
       it = lru_.erase(it);
       entries_.erase(eit);
     }
@@ -38,24 +61,29 @@ void FileCache::EvictIfNeededLocked() {
   evict_pass(/*include_pinned=*/true);
 }
 
+void FileCache::UpdateGaugesLocked() {
+  metrics_.size_bytes->Set(static_cast<int64_t>(size_bytes_));
+  metrics_.files->Set(static_cast<int64_t>(entries_.size()));
+}
+
 Result<std::string> FileCache::FetchInternal(const std::string& key,
                                              bool allow_insert) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
-      stats_.hits++;
-      stats_.bytes_hit += it->second.data.size();
+      metrics_.hits->Increment();
+      metrics_.bytes_hit->Increment(it->second.data.size());
       lru_.erase(it->second.lru_it);
       lru_.push_front(key);
       it->second.lru_it = lru_.begin();
       return it->second.data;
     }
-    stats_.misses++;
+    metrics_.misses->Increment();
   }
   EON_ASSIGN_OR_RETURN(std::string data, shared_->Get(key));
   std::lock_guard<std::mutex> lock(mu_);
-  stats_.bytes_filled += data.size();
+  metrics_.bytes_filled->Increment(data.size());
   if (allow_insert && PolicyFor(key) != CachePolicy::kNeverCache &&
       data.size() <= options_.capacity_bytes) {
     if (!entries_.count(key)) {
@@ -66,8 +94,9 @@ Result<std::string> FileCache::FetchInternal(const std::string& key,
       e.lru_it = lru_.begin();
       size_bytes_ += data.size();
       entries_.emplace(key, std::move(e));
-      stats_.insertions++;
+      metrics_.insertions->Increment();
       EvictIfNeededLocked();
+      UpdateGaugesLocked();
     }
   }
   return data;
@@ -96,8 +125,9 @@ Status FileCache::Insert(const std::string& key, const std::string& data) {
   e.lru_it = lru_.begin();
   size_bytes_ += data.size();
   entries_.emplace(key, std::move(e));
-  stats_.insertions++;
+  metrics_.insertions->Increment();
   EvictIfNeededLocked();
+  UpdateGaugesLocked();
   return Status::OK();
 }
 
@@ -108,7 +138,8 @@ void FileCache::Drop(const std::string& key) {
   size_bytes_ -= it->second.data.size();
   lru_.erase(it->second.lru_it);
   entries_.erase(it);
-  stats_.drops++;
+  metrics_.drops->Increment();
+  UpdateGaugesLocked();
 }
 
 void FileCache::DropPrefix(const std::string& prefix) {
@@ -117,12 +148,13 @@ void FileCache::DropPrefix(const std::string& prefix) {
     if (it->first.compare(0, prefix.size(), prefix) == 0) {
       size_bytes_ -= it->second.data.size();
       lru_.erase(it->second.lru_it);
-      stats_.drops++;
+      metrics_.drops->Increment();
       it = entries_.erase(it);
     } else {
       ++it;
     }
   }
+  UpdateGaugesLocked();
 }
 
 bool FileCache::Contains(const std::string& key) const {
@@ -135,6 +167,7 @@ void FileCache::Clear() {
   entries_.clear();
   lru_.clear();
   size_bytes_ = 0;
+  UpdateGaugesLocked();
 }
 
 void FileCache::SetPolicy(const std::string& key_prefix, CachePolicy policy) {
@@ -200,8 +233,15 @@ uint64_t FileCache::file_count() const {
 uint64_t FileCache::capacity_bytes() const { return options_.capacity_bytes; }
 
 CacheStats FileCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  CacheStats s;
+  s.hits = metrics_.hits->Value();
+  s.misses = metrics_.misses->Value();
+  s.bytes_hit = metrics_.bytes_hit->Value();
+  s.bytes_filled = metrics_.bytes_filled->Value();
+  s.insertions = metrics_.insertions->Value();
+  s.evictions = metrics_.evictions->Value();
+  s.drops = metrics_.drops->Value();
+  return s;
 }
 
 }  // namespace eon

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "columnar/ros.h"
+#include "obs/metrics.h"
 #include "storage/object_store.h"
 
 namespace eon {
@@ -28,8 +29,17 @@ struct CacheOptions {
   /// Newly loaded files are likely to be queried: insert on write
   /// (Section 5.2). Can be disabled for archive loads.
   bool write_through = true;
+  /// Value of the `cache` label on this cache's registry instruments;
+  /// empty = auto-assigned "cache<N>". Nodes set their node name here so
+  /// per-node cache behavior is distinguishable in one exported snapshot.
+  std::string metrics_name;
+  /// Metrics registry to record into; null = process default.
+  obs::MetricsRegistry* registry = nullptr;
 };
 
+/// Aggregate cache counters. Since the registry migration this is a VIEW
+/// assembled from the cache's registry instruments by stats() — kept so
+/// existing callers and tests read one coherent struct.
 struct CacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -95,7 +105,10 @@ class FileCache : public FileFetcher {
   uint64_t size_bytes() const;
   uint64_t file_count() const;
   uint64_t capacity_bytes() const;
+  /// Thin view over the registry instruments (see CacheStats).
   CacheStats stats() const;
+  /// The `cache` label value of this cache's instruments.
+  const std::string& metrics_name() const { return metrics_name_; }
   ObjectStore* shared_storage() const { return shared_; }
 
  private:
@@ -107,16 +120,31 @@ class FileCache : public FileFetcher {
 
   CachePolicy PolicyFor(const std::string& key) const;
   void EvictIfNeededLocked();
+  void UpdateGaugesLocked();
   Result<std::string> FetchInternal(const std::string& key, bool allow_insert);
 
   const CacheOptions options_;
   ObjectStore* shared_;
+  std::string metrics_name_;
   mutable std::mutex mu_;
   std::unordered_map<std::string, Entry> entries_;
   std::list<std::string> lru_;  ///< Front = most recent.
   std::map<std::string, CachePolicy> prefix_policies_;
   uint64_t size_bytes_ = 0;
-  CacheStats stats_;
+
+  // Registry instruments (labels: cache=<metrics_name_>). Resolved once
+  // at construction; hot-path updates are lock-free atomics.
+  struct {
+    obs::Counter* hits = nullptr;
+    obs::Counter* misses = nullptr;
+    obs::Counter* bytes_hit = nullptr;
+    obs::Counter* bytes_filled = nullptr;
+    obs::Counter* insertions = nullptr;
+    obs::Counter* evictions = nullptr;
+    obs::Counter* drops = nullptr;
+    obs::Gauge* size_bytes = nullptr;
+    obs::Gauge* files = nullptr;
+  } metrics_;
 };
 
 /// FileFetcher over a peer's cache: serves only files resident on the peer

@@ -30,7 +30,16 @@ std::set<ShardId> FilterFor(const Node& target, const TxnLogRecord& record) {
 
 EonCluster::EonCluster(ObjectStore* shared_storage, Clock* clock,
                        const ClusterOptions& options)
-    : shared_(shared_storage), clock_(clock), options_(options) {}
+    : shared_(shared_storage), clock_(clock), options_(options) {
+  // Node caches inherit the cluster's registry unless set explicitly.
+  if (options_.node.cache.registry == nullptr) {
+    options_.node.cache.registry = options_.registry;
+  }
+  obs::MetricsRegistry* reg = obs::OrDefault(options_.registry);
+  metrics_.commits = reg->GetCounter("eon_cluster_commits_total");
+  metrics_.files_reaped = reg->GetCounter("eon_cluster_files_reaped_total");
+  metrics_.pending_deletes = reg->GetGauge("eon_cluster_pending_deletes");
+}
 
 Status EonCluster::BuildNodes(const std::vector<NodeSpec>& specs) {
   if (specs.empty()) return Status::InvalidArgument("cluster needs nodes");
@@ -187,6 +196,7 @@ Result<uint64_t> EonCluster::CommitDistributed(
                               " failed: " + s.ToString());
     }
   }
+  metrics_.commits->Increment();
   return version;
 }
 
@@ -768,6 +778,7 @@ void EonCluster::TrackDroppedFiles(const std::vector<std::string>& keys,
     for (auto& n : nodes_) n->cache()->Drop(key);
     pending_deletes_.push_back(PendingFileDelete{key, drop_version});
   }
+  metrics_.pending_deletes->Set(static_cast<int64_t>(pending_deletes_.size()));
 }
 
 Result<uint64_t> EonCluster::ReapFiles() {
@@ -801,6 +812,8 @@ Result<uint64_t> EonCluster::ReapFiles() {
     remaining.push_back(pd);
   }
   pending_deletes_ = std::move(remaining);
+  metrics_.files_reaped->Increment(deleted);
+  metrics_.pending_deletes->Set(static_cast<int64_t>(pending_deletes_.size()));
   return deleted;
 }
 

@@ -29,6 +29,9 @@ struct ClusterOptions {
   /// Revive-lease duration; revive aborts while another cluster's lease on
   /// the shared storage location is unexpired (Section 3.5).
   int64_t lease_duration_micros = 60LL * 1000 * 1000;
+  /// Metrics registry for cluster-level instruments (commits, reaped
+  /// files, node-up gauges via NodeOptions); null = process default.
+  obs::MetricsRegistry* registry = nullptr;
 };
 
 /// A file awaiting deletion from shared storage (Section 6.5): reclaimed
@@ -197,6 +200,12 @@ class EonCluster {
   std::vector<PendingFileDelete> pending_deletes_;
   uint64_t last_truncation_ = 0;
   bool shutdown_ = false;
+  /// Cluster-level registry instruments.
+  struct {
+    obs::Counter* commits = nullptr;        ///< eon_cluster_commits_total
+    obs::Counter* files_reaped = nullptr;   ///< eon_cluster_files_reaped_total
+    obs::Gauge* pending_deletes = nullptr;  ///< eon_cluster_pending_deletes
+  } metrics_;
   /// Reader clusters (AttachReadOnly): no commits, no metadata uploads;
   /// incarnation_ records the SOURCE database's incarnation.
   bool read_only_ = false;

@@ -16,7 +16,14 @@ Node::Node(Oid oid, std::string name, std::string subcluster,
       seed_(seed) {
   instance_id_ = NodeInstanceId::Generate(seed_, oid_);
   catalog_ = std::make_unique<Catalog>();
-  cache_ = std::make_unique<FileCache>(options_.cache, shared_);
+  // Label this node's cache instruments with the node name so one metrics
+  // snapshot distinguishes per-node cache behavior.
+  CacheOptions cache_opts = options_.cache;
+  if (cache_opts.metrics_name.empty()) cache_opts.metrics_name = name_;
+  cache_ = std::make_unique<FileCache>(cache_opts, shared_);
+  up_gauge_ = obs::OrDefault(cache_opts.registry)
+                  ->GetGauge("eon_node_up", obs::LabelSet{{"node", name_}});
+  up_gauge_->Set(1);
 }
 
 std::string Node::MintStorageKey(const std::string& prefix) {
@@ -43,12 +50,18 @@ std::set<ShardId> Node::AllSubscribedShards() const {
                            SubscriptionState::kRemoving});
 }
 
+void Node::MarkDown() {
+  up_ = false;
+  up_gauge_->Set(0);
+}
+
 void Node::MarkUp() {
   // A fresh process gets a fresh strongly random instance id, preserving
   // SID uniqueness across restarts (Figure 7 discussion).
   seed_ = Mix64(seed_ + 0x517CC1B727220A95ULL);
   instance_id_ = NodeInstanceId::Generate(seed_, oid_);
   up_ = true;
+  up_gauge_->Set(1);
 }
 
 void Node::DestroyLocalState() {
@@ -56,6 +69,7 @@ void Node::DestroyLocalState() {
   cache_->Clear();
   sync_.reset();
   up_ = false;
+  up_gauge_->Set(0);
 }
 
 void Node::ReplaceCatalog(std::unique_ptr<Catalog> catalog) {

@@ -66,7 +66,7 @@ class Node {
   // --- Failure-model transitions; drive via EonCluster, not directly. ---
 
   /// Process termination: node stops serving; local state retained.
-  void MarkDown() { up_ = false; }
+  void MarkDown();
   /// Process restart: new instance id; catalog (local disk) intact.
   void MarkUp();
   /// Instance loss: local disk wiped; fresh empty catalog and cold cache.
@@ -105,6 +105,7 @@ class Node {
   std::unique_ptr<FileCache> cache_;
   std::unique_ptr<CatalogSync> sync_;
   std::atomic<bool> up_{true};
+  obs::Gauge* up_gauge_ = nullptr;  ///< eon_node_up{node=<name>}.
 
   mutable std::mutex query_mu_;
   std::multiset<uint64_t> running_query_versions_;

@@ -1,10 +1,12 @@
 #include "engine/executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 
 #include "common/codec.h"
 #include "engine/dml.h"
+#include "obs/trace.h"
 
 namespace eon {
 
@@ -69,13 +71,50 @@ Result<const ProjectionDef*> ChooseProjection(
   return best;
 }
 
+/// Phase timing scope: one span under the query's root span plus the
+/// (sim, wall) accumulation into the profile. End() is idempotent;
+/// destruction accounts early error returns.
+class PhaseScope {
+ public:
+  PhaseScope(obs::Tracer* tracer, obs::QueryProfile* profile,
+             obs::QueryPhase phase, const obs::Span& parent)
+      : tracer_(tracer),
+        profile_(profile),
+        phase_(phase),
+        span_(tracer->StartSpan(obs::QueryPhaseName(phase), parent)),
+        sim_start_(tracer->clock()->NowMicros()),
+        wall_start_(std::chrono::steady_clock::now()) {}
+  ~PhaseScope() { End(); }
+
+  void End() {
+    if (ended_) return;
+    ended_ = true;
+    span_.End();
+    obs::PhaseTiming& t = profile_->Phase(phase_);
+    t.sim_micros += tracer_->clock()->NowMicros() - sim_start_;
+    t.wall_micros += std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now() - wall_start_)
+                         .count();
+  }
+
+ private:
+  obs::Tracer* tracer_;
+  obs::QueryProfile* profile_;
+  obs::QueryPhase phase_;
+  obs::Span span_;
+  int64_t sim_start_;
+  std::chrono::steady_clock::time_point wall_start_;
+  bool ended_ = false;
+};
+
 /// Scan one table across the participating nodes.
 Result<ScanOutput> ScanDistributed(EonCluster* cluster,
                                    const ExecContext& context,
                                    const CatalogState& snapshot,
                                    const ScanSpec& spec,
                                    const std::vector<std::string>& extra_cols,
-                                   ExecStats* stats) {
+                                   ExecStats* stats,
+                                   obs::QueryProfile* profile) {
   const TableDef* table = snapshot.FindTableByName(spec.table);
   if (table == nullptr) {
     return Status::NotFound("no such table: " + spec.table);
@@ -237,6 +276,8 @@ Result<ScanOutput> ScanDistributed(EonCluster* cluster,
             std::vector<Row> rows,
             ScanRosContainer(proj_schema, container->base_key,
                              executor->cache(), scan, &stats->scan));
+        profile->rows_scanned_by_node[sw.nodes[rank]] += rows.size();
+        profile->rows_scanned_total += rows.size();
         std::vector<Row>& sink = output.rows_by_node[sw.nodes[rank]];
         for (Row& row : rows) {
           if (k > 1 && context.crunch == CrunchMode::kHashFilter) {
@@ -560,6 +601,15 @@ Result<QueryResult> ExecuteQuery(EonCluster* cluster,
     return Status::Unavailable(
         "cluster is shut down (viability constraints violated)");
   }
+
+  // Profiling scaffold: a clock-driven tracer (deterministic under
+  // SimClock) whose phase spans feed the QueryProfile on the result.
+  obs::QueryProfile profile;
+  obs::Tracer tracer(cluster->clock());
+  obs::Span root = tracer.StartSpan("query");
+  root.SetAttribute("table", original_spec.scan.table);
+  PhaseScope plan_scope(&tracer, &profile, obs::QueryPhase::kPlan, root);
+
   auto snapshot = coord->catalog()->snapshot();
 
   // Live-aggregate rewrite (Section 2.1): answer eligible aggregate
@@ -611,9 +661,32 @@ Result<QueryResult> ExecuteQuery(EonCluster* cluster,
     }
     left_extras = std::move(filtered);
   }
+  plan_scope.End();
+
+  // Cache / shared-storage baselines: the query is charged the delta over
+  // its participating nodes' caches and the shared store.
+  profile.participating_nodes = guard.nodes.size();
+  auto cache_totals = [&]() {
+    CacheStats sum;
+    for (Oid n : guard.nodes) {
+      Node* node = cluster->node(n);
+      if (node == nullptr) continue;
+      CacheStats s = node->cache()->stats();
+      sum.hits += s.hits;
+      sum.misses += s.misses;
+      sum.bytes_hit += s.bytes_hit;
+      sum.bytes_filled += s.bytes_filled;
+    }
+    return sum;
+  };
+  const CacheStats cache_before = cache_totals();
+  const ObjectStoreMetrics store_before = cluster->shared_storage()->metrics();
+
+  PhaseScope scan_scope(&tracer, &profile, obs::QueryPhase::kScan, root);
   EON_ASSIGN_OR_RETURN(ScanOutput left,
                        ScanDistributed(cluster, context, *snapshot, spec.scan,
-                                       left_extras, &stats));
+                                       left_extras, &stats, &profile));
+  scan_scope.End();
 
   // --- Join ---
   Schema joined_schema = left.schema;
@@ -631,10 +704,14 @@ Result<QueryResult> ExecuteQuery(EonCluster* cluster,
         right_extras.push_back(g);
       }
     }
+    PhaseScope right_scan_scope(&tracer, &profile, obs::QueryPhase::kScan,
+                                root);
     EON_ASSIGN_OR_RETURN(
         ScanOutput right,
         ScanDistributed(cluster, context, *snapshot, spec.join->right,
-                        right_extras, &stats));
+                        right_extras, &stats, &profile));
+    right_scan_scope.End();
+    PhaseScope join_scope(&tracer, &profile, obs::QueryPhase::kJoin, root);
 
     size_t left_key_pos = SIZE_MAX, right_key_pos = SIZE_MAX;
     for (size_t i = 0; i < left.names.size(); ++i) {
@@ -751,6 +828,8 @@ Result<QueryResult> ExecuteQuery(EonCluster* cluster,
   std::vector<Row> final_rows;
 
   if (!spec.aggregates.empty() || !spec.group_by.empty()) {
+    PhaseScope agg_scope(&tracer, &profile, obs::QueryPhase::kAggregate,
+                         root);
     // Resolve group and aggregate column positions in the joined layout.
     std::vector<size_t> group_pos;
     for (const std::string& g : spec.group_by) {
@@ -871,6 +950,7 @@ Result<QueryResult> ExecuteQuery(EonCluster* cluster,
   } else {
     // No aggregation: gather all node outputs on the initiator (accounted
     // as network transfer for rows produced on other nodes).
+    PhaseScope gather_scope(&tracer, &profile, obs::QueryPhase::kMerge, root);
     for (auto& [node, rows] : data) {
       for (Row& r : rows) {
         if (node != coord->oid()) stats.network_bytes += RowBytes(r);
@@ -880,6 +960,7 @@ Result<QueryResult> ExecuteQuery(EonCluster* cluster,
   }
 
   // --- Order / limit ---
+  PhaseScope merge_scope(&tracer, &profile, obs::QueryPhase::kMerge, root);
   if (spec.order_by) {
     size_t pos = SIZE_MAX;
     for (size_t i = 0; i < out_schema.num_columns(); ++i) {
@@ -899,11 +980,40 @@ Result<QueryResult> ExecuteQuery(EonCluster* cluster,
       final_rows.size() > static_cast<size_t>(spec.limit)) {
     final_rows.resize(static_cast<size_t>(spec.limit));
   }
+  merge_scope.End();
+
+  // Close out the profile: pruning / network from ExecStats, cache and
+  // shared-storage activity as deltas over the query.
+  profile.containers_total = stats.containers_total;
+  profile.containers_pruned = stats.containers_pruned;
+  profile.network_bytes = stats.network_bytes;
+  profile.rows_shuffled = stats.rows_shuffled;
+  const CacheStats cache_after = cache_totals();
+  profile.cache_hits = cache_after.hits - cache_before.hits;
+  profile.cache_misses = cache_after.misses - cache_before.misses;
+  profile.cache_bytes_hit = cache_after.bytes_hit - cache_before.bytes_hit;
+  profile.cache_fill_bytes =
+      cache_after.bytes_filled - cache_before.bytes_filled;
+  const ObjectStoreMetrics store_after = cluster->shared_storage()->metrics();
+  profile.store_gets = store_after.gets - store_before.gets;
+  profile.store_puts = store_after.puts - store_before.puts;
+  profile.store_lists = store_after.lists - store_before.lists;
+  profile.store_bytes_read = store_after.bytes_read - store_before.bytes_read;
+  profile.store_cost_microdollars =
+      store_after.cost_microdollars - store_before.cost_microdollars;
+  root.End();
+
+  // Registry-level query instruments for exported snapshots.
+  obs::MetricsRegistry* reg = obs::MetricsRegistry::Default();
+  reg->GetCounter("eon_queries_total")->Increment();
+  reg->GetHistogram("eon_query_sim_micros")
+      ->Observe(static_cast<double>(profile.TotalSimMicros()));
 
   QueryResult result;
   result.schema = std::move(out_schema);
   result.rows = std::move(final_rows);
   result.stats = stats;
+  result.profile = std::move(profile);
   result.catalog_version = snapshot->version;
   return result;
 }

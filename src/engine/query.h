@@ -9,6 +9,7 @@
 #include "columnar/expression.h"
 #include "columnar/ros.h"
 #include "columnar/schema.h"
+#include "obs/profile.h"
 
 namespace eon {
 
@@ -75,6 +76,10 @@ struct QueryResult {
   Schema schema;
   std::vector<Row> rows;
   ExecStats stats;
+  /// Per-phase timing, per-node scan rows, cache/store deltas attributed
+  /// to this query (obs subsystem). ExecStats remains the planner-facing
+  /// locality record; the profile is the operator-facing cost record.
+  obs::QueryProfile profile;
   uint64_t catalog_version = 0;
 };
 

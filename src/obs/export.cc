@@ -1,0 +1,143 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace eon {
+namespace obs {
+
+namespace {
+
+const char* KindName(MetricSample::Kind kind) {
+  switch (kind) {
+    case MetricSample::Kind::kCounter:
+      return "counter";
+    case MetricSample::Kind::kGauge:
+      return "gauge";
+    case MetricSample::Kind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+std::string FormatDouble(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  // Integral values print without a fraction (bucket bounds, counts).
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    char buf[32];
+    snprintf(buf, sizeof(buf), "%" PRId64, static_cast<int64_t>(v));
+    return buf;
+  }
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+std::string PromLabels(const LabelSet& labels, const std::string& extra_key,
+                       const std::string& extra_value) {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels.pairs()) {
+    if (!first) out += ',';
+    first = false;
+    out += k + "=\"" + v + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key + "=\"" + extra_value + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+JsonValue ExportJson(const MetricsSnapshot& snapshot) {
+  JsonValue root = JsonValue::Object();
+  JsonValue metrics = JsonValue::Array();
+  for (const MetricSample& s : snapshot.samples) {
+    JsonValue m = JsonValue::Object();
+    m.Set("name", JsonValue::Str(s.name));
+    m.Set("kind", JsonValue::Str(KindName(s.kind)));
+    if (!s.labels.empty()) {
+      JsonValue labels = JsonValue::Object();
+      for (const auto& [k, v] : s.labels.pairs()) {
+        labels.Set(k, JsonValue::Str(v));
+      }
+      m.Set("labels", std::move(labels));
+    }
+    if (s.kind == MetricSample::Kind::kHistogram) {
+      const HistogramSnapshot& h = s.histogram;
+      m.Set("count", JsonValue::Int(static_cast<int64_t>(h.count)));
+      m.Set("sum", JsonValue::Double(h.sum));
+      m.Set("p50", JsonValue::Double(h.P50()));
+      m.Set("p95", JsonValue::Double(h.P95()));
+      m.Set("p99", JsonValue::Double(h.P99()));
+      JsonValue buckets = JsonValue::Array();
+      for (size_t i = 0; i < h.counts.size(); ++i) {
+        JsonValue b = JsonValue::Object();
+        b.Set("le", i < h.bounds.size() ? JsonValue::Double(h.bounds[i])
+                                        : JsonValue::Str("+Inf"));
+        b.Set("count", JsonValue::Int(static_cast<int64_t>(h.counts[i])));
+        buckets.Append(std::move(b));
+      }
+      m.Set("buckets", std::move(buckets));
+    } else {
+      m.Set("value", JsonValue::Double(s.value));
+    }
+    metrics.Append(std::move(m));
+  }
+  root.Set("metrics", std::move(metrics));
+  return root;
+}
+
+std::string ExportPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::string last_name;
+  for (const MetricSample& s : snapshot.samples) {
+    if (s.name != last_name) {
+      out += "# TYPE " + s.name + " " + KindName(s.kind) + "\n";
+      last_name = s.name;
+    }
+    if (s.kind == MetricSample::Kind::kHistogram) {
+      const HistogramSnapshot& h = s.histogram;
+      uint64_t cumulative = 0;
+      for (size_t i = 0; i < h.counts.size(); ++i) {
+        cumulative += h.counts[i];
+        const std::string le =
+            i < h.bounds.size() ? FormatDouble(h.bounds[i]) : "+Inf";
+        out += s.name + "_bucket" + PromLabels(s.labels, "le", le) + " " +
+               FormatDouble(static_cast<double>(cumulative)) + "\n";
+      }
+      out += s.name + "_sum" + PromLabels(s.labels, "", "") + " " +
+             FormatDouble(h.sum) + "\n";
+      out += s.name + "_count" + PromLabels(s.labels, "", "") + " " +
+             FormatDouble(static_cast<double>(h.count)) + "\n";
+    } else {
+      out += s.name + PromLabels(s.labels, "", "") + " " +
+             FormatDouble(s.value) + "\n";
+    }
+  }
+  return out;
+}
+
+Status WriteSnapshotJsonFile(const std::string& path,
+                             MetricsRegistry* registry) {
+  const std::string text =
+      ExportJson(OrDefault(registry)->Snapshot()).Dump() + "\n";
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  const size_t written = fwrite(text.data(), 1, text.size(), f);
+  fclose(f);
+  if (written != text.size()) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace eon

@@ -1,0 +1,32 @@
+#ifndef EON_OBS_EXPORT_H_
+#define EON_OBS_EXPORT_H_
+
+#include <string>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace eon {
+namespace obs {
+
+/// Snapshot as a JSON document: an array of samples, each with name,
+/// labels, kind and value; histograms carry buckets plus p50/p95/p99.
+/// Deterministic ordering (the registry snapshot is sorted), so bench
+/// snapshots diff cleanly across runs.
+JsonValue ExportJson(const MetricsSnapshot& snapshot);
+
+/// Prometheus text exposition format (version 0.0.4): counters and gauges
+/// as single samples, histograms as cumulative `_bucket{le=...}` series
+/// plus `_sum` and `_count`.
+std::string ExportPrometheusText(const MetricsSnapshot& snapshot);
+
+/// Write ExportJson(registry snapshot) to `path` (pretty-stable bench
+/// sidecar next to a figure's output). Null registry = process default.
+Status WriteSnapshotJsonFile(const std::string& path,
+                             MetricsRegistry* registry = nullptr);
+
+}  // namespace obs
+}  // namespace eon
+
+#endif  // EON_OBS_EXPORT_H_

@@ -1,0 +1,246 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace eon {
+namespace obs {
+
+LabelSet::LabelSet(
+    std::initializer_list<std::pair<std::string, std::string>> labels)
+    : pairs_(labels) {
+  Canonicalize();
+}
+
+LabelSet::LabelSet(std::vector<std::pair<std::string, std::string>> labels)
+    : pairs_(std::move(labels)) {
+  Canonicalize();
+}
+
+void LabelSet::Canonicalize() {
+  std::stable_sort(pairs_.begin(), pairs_.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  // Duplicate keys: last writer wins (keep the final occurrence).
+  for (size_t i = pairs_.size(); i > 1; --i) {
+    if (pairs_[i - 1].first == pairs_[i - 2].first) {
+      pairs_[i - 2].second = pairs_[i - 1].second;
+      pairs_.erase(pairs_.begin() + static_cast<ptrdiff_t>(i) - 1);
+    }
+  }
+  key_.clear();
+  for (const auto& [k, v] : pairs_) {
+    if (!key_.empty()) key_ += ',';
+    key_ += k;
+    key_ += '=';
+    key_ += v;
+  }
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) >= rank && counts[i] > 0) {
+      if (i >= bounds.size()) {
+        // Overflow bucket: clamp to the highest finite bound.
+        return bounds.empty() ? 0 : bounds.back();
+      }
+      const double hi = bounds[i];
+      const double lo = i == 0 ? 0 : bounds[i - 1];
+      const uint64_t below = cumulative - counts[i];
+      const double frac =
+          (rank - static_cast<double>(below)) / static_cast<double>(counts[i]);
+      return lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+    }
+  }
+  return bounds.empty() ? 0 : bounds.back();
+}
+
+const std::vector<double>& Histogram::DefaultMicrosBounds() {
+  static const std::vector<double> kBounds = {
+      100,    250,    500,     1000,    2500,    5000,    10000,
+      25000,  50000,  100000,  250000,  500000,  1000000, 2500000,
+      5000000, 10000000};
+  return kBounds;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  if (bounds_.empty()) bounds_ = DefaultMicrosBounds();
+  counts_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) counts_[i] = 0;
+}
+
+void Histogram::Observe(double value) {
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // C++20 atomic<double>::fetch_add.
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot s;
+  s.bounds = bounds_;
+  s.counts.resize(bounds_.size() + 1);
+  uint64_t total = 0;
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    s.counts[i] = counts_[i].load(std::memory_order_relaxed);
+    total += s.counts[i];
+  }
+  s.count = total;
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+const MetricSample* MetricsSnapshot::Find(const std::string& name,
+                                          const LabelSet& labels) const {
+  for (const MetricSample& s : samples) {
+    if (s.name == name && s.labels == labels) return &s;
+  }
+  return nullptr;
+}
+
+double MetricsSnapshot::Value(const std::string& name,
+                              const LabelSet& labels) const {
+  const MetricSample* s = Find(name, labels);
+  return s == nullptr ? 0 : s->value;
+}
+
+double MetricsSnapshot::SumAcrossLabels(const std::string& name) const {
+  double sum = 0;
+  for (const MetricSample& s : samples) {
+    if (s.name == name && s.kind != MetricSample::Kind::kHistogram) {
+      sum += s.value;
+    }
+  }
+  return sum;
+}
+
+MetricsSnapshot MetricsSnapshot::Delta(const MetricsSnapshot& base) const {
+  MetricsSnapshot out;
+  for (const MetricSample& s : samples) {
+    const MetricSample* b = base.Find(s.name, s.labels);
+    MetricSample d = s;
+    if (b != nullptr) {
+      if (s.kind == MetricSample::Kind::kHistogram) {
+        d.histogram.sum -= b->histogram.sum;
+        d.histogram.count -= std::min(b->histogram.count, d.histogram.count);
+        for (size_t i = 0; i < d.histogram.counts.size() &&
+                           i < b->histogram.counts.size();
+             ++i) {
+          d.histogram.counts[i] -=
+              std::min(b->histogram.counts[i], d.histogram.counts[i]);
+        }
+      } else {
+        d.value -= b->value;
+      }
+    }
+    out.samples.push_back(std::move(d));
+  }
+  return out;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const LabelSet& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& fam = families_[name];
+  auto it = fam.counters.find(labels.Key());
+  if (it == fam.counters.end()) {
+    it = fam.counters.emplace(labels.Key(), std::make_unique<Counter>())
+             .first;
+    fam.labels.emplace(labels.Key(), labels);
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const LabelSet& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& fam = families_[name];
+  auto it = fam.gauges.find(labels.Key());
+  if (it == fam.gauges.end()) {
+    it = fam.gauges.emplace(labels.Key(), std::make_unique<Gauge>()).first;
+    fam.labels.emplace(labels.Key(), labels);
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const LabelSet& labels,
+                                         const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& fam = families_[name];
+  auto it = fam.histograms.find(labels.Key());
+  if (it == fam.histograms.end()) {
+    it = fam.histograms
+             .emplace(labels.Key(),
+                      std::unique_ptr<Histogram>(new Histogram(bounds)))
+             .first;
+    fam.labels.emplace(labels.Key(), labels);
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, fam] : families_) {
+    for (const auto& [key, counter] : fam.counters) {
+      MetricSample s;
+      s.name = name;
+      s.labels = fam.labels.at(key);
+      s.kind = MetricSample::Kind::kCounter;
+      s.value = static_cast<double>(counter->Value());
+      snap.samples.push_back(std::move(s));
+    }
+    for (const auto& [key, gauge] : fam.gauges) {
+      MetricSample s;
+      s.name = name;
+      s.labels = fam.labels.at(key);
+      s.kind = MetricSample::Kind::kGauge;
+      s.value = static_cast<double>(gauge->Value());
+      snap.samples.push_back(std::move(s));
+    }
+    for (const auto& [key, hist] : fam.histograms) {
+      MetricSample s;
+      s.name = name;
+      s.labels = fam.labels.at(key);
+      s.kind = MetricSample::Kind::kHistogram;
+      s.histogram = hist->Snapshot();
+      s.value = s.histogram.sum;
+      snap.samples.push_back(std::move(s));
+    }
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, fam] : families_) {
+    for (auto& [key, counter] : fam.counters) counter->value_.store(0);
+    for (auto& [key, gauge] : fam.gauges) gauge->value_.store(0);
+    for (auto& [key, hist] : fam.histograms) {
+      for (size_t i = 0; i <= hist->bounds_.size(); ++i) {
+        hist->counts_[i].store(0);
+      }
+      hist->count_.store(0);
+      hist->sum_.store(0);
+    }
+  }
+}
+
+MetricsRegistry* MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return registry;
+}
+
+}  // namespace obs
+}  // namespace eon

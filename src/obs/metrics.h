@@ -1,0 +1,199 @@
+#ifndef EON_OBS_METRICS_H_
+#define EON_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace eon {
+namespace obs {
+
+/// A sorted list of (key, value) label pairs. Two instruments with the
+/// same name and the same label set are the SAME instrument: the registry
+/// hands back the identical pointer, so increments from any component
+/// accumulate in one place (the Prometheus data model).
+class LabelSet {
+ public:
+  LabelSet() = default;
+  LabelSet(std::initializer_list<std::pair<std::string, std::string>> labels);
+  explicit LabelSet(
+      std::vector<std::pair<std::string, std::string>> labels);
+
+  const std::vector<std::pair<std::string, std::string>>& pairs() const {
+    return pairs_;
+  }
+  bool empty() const { return pairs_.empty(); }
+
+  /// Canonical identity key ("k1=v1,k2=v2"); keys sorted, duplicate keys
+  /// collapsed (last writer wins).
+  const std::string& Key() const { return key_; }
+
+  bool operator==(const LabelSet& o) const { return key_ == o.key_; }
+  bool operator<(const LabelSet& o) const { return key_ < o.key_; }
+
+ private:
+  void Canonicalize();
+
+  std::vector<std::pair<std::string, std::string>> pairs_;
+  std::string key_;
+};
+
+/// Monotonically increasing counter. Thread-safe, lock-free.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous value (cache residency bytes, node up/down, queue depth).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Sub(int64_t n) { value_.fetch_sub(n, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  std::atomic<int64_t> value_{0};
+};
+
+/// Point-in-time view of a histogram; quantiles are estimated by linear
+/// interpolation inside the covering bucket (the standard Prometheus
+/// histogram_quantile estimator).
+struct HistogramSnapshot {
+  /// Inclusive upper bounds of the finite buckets; an implicit +Inf
+  /// overflow bucket follows. counts.size() == bounds.size() + 1.
+  std::vector<double> bounds;
+  std::vector<uint64_t> counts;
+  uint64_t count = 0;
+  double sum = 0;
+
+  double Mean() const { return count == 0 ? 0.0 : sum / count; }
+
+  /// Estimate the q-quantile (q in [0, 1]). Values in the overflow bucket
+  /// clamp to the highest finite bound; an empty histogram returns 0.
+  double Quantile(double q) const;
+  double P50() const { return Quantile(0.50); }
+  double P95() const { return Quantile(0.95); }
+  double P99() const { return Quantile(0.99); }
+};
+
+/// Fixed-bucket histogram. Observe() is lock-free; Snapshot() may tear
+/// between buckets under concurrent writes, which is acceptable for
+/// monitoring (each individual bucket count is consistent).
+class Histogram {
+ public:
+  /// Default bucket bounds for microsecond latencies: 100 µs .. 10 s,
+  /// roughly 2.5x apart — spans an in-cache block read to a cold S3 scan.
+  static const std::vector<double>& DefaultMicrosBounds();
+
+  void Observe(double value);
+  HistogramSnapshot Snapshot() const;
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> bounds);
+
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;  // bounds_.size() + 1.
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+};
+
+/// One exported sample in a registry snapshot.
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  LabelSet labels;
+  Kind kind = Kind::kCounter;
+  double value = 0;              ///< Counter / gauge value.
+  HistogramSnapshot histogram;   ///< Populated for kHistogram.
+};
+
+/// Point-in-time copy of every instrument in a registry, sorted by
+/// (name, label key) for deterministic serialization.
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;
+
+  /// Find a sample; nullptr when absent.
+  const MetricSample* Find(const std::string& name,
+                           const LabelSet& labels = LabelSet()) const;
+  /// Counter/gauge value lookup; 0 when absent.
+  double Value(const std::string& name,
+               const LabelSet& labels = LabelSet()) const;
+
+  /// Sum of every sample of `name` across label sets (counters/gauges).
+  double SumAcrossLabels(const std::string& name) const;
+
+  /// Counter-style difference: this snapshot minus `base`. Samples absent
+  /// from `base` pass through unchanged; histogram buckets subtract
+  /// per-bucket. Differential tests measure work done by one operation
+  /// without depending on accumulated global counts.
+  MetricsSnapshot Delta(const MetricsSnapshot& base) const;
+};
+
+/// Thread-safe instrument registry. Instrument pointers are stable for the
+/// registry's lifetime; components resolve them once at construction and
+/// then update lock-free on hot paths.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name,
+                      const LabelSet& labels = LabelSet());
+  Gauge* GetGauge(const std::string& name,
+                  const LabelSet& labels = LabelSet());
+  /// `bounds` applies on first creation of (name, labels); later callers
+  /// get the existing instrument regardless of the bounds they pass.
+  Histogram* GetHistogram(const std::string& name,
+                          const LabelSet& labels = LabelSet(),
+                          const std::vector<double>& bounds =
+                              Histogram::DefaultMicrosBounds());
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zero every instrument in place (pointers stay valid). Test-only:
+  /// production counters are monotone by contract.
+  void ResetForTest();
+
+  /// Process-wide default registry. Components that are not handed an
+  /// explicit registry record here, so examples and benches can export one
+  /// unified snapshot without plumbing.
+  static MetricsRegistry* Default();
+
+ private:
+  struct Family {
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+    std::map<std::string, LabelSet> labels;  ///< key -> original labels.
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+};
+
+/// Resolve a possibly-null registry to the process default.
+inline MetricsRegistry* OrDefault(MetricsRegistry* registry) {
+  return registry != nullptr ? registry : MetricsRegistry::Default();
+}
+
+}  // namespace obs
+}  // namespace eon
+
+#endif  // EON_OBS_METRICS_H_

@@ -1,0 +1,148 @@
+#include "obs/profile.h"
+
+#include <cstdio>
+
+namespace eon {
+namespace obs {
+
+const char* QueryPhaseName(QueryPhase phase) {
+  switch (phase) {
+    case QueryPhase::kPlan:
+      return "plan";
+    case QueryPhase::kScan:
+      return "scan";
+    case QueryPhase::kJoin:
+      return "join";
+    case QueryPhase::kAggregate:
+      return "aggregate";
+    case QueryPhase::kMerge:
+      return "merge";
+  }
+  return "unknown";
+}
+
+int64_t QueryProfile::TotalSimMicros() const {
+  int64_t total = 0;
+  for (const PhaseTiming& t : phase) total += t.sim_micros;
+  return total;
+}
+
+int64_t QueryProfile::TotalWallMicros() const {
+  int64_t total = 0;
+  for (const PhaseTiming& t : phase) total += t.wall_micros;
+  return total;
+}
+
+JsonValue QueryProfile::ToJson() const {
+  JsonValue out = JsonValue::Object();
+
+  JsonValue phases = JsonValue::Object();
+  for (size_t i = 0; i < kNumQueryPhases; ++i) {
+    JsonValue p = JsonValue::Object();
+    p.Set("sim_micros", JsonValue::Int(phase[i].sim_micros));
+    p.Set("wall_micros", JsonValue::Int(phase[i].wall_micros));
+    phases.Set(QueryPhaseName(static_cast<QueryPhase>(i)), std::move(p));
+  }
+  out.Set("phases", std::move(phases));
+  out.Set("total_sim_micros", JsonValue::Int(TotalSimMicros()));
+  out.Set("total_wall_micros", JsonValue::Int(TotalWallMicros()));
+
+  JsonValue nodes = JsonValue::Object();
+  for (const auto& [oid, rows] : rows_scanned_by_node) {
+    nodes.Set(std::to_string(oid), JsonValue::Int(static_cast<int64_t>(rows)));
+  }
+  out.Set("rows_scanned_by_node", std::move(nodes));
+  out.Set("rows_scanned_total",
+          JsonValue::Int(static_cast<int64_t>(rows_scanned_total)));
+
+  JsonValue scan = JsonValue::Object();
+  scan.Set("containers_total",
+           JsonValue::Int(static_cast<int64_t>(containers_total)));
+  scan.Set("containers_pruned",
+           JsonValue::Int(static_cast<int64_t>(containers_pruned)));
+  out.Set("pruning", std::move(scan));
+
+  JsonValue cache = JsonValue::Object();
+  cache.Set("hits", JsonValue::Int(static_cast<int64_t>(cache_hits)));
+  cache.Set("misses", JsonValue::Int(static_cast<int64_t>(cache_misses)));
+  cache.Set("bytes_hit",
+            JsonValue::Int(static_cast<int64_t>(cache_bytes_hit)));
+  cache.Set("fill_bytes",
+            JsonValue::Int(static_cast<int64_t>(cache_fill_bytes)));
+  cache.Set("hit_rate", JsonValue::Double(CacheHitRate()));
+  out.Set("cache", std::move(cache));
+
+  JsonValue store = JsonValue::Object();
+  store.Set("gets", JsonValue::Int(static_cast<int64_t>(store_gets)));
+  store.Set("puts", JsonValue::Int(static_cast<int64_t>(store_puts)));
+  store.Set("lists", JsonValue::Int(static_cast<int64_t>(store_lists)));
+  store.Set("bytes_read",
+            JsonValue::Int(static_cast<int64_t>(store_bytes_read)));
+  store.Set("cost_microdollars",
+            JsonValue::Int(static_cast<int64_t>(store_cost_microdollars)));
+  out.Set("object_store", std::move(store));
+
+  out.Set("network_bytes",
+          JsonValue::Int(static_cast<int64_t>(network_bytes)));
+  out.Set("rows_shuffled",
+          JsonValue::Int(static_cast<int64_t>(rows_shuffled)));
+  out.Set("participating_nodes",
+          JsonValue::Int(static_cast<int64_t>(participating_nodes)));
+  return out;
+}
+
+std::string QueryProfile::ToText() const {
+  char buf[256];
+  std::string out;
+  out += "query profile\n";
+  out += " phase         sim_ms    wall_ms\n";
+  for (size_t i = 0; i < kNumQueryPhases; ++i) {
+    snprintf(buf, sizeof(buf), " %-10s %9.3f %10.3f\n",
+             QueryPhaseName(static_cast<QueryPhase>(i)),
+             static_cast<double>(phase[i].sim_micros) / 1000.0,
+             static_cast<double>(phase[i].wall_micros) / 1000.0);
+    out += buf;
+  }
+  snprintf(buf, sizeof(buf), " %-10s %9.3f %10.3f\n", "TOTAL",
+           static_cast<double>(TotalSimMicros()) / 1000.0,
+           static_cast<double>(TotalWallMicros()) / 1000.0);
+  out += buf;
+
+  snprintf(buf, sizeof(buf),
+           " scan: %llu rows on %llu nodes; containers %llu/%llu pruned\n",
+           static_cast<unsigned long long>(rows_scanned_total),
+           static_cast<unsigned long long>(participating_nodes),
+           static_cast<unsigned long long>(containers_pruned),
+           static_cast<unsigned long long>(containers_total));
+  out += buf;
+  for (const auto& [oid, rows] : rows_scanned_by_node) {
+    snprintf(buf, sizeof(buf), "   node %llu: %llu rows\n",
+             static_cast<unsigned long long>(oid),
+             static_cast<unsigned long long>(rows));
+    out += buf;
+  }
+  snprintf(buf, sizeof(buf),
+           " cache: %llu hits / %llu misses (%.0f%%), %.2f MB hit, "
+           "%.2f MB filled\n",
+           static_cast<unsigned long long>(cache_hits),
+           static_cast<unsigned long long>(cache_misses),
+           100 * CacheHitRate(), static_cast<double>(cache_bytes_hit) / 1e6,
+           static_cast<double>(cache_fill_bytes) / 1e6);
+  out += buf;
+  snprintf(buf, sizeof(buf),
+           " s3: %llu GET, %llu PUT, %llu LIST, %.2f MB read, cost $%.6f\n",
+           static_cast<unsigned long long>(store_gets),
+           static_cast<unsigned long long>(store_puts),
+           static_cast<unsigned long long>(store_lists),
+           static_cast<double>(store_bytes_read) / 1e6,
+           static_cast<double>(store_cost_microdollars) / 1e6);
+  out += buf;
+  snprintf(buf, sizeof(buf), " network: %.2f MB, %llu rows shuffled\n",
+           static_cast<double>(network_bytes) / 1e6,
+           static_cast<unsigned long long>(rows_shuffled));
+  out += buf;
+  return out;
+}
+
+}  // namespace obs
+}  // namespace eon

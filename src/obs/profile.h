@@ -1,0 +1,83 @@
+#ifndef EON_OBS_PROFILE_H_
+#define EON_OBS_PROFILE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/json.h"
+
+namespace eon {
+namespace obs {
+
+/// Execution phases of one query, in plan order.
+enum class QueryPhase : uint8_t {
+  kPlan = 0,       ///< Snapshot, LAP rewrite, projection/column resolution.
+  kScan = 1,       ///< Distributed container scans (both join sides).
+  kJoin = 2,       ///< Local / broadcast / reshuffle join processing.
+  kAggregate = 3,  ///< Group-by partials and their merge.
+  kMerge = 4,      ///< Initiator-side gather, order, limit.
+};
+inline constexpr size_t kNumQueryPhases = 5;
+const char* QueryPhaseName(QueryPhase phase);
+
+/// Time spent in one phase: simulated time (charged to the cluster Clock
+/// by the storage model) and real CPU wall time — the two components of
+/// the benches' cost model.
+struct PhaseTiming {
+  int64_t sim_micros = 0;
+  int64_t wall_micros = 0;
+};
+
+/// Everything one query cost, attached to its QueryResult (paper Sections
+/// 5.2/5.3: operational visibility into cache behavior and per-request S3
+/// spend is part of the design).
+struct QueryProfile {
+  PhaseTiming phase[kNumQueryPhases];
+
+  /// Rows emitted by the scan on each participating node (node oid key):
+  /// the skew view participation/crunch decisions are judged by.
+  std::map<uint64_t, uint64_t> rows_scanned_by_node;
+  uint64_t rows_scanned_total = 0;
+
+  uint64_t containers_total = 0;
+  uint64_t containers_pruned = 0;
+
+  // File-cache deltas summed over the participating nodes.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_bytes_hit = 0;
+  uint64_t cache_fill_bytes = 0;
+
+  // Shared-storage deltas ("requests cost money", Section 5.3).
+  uint64_t store_gets = 0;
+  uint64_t store_puts = 0;
+  uint64_t store_lists = 0;
+  uint64_t store_bytes_read = 0;
+  uint64_t store_cost_microdollars = 0;
+
+  uint64_t network_bytes = 0;
+  uint64_t rows_shuffled = 0;
+  uint64_t participating_nodes = 0;
+
+  int64_t TotalSimMicros() const;
+  int64_t TotalWallMicros() const;
+  double CacheHitRate() const {
+    const uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0 : static_cast<double>(cache_hits) / total;
+  }
+
+  PhaseTiming& Phase(QueryPhase p) { return phase[static_cast<size_t>(p)]; }
+  const PhaseTiming& Phase(QueryPhase p) const {
+    return phase[static_cast<size_t>(p)];
+  }
+
+  JsonValue ToJson() const;
+  /// Multi-line human-readable report (the eonsql \profile output).
+  std::string ToText() const;
+};
+
+}  // namespace obs
+}  // namespace eon
+
+#endif  // EON_OBS_PROFILE_H_

@@ -1,0 +1,71 @@
+#include "obs/trace.h"
+
+namespace eon {
+namespace obs {
+
+Span& Span::operator=(Span&& o) noexcept {
+  if (this != &o) {
+    End();
+    tracer_ = o.tracer_;
+    data_ = std::move(o.data_);
+    o.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+void Span::SetAttribute(const std::string& key, const std::string& value) {
+  if (tracer_ == nullptr) return;
+  data_.attributes.emplace_back(key, value);
+}
+
+void Span::SetAttribute(const std::string& key, int64_t value) {
+  SetAttribute(key, std::to_string(value));
+}
+
+void Span::End() {
+  if (tracer_ == nullptr) return;
+  Tracer* t = tracer_;
+  tracer_ = nullptr;
+  data_.end_micros = t->clock()->NowMicros();
+  t->Finish(std::move(data_));
+}
+
+Span Tracer::StartSpanAt(const std::string& name, uint64_t parent_id) {
+  SpanData data;
+  data.name = name;
+  data.parent_id = parent_id;
+  data.start_micros = clock_->NowMicros();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    data.id = next_id_++;
+  }
+  return Span(this, std::move(data));
+}
+
+void Tracer::Finish(SpanData data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  finished_total_++;
+  if (finished_.size() >= max_finished_) {
+    finished_.erase(finished_.begin());
+  }
+  finished_.push_back(std::move(data));
+}
+
+std::vector<SpanData> Tracer::FinishedSpans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return finished_;
+}
+
+uint64_t Tracer::finished_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return finished_total_;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  finished_.clear();
+  finished_total_ = 0;
+}
+
+}  // namespace obs
+}  // namespace eon

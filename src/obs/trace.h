@@ -1,0 +1,104 @@
+#ifndef EON_OBS_TRACE_H_
+#define EON_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace eon {
+namespace obs {
+
+/// A finished (or in-flight) span's recorded data.
+struct SpanData {
+  uint64_t id = 0;
+  uint64_t parent_id = 0;  ///< 0 = root.
+  std::string name;
+  int64_t start_micros = 0;
+  int64_t end_micros = 0;
+  std::vector<std::pair<std::string, std::string>> attributes;
+
+  int64_t DurationMicros() const { return end_micros - start_micros; }
+};
+
+class Tracer;
+
+/// RAII timing scope. Move-only; End() is idempotent and the destructor
+/// ends an open span, so early returns are always accounted.
+class Span {
+ public:
+  Span() = default;
+  Span(Span&& o) noexcept { *this = std::move(o); }
+  Span& operator=(Span&& o) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { End(); }
+
+  /// Valid spans come from Tracer::StartSpan; default-constructed spans
+  /// are inert no-ops (handy for optional tracing).
+  bool valid() const { return tracer_ != nullptr; }
+  uint64_t id() const { return data_.id; }
+
+  void SetAttribute(const std::string& key, const std::string& value);
+  void SetAttribute(const std::string& key, int64_t value);
+
+  /// Stamp the end time from the tracer's clock and hand the span to the
+  /// tracer's finished buffer.
+  void End();
+
+ private:
+  friend class Tracer;
+  Span(Tracer* tracer, SpanData data)
+      : tracer_(tracer), data_(std::move(data)) {}
+
+  Tracer* tracer_ = nullptr;
+  SpanData data_;
+};
+
+/// Clock-driven tracer: spans read time from the supplied Clock, so the
+/// same instrumentation yields deterministic timings under SimClock and
+/// real latencies under WallClock. Finished spans land in a bounded
+/// in-memory buffer (oldest dropped first) for inspection and export.
+class Tracer {
+ public:
+  explicit Tracer(Clock* clock, size_t max_finished_spans = 4096)
+      : clock_(clock), max_finished_(max_finished_spans) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Start a root span.
+  Span StartSpan(const std::string& name) { return StartSpanAt(name, 0); }
+
+  /// Start a child span of `parent` (parent must still be open).
+  Span StartSpan(const std::string& name, const Span& parent) {
+    return StartSpanAt(name, parent.data_.id);
+  }
+
+  Clock* clock() const { return clock_; }
+
+  /// Finished spans, oldest first.
+  std::vector<SpanData> FinishedSpans() const;
+  /// Total spans finished, including any dropped from the buffer.
+  uint64_t finished_count() const;
+  void Clear();
+
+ private:
+  friend class Span;
+  Span StartSpanAt(const std::string& name, uint64_t parent_id);
+  void Finish(SpanData data);
+
+  Clock* clock_;
+  const size_t max_finished_;
+  mutable std::mutex mu_;
+  std::vector<SpanData> finished_;
+  uint64_t finished_total_ = 0;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace obs
+}  // namespace eon
+
+#endif  // EON_OBS_TRACE_H_

@@ -100,6 +100,19 @@ ThroughputSim::RunResult ThroughputSim::Run(const Options& options) {
   // Per-thread state: slots currently held (by node).
   std::vector<std::vector<int>> holding(options.threads);
   std::deque<int> waiting;  // Thread ids blocked on slot availability.
+  // Issue time per in-flight query (queue wait + service = latency).
+  std::vector<int64_t> issued_at(static_cast<size_t>(options.threads), 0);
+
+  obs::Counter* completed_metric = nullptr;
+  obs::Histogram* latency_metric = nullptr;
+  if (!options.metrics_name.empty()) {
+    obs::MetricsRegistry* reg = obs::OrDefault(options.registry);
+    obs::LabelSet run_label{{"run", options.metrics_name}};
+    completed_metric =
+        reg->GetCounter("eon_sim_queries_completed_total", run_label);
+    latency_metric =
+        reg->GetHistogram("eon_sim_query_latency_micros", run_label);
+  }
 
   RunResult result;
   const int64_t num_buckets =
@@ -113,6 +126,7 @@ ThroughputSim::RunResult ThroughputSim::Run(const Options& options) {
   };
 
   auto issue = [&](int thread, int64_t now) {
+    issued_at[static_cast<size_t>(thread)] = now;
     std::vector<int> nodes;
     if (try_start(now, &nodes)) {
       holding[thread] = std::move(nodes);
@@ -162,6 +176,11 @@ ThroughputSim::RunResult ThroughputSim::Run(const Options& options) {
       case Event::Type::kCompletion: {
         release(ev.id);
         result.completed++;
+        if (completed_metric != nullptr) {
+          completed_metric->Increment();
+          latency_metric->Observe(static_cast<double>(
+              ev.time - issued_at[static_cast<size_t>(ev.id)]));
+        }
         const size_t bucket =
             static_cast<size_t>(ev.time / options.bucket_micros);
         if (bucket < buckets.size()) buckets[bucket]++;

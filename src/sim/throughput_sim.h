@@ -2,8 +2,11 @@
 #define EON_SIM_THROUGHPUT_SIM_H_
 
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace eon {
 
@@ -44,6 +47,12 @@ class ThroughputSim {
     /// Throughput series bucket width (Figure 12 samples every 4 min).
     int64_t bucket_micros = 4LL * 60 * 1000 * 1000;
     uint64_t seed = 1;
+    /// Value of the `run` label on the sim's registry instruments
+    /// (completed counter + queue-to-completion latency histogram); empty
+    /// disables registry recording entirely (pure-computation runs).
+    std::string metrics_name;
+    /// Registry to record into when metrics_name is set; null = default.
+    obs::MetricsRegistry* registry = nullptr;
   };
 
   struct RunResult {

@@ -101,6 +101,11 @@ ObjectStoreMetrics MemObjectStore::metrics() const {
   return impl_->metrics;
 }
 
+void MemObjectStore::ResetForTest() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->metrics = ObjectStoreMetrics{};
+}
+
 uint64_t MemObjectStore::TotalBytes() const {
   std::lock_guard<std::mutex> lock(impl_->mu);
   return impl_->total_bytes;

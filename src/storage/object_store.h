@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace eon {
 
@@ -20,6 +21,10 @@ struct ObjectMeta {
 /// Per-store operation counters. The simulated S3 additionally accounts a
 /// dollar cost per request class, because "requests cost money" (paper
 /// Section 5.3) is part of the design pressure on the cache.
+///
+/// Stores also mirror these counts onto obs::MetricsRegistry instruments
+/// (labels: store=<kind>/<name>), so one exported snapshot carries every
+/// backend; this struct remains the cheap per-instance accessor.
 struct ObjectStoreMetrics {
   uint64_t puts = 0;
   uint64_t gets = 0;
@@ -75,6 +80,13 @@ class ObjectStore {
   Result<uint64_t> Size(const std::string& key);
 
   virtual ObjectStoreMetrics metrics() const = 0;
+
+  /// Zero this store's per-instance counters so differential tests can
+  /// assert exact request counts for one operation instead of depending
+  /// on accumulated global totals. Registry-mirrored instruments stay
+  /// monotone (Prometheus contract); use MetricsSnapshot::Delta for
+  /// registry-level differences.
+  virtual void ResetForTest() {}
 };
 
 /// Plain in-memory object store: the reference implementation and the
@@ -91,6 +103,7 @@ class MemObjectStore : public ObjectStore {
   Result<std::vector<ObjectMeta>> List(const std::string& prefix) override;
   Status Delete(const std::string& key) override;
   ObjectStoreMetrics metrics() const override;
+  void ResetForTest() override;
 
   /// Total bytes stored (for tests and capacity reports).
   uint64_t TotalBytes() const;

@@ -1,12 +1,14 @@
 #include "storage/posix_object_store.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <mutex>
 
 #include "common/hash.h"
+#include "obs/metrics.h"
 
 namespace fs = std::filesystem;
 
@@ -16,6 +18,14 @@ struct PosixObjectStore::Impl {
   std::string root;
   mutable std::mutex mu;
   ObjectStoreMetrics metrics;
+
+  // Registry mirrors (monotone; not touched by ResetForTest).
+  obs::Counter* req_get = nullptr;
+  obs::Counter* req_put = nullptr;
+  obs::Counter* req_list = nullptr;
+  obs::Counter* req_delete = nullptr;
+  obs::Counter* reg_bytes_read = nullptr;
+  obs::Counter* reg_bytes_written = nullptr;
 
   /// Hash-based two-level fan-out: root/ab/cd/<escaped-key>. A hash prefix
   /// (not the key's own leading chars) keeps recent, similarly-named keys
@@ -69,6 +79,23 @@ PosixObjectStore::PosixObjectStore(std::string root) : impl_(new Impl()) {
   impl_->root = std::move(root);
   std::error_code ec;
   fs::create_directories(impl_->root, ec);
+
+  static std::atomic<uint64_t> next_id{0};
+  std::string name = "posix" + std::to_string(next_id.fetch_add(1));
+  obs::MetricsRegistry* reg = obs::MetricsRegistry::Default();
+  auto req = [&](const char* op) {
+    return reg->GetCounter("eon_store_requests_total",
+                           obs::LabelSet{{"store", name}, {"op", op}});
+  };
+  impl_->req_get = req("get");
+  impl_->req_put = req("put");
+  impl_->req_list = req("list");
+  impl_->req_delete = req("delete");
+  obs::LabelSet store_label{{"store", name}};
+  impl_->reg_bytes_read =
+      reg->GetCounter("eon_store_bytes_read_total", store_label);
+  impl_->reg_bytes_written =
+      reg->GetCounter("eon_store_bytes_written_total", store_label);
 }
 
 PosixObjectStore::~PosixObjectStore() = default;
@@ -76,6 +103,7 @@ PosixObjectStore::~PosixObjectStore() = default;
 Status PosixObjectStore::Put(const std::string& key, const std::string& data) {
   std::lock_guard<std::mutex> lock(impl_->mu);
   impl_->metrics.puts++;
+  impl_->req_put->Increment();
   fs::path path = impl_->PathFor(key);
   std::error_code ec;
   if (fs::exists(path, ec)) {
@@ -96,18 +124,21 @@ Status PosixObjectStore::Put(const std::string& key, const std::string& data) {
   fs::rename(tmp, path, ec);
   if (ec) return Status::IOError("rename failed: " + ec.message());
   impl_->metrics.bytes_written += data.size();
+  impl_->reg_bytes_written->Increment(data.size());
   return Status::OK();
 }
 
 Result<std::string> PosixObjectStore::Get(const std::string& key) {
   std::lock_guard<std::mutex> lock(impl_->mu);
   impl_->metrics.gets++;
+  impl_->req_get->Increment();
   fs::path path = impl_->PathFor(key);
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound("object not found: " + key);
   std::string data((std::istreambuf_iterator<char>(in)),
                    std::istreambuf_iterator<char>());
   impl_->metrics.bytes_read += data.size();
+  impl_->reg_bytes_read->Increment(data.size());
   return data;
 }
 
@@ -116,6 +147,7 @@ Result<std::string> PosixObjectStore::ReadRange(const std::string& key,
                                                 uint64_t len) {
   std::lock_guard<std::mutex> lock(impl_->mu);
   impl_->metrics.gets++;
+  impl_->req_get->Increment();
   fs::path path = impl_->PathFor(key);
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound("object not found: " + key);
@@ -128,6 +160,7 @@ Result<std::string> PosixObjectStore::ReadRange(const std::string& key,
   in.read(out.data(), static_cast<std::streamsize>(n));
   if (!in) return Status::IOError("short read: " + key);
   impl_->metrics.bytes_read += n;
+  impl_->reg_bytes_read->Increment(n);
   return out;
 }
 
@@ -135,6 +168,7 @@ Result<std::vector<ObjectMeta>> PosixObjectStore::List(
     const std::string& prefix) {
   std::lock_guard<std::mutex> lock(impl_->mu);
   impl_->metrics.lists++;
+  impl_->req_list->Increment();
   std::vector<ObjectMeta> out;
   std::error_code ec;
   for (const auto& entry :
@@ -159,6 +193,7 @@ Result<std::vector<ObjectMeta>> PosixObjectStore::List(
 Status PosixObjectStore::Delete(const std::string& key) {
   std::lock_guard<std::mutex> lock(impl_->mu);
   impl_->metrics.deletes++;
+  impl_->req_delete->Increment();
   fs::path path = impl_->PathFor(key);
   std::error_code ec;
   if (!fs::remove(path, ec)) {
@@ -170,6 +205,11 @@ Status PosixObjectStore::Delete(const std::string& key) {
 ObjectStoreMetrics PosixObjectStore::metrics() const {
   std::lock_guard<std::mutex> lock(impl_->mu);
   return impl_->metrics;
+}
+
+void PosixObjectStore::ResetForTest() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->metrics = ObjectStoreMetrics{};
 }
 
 const std::string& PosixObjectStore::root() const { return impl_->root; }

@@ -29,6 +29,7 @@ class PosixObjectStore : public ObjectStore {
   Result<std::vector<ObjectMeta>> List(const std::string& prefix) override;
   Status Delete(const std::string& key) override;
   ObjectStoreMetrics metrics() const override;
+  void ResetForTest() override;
 
   const std::string& root() const;
 

@@ -16,11 +16,50 @@ struct SimObjectStore::Impl {
   ObjectStoreMetrics extra;  // Failure/throttle/cost counters.
   std::map<std::string, int64_t> created_at;  // For HEAD staleness.
 
-  Impl(SimStoreOptions opts, Clock* c)
-      : options(opts), clock(c), rng(opts.seed) {}
+  // Registry mirrors (labels: store=<name>, op=<class> on per-op series).
+  struct Op {
+    obs::Counter* requests = nullptr;
+    obs::Histogram* latency_micros = nullptr;
+  };
+  Op op_get, op_put, op_list, op_delete;
+  obs::Counter* bytes_read = nullptr;
+  obs::Counter* bytes_written = nullptr;
+  obs::Counter* cost_microdollars = nullptr;
+  obs::Counter* throttled = nullptr;
+  obs::Counter* failures = nullptr;
 
-  /// Charge request latency plus transfer time for `bytes`.
-  void ChargeTime(int64_t base_micros, uint64_t bytes) {
+  Impl(SimStoreOptions opts, Clock* c)
+      : options(opts), clock(c), rng(opts.seed) {
+    std::string name = options.metrics_name;
+    if (name.empty()) {
+      static std::atomic<uint64_t> next_instance{1};
+      name = "sim" + std::to_string(next_instance.fetch_add(1));
+    }
+    obs::MetricsRegistry* reg = obs::OrDefault(options.registry);
+    auto make_op = [&](const char* op) {
+      Op o;
+      const obs::LabelSet labels{{"store", name}, {"op", op}};
+      o.requests = reg->GetCounter("eon_store_requests_total", labels);
+      o.latency_micros =
+          reg->GetHistogram("eon_store_request_micros", labels);
+      return o;
+    };
+    op_get = make_op("get");
+    op_put = make_op("put");
+    op_list = make_op("list");
+    op_delete = make_op("delete");
+    const obs::LabelSet labels{{"store", name}};
+    bytes_read = reg->GetCounter("eon_store_bytes_read_total", labels);
+    bytes_written = reg->GetCounter("eon_store_bytes_written_total", labels);
+    cost_microdollars =
+        reg->GetCounter("eon_store_cost_microdollars_total", labels);
+    throttled = reg->GetCounter("eon_store_throttled_total", labels);
+    failures = reg->GetCounter("eon_store_failures_injected_total", labels);
+  }
+
+  /// Charge request latency plus transfer time for `bytes`; the charged
+  /// total feeds the per-op latency histogram.
+  void ChargeTime(int64_t base_micros, uint64_t bytes, const Op& op) {
     int64_t transfer =
         options.bandwidth_bytes_per_sec > 0
             ? static_cast<int64_t>(bytes * 1000000.0 /
@@ -28,20 +67,29 @@ struct SimObjectStore::Impl {
                                        options.bandwidth_bytes_per_sec))
             : 0;
     clock->AdvanceMicros(base_micros + transfer);
+    op.latency_micros->Observe(static_cast<double>(base_micros + transfer));
   }
 
   /// Returns a non-OK status if fault injection fires for this request.
   Status MaybeInjectFault() {
     if (options.throttle_prob > 0 && rng.Bernoulli(options.throttle_prob)) {
       extra.throttled++;
+      throttled->Increment();
       return Status::Unavailable("simulated throttle (503 SlowDown)");
     }
     if (options.transient_failure_prob > 0 &&
         rng.Bernoulli(options.transient_failure_prob)) {
       extra.failures_injected++;
+      failures->Increment();
       return Status::IOError("simulated transient storage failure");
     }
     return Status::OK();
+  }
+
+  void Charge(const Op& op, uint64_t cost) {
+    op.requests->Increment();
+    extra.cost_microdollars += cost;
+    cost_microdollars->Increment(cost);
   }
 };
 
@@ -51,8 +99,9 @@ SimObjectStore::~SimObjectStore() = default;
 
 Status SimObjectStore::Put(const std::string& key, const std::string& data) {
   std::lock_guard<std::mutex> lock(impl_->mu);
-  impl_->ChargeTime(impl_->options.put_latency_micros, data.size());
-  impl_->extra.cost_microdollars += impl_->options.put_cost_microdollars;
+  impl_->ChargeTime(impl_->options.put_latency_micros, data.size(),
+                    impl_->op_put);
+  impl_->Charge(impl_->op_put, impl_->options.put_cost_microdollars);
   // Fault may fire after the object landed (lost response case).
   bool fault_after = impl_->rng.Bernoulli(0.5);
   if (!fault_after) {
@@ -62,6 +111,7 @@ Status SimObjectStore::Put(const std::string& key, const std::string& data) {
   if (put.ok() && impl_->options.head_staleness_micros > 0) {
     impl_->created_at[key] = impl_->clock->NowMicros();
   }
+  if (put.ok()) impl_->bytes_written->Increment(data.size());
   if (fault_after) {
     Status fault = impl_->MaybeInjectFault();
     if (!fault.ok()) return fault;  // Data may or may not have landed.
@@ -71,37 +121,43 @@ Status SimObjectStore::Put(const std::string& key, const std::string& data) {
 
 Result<std::string> SimObjectStore::Get(const std::string& key) {
   std::lock_guard<std::mutex> lock(impl_->mu);
-  impl_->extra.cost_microdollars += impl_->options.get_cost_microdollars;
+  impl_->Charge(impl_->op_get, impl_->options.get_cost_microdollars);
   EON_RETURN_IF_ERROR(impl_->MaybeInjectFault());
   EON_ASSIGN_OR_RETURN(std::string data, impl_->backing.Get(key));
-  impl_->ChargeTime(impl_->options.get_latency_micros, data.size());
+  impl_->ChargeTime(impl_->options.get_latency_micros, data.size(),
+                    impl_->op_get);
+  impl_->bytes_read->Increment(data.size());
   return data;
 }
 
 Result<std::string> SimObjectStore::ReadRange(const std::string& key,
                                               uint64_t offset, uint64_t len) {
   std::lock_guard<std::mutex> lock(impl_->mu);
-  impl_->extra.cost_microdollars += impl_->options.get_cost_microdollars;
+  impl_->Charge(impl_->op_get, impl_->options.get_cost_microdollars);
   EON_RETURN_IF_ERROR(impl_->MaybeInjectFault());
   EON_ASSIGN_OR_RETURN(std::string data,
                        impl_->backing.ReadRange(key, offset, len));
-  impl_->ChargeTime(impl_->options.get_latency_micros, data.size());
+  impl_->ChargeTime(impl_->options.get_latency_micros, data.size(),
+                    impl_->op_get);
+  impl_->bytes_read->Increment(data.size());
   return data;
 }
 
 Result<std::vector<ObjectMeta>> SimObjectStore::List(
     const std::string& prefix) {
   std::lock_guard<std::mutex> lock(impl_->mu);
-  impl_->extra.cost_microdollars += impl_->options.list_cost_microdollars;
+  impl_->Charge(impl_->op_list, impl_->options.list_cost_microdollars);
   EON_RETURN_IF_ERROR(impl_->MaybeInjectFault());
-  impl_->ChargeTime(impl_->options.list_latency_micros, 0);
+  impl_->ChargeTime(impl_->options.list_latency_micros, 0, impl_->op_list);
   return impl_->backing.List(prefix);
 }
 
 Status SimObjectStore::Delete(const std::string& key) {
   std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->Charge(impl_->op_delete, 0);  // S3-style: DELETE requests are free.
   EON_RETURN_IF_ERROR(impl_->MaybeInjectFault());
-  impl_->ChargeTime(impl_->options.delete_latency_micros, 0);
+  impl_->ChargeTime(impl_->options.delete_latency_micros, 0,
+                    impl_->op_delete);
   return impl_->backing.Delete(key);
 }
 
@@ -114,11 +170,17 @@ ObjectStoreMetrics SimObjectStore::metrics() const {
   return m;
 }
 
+void SimObjectStore::ResetForTest() {
+  impl_->backing.ResetForTest();
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->extra = ObjectStoreMetrics{};
+}
+
 Result<bool> SimObjectStore::HeadProbe(const std::string& key) {
   std::lock_guard<std::mutex> lock(impl_->mu);
-  impl_->extra.cost_microdollars += impl_->options.get_cost_microdollars;
+  impl_->Charge(impl_->op_get, impl_->options.get_cost_microdollars);
   EON_RETURN_IF_ERROR(impl_->MaybeInjectFault());
-  impl_->ChargeTime(impl_->options.get_latency_micros, 0);
+  impl_->ChargeTime(impl_->options.get_latency_micros, 0, impl_->op_get);
   EON_ASSIGN_OR_RETURN(bool exists, impl_->backing.Exists(key));
   if (!exists) return false;
   auto it = impl_->created_at.find(key);
@@ -141,9 +203,18 @@ struct RetryingObjectStore::Impl {
   RetryOptions options;
   Clock* clock;
   std::atomic<uint64_t> retries{0};
+  obs::Counter* retries_metric;
 
   Impl(ObjectStore* b, RetryOptions o, Clock* c)
-      : base(b), options(o), clock(c) {}
+      : base(b), options(o), clock(c) {
+    retries_metric = obs::MetricsRegistry::Default()->GetCounter(
+        "eon_store_retries_total");
+  }
+
+  void CountRetry() {
+    retries.fetch_add(1);
+    retries_metric->Increment();
+  }
 
   static bool IsRetryable(const Status& s) {
     return s.IsIOError() || s.IsUnavailable();
@@ -168,7 +239,7 @@ Status RetryingObjectStore::Put(const std::string& key,
   Status last;
   for (int attempt = 0; attempt < impl_->options.max_attempts; ++attempt) {
     if (attempt > 0) {
-      impl_->retries.fetch_add(1);
+      impl_->CountRetry();
       impl_->Backoff(attempt - 1);
     }
     last = impl_->base->Put(key, data);
@@ -187,7 +258,7 @@ Result<std::string> RetryingObjectStore::Get(const std::string& key) {
   Status last;
   for (int attempt = 0; attempt < impl_->options.max_attempts; ++attempt) {
     if (attempt > 0) {
-      impl_->retries.fetch_add(1);
+      impl_->CountRetry();
       impl_->Backoff(attempt - 1);
     }
     Result<std::string> r = impl_->base->Get(key);
@@ -204,7 +275,7 @@ Result<std::string> RetryingObjectStore::ReadRange(const std::string& key,
   Status last;
   for (int attempt = 0; attempt < impl_->options.max_attempts; ++attempt) {
     if (attempt > 0) {
-      impl_->retries.fetch_add(1);
+      impl_->CountRetry();
       impl_->Backoff(attempt - 1);
     }
     Result<std::string> r = impl_->base->ReadRange(key, offset, len);
@@ -220,7 +291,7 @@ Result<std::vector<ObjectMeta>> RetryingObjectStore::List(
   Status last;
   for (int attempt = 0; attempt < impl_->options.max_attempts; ++attempt) {
     if (attempt > 0) {
-      impl_->retries.fetch_add(1);
+      impl_->CountRetry();
       impl_->Backoff(attempt - 1);
     }
     Result<std::vector<ObjectMeta>> r = impl_->base->List(prefix);
@@ -235,7 +306,7 @@ Status RetryingObjectStore::Delete(const std::string& key) {
   Status last;
   for (int attempt = 0; attempt < impl_->options.max_attempts; ++attempt) {
     if (attempt > 0) {
-      impl_->retries.fetch_add(1);
+      impl_->CountRetry();
       impl_->Backoff(attempt - 1);
     }
     last = impl_->base->Delete(key);
@@ -255,6 +326,11 @@ ObjectStoreMetrics RetryingObjectStore::metrics() const {
 
 uint64_t RetryingObjectStore::total_retries() const {
   return impl_->retries.load();
+}
+
+void RetryingObjectStore::ResetForTest() {
+  impl_->base->ResetForTest();
+  impl_->retries.store(0);
 }
 
 }  // namespace eon

@@ -45,6 +45,12 @@ struct SimStoreOptions {
   int64_t head_staleness_micros = 0;
 
   uint64_t seed = 42;
+
+  /// Value of the `store` label on registry instruments; empty =
+  /// auto-assigned "sim<N>".
+  std::string metrics_name;
+  /// Metrics registry to record into; null = process default.
+  obs::MetricsRegistry* registry = nullptr;
 };
 
 /// Shared-storage simulator: wraps a MemObjectStore with the latency, cost
@@ -69,6 +75,7 @@ class SimObjectStore : public ObjectStore {
   Result<std::vector<ObjectMeta>> List(const std::string& prefix) override;
   Status Delete(const std::string& key) override;
   ObjectStoreMetrics metrics() const override;
+  void ResetForTest() override;
 
   /// HEAD-style existence probe, exhibiting S3's eventual consistency:
   /// objects created within `head_staleness_micros` may report absent.
@@ -110,6 +117,8 @@ class RetryingObjectStore : public ObjectStore {
   Result<std::vector<ObjectMeta>> List(const std::string& prefix) override;
   Status Delete(const std::string& key) override;
   ObjectStoreMetrics metrics() const override;
+  /// Forwards to the base store and zeroes the retry counter.
+  void ResetForTest() override;
 
   /// Number of retries performed across all operations.
   uint64_t total_retries() const;

@@ -8,7 +8,17 @@
 namespace eon {
 
 TupleMover::TupleMover(EonCluster* cluster, MergeoutOptions options)
-    : cluster_(cluster), options_(options) {}
+    : cluster_(cluster), options_(options) {
+  obs::MetricsRegistry* reg = obs::OrDefault(options_.registry);
+  metrics_.jobs_run = reg->GetCounter("eon_mergeout_jobs_total");
+  metrics_.containers_merged =
+      reg->GetCounter("eon_mergeout_containers_merged_total");
+  metrics_.containers_created =
+      reg->GetCounter("eon_mergeout_containers_created_total");
+  metrics_.rows_written = reg->GetCounter("eon_mergeout_rows_written_total");
+  metrics_.deleted_rows_purged =
+      reg->GetCounter("eon_mergeout_deleted_rows_purged_total");
+}
 
 uint32_t TupleMover::StratumOf(const StorageContainerMeta& c) const {
   // Exponential tiers by container size: stratum s covers
@@ -98,6 +108,7 @@ Status TupleMover::RunJob(Node* executor, const ProjectionDef& proj,
     EON_ASSIGN_OR_RETURN(DeleteVector deletes,
                          LoadDeleteVector(*snapshot, input, executor->cache()));
     stats_.deleted_rows_purged += deletes.count();
+    metrics_.deleted_rows_purged->Increment(deletes.count());
     RosScanOptions scan;
     for (size_t c = 0; c < proj_schema.num_columns(); ++c) {
       scan.output_columns.push_back(c);
@@ -114,6 +125,7 @@ Status TupleMover::RunJob(Node* executor, const ProjectionDef& proj,
   std::vector<Row> merged = MergeSortedRuns(std::move(runs),
                                             proj.sort_columns);
   stats_.rows_written += merged.size();
+  metrics_.rows_written->Increment(merged.size());
 
   const ShardId shard = inputs.front().shard;
   const std::string base_key = executor->MintStorageKey("data/");
@@ -149,6 +161,7 @@ Status TupleMover::RunJob(Node* executor, const ProjectionDef& proj,
   meta.stratum = out_stratum;
   txn->PutContainer(meta);
   stats_.containers_created++;
+  metrics_.containers_created->Increment();
 
   // Inputs (and their delete vectors) drop at the end of the mergeout
   // transaction; the files go to the reaper.
@@ -162,6 +175,7 @@ Status TupleMover::RunJob(Node* executor, const ProjectionDef& proj,
       dropped_keys->push_back(dv->key);
     }
     stats_.containers_merged++;
+    metrics_.containers_merged->Increment();
   }
   return Status::OK();
 }
@@ -248,6 +262,7 @@ Result<uint64_t> TupleMover::RunOnce() {
       cluster_->CommitDistributed(coord->oid(), txn, &observed_subscribers));
   cluster_->TrackDroppedFiles(dropped_keys, version);
   stats_.jobs_run += jobs;
+  metrics_.jobs_run->Increment(jobs);
   return jobs;
 }
 

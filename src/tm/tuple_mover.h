@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "obs/metrics.h"
 
 namespace eon {
 
@@ -25,6 +26,8 @@ struct MergeoutOptions {
   /// everything on the coordinator — scales mergeout bandwidth with
   /// cluster size (Section 6.2).
   bool delegate_jobs = false;
+  /// Metrics registry to record into; null = process default.
+  obs::MetricsRegistry* registry = nullptr;
 };
 
 struct MergeoutStats {
@@ -75,6 +78,15 @@ class TupleMover {
   MergeoutOptions options_;
   std::map<ShardId, Oid> coordinators_;
   MergeoutStats stats_;
+
+  // Registry mirrors of stats_ (eon_mergeout_* counters).
+  struct {
+    obs::Counter* jobs_run = nullptr;
+    obs::Counter* containers_merged = nullptr;
+    obs::Counter* containers_created = nullptr;
+    obs::Counter* rows_written = nullptr;
+    obs::Counter* deleted_rows_purged = nullptr;
+  } metrics_;
 };
 
 }  // namespace eon
