@@ -21,7 +21,7 @@ double Saturated(int nodes, int shards, int slots) {
   o.num_shards = shards;
   o.slots_per_node = slots;
   o.k_safety = 2;
-  o.threads = 96;
+  o.clients = 96;
   o.service_micros = 100000;
   o.duration_micros = 60LL * 1000 * 1000;
   return ThroughputSim::Run(o).per_minute;

@@ -1,5 +1,5 @@
 // Figure 11a: "Scale-out performance of Eon through Elastic Throughput
-// Scaling" — queries executed per minute vs concurrent client threads for
+// Scaling" — queries executed per minute vs concurrent clients for
 // Eon 3/6/9 nodes at 3 shards, and Enterprise 9 nodes (which only supports
 // a 9-node/9-shard configuration).
 //
@@ -37,17 +37,17 @@ int Run() {
   printf("# Figure 11a: elastic throughput scaling, short dashboard query\n");
   printf("# calibrated service time: %.1f ms/query\n",
          static_cast<double>(service) / 1000.0);
-  printf("%-10s %16s %16s %16s %18s\n", "threads", "eon_3n_3shard",
+  printf("%-10s %16s %16s %16s %18s\n", "clients", "eon_3n_3shard",
          "eon_6n_3shard", "eon_9n_3shard", "enterprise_9n");
 
-  for (int threads : {10, 30, 50, 70}) {
-    printf("%-10d", threads);
+  for (int num_clients : {10, 30, 50, 70}) {
+    printf("%-10d", num_clients);
     for (int nodes : {3, 6, 9}) {
       ThroughputSim::Options o;
       o.num_nodes = nodes;
       o.num_shards = 3;
       o.slots_per_node = 4;
-      o.threads = threads;
+      o.clients = num_clients;
       o.service_micros = service;
       o.think_micros = 2 * service;  // Dashboard client render/poll gap.
       o.duration_micros = 60LL * 1000 * 1000;
@@ -62,7 +62,7 @@ int Run() {
       o.num_nodes = 9;
       o.num_shards = 9;
       o.slots_per_node = 4;
-      o.threads = threads;
+      o.clients = num_clients;
       o.enterprise = true;
       // Assembling 9 nodes for a ~100 ms query costs real overhead.
       o.service_micros = service + service / 4;

@@ -1,5 +1,5 @@
 // Figure 11b: "Throughput of COPY of data file on S3" — concurrent 50 MB
-// bulk loads per minute at 10/30/50 client threads for Eon 3/6/9 nodes at
+// bulk loads per minute at 10/30/50 clients for Eon 3/6/9 nodes at
 // 3 shards. "Many tables being loaded concurrently with a small batch size
 // produces this type of load; the scenario is typical of an internet of
 // things workload."
@@ -48,18 +48,18 @@ int Run() {
          static_cast<unsigned long long>(kBatchRows));
   printf("# calibrated COPY service time: %.0f ms\n",
          static_cast<double>(service) / 1000.0);
-  printf("%-10s %16s %16s %16s\n", "threads", "eon_3n_3shard",
+  printf("%-10s %16s %16s %16s\n", "clients", "eon_3n_3shard",
          "eon_6n_3shard", "eon_9n_3shard");
 
-  for (int threads : {10, 30, 50}) {
-    printf("%-10d", threads);
+  for (int num_clients : {10, 30, 50}) {
+    printf("%-10d", num_clients);
     for (int nodes : {3, 6, 9}) {
       ThroughputSim::Options o;
       o.num_nodes = nodes;
       o.num_shards = 3;
       // Loads are heavier than dashboard queries; fewer load slots.
       o.slots_per_node = 2;
-      o.threads = threads;
+      o.clients = num_clients;
       o.service_micros = service;
       o.think_micros = 3 * service;  // Client prepares the next file.
       o.duration_micros = 300LL * 1000 * 1000;

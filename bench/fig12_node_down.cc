@@ -49,7 +49,7 @@ int Run() {
     o.num_shards = enterprise ? 4 : 3;
     o.enterprise = enterprise;
     o.slots_per_node = 4;
-    o.threads = 24;
+    o.clients = 24;
     o.service_micros = 6LL * 1000 * 1000;  // ~6 s TPC-H query (paper).
     o.duration_micros = kDuration;
     o.bucket_micros = kBucket;

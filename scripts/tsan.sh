@@ -12,5 +12,7 @@ BUILD_DIR="${BUILD_DIR:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DEON_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" --target test_obs test_cache -j "$(nproc)"
+cmake --build "$BUILD_DIR" \
+      --target test_obs test_cache test_common test_parallel_differential \
+      -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" -L race --output-on-failure

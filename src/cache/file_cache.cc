@@ -1,11 +1,15 @@
 #include "cache/file_cache.h"
 
-#include <atomic>
+#include <algorithm>
+#include <functional>
+#include <tuple>
 
 namespace eon {
 
 FileCache::FileCache(CacheOptions options, ObjectStore* shared_storage)
-    : options_(options), shared_(shared_storage) {
+    : options_(options),
+      shared_(shared_storage),
+      shards_(std::make_unique<Shard[]>(kNumShards)) {
   if (options_.metrics_name.empty()) {
     // Distinct auto label per anonymous instance so two caches never
     // accumulate into one instrument family member.
@@ -24,11 +28,19 @@ FileCache::FileCache(CacheOptions options, ObjectStore* shared_storage)
   metrics_.insertions = reg->GetCounter("eon_cache_insertions_total", labels);
   metrics_.evictions = reg->GetCounter("eon_cache_evictions_total", labels);
   metrics_.drops = reg->GetCounter("eon_cache_drops_total", labels);
+  metrics_.coalesced =
+      reg->GetCounter("eon_cache_coalesced_fetches_total", labels);
   metrics_.size_bytes = reg->GetGauge("eon_cache_size_bytes", labels);
   metrics_.files = reg->GetGauge("eon_cache_files", labels);
+  metrics_.pinned_refs = reg->GetGauge("eon_cache_pinned_refs", labels);
+}
+
+FileCache::Shard& FileCache::ShardFor(const std::string& key) const {
+  return shards_[std::hash<std::string>{}(key) % kNumShards];
 }
 
 CachePolicy FileCache::PolicyFor(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(policy_mu_);
   // Longest matching prefix wins.
   CachePolicy policy = CachePolicy::kDefault;
   size_t best_len = 0;
@@ -42,156 +54,340 @@ CachePolicy FileCache::PolicyFor(const std::string& key) const {
   return policy;
 }
 
-void FileCache::EvictIfNeededLocked() {
-  // Evict from the LRU tail; pinned entries are skipped in a first pass
-  // and only reclaimed if unpinned entries alone cannot fit the budget.
-  auto evict_pass = [&](bool include_pinned) {
-    auto it = lru_.end();
-    while (size_bytes_ > options_.capacity_bytes && it != lru_.begin()) {
-      --it;
-      auto eit = entries_.find(*it);
-      if (!include_pinned && eit->second.pinned) continue;
-      size_bytes_ -= eit->second.data.size();
+void FileCache::UpdateGauges() {
+  metrics_.size_bytes->Set(
+      static_cast<int64_t>(size_bytes_.load(std::memory_order_relaxed)));
+  metrics_.files->Set(
+      static_cast<int64_t>(file_count_.load(std::memory_order_relaxed)));
+}
+
+void FileCache::InsertLocked(Shard& shard, const std::string& key,
+                             std::shared_ptr<const std::string> data,
+                             CachePolicy policy) {
+  Entry e;
+  e.data = std::move(data);
+  e.policy_pinned = policy == CachePolicy::kPin;
+  e.gen = NextStamp();
+  e.last_access = NextStamp();
+  size_bytes_.fetch_add(e.data->size(), std::memory_order_relaxed);
+  file_count_.fetch_add(1, std::memory_order_relaxed);
+  shard.entries.emplace(key, std::move(e));
+  metrics_.insertions->Increment();
+}
+
+void FileCache::MaybeEvict() {
+  if (size_bytes_.load(std::memory_order_relaxed) <= options_.capacity_bytes) {
+    return;
+  }
+  // Take every shard lock (in index order) for a consistent global view,
+  // then evict smallest recency stamps first — exactly the single-list
+  // LRU order, since stamps are globally unique and monotone.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(kNumShards);
+  for (size_t i = 0; i < kNumShards; ++i) {
+    locks.emplace_back(shards_[i].mu);
+  }
+
+  std::vector<std::tuple<uint64_t, Shard*, std::string>> candidates;
+  for (size_t i = 0; i < kNumShards; ++i) {
+    for (const auto& [key, e] : shards_[i].entries) {
+      candidates.emplace_back(e.last_access, &shards_[i], key);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) {
+              return std::get<0>(a) < std::get<0>(b);
+            });
+
+  // Ref-pinned entries (in-progress reads) are never evicted; policy-
+  // pinned entries only fall in the second pass, when unpinned entries
+  // alone cannot fit the budget.
+  auto evict_pass = [&](bool include_policy_pinned) {
+    for (const auto& [stamp, shard, key] : candidates) {
+      (void)stamp;
+      if (size_bytes_.load(std::memory_order_relaxed) <=
+          options_.capacity_bytes) {
+        return;
+      }
+      auto it = shard->entries.find(key);
+      if (it == shard->entries.end()) continue;  // Evicted in pass 1.
+      const Entry& e = it->second;
+      if (e.ref_pins > 0) continue;
+      if (!include_policy_pinned && e.policy_pinned) continue;
+      size_bytes_.fetch_sub(e.data->size(), std::memory_order_relaxed);
+      file_count_.fetch_sub(1, std::memory_order_relaxed);
       metrics_.evictions->Increment();
-      it = lru_.erase(it);
-      entries_.erase(eit);
+      shard->entries.erase(it);
     }
   };
-  evict_pass(/*include_pinned=*/false);
-  evict_pass(/*include_pinned=*/true);
+  evict_pass(/*include_policy_pinned=*/false);
+  evict_pass(/*include_policy_pinned=*/true);
+  locks.clear();
+  UpdateGauges();
 }
 
-void FileCache::UpdateGaugesLocked() {
-  metrics_.size_bytes->Set(static_cast<int64_t>(size_bytes_));
-  metrics_.files->Set(static_cast<int64_t>(entries_.size()));
+FileRef FileCache::MakePinnedRef(const std::string& key, const Entry& entry) {
+  // The ref aliases the cached bytes; releasing the last copy unpins the
+  // entry (from whatever thread drops it last). `gen` guards against a
+  // drop + re-insert recycling the key while this ref is alive.
+  struct Holder {
+    FileCache* cache;
+    std::string key;
+    uint64_t gen;
+    std::shared_ptr<const std::string> data;
+  };
+  auto* holder = new Holder{this, key, entry.gen, entry.data};
+  return FileRef(holder->data.get(), [holder](const std::string*) {
+    holder->cache->ReleasePin(holder->key, holder->gen);
+    delete holder;
+  });
 }
 
-Result<std::string> FileCache::FetchInternal(const std::string& key,
-                                             bool allow_insert) {
+void FileCache::ReleasePin(const std::string& key, uint64_t gen) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it != shard.entries.end() && it->second.gen == gen &&
+      it->second.ref_pins > 0) {
+    --it->second.ref_pins;
+  }
+  metrics_.pinned_refs->Sub(1);
+}
+
+Result<FileRef> FileCache::FetchShared(const std::string& key,
+                                       bool allow_insert, bool pin) {
+  Shard& shard = ShardFor(key);
+  std::shared_ptr<Inflight> flight;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = entries_.find(key);
-    if (it != entries_.end()) {
+    std::unique_lock<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      Entry& e = it->second;
       metrics_.hits->Increment();
-      metrics_.bytes_hit->Increment(it->second.data.size());
-      lru_.erase(it->second.lru_it);
-      lru_.push_front(key);
-      it->second.lru_it = lru_.begin();
-      return it->second.data;
+      metrics_.bytes_hit->Increment(e.data->size());
+      e.last_access = NextStamp();
+      if (pin) {
+        ++e.ref_pins;
+        metrics_.pinned_refs->Add(1);
+        return MakePinnedRef(key, e);
+      }
+      return FileRef(e.data);
     }
     metrics_.misses->Increment();
-  }
-  EON_ASSIGN_OR_RETURN(std::string data, shared_->Get(key));
-  std::lock_guard<std::mutex> lock(mu_);
-  metrics_.bytes_filled->Increment(data.size());
-  if (allow_insert && PolicyFor(key) != CachePolicy::kNeverCache &&
-      data.size() <= options_.capacity_bytes) {
-    if (!entries_.count(key)) {
-      lru_.push_front(key);
-      Entry e;
-      e.data = data;
-      e.pinned = PolicyFor(key) == CachePolicy::kPin;
-      e.lru_it = lru_.begin();
-      size_bytes_ += data.size();
-      entries_.emplace(key, std::move(e));
-      metrics_.insertions->Increment();
-      EvictIfNeededLocked();
-      UpdateGaugesLocked();
+
+    auto fit = shard.inflight.find(key);
+    if (fit != shard.inflight.end()) {
+      // Singleflight: someone is already fetching this key — wait for
+      // their result instead of issuing a duplicate storage read.
+      flight = fit->second;
+      metrics_.coalesced->Increment();
+      flight->cv.wait(lock, [&] { return flight->done; });
+      if (!flight->status.ok()) return flight->status;
+      auto eit = shard.entries.find(key);
+      if (eit == shard.entries.end() && allow_insert) {
+        // The winner didn't insert (bypass fetch) or the entry is already
+        // gone; insert on this caller's behalf. Policy lookup requires
+        // dropping the shard lock (lock order: policy before shards).
+        lock.unlock();
+        const CachePolicy policy = PolicyFor(key);
+        lock.lock();
+        eit = shard.entries.find(key);
+        if (eit == shard.entries.end() &&
+            policy != CachePolicy::kNeverCache &&
+            flight->data->size() <= options_.capacity_bytes) {
+          InsertLocked(shard, key, flight->data, policy);
+          eit = shard.entries.find(key);
+        }
+      }
+      FileRef out;
+      if (eit != shard.entries.end()) {
+        Entry& e = eit->second;
+        e.last_access = NextStamp();
+        if (pin) {
+          ++e.ref_pins;
+          metrics_.pinned_refs->Add(1);
+          out = MakePinnedRef(key, e);
+        } else {
+          out = e.data;
+        }
+      } else {
+        out = flight->data;  // Not resident; refcount keeps it alive.
+      }
+      lock.unlock();
+      MaybeEvict();
+      UpdateGauges();
+      return out;
     }
+
+    // This caller is the singleflight winner: fetch outside the lock.
+    flight = std::make_shared<Inflight>();
+    shard.inflight.emplace(key, flight);
   }
-  return data;
+
+  Result<std::string> got = shared_->Get(key);
+  const CachePolicy policy = PolicyFor(key);
+  FileRef out;
+  {
+    std::unique_lock<std::mutex> lock(shard.mu);
+    if (!got.ok()) {
+      flight->status = got.status();
+    } else {
+      auto data = std::make_shared<const std::string>(std::move(*got));
+      flight->data = data;
+      metrics_.bytes_filled->Increment(data->size());
+      if (allow_insert && policy != CachePolicy::kNeverCache &&
+          data->size() <= options_.capacity_bytes &&
+          shard.entries.find(key) == shard.entries.end()) {
+        InsertLocked(shard, key, data, policy);
+      }
+      auto eit = shard.entries.find(key);
+      if (pin && eit != shard.entries.end()) {
+        Entry& e = eit->second;
+        ++e.ref_pins;
+        metrics_.pinned_refs->Add(1);
+        out = MakePinnedRef(key, e);
+      } else {
+        out = std::move(data);
+      }
+    }
+    flight->done = true;
+    shard.inflight.erase(key);
+    flight->cv.notify_all();
+  }
+  if (!got.ok()) return got.status();
+  MaybeEvict();
+  UpdateGauges();
+  return out;
 }
 
 Result<std::string> FileCache::Fetch(const std::string& key) {
-  return FetchInternal(key, /*allow_insert=*/true);
+  EON_ASSIGN_OR_RETURN(FileRef ref,
+                       FetchShared(key, /*allow_insert=*/true, /*pin=*/false));
+  return *ref;
+}
+
+Result<FileRef> FileCache::FetchRef(const std::string& key) {
+  return FetchShared(key, /*allow_insert=*/true, /*pin=*/true);
 }
 
 Result<std::string> FileCache::FetchBypass(const std::string& key) {
-  return FetchInternal(key, /*allow_insert=*/false);
+  EON_ASSIGN_OR_RETURN(
+      FileRef ref, FetchShared(key, /*allow_insert=*/false, /*pin=*/false));
+  return *ref;
 }
 
 Status FileCache::Insert(const std::string& key, const std::string& data) {
-  std::lock_guard<std::mutex> lock(mu_);
   if (!options_.write_through) return Status::OK();
-  if (PolicyFor(key) == CachePolicy::kNeverCache ||
+  const CachePolicy policy = PolicyFor(key);
+  if (policy == CachePolicy::kNeverCache ||
       data.size() > options_.capacity_bytes) {
     return Status::OK();
   }
-  if (entries_.count(key)) return Status::OK();  // Files are immutable.
-  lru_.push_front(key);
-  Entry e;
-  e.data = data;
-  e.pinned = PolicyFor(key) == CachePolicy::kPin;
-  e.lru_it = lru_.begin();
-  size_bytes_ += data.size();
-  entries_.emplace(key, std::move(e));
-  metrics_.insertions->Increment();
-  EvictIfNeededLocked();
-  UpdateGaugesLocked();
+  {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.entries.find(key) != shard.entries.end()) {
+      return Status::OK();  // Files are immutable.
+    }
+    InsertLocked(shard, key, std::make_shared<const std::string>(data),
+                 policy);
+  }
+  MaybeEvict();
+  UpdateGauges();
   return Status::OK();
 }
 
 void FileCache::Drop(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(key);
-  if (it == entries_.end()) return;
-  size_bytes_ -= it->second.data.size();
-  lru_.erase(it->second.lru_it);
-  entries_.erase(it);
-  metrics_.drops->Increment();
-  UpdateGaugesLocked();
+  {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(key);
+    if (it == shard.entries.end()) return;
+    size_bytes_.fetch_sub(it->second.data->size(),
+                          std::memory_order_relaxed);
+    file_count_.fetch_sub(1, std::memory_order_relaxed);
+    shard.entries.erase(it);
+    metrics_.drops->Increment();
+  }
+  UpdateGauges();
 }
 
 void FileCache::DropPrefix(const std::string& prefix) {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (it->first.compare(0, prefix.size(), prefix) == 0) {
-      size_bytes_ -= it->second.data.size();
-      lru_.erase(it->second.lru_it);
-      metrics_.drops->Increment();
-      it = entries_.erase(it);
-    } else {
-      ++it;
+  for (size_t i = 0; i < kNumShards; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.entries.begin(); it != shard.entries.end();) {
+      if (it->first.compare(0, prefix.size(), prefix) == 0) {
+        size_bytes_.fetch_sub(it->second.data->size(),
+                              std::memory_order_relaxed);
+        file_count_.fetch_sub(1, std::memory_order_relaxed);
+        metrics_.drops->Increment();
+        it = shard.entries.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
-  UpdateGaugesLocked();
+  UpdateGauges();
 }
 
 bool FileCache::Contains(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return entries_.count(key) > 0;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.entries.find(key) != shard.entries.end();
 }
 
 void FileCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  entries_.clear();
-  lru_.clear();
-  size_bytes_ = 0;
-  UpdateGaugesLocked();
+  for (size_t i = 0; i < kNumShards; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, e] : shard.entries) {
+      size_bytes_.fetch_sub(e.data->size(), std::memory_order_relaxed);
+      file_count_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    shard.entries.clear();
+  }
+  UpdateGauges();
 }
 
 void FileCache::SetPolicy(const std::string& key_prefix, CachePolicy policy) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> policy_lock(policy_mu_);
   prefix_policies_[key_prefix] = policy;
   // Apply pin status to already-resident entries.
-  for (auto& [key, entry] : entries_) {
-    if (key.compare(0, key_prefix.size(), key_prefix) == 0) {
-      entry.pinned = policy == CachePolicy::kPin;
+  for (size_t i = 0; i < kNumShards; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto& [key, entry] : shard.entries) {
+      if (key.compare(0, key_prefix.size(), key_prefix) == 0) {
+        entry.policy_pinned = policy == CachePolicy::kPin;
+      }
     }
   }
 }
 
 std::vector<std::string> FileCache::MostRecentlyUsed(
     uint64_t budget_bytes) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(kNumShards);
+  for (size_t i = 0; i < kNumShards; ++i) {
+    locks.emplace_back(shards_[i].mu);
+  }
+  std::vector<std::tuple<uint64_t, const std::string*, uint64_t>> all;
+  for (size_t i = 0; i < kNumShards; ++i) {
+    for (const auto& [key, e] : shards_[i].entries) {
+      all.emplace_back(e.last_access, &key, e.data->size());
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    return std::get<0>(a) > std::get<0>(b);  // Most recent first.
+  });
   std::vector<std::string> out;
   uint64_t used = 0;
-  for (const std::string& key : lru_) {
-    auto it = entries_.find(key);
-    const uint64_t sz = it->second.data.size();
+  for (const auto& [stamp, key, sz] : all) {
+    (void)stamp;
     if (used + sz > budget_bytes) break;
     used += sz;
-    out.push_back(key);
+    out.push_back(*key);
   }
   return out;
 }
@@ -212,25 +408,19 @@ Status FileCache::WarmFrom(const std::vector<std::string>& keys,
 }
 
 Result<std::string> FileCache::TryGetResident(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(key);
-  if (it == entries_.end()) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
     return Status::NotFound("not resident: " + key);
   }
-  return it->second.data;
+  return *it->second.data;
 }
 
-uint64_t FileCache::size_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return size_bytes_;
+uint64_t FileCache::pinned_refs() const {
+  const int64_t v = metrics_.pinned_refs->Value();
+  return v < 0 ? 0 : static_cast<uint64_t>(v);
 }
-
-uint64_t FileCache::file_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return entries_.size();
-}
-
-uint64_t FileCache::capacity_bytes() const { return options_.capacity_bytes; }
 
 CacheStats FileCache::stats() const {
   CacheStats s;
@@ -241,6 +431,7 @@ CacheStats FileCache::stats() const {
   s.insertions = metrics_.insertions->Value();
   s.evictions = metrics_.evictions->Value();
   s.drops = metrics_.drops->Value();
+  s.coalesced = metrics_.coalesced->Value();
   return s;
 }
 

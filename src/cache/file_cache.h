@@ -1,8 +1,9 @@
 #ifndef EON_CACHE_FILE_CACHE_H_
 #define EON_CACHE_FILE_CACHE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
-#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -48,6 +49,9 @@ struct CacheStats {
   uint64_t insertions = 0;
   uint64_t evictions = 0;
   uint64_t drops = 0;
+  /// Misses that joined another caller's in-flight fetch of the same key
+  /// instead of issuing their own shared-storage read (singleflight).
+  uint64_t coalesced = 0;
 
   double HitRate() const {
     uint64_t total = hits + misses;
@@ -60,7 +64,20 @@ struct CacheStats {
 /// handles add and drop — never invalidate. Serves the engine through the
 /// FileFetcher interface.
 ///
-/// Thread-safe.
+/// Thread-safe, built for morsel-parallel scans:
+///  - Sharded locking: keys hash onto independent lock shards, so
+///    concurrent hits on different files never serialize on one mutex.
+///  - Singleflight: N concurrent misses on one key issue ONE shared
+///    storage fetch; the rest wait for it and share the result.
+///  - Pinning: FetchRef() returns shared bytes and pins the entry
+///    resident until every ref is released, so eviction can never yank a
+///    file out from under an in-progress scan. Entry data is refcounted,
+///    so even Drop/Clear cannot dangle a live reader.
+///
+/// LRU semantics are byte-for-byte those of the classic single-list
+/// implementation: every access takes a globally unique recency stamp
+/// and eviction removes the smallest stamps first, so the eviction order
+/// is identical — sharding only splits the locks, not the policy.
 class FileCache : public FileFetcher {
  public:
   FileCache(CacheOptions options, ObjectStore* shared_storage);
@@ -68,6 +85,10 @@ class FileCache : public FileFetcher {
   /// Fetch through the cache: hit serves the cached copy and refreshes
   /// recency; miss reads shared storage and (policy permitting) inserts.
   Result<std::string> Fetch(const std::string& key) override;
+
+  /// Zero-copy fetch: shares the cached bytes and pins the entry resident
+  /// until the returned ref is released. The scan path uses this.
+  Result<FileRef> FetchRef(const std::string& key) override;
 
   /// Fetch bypassing residency ("don't use the cache for this query"):
   /// a hit is still served, but a miss does not insert.
@@ -77,6 +98,7 @@ class FileCache : public FileFetcher {
   Status Insert(const std::string& key, const std::string& data);
 
   /// Remove a file (storage drop or unsubscription purge). Idempotent.
+  /// Live refs to the dropped entry keep their bytes (refcounted).
   void Drop(const std::string& key);
 
   /// Drop every cached file with the given key prefix (shard purge).
@@ -102,9 +124,15 @@ class FileCache : public FileFetcher {
   /// LRU order nor triggers shared-storage reads on the peer.
   Result<std::string> TryGetResident(const std::string& key) const;
 
-  uint64_t size_bytes() const;
-  uint64_t file_count() const;
-  uint64_t capacity_bytes() const;
+  uint64_t size_bytes() const {
+    return size_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t file_count() const {
+    return file_count_.load(std::memory_order_relaxed);
+  }
+  uint64_t capacity_bytes() const { return options_.capacity_bytes; }
+  /// Live FetchRef pin handles (a file pinned twice counts twice).
+  uint64_t pinned_refs() const;
   /// Thin view over the registry instruments (see CacheStats).
   CacheStats stats() const;
   /// The `cache` label value of this cache's instruments.
@@ -113,24 +141,60 @@ class FileCache : public FileFetcher {
 
  private:
   struct Entry {
-    std::string data;
-    bool pinned = false;
-    std::list<std::string>::iterator lru_it;
+    std::shared_ptr<const std::string> data;
+    bool policy_pinned = false;  ///< CachePolicy::kPin residency pin.
+    int ref_pins = 0;            ///< Live FetchRef handles.
+    uint64_t gen = 0;            ///< Incarnation; guards stale unpins.
+    uint64_t last_access = 0;    ///< Global recency stamp (bigger = newer).
   };
 
+  /// One in-flight shared-storage fetch that concurrent misses join.
+  struct Inflight {
+    bool done = false;
+    Status status = Status::OK();
+    std::shared_ptr<const std::string> data;
+    std::condition_variable cv;  ///< Waited on under the shard mutex.
+  };
+
+  /// Lock shard: an independent slice of the key space. Lock order, where
+  /// multiple locks are needed (eviction, SetPolicy, MRU listing), is
+  /// policy_mu_ first, then shards in index order.
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Entry> entries;
+    std::unordered_map<std::string, std::shared_ptr<Inflight>> inflight;
+  };
+
+  static constexpr size_t kNumShards = 16;
+
+  Shard& ShardFor(const std::string& key) const;
   CachePolicy PolicyFor(const std::string& key) const;
-  void EvictIfNeededLocked();
-  void UpdateGaugesLocked();
-  Result<std::string> FetchInternal(const std::string& key, bool allow_insert);
+  uint64_t NextStamp() { return stamp_seq_.fetch_add(1); }
+  /// Insert under the shard lock; no capacity enforcement (caller runs
+  /// MaybeEvict() after unlocking).
+  void InsertLocked(Shard& shard, const std::string& key,
+                    std::shared_ptr<const std::string> data,
+                    CachePolicy policy);
+  /// Enforce capacity. Takes every shard lock; call with none held.
+  void MaybeEvict();
+  void UpdateGauges();
+  /// Wrap entry bytes in a ref whose release unpins the entry.
+  FileRef MakePinnedRef(const std::string& key, const Entry& entry);
+  void ReleasePin(const std::string& key, uint64_t gen);
+  Result<FileRef> FetchShared(const std::string& key, bool allow_insert,
+                              bool pin);
 
   const CacheOptions options_;
   ObjectStore* shared_;
   std::string metrics_name_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Entry> entries_;
-  std::list<std::string> lru_;  ///< Front = most recent.
+
+  mutable std::mutex policy_mu_;
   std::map<std::string, CachePolicy> prefix_policies_;
-  uint64_t size_bytes_ = 0;
+
+  std::unique_ptr<Shard[]> shards_;
+  std::atomic<uint64_t> stamp_seq_{1};
+  std::atomic<uint64_t> size_bytes_{0};
+  std::atomic<uint64_t> file_count_{0};
 
   // Registry instruments (labels: cache=<metrics_name_>). Resolved once
   // at construction; hot-path updates are lock-free atomics.
@@ -142,8 +206,10 @@ class FileCache : public FileFetcher {
     obs::Counter* insertions = nullptr;
     obs::Counter* evictions = nullptr;
     obs::Counter* drops = nullptr;
+    obs::Counter* coalesced = nullptr;
     obs::Gauge* size_bytes = nullptr;
     obs::Gauge* files = nullptr;
+    obs::Gauge* pinned_refs = nullptr;
   } metrics_;
 };
 

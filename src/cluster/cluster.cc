@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <thread>
 
 #include "common/logging.h"
 
@@ -39,6 +40,22 @@ EonCluster::EonCluster(ObjectStore* shared_storage, Clock* clock,
   metrics_.commits = reg->GetCounter("eon_cluster_commits_total");
   metrics_.files_reaped = reg->GetCounter("eon_cluster_files_reaped_total");
   metrics_.pending_deletes = reg->GetGauge("eon_cluster_pending_deletes");
+
+  ThreadPool::Options pool_options;
+  pool_options.num_threads = ResolveExecThreads(options_.exec_threads);
+  pool_options.metrics_name = options_.db_name + "-exec";
+  pool_options.registry = options_.registry;
+  exec_pool_ = std::make_unique<ThreadPool>(pool_options);
+}
+
+int EonCluster::ResolveExecThreads(int configured) {
+  if (configured > 0) return configured;
+  if (const char* env = std::getenv("EON_EXEC_THREADS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::min(hw == 0 ? 1u : hw, 8u));
 }
 
 Status EonCluster::BuildNodes(const std::vector<NodeSpec>& specs) {

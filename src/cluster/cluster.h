@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "cluster/node.h"
+#include "common/thread_pool.h"
 #include "shard/participation.h"
 
 namespace eon {
@@ -32,6 +33,11 @@ struct ClusterOptions {
   /// Metrics registry for cluster-level instruments (commits, reaped
   /// files, node-up gauges via NodeOptions); null = process default.
   obs::MetricsRegistry* registry = nullptr;
+  /// Morsel-execution parallel width for queries on this cluster.
+  /// 0 = auto: the EON_EXEC_THREADS environment variable if set, else
+  /// min(hardware threads, 8). 1 = fully serial (no worker threads) —
+  /// the deterministic fallback; results are byte-identical at any width.
+  int exec_threads = 0;
 };
 
 /// A file awaiting deletion from shared storage (Section 6.5): reclaimed
@@ -95,6 +101,8 @@ class EonCluster {
   ObjectStore* shared_storage() { return shared_; }
   const ClusterOptions& options() const { return options_; }
   bool is_shutdown() const { return shutdown_; }
+  /// Shared morsel-execution pool (see ClusterOptions::exec_threads).
+  ThreadPool* exec_pool() { return exec_pool_.get(); }
 
   // --- Distributed commit (Section 3.2) ---
 
@@ -181,6 +189,9 @@ class EonCluster {
   EonCluster(ObjectStore* shared_storage, Clock* clock,
              const ClusterOptions& options);
 
+  /// ClusterOptions::exec_threads → effective pool width (see its doc).
+  static int ResolveExecThreads(int configured);
+
   Status BuildNodes(const std::vector<NodeSpec>& specs);
   /// Apply log records the target missed, fetched from any up peer.
   Status BringNodeUpToDate(Node* target);
@@ -195,6 +206,7 @@ class EonCluster {
   ObjectStore* shared_;
   Clock* clock_;
   ClusterOptions options_;
+  std::unique_ptr<ThreadPool> exec_pool_;
   IncarnationId incarnation_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<PendingFileDelete> pending_deletes_;

@@ -1,6 +1,112 @@
 #include "columnar/expression.h"
 
+#include <algorithm>
+
 namespace eon {
+
+namespace {
+
+inline bool CmpHolds(CmpOp op, int c) {
+  switch (op) {
+    case CmpOp::kEq: return c == 0;
+    case CmpOp::kNe: return c != 0;
+    case CmpOp::kLt: return c < 0;
+    case CmpOp::kLe: return c <= 0;
+    case CmpOp::kGt: return c > 0;
+    case CmpOp::kGe: return c >= 0;
+  }
+  return false;
+}
+
+/// One comparison over a whole block. The block is homogeneously typed
+/// (it is a schema column), so the type dispatch is hoisted out of the
+/// row loop; the typed accessors CHECK on type confusion exactly like
+/// Value::Compare does on the row path.
+void EvalCmpBlock(const Predicate& p,
+                  const std::vector<const std::vector<Value>*>& columns,
+                  size_t row_count, uint8_t* sel) {
+  const size_t col = p.col_index();
+  const Value& lit = p.literal();
+  if (col >= columns.size() || columns[col] == nullptr || lit.is_null()) {
+    std::fill(sel, sel + row_count, uint8_t{0});
+    return;
+  }
+  const std::vector<Value>& v = *columns[col];
+  const CmpOp op = p.op();
+  switch (lit.type()) {
+    case DataType::kInt64: {
+      const int64_t x = lit.int_value();
+      for (size_t i = 0; i < row_count; ++i) {
+        if (v[i].is_null()) {
+          sel[i] = 0;
+          continue;
+        }
+        const int64_t y = v[i].int_value();
+        sel[i] = CmpHolds(op, y < x ? -1 : (y > x ? 1 : 0));
+      }
+      return;
+    }
+    case DataType::kDouble: {
+      const double x = lit.dbl_value();
+      for (size_t i = 0; i < row_count; ++i) {
+        if (v[i].is_null()) {
+          sel[i] = 0;
+          continue;
+        }
+        const double y = v[i].dbl_value();
+        sel[i] = CmpHolds(op, y < x ? -1 : (y > x ? 1 : 0));
+      }
+      return;
+    }
+    case DataType::kString: {
+      const std::string& x = lit.str_value();
+      for (size_t i = 0; i < row_count; ++i) {
+        if (v[i].is_null()) {
+          sel[i] = 0;
+          continue;
+        }
+        const int c = v[i].str_value().compare(x);
+        sel[i] = CmpHolds(op, c < 0 ? -1 : (c > 0 ? 1 : 0));
+      }
+      return;
+    }
+  }
+  std::fill(sel, sel + row_count, uint8_t{0});
+}
+
+void EvalBlockInto(const Predicate& p,
+                   const std::vector<const std::vector<Value>*>& columns,
+                   size_t row_count, uint8_t* sel) {
+  switch (p.kind()) {
+    case Predicate::Kind::kTrue:
+      std::fill(sel, sel + row_count, uint8_t{1});
+      return;
+    case Predicate::Kind::kCmp:
+      EvalCmpBlock(p, columns, row_count, sel);
+      return;
+    case Predicate::Kind::kAnd: {
+      EvalBlockInto(*p.left(), columns, row_count, sel);
+      SelectionVector tmp(row_count);
+      EvalBlockInto(*p.right(), columns, row_count, tmp.data());
+      for (size_t i = 0; i < row_count; ++i) sel[i] &= tmp[i];
+      return;
+    }
+    case Predicate::Kind::kOr: {
+      EvalBlockInto(*p.left(), columns, row_count, sel);
+      SelectionVector tmp(row_count);
+      EvalBlockInto(*p.right(), columns, row_count, tmp.data());
+      for (size_t i = 0; i < row_count; ++i) sel[i] |= tmp[i];
+      return;
+    }
+    case Predicate::Kind::kNot:
+      EvalBlockInto(*p.left(), columns, row_count, sel);
+      for (size_t i = 0; i < row_count; ++i) sel[i] = sel[i] ? 0 : 1;
+      return;
+  }
+  std::fill(sel, sel + row_count, uint8_t{0});
+}
+
+}  // namespace
 
 const char* CmpOpName(CmpOp op) {
   switch (op) {
@@ -79,6 +185,14 @@ bool Predicate::Eval(const Row& row) const {
       return !left_->Eval(row);
   }
   return false;
+}
+
+void Predicate::EvalBlock(
+    const std::vector<const std::vector<Value>*>& columns, size_t row_count,
+    SelectionVector* sel) const {
+  sel->resize(row_count);
+  if (row_count == 0) return;
+  EvalBlockInto(*this, columns, row_count, sel->data());
 }
 
 bool Predicate::CouldMatch(const std::vector<ValueRange>& ranges) const {

@@ -1,6 +1,7 @@
 #ifndef EON_COLUMNAR_EXPRESSION_H_
 #define EON_COLUMNAR_EXPRESSION_H_
 
+#include <cstdint>
 #include <memory>
 #include <set>
 #include <string>
@@ -28,6 +29,11 @@ struct ValueRange {
 class Predicate;
 using PredicatePtr = std::shared_ptr<const Predicate>;
 
+/// Selection vector over one decoded block: one byte per row, nonzero =
+/// the row survives the predicate. Bytes (not std::vector<bool>) so
+/// AND/OR combine as simple loops the compiler can vectorize.
+using SelectionVector = std::vector<uint8_t>;
+
 /// Boolean predicate tree over a projection's rows: comparisons against
 /// constants composed with AND/OR. Supports row evaluation and min/max
 /// range analysis ("could this predicate ever be true given these column
@@ -53,7 +59,19 @@ class Predicate {
 
   /// Evaluate on a full row (indexed by projection column position).
   /// NULL comparisons evaluate false (SQL semantics, no three-valued logic).
+  /// This is the reference path; the scan hot loop uses EvalBlock.
   bool Eval(const Row& row) const;
+
+  /// Block-at-a-time evaluation: fill `sel` (resized to `row_count`) so
+  /// that sel[i] != 0 iff Eval over row i would return true. `columns` is
+  /// indexed by projection column position; a nullptr entry means the
+  /// column was not materialized, which — like a NULL value — fails every
+  /// comparison. Each comparison runs over the whole block into its own
+  /// selection vector; AND/OR/NOT combine selection vectors bytewise, so
+  /// the per-row virtual-dispatch and Row materialization of Eval are
+  /// hoisted out of the loop.
+  void EvalBlock(const std::vector<const std::vector<Value>*>& columns,
+                 size_t row_count, SelectionVector* sel) const;
 
   /// Conservative test: false only if no row within `ranges` can satisfy
   /// the predicate. `ranges` is indexed by projection column position;

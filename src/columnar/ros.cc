@@ -54,6 +54,11 @@ Status GetRange(Slice* in, DataType type, ValueRange* r) {
 
 }  // namespace
 
+Result<FileRef> FileFetcher::FetchRef(const std::string& key) {
+  EON_ASSIGN_OR_RETURN(std::string data, Fetch(key));
+  return std::make_shared<const std::string>(std::move(data));
+}
+
 Result<std::string> DirectFetcher::Fetch(const std::string& key) {
   return store_->Get(key);
 }
@@ -137,10 +142,16 @@ Result<RosBuildResult> RosContainerWriter::Build(
 
 Result<ColumnFileReader> ColumnFileReader::Open(std::string file_data,
                                                 DataType type) {
+  return Open(std::make_shared<const std::string>(std::move(file_data)),
+              type);
+}
+
+Result<ColumnFileReader> ColumnFileReader::Open(FileRef file_data,
+                                                DataType type) {
   ColumnFileReader reader;
   reader.data_ = std::move(file_data);
   reader.type_ = type;
-  const std::string& data = reader.data_;
+  const std::string& data = *reader.data_;
   if (data.size() < 12) return Status::Corruption("column file too short");
 
   Slice tail(data.data() + data.size() - 12, 12);
@@ -175,8 +186,7 @@ Result<ColumnFileReader> ColumnFileReader::Open(std::string file_data,
     EON_RETURN_IF_ERROR(GetVarint64(&footer, &meta.row_count));
     EON_RETURN_IF_ERROR(GetVarint64(&footer, &meta.first_row));
     EON_RETURN_IF_ERROR(GetRange(&footer, reader.type_, &meta.range));
-    if (meta.offset + meta.length >
-        reader.data_.size() - 12 - footer_len) {
+    if (meta.offset + meta.length > data.size() - 12 - footer_len) {
       return Status::Corruption("block extends past data region");
     }
     reader.blocks_.push_back(std::move(meta));
@@ -188,8 +198,8 @@ Status ColumnFileReader::DecodeBlock(size_t i, std::vector<Value>* out) const {
   if (i >= blocks_.size()) return Status::OutOfRange("block index");
   const BlockMeta& meta = blocks_[i];
   if (meta.length < 4) return Status::Corruption("block too short");
-  Slice block(data_.data() + meta.offset, meta.length - 4);
-  Slice crc_slice(data_.data() + meta.offset + meta.length - 4, 4);
+  Slice block(data_->data() + meta.offset, meta.length - 4);
+  Slice crc_slice(data_->data() + meta.offset + meta.length - 4, 4);
   uint32_t stored_crc;
   EON_RETURN_IF_ERROR(GetFixed32(&crc_slice, &stored_crc));
   if (Crc32c(block.data(), block.size()) != stored_crc) {
@@ -221,14 +231,15 @@ Result<std::vector<Row>> ScanRosContainer(const Schema& schema,
     }
   }
 
-  // Fetch and open each needed column file.
+  // Fetch and open each needed column file. FetchRef pins cache-backed
+  // files resident (and shares their bytes) for the readers' lifetime.
   std::map<size_t, ColumnFileReader> readers;
   for (size_t col : needed) {
     EON_ASSIGN_OR_RETURN(
-        std::string data,
-        fetcher->Fetch(RosContainerWriter::ColumnKey(base_key, col)));
+        FileRef data,
+        fetcher->FetchRef(RosContainerWriter::ColumnKey(base_key, col)));
     st->files_fetched++;
-    st->bytes_fetched += data.size();
+    st->bytes_fetched += data->size();
     EON_ASSIGN_OR_RETURN(
         ColumnFileReader reader,
         ColumnFileReader::Open(std::move(data), schema.column(col).type));
@@ -277,17 +288,41 @@ Result<std::vector<Row>> ScanRosContainer(const Schema& schema,
       cols.emplace(col, std::move(values));
     }
 
-    Row probe(schema.num_columns());
+    // Block-at-a-time predicate: one selection vector for the whole
+    // block, then only survivors are materialized below.
+    SelectionVector sel;
+    const bool use_sel = options.predicate != nullptr && options.block_eval;
+    if (use_sel) {
+      std::vector<const std::vector<Value>*> col_ptrs(schema.num_columns(),
+                                                      nullptr);
+      for (const auto& [col, values] : cols) col_ptrs[col] = &values;
+      options.predicate->EvalBlock(col_ptrs, bm.row_count, &sel);
+    }
+
+    // Output columns in output order, resolved once per block.
+    std::vector<const std::vector<Value>*> out_cols;
+    out_cols.reserve(options.output_columns.size());
+    for (size_t col : options.output_columns) {
+      out_cols.push_back(&cols.at(col));
+    }
+
+    Row probe(schema.num_columns());  // Row-at-a-time reference path only.
     for (uint64_t i = 0; i < bm.row_count; ++i) {
       const uint64_t pos = block_begin + i;
       if (pos < options.row_begin || pos >= options.row_end) continue;
       st->rows_visited++;
       if (options.deletes && options.deletes->IsDeleted(pos)) continue;
-      for (const auto& [col, values] : cols) probe[col] = values[i];
-      if (options.predicate && !options.predicate->Eval(probe)) continue;
+      if (use_sel) {
+        if (!sel[i]) continue;
+      } else if (options.predicate) {
+        for (const auto& [col, values] : cols) probe[col] = values[i];
+        if (!options.predicate->Eval(probe)) continue;
+      }
       Row out_row;
-      out_row.reserve(options.output_columns.size());
-      for (size_t col : options.output_columns) out_row.push_back(probe[col]);
+      out_row.reserve(out_cols.size());
+      for (const std::vector<Value>* values : out_cols) {
+        out_row.push_back((*values)[i]);
+      }
       out.push_back(std::move(out_row));
       st->rows_output++;
     }

@@ -18,12 +18,22 @@ namespace eon {
 /// storage; in Enterprise mode it is the node's private disk; in tests it
 /// is the object store directly. Caching whole files matches the paper's
 /// disk cache of entire data files (Section 5.2).
+/// Shared, immutable contents of one fetched file. Holding a FileRef
+/// keeps the bytes alive regardless of what the cache does (eviction,
+/// Drop), so a scan can never observe dangling data.
+using FileRef = std::shared_ptr<const std::string>;
+
 class FileFetcher {
  public:
   virtual ~FileFetcher() = default;
 
   /// Return the complete contents of `key`.
   virtual Result<std::string> Fetch(const std::string& key) = 0;
+
+  /// Fetch without copying: the returned ref shares the fetcher's bytes
+  /// where possible. Cache-backed fetchers additionally pin the entry
+  /// resident until the ref is released. Default adapts Fetch().
+  virtual Result<FileRef> FetchRef(const std::string& key);
 };
 
 /// FileFetcher that reads straight from an ObjectStore (no cache).
@@ -87,6 +97,9 @@ class RosContainerWriter {
 class ColumnFileReader {
  public:
   static Result<ColumnFileReader> Open(std::string file_data, DataType type);
+  /// Zero-copy open over shared file bytes (e.g. straight out of the file
+  /// cache); the reader keeps the ref alive for its own lifetime.
+  static Result<ColumnFileReader> Open(FileRef file_data, DataType type);
 
   size_t num_blocks() const { return blocks_.size(); }
   const BlockMeta& block(size_t i) const { return blocks_[i]; }
@@ -98,7 +111,7 @@ class ColumnFileReader {
  private:
   ColumnFileReader() = default;
 
-  std::string data_;
+  FileRef data_;
   DataType type_ = DataType::kInt64;
   std::vector<BlockMeta> blocks_;
   uint64_t row_count_ = 0;
@@ -117,6 +130,10 @@ struct RosScanOptions {
   /// container-split crunch scaling (Section 4.4). Default = whole file.
   uint64_t row_begin = 0;
   uint64_t row_end = UINT64_MAX;
+  /// Evaluate the predicate block-at-a-time into a selection vector
+  /// (Predicate::EvalBlock). Off = row-at-a-time Eval, kept as the
+  /// reference path for differential tests.
+  bool block_eval = true;
 };
 
 /// Observability for tests, the cost model, and the pruning benches.

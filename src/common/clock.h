@@ -1,6 +1,7 @@
 #ifndef EON_COMMON_CLOCK_H_
 #define EON_COMMON_CLOCK_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 
@@ -22,20 +23,26 @@ class Clock {
   int64_t NowMillis() const { return NowMicros() / 1000; }
 };
 
-/// Simulated clock: starts at 0, moves only when advanced. Not thread-safe;
-/// the discrete-event simulator owns it.
+/// Simulated clock: starts at 0, moves only when advanced. Thread-safe:
+/// parallel scan morsels charge simulated I/O time concurrently, so the
+/// counter is atomic (advances still sum; only their interleaving is
+/// scheduling-dependent).
 class SimClock : public Clock {
  public:
   SimClock() = default;
 
-  int64_t NowMicros() const override { return now_; }
-  void AdvanceMicros(int64_t micros) override { now_ += micros; }
+  int64_t NowMicros() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void AdvanceMicros(int64_t micros) override {
+    now_.fetch_add(micros, std::memory_order_relaxed);
+  }
 
   /// Jump directly to an absolute time. Precondition: t >= NowMicros().
-  void SetMicros(int64_t t) { now_ = t; }
+  void SetMicros(int64_t t) { now_.store(t, std::memory_order_relaxed); }
 
  private:
-  int64_t now_ = 0;
+  std::atomic<int64_t> now_{0};
 };
 
 /// Real wall-clock time (steady). AdvanceMicros sleeps.

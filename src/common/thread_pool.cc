@@ -1,0 +1,176 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <ctime>
+
+#include "obs/metrics.h"
+
+namespace eon {
+
+namespace {
+
+// Worker slot of the current thread, or -1 on non-worker threads. Keyed
+// per pool via the pool pointer so nested/multiple pools don't collide.
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local int tls_slot = -1;
+
+std::string AutoPoolName() {
+  static std::atomic<uint64_t> seq{0};
+  return "pool" + std::to_string(seq.fetch_add(1));
+}
+
+}  // namespace
+
+int64_t ThreadCpuMicros() {
+  struct timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<int64_t>(ts.tv_sec) * 1000000 + ts.tv_nsec / 1000;
+}
+
+ThreadPool::ThreadPool(Options options)
+    : metrics_name_(options.metrics_name.empty() ? AutoPoolName()
+                                                 : options.metrics_name) {
+  obs::MetricsRegistry* reg = obs::OrDefault(options.registry);
+  const obs::LabelSet labels({{"pool", metrics_name_}});
+  tasks_total_ = reg->GetCounter("eon_pool_tasks_total", labels);
+  queue_depth_ = reg->GetGauge("eon_pool_queue_depth", labels);
+  threads_gauge_ = reg->GetGauge("eon_pool_threads", labels);
+  task_micros_ = reg->GetHistogram("eon_pool_task_micros", labels);
+
+  const int width = options.num_threads < 1 ? 1 : options.num_threads;
+  threads_gauge_->Set(width);
+  workers_.reserve(width - 1);
+  for (int slot = 0; slot < width - 1; ++slot) {
+    workers_.emplace_back([this, slot] { WorkerLoop(slot); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  threads_gauge_->Set(0);
+}
+
+int ThreadPool::CurrentSlot() const {
+  if (tls_pool == this && tls_slot >= 0) return tls_slot;
+  return width() - 1;
+}
+
+void ThreadPool::RunTask(Task task) {
+  const int64_t start = ThreadCpuMicros();
+  task.fn();
+  task_micros_->Observe(static_cast<double>(ThreadCpuMicros() - start));
+  tasks_total_->Increment();
+}
+
+void ThreadPool::WorkerLoop(int slot) {
+  tls_pool = this;
+  tls_slot = slot;
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown_ with a drained queue.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      queue_depth_->Sub(1);
+    }
+    RunTask(std::move(task));
+  }
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  auto promise = std::make_shared<std::promise<void>>();
+  std::future<void> future = promise->get_future();
+  Task task{[fn = std::move(fn), promise]() mutable {
+    try {
+      fn();
+      promise->set_value();
+    } catch (...) {
+      promise->set_exception(std::current_exception());
+    }
+  }};
+  if (workers_.empty()) {
+    RunTask(std::move(task));
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    queue_depth_->Add(1);
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) {
+      RunTask(Task{[&fn, i] { fn(i); }});
+    }
+    return;
+  }
+
+  // Shared claim counter: workers and the caller pull the next unclaimed
+  // index until none remain. `state` outlives the stack frame by being
+  // shared with every enqueued drain task (a worker may still be inside
+  // its final fn(i) when the caller observes done == n and returns only
+  // after the cv signal, which fires after the last fetch_add on done).
+  struct ForState {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    size_t n;
+    const std::function<void(size_t)>* fn;
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<ForState>();
+  state->n = n;
+  state->fn = &fn;
+
+  auto drain = [state] {
+    for (;;) {
+      const size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= state->n) break;
+      (*state->fn)(i);
+      if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          state->n) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->cv.notify_all();
+      }
+    }
+  };
+
+  // One drain task per worker (not per index): keeps queue churn O(width)
+  // while indices are claimed lock-free.
+  const size_t helpers =
+      std::min(workers_.size(), n > 1 ? n - 1 : size_t{0});
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t h = 0; h < helpers; ++h) {
+      queue_.push_back(Task{drain});
+      queue_depth_->Add(1);
+    }
+  }
+  cv_.notify_all();
+
+  // The caller is the last lane.
+  const int64_t start = ThreadCpuMicros();
+  drain();
+  task_micros_->Observe(static_cast<double>(ThreadCpuMicros() - start));
+  tasks_total_->Increment();
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&state] {
+    return state->done.load(std::memory_order_acquire) == state->n;
+  });
+}
+
+}  // namespace eon

@@ -1,0 +1,110 @@
+#ifndef EON_COMMON_THREAD_POOL_H_
+#define EON_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace eon {
+
+namespace obs {
+class Counter;
+class Gauge;
+class Histogram;
+class MetricsRegistry;
+}  // namespace obs
+
+/// CPU time consumed by the calling thread, in microseconds. Unlike a
+/// steady clock this excludes time the thread spends descheduled, so
+/// per-morsel costs stay meaningful even when workers oversubscribe the
+/// machine's cores.
+int64_t ThreadCpuMicros();
+
+/// Fixed-size worker pool for morsel-parallel query execution.
+///
+/// Design points:
+///  - `num_threads` is the pool's parallel *width*: the number of tasks
+///    that can make progress at once. The pool spawns `num_threads - 1`
+///    workers and the thread calling ParallelFor() participates as the
+///    last lane, so width 1 means zero workers and fully inline (serial)
+///    execution — the `EON_EXEC_THREADS=1` fallback runs the exact same
+///    code path with no threads involved.
+///  - Submit() returns a future; ParallelFor() is the barrier primitive
+///    the executor uses (run fn(0..n), return when all are done).
+///  - Task side effects must be independent; result determinism is the
+///    caller's job (merge in task-index order, not completion order).
+///
+/// Observability (labels {pool=<name>}):
+///  - eon_pool_threads           gauge     parallel width
+///  - eon_pool_queue_depth       gauge     tasks queued, not yet started
+///  - eon_pool_tasks_total       counter   tasks executed
+///  - eon_pool_task_micros       histogram per-task execution wall time
+class ThreadPool {
+ public:
+  struct Options {
+    /// Parallel width (>= 1). 1 = inline execution, no worker threads.
+    int num_threads = 1;
+    /// Label value for this pool's metrics; "" auto-generates "pool<N>".
+    std::string metrics_name;
+    /// Metrics registry; nullptr = process default.
+    obs::MetricsRegistry* registry = nullptr;
+  };
+
+  explicit ThreadPool(Options options);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Parallel width: workers + the participating caller. Always >= 1.
+  int width() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Slot of the calling thread for per-lane accounting: workers occupy
+  /// [0, width()-2]; any non-worker thread (the ParallelFor caller) maps
+  /// to width()-1.
+  int CurrentSlot() const;
+
+  /// Enqueue one task. With width 1 the task runs inline before Submit
+  /// returns (the future is already ready).
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// Run fn(0), fn(1), ..., fn(n-1) across the pool and return once every
+  /// call has finished (a barrier). The calling thread participates, so
+  /// all `width()` lanes do work. Indices are claimed dynamically; callers
+  /// needing deterministic output must not depend on execution order.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  const std::string& metrics_name() const { return metrics_name_; }
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+  };
+
+  void WorkerLoop(int slot);
+  void RunTask(Task task);
+
+  std::string metrics_name_;
+  obs::Counter* tasks_total_ = nullptr;
+  obs::Gauge* queue_depth_ = nullptr;
+  obs::Gauge* threads_gauge_ = nullptr;
+  obs::Histogram* task_micros_ = nullptr;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Task> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace eon
+
+#endif  // EON_COMMON_THREAD_POOL_H_

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <functional>
 #include <set>
 
 #include "common/codec.h"
+#include "common/thread_pool.h"
 #include "engine/dml.h"
 #include "obs/trace.h"
 
@@ -21,6 +23,52 @@ uint64_t RowBytes(const Row& row) {
 }
 
 namespace {
+
+/// Morsel-parallel execution harness for one query. Wraps the cluster's
+/// exec pool with per-lane CPU accounting (thread CPU clock, so numbers
+/// stay meaningful on oversubscribed cores) that feeds the profile's
+/// exec.parallelism stat. With pool width 1 every task runs inline on the
+/// calling thread — the serial fallback is the same code path.
+class ExecParallel {
+ public:
+  explicit ExecParallel(ThreadPool* pool)
+      : pool_(pool), busy_(pool->width(), 0) {}
+
+  /// Run fn(0..n-1) across the pool and wait for all of them (barrier).
+  /// Tasks must only write state owned by their own index; the caller
+  /// merges results in index order afterwards so output is deterministic
+  /// regardless of pool width or scheduling.
+  void Run(size_t n, const std::function<void(size_t)>& fn) {
+    tasks_ += n;
+    pool_->ParallelFor(n, [&](size_t i) {
+      const int64_t start = ThreadCpuMicros();
+      fn(i);
+      // Each pool lane is one thread, so this element is only ever
+      // touched by the current thread.
+      busy_[pool_->CurrentSlot()] += ThreadCpuMicros() - start;
+    });
+  }
+
+  int width() const { return pool_->width(); }
+
+  void Flush(obs::QueryProfile* profile) const {
+    profile->exec_threads = static_cast<uint64_t>(pool_->width());
+    profile->exec_tasks = tasks_;
+    int64_t total = 0;
+    int64_t critical = 0;
+    for (int64_t b : busy_) {
+      total += b;
+      critical = std::max(critical, b);
+    }
+    profile->exec_task_cpu_micros = total;
+    profile->exec_critical_cpu_micros = critical;
+  }
+
+ private:
+  ThreadPool* pool_;
+  std::vector<int64_t> busy_;  ///< Task CPU per pool lane.
+  uint64_t tasks_ = 0;
+};
 
 /// Scanned data of one table, partitioned by the node that produced it.
 struct ScanOutput {
@@ -107,14 +155,18 @@ class PhaseScope {
   bool ended_ = false;
 };
 
-/// Scan one table across the participating nodes.
+/// Scan one table across the participating nodes. Each (node, container,
+/// rank) triple is an independent morsel executed on `par`; morsel results
+/// are merged in morsel-construction order, so the output is identical to
+/// the old serial nested loop at any pool width.
 Result<ScanOutput> ScanDistributed(EonCluster* cluster,
                                    const ExecContext& context,
                                    const CatalogState& snapshot,
                                    const ScanSpec& spec,
                                    const std::vector<std::string>& extra_cols,
                                    ExecStats* stats,
-                                   obs::QueryProfile* profile) {
+                                   obs::QueryProfile* profile,
+                                   ExecParallel* par) {
   const TableDef* table = snapshot.FindTableByName(spec.table);
   if (table == nullptr) {
     return Status::NotFound("no such table: " + spec.table);
@@ -233,6 +285,22 @@ Result<ScanOutput> ScanDistributed(EonCluster* cluster,
     }
   }
 
+  // Morsel construction is serial: walk shards/containers in plan order,
+  // apply pruning, and emit one morsel per (container, sharing rank). The
+  // fixed decomposition is independent of pool width — only the morsel
+  // EXECUTION below is parallel — which is what makes results reproducible
+  // across thread counts.
+  struct Morsel {
+    Oid node;        ///< Executing node (cache owner + row sink).
+    Node* executor;  ///< Resolved node pointer.
+    /// Keeps the serving node's catalog snapshot (and thus `container`)
+    /// alive for the duration of the parallel section.
+    std::shared_ptr<const CatalogState> snapshot;
+    const StorageContainerMeta* container;
+    size_t k = 1;     ///< Sharing-group size (crunch fan-out).
+    size_t rank = 0;  ///< This morsel's rank within the sharing group.
+  };
+  std::vector<Morsel> morsels;
   for (const ShardWork& sw : work) {
     // "When an executor node receives a query plan, it attaches storage
     // for the shards the session has instructed it to serve" (Section 4):
@@ -242,7 +310,8 @@ Result<ScanOutput> ScanDistributed(EonCluster* cluster,
     if (serving == nullptr || !serving->is_up()) {
       return Status::Unavailable("participating node is down");
     }
-    auto serving_snapshot = serving->catalog()->snapshot();
+    std::shared_ptr<const CatalogState> serving_snapshot =
+        serving->catalog()->snapshot();
     for (const StorageContainerMeta* container :
          serving_snapshot->ContainersOf(proj->oid, sw.shard)) {
       stats->containers_total++;
@@ -258,44 +327,80 @@ Result<ScanOutput> ScanDistributed(EonCluster* cluster,
         if (executor == nullptr || !executor->is_up()) {
           return Status::Unavailable("participating node is down");
         }
-        EON_ASSIGN_OR_RETURN(
-            DeleteVector deletes,
-            LoadDeleteVector(*serving_snapshot, *container,
-                             executor->cache()));
-        RosScanOptions scan;
-        scan.output_columns = scan_cols;
-        scan.predicate = pred;
-        scan.deletes = &deletes;
-        if (k > 1 && context.crunch == CrunchMode::kContainerSplit) {
-          // Physical split: each sharing node reads a distinct row range
-          // (each row read once; segmentation property lost).
-          scan.row_begin = container->row_count * rank / k;
-          scan.row_end = container->row_count * (rank + 1) / k;
-        }
-        EON_ASSIGN_OR_RETURN(
-            std::vector<Row> rows,
-            ScanRosContainer(proj_schema, container->base_key,
-                             executor->cache(), scan, &stats->scan));
-        profile->rows_scanned_by_node[sw.nodes[rank]] += rows.size();
-        profile->rows_scanned_total += rows.size();
-        std::vector<Row>& sink = output.rows_by_node[sw.nodes[rank]];
-        for (Row& row : rows) {
-          if (k > 1 && context.crunch == CrunchMode::kHashFilter) {
-            // Secondary hash segmentation predicate applied per row: only
-            // rank (hash % k) keeps the row (Section 4.4).
-            uint32_t h = 0;
-            bool first = true;
-            for (size_t pos : seg_positions_in_scan) {
-              h = first ? row[pos].SegHash()
-                        : SegmentationHashCombine(h, row[pos].SegHash());
-              first = false;
-            }
-            if (h % k != rank) continue;
-          }
-          row.resize(out_proj_cols.size());  // Strip ride-along seg columns.
-          sink.push_back(std::move(row));
-        }
+        morsels.push_back(Morsel{sw.nodes[rank], executor, serving_snapshot,
+                                 container, k, rank});
       }
+    }
+  }
+
+  // Execute every morsel as an independent task. Each task writes only its
+  // own MorselResult slot: rows are hash-filtered and stripped locally, and
+  // scan stats accumulate into a task-private RosScanStats.
+  struct MorselResult {
+    Status status = Status::OK();
+    std::vector<Row> rows;     ///< Post-filter, stripped output rows.
+    size_t rows_scanned = 0;   ///< Pre-filter count (profile semantics).
+    RosScanStats scan;
+  };
+  std::vector<MorselResult> results(morsels.size());
+  par->Run(morsels.size(), [&](size_t i) {
+    const Morsel& m = morsels[i];
+    MorselResult& res = results[i];
+    res.status = [&]() -> Status {
+      EON_ASSIGN_OR_RETURN(
+          DeleteVector deletes,
+          LoadDeleteVector(*m.snapshot, *m.container, m.executor->cache()));
+      RosScanOptions scan;
+      scan.output_columns = scan_cols;
+      scan.predicate = pred;
+      scan.deletes = &deletes;
+      if (m.k > 1 && context.crunch == CrunchMode::kContainerSplit) {
+        // Physical split: each sharing node reads a distinct row range
+        // (each row read once; segmentation property lost).
+        scan.row_begin = m.container->row_count * m.rank / m.k;
+        scan.row_end = m.container->row_count * (m.rank + 1) / m.k;
+      }
+      EON_ASSIGN_OR_RETURN(
+          std::vector<Row> rows,
+          ScanRosContainer(proj_schema, m.container->base_key,
+                           m.executor->cache(), scan, &res.scan));
+      res.rows_scanned = rows.size();
+      res.rows.reserve(rows.size());
+      for (Row& row : rows) {
+        if (m.k > 1 && context.crunch == CrunchMode::kHashFilter) {
+          // Secondary hash segmentation predicate applied per row: only
+          // rank (hash % k) keeps the row (Section 4.4).
+          uint32_t h = 0;
+          bool first = true;
+          for (size_t pos : seg_positions_in_scan) {
+            h = first ? row[pos].SegHash()
+                      : SegmentationHashCombine(h, row[pos].SegHash());
+            first = false;
+          }
+          if (h % m.k != m.rank) continue;
+        }
+        row.resize(out_proj_cols.size());  // Strip ride-along seg columns.
+        res.rows.push_back(std::move(row));
+      }
+      return Status::OK();
+    }();
+  });
+
+  // Deterministic merge in morsel order: the first failing morsel's error
+  // wins (matching the serial loop's first-error return), and each node's
+  // row sink receives rows in exactly the serial append order.
+  for (size_t i = 0; i < morsels.size(); ++i) {
+    EON_RETURN_IF_ERROR(results[i].status);
+    MorselResult& res = results[i];
+    stats->scan.Add(res.scan);
+    profile->rows_scanned_by_node[morsels[i].node] += res.rows_scanned;
+    profile->rows_scanned_total += res.rows_scanned;
+    std::vector<Row>& sink = output.rows_by_node[morsels[i].node];
+    if (sink.empty()) {
+      sink = std::move(res.rows);
+    } else {
+      sink.insert(sink.end(), std::make_move_iterator(res.rows.begin()),
+                  std::make_move_iterator(res.rows.end()));
     }
   }
   return output;
@@ -642,6 +747,11 @@ Result<QueryResult> ExecuteQuery(EonCluster* cluster,
   stats.crunch = static_cast<ExecStats::Crunch>(context.crunch);
   stats.used_live_aggregate = used_lap;
 
+  // Morsel-parallel harness for the scan / join / aggregate phases. Pool
+  // width 1 (ClusterOptions::exec_threads = 1 or EON_EXEC_THREADS=1) runs
+  // everything inline on this thread.
+  ExecParallel par(cluster->exec_pool());
+
   // --- Scan (left side), with join key riding along if needed. ---
   std::vector<std::string> left_extras;
   if (spec.join) left_extras.push_back(spec.join->left_key);
@@ -685,7 +795,7 @@ Result<QueryResult> ExecuteQuery(EonCluster* cluster,
   PhaseScope scan_scope(&tracer, &profile, obs::QueryPhase::kScan, root);
   EON_ASSIGN_OR_RETURN(ScanOutput left,
                        ScanDistributed(cluster, context, *snapshot, spec.scan,
-                                       left_extras, &stats, &profile));
+                                       left_extras, &stats, &profile, &par));
   scan_scope.End();
 
   // --- Join ---
@@ -709,7 +819,7 @@ Result<QueryResult> ExecuteQuery(EonCluster* cluster,
     EON_ASSIGN_OR_RETURN(
         ScanOutput right,
         ScanDistributed(cluster, context, *snapshot, spec.join->right,
-                        right_extras, &stats, &profile));
+                        right_extras, &stats, &profile, &par));
     right_scan_scope.End();
     PhaseScope join_scope(&tracer, &profile, obs::QueryPhase::kJoin, root);
 
@@ -778,14 +888,25 @@ Result<QueryResult> ExecuteQuery(EonCluster* cluster,
       }
     };
 
+    // Per-node join bodies are independent (both sides of every key are on
+    // one node), so each node is one pool task writing its own output
+    // slot; slots land in the joined map in node order afterwards.
+    std::vector<std::pair<Oid, const std::vector<Row>*>> join_sides;
+    join_sides.reserve(data.size());
+    for (auto& [node, lrows] : data) join_sides.emplace_back(node, &lrows);
+    std::vector<std::vector<Row>> join_outs(join_sides.size());
+
     std::map<Oid, std::vector<Row>> joined;
     if (co_located) {
-      for (auto& [node, lrows] : data) {
-        auto rit = right.rows_by_node.find(node);
-        static const std::vector<Row> kEmpty;
+      static const std::vector<Row> kEmpty;
+      par.Run(join_sides.size(), [&](size_t i) {
+        auto rit = right.rows_by_node.find(join_sides[i].first);
         const std::vector<Row>& rrows =
             rit == right.rows_by_node.end() ? kEmpty : rit->second;
-        hash_join(rrows, lrows, &joined[node]);
+        hash_join(rrows, *join_sides[i].second, &join_outs[i]);
+      });
+      for (size_t i = 0; i < join_sides.size(); ++i) {
+        joined[join_sides[i].first] = std::move(join_outs[i]);
       }
     } else if (right_replicated) {
       // Broadcast join: ship the single right copy to every left node.
@@ -794,8 +915,11 @@ Result<QueryResult> ExecuteQuery(EonCluster* cluster,
       for (const Row& r : rrows) rbytes += RowBytes(r);
       stats.network_bytes += rbytes * std::max<size_t>(1, data.size() - 1);
       stats.rows_shuffled += rrows.size() * std::max<size_t>(1, data.size());
-      for (auto& [node, lrows] : data) {
-        hash_join(rrows, lrows, &joined[node]);
+      par.Run(join_sides.size(), [&](size_t i) {
+        hash_join(rrows, *join_sides[i].second, &join_outs[i]);
+      });
+      for (size_t i = 0; i < join_sides.size(); ++i) {
+        joined[join_sides[i].first] = std::move(join_outs[i]);
       }
       stats.local_join = false;
     } else {
@@ -880,17 +1004,27 @@ Result<QueryResult> ExecuteQuery(EonCluster* cluster,
     };
 
     GroupMap merged;
-    if (local) {
-      // Fully local: per-node aggregation is final; concatenate.
-      for (auto& [node, rows] : data) aggregate_into(rows, &merged);
-    } else {
-      // Partial per node, then merge with accounted transfer.
-      for (auto& [node, rows] : data) {
-        GroupMap partial;
-        aggregate_into(rows, &partial);
+    {
+      // One partial GroupMap per node, computed as independent pool tasks
+      // (a node's rows are self-contained), merged in node order so the
+      // result is the same at every pool width. In the local case the
+      // partials are final — groups never span nodes — and the merge is
+      // pure insertion.
+      std::vector<const std::vector<Row>*> node_rows;
+      node_rows.reserve(data.size());
+      for (auto& [node, rows] : data) node_rows.push_back(&rows);
+      std::vector<GroupMap> partials(node_rows.size());
+      par.Run(node_rows.size(), [&](size_t i) {
+        aggregate_into(*node_rows[i], &partials[i]);
+      });
+      for (GroupMap& partial : partials) {
         for (auto& [key, states] : partial) {
-          for (const AggState& s : states) {
-            stats.network_bytes += s.TransferBytes();
+          if (!local) {
+            // Partial-state transfer to the initiator is accounted; local
+            // group-bys never move state.
+            for (const AggState& s : states) {
+              stats.network_bytes += s.TransferBytes();
+            }
           }
           auto [it, inserted] = merged.try_emplace(key, std::move(states));
           if (!inserted) {
@@ -1001,6 +1135,7 @@ Result<QueryResult> ExecuteQuery(EonCluster* cluster,
   profile.store_bytes_read = store_after.bytes_read - store_before.bytes_read;
   profile.store_cost_microdollars =
       store_after.cost_microdollars - store_before.cost_microdollars;
+  par.Flush(&profile);
   root.End();
 
   // Registry-level query instruments for exported snapshots.

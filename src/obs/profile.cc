@@ -88,6 +88,14 @@ JsonValue QueryProfile::ToJson() const {
           JsonValue::Int(static_cast<int64_t>(rows_shuffled)));
   out.Set("participating_nodes",
           JsonValue::Int(static_cast<int64_t>(participating_nodes)));
+
+  JsonValue exec = JsonValue::Object();
+  exec.Set("threads", JsonValue::Int(static_cast<int64_t>(exec_threads)));
+  exec.Set("tasks", JsonValue::Int(static_cast<int64_t>(exec_tasks)));
+  exec.Set("task_cpu_micros", JsonValue::Int(exec_task_cpu_micros));
+  exec.Set("critical_cpu_micros", JsonValue::Int(exec_critical_cpu_micros));
+  exec.Set("parallelism", JsonValue::Double(Parallelism()));
+  out.Set("exec", std::move(exec));
   return out;
 }
 
@@ -140,6 +148,14 @@ std::string QueryProfile::ToText() const {
   snprintf(buf, sizeof(buf), " network: %.2f MB, %llu rows shuffled\n",
            static_cast<double>(network_bytes) / 1e6,
            static_cast<unsigned long long>(rows_shuffled));
+  out += buf;
+  snprintf(buf, sizeof(buf),
+           " exec: %.2fx parallelism (%llu tasks on %llu threads, "
+           "%.3f ms cpu, %.3f ms critical)\n",
+           Parallelism(), static_cast<unsigned long long>(exec_tasks),
+           static_cast<unsigned long long>(exec_threads),
+           static_cast<double>(exec_task_cpu_micros) / 1000.0,
+           static_cast<double>(exec_critical_cpu_micros) / 1000.0);
   out += buf;
   return out;
 }

@@ -60,6 +60,27 @@ struct QueryProfile {
   uint64_t rows_shuffled = 0;
   uint64_t participating_nodes = 0;
 
+  // Morsel-parallel execution (cluster exec pool). Task CPU is measured
+  // with the per-thread CPU clock, so these stay meaningful even when
+  // workers oversubscribe the machine's cores.
+  uint64_t exec_threads = 1;  ///< Pool width the query executed with.
+  uint64_t exec_tasks = 0;    ///< Scan morsels + per-node join/agg tasks.
+  int64_t exec_task_cpu_micros = 0;  ///< Sum of task CPU over all lanes.
+  /// Busiest lane's CPU: the parallel phases' critical path. Equals
+  /// exec_task_cpu_micros when exec_threads == 1.
+  int64_t exec_critical_cpu_micros = 0;
+
+  /// Effective speedup of the parallel sections (`exec.parallelism`):
+  /// total task CPU over the critical path. 1.0 = serial; approaches
+  /// exec_threads under perfect morsel load balance.
+  double Parallelism() const {
+    if (exec_critical_cpu_micros <= 0 || exec_task_cpu_micros <= 0) {
+      return 1.0;
+    }
+    return static_cast<double>(exec_task_cpu_micros) /
+           static_cast<double>(exec_critical_cpu_micros);
+  }
+
   int64_t TotalSimMicros() const;
   int64_t TotalWallMicros() const;
   double CacheHitRate() const {

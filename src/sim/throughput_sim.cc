@@ -25,6 +25,10 @@ ThroughputSim::RunResult ThroughputSim::Run(const Options& options) {
   EON_CHECK(options.num_nodes > 0 && options.num_shards > 0);
   const int n = options.num_nodes;
   const int s = options.num_shards;
+  // The deprecated `threads` spelling wins when a caller still sets it.
+  const int clients = options.threads >= 0 ? options.threads
+                                           : options.clients;
+  EON_CHECK(clients > 0);
 
   std::vector<int> busy(n, 0);       // Occupied slots per node.
   std::vector<bool> up(n, true);
@@ -97,11 +101,11 @@ ThroughputSim::RunResult ThroughputSim::Run(const Options& options) {
     events.push(Event{t, Event::Type::kRestart, node});
   }
 
-  // Per-thread state: slots currently held (by node).
-  std::vector<std::vector<int>> holding(options.threads);
+  // Per-client state: slots currently held (by node).
+  std::vector<std::vector<int>> holding(clients);
   std::deque<int> waiting;  // Thread ids blocked on slot availability.
   // Issue time per in-flight query (queue wait + service = latency).
-  std::vector<int64_t> issued_at(static_cast<size_t>(options.threads), 0);
+  std::vector<int64_t> issued_at(static_cast<size_t>(clients), 0);
 
   obs::Counter* completed_metric = nullptr;
   obs::Histogram* latency_metric = nullptr;
@@ -166,7 +170,7 @@ ThroughputSim::RunResult ThroughputSim::Run(const Options& options) {
     }
   };
 
-  for (int thread = 0; thread < options.threads; ++thread) issue(thread, 0);
+  for (int client = 0; client < clients; ++client) issue(client, 0);
 
   while (!events.empty()) {
     Event ev = events.top();

@@ -1,9 +1,14 @@
 // Unit tests for the common runtime: Status/Result, hashing, codec, SIDs,
-// JSON, RNG, clocks.
+// JSON, RNG, clocks, thread pool.
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <future>
 #include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "common/clock.h"
 #include "common/codec.h"
@@ -13,6 +18,8 @@
 #include "common/result.h"
 #include "common/sid.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace eon {
 namespace {
@@ -304,6 +311,90 @@ TEST(SliceTest, CompareAndPrefix) {
   Slice s("hello");
   s.remove_prefix(2);
   EXPECT_EQ(s.ToString(), "llo");
+}
+
+TEST(ThreadPoolTest, WidthMatchesOptions) {
+  ThreadPool::Options opts;
+  opts.num_threads = 4;
+  ThreadPool pool(opts);
+  EXPECT_EQ(pool.width(), 4);
+}
+
+TEST(ThreadPoolTest, Width1RunsInline) {
+  ThreadPool::Options opts;
+  opts.num_threads = 1;
+  ThreadPool pool(opts);
+  EXPECT_EQ(pool.width(), 1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id seen;
+  pool.Submit([&] { seen = std::this_thread::get_id(); }).get();
+  EXPECT_EQ(seen, caller);
+  seen = std::thread::id();
+  pool.ParallelFor(3, [&](size_t) { seen = std::this_thread::get_id(); });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ThreadPoolTest, SubmitRunsEveryTask) {
+  ThreadPool::Options opts;
+  opts.num_threads = 4;
+  ThreadPool pool(opts);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&] { ran.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesException) {
+  ThreadPool::Options opts;
+  opts.num_threads = 2;
+  ThreadPool pool(opts);
+  std::future<void> f =
+      pool.Submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool::Options opts;
+  opts.num_threads = 4;
+  ThreadPool pool(opts);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, CurrentSlotStaysInRange) {
+  ThreadPool::Options opts;
+  opts.num_threads = 4;
+  ThreadPool pool(opts);
+  std::atomic<bool> bad{false};
+  pool.ParallelFor(64, [&](size_t) {
+    const int slot = pool.CurrentSlot();
+    if (slot < 0 || slot >= pool.width()) bad.store(true);
+  });
+  EXPECT_FALSE(bad.load());
+  // Off-pool threads (e.g. the ParallelFor caller) map to the last lane.
+  EXPECT_EQ(pool.CurrentSlot(), pool.width() - 1);
+}
+
+TEST(ThreadPoolTest, ExportsPoolMetrics) {
+  obs::MetricsRegistry registry;
+  ThreadPool::Options opts;
+  opts.num_threads = 3;
+  opts.metrics_name = "test-pool";
+  opts.registry = &registry;
+  ThreadPool pool(opts);
+  const obs::LabelSet labels({{"pool", "test-pool"}});
+  EXPECT_EQ(registry.GetGauge("eon_pool_threads", labels)->Value(), 3);
+  std::atomic<int> ran{0};
+  pool.ParallelFor(10, [&](size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 10);
+  EXPECT_GT(registry.GetCounter("eon_pool_tasks_total", labels)->Value(), 0u);
+  EXPECT_GT(registry.GetHistogram("eon_pool_task_micros", labels)->Count(),
+            0u);
 }
 
 }  // namespace

@@ -14,7 +14,7 @@ ThroughputSim::Options Base() {
   o.num_shards = 3;
   o.slots_per_node = 4;
   o.k_safety = 2;
-  o.threads = 10;
+  o.clients = 10;
   o.service_micros = 100000;
   o.duration_micros = 60LL * 1000 * 1000;
   return o;
@@ -30,7 +30,7 @@ TEST(ThroughputSimTest, CapacityBoundRespected) {
   // 3 nodes × 4 slots / 3 slots-per-query = 4 concurrent queries max;
   // at 100 ms service → ~2400/min upper bound.
   auto o = Base();
-  o.threads = 64;
+  o.clients = 64;
   auto r = ThroughputSim::Run(o);
   EXPECT_LE(r.per_minute, 2400 * 1.12);  // Allow jitter slack.
   EXPECT_GE(r.per_minute, 2400 * 0.80);
@@ -39,7 +39,7 @@ TEST(ThroughputSimTest, CapacityBoundRespected) {
 TEST(ThroughputSimTest, LinearScaleOutWithNodes) {
   // Eon's elastic throughput scaling: S=3 shards fixed, nodes 3→6→9.
   auto o = Base();
-  o.threads = 64;
+  o.clients = 64;
   double base = 0;
   for (int nodes : {3, 6, 9}) {
     o.num_nodes = nodes;
@@ -54,13 +54,13 @@ TEST(ThroughputSimTest, LinearScaleOutWithNodes) {
   }
 }
 
-TEST(ThroughputSimTest, ThroughputSaturatesWithThreads) {
+TEST(ThroughputSimTest, ThroughputSaturatesWithClients) {
   auto o = Base();
   double at_capacity = 0;
-  for (int threads : {1, 4, 16, 64}) {
-    o.threads = threads;
+  for (int num_clients : {1, 4, 16, 64}) {
+    o.clients = num_clients;
     auto r = ThroughputSim::Run(o);
-    if (threads >= 16) {
+    if (num_clients >= 16) {
       if (at_capacity == 0) {
         at_capacity = r.per_minute;
       } else {
@@ -75,7 +75,7 @@ TEST(ThroughputSimTest, EnterpriseDoesNotScaleWithNodes) {
   // nodes does not increase concurrent-query capacity.
   auto o = Base();
   o.enterprise = true;
-  o.threads = 64;
+  o.clients = 64;
   o.num_nodes = o.num_shards = 3;
   double three = ThroughputSim::Run(o).per_minute;
   o.num_nodes = o.num_shards = 9;
@@ -87,7 +87,7 @@ TEST(ThroughputSimTest, EonNodeDownDegradesSmoothly) {
   // 4 nodes, 3 shards: killing 1 node costs ~1/4 of capacity, not half.
   auto o = Base();
   o.num_nodes = 4;
-  o.threads = 32;
+  o.clients = 32;
   o.duration_micros = 120LL * 1000 * 1000;
   o.bucket_micros = 30LL * 1000 * 1000;
   auto healthy = ThroughputSim::Run(o);
@@ -108,7 +108,7 @@ TEST(ThroughputSimTest, EnterpriseNodeDownIsWorse) {
   // fallback concentrates the dead node's region on one neighbor.
   auto eon = Base();
   eon.num_nodes = 4;
-  eon.threads = 32;
+  eon.clients = 32;
   eon.duration_micros = 120LL * 1000 * 1000;
   eon.bucket_micros = 30LL * 1000 * 1000;
   eon.kill_events = {{kill_at, 0}};
@@ -129,7 +129,7 @@ TEST(ThroughputSimTest, EnterpriseNodeDownIsWorse) {
 TEST(ThroughputSimTest, FailoverBlackoutShowsDip) {
   auto o = Base();
   o.num_nodes = 4;
-  o.threads = 16;
+  o.clients = 16;
   o.duration_micros = 90LL * 1000 * 1000;
   o.bucket_micros = 10LL * 1000 * 1000;
   o.kill_events = {{30LL * 1000 * 1000, 1}};
@@ -144,7 +144,7 @@ TEST(ThroughputSimTest, FailoverBlackoutShowsDip) {
 TEST(ThroughputSimTest, RestartRestoresCapacity) {
   auto o = Base();
   o.num_nodes = 4;
-  o.threads = 32;
+  o.clients = 32;
   o.duration_micros = 180LL * 1000 * 1000;
   o.bucket_micros = 30LL * 1000 * 1000;
   o.kill_events = {{60LL * 1000 * 1000, 0}};
