@@ -1,0 +1,260 @@
+// Micro-benchmark: late materialization in the ROS scan pipeline.
+//
+// Sweeps predicate selectivity (100%, 10%, 1%, 0.01%) over one predicate
+// column per encoding, with a high-cardinality string payload column as
+// the output. Each cell runs ScanRosContainer twice — eager (block_eval,
+// late_mat off) vs late-materialized (encoded predicate eval + selective
+// decode) — over a MemObjectStore through a DirectFetcher, so the
+// measurement isolates decode CPU: no cache, no simulated store latency.
+//
+// Expected shape: on RLE and dictionary columns the predicate is decided
+// once per run / once per dictionary entry, and the payload column only
+// materializes survivors, so values_decoded collapses and wall time
+// follows at low selectivity. Plain falls back to a decoded predicate
+// column (selective decode still skips payload materialization); delta is
+// sorted, so block min/max pruning removes most blocks in BOTH modes at
+// low selectivity — reported honestly rather than tuned away. Emits
+// BENCH_late_mat.json plus a metrics-snapshot sidecar.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "columnar/ros.h"
+#include "storage/object_store.h"
+
+namespace eon {
+namespace {
+
+constexpr size_t kRows = 1 << 18;  // 64 blocks of 4096.
+constexpr uint64_t kRowsPerBlock = 4096;
+constexpr int kRepeats = 7;
+constexpr double kSelectivities[] = {1.0, 0.1, 0.01, 0.0001};
+
+std::string PayloadFor(size_t i) {
+  return "payload-" + std::to_string(i * 2654435761ULL % 1000000007ULL);
+}
+
+struct Dataset {
+  std::string name;       // Target encoding of the predicate column.
+  Schema schema;
+  std::vector<Row> rows;
+  // Predicate col0 < CutValue(sel) selects ~sel of the rows.
+  int64_t domain = 0;     // Int datasets: col0 values lie in [0, domain).
+  bool string_key = false;
+};
+
+// Zero-padded so lexicographic order equals numeric order.
+std::string DictKey(int64_t id) {
+  char buf[16];
+  snprintf(buf, sizeof(buf), "k%06lld", static_cast<long long>(id));
+  return buf;
+}
+
+Dataset MakeDataset(const std::string& name) {
+  Dataset d;
+  d.name = name;
+  d.schema = Schema({{"key", name == "dict" ? DataType::kString
+                                            : DataType::kInt64},
+                     {"payload", DataType::kString}});
+  d.rows.reserve(kRows);
+  for (size_t i = 0; i < kRows; ++i) {
+    Value key;
+    if (name == "rle") {
+      // Runs of 64; run values permuted over [0, 10000) so block min/max
+      // never isolates the selected range (no pruning shortcut).
+      d.domain = 10000;
+      key = Value::Int(static_cast<int64_t>(i / 64 * 7919 % 10000));
+    } else if (name == "dict") {
+      // 256 distinct strings in scattered order — low-cardinality enough
+      // for the per-block heuristic (distinct <= sampled/4) to pick dict.
+      d.domain = 256;
+      d.string_key = true;
+      key = Value::Str(DictKey(static_cast<int64_t>(i * 2654435761ULL % 256)));
+    } else if (name == "delta") {
+      // Sorted: picks delta-varint; tight block ranges mean min/max
+      // pruning helps both modes at low selectivity.
+      d.domain = static_cast<int64_t>(kRows);
+      key = Value::Int(static_cast<int64_t>(i));
+    } else {  // plain: high-cardinality, unsorted, runless.
+      d.domain = 1000000;
+      key = Value::Int(static_cast<int64_t>(i * 2654435761ULL % 1000000));
+    }
+    d.rows.push_back(Row{std::move(key), Value::Str(PayloadFor(i))});
+  }
+  return d;
+}
+
+PredicatePtr CutPredicate(const Dataset& d, double sel) {
+  // col0 < cut. For tiny selectivities keep at least one match-capable
+  // cut value; actual selected-row counts are reported in the output.
+  const int64_t cut = std::max<int64_t>(
+      1, static_cast<int64_t>(static_cast<double>(d.domain) * sel));
+  if (d.string_key) {
+    return Predicate::Cmp(0, CmpOp::kLt, Value::Str(DictKey(cut)));
+  }
+  return Predicate::Cmp(0, CmpOp::kLt, Value::Int(cut));
+}
+
+struct ModeRun {
+  int64_t wall_micros = 0;
+  uint64_t rows_output = 0;
+  uint64_t values_decoded = 0;
+  uint64_t files_skipped = 0;
+  uint64_t blocks_pruned = 0;
+};
+
+bool RunMode(const Dataset& d, FileFetcher* fetcher, const PredicatePtr& pred,
+             bool late_mat, ModeRun* out) {
+  RosScanOptions scan;
+  scan.output_columns = {1};  // Payload only: predicate column is phase-1.
+  scan.predicate = pred;
+  scan.block_eval = true;
+  scan.late_mat = late_mat;
+
+  // Best of kRepeats by wall time (single-run stats are deterministic).
+  for (int r = 0; r < kRepeats; ++r) {
+    RosScanStats st;
+    const int64_t wall0 = bench::WallMicros();
+    auto rows = ScanRosContainer(d.schema, "bench/" + d.name, fetcher, scan,
+                                 &st);
+    const int64_t wall = bench::WallMicros() - wall0;
+    if (!rows.ok()) {
+      fprintf(stderr, "scan failed (%s): %s\n", d.name.c_str(),
+              rows.status().ToString().c_str());
+      return false;
+    }
+    if (r == 0 || wall < out->wall_micros) out->wall_micros = wall;
+    out->rows_output = st.rows_output;
+    out->values_decoded = st.values_decoded;
+    out->files_skipped = st.files_skipped;
+    out->blocks_pruned = st.blocks_pruned;
+  }
+  return true;
+}
+
+}  // namespace
+}  // namespace eon
+
+int main() {
+  using namespace eon;
+
+  printf("# Late materialization: eager vs encoded-eval + selective decode\n");
+  printf("# %zu rows/container, %llu rows/block, payload = high-card string\n",
+         kRows, static_cast<unsigned long long>(kRowsPerBlock));
+  printf("%7s %6s %9s %8s %13s %13s %8s %8s\n", "enc", "sel%", "rows_out",
+         "pruned", "eager_dec", "late_dec", "dec_x", "speedup");
+
+  JsonValue cases = JsonValue::Array();
+  double rle_dec_ratio_1pct = 0, rle_speedup_1pct = 0;
+  double dict_dec_ratio_1pct = 0, dict_speedup_1pct = 0;
+  double worst_full_sel_ratio = 0;  // late/eager wall at 100% selectivity.
+
+  for (const std::string& name : {std::string("rle"), std::string("dict"),
+                                  std::string("plain"),
+                                  std::string("delta")}) {
+    const Dataset d = MakeDataset(name);
+    RosWriteOptions wopts;
+    wopts.rows_per_block = kRowsPerBlock;
+    auto built =
+        RosContainerWriter::Build(d.schema, d.rows, "bench/" + name, wopts);
+    if (!built.ok()) {
+      fprintf(stderr, "build failed: %s\n", built.status().ToString().c_str());
+      return 1;
+    }
+    MemObjectStore store;
+    for (const RosColumnFile& f : built->files) {
+      if (!store.Put(f.key, f.data).ok()) return 1;
+    }
+    DirectFetcher fetcher(&store);
+
+    for (double sel : kSelectivities) {
+      const PredicatePtr pred = CutPredicate(d, sel);
+      ModeRun eager, late;
+      if (!RunMode(d, &fetcher, pred, /*late_mat=*/false, &eager)) return 1;
+      if (!RunMode(d, &fetcher, pred, /*late_mat=*/true, &late)) return 1;
+      if (late.rows_output != eager.rows_output) {
+        fprintf(stderr, "MODE MISMATCH: %s sel=%g eager=%llu late=%llu\n",
+                name.c_str(), sel,
+                static_cast<unsigned long long>(eager.rows_output),
+                static_cast<unsigned long long>(late.rows_output));
+        return 1;
+      }
+
+      const double dec_ratio =
+          late.values_decoded > 0
+              ? static_cast<double>(eager.values_decoded) /
+                    static_cast<double>(late.values_decoded)
+              : 0.0;
+      const double speedup =
+          late.wall_micros > 0 ? static_cast<double>(eager.wall_micros) /
+                                     static_cast<double>(late.wall_micros)
+                               : 0.0;
+      if (name == "rle" && sel == 0.01) {
+        rle_dec_ratio_1pct = dec_ratio;
+        rle_speedup_1pct = speedup;
+      }
+      if (name == "dict" && sel == 0.01) {
+        dict_dec_ratio_1pct = dec_ratio;
+        dict_speedup_1pct = speedup;
+      }
+      if (sel == 1.0 && speedup > 0) {
+        worst_full_sel_ratio = std::max(worst_full_sel_ratio, 1.0 / speedup);
+      }
+
+      printf("%7s %6.2f %9llu %8llu %13llu %13llu %7.1fx %7.2fx\n",
+             name.c_str(), sel * 100,
+             static_cast<unsigned long long>(late.rows_output),
+             static_cast<unsigned long long>(late.blocks_pruned),
+             static_cast<unsigned long long>(eager.values_decoded),
+             static_cast<unsigned long long>(late.values_decoded), dec_ratio,
+             speedup);
+
+      JsonValue e = JsonValue::Object();
+      e.Set("encoding", JsonValue::Str(name));
+      e.Set("selectivity_target", JsonValue::Double(sel));
+      e.Set("rows_output",
+            JsonValue::Int(static_cast<int64_t>(late.rows_output)));
+      e.Set("blocks_pruned",
+            JsonValue::Int(static_cast<int64_t>(late.blocks_pruned)));
+      e.Set("eager_wall_micros", JsonValue::Int(eager.wall_micros));
+      e.Set("late_wall_micros", JsonValue::Int(late.wall_micros));
+      e.Set("eager_values_decoded",
+            JsonValue::Int(static_cast<int64_t>(eager.values_decoded)));
+      e.Set("late_values_decoded",
+            JsonValue::Int(static_cast<int64_t>(late.values_decoded)));
+      e.Set("late_files_skipped",
+            JsonValue::Int(static_cast<int64_t>(late.files_skipped)));
+      e.Set("values_decoded_ratio", JsonValue::Double(dec_ratio));
+      e.Set("speedup", JsonValue::Double(speedup));
+      cases.Append(std::move(e));
+    }
+  }
+
+  JsonValue out = JsonValue::Object();
+  out.Set("bench", JsonValue::Str("late_mat"));
+  out.Set("rows_per_container", JsonValue::Int(static_cast<int64_t>(kRows)));
+  out.Set("rows_per_block", JsonValue::Int(static_cast<int64_t>(kRowsPerBlock)));
+  out.Set("cases", std::move(cases));
+
+  FILE* fp = fopen("BENCH_late_mat.json", "w");
+  if (fp != nullptr) {
+    const std::string text = out.Dump();
+    fwrite(text.data(), 1, text.size(), fp);
+    fclose(fp);
+    fprintf(stderr, "wrote BENCH_late_mat.json\n");
+  }
+  bench::DumpMetricsSnapshot("BENCH_late_mat");
+
+  printf("# shape check at 1%% selectivity: rle %.1fx fewer values decoded "
+         "(%.2fx faster), dict %.1fx (%.2fx); worst 100%%-selectivity "
+         "overhead %.1f%%\n",
+         rle_dec_ratio_1pct, rle_speedup_1pct, dict_dec_ratio_1pct,
+         dict_speedup_1pct, (worst_full_sel_ratio - 1.0) * 100);
+  const bool ok = rle_dec_ratio_1pct >= 5.0 && dict_dec_ratio_1pct >= 5.0 &&
+                  rle_speedup_1pct >= 1.5 && dict_speedup_1pct >= 1.5 &&
+                  worst_full_sel_ratio <= 1.05;
+  return ok ? 0 : 2;
+}

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Build the concurrency-sensitive tests under ThreadSanitizer and run
-# everything labeled `race` (see tests/CMakeLists.txt). Uses a separate
-# build directory so the normal build/ stays sanitizer-free.
+# everything labeled `race` (see tests/CMakeLists.txt). This covers the
+# parallel differential suite, including the scan-mode matrix (row-wise /
+# block-eval / late-mat × crunch × pool width), so encoded predicate
+# evaluation and selective decode run under TSan at every width. Uses a
+# separate build directory so the normal build/ stays sanitizer-free.
 #
 #   scripts/tsan.sh            # configure + build + run
 #   BUILD_DIR=out scripts/tsan.sh

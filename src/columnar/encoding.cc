@@ -1,5 +1,6 @@
 #include "columnar/encoding.h"
 
+#include <algorithm>
 #include <map>
 
 #include "columnar/value_codec.h"
@@ -130,7 +131,186 @@ Status DecodeDelta(Slice* in, uint64_t count, std::vector<Value>* out) {
   return Status::OK();
 }
 
+Status DecodePlainSelected(Slice* in, DataType type, uint64_t count,
+                           const uint8_t* sel, std::vector<Value>* out,
+                           uint64_t* decoded) {
+  for (uint64_t i = 0; i < count; ++i) {
+    if (sel != nullptr && !sel[i]) {
+      EON_RETURN_IF_ERROR(SkipValue(in, type));
+      continue;
+    }
+    Value v;
+    EON_RETURN_IF_ERROR(GetValue(in, type, &v));
+    out->push_back(std::move(v));
+    ++*decoded;
+  }
+  return Status::OK();
+}
+
+Status DecodeRleSelected(Slice* in, DataType type, uint64_t count,
+                         const uint8_t* sel, std::vector<Value>* out,
+                         uint64_t* decoded) {
+  uint64_t produced = 0;
+  while (produced < count) {
+    uint64_t run;
+    EON_RETURN_IF_ERROR(GetVarint64(in, &run));
+    if (run == 0 || produced + run > count) {
+      return Status::Corruption("RLE run overflow");
+    }
+    Value v;
+    EON_RETURN_IF_ERROR(GetValue(in, type, &v));
+    ++*decoded;  // One parse per run, however long the run is.
+    for (uint64_t k = 0; k < run; ++k) {
+      if (sel == nullptr || sel[produced + k]) {
+        out->push_back(v);
+        ++*decoded;
+      }
+    }
+    produced += run;
+  }
+  return Status::OK();
+}
+
+Status DecodeDictSelected(Slice* in, DataType type, uint64_t count,
+                          const uint8_t* sel, std::vector<Value>* out,
+                          uint64_t* decoded) {
+  uint64_t dict_size;
+  EON_RETURN_IF_ERROR(GetVarint64(in, &dict_size));
+  std::vector<Value> entries;
+  entries.reserve(dict_size);
+  for (uint64_t i = 0; i < dict_size; ++i) {
+    Value v;
+    EON_RETURN_IF_ERROR(GetValue(in, type, &v));
+    entries.push_back(std::move(v));
+    ++*decoded;
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t code;
+    EON_RETURN_IF_ERROR(GetVarint32(in, &code));
+    if (sel != nullptr && !sel[i]) continue;
+    if (code == 0) {
+      out->push_back(Value::Null(type));
+    } else if (code <= entries.size()) {
+      out->push_back(entries[code - 1]);
+    } else {
+      return Status::Corruption("dictionary code out of range");
+    }
+    ++*decoded;
+  }
+  return Status::OK();
+}
+
+Status DecodeDeltaSelected(Slice* in, uint64_t count, const uint8_t* sel,
+                           std::vector<Value>* out, uint64_t* decoded) {
+  // Deltas chain, so every varint is read; only selected rows materialize.
+  int64_t prev = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    int64_t delta;
+    EON_RETURN_IF_ERROR(GetVarint64Signed(in, &delta));
+    prev += delta;
+    if (sel == nullptr || sel[i]) {
+      out->push_back(Value::Int(prev));
+      ++*decoded;
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
+
+Result<ChunkView> ParseChunk(Slice chunk) {
+  if (chunk.empty()) return Status::Corruption("empty chunk");
+  const uint8_t enc_byte = static_cast<uint8_t>(chunk[0]);
+  chunk.remove_prefix(1);
+  if (enc_byte > static_cast<uint8_t>(Encoding::kDeltaVarint)) {
+    return Status::Corruption("unknown encoding byte");
+  }
+  ChunkView view;
+  view.encoding = static_cast<Encoding>(enc_byte);
+  EON_RETURN_IF_ERROR(GetVarint64(&chunk, &view.count));
+  view.payload = chunk;
+  return view;
+}
+
+Status DecodeChunkSelected(const ChunkView& chunk, DataType type,
+                           const uint8_t* sel, std::vector<Value>* out,
+                           uint64_t* values_decoded) {
+  uint64_t decoded = 0;
+  if (sel == nullptr) out->reserve(out->size() + chunk.count);
+  Slice in = chunk.payload;
+  Status s;
+  switch (chunk.encoding) {
+    case Encoding::kPlain:
+      s = DecodePlainSelected(&in, type, chunk.count, sel, out, &decoded);
+      break;
+    case Encoding::kRle:
+      s = DecodeRleSelected(&in, type, chunk.count, sel, out, &decoded);
+      break;
+    case Encoding::kDict:
+      s = DecodeDictSelected(&in, type, chunk.count, sel, out, &decoded);
+      break;
+    case Encoding::kDeltaVarint:
+      s = DecodeDeltaSelected(&in, chunk.count, sel, out, &decoded);
+      break;
+  }
+  if (values_decoded != nullptr) *values_decoded += decoded;
+  return s;
+}
+
+Result<bool> EvalChunkCmp(const ChunkView& chunk, DataType type, CmpOp op,
+                          const Value& literal, uint8_t* sel,
+                          uint64_t* values_evaluated) {
+  Slice in = chunk.payload;
+  uint64_t evals = 0;
+  switch (chunk.encoding) {
+    case Encoding::kRle: {
+      // One comparison per run; the verdict fans across the run length.
+      uint64_t produced = 0;
+      while (produced < chunk.count) {
+        uint64_t run;
+        EON_RETURN_IF_ERROR(GetVarint64(&in, &run));
+        if (run == 0 || produced + run > chunk.count) {
+          return Status::Corruption("RLE run overflow");
+        }
+        Value v;
+        EON_RETURN_IF_ERROR(GetValue(&in, type, &v));
+        const uint8_t verdict = CmpMatches(v, op, literal) ? 1 : 0;
+        ++evals;
+        std::fill(sel + produced, sel + produced + run, verdict);
+        produced += run;
+      }
+      if (values_evaluated != nullptr) *values_evaluated += evals;
+      return true;
+    }
+    case Encoding::kDict: {
+      // One comparison per distinct entry, translated into a code-set and
+      // applied to the code stream. Code 0 (NULL) never matches.
+      uint64_t dict_size;
+      EON_RETURN_IF_ERROR(GetVarint64(&in, &dict_size));
+      std::vector<uint8_t> match(dict_size + 1, 0);
+      for (uint64_t k = 0; k < dict_size; ++k) {
+        Value v;
+        EON_RETURN_IF_ERROR(GetValue(&in, type, &v));
+        match[k + 1] = CmpMatches(v, op, literal) ? 1 : 0;
+        ++evals;
+      }
+      for (uint64_t i = 0; i < chunk.count; ++i) {
+        uint32_t code;
+        EON_RETURN_IF_ERROR(GetVarint32(&in, &code));
+        if (code > dict_size) {
+          return Status::Corruption("dictionary code out of range");
+        }
+        sel[i] = match[code];
+      }
+      if (values_evaluated != nullptr) *values_evaluated += evals;
+      return true;
+    }
+    case Encoding::kPlain:
+    case Encoding::kDeltaVarint:
+      return false;  // No encoded-eval path; caller decodes.
+  }
+  return Status::Corruption("unknown encoding");
+}
 
 Result<std::string> EncodeChunk(const std::vector<Value>& values,
                                 DataType type, Encoding encoding) {
@@ -181,30 +361,70 @@ Status DecodeChunk(Slice data, DataType type, std::vector<Value>* out) {
 
 Encoding ChooseEncoding(const std::vector<Value>& values, DataType type) {
   if (values.empty()) return Encoding::kPlain;
+  const size_t n = values.size();
 
-  size_t runs = 1;
+  // Statistics cost is bounded: exact single pass up to kExactThreshold,
+  // larger chunks examine kSampleWindows evenly spaced contiguous windows.
+  // Windows (not stride-picked elements) because run length and sortedness
+  // are adjacency properties — they need consecutive pairs.
+  constexpr size_t kExactThreshold = 2048;
+  constexpr size_t kSampleWindows = 16;
+  constexpr size_t kWindowSize = kExactThreshold / kSampleWindows;
+
+  size_t breaks = 0;    // Adjacent pairs whose values differ.
+  size_t pairs = 0;     // Adjacent pairs examined.
+  size_t examined = 0;  // Total values examined.
   bool sorted = true;
   bool has_null = false;
   std::map<Value, int> distinct;
-  const size_t kDistinctCap = values.size() / 4 + 2;
+  const size_t kDistinctCap = std::min(n, kExactThreshold) / 4 + 2;
   bool low_cardinality = true;
-  for (size_t i = 0; i < values.size(); ++i) {
-    if (values[i].is_null()) has_null = true;
-    if (i > 0) {
-      if (values[i] != values[i - 1]) ++runs;
-      if (values[i].Compare(values[i - 1]) < 0) sorted = false;
+
+  auto scan_window = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      if (values[i].is_null()) has_null = true;
+      if (i > begin) {
+        ++pairs;
+        if (values[i] != values[i - 1]) ++breaks;
+        if (values[i].Compare(values[i - 1]) < 0) sorted = false;
+      }
+      ++examined;
+      if (low_cardinality) {
+        distinct[values[i]]++;
+        if (distinct.size() > kDistinctCap) low_cardinality = false;
+      }
     }
-    if (low_cardinality) {
-      distinct[values[i]]++;
-      if (distinct.size() > kDistinctCap) low_cardinality = false;
+  };
+
+  if (n <= kExactThreshold) {
+    scan_window(0, n);
+  } else {
+    size_t prev_end = 0;
+    for (size_t w = 0; w < kSampleWindows; ++w) {
+      const size_t begin = w * (n - kWindowSize) / (kSampleWindows - 1);
+      // Cross-window ordering still informs sortedness (a gap pair is not
+      // adjacent, so it does not count toward the run estimate).
+      if (w > 0 && values[begin].Compare(values[prev_end - 1]) < 0) {
+        sorted = false;
+      }
+      scan_window(begin, begin + kWindowSize);
+      prev_end = begin + kWindowSize;
     }
   }
+
+  // Estimated run count for the full chunk from the sampled break rate;
+  // exact when every pair was examined.
+  const size_t est_runs =
+      pairs == 0 ? n : 1 + breaks * (n - 1) / pairs;
+
   // Long runs → RLE dominates everything.
-  if (runs <= values.size() / 8 + 1) return Encoding::kRle;
+  if (est_runs <= n / 8 + 1) return Encoding::kRle;
+  // The sample can miss a null; EncodeChunk then rejects delta and the
+  // writer falls back to kPlain.
   if (type == DataType::kInt64 && !has_null && sorted) {
     return Encoding::kDeltaVarint;
   }
-  if (low_cardinality && distinct.size() <= values.size() / 4 + 1) {
+  if (low_cardinality && distinct.size() <= examined / 4 + 1) {
     return Encoding::kDict;
   }
   return Encoding::kPlain;

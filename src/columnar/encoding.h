@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "columnar/expression.h"
 #include "columnar/types.h"
 #include "common/result.h"
 #include "common/slice.h"
@@ -33,8 +34,45 @@ Result<std::string> EncodeChunk(const std::vector<Value>& values,
 /// Decode a chunk produced by EncodeChunk. Appends to `out`.
 Status DecodeChunk(Slice data, DataType type, std::vector<Value>* out);
 
+/// Parsed header of an encoded chunk: the encoding tag and row count, with
+/// `payload` positioned at the start of the encoding-specific body. Lets
+/// the scan inspect a block's representation without decoding it.
+struct ChunkView {
+  Encoding encoding = Encoding::kPlain;
+  uint64_t count = 0;
+  Slice payload;
+};
+Result<ChunkView> ParseChunk(Slice chunk);
+
+/// Selective decode (late materialization): append to `out` only the rows
+/// with sel[i] != 0, densely, preserving block order. `sel` must cover
+/// `chunk.count` rows; nullptr selects everything. Skipped rows are parsed
+/// past (SkipValue — no string allocation) rather than materialized; RLE
+/// materializes only the selected copies of each run. `values_decoded`
+/// (optional) accumulates the number of Values parsed or materialized —
+/// the scan's measure of decode work.
+Status DecodeChunkSelected(const ChunkView& chunk, DataType type,
+                           const uint8_t* sel, std::vector<Value>* out,
+                           uint64_t* values_decoded = nullptr);
+
+/// Encoded predicate evaluation: fill sel[0..chunk.count) with the
+/// verdicts of `value <op> literal`, evaluating the comparison once per
+/// RLE run (verdict fanned across the run length) or once per dictionary
+/// entry (translated through the code stream; code 0 = NULL never
+/// matches). Returns false — sel untouched — for encodings without an
+/// encoded-eval path (plain, delta); the caller decodes and evaluates
+/// value-wise instead. `values_evaluated` (optional) accumulates the
+/// number of comparisons performed.
+Result<bool> EvalChunkCmp(const ChunkView& chunk, DataType type, CmpOp op,
+                          const Value& literal, uint8_t* sel,
+                          uint64_t* values_evaluated = nullptr);
+
 /// Heuristic auto-selection: delta for sorted non-null ints, RLE for long
-/// runs, dictionary for low cardinality, otherwise plain.
+/// runs, dictionary for low cardinality, otherwise plain. Chunks larger
+/// than an exact-scan threshold are sampled (evenly spaced contiguous
+/// windows) so write-time statistics cost is bounded per chunk; the
+/// writer falls back to kPlain if a sampled choice proves inadmissible
+/// (e.g. delta over a null the sample missed).
 Encoding ChooseEncoding(const std::vector<Value>& values, DataType type);
 
 }  // namespace eon

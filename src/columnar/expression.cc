@@ -18,21 +18,12 @@ inline bool CmpHolds(CmpOp op, int c) {
   return false;
 }
 
-/// One comparison over a whole block. The block is homogeneously typed
-/// (it is a schema column), so the type dispatch is hoisted out of the
-/// row loop; the typed accessors CHECK on type confusion exactly like
-/// Value::Compare does on the row path.
-void EvalCmpBlock(const Predicate& p,
-                  const std::vector<const std::vector<Value>*>& columns,
-                  size_t row_count, uint8_t* sel) {
-  const size_t col = p.col_index();
-  const Value& lit = p.literal();
-  if (col >= columns.size() || columns[col] == nullptr || lit.is_null()) {
-    std::fill(sel, sel + row_count, uint8_t{0});
-    return;
-  }
-  const std::vector<Value>& v = *columns[col];
-  const CmpOp op = p.op();
+/// One comparison over a block of decoded values. The block is
+/// homogeneously typed (it is a schema column), so the type dispatch is
+/// hoisted out of the row loop; the typed accessors CHECK on type
+/// confusion exactly like Value::Compare does on the row path.
+void EvalCmpValues(const std::vector<Value>& v, CmpOp op, const Value& lit,
+                   size_t row_count, uint8_t* sel) {
   switch (lit.type()) {
     case DataType::kInt64: {
       const int64_t x = lit.int_value();
@@ -74,6 +65,20 @@ void EvalCmpBlock(const Predicate& p,
   std::fill(sel, sel + row_count, uint8_t{0});
 }
 
+/// Comparison leaf of EvalBlock: missing (never-materialized) columns and
+/// NULL literals fail every row, everything else runs the typed loop.
+void EvalCmpBlock(const Predicate& p,
+                  const std::vector<const std::vector<Value>*>& columns,
+                  size_t row_count, uint8_t* sel) {
+  const size_t col = p.col_index();
+  const Value& lit = p.literal();
+  if (col >= columns.size() || columns[col] == nullptr || lit.is_null()) {
+    std::fill(sel, sel + row_count, uint8_t{0});
+    return;
+  }
+  EvalCmpValues(*columns[col], p.op(), lit, row_count, sel);
+}
+
 void EvalBlockInto(const Predicate& p,
                    const std::vector<const std::vector<Value>*>& columns,
                    size_t row_count, uint8_t* sel) {
@@ -106,7 +111,58 @@ void EvalBlockInto(const Predicate& p,
   std::fill(sel, sel + row_count, uint8_t{0});
 }
 
+/// EvalBlockInto with encoded comparison leaves: structurally identical
+/// recursion, but a kCmp node is answered by the EncodedBlockSource when
+/// the column's encoding supports it, decoding only as a fallback.
+void EvalBlockEncodedInto(const Predicate& p, EncodedBlockSource* src,
+                          size_t row_count, uint8_t* sel) {
+  switch (p.kind()) {
+    case Predicate::Kind::kTrue:
+      std::fill(sel, sel + row_count, uint8_t{1});
+      return;
+    case Predicate::Kind::kCmp: {
+      const Value& lit = p.literal();
+      if (lit.is_null()) {
+        std::fill(sel, sel + row_count, uint8_t{0});
+        return;
+      }
+      if (src->TryEvalCmpEncoded(p.col_index(), p.op(), lit, sel)) return;
+      const std::vector<Value>* decoded = src->DecodedColumn(p.col_index());
+      if (decoded == nullptr) {
+        std::fill(sel, sel + row_count, uint8_t{0});
+        return;
+      }
+      EvalCmpValues(*decoded, p.op(), lit, row_count, sel);
+      return;
+    }
+    case Predicate::Kind::kAnd: {
+      EvalBlockEncodedInto(*p.left(), src, row_count, sel);
+      SelectionVector tmp(row_count);
+      EvalBlockEncodedInto(*p.right(), src, row_count, tmp.data());
+      for (size_t i = 0; i < row_count; ++i) sel[i] &= tmp[i];
+      return;
+    }
+    case Predicate::Kind::kOr: {
+      EvalBlockEncodedInto(*p.left(), src, row_count, sel);
+      SelectionVector tmp(row_count);
+      EvalBlockEncodedInto(*p.right(), src, row_count, tmp.data());
+      for (size_t i = 0; i < row_count; ++i) sel[i] |= tmp[i];
+      return;
+    }
+    case Predicate::Kind::kNot:
+      EvalBlockEncodedInto(*p.left(), src, row_count, sel);
+      for (size_t i = 0; i < row_count; ++i) sel[i] = sel[i] ? 0 : 1;
+      return;
+  }
+  std::fill(sel, sel + row_count, uint8_t{0});
+}
+
 }  // namespace
+
+bool CmpMatches(const Value& v, CmpOp op, const Value& literal) {
+  if (v.is_null() || literal.is_null()) return false;
+  return CmpHolds(op, v.Compare(literal));
+}
 
 const char* CmpOpName(CmpOp op) {
   switch (op) {
@@ -162,21 +218,8 @@ bool Predicate::Eval(const Row& row) const {
   switch (kind_) {
     case Kind::kTrue:
       return true;
-    case Kind::kCmp: {
-      if (col_ >= row.size()) return false;
-      const Value& v = row[col_];
-      if (v.is_null() || literal_.is_null()) return false;
-      int c = v.Compare(literal_);
-      switch (op_) {
-        case CmpOp::kEq: return c == 0;
-        case CmpOp::kNe: return c != 0;
-        case CmpOp::kLt: return c < 0;
-        case CmpOp::kLe: return c <= 0;
-        case CmpOp::kGt: return c > 0;
-        case CmpOp::kGe: return c >= 0;
-      }
-      return false;
-    }
+    case Kind::kCmp:
+      return col_ < row.size() && CmpMatches(row[col_], op_, literal_);
     case Kind::kAnd:
       return left_->Eval(row) && right_->Eval(row);
     case Kind::kOr:
@@ -193,6 +236,13 @@ void Predicate::EvalBlock(
   sel->resize(row_count);
   if (row_count == 0) return;
   EvalBlockInto(*this, columns, row_count, sel->data());
+}
+
+void Predicate::EvalBlockEncoded(EncodedBlockSource* src, size_t row_count,
+                                 SelectionVector* sel) const {
+  sel->resize(row_count);
+  if (row_count == 0) return;
+  EvalBlockEncodedInto(*this, src, row_count, sel->data());
 }
 
 bool Predicate::CouldMatch(const std::vector<ValueRange>& ranges) const {

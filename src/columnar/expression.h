@@ -34,6 +34,33 @@ using PredicatePtr = std::shared_ptr<const Predicate>;
 /// AND/OR combine as simple loops the compiler can vectorize.
 using SelectionVector = std::vector<uint8_t>;
 
+/// `v <op> literal` with SQL null semantics: NULL on either side never
+/// matches. The single comparison definition shared by the row path, the
+/// block path, and the encoded (per-run / per-dictionary-entry) path.
+bool CmpMatches(const Value& v, CmpOp op, const Value& literal);
+
+/// Per-block column access for encoded predicate evaluation (late
+/// materialization). Implemented by the scan layer over one block of a ROS
+/// container: a comparison leaf is evaluated directly on the encoded
+/// representation when the encoding supports it (RLE: once per run; dict:
+/// once per dictionary entry), otherwise the implementation decodes the
+/// column (lazily, cached per block) and the leaf runs value-wise.
+class EncodedBlockSource {
+ public:
+  virtual ~EncodedBlockSource() = default;
+
+  /// Try to fill `sel` (sized to the block's row count by the caller) with
+  /// the verdicts of `column[col] <op> literal` evaluated on the encoded
+  /// block. Returns false when the column's encoding has no encoded-eval
+  /// path (plain/delta) — the caller then falls back to DecodedColumn().
+  virtual bool TryEvalCmpEncoded(size_t col, CmpOp op, const Value& literal,
+                                 uint8_t* sel) = 0;
+
+  /// Decoded values of `col` for the current block; nullptr when the
+  /// column is unavailable (treated like NULLs: fails every comparison).
+  virtual const std::vector<Value>* DecodedColumn(size_t col) = 0;
+};
+
 /// Boolean predicate tree over a projection's rows: comparisons against
 /// constants composed with AND/OR. Supports row evaluation and min/max
 /// range analysis ("could this predicate ever be true given these column
@@ -72,6 +99,15 @@ class Predicate {
   /// hoisted out of the loop.
   void EvalBlock(const std::vector<const std::vector<Value>*>& columns,
                  size_t row_count, SelectionVector* sel) const;
+
+  /// Encoding-aware block evaluation: like EvalBlock, but each comparison
+  /// leaf first asks `src` to evaluate directly on the column's encoded
+  /// representation (one verdict per RLE run fanned across the run, one
+  /// per dictionary entry translated through the code stream); only
+  /// columns whose encoding lacks that path are decoded. Produces exactly
+  /// the selection vector EvalBlock would.
+  void EvalBlockEncoded(EncodedBlockSource* src, size_t row_count,
+                        SelectionVector* sel) const;
 
   /// Conservative test: false only if no row within `ranges` can satisfy
   /// the predicate. `ranges` is indexed by projection column position;

@@ -102,7 +102,14 @@ Result<RosBuildResult> RosContainerWriter::Build(
         UpdateRange(&result.column_ranges[col], rows[r][col]);
       }
       const Encoding enc = ChooseEncoding(chunk, type);
-      EON_ASSIGN_OR_RETURN(std::string encoded, EncodeChunk(chunk, type, enc));
+      Result<std::string> encoded_r = EncodeChunk(chunk, type, enc);
+      if (!encoded_r.ok() && enc != Encoding::kPlain) {
+        // Sampled write-time stats can admit an encoding the full chunk
+        // rejects (e.g. delta over a null outside the sample windows);
+        // plain accepts anything.
+        encoded_r = EncodeChunk(chunk, type, Encoding::kPlain);
+      }
+      EON_ASSIGN_OR_RETURN(std::string encoded, std::move(encoded_r));
       PutFixed32(&encoded, Crc32c(encoded.data(), encoded.size()));
 
       BlockMeta meta;
@@ -194,7 +201,7 @@ Result<ColumnFileReader> ColumnFileReader::Open(FileRef file_data,
   return reader;
 }
 
-Status ColumnFileReader::DecodeBlock(size_t i, std::vector<Value>* out) const {
+Result<ChunkView> ColumnFileReader::BlockChunk(size_t i) const {
   if (i >= blocks_.size()) return Status::OutOfRange("block index");
   const BlockMeta& meta = blocks_[i];
   if (meta.length < 4) return Status::Corruption("block too short");
@@ -205,13 +212,287 @@ Status ColumnFileReader::DecodeBlock(size_t i, std::vector<Value>* out) const {
   if (Crc32c(block.data(), block.size()) != stored_crc) {
     return Status::Corruption("block checksum mismatch");
   }
-  const size_t before = out->size();
-  EON_RETURN_IF_ERROR(DecodeChunk(block, type_, out));
-  if (out->size() - before != meta.row_count) {
+  EON_ASSIGN_OR_RETURN(ChunkView view, ParseChunk(block));
+  if (view.count != meta.row_count) {
     return Status::Corruption("block row count mismatch");
   }
-  return Status::OK();
+  return view;
 }
+
+Status ColumnFileReader::DecodeBlock(size_t i, std::vector<Value>* out) const {
+  EON_ASSIGN_OR_RETURN(ChunkView view, BlockChunk(i));
+  out->reserve(out->size() + view.count);
+  return DecodeChunkSelected(view, type_, /*sel=*/nullptr, out);
+}
+
+Status ColumnFileReader::DecodeSelected(size_t i, const uint8_t* sel,
+                                        std::vector<Value>* out,
+                                        uint64_t* values_decoded) const {
+  EON_ASSIGN_OR_RETURN(ChunkView view, BlockChunk(i));
+  return DecodeChunkSelected(view, type_, sel, out, values_decoded);
+}
+
+const char* ScanModeName(ScanMode mode) {
+  switch (mode) {
+    case ScanMode::kRowWise: return "row_wise";
+    case ScanMode::kBlockEval: return "block_eval";
+    case ScanMode::kLateMat: return "late_mat";
+  }
+  return "?";
+}
+
+namespace {
+
+/// EncodedBlockSource over one block of the fetched predicate-column
+/// readers: comparison leaves evaluate directly on the encoded chunk (per
+/// RLE run / per dictionary entry) when possible, with a lazily decoded,
+/// per-block-cached fallback for plain and delta columns. Decode or CRC
+/// errors cannot flow through the bool interface, so the first failure is
+/// latched in status() — check it after every EvalBlockEncoded.
+class BlockPredicateSource : public EncodedBlockSource {
+ public:
+  BlockPredicateSource(const std::map<size_t, ColumnFileReader>& readers,
+                       uint64_t* values_decoded)
+      : readers_(readers), values_decoded_(values_decoded) {}
+
+  void SetBlock(size_t block, uint64_t row_count) {
+    block_ = block;
+    row_count_ = row_count;
+    chunks_.clear();
+    decoded_.clear();
+  }
+
+  bool TryEvalCmpEncoded(size_t col, CmpOp op, const Value& literal,
+                         uint8_t* sel) override {
+    auto it = status_.ok() ? readers_.find(col) : readers_.end();
+    if (it == readers_.end()) {
+      // Unfetched column (or latched error): no row matches, same as
+      // EvalBlock's missing-column rule.
+      std::fill(sel, sel + row_count_, uint8_t{0});
+      return true;
+    }
+    const ChunkView* view = Chunk(col, it->second);
+    if (view == nullptr) {
+      std::fill(sel, sel + row_count_, uint8_t{0});
+      return true;
+    }
+    Result<bool> handled = EvalChunkCmp(*view, it->second.type(), op, literal,
+                                        sel, values_decoded_);
+    if (!handled.ok()) {
+      status_ = handled.status();
+      std::fill(sel, sel + row_count_, uint8_t{0});
+      return true;
+    }
+    return handled.value();
+  }
+
+  const std::vector<Value>* DecodedColumn(size_t col) override {
+    if (!status_.ok()) return nullptr;
+    auto cached = decoded_.find(col);
+    if (cached != decoded_.end()) return &cached->second;
+    auto it = readers_.find(col);
+    if (it == readers_.end()) return nullptr;
+    std::vector<Value> values;
+    Status s = it->second.DecodeBlock(block_, &values);
+    if (!s.ok()) {
+      status_ = s;
+      return nullptr;
+    }
+    if (values_decoded_ != nullptr) *values_decoded_ += values.size();
+    return &decoded_.emplace(col, std::move(values)).first->second;
+  }
+
+  /// Fallback-decoded column of the current block, if phase 1 produced
+  /// one — lets the scan compact predicate∩output columns without paying
+  /// for a second decode.
+  const std::vector<Value>* CachedDecoded(size_t col) const {
+    auto it = decoded_.find(col);
+    return it == decoded_.end() ? nullptr : &it->second;
+  }
+
+  const Status& status() const { return status_; }
+
+ private:
+  const ChunkView* Chunk(size_t col, const ColumnFileReader& reader) {
+    auto it = chunks_.find(col);
+    if (it != chunks_.end()) return &it->second;
+    Result<ChunkView> view = reader.BlockChunk(block_);
+    if (!view.ok()) {
+      status_ = view.status();
+      return nullptr;
+    }
+    return &chunks_.emplace(col, view.value()).first->second;
+  }
+
+  const std::map<size_t, ColumnFileReader>& readers_;
+  uint64_t* values_decoded_;
+  size_t block_ = 0;
+  uint64_t row_count_ = 0;
+  std::map<size_t, ChunkView> chunks_;
+  std::map<size_t, std::vector<Value>> decoded_;
+  Status status_;
+};
+
+/// Two-phase late-materialization scan. Phase 1 fetches only the predicate
+/// columns and evaluates the predicate per block — on the encoded
+/// representation where the encoding supports it — folding the row range
+/// and tombstones into one selection vector. Phase 2 selectively decodes
+/// the output columns for surviving rows; output-only column files are
+/// fetched lazily, so a container where nothing survives never fetches
+/// them at all.
+Result<std::vector<Row>> ScanLateMaterialized(const Schema& schema,
+                                              const std::string& base_key,
+                                              FileFetcher* fetcher,
+                                              const RosScanOptions& options,
+                                              const std::set<size_t>& pred_cols,
+                                              RosScanStats* st) {
+  std::map<size_t, ColumnFileReader> readers;
+  for (size_t col : pred_cols) {
+    EON_ASSIGN_OR_RETURN(
+        FileRef data,
+        fetcher->FetchRef(RosContainerWriter::ColumnKey(base_key, col)));
+    st->files_fetched++;
+    st->bytes_fetched += data->size();
+    EON_ASSIGN_OR_RETURN(
+        ColumnFileReader reader,
+        ColumnFileReader::Open(std::move(data), schema.column(col).type));
+    readers.emplace(col, std::move(reader));
+  }
+
+  const ColumnFileReader& first = readers.begin()->second;
+  const size_t num_blocks = first.num_blocks();
+  for (const auto& [col, r] : readers) {
+    if (r.num_blocks() != num_blocks || r.row_count() != first.row_count()) {
+      return Status::Corruption("column files disagree on block layout");
+    }
+  }
+
+  // Output-only columns (not referenced by the predicate), fetched lazily
+  // on the first block with survivors.
+  const std::set<size_t> out_distinct(options.output_columns.begin(),
+                                      options.output_columns.end());
+  std::set<size_t> out_only;
+  for (size_t col : out_distinct) {
+    if (pred_cols.count(col) == 0) out_only.insert(col);
+  }
+  bool outputs_fetched = false;
+  auto ensure_outputs = [&]() -> Status {
+    if (outputs_fetched) return Status::OK();
+    outputs_fetched = true;
+    for (size_t col : out_only) {
+      EON_ASSIGN_OR_RETURN(
+          FileRef data,
+          fetcher->FetchRef(RosContainerWriter::ColumnKey(base_key, col)));
+      st->files_fetched++;
+      st->bytes_fetched += data->size();
+      EON_ASSIGN_OR_RETURN(
+          ColumnFileReader reader,
+          ColumnFileReader::Open(std::move(data), schema.column(col).type));
+      if (reader.num_blocks() != num_blocks ||
+          reader.row_count() != first.row_count()) {
+        return Status::Corruption("column files disagree on block layout");
+      }
+      readers.emplace(col, std::move(reader));
+    }
+    return Status::OK();
+  };
+
+  std::vector<Row> out;
+  BlockPredicateSource src(readers, &st->values_decoded);
+  for (size_t b = 0; b < num_blocks; ++b) {
+    const BlockMeta& bm = first.block(b);
+    st->blocks_total++;
+
+    const uint64_t block_begin = bm.first_row;
+    const uint64_t block_end = bm.first_row + bm.row_count;
+    if (block_end <= options.row_begin || block_begin >= options.row_end) {
+      st->blocks_pruned++;
+      continue;
+    }
+
+    {
+      // CouldMatch only inspects predicate-referenced columns, so
+      // predicate-only ranges prune exactly like the eager path's full
+      // range set.
+      std::vector<ValueRange> ranges(schema.num_columns());
+      for (size_t col : pred_cols) ranges[col] = readers.at(col).block(b).range;
+      if (!options.predicate->CouldMatch(ranges)) {
+        st->blocks_pruned++;
+        continue;
+      }
+    }
+
+    // Phase 1: encoded predicate evaluation, then fold the row range and
+    // tombstones into the selection vector.
+    src.SetBlock(b, bm.row_count);
+    SelectionVector sel;
+    options.predicate->EvalBlockEncoded(&src, bm.row_count, &sel);
+    EON_RETURN_IF_ERROR(src.status());
+    uint64_t selected = 0;
+    if (options.deletes == nullptr && options.row_begin <= block_begin &&
+        block_end <= options.row_end) {
+      st->rows_visited += bm.row_count;
+      for (uint64_t i = 0; i < bm.row_count; ++i) selected += sel[i] != 0;
+    } else {
+      for (uint64_t i = 0; i < bm.row_count; ++i) {
+        const uint64_t pos = block_begin + i;
+        if (pos < options.row_begin || pos >= options.row_end) {
+          sel[i] = 0;
+          continue;
+        }
+        st->rows_visited++;
+        if (options.deletes && options.deletes->IsDeleted(pos)) {
+          sel[i] = 0;
+          continue;
+        }
+        if (sel[i]) ++selected;
+      }
+    }
+    if (selected == 0) continue;
+
+    // Phase 2: selectively decode each distinct output column. All share
+    // the same selection vector, so the k-th entry of every dense vector
+    // belongs to the k-th surviving row.
+    EON_RETURN_IF_ERROR(ensure_outputs());
+    std::map<size_t, std::vector<Value>> dense;
+    for (size_t col : out_distinct) {
+      std::vector<Value> vals;
+      vals.reserve(selected);
+      const std::vector<Value>* phase1 = src.CachedDecoded(col);
+      if (phase1 != nullptr) {
+        for (uint64_t i = 0; i < bm.row_count; ++i) {
+          if (sel[i]) vals.push_back((*phase1)[i]);
+        }
+      } else {
+        EON_RETURN_IF_ERROR(readers.at(col).DecodeSelected(
+            b, sel.data(), &vals, &st->values_decoded));
+      }
+      if (vals.size() != selected) {
+        return Status::Corruption("selective decode count mismatch");
+      }
+      dense.emplace(col, std::move(vals));
+    }
+    // Output columns in output order, resolved once per block.
+    std::vector<const std::vector<Value>*> out_cols;
+    out_cols.reserve(options.output_columns.size());
+    for (size_t col : options.output_columns) {
+      out_cols.push_back(&dense.at(col));
+    }
+    for (uint64_t k = 0; k < selected; ++k) {
+      Row out_row;
+      out_row.reserve(out_cols.size());
+      for (const std::vector<Value>* values : out_cols) {
+        out_row.push_back((*values)[k]);
+      }
+      out.push_back(std::move(out_row));
+      st->rows_output++;
+    }
+  }
+  if (!outputs_fetched) st->files_skipped += out_only.size();
+  return out;
+}
+
+}  // namespace
 
 Result<std::vector<Row>> ScanRosContainer(const Schema& schema,
                                           const std::string& base_key,
@@ -221,14 +502,32 @@ Result<std::vector<Row>> ScanRosContainer(const Schema& schema,
   RosScanStats local_stats;
   RosScanStats* st = stats ? stats : &local_stats;
 
+  // Predicate input columns: taken from the caller's precomputed split
+  // when provided, otherwise collected from the predicate tree.
+  std::set<size_t> pred_cols;
+  if (options.predicate) {
+    if (!options.predicate_columns.empty()) {
+      pred_cols.insert(options.predicate_columns.begin(),
+                       options.predicate_columns.end());
+    } else {
+      options.predicate->CollectColumns(&pred_cols);
+    }
+  }
+
   // Columns we must fetch: outputs plus predicate inputs.
   std::set<size_t> needed(options.output_columns.begin(),
                           options.output_columns.end());
-  if (options.predicate) options.predicate->CollectColumns(&needed);
+  needed.insert(pred_cols.begin(), pred_cols.end());
   for (size_t col : needed) {
     if (col >= schema.num_columns()) {
       return Status::InvalidArgument("column index out of range");
     }
+  }
+
+  if (options.late_mat && options.block_eval && options.predicate != nullptr &&
+      !pred_cols.empty()) {
+    return ScanLateMaterialized(schema, base_key, fetcher, options, pred_cols,
+                                st);
   }
 
   // Fetch and open each needed column file. FetchRef pins cache-backed
@@ -285,6 +584,7 @@ Result<std::vector<Row>> ScanRosContainer(const Schema& schema,
     for (const auto& [col, r] : readers) {
       std::vector<Value> values;
       EON_RETURN_IF_ERROR(r.DecodeBlock(b, &values));
+      st->values_decoded += values.size();
       cols.emplace(col, std::move(values));
     }
 
@@ -356,26 +656,27 @@ Result<std::vector<uint64_t>> FindMatchingPositions(
 
   std::vector<uint64_t> positions;
   const ColumnFileReader& first = readers.begin()->second;
+  // Same phase-1 machinery as the late-materialization scan: the predicate
+  // evaluates on the encoded representation where possible, so DELETEs
+  // never decode more than they must.
+  BlockPredicateSource src(readers, /*values_decoded=*/nullptr);
+  SelectionVector sel;
   for (size_t b = 0; b < first.num_blocks(); ++b) {
     const BlockMeta& bm = first.block(b);
     if (predicate) {
       std::vector<ValueRange> ranges(schema.num_columns());
       for (const auto& [col, r] : readers) ranges[col] = r.block(b).range;
       if (!predicate->CouldMatch(ranges)) continue;
+      src.SetBlock(b, bm.row_count);
+      predicate->EvalBlockEncoded(&src, bm.row_count, &sel);
+      EON_RETURN_IF_ERROR(src.status());
+    } else {
+      sel.assign(bm.row_count, 1);
     }
-    std::map<size_t, std::vector<Value>> cols;
-    for (const auto& [col, r] : readers) {
-      std::vector<Value> values;
-      EON_RETURN_IF_ERROR(r.DecodeBlock(b, &values));
-      cols.emplace(col, std::move(values));
-    }
-    Row probe(schema.num_columns());
     for (uint64_t i = 0; i < bm.row_count; ++i) {
       const uint64_t pos = bm.first_row + i;
       if (deletes && deletes->IsDeleted(pos)) continue;
-      for (const auto& [col, values] : cols) probe[col] = values[i];
-      if (predicate && !predicate->Eval(probe)) continue;
-      positions.push_back(pos);
+      if (sel[i]) positions.push_back(pos);
     }
   }
   return positions;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "columnar/delete_vector.h"
+#include "columnar/encoding.h"
 #include "columnar/expression.h"
 #include "columnar/schema.h"
 #include "common/result.h"
@@ -104,9 +105,24 @@ class ColumnFileReader {
   size_t num_blocks() const { return blocks_.size(); }
   const BlockMeta& block(size_t i) const { return blocks_[i]; }
   uint64_t row_count() const { return row_count_; }
+  DataType type() const { return type_; }
 
   /// Decode block `i`, appending its values to `out`.
   Status DecodeBlock(size_t i, std::vector<Value>* out) const;
+
+  /// Selective decode (late materialization): append only the rows of
+  /// block `i` with sel[j] != 0, densely, in block order. `sel` must cover
+  /// the block's row count; nullptr selects everything. Skipped values are
+  /// parsed past, not materialized; RLE runs and dictionary codes outside
+  /// the selection are never expanded. `values_decoded` (optional)
+  /// accumulates decode work (see DecodeChunkSelected).
+  Status DecodeSelected(size_t i, const uint8_t* sel, std::vector<Value>* out,
+                        uint64_t* values_decoded = nullptr) const;
+
+  /// CRC-verify block `i` and return its parsed chunk header without
+  /// decoding any values — the entry point for encoded predicate
+  /// evaluation and selective decode.
+  Result<ChunkView> BlockChunk(size_t i) const;
 
  private:
   ColumnFileReader() = default;
@@ -134,7 +150,34 @@ struct RosScanOptions {
   /// (Predicate::EvalBlock). Off = row-at-a-time Eval, kept as the
   /// reference path for differential tests.
   bool block_eval = true;
+  /// Two-phase late-materialization scan: phase 1 fetches and evaluates
+  /// only the predicate columns (directly on the encoded representation
+  /// where the encoding supports it), phase 2 selectively decodes the
+  /// output columns for surviving rows only. Containers where no row
+  /// survives phase 1 never fetch their output-only column files.
+  /// Requires block_eval and a predicate; otherwise the eager path runs.
+  bool late_mat = true;
+  /// Optional precomputed Predicate::CollectColumns result, so per-morsel
+  /// scans skip re-walking the predicate tree. Empty = computed here.
+  /// Must equal the predicate's column set when provided.
+  std::vector<size_t> predicate_columns;
 };
+
+/// The three scan pipelines, ordered from reference to fastest. Modes are
+/// observationally identical — differential tests compare them bit for bit.
+enum class ScanMode {
+  kRowWise,    ///< Row-at-a-time Predicate::Eval; the oracle.
+  kBlockEval,  ///< Decode everything, block-at-a-time predicate.
+  kLateMat,    ///< Encoded predicate eval + selective decode (default).
+};
+
+const char* ScanModeName(ScanMode mode);
+
+/// Translate a scan mode into the corresponding RosScanOptions toggles.
+inline void ApplyScanMode(ScanMode mode, RosScanOptions* options) {
+  options->block_eval = mode != ScanMode::kRowWise;
+  options->late_mat = mode == ScanMode::kLateMat;
+}
 
 /// Observability for tests, the cost model, and the pruning benches.
 struct RosScanStats {
@@ -144,6 +187,13 @@ struct RosScanStats {
   uint64_t blocks_pruned = 0;
   uint64_t rows_visited = 0;
   uint64_t rows_output = 0;
+  /// Values parsed or materialized while scanning (decode work): one per
+  /// value on the eager path, one per RLE run / dictionary entry on the
+  /// encoded path plus one per materialized survivor.
+  uint64_t values_decoded = 0;
+  /// Output-only column files never fetched because no row in the
+  /// container survived the predicate phase.
+  uint64_t files_skipped = 0;
 
   void Add(const RosScanStats& o) {
     files_fetched += o.files_fetched;
@@ -152,6 +202,8 @@ struct RosScanStats {
     blocks_pruned += o.blocks_pruned;
     rows_visited += o.rows_visited;
     rows_output += o.rows_output;
+    values_decoded += o.values_decoded;
+    files_skipped += o.files_skipped;
   }
 };
 

@@ -49,4 +49,26 @@ Status GetValue(Slice* input, DataType type, Value* out) {
   return Status::Corruption("unknown data type");
 }
 
+Status SkipValue(Slice* input, DataType type) {
+  if (input->empty()) return Status::Corruption("value underflow");
+  uint8_t flag = static_cast<uint8_t>((*input)[0]);
+  input->remove_prefix(1);
+  if (flag == 0) return Status::OK();
+  switch (type) {
+    case DataType::kInt64: {
+      int64_t i;
+      return GetVarint64Signed(input, &i);
+    }
+    case DataType::kDouble: {
+      double d;
+      return GetDouble(input, &d);
+    }
+    case DataType::kString: {
+      Slice s;
+      return GetLengthPrefixed(input, &s);
+    }
+  }
+  return Status::Corruption("unknown data type");
+}
+
 }  // namespace eon

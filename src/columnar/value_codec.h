@@ -15,6 +15,11 @@ void PutValue(std::string* dst, const Value& v);
 /// Deserialize a Value of known type.
 Status GetValue(Slice* input, DataType type, Value* out);
 
+/// Advance past one serialized Value without materializing it (no string
+/// allocation). The cheap half of selective decode: unselected rows are
+/// skipped, not constructed.
+Status SkipValue(Slice* input, DataType type);
+
 }  // namespace eon
 
 #endif  // EON_COLUMNAR_VALUE_CODEC_H_

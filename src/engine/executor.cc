@@ -208,6 +208,15 @@ Result<ScanOutput> ScanDistributed(EonCluster* cluster,
   const Schema proj_schema = proj->DeriveSchema(table->schema);
   EON_ASSIGN_OR_RETURN(PredicatePtr pred,
                        RebindPredicate(spec.predicate, *proj));
+  // Predicate-vs-output column split (projection positions), computed once
+  // per scan instead of once per morsel: the late-materialization scan
+  // fetches and evaluates these columns in phase 1.
+  std::vector<size_t> pred_proj_cols;
+  if (pred) {
+    std::set<size_t> cols;
+    pred->CollectColumns(&cols);
+    pred_proj_cols.assign(cols.begin(), cols.end());
+  }
 
   // Map output table columns to projection positions.
   std::vector<size_t> out_proj_cols;
@@ -353,7 +362,9 @@ Result<ScanOutput> ScanDistributed(EonCluster* cluster,
       RosScanOptions scan;
       scan.output_columns = scan_cols;
       scan.predicate = pred;
+      scan.predicate_columns = pred_proj_cols;
       scan.deletes = &deletes;
+      ApplyScanMode(context.scan_mode, &scan);
       if (m.k > 1 && context.crunch == CrunchMode::kContainerSplit) {
         // Physical split: each sharing node reads a distinct row range
         // (each row read once; segmentation property lost).
@@ -1122,6 +1133,8 @@ Result<QueryResult> ExecuteQuery(EonCluster* cluster,
   profile.containers_pruned = stats.containers_pruned;
   profile.network_bytes = stats.network_bytes;
   profile.rows_shuffled = stats.rows_shuffled;
+  profile.exec_values_decoded = stats.scan.values_decoded;
+  profile.exec_files_skipped = stats.scan.files_skipped;
   const CacheStats cache_after = cache_totals();
   profile.cache_hits = cache_after.hits - cache_before.hits;
   profile.cache_misses = cache_after.misses - cache_before.misses;

@@ -30,6 +30,9 @@ struct ExecContext {
   /// node first). Empty = one node per shard.
   std::map<ShardId, std::vector<Oid>> crunch_nodes;
   CrunchMode crunch = CrunchMode::kNone;
+  /// Scan pipeline for every ROS container this query touches. All modes
+  /// produce bit-identical rows; kRowWise is the differential oracle.
+  ScanMode scan_mode = ScanMode::kLateMat;
 };
 
 /// Execute a query against the cluster under the given context. Planning

@@ -26,6 +26,7 @@ class EonSession {
         ExecContext context,
         BuildExecContext(cluster_, connected_node_, seed_ + sequence_++,
                          crunch_));
+    context.scan_mode = scan_mode_;
     EON_ASSIGN_OR_RETURN(QueryResult result,
                          ExecuteQuery(cluster_, spec, context));
     last_stats_ = result.stats;
@@ -36,6 +37,10 @@ class EonSession {
   /// more nodes than shards are available.
   void set_crunch_mode(CrunchMode mode) { crunch_ = mode; }
 
+  /// Scan pipeline for subsequent queries; all modes return identical rows
+  /// (differential tests rely on this).
+  void set_scan_mode(ScanMode mode) { scan_mode_ = mode; }
+
   const ExecStats& last_stats() const { return last_stats_; }
   EonCluster* cluster() { return cluster_; }
 
@@ -45,6 +50,7 @@ class EonSession {
   uint64_t seed_;
   uint64_t sequence_ = 0;
   CrunchMode crunch_ = CrunchMode::kNone;
+  ScanMode scan_mode_ = ScanMode::kLateMat;
   ExecStats last_stats_;
 };
 

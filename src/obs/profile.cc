@@ -95,6 +95,10 @@ JsonValue QueryProfile::ToJson() const {
   exec.Set("task_cpu_micros", JsonValue::Int(exec_task_cpu_micros));
   exec.Set("critical_cpu_micros", JsonValue::Int(exec_critical_cpu_micros));
   exec.Set("parallelism", JsonValue::Double(Parallelism()));
+  exec.Set("values_decoded",
+           JsonValue::Int(static_cast<int64_t>(exec_values_decoded)));
+  exec.Set("files_skipped",
+           JsonValue::Int(static_cast<int64_t>(exec_files_skipped)));
   out.Set("exec", std::move(exec));
   return out;
 }
@@ -156,6 +160,11 @@ std::string QueryProfile::ToText() const {
            static_cast<unsigned long long>(exec_threads),
            static_cast<double>(exec_task_cpu_micros) / 1000.0,
            static_cast<double>(exec_critical_cpu_micros) / 1000.0);
+  out += buf;
+  snprintf(buf, sizeof(buf),
+           " decode: %llu values decoded, %llu column files skipped\n",
+           static_cast<unsigned long long>(exec_values_decoded),
+           static_cast<unsigned long long>(exec_files_skipped));
   out += buf;
   return out;
 }

@@ -69,6 +69,11 @@ struct QueryProfile {
   /// Busiest lane's CPU: the parallel phases' critical path. Equals
   /// exec_task_cpu_micros when exec_threads == 1.
   int64_t exec_critical_cpu_micros = 0;
+  /// Late-materialization decode counters (RosScanStats rollup): values
+  /// parsed or materialized during scans, and output-only column files the
+  /// two-phase scan never had to fetch.
+  uint64_t exec_values_decoded = 0;
+  uint64_t exec_files_skipped = 0;
 
   /// Effective speedup of the parallel sections (`exec.parallelism`):
   /// total task CPU over the critical path. 1.0 = serial; approaches

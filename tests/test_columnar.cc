@@ -155,6 +155,57 @@ TEST(EncodingTest, ChooseEncodingHeuristics) {
             Encoding::kPlain);
 }
 
+TEST(EncodingTest, ChooseEncodingSampledLargeChunks) {
+  // Past the exact-scan threshold the heuristic samples contiguous
+  // windows; the same corpora must still pin the same choices.
+  const size_t n = 10000;
+  EXPECT_EQ(ChooseEncoding(MakePattern(DataType::kInt64, 0, n),
+                           DataType::kInt64),
+            Encoding::kDeltaVarint);
+  EXPECT_EQ(ChooseEncoding(MakePattern(DataType::kInt64, 1, n),
+                           DataType::kInt64),
+            Encoding::kRle);
+  EXPECT_EQ(ChooseEncoding(MakePattern(DataType::kString, 2, n),
+                           DataType::kString),
+            Encoding::kDict);
+  EXPECT_EQ(ChooseEncoding(MakePattern(DataType::kString, 3, n),
+                           DataType::kString),
+            Encoding::kPlain);
+}
+
+TEST(EncodingTest, WriterFallsBackToPlainWhenSampleMissesNull) {
+  // Sorted int64 with one null between sample windows: the sampled
+  // heuristic picks delta, EncodeChunk rejects it, and the writer must
+  // fall back to plain rather than fail the load.
+  std::vector<Value> values;
+  for (size_t i = 0; i < 10000; ++i) {
+    values.push_back(i == 3000 ? Value::Null(DataType::kInt64)
+                               : Value::Int(static_cast<int64_t>(i)));
+  }
+  ASSERT_EQ(ChooseEncoding(values, DataType::kInt64), Encoding::kDeltaVarint);
+
+  Schema schema({{"v", DataType::kInt64}});
+  std::vector<Row> rows;
+  for (const Value& v : values) rows.push_back(Row{v});
+  RosWriteOptions opts;
+  opts.rows_per_block = values.size();
+  auto built = RosContainerWriter::Build(schema, rows, "data/fallback", opts);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+
+  MemObjectStore store;
+  for (const RosColumnFile& f : built->files) {
+    ASSERT_TRUE(store.Put(f.key, f.data).ok());
+  }
+  DirectFetcher fetcher(&store);
+  RosScanOptions scan;
+  scan.output_columns = {0};
+  auto out = ScanRosContainer(schema, "data/fallback", &fetcher, scan);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->size(), values.size());
+  EXPECT_TRUE((*out)[3000][0].is_null());
+  EXPECT_EQ((*out)[9999][0].int_value(), 9999);
+}
+
 TEST(EncodingTest, SortedDataCompressesWell) {
   // "Sorted data usually results in better compression" (Section 2.1).
   std::vector<Value> sorted = MakePattern(DataType::kInt64, 0, 4096);
@@ -172,6 +223,148 @@ TEST(EncodingTest, DecodeRejectsGarbage) {
   EXPECT_TRUE(DecodeChunk(Slice("", 0), DataType::kInt64, &out).IsCorruption());
   std::string bad = "\xFFgarbage";
   EXPECT_TRUE(DecodeChunk(bad, DataType::kInt64, &out).IsCorruption());
+}
+
+// ------------------------------------------- Selective decode (late mat)
+
+struct SelectedCase {
+  const char* name;
+  DataType type;
+  int pattern;  // MakePattern index.
+  Encoding encoding;
+};
+
+class SelectedDecode : public ::testing::TestWithParam<SelectedCase> {};
+
+/// Property: DecodeChunkSelected(sel) == filter(DecodeChunk, sel) for
+/// every encoding, including nulls, long runs, high cardinality, and
+/// single-row chunks, under random selection vectors of varying density.
+TEST_P(SelectedDecode, MatchesFilteredFullDecode) {
+  const SelectedCase& c = GetParam();
+  Random rng(99);
+  for (size_t n : {size_t{1}, size_t{7}, size_t{500}}) {
+    std::vector<Value> values = MakePattern(c.type, c.pattern, n);
+    auto encoded = EncodeChunk(values, c.type, c.encoding);
+    ASSERT_TRUE(encoded.ok()) << encoded.status().ToString();
+    auto view = ParseChunk(*encoded);
+    ASSERT_TRUE(view.ok()) << view.status().ToString();
+    ASSERT_EQ(view->count, n);
+    ASSERT_EQ(view->encoding, c.encoding);
+
+    std::vector<Value> full;
+    ASSERT_TRUE(DecodeChunk(*encoded, c.type, &full).ok());
+
+    for (double density : {0.0, 0.01, 0.5, 1.0}) {
+      SelectionVector sel(n);
+      uint64_t selected = 0;
+      for (size_t i = 0; i < n; ++i) {
+        sel[i] = density >= 1.0 ? 1 : (rng.Bernoulli(density) ? 1 : 0);
+        selected += sel[i];
+      }
+      std::vector<Value> got;
+      uint64_t values_decoded = 0;
+      ASSERT_TRUE(DecodeChunkSelected(*view, c.type, sel.data(), &got,
+                                      &values_decoded)
+                      .ok());
+      ASSERT_EQ(got.size(), selected) << c.name << " n=" << n;
+      size_t k = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (!sel[i]) continue;
+        EXPECT_EQ(got[k].Compare(full[i]), 0) << c.name << " row " << i;
+        EXPECT_EQ(got[k].is_null(), full[i].is_null());
+        ++k;
+      }
+      if (selected > 0) EXPECT_GT(values_decoded, 0u);
+    }
+
+    // nullptr selection = full decode.
+    std::vector<Value> all;
+    ASSERT_TRUE(DecodeChunkSelected(*view, c.type, nullptr, &all).ok());
+    ASSERT_EQ(all.size(), full.size());
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(all[i].Compare(full[i]), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEncodings, SelectedDecode,
+    ::testing::Values(
+        SelectedCase{"plain_highcard_str", DataType::kString, 3,
+                     Encoding::kPlain},
+        SelectedCase{"plain_nulls", DataType::kInt64, 4, Encoding::kPlain},
+        SelectedCase{"plain_runs", DataType::kInt64, 1, Encoding::kPlain},
+        SelectedCase{"rle_runs_int", DataType::kInt64, 1, Encoding::kRle},
+        SelectedCase{"rle_runs_str", DataType::kString, 1, Encoding::kRle},
+        SelectedCase{"rle_nulls", DataType::kInt64, 4, Encoding::kRle},
+        SelectedCase{"dict_lowcard_str", DataType::kString, 2,
+                     Encoding::kDict},
+        SelectedCase{"dict_nulls", DataType::kInt64, 4, Encoding::kDict},
+        SelectedCase{"dict_highcard_int", DataType::kInt64, 3,
+                     Encoding::kDict},
+        SelectedCase{"delta_sorted", DataType::kInt64, 0,
+                     Encoding::kDeltaVarint}),
+    [](const ::testing::TestParamInfo<SelectedCase>& info) {
+      return info.param.name;
+    });
+
+/// Property: EvalChunkCmp (per-run / per-dictionary-entry evaluation)
+/// produces exactly the verdicts of row-wise CmpMatches; plain and delta
+/// report "no encoded path".
+TEST(EncodedEvalTest, EvalChunkCmpMatchesRowWise) {
+  struct Case {
+    DataType type;
+    int pattern;
+    Encoding encoding;
+    Value literal;
+  };
+  const std::vector<Case> cases = {
+      {DataType::kInt64, 1, Encoding::kRle, Value::Int(3)},
+      {DataType::kInt64, 4, Encoding::kRle, Value::Int(50)},
+      {DataType::kString, 1, Encoding::kRle, Value::Str("AAA")},
+      {DataType::kString, 2, Encoding::kDict, Value::Str("v3")},
+      {DataType::kInt64, 4, Encoding::kDict, Value::Int(42)},
+      {DataType::kInt64, 2, Encoding::kDict, Value::Int(5)},
+  };
+  const CmpOp ops[] = {CmpOp::kEq, CmpOp::kNe, CmpOp::kLt,
+                       CmpOp::kLe, CmpOp::kGt, CmpOp::kGe};
+  for (const Case& c : cases) {
+    for (size_t n : {size_t{1}, size_t{256}}) {
+      std::vector<Value> values = MakePattern(c.type, c.pattern, n);
+      auto encoded = EncodeChunk(values, c.type, c.encoding);
+      ASSERT_TRUE(encoded.ok());
+      auto view = ParseChunk(*encoded);
+      ASSERT_TRUE(view.ok());
+      for (CmpOp op : ops) {
+        SelectionVector sel(n, 2);  // Poisoned; must be fully overwritten.
+        uint64_t evals = 0;
+        auto handled =
+            EvalChunkCmp(*view, c.type, op, c.literal, sel.data(), &evals);
+        ASSERT_TRUE(handled.ok()) << handled.status().ToString();
+        ASSERT_TRUE(handled.value());
+        // One comparison per run / dictionary entry, never more than one
+        // per row.
+        EXPECT_GT(evals, 0u);
+        EXPECT_LE(evals, n);
+        for (size_t i = 0; i < n; ++i) {
+          EXPECT_EQ(sel[i] != 0, CmpMatches(values[i], op, c.literal))
+              << "op " << CmpOpName(op) << " row " << i;
+        }
+      }
+    }
+  }
+
+  // Plain and delta have no encoded-eval path.
+  for (Encoding enc : {Encoding::kPlain, Encoding::kDeltaVarint}) {
+    std::vector<Value> values = MakePattern(DataType::kInt64, 0, 64);
+    auto encoded = EncodeChunk(values, DataType::kInt64, enc);
+    ASSERT_TRUE(encoded.ok());
+    auto view = ParseChunk(*encoded);
+    ASSERT_TRUE(view.ok());
+    SelectionVector sel(64, 0);
+    auto handled = EvalChunkCmp(*view, DataType::kInt64, CmpOp::kGt,
+                                Value::Int(10), sel.data());
+    ASSERT_TRUE(handled.ok());
+    EXPECT_FALSE(handled.value());
+  }
 }
 
 // ------------------------------------------------------------ Predicates
@@ -445,6 +638,142 @@ TEST_F(RosTest, FindMatchingPositions) {
       FindMatchingPositions(schema_, "data/test", &fetcher_, pred, &dv);
   ASSERT_TRUE(remaining.ok());
   EXPECT_EQ(remaining->size(), 8u);
+}
+
+// Rows exercising every encoding in one container: id sorted (delta),
+// price with nulls (plain), tag low-cardinality (dict).
+std::vector<Row> MakeMixedRows(size_t n) {
+  Random rng(123);
+  std::vector<Row> rows;
+  for (size_t i = 0; i < n; ++i) {
+    rows.push_back(
+        Row{Value::Int(static_cast<int64_t>(i)),
+            rng.Bernoulli(0.1) ? Value::Null(DataType::kDouble)
+                               : Value::Dbl(rng.NextDouble() * 100),
+            Value::Str("t" + std::to_string(i * 7919 % 5))});
+  }
+  return rows;
+}
+
+TEST_F(RosTest, ScanModesProduceIdenticalRows) {
+  std::vector<Row> rows = MakeMixedRows(1000);
+  WriteContainer(rows, 128);
+  DeleteVector dv({3, 128, 129, 777});
+
+  const std::vector<PredicatePtr> predicates = {
+      Predicate::Cmp(2, CmpOp::kEq, Value::Str("t3")),
+      Predicate::And(Predicate::Cmp(2, CmpOp::kNe, Value::Str("t1")),
+                     Predicate::Cmp(0, CmpOp::kLt, Value::Int(700))),
+      Predicate::Or(Predicate::Cmp(1, CmpOp::kLt, Value::Dbl(10.0)),
+                    Predicate::Cmp(0, CmpOp::kGe, Value::Int(950))),
+      Predicate::Not(Predicate::Cmp(2, CmpOp::kEq, Value::Str("t2"))),
+      Predicate::True(),
+  };
+  for (size_t p = 0; p < predicates.size(); ++p) {
+    std::vector<std::vector<Row>> by_mode;
+    std::vector<RosScanStats> stats_by_mode;
+    for (ScanMode mode :
+         {ScanMode::kRowWise, ScanMode::kBlockEval, ScanMode::kLateMat}) {
+      RosScanOptions scan;
+      scan.output_columns = {2, 0, 1};
+      scan.predicate = predicates[p];
+      scan.deletes = &dv;
+      scan.row_begin = 5;
+      scan.row_end = 990;
+      ApplyScanMode(mode, &scan);
+      RosScanStats stats;
+      auto out =
+          ScanRosContainer(schema_, "data/test", &fetcher_, scan, &stats);
+      ASSERT_TRUE(out.ok()) << ScanModeName(mode) << ": "
+                            << out.status().ToString();
+      by_mode.push_back(std::move(out).value());
+      stats_by_mode.push_back(stats);
+    }
+    for (size_t m = 1; m < by_mode.size(); ++m) {
+      ASSERT_EQ(by_mode[m].size(), by_mode[0].size()) << "predicate " << p;
+      for (size_t r = 0; r < by_mode[0].size(); ++r) {
+        ASSERT_EQ(by_mode[m][r].size(), by_mode[0][r].size());
+        for (size_t c = 0; c < by_mode[0][r].size(); ++c) {
+          ASSERT_EQ(by_mode[m][r][c].Compare(by_mode[0][r][c]), 0)
+              << "predicate " << p << " mode " << m << " row " << r;
+          ASSERT_EQ(by_mode[m][r][c].is_null(), by_mode[0][r][c].is_null());
+        }
+      }
+    }
+    // All modes agree on pruning and visitation accounting.
+    for (size_t m = 1; m < stats_by_mode.size(); ++m) {
+      EXPECT_EQ(stats_by_mode[m].blocks_total, stats_by_mode[0].blocks_total);
+      EXPECT_EQ(stats_by_mode[m].blocks_pruned,
+                stats_by_mode[0].blocks_pruned);
+      EXPECT_EQ(stats_by_mode[m].rows_visited, stats_by_mode[0].rows_visited);
+      EXPECT_EQ(stats_by_mode[m].rows_output, stats_by_mode[0].rows_output);
+    }
+  }
+}
+
+TEST_F(RosTest, LateMatDecodesFewerValuesOnSelectivePredicate) {
+  WriteContainer(MakeMixedRows(2000), 256);
+  RosScanOptions scan;
+  scan.output_columns = {0, 1};
+  scan.predicate = Predicate::Cmp(2, CmpOp::kEq, Value::Str("t4"));  // ~1/5.
+
+  RosScanStats eager;
+  ApplyScanMode(ScanMode::kBlockEval, &scan);
+  ASSERT_TRUE(
+      ScanRosContainer(schema_, "data/test", &fetcher_, scan, &eager).ok());
+  RosScanStats late;
+  ApplyScanMode(ScanMode::kLateMat, &scan);
+  ASSERT_TRUE(
+      ScanRosContainer(schema_, "data/test", &fetcher_, scan, &late).ok());
+
+  EXPECT_GT(eager.values_decoded, 0u);
+  EXPECT_LT(late.values_decoded, eager.values_decoded);
+  EXPECT_EQ(late.rows_output, eager.rows_output);
+}
+
+TEST_F(RosTest, SkipsOutputFilesWhenNothingSurvives) {
+  WriteContainer(MakeRows(500), 100);
+  RosScanOptions scan;
+  scan.output_columns = {1, 2};
+  // Passes min/max analysis on every block but matches no row.
+  scan.predicate =
+      Predicate::And(Predicate::Cmp(0, CmpOp::kGe, Value::Int(10)),
+                     Predicate::Cmp(0, CmpOp::kLt, Value::Int(10)));
+  RosScanStats stats;
+  auto out = ScanRosContainer(schema_, "data/test", &fetcher_, scan, &stats);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_TRUE(out->empty());
+  // Blocks 1..4 are refuted by min/max (id >= 100 > 10); block 0's range
+  // [0,99] admits both halves, so only evaluation can empty it.
+  EXPECT_EQ(stats.blocks_pruned, 4u);
+  EXPECT_EQ(stats.files_fetched, 1u);      // Predicate column only.
+  EXPECT_EQ(stats.files_skipped, 2u);      // price + tag never fetched.
+
+  // A matching predicate fetches the output files and skips nothing.
+  scan.predicate = Predicate::Cmp(0, CmpOp::kLt, Value::Int(10));
+  RosScanStats hit;
+  ASSERT_TRUE(
+      ScanRosContainer(schema_, "data/test", &fetcher_, scan, &hit).ok());
+  EXPECT_EQ(hit.files_fetched, 3u);
+  EXPECT_EQ(hit.files_skipped, 0u);
+}
+
+TEST_F(RosTest, FindMatchingPositionsMatchesRowWiseScan) {
+  std::vector<Row> rows = MakeMixedRows(800);
+  WriteContainer(rows, 64);
+  DeleteVector dv({10, 11, 500});
+  const auto pred =
+      Predicate::Or(Predicate::Cmp(2, CmpOp::kEq, Value::Str("t0")),
+                    Predicate::Cmp(1, CmpOp::kGt, Value::Dbl(95.0)));
+  auto positions =
+      FindMatchingPositions(schema_, "data/test", &fetcher_, pred, &dv);
+  ASSERT_TRUE(positions.ok());
+  std::vector<uint64_t> expect;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (dv.IsDeleted(i)) continue;
+    if (pred->Eval(rows[i])) expect.push_back(i);
+  }
+  EXPECT_EQ(*positions, expect);
 }
 
 TEST_F(RosTest, EmptyContainer) {

@@ -282,6 +282,46 @@ TEST(ParallelDifferential, ContainerSplitCrunchIsWidthInvariant) {
   }
 }
 
+// Late-materialization differential: every scan pipeline (row-wise oracle,
+// block-eval, late-mat) must return BIT-IDENTICAL rows at every pool width
+// under every crunch mode. One baseline per (query, crunch): the row-wise
+// serial run.
+TEST(ParallelDifferential, ScanModesAreBitIdenticalAcrossWidthsAndCrunch) {
+  WidthedClusters* wc = WidthedClusters::Get();
+  constexpr CrunchMode kCrunches[] = {
+      CrunchMode::kNone, CrunchMode::kHashFilter, CrunchMode::kContainerSplit};
+  constexpr ScanMode kModes[] = {ScanMode::kRowWise, ScanMode::kBlockEval,
+                                 ScanMode::kLateMat};
+  for (const auto& [name, spec] : ParallelQuerySet()) {
+    for (CrunchMode crunch : kCrunches) {
+      std::vector<Row> baseline;
+      bool have_baseline = false;
+      for (ScanMode mode : kModes) {
+        for (int width : kWidths) {
+          EonSession session(wc->by_width[width]->cluster.get(), "",
+                             /*seed=*/29);
+          session.set_crunch_mode(crunch);
+          session.set_scan_mode(mode);
+          auto result = session.Execute(spec);
+          ASSERT_TRUE(result.ok())
+              << name << " " << ScanModeName(mode) << " width " << width
+              << ": " << result.status().ToString();
+          if (!have_baseline) {
+            baseline = std::move(result->rows);
+            have_baseline = true;
+            continue;
+          }
+          std::string diff;
+          EXPECT_TRUE(BitIdentical(result->rows, baseline, &diff))
+              << name << " crunch " << static_cast<int>(crunch) << " mode "
+              << ScanModeName(mode) << " width " << width
+              << " diverged from row-wise serial: " << diff;
+        }
+      }
+    }
+  }
+}
+
 // The pool actually parallelizes: a multi-container scan at width 4 must
 // report more than one task and a busiest-lane CPU below the total task
 // CPU whenever more than one lane did work (checked loosely — on a
