@@ -7,6 +7,7 @@
 #include <string>
 
 #include "cluster/cluster.h"
+#include "engine/system_tables.h"
 #include "obs/export.h"
 #include "storage/sim_object_store.h"
 #include "workload/tpch.h"
@@ -97,6 +98,25 @@ inline void DumpMetricsSnapshot(const std::string& figure_output) {
     fprintf(stderr, "metrics snapshot: %s\n", path.c_str());
   } else {
     fprintf(stderr, "metrics snapshot failed: %s\n", s.ToString().c_str());
+  }
+}
+
+/// Dump both observability sidecars once at bench exit:
+/// "<figure>.metrics.json" (registry snapshot) and
+/// "<figure>.systables.json" (every system table — Data Collector rings
+/// plus live cluster state). `cluster` may be null for benches without an
+/// EonCluster; the system-table dump then covers the process-default
+/// collector and registry only.
+inline void DumpBenchSidecars(const std::string& figure_output,
+                              EonCluster* cluster) {
+  DumpMetricsSnapshot(figure_output);
+  const std::string path = figure_output + ".systables.json";
+  Status s = obs::WriteSystemTablesJsonFile(path, cluster);
+  if (s.ok()) {
+    fprintf(stderr, "system tables snapshot: %s\n", path.c_str());
+  } else {
+    fprintf(stderr, "system tables snapshot failed: %s\n",
+            s.ToString().c_str());
   }
 }
 

@@ -111,7 +111,7 @@ int Run() {
          "%d/20 queries (paper: most); eon-from-S3 is %.1fx slower than "
          "in-cache (paper: significant but reasonable)\n",
          eon_wins, sum_s3 / sum_cache);
-  DumpMetricsSnapshot("fig10_tpch_baseline");
+  DumpBenchSidecars("fig10_tpch_baseline", eon->cluster.get());
   return 0;
 }
 

@@ -28,6 +28,13 @@ int Run() {
   auto before = session.Execute(dash);
   if (!before.ok()) return 1;
   if (!fixture->cluster->KillNode(2).ok()) return 1;
+  // Drop residency on the survivors: the post-kill query re-reads the
+  // dead node's shards from shared storage, and the cold run's sim time
+  // puts it in the Data Collector's slow-query log (full phase profile
+  // in the fig12_node_down.systables.json sidecar).
+  for (const auto& n : fixture->cluster->nodes()) {
+    if (n->is_up()) n->cache()->Clear();
+  }
   auto after = session.Execute(dash);
   if (!after.ok()) {
     fprintf(stderr, "query failed after node kill: %s\n",
@@ -83,7 +90,7 @@ int Run() {
   printf("# shape check: capacity retained after kill — eon %.0f%% "
          "(paper: smooth ~75%%), enterprise %.0f%% (cliff)\n",
          100 * retained(eon_run), 100 * retained(ent_run));
-  DumpMetricsSnapshot("fig12_node_down");
+  DumpBenchSidecars("fig12_node_down", fixture->cluster.get());
   return 0;
 }
 

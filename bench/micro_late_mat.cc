@@ -246,7 +246,7 @@ int main() {
     fclose(fp);
     fprintf(stderr, "wrote BENCH_late_mat.json\n");
   }
-  bench::DumpMetricsSnapshot("BENCH_late_mat");
+  bench::DumpBenchSidecars("BENCH_late_mat", nullptr);
 
   printf("# shape check at 1%% selectivity: rle %.1fx fewer values decoded "
          "(%.2fx faster), dict %.1fx (%.2fx); worst 100%%-selectivity "

@@ -226,7 +226,9 @@ int main() {
     fclose(fp);
     fprintf(stderr, "wrote BENCH_parallel_scan.json\n");
   }
-  bench::DumpMetricsSnapshot("BENCH_parallel_scan");
+  // Per-width fixtures are gone by now; the systables sidecar still
+  // captures the process-default collector (store requests) and registry.
+  bench::DumpBenchSidecars("BENCH_parallel_scan", nullptr);
 
   printf("# shape check: %.2fx scan+aggregate speedup at 4 threads "
          "(target >= 2.5x on the critical-path basis)\n",

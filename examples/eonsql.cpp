@@ -6,6 +6,7 @@
 //
 // Meta commands:
 //   \tables            list tables
+//   \dt+               list user AND system tables with row counts
 //   \projections <t>   list projections of a table
 //   \nodes             node status + cache stats
 //   \storage           shared-storage metrics
@@ -14,6 +15,12 @@
 //   \kill <node>       stop a node (queries keep working)
 //   \restart <node>    recover a node
 //   \q                 quit
+//
+// System tables are plain SQL targets: `SELECT name, state FROM
+// system_subscriptions`, `SELECT node, SUM(cost) FROM dc_store_requests
+// GROUP BY node`, etc. The dc_query_executions ring keeps the full
+// per-phase profile for queries at or above the slow-query threshold
+// (EON_SLOW_QUERY_MICROS sim-µs, default 10000).
 
 #include <cstdio>
 #include <iostream>
@@ -23,6 +30,7 @@
 #include "cluster/cluster.h"
 #include "engine/session.h"
 #include "engine/sql.h"
+#include "engine/system_tables.h"
 #include "obs/export.h"
 #include "obs/profile.h"
 #include "storage/sim_object_store.h"
@@ -71,6 +79,20 @@ void ListProjections(const CatalogState& state, const std::string& table) {
   }
 }
 
+void ListAllTables(EonCluster* cluster, const CatalogState& state) {
+  printf("user tables:\n");
+  ListTables(state);
+  printf("\nsystem tables (SELECT directly, e.g. SELECT name, state FROM "
+         "system_subscriptions):\n");
+  printf(" %-28s %-8s %-10s\n", "table", "columns", "rows");
+  for (const std::string& name : SystemTableNames()) {
+    const Schema* schema = SystemTableSchema(name);
+    auto rows = MaterializeSystemTable(cluster, name);
+    printf(" %-28s %-8zu %-10zu\n", name.c_str(), schema->num_columns(),
+           rows.ok() ? rows->size() : 0);
+  }
+}
+
 void ShowNodes(EonCluster* cluster) {
   printf(" %-10s %-6s %-12s %-10s %-10s\n", "node", "state", "subcluster",
          "cache_mb", "hit_rate");
@@ -111,8 +133,10 @@ int main() {
   printf("eonsql — 4 nodes, 3 shards, TPC-H-style sample loaded.\n");
   printf("Try: SELECT l_returnflag, COUNT(*) AS n FROM lineitem GROUP BY "
          "l_returnflag ORDER BY l_returnflag;\n");
-  printf("Meta: \\tables \\projections <t> \\nodes \\storage \\profile "
-         "\\metrics \\kill <n> \\restart <n> \\q\n\n");
+  printf("Meta: \\tables \\dt+ \\projections <t> \\nodes \\storage "
+         "\\profile \\metrics \\kill <n> \\restart <n> \\q\n");
+  printf("System tables: SELECT ... FROM system_subscriptions / "
+         "system_nodes / dc_store_requests / dc_query_executions ...\n\n");
 
   EonSession session(cluster->get());
   std::optional<obs::QueryProfile> last_profile;
@@ -135,6 +159,8 @@ int main() {
       if (cmd == "q" || cmd == "quit") break;
       if (cmd == "tables") {
         ListTables(*snapshot);
+      } else if (cmd == "dt+" || cmd == "dt") {
+        ListAllTables(cluster->get(), *snapshot);
       } else if (cmd == "projections") {
         ListProjections(*snapshot, arg);
       } else if (cmd == "nodes") {

@@ -3,8 +3,11 @@
 # everything labeled `race` (see tests/CMakeLists.txt). This covers the
 # parallel differential suite, including the scan-mode matrix (row-wise /
 # block-eval / late-mat × crunch × pool width), so encoded predicate
-# evaluation and selective decode run under TSan at every width. Uses a
-# separate build directory so the normal build/ stays sanitizer-free.
+# evaluation and selective decode run under TSan at every width; the
+# Data Collector rings (producers vs snapshot readers, test_obs); and
+# system-table scans racing exec-pool query producers
+# (test_system_tables). Uses a separate build directory so the normal
+# build/ stays sanitizer-free.
 #
 #   scripts/tsan.sh            # configure + build + run
 #   BUILD_DIR=out scripts/tsan.sh
@@ -17,5 +20,6 @@ cmake -B "$BUILD_DIR" -S . -DEON_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" \
       --target test_obs test_cache test_common test_parallel_differential \
+               test_system_tables \
       -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" -L race --output-on-failure

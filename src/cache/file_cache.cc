@@ -35,6 +35,17 @@ FileCache::FileCache(CacheOptions options, ObjectStore* shared_storage)
   metrics_.pinned_refs = reg->GetGauge("eon_cache_pinned_refs", labels);
 }
 
+void FileCache::RecordDcEvent(obs::DcCacheEvent::Kind kind,
+                              const std::string& key, uint64_t bytes) {
+  if (options_.collector == nullptr) return;
+  obs::DcCacheEvent e;
+  e.node = metrics_name_;
+  e.kind = kind;
+  e.key = key;
+  e.bytes = bytes;
+  options_.collector->RecordCacheEvent(std::move(e));
+}
+
 FileCache::Shard& FileCache::ShardFor(const std::string& key) const {
   return shards_[std::hash<std::string>{}(key) % kNumShards];
 }
@@ -117,6 +128,7 @@ void FileCache::MaybeEvict() {
       size_bytes_.fetch_sub(e.data->size(), std::memory_order_relaxed);
       file_count_.fetch_sub(1, std::memory_order_relaxed);
       metrics_.evictions->Increment();
+      RecordDcEvent(obs::DcCacheEvent::Kind::kEviction, key, e.data->size());
       shard->entries.erase(it);
     }
   };
@@ -181,6 +193,7 @@ Result<FileRef> FileCache::FetchShared(const std::string& key,
       // their result instead of issuing a duplicate storage read.
       flight = fit->second;
       metrics_.coalesced->Increment();
+      RecordDcEvent(obs::DcCacheEvent::Kind::kCoalescedWait, key, 0);
       flight->cv.wait(lock, [&] { return flight->done; });
       if (!flight->status.ok()) return flight->status;
       auto eit = shard.entries.find(key);
@@ -224,7 +237,12 @@ Result<FileRef> FileCache::FetchShared(const std::string& key,
     shard.inflight.emplace(key, flight);
   }
 
-  Result<std::string> got = shared_->Get(key);
+  // Attribute the shared-storage request to this cache's node in the
+  // store's Data Collector events.
+  Result<std::string> got = [&]() -> Result<std::string> {
+    obs::DcNodeScope dc_scope(metrics_name_);
+    return shared_->Get(key);
+  }();
   const CachePolicy policy = PolicyFor(key);
   FileRef out;
   {
@@ -235,6 +253,7 @@ Result<FileRef> FileCache::FetchShared(const std::string& key,
       auto data = std::make_shared<const std::string>(std::move(*got));
       flight->data = data;
       metrics_.bytes_filled->Increment(data->size());
+      RecordDcEvent(obs::DcCacheEvent::Kind::kMissFill, key, data->size());
       if (allow_insert && policy != CachePolicy::kNeverCache &&
           data->size() <= options_.capacity_bytes &&
           shard.entries.find(key) == shard.entries.end()) {

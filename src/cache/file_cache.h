@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "columnar/ros.h"
+#include "obs/dc.h"
 #include "obs/metrics.h"
 #include "storage/object_store.h"
 
@@ -36,6 +37,10 @@ struct CacheOptions {
   std::string metrics_name;
   /// Metrics registry to record into; null = process default.
   obs::MetricsRegistry* registry = nullptr;
+  /// Data Collector to record eviction / miss-fill / coalesced-wait
+  /// events into (the `dc_cache_events` system table); null = none.
+  /// Nodes pass their own collector here.
+  obs::DataCollector* collector = nullptr;
 };
 
 /// Aggregate cache counters. Since the registry migration this is a VIEW
@@ -178,6 +183,10 @@ class FileCache : public FileFetcher {
   /// Enforce capacity. Takes every shard lock; call with none held.
   void MaybeEvict();
   void UpdateGauges();
+  /// Record into the Data Collector (no-op without one). Safe under any
+  /// cache lock: the DC ring mutex is a strict leaf.
+  void RecordDcEvent(obs::DcCacheEvent::Kind kind, const std::string& key,
+                     uint64_t bytes);
   /// Wrap entry bytes in a ref whose release unpins the entry.
   FileRef MakePinnedRef(const std::string& key, const Entry& entry);
   void ReleasePin(const std::string& key, uint64_t gen);

@@ -27,6 +27,19 @@ std::set<ShardId> FilterFor(const Node& target, const TxnLogRecord& record) {
   return filter;
 }
 
+/// One row in the `dc_subscription_events` system table, recorded into
+/// the affected node's collector (Figure 4 lifecycle transitions).
+void RecordSubscriptionDc(Node* target, ShardId shard, const char* from,
+                          const char* to, const char* reason) {
+  if (target == nullptr) return;
+  obs::DcSubscriptionEvent e;
+  e.shard = shard;
+  e.from_state = from;
+  e.to_state = to;
+  e.reason = reason;
+  target->dc()->RecordSubscription(std::move(e));
+}
+
 }  // namespace
 
 EonCluster::EonCluster(ObjectStore* shared_storage, Clock* clock,
@@ -268,6 +281,7 @@ Status EonCluster::SubscribeNode(Oid node_oid, ShardId shard,
     Result<uint64_t> v = CommitDistributed(coord->oid(), pending);
     if (!v.ok()) return v.status();
   }
+  RecordSubscriptionDc(target, shard, "", "PENDING", "subscribe");
 
   // 2. Metadata transfer from a source subscriber, then PASSIVE. (The
   //    paper transfers checkpoint/log rounds then takes a brief commit
@@ -281,6 +295,8 @@ Status EonCluster::SubscribeNode(Oid node_oid, ShardId shard,
     Result<uint64_t> v = CommitDistributed(coord->oid(), passive);
     if (!v.ok()) return v.status();
   }
+  RecordSubscriptionDc(target, shard, "PENDING", "PASSIVE",
+                       "metadata transferred");
 
   // 3. Optional cache warm from a peer (PASSIVE → ACTIVE; subscribers that
   //    skip warming jump straight to ACTIVE).
@@ -300,7 +316,10 @@ Status EonCluster::SubscribeNode(Oid node_oid, ShardId shard,
   active.PutSubscription(
       Subscription{node_oid, shard, SubscriptionState::kActive});
   Result<uint64_t> v = CommitDistributed(coord->oid(), active);
-  return v.ok() ? Status::OK() : v.status();
+  if (!v.ok()) return v.status();
+  RecordSubscriptionDc(target, shard, "PASSIVE", "ACTIVE",
+                       "subscribe complete");
+  return Status::OK();
 }
 
 Status EonCluster::UnsubscribeNode(Oid node_oid, ShardId shard) {
@@ -316,6 +335,7 @@ Status EonCluster::UnsubscribeNode(Oid node_oid, ShardId shard) {
     Result<uint64_t> v = CommitDistributed(coord->oid(), removing);
     if (!v.ok()) return v.status();
   }
+  RecordSubscriptionDc(target, shard, "ACTIVE", "REMOVING", "unsubscribe");
 
   // 2. Fault-tolerance gate: enough OTHER ACTIVE subscribers must exist.
   auto snapshot = coord->catalog()->snapshot();
@@ -351,7 +371,9 @@ Status EonCluster::UnsubscribeNode(Oid node_oid, ShardId shard) {
   CatalogTxn drop;
   drop.DropSubscription(node_oid, shard);
   Result<uint64_t> v = CommitDistributed(coord->oid(), drop);
-  return v.ok() ? Status::OK() : v.status();
+  if (!v.ok()) return v.status();
+  RecordSubscriptionDc(target, shard, "REMOVING", "", "dropped");
+  return Status::OK();
 }
 
 Status EonCluster::Rebalance(bool warm_cache) {
@@ -447,6 +469,9 @@ Status EonCluster::ResubscribeNode(Node* target, bool warm_cache) {
     }
     Result<uint64_t> v = CommitDistributed(coord->oid(), to_pending);
     if (!v.ok()) return v.status();
+    for (ShardId s : to_resubscribe) {
+      RecordSubscriptionDc(target, s, "ACTIVE", "PENDING", "node recovery");
+    }
   }
 
   // Re-subscription is incremental: metadata diffs arrived with the log
@@ -461,6 +486,9 @@ Status EonCluster::ResubscribeNode(Node* target, bool warm_cache) {
   if (!to_resubscribe.empty()) {
     Result<uint64_t> v = CommitDistributed(coord->oid(), to_active);
     if (!v.ok()) return v.status();
+    for (ShardId s : to_resubscribe) {
+      RecordSubscriptionDc(target, s, "PENDING", "ACTIVE", "resubscribed");
+    }
   }
   return Status::OK();
 }

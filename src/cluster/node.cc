@@ -16,10 +16,12 @@ Node::Node(Oid oid, std::string name, std::string subcluster,
       seed_(seed) {
   instance_id_ = NodeInstanceId::Generate(seed_, oid_);
   catalog_ = std::make_unique<Catalog>();
+  dc_ = std::make_unique<obs::DataCollector>(name_, clock_, options_.dc);
   // Label this node's cache instruments with the node name so one metrics
   // snapshot distinguishes per-node cache behavior.
   CacheOptions cache_opts = options_.cache;
   if (cache_opts.metrics_name.empty()) cache_opts.metrics_name = name_;
+  if (cache_opts.collector == nullptr) cache_opts.collector = dc_.get();
   cache_ = std::make_unique<FileCache>(cache_opts, shared_);
   up_gauge_ = obs::OrDefault(cache_opts.registry)
                   ->GetGauge("eon_node_up", obs::LabelSet{{"node", name_}});

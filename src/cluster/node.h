@@ -19,6 +19,8 @@ namespace eon {
 struct NodeOptions {
   CacheOptions cache;
   uint64_t sync_checkpoint_every = 8;
+  /// Ring capacities / slow-query threshold for the node's Data Collector.
+  obs::DataCollectorOptions dc;
 };
 
 /// One Eon compute node: a catalog replica (global objects + storage
@@ -44,6 +46,10 @@ class Node {
   Catalog* catalog() { return catalog_.get(); }
   const Catalog* catalog() const { return catalog_.get(); }
   FileCache* cache() { return cache_.get(); }
+  /// This node's Data Collector (event rings behind the dc_* system
+  /// tables). Never null; survives restarts and instance loss.
+  obs::DataCollector* dc() { return dc_.get(); }
+  const obs::DataCollector* dc() const { return dc_.get(); }
   CatalogSync* sync() { return sync_.get(); }
   Clock* clock() { return clock_; }
   ObjectStore* shared_storage() { return shared_; }
@@ -102,6 +108,7 @@ class Node {
 
   NodeInstanceId instance_id_;
   std::unique_ptr<Catalog> catalog_;
+  std::unique_ptr<obs::DataCollector> dc_;  ///< Before cache_: cache records into it.
   std::unique_ptr<FileCache> cache_;
   std::unique_ptr<CatalogSync> sync_;
   std::atomic<bool> up_{true};

@@ -2,10 +2,21 @@
 
 #include "engine/dml.h"
 #include "engine/executor.h"
+#include "engine/system_tables.h"
 
 namespace eon {
 
 namespace {
+
+/// "dc_" / "system_" are reserved for system tables; user DDL may not
+/// claim them even for names no system table uses yet.
+Status CheckNotReserved(const std::string& name) {
+  if (IsReservedSystemName(name)) {
+    return Status::InvalidArgument(
+        "table name is in the reserved system namespace: " + name);
+  }
+  return Status::OK();
+}
 
 /// Build the creation transaction for a (possibly flattened) table and
 /// its projections. Shared by CreateTable and CreateFlattenedTable.
@@ -13,6 +24,7 @@ Result<Oid> CommitNewTable(EonCluster* cluster, TableDef table,
                            const std::vector<ProjectionSpec>& projections) {
   Node* coord = cluster->AnyUpNode();
   if (coord == nullptr) return Status::Unavailable("no up nodes");
+  EON_RETURN_IF_ERROR(CheckNotReserved(table.name));
   auto snapshot = coord->catalog()->snapshot();
   if (snapshot->FindTableByName(table.name) != nullptr) {
     return Status::AlreadyExists("table exists: " + table.name);
@@ -197,6 +209,7 @@ Result<Oid> CopyTable(EonCluster* cluster, const std::string& source,
   auto snapshot = coord->catalog()->snapshot();
   const TableDef* src = snapshot->FindTableByName(source);
   if (src == nullptr) return Status::NotFound("no such table: " + source);
+  EON_RETURN_IF_ERROR(CheckNotReserved(destination));
   if (snapshot->FindTableByName(destination) != nullptr) {
     return Status::AlreadyExists("table exists: " + destination);
   }
@@ -399,6 +412,7 @@ Result<Oid> CreateLiveAggregateProjection(
     return Status::InvalidArgument(
         "cannot build a live aggregate over a live aggregate");
   }
+  EON_RETURN_IF_ERROR(CheckNotReserved(name));
   if (snapshot->FindTableByName(name) != nullptr) {
     return Status::AlreadyExists("table exists: " + name);
   }

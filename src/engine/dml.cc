@@ -5,6 +5,7 @@
 
 #include "columnar/sort.h"
 #include "engine/executor.h"
+#include "obs/dc.h"
 
 namespace eon {
 
@@ -388,7 +389,11 @@ Result<uint64_t> LoadIntoTablesFiltered(
             return s;
           }
         }
-        Status up = cluster->shared_storage()->Put(file.key, file.data);
+        Status up = [&] {
+          // Attribute the upload's request cost to the writing node.
+          obs::DcNodeScope dc_scope(writer->name());
+          return cluster->shared_storage()->Put(file.key, file.data);
+        }();
         if (!up.ok()) {
           rollback();
           return up;
@@ -522,7 +527,10 @@ Result<uint64_t> DeleteWhere(EonCluster* cluster, const std::string& table,
       const std::string dv_key = executor->MintStorageKey("dv/");
       const std::string dv_data = merged.Serialize();
       EON_RETURN_IF_ERROR(executor->cache()->Insert(dv_key, dv_data));
-      EON_RETURN_IF_ERROR(cluster->shared_storage()->Put(dv_key, dv_data));
+      {
+        obs::DcNodeScope dc_scope(executor->name());
+        EON_RETURN_IF_ERROR(cluster->shared_storage()->Put(dv_key, dv_data));
+      }
 
       DeleteVectorMeta meta;
       meta.oid = coord->catalog()->NextOid();

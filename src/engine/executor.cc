@@ -1,6 +1,7 @@
 #include "engine/executor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <functional>
 #include <set>
@@ -8,6 +9,8 @@
 #include "common/codec.h"
 #include "common/thread_pool.h"
 #include "engine/dml.h"
+#include "engine/system_tables.h"
+#include "obs/dc.h"
 #include "obs/trace.h"
 
 namespace eon {
@@ -653,6 +656,185 @@ bool TryLiveAggregateRewrite(const CatalogState& state, const QuerySpec& spec,
   return false;
 }
 
+/// SELECT over a system table: materialize the full table at the
+/// initiator (MaterializeSystemTable unions per-node Data Collector rings
+/// / live state — shard pruning does not apply), then run the ordinary
+/// row-wise pipeline: filter, project, group/aggregate, order, limit.
+Result<QueryResult> ExecuteSystemQuery(EonCluster* cluster,
+                                       const QuerySpec& spec) {
+  if (spec.join) {
+    return Status::NotSupported("system tables do not support joins");
+  }
+  const Schema& table_schema = *SystemTableSchema(spec.scan.table);
+
+  obs::QueryProfile profile;
+  obs::Tracer tracer(cluster->clock());
+  obs::Span root = tracer.StartSpan("system_query");
+  root.SetAttribute("table", spec.scan.table);
+
+  PhaseScope scan_scope(&tracer, &profile, obs::QueryPhase::kScan, root);
+  EON_ASSIGN_OR_RETURN(std::vector<Row> all_rows,
+                       MaterializeSystemTable(cluster, spec.scan.table));
+  profile.rows_scanned_total = all_rows.size();
+
+  // Output columns: requested + group/aggregate inputs (dedup, order kept).
+  std::vector<std::string> out_names;
+  std::set<std::string> seen;
+  for (const std::string& c : spec.scan.columns) {
+    if (seen.insert(c).second) out_names.push_back(c);
+  }
+  for (const std::string& g : spec.group_by) {
+    if (seen.insert(g).second) out_names.push_back(g);
+  }
+  for (const AggSpec& a : spec.aggregates) {
+    if (!a.column.empty() && seen.insert(a.column).second) {
+      out_names.push_back(a.column);
+    }
+  }
+
+  std::vector<size_t> out_pos;
+  std::vector<ColumnDef> out_cols;
+  for (const std::string& name : out_names) {
+    EON_ASSIGN_OR_RETURN(size_t idx, table_schema.IndexOf(name));
+    out_pos.push_back(idx);
+    out_cols.push_back(table_schema.column(idx));
+  }
+
+  // Materialized rows are full-width in schema order, so the predicate's
+  // table-column indexes evaluate directly against them.
+  std::vector<Row> rows;
+  for (const Row& full : all_rows) {
+    if (spec.scan.predicate && !spec.scan.predicate->Eval(full)) continue;
+    Row out;
+    out.reserve(out_pos.size());
+    for (size_t p : out_pos) out.push_back(full[p]);
+    rows.push_back(std::move(out));
+  }
+  scan_scope.End();
+
+  Schema out_schema(std::move(out_cols));
+  std::vector<Row> final_rows;
+
+  if (!spec.aggregates.empty() || !spec.group_by.empty()) {
+    PhaseScope agg_scope(&tracer, &profile, obs::QueryPhase::kAggregate,
+                         root);
+    std::vector<size_t> group_pos;
+    for (const std::string& g : spec.group_by) {
+      auto it = std::find(out_names.begin(), out_names.end(), g);
+      if (it == out_names.end()) {
+        return Status::InvalidArgument("group-by column not in output: " + g);
+      }
+      group_pos.push_back(static_cast<size_t>(it - out_names.begin()));
+    }
+    std::vector<size_t> agg_pos;
+    std::vector<DataType> agg_types;
+    for (const AggSpec& a : spec.aggregates) {
+      if (a.column.empty()) {
+        agg_pos.push_back(SIZE_MAX);
+        agg_types.push_back(DataType::kInt64);
+        continue;
+      }
+      auto it = std::find(out_names.begin(), out_names.end(), a.column);
+      if (it == out_names.end()) {
+        return Status::InvalidArgument("aggregate column not in output: " +
+                                       a.column);
+      }
+      const size_t pos = static_cast<size_t>(it - out_names.begin());
+      agg_pos.push_back(pos);
+      agg_types.push_back(out_schema.column(pos).type);
+    }
+
+    static const Value kIgnored = Value::Int(0);  // COUNT ignores its input.
+    GroupMap groups;
+    for (const Row& row : rows) {
+      GroupKey key;
+      key.reserve(group_pos.size());
+      for (size_t p : group_pos) key.push_back(row[p]);
+      auto [it, inserted] = groups.try_emplace(
+          std::move(key), std::vector<AggState>(spec.aggregates.size()));
+      for (size_t a = 0; a < spec.aggregates.size(); ++a) {
+        const Value& v = agg_pos[a] == SIZE_MAX ? kIgnored : row[agg_pos[a]];
+        it->second[a].Accumulate(spec.aggregates[a], v);
+      }
+    }
+
+    std::vector<ColumnDef> cols;
+    for (size_t i = 0; i < spec.group_by.size(); ++i) {
+      ColumnDef c = out_schema.column(group_pos[i]);
+      c.name = spec.group_by[i];
+      cols.push_back(c);
+    }
+    for (size_t a = 0; a < spec.aggregates.size(); ++a) {
+      const AggSpec& spec_a = spec.aggregates[a];
+      DataType t;
+      switch (spec_a.fn) {
+        case AggFn::kCount:
+        case AggFn::kCountDistinct:
+          t = DataType::kInt64;
+          break;
+        case AggFn::kAvg:
+          t = DataType::kDouble;
+          break;
+        default:
+          t = agg_types[a];
+      }
+      cols.push_back(ColumnDef{
+          spec_a.as.empty()
+              ? std::string(AggFnName(spec_a.fn)) + "(" + spec_a.column + ")"
+              : spec_a.as,
+          t});
+    }
+    out_schema = Schema(std::move(cols));
+
+    if (groups.empty() && spec.group_by.empty()) {
+      groups.try_emplace(GroupKey{},
+                         std::vector<AggState>(spec.aggregates.size()));
+    }
+    for (const auto& [key, states] : groups) {
+      Row row = key;
+      for (size_t a = 0; a < states.size(); ++a) {
+        row.push_back(states[a].Finalize(spec.aggregates[a], agg_types[a]));
+      }
+      final_rows.push_back(std::move(row));
+    }
+  } else {
+    final_rows = std::move(rows);
+  }
+
+  PhaseScope merge_scope(&tracer, &profile, obs::QueryPhase::kMerge, root);
+  if (spec.order_by) {
+    size_t pos = SIZE_MAX;
+    for (size_t i = 0; i < out_schema.num_columns(); ++i) {
+      if (out_schema.column(i).name == *spec.order_by) pos = i;
+    }
+    if (pos == SIZE_MAX) {
+      return Status::InvalidArgument("order-by column not in output: " +
+                                     *spec.order_by);
+    }
+    std::stable_sort(final_rows.begin(), final_rows.end(),
+                     [&](const Row& a, const Row& b) {
+                       int c = a[pos].Compare(b[pos]);
+                       return spec.order_desc ? c > 0 : c < 0;
+                     });
+  }
+  if (spec.limit >= 0 &&
+      final_rows.size() > static_cast<size_t>(spec.limit)) {
+    final_rows.resize(static_cast<size_t>(spec.limit));
+  }
+  merge_scope.End();
+  root.End();
+
+  QueryResult result;
+  result.schema = std::move(out_schema);
+  result.rows = std::move(final_rows);
+  result.stats.participating_nodes = cluster->nodes().size();
+  result.profile = std::move(profile);
+  Node* coord = cluster->AnyUpNode();
+  result.catalog_version =
+      coord != nullptr ? coord->catalog()->version() : 0;
+  return result;
+}
+
 }  // namespace
 
 Result<ExecContext> BuildExecContext(EonCluster* cluster,
@@ -716,6 +898,13 @@ Result<QueryResult> ExecuteQuery(EonCluster* cluster,
   if (cluster->is_shutdown()) {
     return Status::Unavailable(
         "cluster is shut down (viability constraints violated)");
+  }
+
+  // System tables take the dedicated scan path: materialized at the
+  // initiator, not sharded, never recorded into the Data Collector (so
+  // introspection does not pollute its own query log).
+  if (IsSystemTable(original_spec.scan.table)) {
+    return ExecuteSystemQuery(cluster, original_spec);
   }
 
   // Profiling scaffold: a clock-driven tracer (deterministic under
@@ -1163,6 +1352,25 @@ Result<QueryResult> ExecuteQuery(EonCluster* cluster,
   result.stats = stats;
   result.profile = std::move(profile);
   result.catalog_version = snapshot->version;
+
+  // Every completed user query lands in the coordinator's Data Collector
+  // (the dc_query_executions system table). RecordQuery applies the
+  // slow-query threshold: fast queries keep the scalar rollup only, slow
+  // ones retain the full per-phase profile.
+  static std::atomic<uint64_t> query_seq{0};
+  obs::DcQueryExecution dc_event;
+  dc_event.query_id = query_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+  dc_event.table = original_spec.scan.table;
+  dc_event.sim_micros = result.profile.TotalSimMicros();
+  dc_event.wall_micros = result.profile.TotalWallMicros();
+  dc_event.rows_out = result.rows.size();
+  dc_event.rows_scanned = result.profile.rows_scanned_total;
+  dc_event.cache_hits = result.profile.cache_hits;
+  dc_event.cache_misses = result.profile.cache_misses;
+  dc_event.store_gets = result.profile.store_gets;
+  dc_event.cost_microdollars = result.profile.store_cost_microdollars;
+  dc_event.profile = result.profile;
+  coord->dc()->RecordQuery(std::move(dc_event));
   return result;
 }
 

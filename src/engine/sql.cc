@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "engine/system_tables.h"
+
 namespace eon {
 
 namespace {
@@ -187,6 +189,11 @@ Result<std::pair<size_t, bool>> ResolveColumn(const CatalogState& state,
   if (left != nullptr) {
     Result<size_t> idx = left->schema.IndexOf(name);
     if (idx.ok()) return std::make_pair(*idx, false);
+  } else if (const Schema* sys = SystemTableSchema(spec.scan.table)) {
+    // System tables live outside the catalog; resolve against their
+    // fixed schemas.
+    Result<size_t> idx = sys->IndexOf(name);
+    if (idx.ok()) return std::make_pair(*idx, false);
   }
   if (spec.join) {
     const TableDef* right = state.FindTableByName(spec.join->right.table);
@@ -244,11 +251,15 @@ Result<QuerySpec> ParseSelect(const CatalogState& state,
 
   QuerySpec spec;
   spec.scan.table = table.text;
-  if (state.FindTableByName(table.text) == nullptr) {
+  if (state.FindTableByName(table.text) == nullptr &&
+      !IsSystemTable(table.text)) {
     return Status::NotFound("no such table: " + table.text);
   }
 
   if (lex.ConsumeKeyword("JOIN")) {
+    if (IsSystemTable(spec.scan.table)) {
+      return Status::NotSupported("system tables do not support joins");
+    }
     Token right = lex.Take();
     if (right.type != Token::Type::kIdent) {
       return Status::InvalidArgument("expected table name after JOIN");
@@ -315,9 +326,11 @@ Result<QuerySpec> ParseSelect(const CatalogState& state,
       EON_ASSIGN_OR_RETURN(CmpOp cmp, ParseOp(op.text));
       const TableDef* owner = state.FindTableByName(
           where.second ? spec.join->right.table : spec.scan.table);
-      EON_ASSIGN_OR_RETURN(
-          Value literal,
-          ParseLiteral(&lex, owner->schema.column(where.first).type));
+      const DataType col_type =
+          owner != nullptr
+              ? owner->schema.column(where.first).type
+              : SystemTableSchema(spec.scan.table)->column(where.first).type;
+      EON_ASSIGN_OR_RETURN(Value literal, ParseLiteral(&lex, col_type));
       PredicatePtr cond = Predicate::Cmp(where.first, cmp, literal);
 
       PredicatePtr* target = where.second ? &right_pred : &left_pred;

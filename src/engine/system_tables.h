@@ -1,0 +1,63 @@
+#ifndef EON_ENGINE_SYSTEM_TABLES_H_
+#define EON_ENGINE_SYSTEM_TABLES_H_
+
+#include <string>
+#include <vector>
+
+#include "columnar/schema.h"
+#include "common/json.h"
+#include "common/result.h"
+
+namespace eon {
+
+class EonCluster;
+
+/// System tables: the cluster introspected through its own SQL engine
+/// (Vertica's v_monitor / Data Collector model). Two families:
+///  - dc_* tables project the Data Collector event rings (recent history,
+///    bounded, with drop counters when a ring wrapped);
+///  - system_* tables are live snapshots of topology, subscriptions,
+///    caches, storage containers and the metrics registry.
+/// SELECTs over them run through the ordinary executor — predicates,
+/// projection, aggregation, ORDER BY and LIMIT all work. Rows materialize
+/// per participating node and union at the coordinator; shard pruning
+/// does not apply (system tables are not sharded).
+
+/// True when `name` falls in the reserved namespace ("dc_" / "system_"
+/// prefixes). DDL refuses user tables with such names whether or not a
+/// system table by that name exists yet.
+bool IsReservedSystemName(const std::string& name);
+
+/// Schema of a known system table; nullptr when `name` is not one.
+const Schema* SystemTableSchema(const std::string& name);
+
+inline bool IsSystemTable(const std::string& name) {
+  return SystemTableSchema(name) != nullptr;
+}
+
+/// Every system table name, sorted (the eonsql \dt+ listing).
+const std::vector<std::string>& SystemTableNames();
+
+/// Materialize all rows of system table `name`, full-width in schema
+/// column order (row position == schema position, so predicates built
+/// against the table schema evaluate directly).
+Result<std::vector<Row>> MaterializeSystemTable(EonCluster* cluster,
+                                                const std::string& name);
+
+namespace obs {
+
+/// Every system table as one JSON document:
+///   { "<table>": {"columns": [...], "rows": [[...], ...]}, ...,
+///     "dc_ring_counters": {"<node>": {"<ring>": {total, dropped}}} }
+/// Benches snapshot this next to their metrics sidecar.
+JsonValue ExportSystemTables(EonCluster* cluster);
+
+/// Write ExportSystemTables(cluster) to `path`.
+Status WriteSystemTablesJsonFile(const std::string& path,
+                                 EonCluster* cluster);
+
+}  // namespace obs
+
+}  // namespace eon
+
+#endif  // EON_ENGINE_SYSTEM_TABLES_H_

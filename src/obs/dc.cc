@@ -1,0 +1,151 @@
+#include "obs/dc.h"
+
+#include <cstdlib>
+
+namespace eon {
+namespace obs {
+
+namespace {
+
+constexpr int64_t kDefaultSlowQueryMicros = 10000;  // 10 sim-ms.
+
+int64_t ResolveSlowQueryMicros(int64_t configured) {
+  if (configured >= 0) return configured;
+  const char* env = std::getenv("EON_SLOW_QUERY_MICROS");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long long parsed = std::strtoll(env, &end, 10);
+    if (end != env && parsed >= 0) return static_cast<int64_t>(parsed);
+  }
+  return kDefaultSlowQueryMicros;
+}
+
+thread_local const std::string* tls_dc_node = nullptr;
+
+}  // namespace
+
+const char* DcCacheEventKindName(DcCacheEvent::Kind kind) {
+  switch (kind) {
+    case DcCacheEvent::Kind::kEviction:
+      return "eviction";
+    case DcCacheEvent::Kind::kMissFill:
+      return "miss_fill";
+    case DcCacheEvent::Kind::kCoalescedWait:
+      return "coalesced_wait";
+  }
+  return "unknown";
+}
+
+DataCollector::DataCollector(std::string node, Clock* clock,
+                             DataCollectorOptions options)
+    : node_(std::move(node)),
+      clock_(clock),
+      slow_query_micros_(ResolveSlowQueryMicros(options.slow_query_micros)),
+      queries_(options.query_ring),
+      cache_events_(options.cache_ring),
+      store_requests_(options.store_ring),
+      mergeouts_(options.mergeout_ring),
+      subscriptions_(options.subscription_ring) {}
+
+DataCollector* DataCollector::Default() {
+  static DataCollector* instance = new DataCollector();
+  return instance;
+}
+
+int64_t DataCollector::Stamp(int64_t at_micros) const {
+  if (at_micros != 0 || clock_ == nullptr) return at_micros;
+  return clock_->NowMicros();
+}
+
+void DataCollector::RecordQuery(DcQueryExecution event) {
+  event.at_micros = Stamp(event.at_micros);
+  if (event.node.empty()) event.node = node_;
+  event.slow =
+      event.sim_micros >= slow_query_micros_.load(std::memory_order_relaxed);
+  if (!event.slow) event.profile = QueryProfile{};
+  queries_.Push(std::move(event));
+}
+
+void DataCollector::RecordCacheEvent(DcCacheEvent event) {
+  event.at_micros = Stamp(event.at_micros);
+  if (event.node.empty()) event.node = node_;
+  cache_events_.Push(std::move(event));
+}
+
+void DataCollector::RecordStoreRequest(DcStoreRequest event) {
+  event.at_micros = Stamp(event.at_micros);
+  if (event.node.empty()) event.node = DcNodeScope::Current();
+  store_requests_.Push(std::move(event));
+}
+
+void DataCollector::RecordMergeout(DcMergeoutEvent event) {
+  event.at_micros = Stamp(event.at_micros);
+  if (event.node.empty()) event.node = node_;
+  mergeouts_.Push(std::move(event));
+}
+
+void DataCollector::RecordSubscription(DcSubscriptionEvent event) {
+  event.at_micros = Stamp(event.at_micros);
+  if (event.node.empty()) event.node = node_;
+  subscriptions_.Push(std::move(event));
+}
+
+std::vector<DcQueryExecution> DataCollector::QueryExecutions() const {
+  return queries_.Snapshot();
+}
+std::vector<DcCacheEvent> DataCollector::CacheEvents() const {
+  return cache_events_.Snapshot();
+}
+std::vector<DcStoreRequest> DataCollector::StoreRequests() const {
+  return store_requests_.Snapshot();
+}
+std::vector<DcMergeoutEvent> DataCollector::MergeoutEvents() const {
+  return mergeouts_.Snapshot();
+}
+std::vector<DcSubscriptionEvent> DataCollector::SubscriptionEvents() const {
+  return subscriptions_.Snapshot();
+}
+
+DcRingCounters DataCollector::query_counters() const {
+  return queries_.counters();
+}
+DcRingCounters DataCollector::cache_counters() const {
+  return cache_events_.counters();
+}
+DcRingCounters DataCollector::store_counters() const {
+  return store_requests_.counters();
+}
+DcRingCounters DataCollector::mergeout_counters() const {
+  return mergeouts_.counters();
+}
+DcRingCounters DataCollector::subscription_counters() const {
+  return subscriptions_.counters();
+}
+
+int64_t DataCollector::slow_query_micros() const {
+  return slow_query_micros_.load(std::memory_order_relaxed);
+}
+void DataCollector::set_slow_query_micros(int64_t micros) {
+  slow_query_micros_.store(micros, std::memory_order_relaxed);
+}
+
+void DataCollector::Clear() {
+  queries_.Clear();
+  cache_events_.Clear();
+  store_requests_.Clear();
+  mergeouts_.Clear();
+  subscriptions_.Clear();
+}
+
+DcNodeScope::DcNodeScope(const std::string& node) : previous_(tls_dc_node) {
+  tls_dc_node = &node;
+}
+
+DcNodeScope::~DcNodeScope() { tls_dc_node = previous_; }
+
+std::string DcNodeScope::Current() {
+  return tls_dc_node == nullptr ? std::string() : *tls_dc_node;
+}
+
+}  // namespace obs
+}  // namespace eon

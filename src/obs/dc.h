@@ -1,0 +1,245 @@
+#ifndef EON_OBS_DC_H_
+#define EON_OBS_DC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "obs/profile.h"
+
+namespace eon {
+namespace obs {
+
+/// Data Collector: per-node, bounded, thread-safe ring buffers of
+/// structured events, mirroring Vertica's Data Collector. Each component
+/// records into a fixed-schema ring; the engine exposes the rings as the
+/// `dc_*` system tables so the cluster is introspected through its own
+/// SQL (paper Sections 5.2/5.3: cache behavior, per-request S3 spend and
+/// subscription states are the operational story).
+///
+/// Rings drop the oldest event when full and count the drops, so a busy
+/// cluster degrades to "recent history" instead of unbounded memory.
+
+/// One completed query on its coordinator node. The full per-phase
+/// QueryProfile is retained only for queries at or above the collector's
+/// slow-query threshold (the "slow-query log"); fast queries keep the
+/// scalar rollup columns only.
+struct DcQueryExecution {
+  uint64_t query_id = 0;
+  std::string node;   ///< Coordinator node name.
+  std::string table;  ///< Scan target (left table).
+  int64_t at_micros = 0;
+  int64_t sim_micros = 0;
+  int64_t wall_micros = 0;
+  uint64_t rows_out = 0;
+  uint64_t rows_scanned = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t store_gets = 0;
+  uint64_t cost_microdollars = 0;
+  bool slow = false;
+  QueryProfile profile;  ///< Cleared unless `slow`.
+};
+
+/// File-cache lifecycle events (evictions, miss fills, coalesced waits).
+struct DcCacheEvent {
+  enum class Kind : uint8_t { kEviction = 0, kMissFill = 1, kCoalescedWait = 2 };
+  std::string node;
+  int64_t at_micros = 0;
+  Kind kind = Kind::kMissFill;
+  std::string key;
+  uint64_t bytes = 0;
+};
+const char* DcCacheEventKindName(DcCacheEvent::Kind kind);
+
+/// One object-store request with its simulated latency and microdollar
+/// cost ("requests cost money", Section 5.3). `node` is the requesting
+/// node when attribution is known (see DcNodeScope), else "".
+struct DcStoreRequest {
+  std::string store;
+  std::string node;
+  int64_t at_micros = 0;
+  std::string op;  ///< get / put / list / delete.
+  std::string key;
+  uint64_t bytes = 0;
+  int64_t latency_micros = 0;
+  uint64_t cost_microdollars = 0;
+  bool ok = true;
+};
+
+/// One tuple-mover mergeout job run on this node.
+struct DcMergeoutEvent {
+  std::string node;
+  int64_t at_micros = 0;
+  std::string projection;
+  uint64_t shard = 0;
+  uint64_t inputs = 0;
+  uint64_t rows_written = 0;
+  uint64_t stratum = 0;
+  int64_t sim_micros = 0;
+};
+
+/// One subscription state transition on this node (Figure 4 lifecycle).
+struct DcSubscriptionEvent {
+  std::string node;
+  int64_t at_micros = 0;
+  uint64_t shard = 0;
+  std::string from_state;
+  std::string to_state;
+  std::string reason;
+};
+
+/// Ring capacities and retention knobs.
+struct DataCollectorOptions {
+  size_t query_ring = 256;
+  size_t cache_ring = 1024;
+  size_t store_ring = 4096;
+  size_t mergeout_ring = 256;
+  size_t subscription_ring = 256;
+  /// Queries whose total sim time meets this threshold keep their full
+  /// QueryProfile in the ring (slow-query log). < 0 resolves the
+  /// EON_SLOW_QUERY_MICROS env var, defaulting to 10000 (10 sim-ms).
+  int64_t slow_query_micros = -1;
+};
+
+/// Per-ring bookkeeping: how many events were ever recorded and how many
+/// fell off the ring. `dropped` is the honesty counter — a snapshot with
+/// dropped > 0 is recent history, not a complete log.
+struct DcRingCounters {
+  uint64_t total = 0;
+  uint64_t dropped = 0;
+};
+
+namespace internal {
+
+/// Bounded MPMC ring over a deque: push drops the oldest when full.
+/// The mutex is a strict leaf — Push/Snapshot never call out while
+/// holding it, so recording is safe from under any component lock
+/// (FileCache holds all shard locks during eviction passes).
+template <typename T>
+class DcRing {
+ public:
+  explicit DcRing(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void Push(T event) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++total_;
+    if (events_.size() >= capacity_) {
+      events_.pop_front();
+      ++dropped_;
+    }
+    events_.push_back(std::move(event));
+  }
+
+  /// Oldest first.
+  std::vector<T> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::vector<T>(events_.begin(), events_.end());
+  }
+
+  DcRingCounters counters() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return DcRingCounters{total_, dropped_};
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.clear();
+    total_ = 0;
+    dropped_ = 0;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<T> events_;
+  uint64_t total_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace internal
+
+class DataCollector {
+ public:
+  /// `node` is the owning node's name ("" for the process-wide default
+  /// collector). `clock` may be null; when set, Record* stamps
+  /// `at_micros` on events that arrive unstamped (at_micros == 0).
+  explicit DataCollector(std::string node = "", Clock* clock = nullptr,
+                         DataCollectorOptions options = {});
+
+  DataCollector(const DataCollector&) = delete;
+  DataCollector& operator=(const DataCollector&) = delete;
+
+  /// Process-wide collector for components with no owning node (shared
+  /// object stores). Never null.
+  static DataCollector* Default();
+
+  void RecordQuery(DcQueryExecution event);
+  void RecordCacheEvent(DcCacheEvent event);
+  void RecordStoreRequest(DcStoreRequest event);
+  void RecordMergeout(DcMergeoutEvent event);
+  void RecordSubscription(DcSubscriptionEvent event);
+
+  // Snapshots, oldest first.
+  std::vector<DcQueryExecution> QueryExecutions() const;
+  std::vector<DcCacheEvent> CacheEvents() const;
+  std::vector<DcStoreRequest> StoreRequests() const;
+  std::vector<DcMergeoutEvent> MergeoutEvents() const;
+  std::vector<DcSubscriptionEvent> SubscriptionEvents() const;
+
+  DcRingCounters query_counters() const;
+  DcRingCounters cache_counters() const;
+  DcRingCounters store_counters() const;
+  DcRingCounters mergeout_counters() const;
+  DcRingCounters subscription_counters() const;
+
+  int64_t slow_query_micros() const;
+  void set_slow_query_micros(int64_t micros);
+
+  const std::string& node() const { return node_; }
+  void set_clock(Clock* clock) { clock_ = clock; }
+
+  /// Drop all events and reset counters (tests; Default() is shared
+  /// process state).
+  void Clear();
+
+ private:
+  int64_t Stamp(int64_t at_micros) const;
+
+  std::string node_;
+  Clock* clock_;
+  std::atomic<int64_t> slow_query_micros_;
+
+  internal::DcRing<DcQueryExecution> queries_;
+  internal::DcRing<DcCacheEvent> cache_events_;
+  internal::DcRing<DcStoreRequest> store_requests_;
+  internal::DcRing<DcMergeoutEvent> mergeouts_;
+  internal::DcRing<DcSubscriptionEvent> subscriptions_;
+};
+
+/// RAII thread-local attribution: store requests recorded while a scope
+/// is live carry the scope's node name. The file cache opens a scope
+/// around shared-store fills so `dc_store_requests.node` answers "which
+/// node spent that money".
+class DcNodeScope {
+ public:
+  explicit DcNodeScope(const std::string& node);
+  ~DcNodeScope();
+  DcNodeScope(const DcNodeScope&) = delete;
+  DcNodeScope& operator=(const DcNodeScope&) = delete;
+
+  /// The innermost live scope's node name on this thread, or "".
+  static std::string Current();
+
+ private:
+  const std::string* previous_;
+};
+
+}  // namespace obs
+}  // namespace eon
+
+#endif  // EON_OBS_DC_H_

@@ -1,5 +1,7 @@
 #include "obs/trace.h"
 
+#include "obs/metrics.h"
+
 namespace eon {
 namespace obs {
 
@@ -43,17 +45,27 @@ Span Tracer::StartSpanAt(const std::string& name, uint64_t parent_id) {
 }
 
 void Tracer::Finish(SpanData data) {
-  std::lock_guard<std::mutex> lock(mu_);
-  finished_total_++;
-  if (finished_.size() >= max_finished_) {
-    finished_.erase(finished_.begin());
+  bool dropped = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    finished_total_++;
+    if (finished_.size() >= max_finished_) {
+      finished_.pop_front();
+      spans_dropped_++;
+      dropped = true;
+    }
+    finished_.push_back(std::move(data));
   }
-  finished_.push_back(std::move(data));
+  if (dropped) {
+    OrDefault(registry_)
+        ->GetCounter("eon_tracer_spans_dropped_total")
+        ->Increment();
+  }
 }
 
 std::vector<SpanData> Tracer::FinishedSpans() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return finished_;
+  return std::vector<SpanData>(finished_.begin(), finished_.end());
 }
 
 uint64_t Tracer::finished_count() const {
@@ -61,10 +73,16 @@ uint64_t Tracer::finished_count() const {
   return finished_total_;
 }
 
+uint64_t Tracer::spans_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_dropped_;
+}
+
 void Tracer::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   finished_.clear();
   finished_total_ = 0;
+  spans_dropped_ = 0;
 }
 
 }  // namespace obs

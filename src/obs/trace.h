@@ -2,6 +2,7 @@
 #define EON_OBS_TRACE_H_
 
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -11,6 +12,8 @@
 
 namespace eon {
 namespace obs {
+
+class MetricsRegistry;
 
 /// A finished (or in-flight) span's recorded data.
 struct SpanData {
@@ -61,11 +64,16 @@ class Span {
 /// Clock-driven tracer: spans read time from the supplied Clock, so the
 /// same instrumentation yields deterministic timings under SimClock and
 /// real latencies under WallClock. Finished spans land in a bounded
-/// in-memory buffer (oldest dropped first) for inspection and export.
+/// in-memory ring (oldest dropped first, O(1) per span); drops are
+/// counted locally and on the `eon_tracer_spans_dropped_total` counter
+/// in `registry` (null = process default) so exports surface them.
 class Tracer {
  public:
-  explicit Tracer(Clock* clock, size_t max_finished_spans = 4096)
-      : clock_(clock), max_finished_(max_finished_spans) {}
+  explicit Tracer(Clock* clock, size_t max_finished_spans = 4096,
+                  MetricsRegistry* registry = nullptr)
+      : clock_(clock),
+        max_finished_(max_finished_spans),
+        registry_(registry) {}
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
@@ -83,6 +91,8 @@ class Tracer {
   std::vector<SpanData> FinishedSpans() const;
   /// Total spans finished, including any dropped from the buffer.
   uint64_t finished_count() const;
+  /// Spans evicted from the bounded buffer since construction / Clear().
+  uint64_t spans_dropped() const;
   void Clear();
 
  private:
@@ -92,9 +102,11 @@ class Tracer {
 
   Clock* clock_;
   const size_t max_finished_;
+  MetricsRegistry* registry_;
   mutable std::mutex mu_;
-  std::vector<SpanData> finished_;
+  std::deque<SpanData> finished_;
   uint64_t finished_total_ = 0;
+  uint64_t spans_dropped_ = 0;
   uint64_t next_id_ = 1;
 };
 

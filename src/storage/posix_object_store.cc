@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <mutex>
 
 #include "common/hash.h"
+#include "obs/dc.h"
 #include "obs/metrics.h"
 
 namespace fs = std::filesystem;
@@ -16,8 +18,30 @@ namespace eon {
 
 struct PosixObjectStore::Impl {
   std::string root;
+  std::string name;  ///< `store` label / Data Collector store name.
   mutable std::mutex mu;
   ObjectStoreMetrics metrics;
+
+  static int64_t WallMicros() {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  /// One row in the `dc_store_requests` system table (cost 0: local disk
+  /// requests are free; latency is real wall time).
+  void RecordDc(const char* op, const std::string& key, uint64_t bytes,
+                int64_t latency_micros, bool ok) const {
+    obs::DcStoreRequest e;
+    e.store = name;
+    e.at_micros = WallMicros();
+    e.op = op;
+    e.key = key;
+    e.bytes = bytes;
+    e.latency_micros = latency_micros;
+    e.ok = ok;
+    obs::DataCollector::Default()->RecordStoreRequest(std::move(e));
+  }
 
   // Registry mirrors (monotone; not touched by ResetForTest).
   obs::Counter* req_get = nullptr;
@@ -81,7 +105,8 @@ PosixObjectStore::PosixObjectStore(std::string root) : impl_(new Impl()) {
   fs::create_directories(impl_->root, ec);
 
   static std::atomic<uint64_t> next_id{0};
-  std::string name = "posix" + std::to_string(next_id.fetch_add(1));
+  impl_->name = "posix" + std::to_string(next_id.fetch_add(1));
+  const std::string& name = impl_->name;
   obs::MetricsRegistry* reg = obs::MetricsRegistry::Default();
   auto req = [&](const char* op) {
     return reg->GetCounter("eon_store_requests_total",
@@ -102,44 +127,56 @@ PosixObjectStore::~PosixObjectStore() = default;
 
 Status PosixObjectStore::Put(const std::string& key, const std::string& data) {
   std::lock_guard<std::mutex> lock(impl_->mu);
-  impl_->metrics.puts++;
-  impl_->req_put->Increment();
-  fs::path path = impl_->PathFor(key);
-  std::error_code ec;
-  if (fs::exists(path, ec)) {
-    return Status::AlreadyExists("object exists: " + key);
-  }
-  fs::create_directories(path.parent_path(), ec);
-  // Write to a temp file then rename so readers never observe partial
-  // objects (POSIX backend can afford rename; S3 backends cannot and use
-  // single-shot puts instead).
-  fs::path tmp = path;
-  tmp += ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return Status::IOError("cannot open for write: " + key);
-    out.write(data.data(), static_cast<std::streamsize>(data.size()));
-    if (!out) return Status::IOError("short write: " + key);
-  }
-  fs::rename(tmp, path, ec);
-  if (ec) return Status::IOError("rename failed: " + ec.message());
-  impl_->metrics.bytes_written += data.size();
-  impl_->reg_bytes_written->Increment(data.size());
-  return Status::OK();
+  const int64_t t0 = Impl::WallMicros();
+  Status result = [&]() -> Status {
+    impl_->metrics.puts++;
+    impl_->req_put->Increment();
+    fs::path path = impl_->PathFor(key);
+    std::error_code ec;
+    if (fs::exists(path, ec)) {
+      return Status::AlreadyExists("object exists: " + key);
+    }
+    fs::create_directories(path.parent_path(), ec);
+    // Write to a temp file then rename so readers never observe partial
+    // objects (POSIX backend can afford rename; S3 backends cannot and use
+    // single-shot puts instead).
+    fs::path tmp = path;
+    tmp += ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out) return Status::IOError("cannot open for write: " + key);
+      out.write(data.data(), static_cast<std::streamsize>(data.size()));
+      if (!out) return Status::IOError("short write: " + key);
+    }
+    fs::rename(tmp, path, ec);
+    if (ec) return Status::IOError("rename failed: " + ec.message());
+    impl_->metrics.bytes_written += data.size();
+    impl_->reg_bytes_written->Increment(data.size());
+    return Status::OK();
+  }();
+  impl_->RecordDc("put", key, data.size(), Impl::WallMicros() - t0,
+                  result.ok());
+  return result;
 }
 
 Result<std::string> PosixObjectStore::Get(const std::string& key) {
   std::lock_guard<std::mutex> lock(impl_->mu);
-  impl_->metrics.gets++;
-  impl_->req_get->Increment();
-  fs::path path = impl_->PathFor(key);
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("object not found: " + key);
-  std::string data((std::istreambuf_iterator<char>(in)),
-                   std::istreambuf_iterator<char>());
-  impl_->metrics.bytes_read += data.size();
-  impl_->reg_bytes_read->Increment(data.size());
-  return data;
+  const int64_t t0 = Impl::WallMicros();
+  Result<std::string> result = [&]() -> Result<std::string> {
+    impl_->metrics.gets++;
+    impl_->req_get->Increment();
+    fs::path path = impl_->PathFor(key);
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::NotFound("object not found: " + key);
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    impl_->metrics.bytes_read += data.size();
+    impl_->reg_bytes_read->Increment(data.size());
+    return data;
+  }();
+  impl_->RecordDc("get", key, result.ok() ? result.value().size() : 0,
+                  Impl::WallMicros() - t0, result.ok());
+  return result;
 }
 
 Result<std::string> PosixObjectStore::ReadRange(const std::string& key,
@@ -161,6 +198,7 @@ Result<std::string> PosixObjectStore::ReadRange(const std::string& key,
   if (!in) return Status::IOError("short read: " + key);
   impl_->metrics.bytes_read += n;
   impl_->reg_bytes_read->Increment(n);
+  impl_->RecordDc("get", key, n, 0, true);
   return out;
 }
 
@@ -187,16 +225,20 @@ Result<std::vector<ObjectMeta>> PosixObjectStore::List(
             [](const ObjectMeta& a, const ObjectMeta& b) {
               return a.key < b.key;
             });
+  impl_->RecordDc("list", prefix, 0, 0, true);
   return out;
 }
 
 Status PosixObjectStore::Delete(const std::string& key) {
   std::lock_guard<std::mutex> lock(impl_->mu);
+  const int64_t t0 = Impl::WallMicros();
   impl_->metrics.deletes++;
   impl_->req_delete->Increment();
   fs::path path = impl_->PathFor(key);
   std::error_code ec;
-  if (!fs::remove(path, ec)) {
+  const bool removed = fs::remove(path, ec);
+  impl_->RecordDc("delete", key, 0, Impl::WallMicros() - t0, removed);
+  if (!removed) {
     return Status::NotFound("object not found: " + key);
   }
   return Status::OK();

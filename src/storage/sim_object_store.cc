@@ -5,12 +5,15 @@
 #include <map>
 #include <mutex>
 
+#include "obs/dc.h"
+
 namespace eon {
 
 struct SimObjectStore::Impl {
   SimStoreOptions options;
   Clock* clock;
   MemObjectStore backing;
+  std::string name;  ///< `store` label / Data Collector store name.
   mutable std::mutex mu;
   Random rng;
   ObjectStoreMetrics extra;  // Failure/throttle/cost counters.
@@ -30,7 +33,7 @@ struct SimObjectStore::Impl {
 
   Impl(SimStoreOptions opts, Clock* c)
       : options(opts), clock(c), rng(opts.seed) {
-    std::string name = options.metrics_name;
+    name = options.metrics_name;
     if (name.empty()) {
       static std::atomic<uint64_t> next_instance{1};
       name = "sim" + std::to_string(next_instance.fetch_add(1));
@@ -91,6 +94,23 @@ struct SimObjectStore::Impl {
     extra.cost_microdollars += cost;
     cost_microdollars->Increment(cost);
   }
+
+  /// One row in the `dc_store_requests` system table. Requesting-node
+  /// attribution comes from the caller's DcNodeScope (the file cache
+  /// opens one around miss fills).
+  void RecordDc(const char* op, const std::string& key, uint64_t bytes,
+                int64_t latency_micros, uint64_t cost, bool ok) {
+    obs::DcStoreRequest e;
+    e.store = name;
+    e.at_micros = clock->NowMicros();
+    e.op = op;
+    e.key = key;
+    e.bytes = bytes;
+    e.latency_micros = latency_micros;
+    e.cost_microdollars = cost;
+    e.ok = ok;
+    obs::DataCollector::Default()->RecordStoreRequest(std::move(e));
+  }
 };
 
 SimObjectStore::SimObjectStore(SimStoreOptions options, Clock* clock)
@@ -99,66 +119,99 @@ SimObjectStore::~SimObjectStore() = default;
 
 Status SimObjectStore::Put(const std::string& key, const std::string& data) {
   std::lock_guard<std::mutex> lock(impl_->mu);
-  impl_->ChargeTime(impl_->options.put_latency_micros, data.size(),
-                    impl_->op_put);
-  impl_->Charge(impl_->op_put, impl_->options.put_cost_microdollars);
-  // Fault may fire after the object landed (lost response case).
-  bool fault_after = impl_->rng.Bernoulli(0.5);
-  if (!fault_after) {
-    EON_RETURN_IF_ERROR(impl_->MaybeInjectFault());
-  }
-  Status put = impl_->backing.Put(key, data);
-  if (put.ok() && impl_->options.head_staleness_micros > 0) {
-    impl_->created_at[key] = impl_->clock->NowMicros();
-  }
-  if (put.ok()) impl_->bytes_written->Increment(data.size());
-  if (fault_after) {
-    Status fault = impl_->MaybeInjectFault();
-    if (!fault.ok()) return fault;  // Data may or may not have landed.
-  }
-  return put;
+  const int64_t t0 = impl_->clock->NowMicros();
+  Status result = [&]() -> Status {
+    impl_->ChargeTime(impl_->options.put_latency_micros, data.size(),
+                      impl_->op_put);
+    impl_->Charge(impl_->op_put, impl_->options.put_cost_microdollars);
+    // Fault may fire after the object landed (lost response case).
+    bool fault_after = impl_->rng.Bernoulli(0.5);
+    if (!fault_after) {
+      EON_RETURN_IF_ERROR(impl_->MaybeInjectFault());
+    }
+    Status put = impl_->backing.Put(key, data);
+    if (put.ok() && impl_->options.head_staleness_micros > 0) {
+      impl_->created_at[key] = impl_->clock->NowMicros();
+    }
+    if (put.ok()) impl_->bytes_written->Increment(data.size());
+    if (fault_after) {
+      Status fault = impl_->MaybeInjectFault();
+      if (!fault.ok()) return fault;  // Data may or may not have landed.
+    }
+    return put;
+  }();
+  impl_->RecordDc("put", key, data.size(), impl_->clock->NowMicros() - t0,
+                  impl_->options.put_cost_microdollars, result.ok());
+  return result;
 }
 
 Result<std::string> SimObjectStore::Get(const std::string& key) {
   std::lock_guard<std::mutex> lock(impl_->mu);
-  impl_->Charge(impl_->op_get, impl_->options.get_cost_microdollars);
-  EON_RETURN_IF_ERROR(impl_->MaybeInjectFault());
-  EON_ASSIGN_OR_RETURN(std::string data, impl_->backing.Get(key));
-  impl_->ChargeTime(impl_->options.get_latency_micros, data.size(),
-                    impl_->op_get);
-  impl_->bytes_read->Increment(data.size());
-  return data;
+  const int64_t t0 = impl_->clock->NowMicros();
+  Result<std::string> result = [&]() -> Result<std::string> {
+    impl_->Charge(impl_->op_get, impl_->options.get_cost_microdollars);
+    EON_RETURN_IF_ERROR(impl_->MaybeInjectFault());
+    EON_ASSIGN_OR_RETURN(std::string data, impl_->backing.Get(key));
+    impl_->ChargeTime(impl_->options.get_latency_micros, data.size(),
+                      impl_->op_get);
+    impl_->bytes_read->Increment(data.size());
+    return data;
+  }();
+  impl_->RecordDc("get", key, result.ok() ? result.value().size() : 0,
+                  impl_->clock->NowMicros() - t0,
+                  impl_->options.get_cost_microdollars, result.ok());
+  return result;
 }
 
 Result<std::string> SimObjectStore::ReadRange(const std::string& key,
                                               uint64_t offset, uint64_t len) {
   std::lock_guard<std::mutex> lock(impl_->mu);
-  impl_->Charge(impl_->op_get, impl_->options.get_cost_microdollars);
-  EON_RETURN_IF_ERROR(impl_->MaybeInjectFault());
-  EON_ASSIGN_OR_RETURN(std::string data,
-                       impl_->backing.ReadRange(key, offset, len));
-  impl_->ChargeTime(impl_->options.get_latency_micros, data.size(),
-                    impl_->op_get);
-  impl_->bytes_read->Increment(data.size());
-  return data;
+  const int64_t t0 = impl_->clock->NowMicros();
+  Result<std::string> result = [&]() -> Result<std::string> {
+    impl_->Charge(impl_->op_get, impl_->options.get_cost_microdollars);
+    EON_RETURN_IF_ERROR(impl_->MaybeInjectFault());
+    EON_ASSIGN_OR_RETURN(std::string data,
+                         impl_->backing.ReadRange(key, offset, len));
+    impl_->ChargeTime(impl_->options.get_latency_micros, data.size(),
+                      impl_->op_get);
+    impl_->bytes_read->Increment(data.size());
+    return data;
+  }();
+  impl_->RecordDc("get", key, result.ok() ? result.value().size() : 0,
+                  impl_->clock->NowMicros() - t0,
+                  impl_->options.get_cost_microdollars, result.ok());
+  return result;
 }
 
 Result<std::vector<ObjectMeta>> SimObjectStore::List(
     const std::string& prefix) {
   std::lock_guard<std::mutex> lock(impl_->mu);
-  impl_->Charge(impl_->op_list, impl_->options.list_cost_microdollars);
-  EON_RETURN_IF_ERROR(impl_->MaybeInjectFault());
-  impl_->ChargeTime(impl_->options.list_latency_micros, 0, impl_->op_list);
-  return impl_->backing.List(prefix);
+  const int64_t t0 = impl_->clock->NowMicros();
+  Result<std::vector<ObjectMeta>> result =
+      [&]() -> Result<std::vector<ObjectMeta>> {
+    impl_->Charge(impl_->op_list, impl_->options.list_cost_microdollars);
+    EON_RETURN_IF_ERROR(impl_->MaybeInjectFault());
+    impl_->ChargeTime(impl_->options.list_latency_micros, 0, impl_->op_list);
+    return impl_->backing.List(prefix);
+  }();
+  impl_->RecordDc("list", prefix, 0, impl_->clock->NowMicros() - t0,
+                  impl_->options.list_cost_microdollars, result.ok());
+  return result;
 }
 
 Status SimObjectStore::Delete(const std::string& key) {
   std::lock_guard<std::mutex> lock(impl_->mu);
-  impl_->Charge(impl_->op_delete, 0);  // S3-style: DELETE requests are free.
-  EON_RETURN_IF_ERROR(impl_->MaybeInjectFault());
-  impl_->ChargeTime(impl_->options.delete_latency_micros, 0,
-                    impl_->op_delete);
-  return impl_->backing.Delete(key);
+  const int64_t t0 = impl_->clock->NowMicros();
+  Status result = [&]() -> Status {
+    impl_->Charge(impl_->op_delete, 0);  // S3-style: DELETEs are free.
+    EON_RETURN_IF_ERROR(impl_->MaybeInjectFault());
+    impl_->ChargeTime(impl_->options.delete_latency_micros, 0,
+                      impl_->op_delete);
+    return impl_->backing.Delete(key);
+  }();
+  impl_->RecordDc("delete", key, 0, impl_->clock->NowMicros() - t0, 0,
+                  result.ok());
+  return result;
 }
 
 ObjectStoreMetrics SimObjectStore::metrics() const {
@@ -178,9 +231,12 @@ void SimObjectStore::ResetForTest() {
 
 Result<bool> SimObjectStore::HeadProbe(const std::string& key) {
   std::lock_guard<std::mutex> lock(impl_->mu);
+  const int64_t t0 = impl_->clock->NowMicros();
   impl_->Charge(impl_->op_get, impl_->options.get_cost_microdollars);
   EON_RETURN_IF_ERROR(impl_->MaybeInjectFault());
   impl_->ChargeTime(impl_->options.get_latency_micros, 0, impl_->op_get);
+  impl_->RecordDc("head", key, 0, impl_->clock->NowMicros() - t0,
+                  impl_->options.get_cost_microdollars, true);
   EON_ASSIGN_OR_RETURN(bool exists, impl_->backing.Exists(key));
   if (!exists) return false;
   auto it = impl_->created_at.find(key);

@@ -4,6 +4,7 @@
 
 #include "columnar/sort.h"
 #include "engine/dml.h"
+#include "obs/dc.h"
 
 namespace eon {
 
@@ -101,6 +102,7 @@ Status TupleMover::RunJob(Node* executor, const ProjectionDef& proj,
                           std::vector<std::string>* dropped_keys) {
   Node* coord = cluster_->AnyUpNode();
   auto snapshot = coord->catalog()->snapshot();
+  const int64_t job_sim_t0 = cluster_->clock()->NowMicros();
 
   // Read every input run, purging deleted rows (Section 2.3).
   std::vector<std::vector<Row>> runs;
@@ -140,7 +142,12 @@ Status TupleMover::RunJob(Node* executor, const ProjectionDef& proj,
                                                  SubscriptionState::kPassive};
   for (const RosColumnFile& file : built.files) {
     EON_RETURN_IF_ERROR(executor->cache()->Insert(file.key, file.data));
-    EON_RETURN_IF_ERROR(cluster_->shared_storage()->Put(file.key, file.data));
+    {
+      // Attribute the mergeout upload's request cost to the executor.
+      obs::DcNodeScope dc_scope(executor->name());
+      EON_RETURN_IF_ERROR(
+          cluster_->shared_storage()->Put(file.key, file.data));
+    }
     for (Oid sub : snapshot->SubscribersOf(shard, receiving)) {
       Node* peer = cluster_->node(sub);
       if (peer != nullptr && peer->is_up() && peer != executor) {
@@ -177,6 +184,15 @@ Status TupleMover::RunJob(Node* executor, const ProjectionDef& proj,
     stats_.containers_merged++;
     metrics_.containers_merged->Increment();
   }
+
+  obs::DcMergeoutEvent event;
+  event.projection = proj.name;
+  event.shard = shard;
+  event.inputs = inputs.size();
+  event.rows_written = merged.size();
+  event.stratum = out_stratum;
+  event.sim_micros = cluster_->clock()->NowMicros() - job_sim_t0;
+  executor->dc()->RecordMergeout(std::move(event));
   return Status::OK();
 }
 

@@ -5,11 +5,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "cluster/cluster.h"
 #include "engine/session.h"
+#include "obs/dc.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
@@ -82,7 +88,58 @@ TEST(HistogramTest, EmptyHistogramQuantileIsZero) {
   MetricsRegistry reg;
   Histogram* h = reg.GetHistogram("e", LabelSet(), {1, 2});
   EXPECT_DOUBLE_EQ(h->Snapshot().P50(), 0.0);
+  EXPECT_DOUBLE_EQ(h->Snapshot().P95(), 0.0);
+  EXPECT_DOUBLE_EQ(h->Snapshot().P99(), 0.0);
   EXPECT_DOUBLE_EQ(h->Snapshot().Mean(), 0.0);
+}
+
+TEST(HistogramTest, MergeOfSnapshotsPreservesInvariants) {
+  // Per-node histogram snapshots with identical bounds merge bucket-wise
+  // (the system_metrics aggregation story). Verify the merged snapshot's
+  // invariants: count/sum additive, mean = weighted mean, and every
+  // quantile of the mixture is bracketed by the per-part quantiles.
+  MetricsRegistry reg;
+  const std::vector<double> bounds = {10, 20, 40, 80, 160};
+  Histogram* a = reg.GetHistogram("merge_a", LabelSet(), bounds);
+  Histogram* b = reg.GetHistogram("merge_b", LabelSet(), bounds);
+  for (int i = 0; i < 100; ++i) a->Observe(i % 75);         // Low-skewed.
+  for (int i = 0; i < 60; ++i) b->Observe(40 + i % 100);    // High-skewed.
+  const HistogramSnapshot sa = a->Snapshot();
+  const HistogramSnapshot sb = b->Snapshot();
+
+  HistogramSnapshot merged;
+  merged.bounds = sa.bounds;
+  merged.counts.resize(sa.counts.size(), 0);
+  ASSERT_EQ(sa.counts.size(), sb.counts.size());
+  for (size_t i = 0; i < sa.counts.size(); ++i) {
+    merged.counts[i] = sa.counts[i] + sb.counts[i];
+  }
+  merged.count = sa.count + sb.count;
+  merged.sum = sa.sum + sb.sum;
+
+  EXPECT_EQ(merged.count, 160u);
+  EXPECT_DOUBLE_EQ(merged.Mean(),
+                   (sa.sum + sb.sum) /
+                       static_cast<double>(sa.count + sb.count));
+  uint64_t bucket_total = 0;
+  for (uint64_t c : merged.counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, merged.count);
+  for (double q : {0.25, 0.5, 0.9, 0.95, 0.99}) {
+    const double lo = std::min(sa.Quantile(q), sb.Quantile(q));
+    const double hi = std::max(sa.Quantile(q), sb.Quantile(q));
+    EXPECT_GE(merged.Quantile(q), lo - 1e-9) << "q=" << q;
+    EXPECT_LE(merged.Quantile(q), hi + 1e-9) << "q=" << q;
+  }
+  // Merging with an empty snapshot is the identity on every quantile.
+  HistogramSnapshot empty;
+  empty.bounds = sa.bounds;
+  empty.counts.resize(sa.counts.size(), 0);
+  HistogramSnapshot same = sa;
+  same.count += empty.count;
+  same.sum += empty.sum;
+  for (double q : {0.5, 0.95, 0.99}) {
+    EXPECT_DOUBLE_EQ(same.Quantile(q), sa.Quantile(q));
+  }
 }
 
 // --- Label-set identity ---------------------------------------------------
@@ -242,6 +299,26 @@ TEST(TracerTest, FinishedBufferBounded) {
   EXPECT_EQ(tracer.FinishedSpans().front().name, "s6");
 }
 
+TEST(TracerTest, DroppedSpansCountedAndSurfacedInRegistry) {
+  SimClock clock;
+  MetricsRegistry reg;
+  Tracer tracer(&clock, /*max_finished_spans=*/3, &reg);
+  for (int i = 0; i < 8; ++i) tracer.StartSpan("s");
+  EXPECT_EQ(tracer.spans_dropped(), 5u);
+  EXPECT_EQ(tracer.finished_count(), 8u);
+  EXPECT_EQ(tracer.FinishedSpans().size(), 3u);
+  // The drop counter is mirrored into the registry so exports surface it.
+  EXPECT_DOUBLE_EQ(reg.Snapshot().Value("eon_tracer_spans_dropped_total"),
+                   5.0);
+  // Clear resets the local drop counter; the registry stays monotone.
+  tracer.Clear();
+  EXPECT_EQ(tracer.spans_dropped(), 0u);
+  tracer.StartSpan("t");
+  EXPECT_EQ(tracer.spans_dropped(), 0u);
+  EXPECT_DOUBLE_EQ(reg.Snapshot().Value("eon_tracer_spans_dropped_total"),
+                   5.0);
+}
+
 // --- Exposition formats ---------------------------------------------------
 
 TEST(ExportTest, PrometheusTextFormat) {
@@ -272,6 +349,280 @@ TEST(ExportTest, JsonContainsSamples) {
   std::string json = ExportJson(reg.Snapshot()).Dump();
   EXPECT_NE(json.find("eon_json_total"), std::string::npos);
   EXPECT_NE(json.find("42"), std::string::npos);
+}
+
+// --- Prometheus exposition grammar ---------------------------------------
+
+// Validators for the text exposition format 0.0.4: every line is either a
+// `# TYPE <name> <kind>` comment or `<name>[{k="v",...}] <value>`.
+
+bool IsValidMetricName(const std::string& s) {
+  if (s.empty()) return false;
+  auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+           c == ':';
+  };
+  if (!head(s[0])) return false;
+  for (char c : s) {
+    if (!head(c) && !std::isdigit(static_cast<unsigned char>(c))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IsValidValue(const std::string& s) {
+  if (s == "+Inf" || s == "-Inf" || s == "NaN") return true;
+  if (s.empty()) return false;
+  char* end = nullptr;
+  (void)strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+// Parses one sample line into (name, labels-as-text, value); returns false
+// with a diagnostic on any grammar violation.
+bool ParseSampleLine(const std::string& line, std::string* name,
+                     std::string* value, std::string* error) {
+  size_t i = 0;
+  while (i < line.size() && line[i] != '{' && line[i] != ' ') i++;
+  *name = line.substr(0, i);
+  if (!IsValidMetricName(*name)) {
+    *error = "bad metric name: " + *name;
+    return false;
+  }
+  if (i < line.size() && line[i] == '{') {
+    i++;  // Consume '{'.
+    while (i < line.size() && line[i] != '}') {
+      size_t eq = line.find('=', i);
+      if (eq == std::string::npos) {
+        *error = "label without '='";
+        return false;
+      }
+      if (!IsValidMetricName(line.substr(i, eq - i))) {
+        *error = "bad label name: " + line.substr(i, eq - i);
+        return false;
+      }
+      if (eq + 1 >= line.size() || line[eq + 1] != '"') {
+        *error = "label value not quoted";
+        return false;
+      }
+      size_t close = line.find('"', eq + 2);
+      if (close == std::string::npos) {
+        *error = "unterminated label value";
+        return false;
+      }
+      i = close + 1;
+      if (i < line.size() && line[i] == ',') i++;
+    }
+    if (i >= line.size() || line[i] != '}') {
+      *error = "unterminated label set";
+      return false;
+    }
+    i++;  // Consume '}'.
+  }
+  if (i >= line.size() || line[i] != ' ') {
+    *error = "missing space before value";
+    return false;
+  }
+  *value = line.substr(i + 1);
+  if (!IsValidValue(*value)) {
+    *error = "bad value: " + *value;
+    return false;
+  }
+  return true;
+}
+
+TEST(ExportTest, PrometheusExpositionLineGrammar) {
+  MetricsRegistry reg;
+  reg.GetCounter("app_requests_total",
+                 LabelSet{{"node", "n1"}, {"op", "get"}})
+      ->Increment(7);
+  reg.GetCounter("app_requests_total",
+                 LabelSet{{"node", "n2"}, {"op", "put"}})
+      ->Increment(2);
+  reg.GetGauge("app_queue_depth")->Set(-5);
+  Histogram* h = reg.GetHistogram("app_latency_micros",
+                                  LabelSet{{"node", "n1"}}, {10, 20, 40});
+  h->Observe(3);
+  h->Observe(15);
+  h->Observe(0.5);  // Non-integral sum exercises the %g formatting path.
+  h->Observe(1e9);
+  const std::string text = ExportPrometheusText(reg.Snapshot());
+
+  std::istringstream lines(text);
+  std::string line;
+  std::string type_name, type_kind;
+  int samples = 0, types = 0;
+  uint64_t prev_bucket = 0;
+  double inf_bucket = -1, hist_count = -1;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition output";
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream fields(line.substr(7));
+      ASSERT_TRUE(static_cast<bool>(fields >> type_name >> type_kind))
+          << line;
+      EXPECT_TRUE(IsValidMetricName(type_name)) << line;
+      EXPECT_TRUE(type_kind == "counter" || type_kind == "gauge" ||
+                  type_kind == "histogram")
+          << line;
+      std::string rest;
+      EXPECT_FALSE(static_cast<bool>(fields >> rest)) << "trailing: " << line;
+      types++;
+      continue;
+    }
+    ASSERT_NE(line[0], '#') << "unknown comment form: " << line;
+    std::string name, value, error;
+    ASSERT_TRUE(ParseSampleLine(line, &name, &value, &error))
+        << error << " in: " << line;
+    samples++;
+    // Every sample belongs to the most recently declared family; histogram
+    // samples use the _bucket/_sum/_count suffixes.
+    if (type_kind == "histogram") {
+      EXPECT_TRUE(name == type_name + "_bucket" ||
+                  name == type_name + "_sum" || name == type_name + "_count")
+          << line;
+      if (name == type_name + "_bucket") {
+        ASSERT_NE(line.find("le=\""), std::string::npos) << line;
+        const uint64_t cum = static_cast<uint64_t>(std::stod(value));
+        EXPECT_GE(cum, prev_bucket) << "non-monotone buckets: " << line;
+        prev_bucket = cum;
+        if (line.find("le=\"+Inf\"") != std::string::npos) {
+          inf_bucket = static_cast<double>(cum);
+        }
+      }
+      if (name == type_name + "_count") hist_count = std::stod(value);
+    } else {
+      EXPECT_EQ(name, type_name) << line;
+      if (type_kind == "counter") {
+        EXPECT_GE(std::stod(value), 0.0) << "negative counter: " << line;
+      }
+    }
+  }
+  EXPECT_EQ(types, 3);
+  // 2 counter samples + 1 gauge + (4 buckets + sum + count) = 9.
+  EXPECT_EQ(samples, 9);
+  // The +Inf bucket equals the histogram's total count.
+  EXPECT_EQ(inf_bucket, 4.0);
+  EXPECT_EQ(hist_count, inf_bucket);
+}
+
+TEST(ExportTest, PrometheusGoldenOutput) {
+  // Exact golden rendering of a small deterministic registry: catches any
+  // regression in name/label/value formatting or family grouping.
+  MetricsRegistry reg;
+  reg.GetCounter("app_requests_total", LabelSet{{"node", "n1"}})
+      ->Increment(3);
+  reg.GetGauge("app_queue_depth")->Set(-2);
+  Histogram* h = reg.GetHistogram("app_latency_micros", LabelSet(), {10, 20});
+  h->Observe(5);
+  h->Observe(15);
+  h->Observe(999);
+  const std::string kGolden =
+      "# TYPE app_latency_micros histogram\n"
+      "app_latency_micros_bucket{le=\"10\"} 1\n"
+      "app_latency_micros_bucket{le=\"20\"} 2\n"
+      "app_latency_micros_bucket{le=\"+Inf\"} 3\n"
+      "app_latency_micros_sum 1019\n"
+      "app_latency_micros_count 3\n"
+      "# TYPE app_queue_depth gauge\n"
+      "app_queue_depth -2\n"
+      "# TYPE app_requests_total counter\n"
+      "app_requests_total{node=\"n1\"} 3\n";
+  EXPECT_EQ(ExportPrometheusText(reg.Snapshot()), kGolden);
+}
+
+// --- Data Collector rings -------------------------------------------------
+
+TEST(DataCollectorTest, RingWrapDropsOldestAndCounts) {
+  SimClock clock;
+  DataCollectorOptions opts;
+  opts.query_ring = 4;
+  DataCollector dc("node1", &clock, opts);
+  for (int i = 0; i < 10; ++i) {
+    DcQueryExecution e;
+    e.query_id = static_cast<uint64_t>(i);
+    e.table = "t";
+    e.sim_micros = 1;  // Below any slow threshold: profile cleared.
+    dc.RecordQuery(std::move(e));
+  }
+  std::vector<DcQueryExecution> rows = dc.QueryExecutions();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows.front().query_id, 6u);  // Oldest dropped first.
+  EXPECT_EQ(rows.back().query_id, 9u);
+  EXPECT_EQ(dc.query_counters().total, 10u);
+  EXPECT_EQ(dc.query_counters().dropped, 6u);
+  dc.Clear();
+  EXPECT_TRUE(dc.QueryExecutions().empty());
+  EXPECT_EQ(dc.query_counters().total, 0u);
+}
+
+TEST(DataCollectorTest, SlowQueryThresholdRetainsProfile) {
+  SimClock clock;
+  DataCollectorOptions opts;
+  opts.slow_query_micros = 1000;
+  DataCollector dc("node1", &clock, opts);
+
+  DcQueryExecution fast;
+  fast.table = "t";
+  fast.sim_micros = 999;
+  fast.profile.rows_scanned_total = 123;
+  dc.RecordQuery(std::move(fast));
+
+  DcQueryExecution slow;
+  slow.table = "t";
+  slow.sim_micros = 1000;  // At threshold: slow.
+  slow.profile.rows_scanned_total = 456;
+  dc.RecordQuery(std::move(slow));
+
+  std::vector<DcQueryExecution> rows = dc.QueryExecutions();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_FALSE(rows[0].slow);
+  EXPECT_EQ(rows[0].profile.rows_scanned_total, 0u);  // Dropped when fast.
+  EXPECT_TRUE(rows[1].slow);
+  EXPECT_EQ(rows[1].profile.rows_scanned_total, 456u);  // Kept when slow.
+}
+
+TEST(DataCollectorTest, ConcurrentProducersAndSnapshots) {
+  // Producers hammer every ring while readers snapshot: the race-labeled
+  // suite runs this under TSan (scripts/tsan.sh).
+  SimClock clock;
+  DataCollectorOptions opts;
+  opts.cache_ring = 64;
+  opts.store_ring = 64;
+  DataCollector dc("node1", &clock, opts);
+  constexpr int kProducers = 4;
+  constexpr int kEvents = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kProducers; ++t) {
+    threads.emplace_back([&dc, t] {
+      for (int i = 0; i < kEvents; ++i) {
+        DcCacheEvent ce;
+        ce.kind = DcCacheEvent::Kind::kMissFill;
+        ce.key = "k" + std::to_string(i);
+        ce.bytes = 10;
+        dc.RecordCacheEvent(std::move(ce));
+        DcStoreRequest sr;
+        sr.op = (t % 2 == 0) ? "get" : "put";
+        sr.bytes = 100;
+        dc.RecordStoreRequest(std::move(sr));
+      }
+    });
+  }
+  // Reader: repeatedly snapshot while producers run.
+  uint64_t observed = 0;
+  for (int i = 0; i < 200; ++i) {
+    observed += dc.CacheEvents().size() + dc.StoreRequests().size();
+    (void)dc.cache_counters();
+  }
+  for (std::thread& t : threads) t.join();
+  (void)observed;
+  EXPECT_EQ(dc.cache_counters().total,
+            static_cast<uint64_t>(kProducers) * kEvents);
+  EXPECT_EQ(dc.store_counters().total,
+            static_cast<uint64_t>(kProducers) * kEvents);
+  EXPECT_EQ(dc.CacheEvents().size(), 64u);
+  EXPECT_EQ(dc.cache_counters().dropped,
+            static_cast<uint64_t>(kProducers) * kEvents - 64);
 }
 
 // --- Object-store reset + registry mirroring ------------------------------
