@@ -10,10 +10,28 @@
 
 #include "bench/bench_util.h"
 #include "engine/session.h"
+#include "obs/metrics.h"
 
 namespace eon {
 namespace bench {
 namespace {
+
+// The recovered node's WarmFrom instruments, from the process-default
+// registry both fixtures share (deltas, not absolutes, are meaningful).
+struct WarmStats {
+  uint64_t files = 0;
+  double wall_micros = 0;
+};
+
+WarmStats RecoveredNodeWarmStats() {
+  obs::MetricsRegistry* reg = obs::OrDefault(nullptr);
+  const obs::LabelSet labels{{"cache", "node2"}};
+  WarmStats s;
+  s.files = reg->GetCounter("eon_cache_warm_files_total", labels)->Value();
+  s.wall_micros =
+      reg->GetHistogram("eon_cache_warm_micros", labels)->Snapshot().sum;
+  return s;
+}
 
 int64_t PostRecoveryIoMicros(EonFixture* fixture, bool warm) {
   // Steady state: queries have warmed the cluster's caches.
@@ -43,11 +61,17 @@ int Run() {
 
   auto warm = MakeEonFixture(4, 3, 0.5, 512ULL << 20);
   if (warm == nullptr) return 1;
+  WarmStats before = RecoveredNodeWarmStats();
   int64_t io_warm = PostRecoveryIoMicros(warm.get(), /*warm=*/true);
+  WarmStats after = RecoveredNodeWarmStats();
   if (io_cold < 0 || io_warm < 0) return 1;
 
   printf("%-22s %22.1f\n", "no_warming", io_cold / 1000.0);
   printf("%-22s %22.1f\n", "peer_warming", io_warm / 1000.0);
+  printf("# warming fan-out: %llu files pulled from the peer across the "
+         "I/O pool in %.1f ms wall\n",
+         static_cast<unsigned long long>(after.files - before.files),
+         (after.wall_micros - before.wall_micros) / 1000.0);
   if (io_warm > 0) {
     printf("# shape check: peer warming removes the post-recovery hiccup "
            "(%.1fx less remote I/O)\n",

@@ -6,8 +6,10 @@
 # evaluation and selective decode run under TSan at every width; the
 # Data Collector rings (producers vs snapshot readers, test_obs); and
 # system-table scans racing exec-pool query producers
-# (test_system_tables). Uses a separate build directory so the normal
-# build/ stays sanitizer-free.
+# (test_system_tables); and the async prefetch pipeline — I/O-pool
+# prefetches racing demand fetches, pinned readers, and eviction churn at
+# every read-ahead depth and exec width (test_prefetch). Uses a separate
+# build directory so the normal build/ stays sanitizer-free.
 #
 #   scripts/tsan.sh            # configure + build + run
 #   BUILD_DIR=out scripts/tsan.sh
@@ -20,6 +22,6 @@ cmake -B "$BUILD_DIR" -S . -DEON_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" \
       --target test_obs test_cache test_common test_parallel_differential \
-               test_system_tables \
+               test_system_tables test_prefetch \
       -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" -L race --output-on-failure

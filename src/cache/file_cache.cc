@@ -1,15 +1,41 @@
 #include "cache/file_cache.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <functional>
+#include <optional>
 #include <tuple>
 
+#include "common/io_pool.h"
+
 namespace eon {
+
+namespace {
+
+int64_t WarmWallMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+uint64_t ResolvePrefetchByteCap(uint64_t configured) {
+  if (configured > 0) return configured;
+  if (const char* env = std::getenv("EON_PREFETCH_BYTE_CAP")) {
+    const long long v = std::atoll(env);
+    if (v > 0) return static_cast<uint64_t>(v);
+  }
+  return 64ULL << 20;
+}
+
+}  // namespace
 
 FileCache::FileCache(CacheOptions options, ObjectStore* shared_storage)
     : options_(options),
       shared_(shared_storage),
-      shards_(std::make_unique<Shard[]>(kNumShards)) {
+      shards_(std::make_unique<Shard[]>(kNumShards)),
+      max_inflight_prefetch_bytes_(
+          ResolvePrefetchByteCap(options.max_inflight_prefetch_bytes)) {
   if (options_.metrics_name.empty()) {
     // Distinct auto label per anonymous instance so two caches never
     // accumulate into one instrument family member.
@@ -30,9 +56,52 @@ FileCache::FileCache(CacheOptions options, ObjectStore* shared_storage)
   metrics_.drops = reg->GetCounter("eon_cache_drops_total", labels);
   metrics_.coalesced =
       reg->GetCounter("eon_cache_coalesced_fetches_total", labels);
+  metrics_.prefetch_issued =
+      reg->GetCounter("eon_prefetch_issued_total", labels);
+  metrics_.prefetch_useful =
+      reg->GetCounter("eon_prefetch_useful_total", labels);
+  metrics_.prefetch_wasted =
+      reg->GetCounter("eon_prefetch_wasted_total", labels);
+  metrics_.prefetch_coalesced =
+      reg->GetCounter("eon_prefetch_coalesced_total", labels);
+  metrics_.prefetch_rejected =
+      reg->GetCounter("eon_prefetch_rejected_total", labels);
   metrics_.size_bytes = reg->GetGauge("eon_cache_size_bytes", labels);
   metrics_.files = reg->GetGauge("eon_cache_files", labels);
   metrics_.pinned_refs = reg->GetGauge("eon_cache_pinned_refs", labels);
+  metrics_.prefetch_inflight_bytes =
+      reg->GetGauge("eon_prefetch_inflight_bytes", labels);
+  metrics_.fetch_wait_micros =
+      reg->GetHistogram("eon_cache_fetch_wait_micros", labels);
+  metrics_.warm_files = reg->GetCounter("eon_cache_warm_files_total", labels);
+  metrics_.warm_micros = reg->GetHistogram("eon_cache_warm_micros", labels);
+}
+
+FileCache::~FileCache() { WaitIdle(); }
+
+void FileCache::BeginAsyncTask() {
+  std::lock_guard<std::mutex> lock(async_mu_);
+  ++async_tasks_;
+}
+
+void FileCache::EndAsyncTask() {
+  // Notify UNDER the lock: a WaitIdle caller (often the destructor) may
+  // only return once it reacquires async_mu_, which orders it after this
+  // notify — so the condvar can never be destroyed mid-broadcast.
+  std::lock_guard<std::mutex> lock(async_mu_);
+  --async_tasks_;
+  async_cv_.notify_all();
+}
+
+void FileCache::WaitIdle() {
+  std::unique_lock<std::mutex> lock(async_mu_);
+  async_cv_.wait(lock, [this] { return async_tasks_ == 0; });
+}
+
+void FileCache::MarkDemandRead(Entry* entry) {
+  if (!entry->prefetched) return;
+  entry->prefetched = false;
+  metrics_.prefetch_useful->Increment();
 }
 
 void FileCache::RecordDcEvent(obs::DcCacheEvent::Kind kind,
@@ -74,10 +143,11 @@ void FileCache::UpdateGauges() {
 
 void FileCache::InsertLocked(Shard& shard, const std::string& key,
                              std::shared_ptr<const std::string> data,
-                             CachePolicy policy) {
+                             CachePolicy policy, bool prefetched) {
   Entry e;
   e.data = std::move(data);
   e.policy_pinned = policy == CachePolicy::kPin;
+  e.prefetched = prefetched;
   e.gen = NextStamp();
   e.last_access = NextStamp();
   size_bytes_.fetch_add(e.data->size(), std::memory_order_relaxed);
@@ -99,22 +169,24 @@ void FileCache::MaybeEvict() {
     locks.emplace_back(shards_[i].mu);
   }
 
-  std::vector<std::tuple<uint64_t, Shard*, std::string>> candidates;
+  // Prefetched-but-never-read entries go first regardless of recency —
+  // speculative residency is the cheapest to give back — then LRU order
+  // within each class.
+  std::vector<std::tuple<int, uint64_t, Shard*, std::string>> candidates;
   for (size_t i = 0; i < kNumShards; ++i) {
     for (const auto& [key, e] : shards_[i].entries) {
-      candidates.emplace_back(e.last_access, &shards_[i], key);
+      candidates.emplace_back(e.prefetched ? 0 : 1, e.last_access,
+                              &shards_[i], key);
     }
   }
-  std::sort(candidates.begin(), candidates.end(),
-            [](const auto& a, const auto& b) {
-              return std::get<0>(a) < std::get<0>(b);
-            });
+  std::sort(candidates.begin(), candidates.end());
 
   // Ref-pinned entries (in-progress reads) are never evicted; policy-
   // pinned entries only fall in the second pass, when unpinned entries
   // alone cannot fit the budget.
   auto evict_pass = [&](bool include_policy_pinned) {
-    for (const auto& [stamp, shard, key] : candidates) {
+    for (const auto& [pri, stamp, shard, key] : candidates) {
+      (void)pri;
       (void)stamp;
       if (size_bytes_.load(std::memory_order_relaxed) <=
           options_.capacity_bytes) {
@@ -125,6 +197,7 @@ void FileCache::MaybeEvict() {
       const Entry& e = it->second;
       if (e.ref_pins > 0) continue;
       if (!include_policy_pinned && e.policy_pinned) continue;
+      if (e.prefetched) metrics_.prefetch_wasted->Increment();
       size_bytes_.fetch_sub(e.data->size(), std::memory_order_relaxed);
       file_count_.fetch_sub(1, std::memory_order_relaxed);
       metrics_.evictions->Increment();
@@ -177,6 +250,7 @@ Result<FileRef> FileCache::FetchShared(const std::string& key,
       Entry& e = it->second;
       metrics_.hits->Increment();
       metrics_.bytes_hit->Increment(e.data->size());
+      MarkDemandRead(&e);
       e.last_access = NextStamp();
       if (pin) {
         ++e.ref_pins;
@@ -215,6 +289,7 @@ Result<FileRef> FileCache::FetchShared(const std::string& key,
       FileRef out;
       if (eit != shard.entries.end()) {
         Entry& e = eit->second;
+        MarkDemandRead(&e);
         e.last_access = NextStamp();
         if (pin) {
           ++e.ref_pins;
@@ -262,6 +337,7 @@ Result<FileRef> FileCache::FetchShared(const std::string& key,
       auto eit = shard.entries.find(key);
       if (pin && eit != shard.entries.end()) {
         Entry& e = eit->second;
+        MarkDemandRead(&e);
         ++e.ref_pins;
         metrics_.pinned_refs->Add(1);
         out = MakePinnedRef(key, e);
@@ -287,6 +363,149 @@ Result<std::string> FileCache::Fetch(const std::string& key) {
 
 Result<FileRef> FileCache::FetchRef(const std::string& key) {
   return FetchShared(key, /*allow_insert=*/true, /*pin=*/true);
+}
+
+PendingFile FileCache::FetchRefAsync(const std::string& key) {
+  {
+    // Resident fast path: complete on the caller without a pool hop, so
+    // the fully-warm scan costs exactly what FetchRef costs.
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      Entry& e = it->second;
+      metrics_.hits->Increment();
+      metrics_.bytes_hit->Increment(e.data->size());
+      MarkDemandRead(&e);
+      e.last_access = NextStamp();
+      ++e.ref_pins;
+      metrics_.pinned_refs->Add(1);
+      return PendingFile::MakeReady(MakePinnedRef(key, e));
+    }
+  }
+  if (options_.io_pool == nullptr) {
+    return PendingFile::MakeReady(
+        FetchShared(key, /*allow_insert=*/true, /*pin=*/true));
+  }
+  PendingFile pending = PendingFile::MakePending(metrics_.fetch_wait_micros);
+  BeginAsyncTask();
+  options_.io_pool->Submit([this, key, pending]() mutable {
+    pending.Complete(FetchShared(key, /*allow_insert=*/true, /*pin=*/true));
+    EndAsyncTask();
+  });
+  return pending;
+}
+
+size_t FileCache::PrefetchAsync(const std::vector<PrefetchRequest>& requests) {
+  size_t missing = 0;
+  for (const PrefetchRequest& r : requests) {
+    {
+      // Cheap pre-check so obviously-redundant requests consume neither
+      // admission window nor a pool slot.
+      Shard& shard = ShardFor(r.key);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      if (shard.entries.find(r.key) != shard.entries.end() ||
+          shard.inflight.find(r.key) != shard.inflight.end()) {
+        metrics_.prefetch_coalesced->Increment();
+        continue;
+      }
+    }
+    ++missing;
+    // Admission: reserve the size hint against the in-flight window (CAS
+    // loop so concurrent issuers never overshoot). Beyond-window requests
+    // are refused outright, not queued — a later demand fetch still gets
+    // the file, this only bounds speculation.
+    uint64_t cur = inflight_prefetch_bytes_.load(std::memory_order_relaxed);
+    bool admitted = false;
+    while (cur + r.size_hint <= max_inflight_prefetch_bytes_) {
+      if (inflight_prefetch_bytes_.compare_exchange_weak(
+              cur, cur + r.size_hint, std::memory_order_relaxed)) {
+        admitted = true;
+        break;
+      }
+    }
+    if (!admitted) {
+      metrics_.prefetch_rejected->Increment();
+      continue;
+    }
+    metrics_.prefetch_inflight_bytes->Add(static_cast<int64_t>(r.size_hint));
+    if (options_.io_pool == nullptr) {
+      DoPrefetch(r.key, r.size_hint);
+      continue;
+    }
+    BeginAsyncTask();
+    options_.io_pool->Submit([this, key = r.key, hint = r.size_hint] {
+      DoPrefetch(key, hint);
+      EndAsyncTask();
+    });
+  }
+  return missing;
+}
+
+void FileCache::DoPrefetch(const std::string& key, uint64_t hint) {
+  Shard& shard = ShardFor(key);
+  std::shared_ptr<Inflight> flight;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.entries.find(key) != shard.entries.end() ||
+        shard.inflight.find(key) != shard.inflight.end()) {
+      // Became resident or in flight (demand or another prefetch) since
+      // admission: the work is already paid for elsewhere. The inflight
+      // registration happens HERE, in the task body, not at Submit time —
+      // so a queued-but-unstarted prefetch can never be joined, and a
+      // demand fetch that overtakes it in the pool queue proceeds on its
+      // own instead of deadlocking behind it.
+      metrics_.prefetch_coalesced->Increment();
+    } else {
+      flight = std::make_shared<Inflight>();
+      shard.inflight.emplace(key, flight);
+    }
+  }
+  if (flight != nullptr) {
+    metrics_.prefetch_issued->Increment();
+    // The scopes hold a POINTER to the string they are given, so the
+    // origin must outlive the statement — a string literal temporary
+    // would dangle.
+    static const std::string kPrefetchOrigin = "prefetch";
+    Result<std::string> got = [&]() -> Result<std::string> {
+      obs::DcNodeScope node_scope(metrics_name_);
+      obs::DcOriginScope origin_scope(kPrefetchOrigin);
+      return shared_->Get(key);
+    }();
+    const CachePolicy policy = PolicyFor(key);
+    bool inserted = false;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      if (!got.ok()) {
+        // The inflight entry is erased below, so the next demand fetch
+        // issues a fresh storage read — failures are never negatively
+        // cached. A demand fetch already waiting on this flight sees the
+        // error, exactly as if it had lost the singleflight race to a
+        // failing demand winner.
+        flight->status = got.status();
+      } else {
+        auto data = std::make_shared<const std::string>(std::move(*got));
+        flight->data = data;
+        metrics_.bytes_filled->Increment(data->size());
+        RecordDcEvent(obs::DcCacheEvent::Kind::kMissFill, key, data->size());
+        if (policy != CachePolicy::kNeverCache &&
+            data->size() <= options_.capacity_bytes &&
+            shard.entries.find(key) == shard.entries.end()) {
+          InsertLocked(shard, key, data, policy, /*prefetched=*/true);
+          inserted = true;
+        }
+      }
+      flight->done = true;
+      shard.inflight.erase(key);
+      flight->cv.notify_all();
+    }
+    if (inserted) {
+      MaybeEvict();
+      UpdateGauges();
+    }
+  }
+  inflight_prefetch_bytes_.fetch_sub(hint, std::memory_order_relaxed);
+  metrics_.prefetch_inflight_bytes->Sub(static_cast<int64_t>(hint));
 }
 
 Result<std::string> FileCache::FetchBypass(const std::string& key) {
@@ -322,6 +541,7 @@ void FileCache::Drop(const std::string& key) {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.entries.find(key);
     if (it == shard.entries.end()) return;
+    if (it->second.prefetched) metrics_.prefetch_wasted->Increment();
     size_bytes_.fetch_sub(it->second.data->size(),
                           std::memory_order_relaxed);
     file_count_.fetch_sub(1, std::memory_order_relaxed);
@@ -337,6 +557,7 @@ void FileCache::DropPrefix(const std::string& prefix) {
     std::lock_guard<std::mutex> lock(shard.mu);
     for (auto it = shard.entries.begin(); it != shard.entries.end();) {
       if (it->first.compare(0, prefix.size(), prefix) == 0) {
+        if (it->second.prefetched) metrics_.prefetch_wasted->Increment();
         size_bytes_.fetch_sub(it->second.data->size(),
                               std::memory_order_relaxed);
         file_count_.fetch_sub(1, std::memory_order_relaxed);
@@ -361,6 +582,7 @@ void FileCache::Clear() {
     Shard& shard = shards_[i];
     std::lock_guard<std::mutex> lock(shard.mu);
     for (const auto& [key, e] : shard.entries) {
+      if (e.prefetched) metrics_.prefetch_wasted->Increment();
       size_bytes_.fetch_sub(e.data->size(), std::memory_order_relaxed);
       file_count_.fetch_sub(1, std::memory_order_relaxed);
     }
@@ -413,16 +635,63 @@ std::vector<std::string> FileCache::MostRecentlyUsed(
 
 Status FileCache::WarmFrom(const std::vector<std::string>& keys,
                            FileFetcher* source) {
+  const int64_t warm_start = WarmWallMicros();
   // Warm in reverse so the most-recently-used file ends up most recent
   // here too, making the new cache "resemble the cache of its peer".
-  for (auto it = keys.rbegin(); it != keys.rend(); ++it) {
-    Result<std::string> data = source->Fetch(*it);
+  if (options_.io_pool == nullptr || keys.size() <= 1) {
+    for (auto it = keys.rbegin(); it != keys.rend(); ++it) {
+      Result<std::string> data = source->Fetch(*it);
+      if (!data.ok()) {
+        if (data.status().IsNotFound()) continue;  // Peer evicted meanwhile.
+        return data.status();
+      }
+      EON_RETURN_IF_ERROR(Insert(*it, *data));
+      metrics_.warm_files->Increment();
+    }
+    metrics_.warm_micros->Observe(
+        static_cast<double>(WarmWallMicros() - warm_start));
+    return Status::OK();
+  }
+
+  // Fan the source fetches out on the I/O pool — warming N files costs
+  // roughly the slowest single fetch, not the sum — then insert serially
+  // in the same reverse order as the serial path, so the warmed LRU order
+  // is byte-identical.
+  struct WarmState {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining = 0;
+    std::vector<std::optional<Result<std::string>>> results;
+  };
+  auto state = std::make_shared<WarmState>();
+  state->remaining = keys.size();
+  state->results.resize(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    options_.io_pool->Submit([state, source, &keys, i] {
+      Result<std::string> got = source->Fetch(keys[i]);
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->results[i] = std::move(got);
+      if (--state->remaining == 0) state->cv.notify_all();
+    });
+  }
+  {
+    // Block here (not via BeginAsyncTask bookkeeping): `keys` and `source`
+    // are borrowed from this stack frame, so the tasks must not outlive
+    // the call.
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock, [&] { return state->remaining == 0; });
+  }
+  for (size_t n = keys.size(); n-- > 0;) {
+    Result<std::string>& data = *state->results[n];
     if (!data.ok()) {
       if (data.status().IsNotFound()) continue;  // Peer evicted meanwhile.
       return data.status();
     }
-    EON_RETURN_IF_ERROR(Insert(*it, *data));
+    EON_RETURN_IF_ERROR(Insert(keys[n], *data));
+    metrics_.warm_files->Increment();
   }
+  metrics_.warm_micros->Observe(
+      static_cast<double>(WarmWallMicros() - warm_start));
   return Status::OK();
 }
 
@@ -451,6 +720,11 @@ CacheStats FileCache::stats() const {
   s.evictions = metrics_.evictions->Value();
   s.drops = metrics_.drops->Value();
   s.coalesced = metrics_.coalesced->Value();
+  s.prefetch_issued = metrics_.prefetch_issued->Value();
+  s.prefetch_useful = metrics_.prefetch_useful->Value();
+  s.prefetch_wasted = metrics_.prefetch_wasted->Value();
+  s.prefetch_coalesced = metrics_.prefetch_coalesced->Value();
+  s.prefetch_rejected = metrics_.prefetch_rejected->Value();
   return s;
 }
 

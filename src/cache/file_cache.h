@@ -18,6 +18,8 @@
 
 namespace eon {
 
+class IoPool;
+
 /// Shaping policies (Section 5.2): users can keep large batch scans from
 /// evicting files that low-latency dashboards depend on.
 enum class CachePolicy : uint8_t {
@@ -41,6 +43,23 @@ struct CacheOptions {
   /// events into (the `dc_cache_events` system table); null = none.
   /// Nodes pass their own collector here.
   obs::DataCollector* collector = nullptr;
+  /// I/O pool for FetchRefAsync / PrefetchAsync / parallel WarmFrom.
+  /// null = the async entry points run inline on the caller (correct,
+  /// just without overlap). Must outlive the cache.
+  IoPool* io_pool = nullptr;
+  /// Admission bound on speculative reads: bytes of prefetch allowed in
+  /// flight at once (by the caller's size hints). Prefetches beyond the
+  /// window are rejected, not queued — a demand fetch will still get the
+  /// file. 0 = auto: EON_PREFETCH_BYTE_CAP env var, else 64 MiB.
+  uint64_t max_inflight_prefetch_bytes = 0;
+};
+
+/// One speculative fetch request. The size hint feeds prefetch admission
+/// (the in-flight byte window) before the true size is known; callers
+/// estimate it from catalog stats. 0 = unknown (counts as free).
+struct PrefetchRequest {
+  std::string key;
+  uint64_t size_hint = 0;
 };
 
 /// Aggregate cache counters. Since the registry migration this is a VIEW
@@ -57,6 +76,19 @@ struct CacheStats {
   /// Misses that joined another caller's in-flight fetch of the same key
   /// instead of issuing their own shared-storage read (singleflight).
   uint64_t coalesced = 0;
+  /// Speculative reads actually issued to shared storage.
+  uint64_t prefetch_issued = 0;
+  /// Prefetched files later read by a demand fetch (the prefetch hid that
+  /// fetch's latency).
+  uint64_t prefetch_useful = 0;
+  /// Prefetched files evicted or dropped before any demand read — wasted
+  /// store traffic; the admission window exists to bound this.
+  uint64_t prefetch_wasted = 0;
+  /// Prefetch requests skipped because the file was already resident or
+  /// already in flight (demand or another prefetch).
+  uint64_t prefetch_coalesced = 0;
+  /// Prefetch requests refused by the in-flight byte window.
+  uint64_t prefetch_rejected = 0;
 
   double HitRate() const {
     uint64_t total = hits + misses;
@@ -86,6 +118,9 @@ struct CacheStats {
 class FileCache : public FileFetcher {
  public:
   FileCache(CacheOptions options, ObjectStore* shared_storage);
+  /// Waits for every in-flight async fetch/prefetch this cache issued on
+  /// the I/O pool (WaitIdle) before tearing down.
+  ~FileCache() override;
 
   /// Fetch through the cache: hit serves the cached copy and refreshes
   /// recency; miss reads shared storage and (policy permitting) inserts.
@@ -94,6 +129,29 @@ class FileCache : public FileFetcher {
   /// Zero-copy fetch: shares the cached bytes and pins the entry resident
   /// until the returned ref is released. The scan path uses this.
   Result<FileRef> FetchRef(const std::string& key) override;
+
+  /// Non-blocking FetchRef. A resident entry completes immediately on the
+  /// caller (no pool hop — the warm path stays as fast as FetchRef); a
+  /// miss runs on the I/O pool and rides the same singleflight as every
+  /// other fetch of the key. Without an I/O pool this degrades to an
+  /// inline FetchRef wrapped in a ready handle.
+  PendingFile FetchRefAsync(const std::string& key) override;
+
+  /// Speculative reads: start fetching `requests` into the cache without
+  /// waiting. Already-resident / already-in-flight keys are skipped
+  /// (prefetch_coalesced); requests that would push the in-flight window
+  /// over max_inflight_prefetch_bytes are refused (prefetch_rejected).
+  /// A prefetch that loses the race with a demand fetch coalesces via the
+  /// shard singleflight, never duplicating a store read. Failures are
+  /// dropped — the later demand fetch surfaces (or retries) the error.
+  /// Returns how many requests were NOT already resident or in flight
+  /// (issued or window-rejected); 0 means the batch was fully warm, which
+  /// callers use to back off speculation on hot caches.
+  size_t PrefetchAsync(const std::vector<PrefetchRequest>& requests);
+
+  /// Block until no async fetch/prefetch issued by this cache is running
+  /// or queued on the I/O pool.
+  void WaitIdle();
 
   /// Fetch bypassing residency ("don't use the cache for this query"):
   /// a hit is still served, but a miss does not insert.
@@ -121,7 +179,10 @@ class FileCache : public FileFetcher {
   std::vector<std::string> MostRecentlyUsed(uint64_t budget_bytes) const;
 
   /// Warm this cache: fetch `keys` from `source` (a peer's cache or shared
-  /// storage) and insert. Missing keys are skipped, not errors.
+  /// storage) and insert. Missing keys are skipped, not errors. With an
+  /// I/O pool the fetches fan out in parallel, so warming N files costs
+  /// about the slowest single fetch rather than the sum; insertion order
+  /// (and thus the warmed LRU order) matches the serial path exactly.
   Status WarmFrom(const std::vector<std::string>& keys, FileFetcher* source);
 
   /// Resident lookup without recency update or fill — the peer side of
@@ -136,6 +197,13 @@ class FileCache : public FileFetcher {
     return file_count_.load(std::memory_order_relaxed);
   }
   uint64_t capacity_bytes() const { return options_.capacity_bytes; }
+  /// Current prefetch admission window usage (sum of in-flight hints).
+  uint64_t inflight_prefetch_bytes() const {
+    return inflight_prefetch_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t max_inflight_prefetch_bytes() const {
+    return max_inflight_prefetch_bytes_;
+  }
   /// Live FetchRef pin handles (a file pinned twice counts twice).
   uint64_t pinned_refs() const;
   /// Thin view over the registry instruments (see CacheStats).
@@ -148,6 +216,11 @@ class FileCache : public FileFetcher {
   struct Entry {
     std::shared_ptr<const std::string> data;
     bool policy_pinned = false;  ///< CachePolicy::kPin residency pin.
+    /// Inserted by a prefetch and not yet read by any demand fetch.
+    /// Speculative residency is the cheapest to give back: these entries
+    /// are evicted before ANY demand-inserted entry, and evicting or
+    /// dropping one counts as prefetch_wasted.
+    bool prefetched = false;
     int ref_pins = 0;            ///< Live FetchRef handles.
     uint64_t gen = 0;            ///< Incarnation; guards stale unpins.
     uint64_t last_access = 0;    ///< Global recency stamp (bigger = newer).
@@ -176,10 +249,11 @@ class FileCache : public FileFetcher {
   CachePolicy PolicyFor(const std::string& key) const;
   uint64_t NextStamp() { return stamp_seq_.fetch_add(1); }
   /// Insert under the shard lock; no capacity enforcement (caller runs
-  /// MaybeEvict() after unlocking).
+  /// MaybeEvict() after unlocking). `prefetched` marks speculative
+  /// inserts (see Entry::prefetched).
   void InsertLocked(Shard& shard, const std::string& key,
                     std::shared_ptr<const std::string> data,
-                    CachePolicy policy);
+                    CachePolicy policy, bool prefetched = false);
   /// Enforce capacity. Takes every shard lock; call with none held.
   void MaybeEvict();
   void UpdateGauges();
@@ -192,6 +266,15 @@ class FileCache : public FileFetcher {
   void ReleasePin(const std::string& key, uint64_t gen);
   Result<FileRef> FetchShared(const std::string& key, bool allow_insert,
                               bool pin);
+  /// A demand access touched `entry`: clear the speculative flag and
+  /// credit the prefetch as useful. Call under the entry's shard lock.
+  void MarkDemandRead(Entry* entry);
+  /// Body of one admitted prefetch (runs on the I/O pool, or inline
+  /// without one); releases `hint` bytes of the admission window when
+  /// done.
+  void DoPrefetch(const std::string& key, uint64_t hint);
+  void BeginAsyncTask();
+  void EndAsyncTask();
 
   const CacheOptions options_;
   ObjectStore* shared_;
@@ -205,6 +288,16 @@ class FileCache : public FileFetcher {
   std::atomic<uint64_t> size_bytes_{0};
   std::atomic<uint64_t> file_count_{0};
 
+  uint64_t max_inflight_prefetch_bytes_ = 0;  ///< Resolved at construction.
+  std::atomic<uint64_t> inflight_prefetch_bytes_{0};
+
+  /// Async fetch/prefetch tasks issued and not yet finished; the dtor
+  /// (and WaitIdle) blocks on this so a pool task never touches a dead
+  /// cache.
+  mutable std::mutex async_mu_;
+  std::condition_variable async_cv_;
+  uint64_t async_tasks_ = 0;
+
   // Registry instruments (labels: cache=<metrics_name_>). Resolved once
   // at construction; hot-path updates are lock-free atomics.
   struct {
@@ -216,9 +309,19 @@ class FileCache : public FileFetcher {
     obs::Counter* evictions = nullptr;
     obs::Counter* drops = nullptr;
     obs::Counter* coalesced = nullptr;
+    obs::Counter* prefetch_issued = nullptr;
+    obs::Counter* prefetch_useful = nullptr;
+    obs::Counter* prefetch_wasted = nullptr;
+    obs::Counter* prefetch_coalesced = nullptr;
+    obs::Counter* prefetch_rejected = nullptr;
     obs::Gauge* size_bytes = nullptr;
     obs::Gauge* files = nullptr;
     obs::Gauge* pinned_refs = nullptr;
+    obs::Gauge* prefetch_inflight_bytes = nullptr;
+    /// Wall micros demand fetches spent blocked on a PendingFile.
+    obs::Histogram* fetch_wait_micros = nullptr;
+    obs::Counter* warm_files = nullptr;     ///< Files inserted by WarmFrom.
+    obs::Histogram* warm_micros = nullptr;  ///< Wall per WarmFrom call.
   } metrics_;
 };
 

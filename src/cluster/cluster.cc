@@ -59,6 +59,16 @@ EonCluster::EonCluster(ObjectStore* shared_storage, Clock* clock,
   pool_options.metrics_name = options_.db_name + "-exec";
   pool_options.registry = options_.registry;
   exec_pool_ = std::make_unique<ThreadPool>(pool_options);
+
+  IoPool::Options io_options;
+  io_options.num_threads = ResolveIoThreads(options_.io_threads);
+  io_options.metrics_name = options_.db_name + "-io";
+  io_options.registry = options_.registry;
+  io_pool_ = std::make_unique<IoPool>(io_options);
+  // Every node cache fetches through the shared I/O pool (BuildNodes
+  // copies options_.node into each Node).
+  options_.node.cache.io_pool = io_pool_.get();
+  prefetch_depth_ = ResolvePrefetchDepth(options_.prefetch_depth);
 }
 
 int EonCluster::ResolveExecThreads(int configured) {
@@ -69,6 +79,25 @@ int EonCluster::ResolveExecThreads(int configured) {
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return static_cast<int>(std::min(hw == 0 ? 1u : hw, 8u));
+}
+
+int EonCluster::ResolveIoThreads(int configured) {
+  if (configured > 0) return configured;
+  if (const char* env = std::getenv("EON_IO_THREADS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 4;
+}
+
+int EonCluster::ResolvePrefetchDepth(int configured) {
+  if (configured >= 0) return configured;
+  if (const char* env = std::getenv("EON_PREFETCH_DEPTH")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 0) return static_cast<int>(v);
+  }
+  return 4;
 }
 
 Status EonCluster::BuildNodes(const std::vector<NodeSpec>& specs) {

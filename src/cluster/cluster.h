@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "cluster/node.h"
+#include "common/io_pool.h"
 #include "common/thread_pool.h"
 #include "shard/participation.h"
 
@@ -38,6 +39,17 @@ struct ClusterOptions {
   /// min(hardware threads, 8). 1 = fully serial (no worker threads) —
   /// the deterministic fallback; results are byte-identical at any width.
   int exec_threads = 0;
+  /// Dedicated I/O pool width, shared by every node's file cache for
+  /// async fetches, prefetch, and parallel cache warming. Distinct from
+  /// exec_threads: I/O lanes spend their life blocked on (simulated)
+  /// object-store latency, so they are cheap to overprovision and must
+  /// never steal a compute lane. 0 = auto: EON_IO_THREADS if set, else 4.
+  int io_threads = 0;
+  /// Scan read-ahead: while executing morsel i, the executor prefetches
+  /// the column files of morsels i+1..i+prefetch_depth into the serving
+  /// node's cache through the I/O pool. 0 disables prefetch; < 0 = auto:
+  /// EON_PREFETCH_DEPTH if set, else 4.
+  int prefetch_depth = -1;
 };
 
 /// A file awaiting deletion from shared storage (Section 6.5): reclaimed
@@ -103,6 +115,10 @@ class EonCluster {
   bool is_shutdown() const { return shutdown_; }
   /// Shared morsel-execution pool (see ClusterOptions::exec_threads).
   ThreadPool* exec_pool() { return exec_pool_.get(); }
+  /// Shared I/O pool backing cache fetches (ClusterOptions::io_threads).
+  IoPool* io_pool() { return io_pool_.get(); }
+  /// Effective scan read-ahead depth (ClusterOptions::prefetch_depth).
+  int prefetch_depth() const { return prefetch_depth_; }
 
   // --- Distributed commit (Section 3.2) ---
 
@@ -191,6 +207,10 @@ class EonCluster {
 
   /// ClusterOptions::exec_threads → effective pool width (see its doc).
   static int ResolveExecThreads(int configured);
+  /// ClusterOptions::io_threads → effective I/O pool width (see its doc).
+  static int ResolveIoThreads(int configured);
+  /// ClusterOptions::prefetch_depth → effective read-ahead depth.
+  static int ResolvePrefetchDepth(int configured);
 
   Status BuildNodes(const std::vector<NodeSpec>& specs);
   /// Apply log records the target missed, fetched from any up peer.
@@ -207,6 +227,12 @@ class EonCluster {
   Clock* clock_;
   ClusterOptions options_;
   std::unique_ptr<ThreadPool> exec_pool_;
+  /// Declared before nodes_ on purpose: node caches submit tasks to this
+  /// pool, and FileCache's destructor waits for its in-flight async work
+  /// — the pool's workers must still be draining the queue while the
+  /// nodes (destroyed first, reverse declaration order) shut down.
+  std::unique_ptr<IoPool> io_pool_;
+  int prefetch_depth_ = 0;
   IncarnationId incarnation_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<PendingFileDelete> pending_deletes_;

@@ -1,13 +1,18 @@
 #include "columnar/ros.h"
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
 #include <map>
+#include <mutex>
 #include <set>
+#include <utility>
 
 #include "columnar/encoding.h"
 #include "columnar/value_codec.h"
 #include "common/codec.h"
 #include "common/hash.h"
+#include "obs/metrics.h"
 #include "storage/object_store.h"
 
 namespace eon {
@@ -54,9 +59,72 @@ Status GetRange(Slice* in, DataType type, ValueRange* r) {
 
 }  // namespace
 
+struct PendingFile::State {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Status status;
+  FileRef ref;
+  obs::Histogram* wait_hist = nullptr;
+};
+
+PendingFile PendingFile::MakeReady(Result<FileRef> result) {
+  PendingFile pf;
+  pf.state_ = std::make_shared<State>();
+  pf.state_->done = true;
+  if (result.ok()) {
+    pf.state_->ref = std::move(result).value();
+  } else {
+    pf.state_->status = result.status();
+  }
+  return pf;
+}
+
+PendingFile PendingFile::MakePending(obs::Histogram* wait_hist) {
+  PendingFile pf;
+  pf.state_ = std::make_shared<State>();
+  pf.state_->wait_hist = wait_hist;
+  return pf;
+}
+
+void PendingFile::Complete(Result<FileRef> result) {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (result.ok()) {
+      state_->ref = std::move(result).value();
+    } else {
+      state_->status = result.status();
+    }
+    state_->done = true;
+  }
+  state_->cv.notify_all();
+}
+
+Result<FileRef> PendingFile::Wait(int64_t* wait_micros) {
+  std::unique_lock<std::mutex> lock(state_->mu);
+  if (!state_->done) {
+    const auto start = std::chrono::steady_clock::now();
+    state_->cv.wait(lock, [this] { return state_->done; });
+    const int64_t blocked =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    if (wait_micros != nullptr) *wait_micros += blocked;
+    if (state_->wait_hist != nullptr) {
+      state_->wait_hist->Observe(static_cast<double>(blocked));
+    }
+  }
+  if (!state_->status.ok()) return state_->status;
+  return state_->ref;
+}
+
 Result<FileRef> FileFetcher::FetchRef(const std::string& key) {
   EON_ASSIGN_OR_RETURN(std::string data, Fetch(key));
   return std::make_shared<const std::string>(std::move(data));
+}
+
+PendingFile FileFetcher::FetchRefAsync(const std::string& key) {
+  return PendingFile::MakeReady(FetchRef(key));
 }
 
 Result<std::string> DirectFetcher::Fetch(const std::string& key) {
@@ -243,6 +311,36 @@ const char* ScanModeName(ScanMode mode) {
 
 namespace {
 
+/// Fetch every column in `cols` as ONE async batch — the store round
+/// trips overlap instead of serializing K first-byte latencies — then
+/// open a reader per file as each fetch completes (completion order is
+/// consumed in ascending column order; a fetch that finished early waits
+/// zero). Blocked wall time lands in st->fetch_wait_micros.
+Status FetchColumnsAsync(const Schema& schema, const std::string& base_key,
+                         FileFetcher* fetcher, const std::set<size_t>& cols,
+                         std::map<size_t, ColumnFileReader>* readers,
+                         RosScanStats* st) {
+  std::vector<std::pair<size_t, PendingFile>> pending;
+  pending.reserve(cols.size());
+  for (size_t col : cols) {
+    pending.emplace_back(col, fetcher->FetchRefAsync(
+                                  RosContainerWriter::ColumnKey(base_key, col)));
+  }
+  for (auto& [col, pf] : pending) {
+    EON_ASSIGN_OR_RETURN(FileRef data,
+                         pf.Wait(st ? &st->fetch_wait_micros : nullptr));
+    if (st != nullptr) {
+      st->files_fetched++;
+      st->bytes_fetched += data->size();
+    }
+    EON_ASSIGN_OR_RETURN(
+        ColumnFileReader reader,
+        ColumnFileReader::Open(std::move(data), schema.column(col).type));
+    readers->emplace(col, std::move(reader));
+  }
+  return Status::OK();
+}
+
 /// EncodedBlockSource over one block of the fetched predicate-column
 /// readers: comparison leaves evaluate directly on the encoded chunk (per
 /// RLE run / per dictionary entry) when possible, with a lazily decoded,
@@ -302,12 +400,16 @@ class BlockPredicateSource : public EncodedBlockSource {
     return &decoded_.emplace(col, std::move(values)).first->second;
   }
 
-  /// Fallback-decoded column of the current block, if phase 1 produced
-  /// one — lets the scan compact predicate∩output columns without paying
-  /// for a second decode.
-  const std::vector<Value>* CachedDecoded(size_t col) const {
+  /// Move out the fallback-decoded column of the current block, if phase 1
+  /// produced one — lets the scan keep predicate∩output columns for
+  /// phase 2 without paying for a second decode. Consumes the cache entry
+  /// (the next SetBlock would clear it anyway).
+  bool TakeDecoded(size_t col, std::vector<Value>* out) {
     auto it = decoded_.find(col);
-    return it == decoded_.end() ? nullptr : &it->second;
+    if (it == decoded_.end()) return false;
+    *out = std::move(it->second);
+    decoded_.erase(it);
+    return true;
   }
 
   const Status& status() const { return status_; }
@@ -334,12 +436,13 @@ class BlockPredicateSource : public EncodedBlockSource {
 };
 
 /// Two-phase late-materialization scan. Phase 1 fetches only the predicate
-/// columns and evaluates the predicate per block — on the encoded
-/// representation where the encoding supports it — folding the row range
-/// and tombstones into one selection vector. Phase 2 selectively decodes
-/// the output columns for surviving rows; output-only column files are
-/// fetched lazily, so a container where nothing survives never fetches
-/// them at all.
+/// columns (one async batch) and evaluates the predicate per block — on
+/// the encoded representation where the encoding supports it — folding the
+/// row range and tombstones into one selection vector. Phase 2 selectively
+/// decodes the output columns for surviving rows; output-only column files
+/// are fetched lazily AND asynchronously: the fetch is issued at the first
+/// surviving block and overlaps with the remaining phase-1 work, and a
+/// container where nothing survives never fetches them at all.
 Result<std::vector<Row>> ScanLateMaterialized(const Schema& schema,
                                               const std::string& base_key,
                                               FileFetcher* fetcher,
@@ -347,17 +450,8 @@ Result<std::vector<Row>> ScanLateMaterialized(const Schema& schema,
                                               const std::set<size_t>& pred_cols,
                                               RosScanStats* st) {
   std::map<size_t, ColumnFileReader> readers;
-  for (size_t col : pred_cols) {
-    EON_ASSIGN_OR_RETURN(
-        FileRef data,
-        fetcher->FetchRef(RosContainerWriter::ColumnKey(base_key, col)));
-    st->files_fetched++;
-    st->bytes_fetched += data->size();
-    EON_ASSIGN_OR_RETURN(
-        ColumnFileReader reader,
-        ColumnFileReader::Open(std::move(data), schema.column(col).type));
-    readers.emplace(col, std::move(reader));
-  }
+  EON_RETURN_IF_ERROR(
+      FetchColumnsAsync(schema, base_key, fetcher, pred_cols, &readers, st));
 
   const ColumnFileReader& first = readers.begin()->second;
   const size_t num_blocks = first.num_blocks();
@@ -375,26 +469,31 @@ Result<std::vector<Row>> ScanLateMaterialized(const Schema& schema,
   for (size_t col : out_distinct) {
     if (pred_cols.count(col) == 0) out_only.insert(col);
   }
-  bool outputs_fetched = false;
-  auto ensure_outputs = [&]() -> Status {
-    if (outputs_fetched) return Status::OK();
-    outputs_fetched = true;
+
+  // Phase 1 runs over ALL blocks first, buffering each survivor's
+  // selection (plus any column phase 1 already decoded), so the
+  // output-only fetch issued at the first survivor overlaps with the
+  // remaining predicate work — the scan only Waits once phase 2 begins.
+  struct Survivor {
+    size_t block = 0;
+    uint64_t selected = 0;
+    SelectionVector sel;
+    /// Phase-1 fallback decodes of predicate∩output columns; compacted in
+    /// phase 2 without a second decode.
+    std::map<size_t, std::vector<Value>> phase1;
+  };
+  std::vector<Survivor> survivors;
+  std::vector<std::pair<size_t, PendingFile>> out_pending;
+  bool outputs_requested = false;
+  auto request_outputs = [&]() {
+    if (outputs_requested) return;
+    outputs_requested = true;
+    out_pending.reserve(out_only.size());
     for (size_t col : out_only) {
-      EON_ASSIGN_OR_RETURN(
-          FileRef data,
-          fetcher->FetchRef(RosContainerWriter::ColumnKey(base_key, col)));
-      st->files_fetched++;
-      st->bytes_fetched += data->size();
-      EON_ASSIGN_OR_RETURN(
-          ColumnFileReader reader,
-          ColumnFileReader::Open(std::move(data), schema.column(col).type));
-      if (reader.num_blocks() != num_blocks ||
-          reader.row_count() != first.row_count()) {
-        return Status::Corruption("column files disagree on block layout");
-      }
-      readers.emplace(col, std::move(reader));
+      out_pending.emplace_back(
+          col,
+          fetcher->FetchRefAsync(RosContainerWriter::ColumnKey(base_key, col)));
     }
-    return Status::OK();
   };
 
   std::vector<Row> out;
@@ -450,24 +549,61 @@ Result<std::vector<Row>> ScanLateMaterialized(const Schema& schema,
     }
     if (selected == 0) continue;
 
-    // Phase 2: selectively decode each distinct output column. All share
-    // the same selection vector, so the k-th entry of every dense vector
-    // belongs to the k-th surviving row.
-    EON_RETURN_IF_ERROR(ensure_outputs());
+    request_outputs();
+    Survivor sv;
+    sv.block = b;
+    sv.selected = selected;
+    for (size_t col : out_distinct) {
+      if (pred_cols.count(col) == 0) continue;
+      std::vector<Value> vals;
+      if (src.TakeDecoded(col, &vals)) sv.phase1.emplace(col, std::move(vals));
+    }
+    sv.sel = std::move(sel);
+    survivors.push_back(std::move(sv));
+  }
+  if (!outputs_requested) {
+    st->files_skipped += out_only.size();
+    return out;
+  }
+
+  // Wait for the output-only files — much of their store latency has
+  // already been hidden behind the phase-1 work above — and verify they
+  // agree with the predicate columns on the block layout.
+  for (auto& [col, pf] : out_pending) {
+    EON_ASSIGN_OR_RETURN(FileRef data, pf.Wait(&st->fetch_wait_micros));
+    st->files_fetched++;
+    st->bytes_fetched += data->size();
+    EON_ASSIGN_OR_RETURN(
+        ColumnFileReader reader,
+        ColumnFileReader::Open(std::move(data), schema.column(col).type));
+    if (reader.num_blocks() != num_blocks ||
+        reader.row_count() != first.row_count()) {
+      return Status::Corruption("column files disagree on block layout");
+    }
+    readers.emplace(col, std::move(reader));
+  }
+
+  // Phase 2, in block order (byte-identical to the fused single-pass
+  // loop): selectively decode each distinct output column. All share the
+  // block's selection vector, so the k-th entry of every dense vector
+  // belongs to the k-th surviving row.
+  for (Survivor& sv : survivors) {
+    const BlockMeta& bm = first.block(sv.block);
     std::map<size_t, std::vector<Value>> dense;
     for (size_t col : out_distinct) {
       std::vector<Value> vals;
-      vals.reserve(selected);
-      const std::vector<Value>* phase1 = src.CachedDecoded(col);
-      if (phase1 != nullptr) {
+      vals.reserve(sv.selected);
+      auto p1 = sv.phase1.find(col);
+      if (p1 != sv.phase1.end()) {
+        const std::vector<Value>& full = p1->second;
         for (uint64_t i = 0; i < bm.row_count; ++i) {
-          if (sel[i]) vals.push_back((*phase1)[i]);
+          if (sv.sel[i]) vals.push_back(full[i]);
         }
       } else {
         EON_RETURN_IF_ERROR(readers.at(col).DecodeSelected(
-            b, sel.data(), &vals, &st->values_decoded));
+            sv.block, sv.sel.data(), &vals, &st->values_decoded));
       }
-      if (vals.size() != selected) {
+      if (vals.size() != sv.selected) {
         return Status::Corruption("selective decode count mismatch");
       }
       dense.emplace(col, std::move(vals));
@@ -478,7 +614,7 @@ Result<std::vector<Row>> ScanLateMaterialized(const Schema& schema,
     for (size_t col : options.output_columns) {
       out_cols.push_back(&dense.at(col));
     }
-    for (uint64_t k = 0; k < selected; ++k) {
+    for (uint64_t k = 0; k < sv.selected; ++k) {
       Row out_row;
       out_row.reserve(out_cols.size());
       for (const std::vector<Value>* values : out_cols) {
@@ -488,7 +624,6 @@ Result<std::vector<Row>> ScanLateMaterialized(const Schema& schema,
       st->rows_output++;
     }
   }
-  if (!outputs_fetched) st->files_skipped += out_only.size();
   return out;
 }
 
@@ -530,20 +665,12 @@ Result<std::vector<Row>> ScanRosContainer(const Schema& schema,
                                 st);
   }
 
-  // Fetch and open each needed column file. FetchRef pins cache-backed
-  // files resident (and shares their bytes) for the readers' lifetime.
+  // Fetch (one async batch) and open each needed column file. The refs
+  // pin cache-backed files resident (and share their bytes) for the
+  // readers' lifetime.
   std::map<size_t, ColumnFileReader> readers;
-  for (size_t col : needed) {
-    EON_ASSIGN_OR_RETURN(
-        FileRef data,
-        fetcher->FetchRef(RosContainerWriter::ColumnKey(base_key, col)));
-    st->files_fetched++;
-    st->bytes_fetched += data->size();
-    EON_ASSIGN_OR_RETURN(
-        ColumnFileReader reader,
-        ColumnFileReader::Open(std::move(data), schema.column(col).type));
-    readers.emplace(col, std::move(reader));
-  }
+  EON_RETURN_IF_ERROR(
+      FetchColumnsAsync(schema, base_key, fetcher, needed, &readers, st));
 
   std::vector<Row> out;
   if (needed.empty()) return out;  // Degenerate: no columns requested.
@@ -640,19 +767,14 @@ Result<std::vector<uint64_t>> FindMatchingPositions(
     needed.insert(0);
   }
 
-  std::map<size_t, ColumnFileReader> readers;
   for (size_t col : needed) {
     if (col >= schema.num_columns()) {
       return Status::InvalidArgument("column index out of range");
     }
-    EON_ASSIGN_OR_RETURN(
-        std::string data,
-        fetcher->Fetch(RosContainerWriter::ColumnKey(base_key, col)));
-    EON_ASSIGN_OR_RETURN(
-        ColumnFileReader reader,
-        ColumnFileReader::Open(std::move(data), schema.column(col).type));
-    readers.emplace(col, std::move(reader));
   }
+  std::map<size_t, ColumnFileReader> readers;
+  EON_RETURN_IF_ERROR(FetchColumnsAsync(schema, base_key, fetcher, needed,
+                                        &readers, /*st=*/nullptr));
 
   std::vector<uint64_t> positions;
   const ColumnFileReader& first = readers.begin()->second;

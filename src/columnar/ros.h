@@ -24,6 +24,40 @@ namespace eon {
 /// Drop), so a scan can never observe dangling data.
 using FileRef = std::shared_ptr<const std::string>;
 
+namespace obs {
+class Histogram;
+}  // namespace obs
+
+/// Future-like handle to one in-flight file fetch. Copyable; all copies
+/// share the same completion state. A PendingFile is either *ready*
+/// (carries the result already — the synchronous fallback) or *pending*
+/// (some I/O-pool task will Complete() it).
+class PendingFile {
+ public:
+  PendingFile() = default;
+
+  /// A handle that is already complete — the inline / cache-hit path.
+  static PendingFile MakeReady(Result<FileRef> result);
+  /// A handle a producer will Complete() later. `wait_hist` (optional)
+  /// observes the blocked wall-micros of every Wait() on this handle.
+  static PendingFile MakePending(obs::Histogram* wait_hist = nullptr);
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// Producer side: publish the result and wake all waiters. Must be
+  /// called exactly once per pending handle.
+  void Complete(Result<FileRef> result);
+
+  /// Consumer side: block until complete, then return the result. The
+  /// wall time spent blocked (zero when already complete) is added to
+  /// `*wait_micros` when provided — the scan's fetch-stall accounting.
+  Result<FileRef> Wait(int64_t* wait_micros = nullptr);
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
 class FileFetcher {
  public:
   virtual ~FileFetcher() = default;
@@ -35,6 +69,12 @@ class FileFetcher {
   /// where possible. Cache-backed fetchers additionally pin the entry
   /// resident until the ref is released. Default adapts Fetch().
   virtual Result<FileRef> FetchRef(const std::string& key);
+
+  /// Start a fetch without blocking. Fetchers with an I/O pool overlap
+  /// the store round-trip with the caller's compute; the default adapts
+  /// FetchRef() and returns an already-complete handle, so every scan
+  /// path works against any fetcher.
+  virtual PendingFile FetchRefAsync(const std::string& key);
 };
 
 /// FileFetcher that reads straight from an ObjectStore (no cache).
@@ -194,6 +234,10 @@ struct RosScanStats {
   /// Output-only column files never fetched because no row in the
   /// container survived the predicate phase.
   uint64_t files_skipped = 0;
+  /// Wall micros the scan spent blocked in PendingFile::Wait — the I/O
+  /// stall the prefetch pipeline exists to hide (0 when every fetch
+  /// completed before the scan needed it).
+  int64_t fetch_wait_micros = 0;
 
   void Add(const RosScanStats& o) {
     files_fetched += o.files_fetched;
@@ -204,6 +248,7 @@ struct RosScanStats {
     rows_output += o.rows_output;
     values_decoded += o.values_decoded;
     files_skipped += o.files_skipped;
+    fetch_wait_micros += o.fetch_wait_micros;
   }
 };
 

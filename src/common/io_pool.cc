@@ -1,0 +1,81 @@
+#include "common/io_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace eon {
+
+namespace {
+
+std::string AutoIoPoolName() {
+  static std::atomic<uint64_t> seq{0};
+  return "io" + std::to_string(seq.fetch_add(1));
+}
+
+int64_t SteadyWallMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+IoPool::IoPool(Options options)
+    : metrics_name_(options.metrics_name.empty() ? AutoIoPoolName()
+                                                 : options.metrics_name) {
+  obs::MetricsRegistry* reg = obs::OrDefault(options.registry);
+  const obs::LabelSet labels({{"pool", metrics_name_}});
+  tasks_total_ = reg->GetCounter("eon_io_pool_tasks_total", labels);
+  queue_depth_ = reg->GetGauge("eon_io_pool_queue_depth", labels);
+  threads_gauge_ = reg->GetGauge("eon_io_pool_threads", labels);
+  task_micros_ = reg->GetHistogram("eon_io_pool_task_micros", labels);
+
+  const int width = options.num_threads < 1 ? 1 : options.num_threads;
+  threads_gauge_->Set(width);
+  workers_.reserve(width);
+  for (int i = 0; i < width; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+IoPool::~IoPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  threads_gauge_->Set(0);
+}
+
+void IoPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+    queue_depth_->Add(1);
+  }
+  cv_.notify_one();
+}
+
+void IoPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown_ with a drained queue.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      queue_depth_->Sub(1);
+    }
+    const int64_t start = SteadyWallMicros();
+    task();
+    task_micros_->Observe(static_cast<double>(SteadyWallMicros() - start));
+    tasks_total_->Increment();
+  }
+}
+
+}  // namespace eon

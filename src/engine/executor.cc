@@ -6,6 +6,8 @@
 #include <functional>
 #include <set>
 
+#include "cache/file_cache.h"
+#include "columnar/ros.h"
 #include "common/codec.h"
 #include "common/thread_pool.h"
 #include "engine/dml.h"
@@ -345,6 +347,69 @@ Result<ScanOutput> ScanDistributed(EonCluster* cluster,
     }
   }
 
+  // Read-ahead pipeline: before scanning morsel i, the column files of
+  // morsels i+1..i+depth are queued on the I/O pool into their executing
+  // node's cache, so this morsel's compute overlaps the next morsels'
+  // object-store latency. Phase-1 (predicate) columns are what the scan
+  // touches first — under late materialization the scan itself async-
+  // fetches output columns once survivors are known — so those are the
+  // read-ahead set; a predicate-less scan reads every output column up
+  // front and prefetches the same.
+  const size_t prefetch_depth =
+      static_cast<size_t>(std::max(0, cluster->prefetch_depth()));
+  const std::vector<size_t>& prefetch_cols =
+      pred_proj_cols.empty() ? scan_cols : pred_proj_cols;
+  // High-water mark: consecutive windows overlap (morsel i and i+1 both
+  // cover i+2..), so without it every morsel would be requested `depth`
+  // times — redundant resident-checks that add up over thousands of tiny
+  // morsels. Monotonic CAS keeps the dedup exact under morsel parallelism;
+  // a request "lost" to a racing lane was just issued by that lane.
+  std::atomic<size_t> prefetch_hwm{0};
+  // Warm backoff: on a fully-resident cache every window pre-checks as
+  // already satisfied, so after a streak of such windows the scan stops
+  // speculating — thousands of tiny morsels would otherwise pay a key
+  // build + shard lookup each for nothing. Any window that finds a
+  // missing file resets the streak, so a partially warm cache keeps its
+  // read-ahead.
+  constexpr int kPrefetchWarmStreakLimit = 8;
+  std::atomic<int> prefetch_warm_streak{0};
+  auto prefetch_window = [&](size_t i) {
+    if (prefetch_warm_streak.load(std::memory_order_relaxed) >=
+        kPrefetchWarmStreakLimit) {
+      return;
+    }
+    const size_t end = std::min(i + prefetch_depth + 1, morsels.size());
+    size_t cur = prefetch_hwm.load(std::memory_order_relaxed);
+    size_t begin;
+    do {
+      begin = std::max(cur, i + 1);
+      if (begin >= end) return;
+    } while (!prefetch_hwm.compare_exchange_weak(cur, end,
+                                                 std::memory_order_relaxed));
+    size_t missing = 0;
+    for (size_t j = begin; j < end; ++j) {
+      const Morsel& next = morsels[j];
+      // Per-file size estimate for the admission window; the catalog does
+      // not track per-column sizes.
+      const uint64_t hint =
+          next.container->total_bytes /
+          std::max<uint64_t>(1, next.container->num_columns);
+      std::vector<PrefetchRequest> reqs;
+      reqs.reserve(prefetch_cols.size());
+      for (size_t col : prefetch_cols) {
+        reqs.push_back(PrefetchRequest{
+            RosContainerWriter::ColumnKey(next.container->base_key, col),
+            hint});
+      }
+      missing += next.executor->cache()->PrefetchAsync(reqs);
+    }
+    if (missing == 0) {
+      prefetch_warm_streak.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      prefetch_warm_streak.store(0, std::memory_order_relaxed);
+    }
+  };
+
   // Execute every morsel as an independent task. Each task writes only its
   // own MorselResult slot: rows are hash-filtered and stripped locally, and
   // scan stats accumulate into a task-private RosScanStats.
@@ -359,6 +424,7 @@ Result<ScanOutput> ScanDistributed(EonCluster* cluster,
     const Morsel& m = morsels[i];
     MorselResult& res = results[i];
     res.status = [&]() -> Status {
+      if (prefetch_depth > 0) prefetch_window(i);
       EON_ASSIGN_OR_RETURN(
           DeleteVector deletes,
           LoadDeleteVector(*m.snapshot, *m.container, m.executor->cache()));
@@ -986,6 +1052,10 @@ Result<QueryResult> ExecuteQuery(EonCluster* cluster,
       sum.misses += s.misses;
       sum.bytes_hit += s.bytes_hit;
       sum.bytes_filled += s.bytes_filled;
+      sum.prefetch_issued += s.prefetch_issued;
+      sum.prefetch_useful += s.prefetch_useful;
+      sum.prefetch_wasted += s.prefetch_wasted;
+      sum.prefetch_coalesced += s.prefetch_coalesced;
     }
     return sum;
   };
@@ -1324,12 +1394,21 @@ Result<QueryResult> ExecuteQuery(EonCluster* cluster,
   profile.rows_shuffled = stats.rows_shuffled;
   profile.exec_values_decoded = stats.scan.values_decoded;
   profile.exec_files_skipped = stats.scan.files_skipped;
+  profile.exec_fetch_wait_micros = stats.scan.fetch_wait_micros;
   const CacheStats cache_after = cache_totals();
   profile.cache_hits = cache_after.hits - cache_before.hits;
   profile.cache_misses = cache_after.misses - cache_before.misses;
   profile.cache_bytes_hit = cache_after.bytes_hit - cache_before.bytes_hit;
   profile.cache_fill_bytes =
       cache_after.bytes_filled - cache_before.bytes_filled;
+  profile.prefetch_issued =
+      cache_after.prefetch_issued - cache_before.prefetch_issued;
+  profile.prefetch_useful =
+      cache_after.prefetch_useful - cache_before.prefetch_useful;
+  profile.prefetch_wasted =
+      cache_after.prefetch_wasted - cache_before.prefetch_wasted;
+  profile.prefetch_coalesced =
+      cache_after.prefetch_coalesced - cache_before.prefetch_coalesced;
   const ObjectStoreMetrics store_after = cluster->shared_storage()->metrics();
   profile.store_gets = store_after.gets - store_before.gets;
   profile.store_puts = store_after.puts - store_before.puts;

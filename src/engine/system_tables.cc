@@ -46,7 +46,8 @@ const std::map<std::string, Schema>& Registry() {
     (*m)["dc_store_requests"] = Schema({
         Col("store", kS), Col("node", kS), Col("at_micros", kI),
         Col("op", kS), Col("key", kS), Col("bytes", kI),
-        Col("latency_micros", kI), Col("cost", kI), Col("ok", kI)});
+        Col("latency_micros", kI), Col("cost", kI), Col("ok", kI),
+        Col("origin", kS)});
     (*m)["dc_mergeout_events"] = Schema({
         Col("node", kS), Col("at_micros", kI), Col("projection", kS),
         Col("shard", kI), Col("inputs", kI), Col("rows_written", kI),
@@ -65,7 +66,10 @@ const std::map<std::string, Schema>& Registry() {
         Col("node", kS), Col("capacity_bytes", kI), Col("size_bytes", kI),
         Col("files", kI), Col("pinned_refs", kI), Col("hits", kI),
         Col("misses", kI), Col("bytes_hit", kI), Col("bytes_filled", kI),
-        Col("insertions", kI), Col("evictions", kI), Col("coalesced", kI)});
+        Col("insertions", kI), Col("evictions", kI), Col("coalesced", kI),
+        Col("prefetch_issued", kI), Col("prefetch_useful", kI),
+        Col("prefetch_wasted", kI), Col("prefetch_coalesced", kI),
+        Col("prefetch_rejected", kI)});
     (*m)["system_storage_containers"] = Schema({
         Col("table", kS), Col("projection", kS), Col("shard", kI),
         Col("container_oid", kI), Col("base_key", kS), Col("rows", kI),
@@ -146,7 +150,8 @@ std::vector<Row> StoreRequestRows(EonCluster* cluster) {
     for (const obs::DcStoreRequest& e : dc->StoreRequests()) {
       rows.push_back(Row{S(e.store), S(e.node), I(e.at_micros), S(e.op),
                          S(e.key), U(e.bytes), I(e.latency_micros),
-                         U(e.cost_microdollars), I(e.ok ? 1 : 0)});
+                         U(e.cost_microdollars), I(e.ok ? 1 : 0),
+                         S(e.origin)});
     }
   }
   return rows;
@@ -216,7 +221,9 @@ std::vector<Row> CacheRows(EonCluster* cluster) {
                        U(cache->size_bytes()), U(cache->file_count()),
                        U(cache->pinned_refs()), U(s.hits), U(s.misses),
                        U(s.bytes_hit), U(s.bytes_filled), U(s.insertions),
-                       U(s.evictions), U(s.coalesced)});
+                       U(s.evictions), U(s.coalesced), U(s.prefetch_issued),
+                       U(s.prefetch_useful), U(s.prefetch_wasted),
+                       U(s.prefetch_coalesced), U(s.prefetch_rejected)});
   }
   return rows;
 }

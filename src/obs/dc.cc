@@ -21,6 +21,7 @@ int64_t ResolveSlowQueryMicros(int64_t configured) {
 }
 
 thread_local const std::string* tls_dc_node = nullptr;
+thread_local const std::string* tls_dc_origin = nullptr;
 
 }  // namespace
 
@@ -75,6 +76,10 @@ void DataCollector::RecordCacheEvent(DcCacheEvent event) {
 void DataCollector::RecordStoreRequest(DcStoreRequest event) {
   event.at_micros = Stamp(event.at_micros);
   if (event.node.empty()) event.node = DcNodeScope::Current();
+  if (event.origin.empty()) {
+    event.origin = DcOriginScope::Current();
+    if (event.origin.empty()) event.origin = "demand";
+  }
   store_requests_.Push(std::move(event));
 }
 
@@ -145,6 +150,17 @@ DcNodeScope::~DcNodeScope() { tls_dc_node = previous_; }
 
 std::string DcNodeScope::Current() {
   return tls_dc_node == nullptr ? std::string() : *tls_dc_node;
+}
+
+DcOriginScope::DcOriginScope(const std::string& origin)
+    : previous_(tls_dc_origin) {
+  tls_dc_origin = &origin;
+}
+
+DcOriginScope::~DcOriginScope() { tls_dc_origin = previous_; }
+
+std::string DcOriginScope::Current() {
+  return tls_dc_origin == nullptr ? std::string() : *tls_dc_origin;
 }
 
 }  // namespace obs

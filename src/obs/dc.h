@@ -69,6 +69,10 @@ struct DcStoreRequest {
   int64_t latency_micros = 0;
   uint64_t cost_microdollars = 0;
   bool ok = true;
+  /// "demand" (a query/operation needed the bytes now) or "prefetch" (a
+  /// speculative read ahead of the scan). Defaults to "demand" when no
+  /// DcOriginScope is live.
+  std::string origin;
 };
 
 /// One tuple-mover mergeout job run on this node.
@@ -233,6 +237,24 @@ class DcNodeScope {
   DcNodeScope& operator=(const DcNodeScope&) = delete;
 
   /// The innermost live scope's node name on this thread, or "".
+  static std::string Current();
+
+ private:
+  const std::string* previous_;
+};
+
+/// RAII thread-local attribution of store-request *intent*: requests
+/// recorded while a scope is live carry its origin string (the cache
+/// opens a "prefetch" scope around speculative fills). Unscoped requests
+/// default to "demand".
+class DcOriginScope {
+ public:
+  explicit DcOriginScope(const std::string& origin);
+  ~DcOriginScope();
+  DcOriginScope(const DcOriginScope&) = delete;
+  DcOriginScope& operator=(const DcOriginScope&) = delete;
+
+  /// The innermost live scope's origin on this thread, or "".
   static std::string Current();
 
  private:

@@ -99,6 +99,14 @@ JsonValue QueryProfile::ToJson() const {
            JsonValue::Int(static_cast<int64_t>(exec_values_decoded)));
   exec.Set("files_skipped",
            JsonValue::Int(static_cast<int64_t>(exec_files_skipped)));
+  exec.Set("fetch_wait_micros", JsonValue::Int(exec_fetch_wait_micros));
+  JsonValue prefetch = JsonValue::Object();
+  prefetch.Set("issued", JsonValue::Int(static_cast<int64_t>(prefetch_issued)));
+  prefetch.Set("useful", JsonValue::Int(static_cast<int64_t>(prefetch_useful)));
+  prefetch.Set("wasted", JsonValue::Int(static_cast<int64_t>(prefetch_wasted)));
+  prefetch.Set("coalesced",
+               JsonValue::Int(static_cast<int64_t>(prefetch_coalesced)));
+  exec.Set("prefetch", std::move(prefetch));
   out.Set("exec", std::move(exec));
   return out;
 }
@@ -165,6 +173,15 @@ std::string QueryProfile::ToText() const {
            " decode: %llu values decoded, %llu column files skipped\n",
            static_cast<unsigned long long>(exec_values_decoded),
            static_cast<unsigned long long>(exec_files_skipped));
+  out += buf;
+  snprintf(buf, sizeof(buf),
+           " prefetch: %llu issued, %llu useful, %llu wasted, "
+           "%llu coalesced; %.3f ms fetch wait\n",
+           static_cast<unsigned long long>(prefetch_issued),
+           static_cast<unsigned long long>(prefetch_useful),
+           static_cast<unsigned long long>(prefetch_wasted),
+           static_cast<unsigned long long>(prefetch_coalesced),
+           static_cast<double>(exec_fetch_wait_micros) / 1000.0);
   out += buf;
   return out;
 }

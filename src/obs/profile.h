@@ -74,6 +74,19 @@ struct QueryProfile {
   /// two-phase scan never had to fetch.
   uint64_t exec_values_decoded = 0;
   uint64_t exec_files_skipped = 0;
+  /// Time scan lanes spent blocked on async column-file fetches
+  /// (RosScanStats::fetch_wait_micros rollup): the part of the store
+  /// latency the prefetch pipeline did NOT manage to hide.
+  int64_t exec_fetch_wait_micros = 0;
+
+  // Prefetch pipeline deltas over the participating nodes' caches:
+  // speculative fetches issued / later read by a demand fetch / evicted
+  // or dropped unread / suppressed because the key was already resident
+  // or in flight.
+  uint64_t prefetch_issued = 0;
+  uint64_t prefetch_useful = 0;
+  uint64_t prefetch_wasted = 0;
+  uint64_t prefetch_coalesced = 0;
 
   /// Effective speedup of the parallel sections (`exec.parallelism`):
   /// total task CPU over the critical path. 1.0 = serial; approaches

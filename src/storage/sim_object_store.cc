@@ -117,26 +117,40 @@ SimObjectStore::SimObjectStore(SimStoreOptions options, Clock* clock)
     : impl_(new Impl(options, clock)) {}
 SimObjectStore::~SimObjectStore() = default;
 
+// Concurrency note: latency (Impl::ChargeTime — which sleeps under a
+// WallClock) and the backing MemObjectStore calls run OUTSIDE impl_->mu,
+// so requests issued concurrently from the I/O pool overlap instead of
+// serializing on one store-wide mutex — the behavior being modeled is N
+// independent HTTP requests in flight against S3. The mutex only guards
+// the fault-injection rng, the non-atomic cost/fault counters, and the
+// HEAD-staleness map (the backing store has its own internal lock).
+
 Status SimObjectStore::Put(const std::string& key, const std::string& data) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
   const int64_t t0 = impl_->clock->NowMicros();
   Status result = [&]() -> Status {
     impl_->ChargeTime(impl_->options.put_latency_micros, data.size(),
                       impl_->op_put);
-    impl_->Charge(impl_->op_put, impl_->options.put_cost_microdollars);
-    // Fault may fire after the object landed (lost response case).
-    bool fault_after = impl_->rng.Bernoulli(0.5);
-    if (!fault_after) {
-      EON_RETURN_IF_ERROR(impl_->MaybeInjectFault());
+    bool fault_after;
+    {
+      std::lock_guard<std::mutex> lock(impl_->mu);
+      impl_->Charge(impl_->op_put, impl_->options.put_cost_microdollars);
+      // Fault may fire after the object landed (lost response case).
+      fault_after = impl_->rng.Bernoulli(0.5);
+      if (!fault_after) {
+        EON_RETURN_IF_ERROR(impl_->MaybeInjectFault());
+      }
     }
     Status put = impl_->backing.Put(key, data);
-    if (put.ok() && impl_->options.head_staleness_micros > 0) {
-      impl_->created_at[key] = impl_->clock->NowMicros();
-    }
     if (put.ok()) impl_->bytes_written->Increment(data.size());
-    if (fault_after) {
-      Status fault = impl_->MaybeInjectFault();
-      if (!fault.ok()) return fault;  // Data may or may not have landed.
+    {
+      std::lock_guard<std::mutex> lock(impl_->mu);
+      if (put.ok() && impl_->options.head_staleness_micros > 0) {
+        impl_->created_at[key] = impl_->clock->NowMicros();
+      }
+      if (fault_after) {
+        Status fault = impl_->MaybeInjectFault();
+        if (!fault.ok()) return fault;  // Data may or may not have landed.
+      }
     }
     return put;
   }();
@@ -146,11 +160,13 @@ Status SimObjectStore::Put(const std::string& key, const std::string& data) {
 }
 
 Result<std::string> SimObjectStore::Get(const std::string& key) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
   const int64_t t0 = impl_->clock->NowMicros();
   Result<std::string> result = [&]() -> Result<std::string> {
-    impl_->Charge(impl_->op_get, impl_->options.get_cost_microdollars);
-    EON_RETURN_IF_ERROR(impl_->MaybeInjectFault());
+    {
+      std::lock_guard<std::mutex> lock(impl_->mu);
+      impl_->Charge(impl_->op_get, impl_->options.get_cost_microdollars);
+      EON_RETURN_IF_ERROR(impl_->MaybeInjectFault());
+    }
     EON_ASSIGN_OR_RETURN(std::string data, impl_->backing.Get(key));
     impl_->ChargeTime(impl_->options.get_latency_micros, data.size(),
                       impl_->op_get);
@@ -165,11 +181,13 @@ Result<std::string> SimObjectStore::Get(const std::string& key) {
 
 Result<std::string> SimObjectStore::ReadRange(const std::string& key,
                                               uint64_t offset, uint64_t len) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
   const int64_t t0 = impl_->clock->NowMicros();
   Result<std::string> result = [&]() -> Result<std::string> {
-    impl_->Charge(impl_->op_get, impl_->options.get_cost_microdollars);
-    EON_RETURN_IF_ERROR(impl_->MaybeInjectFault());
+    {
+      std::lock_guard<std::mutex> lock(impl_->mu);
+      impl_->Charge(impl_->op_get, impl_->options.get_cost_microdollars);
+      EON_RETURN_IF_ERROR(impl_->MaybeInjectFault());
+    }
     EON_ASSIGN_OR_RETURN(std::string data,
                          impl_->backing.ReadRange(key, offset, len));
     impl_->ChargeTime(impl_->options.get_latency_micros, data.size(),
@@ -185,12 +203,14 @@ Result<std::string> SimObjectStore::ReadRange(const std::string& key,
 
 Result<std::vector<ObjectMeta>> SimObjectStore::List(
     const std::string& prefix) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
   const int64_t t0 = impl_->clock->NowMicros();
   Result<std::vector<ObjectMeta>> result =
       [&]() -> Result<std::vector<ObjectMeta>> {
-    impl_->Charge(impl_->op_list, impl_->options.list_cost_microdollars);
-    EON_RETURN_IF_ERROR(impl_->MaybeInjectFault());
+    {
+      std::lock_guard<std::mutex> lock(impl_->mu);
+      impl_->Charge(impl_->op_list, impl_->options.list_cost_microdollars);
+      EON_RETURN_IF_ERROR(impl_->MaybeInjectFault());
+    }
     impl_->ChargeTime(impl_->options.list_latency_micros, 0, impl_->op_list);
     return impl_->backing.List(prefix);
   }();
@@ -200,11 +220,13 @@ Result<std::vector<ObjectMeta>> SimObjectStore::List(
 }
 
 Status SimObjectStore::Delete(const std::string& key) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
   const int64_t t0 = impl_->clock->NowMicros();
   Status result = [&]() -> Status {
-    impl_->Charge(impl_->op_delete, 0);  // S3-style: DELETEs are free.
-    EON_RETURN_IF_ERROR(impl_->MaybeInjectFault());
+    {
+      std::lock_guard<std::mutex> lock(impl_->mu);
+      impl_->Charge(impl_->op_delete, 0);  // S3-style: DELETEs are free.
+      EON_RETURN_IF_ERROR(impl_->MaybeInjectFault());
+    }
     impl_->ChargeTime(impl_->options.delete_latency_micros, 0,
                       impl_->op_delete);
     return impl_->backing.Delete(key);
@@ -230,15 +252,18 @@ void SimObjectStore::ResetForTest() {
 }
 
 Result<bool> SimObjectStore::HeadProbe(const std::string& key) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
   const int64_t t0 = impl_->clock->NowMicros();
-  impl_->Charge(impl_->op_get, impl_->options.get_cost_microdollars);
-  EON_RETURN_IF_ERROR(impl_->MaybeInjectFault());
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->Charge(impl_->op_get, impl_->options.get_cost_microdollars);
+    EON_RETURN_IF_ERROR(impl_->MaybeInjectFault());
+  }
   impl_->ChargeTime(impl_->options.get_latency_micros, 0, impl_->op_get);
   impl_->RecordDc("head", key, 0, impl_->clock->NowMicros() - t0,
                   impl_->options.get_cost_microdollars, true);
   EON_ASSIGN_OR_RETURN(bool exists, impl_->backing.Exists(key));
   if (!exists) return false;
+  std::lock_guard<std::mutex> lock(impl_->mu);
   auto it = impl_->created_at.find(key);
   if (it != impl_->created_at.end() &&
       impl_->clock->NowMicros() - it->second <
