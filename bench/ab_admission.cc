@@ -1,0 +1,283 @@
+// A/B: serving-layer admission control on vs off under open-loop load.
+//
+// Drives real wire traffic (sim/traffic_driver.h) at an EonServer over a
+// 3-node cluster on simulated S3. First measures the unloaded latency
+// floor (closed loop, one client) and the saturation throughput (closed
+// loop, a full client pool, admission off), then sweeps Poisson offered
+// load at {0.5x, 1x, 2x} saturation with admission on and off. Latency is
+// arrival-to-completion, so client-side backlog counts — an overloaded
+// open-loop system without admission shows p99 compounding without bound,
+// while the slot ledger sheds the excess (kOverloaded / kTimedOut) and
+// keeps completed-query p99 near the floor.
+//
+// Shape checks (exit 2 on failure):
+//  - accounting is exact in every run: submitted == completed +
+//    overloaded + timed_out + errors, and errors == 0 (nothing lost,
+//    nothing hung);
+//  - at 2x saturation, admission-on p99 <= 3x the unloaded p99 while the
+//    shed+timeout count absorbs the excess (> 0);
+//  - at 2x saturation, admission-off p99 grows through the run
+//    (second-half p99 > first-half p99) and ends above the admission-on
+//    p99;
+//  - the slot ledger is conserved: after every admission-on run,
+//    slots_in_use == 0, queue_depth == 0, and 0 < peak <= N*E.
+// Emits BENCH_admission.json plus metrics/systables sidecars.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "server/server.h"
+#include "sim/traffic_driver.h"
+
+namespace eon {
+namespace {
+
+constexpr double kScale = 0.05;
+constexpr int kNodes = 3;
+constexpr uint32_t kShards = 3;
+constexpr int kClients = 16;
+constexpr int kSlotsPerNode = 2;
+constexpr int64_t kBaselineMicros = 500000;
+constexpr int64_t kRunMicros = 1000000;
+constexpr double kMultiples[] = {0.5, 1.0, 2.0};
+
+// Touches every shard and produces double aggregates, so one execution
+// costs a few milliseconds of real compute — enough to saturate.
+const char* const kSql =
+    "SELECT l_returnflag, SUM(l_extendedprice) AS revenue, "
+    "AVG(l_discount) AS disc FROM lineitem GROUP BY l_returnflag";
+
+EonServer::Options ServerOptions(bool admission) {
+  EonServer::Options options;
+  options.admission = admission;
+  // A deliberately small ledger (2 slots x 3 nodes, one waiter, 100 ms
+  // queue budget): a 3-shard query reserves 3 slots, so two run at once
+  // and nearly all excess is refused immediately instead of queueing.
+  options.admission_options.slots_per_node = kSlotsPerNode;
+  ResourcePoolConfig pool;
+  pool.max_queue_depth = 1;
+  pool.queue_timeout_micros = 100000;
+  options.admission_options.pools = {pool};
+  return options;
+}
+
+struct RunRecord {
+  std::string mode;
+  double multiple = 0;
+  double offered_qps = 0;
+  TrafficResult traffic;
+  AdmissionController::Stats ledger;  ///< Zeroed when admission off.
+};
+
+JsonValue RecordJson(const RunRecord& r) {
+  JsonValue e = JsonValue::Object();
+  e.Set("mode", JsonValue::Str(r.mode));
+  e.Set("multiple_of_saturation", JsonValue::Double(r.multiple));
+  e.Set("offered_qps", JsonValue::Double(r.offered_qps));
+  e.Set("submitted", JsonValue::Int(static_cast<int64_t>(r.traffic.submitted)));
+  e.Set("completed", JsonValue::Int(static_cast<int64_t>(r.traffic.completed)));
+  e.Set("overloaded",
+        JsonValue::Int(static_cast<int64_t>(r.traffic.overloaded)));
+  e.Set("timed_out", JsonValue::Int(static_cast<int64_t>(r.traffic.timed_out)));
+  e.Set("errors", JsonValue::Int(static_cast<int64_t>(r.traffic.errors)));
+  e.Set("p50_micros", JsonValue::Int(r.traffic.p50_micros));
+  e.Set("p95_micros", JsonValue::Int(r.traffic.p95_micros));
+  e.Set("p99_micros", JsonValue::Int(r.traffic.p99_micros));
+  e.Set("max_micros", JsonValue::Int(r.traffic.max_micros));
+  e.Set("first_half_p99_micros", JsonValue::Int(r.traffic.first_half_p99_micros));
+  e.Set("second_half_p99_micros",
+        JsonValue::Int(r.traffic.second_half_p99_micros));
+  e.Set("completed_qps", JsonValue::Double(r.traffic.completed_qps));
+  if (r.mode == "on") {
+    JsonValue ledger = JsonValue::Object();
+    ledger.Set("total_slots", JsonValue::Int(r.ledger.total_slots));
+    ledger.Set("slots_in_use", JsonValue::Int(r.ledger.slots_in_use));
+    ledger.Set("peak_slots_in_use", JsonValue::Int(r.ledger.peak_slots_in_use));
+    ledger.Set("queue_depth", JsonValue::Int(r.ledger.queue_depth));
+    e.Set("ledger", std::move(ledger));
+  }
+  return e;
+}
+
+bool AccountingExact(const TrafficResult& t) {
+  return t.submitted == t.completed + t.overloaded + t.timed_out + t.errors &&
+         t.errors == 0;
+}
+
+}  // namespace
+}  // namespace eon
+
+int main() {
+  using namespace eon;
+
+  auto fixture = bench::MakeEonFixture(kNodes, kShards, kScale);
+  if (fixture == nullptr) return 1;
+  EonCluster* cluster = fixture->cluster.get();
+
+  printf("# Admission control A/B: open-loop offered load vs p99, "
+         "admission on vs off\n");
+  printf("# %d nodes x %d slots, %d-wide client pool, host has %u CPU(s)\n",
+         kNodes, kSlotsPerNode, kClients,
+         std::thread::hardware_concurrency());
+
+  // Unloaded floor: one closed-loop client, admission on but uncontended.
+  int64_t base_p99 = 0;
+  {
+    EonServer server(cluster, ServerOptions(true));
+    TrafficOptions topts;
+    topts.server = &server;
+    topts.sql = kSql;
+    topts.clients = 1;
+    topts.duration_micros = kBaselineMicros;
+    auto base = RunTraffic(topts);
+    if (!base.ok() || base->completed == 0) {
+      fprintf(stderr, "baseline failed: %s\n",
+              base.status().ToString().c_str());
+      return 1;
+    }
+    base_p99 = base->p99_micros;
+  }
+
+  // Saturation: a full closed-loop pool with no admission — the most the
+  // engine completes per second when load is self-limiting.
+  double sat_qps = 0;
+  {
+    EonServer server(cluster, ServerOptions(false));
+    TrafficOptions topts;
+    topts.server = &server;
+    topts.sql = kSql;
+    topts.clients = kClients;
+    topts.duration_micros = kBaselineMicros;
+    auto sat = RunTraffic(topts);
+    if (!sat.ok() || sat->completed_qps <= 0) {
+      fprintf(stderr, "saturation run failed\n");
+      return 1;
+    }
+    sat_qps = sat->completed_qps;
+  }
+  printf("# unloaded p99 %.3f ms, saturation %.1f qps\n",
+         static_cast<double>(base_p99) / 1000.0, sat_qps);
+  printf("%4s %6s %10s %10s %10s %10s %10s %8s %8s\n", "mode", "mult",
+         "offered", "completed", "p50_ms", "p99_ms", "2nd_p99", "shed",
+         "timeout");
+
+  std::vector<RunRecord> records;
+  bool accounting_ok = true;
+  bool ledger_ok = true;
+  for (double multiple : kMultiples) {
+    for (bool admission : {true, false}) {
+      EonServer server(cluster, ServerOptions(admission));
+      TrafficOptions topts;
+      topts.server = &server;
+      topts.sql = kSql;
+      topts.clients = kClients;
+      topts.offered_qps = multiple * sat_qps;
+      topts.duration_micros = kRunMicros;
+      auto run = RunTraffic(topts);
+      if (!run.ok()) {
+        fprintf(stderr, "run failed: %s\n", run.status().ToString().c_str());
+        return 1;
+      }
+
+      RunRecord r;
+      r.mode = admission ? "on" : "off";
+      r.multiple = multiple;
+      r.offered_qps = topts.offered_qps;
+      r.traffic = *run;
+      if (admission) {
+        r.ledger = server.admission()->GetStats();
+        ledger_ok = ledger_ok && r.ledger.slots_in_use == 0 &&
+                    r.ledger.queue_depth == 0 &&
+                    r.ledger.peak_slots_in_use > 0 &&
+                    r.ledger.peak_slots_in_use <= r.ledger.total_slots;
+      }
+      accounting_ok = accounting_ok && AccountingExact(r.traffic);
+
+      printf("%4s %5.1fx %10.1f %10.1f %10.3f %10.3f %10.3f %8llu %8llu\n",
+             r.mode.c_str(), multiple, r.offered_qps,
+             r.traffic.completed_qps,
+             static_cast<double>(r.traffic.p50_micros) / 1000.0,
+             static_cast<double>(r.traffic.p99_micros) / 1000.0,
+             static_cast<double>(r.traffic.second_half_p99_micros) / 1000.0,
+             static_cast<unsigned long long>(r.traffic.overloaded),
+             static_cast<unsigned long long>(r.traffic.timed_out));
+      records.push_back(std::move(r));
+    }
+  }
+
+  const RunRecord* on_2x = nullptr;
+  const RunRecord* off_2x = nullptr;
+  for (const RunRecord& r : records) {
+    if (r.multiple == 2.0 && r.mode == "on") on_2x = &r;
+    if (r.multiple == 2.0 && r.mode == "off") off_2x = &r;
+  }
+  if (on_2x == nullptr || off_2x == nullptr) return 1;
+
+  const bool bounded_ok = on_2x->traffic.p99_micros <= 3 * base_p99;
+  const bool shed_ok =
+      on_2x->traffic.overloaded + on_2x->traffic.timed_out > 0;
+  const bool unbounded_ok =
+      off_2x->traffic.second_half_p99_micros >
+          off_2x->traffic.first_half_p99_micros &&
+      off_2x->traffic.p99_micros > on_2x->traffic.p99_micros;
+  const bool pass =
+      accounting_ok && ledger_ok && bounded_ok && shed_ok && unbounded_ok;
+
+  JsonValue out = JsonValue::Object();
+  out.Set("bench", JsonValue::Str("admission"));
+  out.Set("host_cpus", JsonValue::Int(std::thread::hardware_concurrency()));
+  out.Set("nodes", JsonValue::Int(kNodes));
+  out.Set("slots_per_node", JsonValue::Int(kSlotsPerNode));
+  out.Set("clients", JsonValue::Int(kClients));
+  out.Set("unloaded_p99_micros", JsonValue::Int(base_p99));
+  out.Set("saturation_qps", JsonValue::Double(sat_qps));
+  JsonValue arr = JsonValue::Array();
+  for (const RunRecord& r : records) arr.Append(RecordJson(r));
+  out.Set("results", std::move(arr));
+  JsonValue gates = JsonValue::Object();
+  gates.Set("accounting_exact", JsonValue::Bool(accounting_ok));
+  gates.Set("ledger_conserved", JsonValue::Bool(ledger_ok));
+  gates.Set("on_2x_p99_micros", JsonValue::Int(on_2x->traffic.p99_micros));
+  gates.Set("on_2x_p99_bounded", JsonValue::Bool(bounded_ok));
+  gates.Set("on_2x_shed_absorbs", JsonValue::Bool(shed_ok));
+  gates.Set("off_2x_p99_micros", JsonValue::Int(off_2x->traffic.p99_micros));
+  gates.Set("off_2x_unbounded_growth", JsonValue::Bool(unbounded_ok));
+  gates.Set("pass", JsonValue::Bool(pass));
+  out.Set("gates", std::move(gates));
+
+  FILE* fp = fopen("BENCH_admission.json", "w");
+  if (fp != nullptr) {
+    const std::string text = out.Dump();
+    fwrite(text.data(), 1, text.size(), fp);
+    fclose(fp);
+    fprintf(stderr, "wrote BENCH_admission.json\n");
+  }
+  // Keep a live server registered while dumping, so the sidecar's
+  // system_resource_pools / system_sessions rows reflect the serving layer.
+  {
+    EonServer server(cluster, ServerOptions(true));
+    bench::DumpBenchSidecars("BENCH_admission", cluster);
+  }
+
+  printf("# shape check: on@2x p99 %.3f ms vs 3x floor %.3f ms; shed+timeout "
+         "%llu; off@2x p99 %.3f ms (2nd half %.3f ms vs 1st half %.3f ms)\n",
+         static_cast<double>(on_2x->traffic.p99_micros) / 1000.0,
+         static_cast<double>(3 * base_p99) / 1000.0,
+         static_cast<unsigned long long>(on_2x->traffic.overloaded +
+                                         on_2x->traffic.timed_out),
+         static_cast<double>(off_2x->traffic.p99_micros) / 1000.0,
+         static_cast<double>(off_2x->traffic.second_half_p99_micros) / 1000.0,
+         static_cast<double>(off_2x->traffic.first_half_p99_micros) / 1000.0);
+  if (!accounting_ok) fprintf(stderr, "FAIL: accounting not exact\n");
+  if (!ledger_ok) fprintf(stderr, "FAIL: slot ledger not conserved\n");
+  if (!bounded_ok) fprintf(stderr, "FAIL: admission-on p99 over 3x floor\n");
+  if (!shed_ok) fprintf(stderr, "FAIL: nothing shed at 2x saturation\n");
+  if (!unbounded_ok) {
+    fprintf(stderr, "FAIL: admission-off p99 did not compound\n");
+  }
+  return pass ? 0 : 2;
+}

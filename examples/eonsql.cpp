@@ -1,5 +1,9 @@
 // eonsql: a vsql-style interactive prompt over an Eon cluster preloaded
-// with the TPC-H-style sample data. Type SQL SELECTs or meta commands.
+// with the TPC-H-style sample data. Since the serving layer landed,
+// eonsql is a real wire client: it starts an EonServer over the cluster
+// and speaks the framed JSON protocol through an in-process connection,
+// so every query goes session -> admission (slot reservation) ->
+// execution, exactly like external clients on the loopback listener.
 //
 //   ./build/examples/eonsql            # interactive
 //   echo "SELECT ..." | ./build/examples/eonsql   # scripted
@@ -9,6 +13,9 @@
 //   \dt+               list user AND system tables with row counts
 //   \projections <t>   list projections of a table
 //   \nodes             node status + cache stats
+//   \sessions          live serving sessions (system_sessions)
+//   \pools             admission resource pools (system_resource_pools)
+//   \set <key> <v>     session option: scan_mode / crunch / pool
 //   \storage           shared-storage metrics
 //   \profile           full profile of the last query (phases, cache, $)
 //   \metrics           Prometheus-text dump of all registry instruments
@@ -20,19 +27,20 @@
 // system_subscriptions`, `SELECT node, SUM(cost) FROM dc_store_requests
 // GROUP BY node`, etc. The dc_query_executions ring keeps the full
 // per-phase profile for queries at or above the slow-query threshold
-// (EON_SLOW_QUERY_MICROS sim-µs, default 10000).
+// (EON_SLOW_QUERY_MICROS sim-µs, default 10000); its queued_micros /
+// pool columns record each query's admission wait. EON_EXEC_SLOTS sets
+// the per-node slot budget E (default 4).
 
 #include <cstdio>
 #include <iostream>
-#include <optional>
 #include <string>
 
 #include "cluster/cluster.h"
-#include "engine/session.h"
 #include "engine/sql.h"
 #include "engine/system_tables.h"
 #include "obs/export.h"
-#include "obs/profile.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "storage/sim_object_store.h"
 #include "workload/tpch.h"
 
@@ -106,6 +114,36 @@ void ShowNodes(EonCluster* cluster) {
   }
 }
 
+/// Print a wire result through the same table formatter direct results
+/// use (the schema and rows round-trip the wire bit-for-bit).
+void PrintWireResult(const WireQueryResult& wire) {
+  QueryResult shim;
+  shim.schema = wire.schema;
+  shim.rows = wire.rows;
+  fputs(FormatResult(shim).c_str(), stdout);
+}
+
+/// Run a query over the wire and print it; used by SQL input and the
+/// system-table meta commands alike.
+void QueryAndPrint(EonClient* client, const std::string& sql,
+                   bool footer = false) {
+  auto result = client->Query(sql);
+  if (!result.ok()) {
+    printf("error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  PrintWireResult(*result);
+  if (footer) {
+    printf("-- %llu nodes, %llu rows scanned, %llu rows shuffled, pool %s, "
+           "queued %.3f ms\n\n",
+           static_cast<unsigned long long>(result->participating_nodes),
+           static_cast<unsigned long long>(result->rows_scanned),
+           static_cast<unsigned long long>(result->rows_shuffled),
+           result->pool.empty() ? "-" : result->pool.c_str(),
+           static_cast<double>(result->queued_micros) / 1000.0);
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -130,16 +168,30 @@ int main() {
     return 1;
   }
 
+  // The serving layer: admission on with the default pool; EON_EXEC_SLOTS
+  // controls the per-node slot budget.
+  EonServer server(cluster->get());
+  EonClient client(server.ConnectInProcess());
+  auto hello = client.Hello();
+  if (!hello.ok()) {
+    fprintf(stderr, "hello failed: %s\n", hello.status().ToString().c_str());
+    return 1;
+  }
+
   printf("eonsql — 4 nodes, 3 shards, TPC-H-style sample loaded.\n");
+  printf("Serving through EonServer: session %llu, %d nodes x %d exec "
+         "slots.\n",
+         static_cast<unsigned long long>(client.session_id()),
+         client.server_num_nodes(), client.server_slots_per_node());
   printf("Try: SELECT l_returnflag, COUNT(*) AS n FROM lineitem GROUP BY "
          "l_returnflag ORDER BY l_returnflag;\n");
-  printf("Meta: \\tables \\dt+ \\projections <t> \\nodes \\storage "
-         "\\profile \\metrics \\kill <n> \\restart <n> \\q\n");
+  printf("Meta: \\tables \\dt+ \\projections <t> \\nodes \\sessions "
+         "\\pools \\set <k> <v> \\storage \\profile \\metrics \\kill <n> "
+         "\\restart <n> \\q\n");
   printf("System tables: SELECT ... FROM system_subscriptions / "
-         "system_nodes / dc_store_requests / dc_query_executions ...\n\n");
+         "system_resource_pools / system_sessions / dc_query_executions "
+         "...\n\n");
 
-  EonSession session(cluster->get());
-  std::optional<obs::QueryProfile> last_profile;
   std::string line;
   while (true) {
     printf("eon=> ");
@@ -165,6 +217,26 @@ int main() {
         ListProjections(*snapshot, arg);
       } else if (cmd == "nodes") {
         ShowNodes(cluster->get());
+      } else if (cmd == "sessions") {
+        QueryAndPrint(&client,
+                      "SELECT session_id, connected_node, pool, scan_mode, "
+                      "crunch, state, queries, prepared_statements "
+                      "FROM system_sessions");
+      } else if (cmd == "pools") {
+        QueryAndPrint(&client,
+                      "SELECT pool, priority, slot_budget, slots_in_use, "
+                      "queue_depth, admitted, shed, timed_out "
+                      "FROM system_resource_pools");
+      } else if (cmd == "set") {
+        std::string key = arg;
+        std::string value;
+        size_t kv = key.find(' ');
+        if (kv != std::string::npos) {
+          value = key.substr(kv + 1);
+          key = key.substr(0, kv);
+        }
+        Status s = client.Set(key, value);
+        printf("%s\n", s.ok() ? "SET" : s.ToString().c_str());
       } else if (cmd == "storage") {
         ObjectStoreMetrics m = shared_storage.metrics();
         printf(" puts=%llu gets=%llu written=%.2fMB read=%.2fMB cost=$%.6f\n",
@@ -174,10 +246,11 @@ int main() {
                static_cast<double>(m.bytes_read) / 1e6,
                static_cast<double>(m.cost_microdollars) / 1e6);
       } else if (cmd == "profile") {
-        if (!last_profile) {
-          printf("no query executed yet\n");
+        auto text = client.ProfileText();
+        if (!text.ok()) {
+          printf("%s\n", text.status().ToString().c_str());
         } else {
-          fputs(last_profile->ToText().c_str(), stdout);
+          fputs(text->c_str(), stdout);
         }
       } else if (cmd == "metrics") {
         fputs(obs::ExportPrometheusText(
@@ -209,26 +282,9 @@ int main() {
       continue;
     }
 
-    auto snapshot = (*cluster)->AnyUpNode()->catalog()->snapshot();
-    auto spec = ParseSelect(*snapshot, line);
-    if (!spec.ok()) {
-      printf("parse error: %s\n", spec.status().ToString().c_str());
-      continue;
-    }
-    auto result = session.Execute(*spec);
-    if (!result.ok()) {
-      printf("error: %s\n", result.status().ToString().c_str());
-      continue;
-    }
-    last_profile = result->profile;
-    fputs(FormatResult(*result).c_str(), stdout);
-    printf("-- %zu nodes, %llu rows scanned, %llu blocks pruned%s%s\n\n",
-           result->stats.participating_nodes,
-           static_cast<unsigned long long>(result->stats.scan.rows_visited),
-           static_cast<unsigned long long>(result->stats.scan.blocks_pruned),
-           result->stats.local_join ? "" : ", reshuffled join",
-           result->stats.used_live_aggregate ? ", live aggregate" : "");
+    QueryAndPrint(&client, line, /*footer=*/true);
   }
+  (void)client.Bye();
   printf("\nbye\n");
   return 0;
 }

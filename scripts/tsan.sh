@@ -8,7 +8,9 @@
 # system-table scans racing exec-pool query producers
 # (test_system_tables); and the async prefetch pipeline — I/O-pool
 # prefetches racing demand fetches, pinned readers, and eviction churn at
-# every read-ahead depth and exec width (test_prefetch). Uses a separate
+# every read-ahead depth and exec width (test_prefetch); and the serving
+# layer — concurrent submits/cancels against the admission slot ledger
+# plus many wire clients on one server (test_admission). Uses a separate
 # build directory so the normal build/ stays sanitizer-free.
 #
 #   scripts/tsan.sh            # configure + build + run
@@ -22,6 +24,6 @@ cmake -B "$BUILD_DIR" -S . -DEON_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" \
       --target test_obs test_cache test_common test_parallel_differential \
-               test_system_tables test_prefetch \
+               test_system_tables test_prefetch test_admission \
       -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" -L race --output-on-failure

@@ -18,6 +18,7 @@ const char* CodeName(Status::Code code) {
     case Status::Code::kTimedOut: return "TimedOut";
     case Status::Code::kOutOfRange: return "OutOfRange";
     case Status::Code::kInternal: return "Internal";
+    case Status::Code::kOverloaded: return "Overloaded";
   }
   return "Unknown";
 }

@@ -27,6 +27,7 @@ class Status {
     kTimedOut = 9,        ///< Retries exhausted.
     kOutOfRange = 10,     ///< Read past end, bad offset.
     kInternal = 11,       ///< Invariant violation; indicates a bug.
+    kOverloaded = 12,     ///< Admission refused: queue past high-water mark.
   };
 
   Status() : code_(Code::kOk) {}
@@ -70,6 +71,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
   }
+  static Status Overloaded(std::string msg) {
+    return Status(Code::kOverloaded, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -83,6 +87,7 @@ class Status {
   bool IsTimedOut() const { return code_ == Code::kTimedOut; }
   bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
   bool IsInternal() const { return code_ == Code::kInternal; }
+  bool IsOverloaded() const { return code_ == Code::kOverloaded; }
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }

@@ -970,7 +970,11 @@ Result<QueryResult> ExecuteQuery(EonCluster* cluster,
   // initiator, not sharded, never recorded into the Data Collector (so
   // introspection does not pollute its own query log).
   if (IsSystemTable(original_spec.scan.table)) {
-    return ExecuteSystemQuery(cluster, original_spec);
+    EON_ASSIGN_OR_RETURN(QueryResult result,
+                         ExecuteSystemQuery(cluster, original_spec));
+    result.profile.queued_micros = context.queued_micros;
+    result.profile.resource_pool = context.resource_pool;
+    return result;
   }
 
   // Profiling scaffold: a clock-driven tracer (deterministic under
@@ -1429,6 +1433,8 @@ Result<QueryResult> ExecuteQuery(EonCluster* cluster,
   result.schema = std::move(out_schema);
   result.rows = std::move(final_rows);
   result.stats = stats;
+  profile.queued_micros = context.queued_micros;
+  profile.resource_pool = context.resource_pool;
   result.profile = std::move(profile);
   result.catalog_version = snapshot->version;
 
@@ -1448,6 +1454,8 @@ Result<QueryResult> ExecuteQuery(EonCluster* cluster,
   dc_event.cache_misses = result.profile.cache_misses;
   dc_event.store_gets = result.profile.store_gets;
   dc_event.cost_microdollars = result.profile.store_cost_microdollars;
+  dc_event.queued_micros = context.queued_micros;
+  dc_event.pool = context.resource_pool;
   dc_event.profile = result.profile;
   coord->dc()->RecordQuery(std::move(dc_event));
   return result;

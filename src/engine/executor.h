@@ -33,6 +33,12 @@ struct ExecContext {
   /// Scan pipeline for every ROS container this query touches. All modes
   /// produce bit-identical rows; kRowWise is the differential oracle.
   ScanMode scan_mode = ScanMode::kLateMat;
+  /// Admission-control accounting, filled by the serving layer when the
+  /// query passed through a resource pool: how long it waited for its
+  /// execution slots and which pool admitted it. Both flow into the
+  /// coordinator's dc_query_executions row; execution is unaffected.
+  int64_t queued_micros = 0;
+  std::string resource_pool;
 };
 
 /// Execute a query against the cluster under the given context. Planning

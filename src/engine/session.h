@@ -20,17 +20,36 @@ class EonSession {
         connected_node_(std::move(connected_node)),
         seed_(seed) {}
 
-  /// Execute a query; participation is re-selected per call.
-  Result<QueryResult> Execute(const QuerySpec& spec) {
+  /// Build the execution context for the session's next query: fresh
+  /// participation selection with the next variation seed. The seed
+  /// advances only when context construction succeeds — a transient
+  /// failure (no up nodes, shutdown) must not skip an assignment and skew
+  /// participation spreading for the queries that follow.
+  Result<ExecContext> PrepareContext() {
     EON_ASSIGN_OR_RETURN(
         ExecContext context,
-        BuildExecContext(cluster_, connected_node_, seed_ + sequence_++,
+        BuildExecContext(cluster_, connected_node_, seed_ + sequence_,
                          crunch_));
+    ++sequence_;
     context.scan_mode = scan_mode_;
+    return context;
+  }
+
+  /// Execute under a context obtained from PrepareContext(). Split from
+  /// Execute so a serving layer can reserve execution slots for the
+  /// context's participating nodes before running (admission control).
+  Result<QueryResult> ExecuteWithContext(const QuerySpec& spec,
+                                         const ExecContext& context) {
     EON_ASSIGN_OR_RETURN(QueryResult result,
                          ExecuteQuery(cluster_, spec, context));
     last_stats_ = result.stats;
     return result;
+  }
+
+  /// Execute a query; participation is re-selected per call.
+  Result<QueryResult> Execute(const QuerySpec& spec) {
+    EON_ASSIGN_OR_RETURN(ExecContext context, PrepareContext());
+    return ExecuteWithContext(spec, context);
   }
 
   /// Crunch scaling for subsequent queries (Section 4.4); effective when
@@ -43,6 +62,12 @@ class EonSession {
 
   const ExecStats& last_stats() const { return last_stats_; }
   EonCluster* cluster() { return cluster_; }
+  const std::string& connected_node() const { return connected_node_; }
+  CrunchMode crunch_mode() const { return crunch_; }
+  ScanMode scan_mode() const { return scan_mode_; }
+  /// Queries whose context was successfully built so far (the variation-
+  /// seed cursor). Failed PrepareContext calls do not advance it.
+  uint64_t sequence() const { return sequence_; }
 
  private:
   EonCluster* cluster_;

@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <utility>
 
 #include "cluster/cluster.h"
@@ -39,7 +40,8 @@ const std::map<std::string, Schema>& Registry() {
         Col("cache_misses", kI), Col("store_gets", kI), Col("cost", kI),
         Col("slow", kI), Col("plan_sim_micros", kI), Col("scan_sim_micros", kI),
         Col("join_sim_micros", kI), Col("aggregate_sim_micros", kI),
-        Col("merge_sim_micros", kI)});
+        Col("merge_sim_micros", kI), Col("queued_micros", kI),
+        Col("pool", kS)});
     (*m)["dc_cache_events"] = Schema({
         Col("node", kS), Col("at_micros", kI), Col("kind", kS),
         Col("key", kS), Col("bytes", kI)});
@@ -78,6 +80,17 @@ const std::map<std::string, Schema>& Registry() {
         Col("name", kS), Col("labels", kS), Col("kind", kS),
         Col("value", kD), Col("count", kI), Col("p50", kD), Col("p95", kD),
         Col("p99", kD)});
+    (*m)["system_resource_pools"] = Schema({
+        Col("pool", kS), Col("priority", kI), Col("slot_budget", kI),
+        Col("slots_in_use", kI), Col("memory_budget_bytes", kI),
+        Col("memory_in_use_bytes", kI), Col("queue_depth", kI),
+        Col("max_queue_depth", kI), Col("queue_timeout_micros", kI),
+        Col("admitted", kI), Col("shed", kI), Col("timed_out", kI),
+        Col("cancelled", kI), Col("queued_micros_total", kI)});
+    (*m)["system_sessions"] = Schema({
+        Col("session_id", kI), Col("connected_node", kS), Col("pool", kS),
+        Col("scan_mode", kS), Col("crunch", kS), Col("state", kS),
+        Col("queries", kI), Col("prepared_statements", kI)});
     return m;
   }();
   return *kTables;
@@ -126,7 +139,8 @@ std::vector<Row> QueryExecutionRows(EonCluster* cluster) {
           I(p.Phase(obs::QueryPhase::kScan).sim_micros),
           I(p.Phase(obs::QueryPhase::kJoin).sim_micros),
           I(p.Phase(obs::QueryPhase::kAggregate).sim_micros),
-          I(p.Phase(obs::QueryPhase::kMerge).sim_micros)});
+          I(p.Phase(obs::QueryPhase::kMerge).sim_micros),
+          I(e.queued_micros), S(e.pool)});
     }
   }
   return rows;
@@ -279,6 +293,48 @@ std::vector<Row> MetricsRows(EonCluster* cluster) {
   return rows;
 }
 
+/// Registered serving layers (system_resource_pools / system_sessions row
+/// sources). Registration happens at server construction, so the list is
+/// tiny; a mutex-guarded vector suffices.
+std::mutex& ServingMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+std::vector<ServingIntrospection*>& ServingSources() {
+  static std::vector<ServingIntrospection*>* v =
+      new std::vector<ServingIntrospection*>;
+  return *v;
+}
+
+/// Registered sources fronting `cluster` (all sources when cluster null).
+std::vector<ServingIntrospection*> ServingFor(EonCluster* cluster) {
+  std::lock_guard<std::mutex> lock(ServingMutex());
+  std::vector<ServingIntrospection*> out;
+  for (ServingIntrospection* s : ServingSources()) {
+    if (cluster == nullptr || s->serving_cluster() == cluster) {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+std::vector<Row> ResourcePoolRows(EonCluster* cluster) {
+  std::vector<Row> rows;
+  for (ServingIntrospection* s : ServingFor(cluster)) {
+    for (Row& row : s->ResourcePoolRows()) rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<Row> SessionRows(EonCluster* cluster) {
+  std::vector<Row> rows;
+  for (ServingIntrospection* s : ServingFor(cluster)) {
+    for (Row& row : s->SessionRows()) rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
 JsonValue ValueToJson(const Value& v) {
   if (v.is_null()) return JsonValue::Null();
   switch (v.type()) {
@@ -335,7 +391,30 @@ Result<std::vector<Row>> MaterializeSystemTable(EonCluster* cluster,
   if (name == "system_cache") return CacheRows(cluster);
   if (name == "system_storage_containers") return StorageContainerRows(cluster);
   if (name == "system_metrics") return MetricsRows(cluster);
+  if (name == "system_resource_pools") return ResourcePoolRows(cluster);
+  if (name == "system_sessions") return SessionRows(cluster);
   return Status::NotFound("unknown system table: " + name);
+}
+
+void RegisterServingIntrospection(ServingIntrospection* source) {
+  if (source == nullptr) return;
+  std::lock_guard<std::mutex> lock(ServingMutex());
+  auto& sources = ServingSources();
+  for (ServingIntrospection* s : sources) {
+    if (s == source) return;
+  }
+  sources.push_back(source);
+}
+
+void UnregisterServingIntrospection(ServingIntrospection* source) {
+  std::lock_guard<std::mutex> lock(ServingMutex());
+  auto& sources = ServingSources();
+  for (auto it = sources.begin(); it != sources.end(); ++it) {
+    if (*it == source) {
+      sources.erase(it);
+      return;
+    }
+  }
 }
 
 namespace obs {

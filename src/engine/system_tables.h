@@ -44,6 +44,28 @@ const std::vector<std::string>& SystemTableNames();
 Result<std::vector<Row>> MaterializeSystemTable(EonCluster* cluster,
                                                 const std::string& name);
 
+/// Row source for the serving-layer tables (system_resource_pools,
+/// system_sessions). The engine owns the schemas but the rows live above
+/// it in src/server/ — an EonServer registers itself here on construction
+/// and unregisters on destruction, so SELECTs over those tables see every
+/// live server bound to the queried cluster. Implementations must be
+/// callable from any thread.
+class ServingIntrospection {
+ public:
+  virtual ~ServingIntrospection() = default;
+  /// The cluster this server fronts (rows are scoped to it).
+  virtual EonCluster* serving_cluster() = 0;
+  /// Rows in system_resource_pools schema order.
+  virtual std::vector<Row> ResourcePoolRows() = 0;
+  /// Rows in system_sessions schema order.
+  virtual std::vector<Row> SessionRows() = 0;
+};
+
+/// Thread-safe registration; Register ignores nullptr and duplicates,
+/// Unregister ignores unknown pointers.
+void RegisterServingIntrospection(ServingIntrospection* source);
+void UnregisterServingIntrospection(ServingIntrospection* source);
+
 namespace obs {
 
 /// Every system table as one JSON document:

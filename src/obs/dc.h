@@ -42,6 +42,10 @@ struct DcQueryExecution {
   uint64_t store_gets = 0;
   uint64_t cost_microdollars = 0;
   bool slow = false;
+  /// Admission-control wait before execution began (0 when the query
+  /// bypassed the serving layer) and the resource pool that admitted it.
+  int64_t queued_micros = 0;
+  std::string pool;
   QueryProfile profile;  ///< Cleared unless `slow`.
 };
 

@@ -128,6 +128,12 @@ std::string QueryProfile::ToText() const {
            static_cast<double>(TotalWallMicros()) / 1000.0);
   out += buf;
 
+  if (!resource_pool.empty()) {
+    snprintf(buf, sizeof(buf), " admission: pool %s, queued %.3f ms\n",
+             resource_pool.c_str(),
+             static_cast<double>(queued_micros) / 1000.0);
+    out += buf;
+  }
   snprintf(buf, sizeof(buf),
            " scan: %llu rows on %llu nodes; containers %llu/%llu pruned\n",
            static_cast<unsigned long long>(rows_scanned_total),

@@ -60,6 +60,11 @@ struct QueryProfile {
   uint64_t rows_shuffled = 0;
   uint64_t participating_nodes = 0;
 
+  /// Admission-control wait before execution began and the resource pool
+  /// that admitted the query (0 / "" when it bypassed the serving layer).
+  int64_t queued_micros = 0;
+  std::string resource_pool;
+
   // Morsel-parallel execution (cluster exec pool). Task CPU is measured
   // with the per-thread CPU clock, so these stay meaningful even when
   // workers oversubscribe the machine's cores.

@@ -1,0 +1,320 @@
+#include "server/admission.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace eon {
+
+namespace {
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+SlotGrant& SlotGrant::operator=(SlotGrant&& o) noexcept {
+  if (this != &o) {
+    Release();
+    controller_ = o.controller_;
+    pool_ = std::move(o.pool_);
+    per_node_ = std::move(o.per_node_);
+    total_slots_ = o.total_slots_;
+    memory_bytes_ = o.memory_bytes_;
+    queued_micros_ = o.queued_micros_;
+    o.controller_ = nullptr;
+    o.total_slots_ = 0;
+    o.memory_bytes_ = 0;
+  }
+  return *this;
+}
+
+void SlotGrant::Release() {
+  if (controller_ == nullptr) return;
+  controller_->ReleaseGrant(this);
+  controller_ = nullptr;
+  per_node_.clear();
+  total_slots_ = 0;
+  memory_bytes_ = 0;
+}
+
+int AdmissionController::ResolveSlotsPerNode(int configured) {
+  if (configured > 0) return configured;
+  if (const char* env = std::getenv("EON_EXEC_SLOTS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 4;
+}
+
+AdmissionController::AdmissionController(const AdmissionOptions& options)
+    : num_nodes_(options.num_nodes),
+      slots_per_node_(ResolveSlotsPerNode(options.slots_per_node)) {
+  EON_CHECK(num_nodes_ > 0);
+  std::vector<ResourcePoolConfig> configs = options.pools;
+  if (configs.empty()) configs.push_back(ResourcePoolConfig{});
+  obs::MetricsRegistry* reg = obs::OrDefault(options.registry);
+  for (const ResourcePoolConfig& config : configs) {
+    Pool pool;
+    pool.config = config;
+    obs::LabelSet label{{"pool", config.name}};
+    pool.queue_depth_gauge = reg->GetGauge("eon_admission_queue_depth", label);
+    pool.slots_gauge = reg->GetGauge("eon_admission_slots_in_use", label);
+    pool.admitted_counter =
+        reg->GetCounter("eon_admission_admitted_total", label);
+    pool.shed_counter = reg->GetCounter("eon_admission_shed_total", label);
+    pool.timeout_counter =
+        reg->GetCounter("eon_admission_timeout_total", label);
+    pool.cancelled_counter =
+        reg->GetCounter("eon_admission_cancelled_total", label);
+    pool.wait_histogram =
+        reg->GetHistogram("eon_admission_wait_micros", label);
+    if (pools_.empty()) default_pool_ = config.name;
+    pools_.emplace(config.name, std::move(pool));
+  }
+}
+
+AdmissionController::~AdmissionController() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Destroying the controller while queries wait or hold slots is a
+  // serving-layer shutdown-ordering bug; fail loudly.
+  EON_CHECK(waiting_.empty());
+  EON_CHECK(slots_in_use_ == 0);
+}
+
+AdmissionController::Pool* AdmissionController::FindPool(
+    const std::string& name) {
+  auto it = pools_.find(name.empty() ? default_pool_ : name);
+  return it == pools_.end() ? nullptr : &it->second;
+}
+
+bool AdmissionController::CanAdmitLocked(const Waiter& w) const {
+  if (slots_in_use_ + w.total_slots > total_slots()) return false;
+  for (const auto& [node, k] : w.per_node) {
+    auto it = node_in_use_.find(node);
+    const int busy = it == node_in_use_.end() ? 0 : it->second;
+    if (busy + k > slots_per_node_) return false;
+  }
+  const ResourcePoolConfig& config = w.pool->config;
+  if (config.max_slots >= 0 &&
+      w.pool->slots_in_use + w.total_slots > config.max_slots) {
+    return false;
+  }
+  if (config.memory_budget_bytes > 0 &&
+      w.pool->memory_in_use + w.memory_bytes > config.memory_budget_bytes) {
+    return false;
+  }
+  return true;
+}
+
+bool AdmissionController::IsNextEligibleLocked(const Waiter& w) const {
+  if (!CanAdmitLocked(w)) return false;
+  for (const Waiter* v : waiting_) {
+    if (v == &w) return true;
+    // A feasible waiter ahead of us (higher priority, or same priority
+    // and older) goes first; an infeasible one (its pool is capped, its
+    // nodes are busier) must not block the rest of the queue.
+    if (CanAdmitLocked(*v)) return false;
+  }
+  return true;
+}
+
+void AdmissionController::AllocateLocked(const Waiter& w) {
+  for (const auto& [node, k] : w.per_node) node_in_use_[node] += k;
+  slots_in_use_ += w.total_slots;
+  peak_slots_in_use_ = std::max(peak_slots_in_use_, slots_in_use_);
+  EON_CHECK(slots_in_use_ <= total_slots());
+  w.pool->slots_in_use += w.total_slots;
+  w.pool->memory_in_use += w.memory_bytes;
+  w.pool->slots_gauge->Set(w.pool->slots_in_use);
+}
+
+Result<SlotGrant> AdmissionController::Admit(const AdmissionRequest& request,
+                                             CancelToken* cancel) {
+  Waiter w;
+  w.memory_bytes = request.memory_bytes;
+  w.cancel = cancel;
+  for (uint64_t node : request.node_slots) w.per_node[node]++;
+  w.total_slots = static_cast<int>(request.node_slots.size());
+  if (w.total_slots == 0) {
+    return Status::InvalidArgument("admission request reserves no slots");
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  w.pool = FindPool(request.pool);
+  if (w.pool == nullptr) {
+    return Status::InvalidArgument("unknown resource pool: " + request.pool);
+  }
+  w.priority = w.pool->config.priority;
+
+  // Requests that could never run must fail fast instead of occupying the
+  // queue head until timeout.
+  if (w.total_slots > total_slots() ||
+      (w.pool->config.max_slots >= 0 &&
+       w.total_slots > w.pool->config.max_slots)) {
+    return Status::InvalidArgument("request needs more slots than exist");
+  }
+  for (const auto& [node, k] : w.per_node) {
+    (void)node;
+    if (k > slots_per_node_) {
+      return Status::InvalidArgument(
+          "request needs more slots on one node than slots_per_node");
+    }
+  }
+  if (w.pool->config.memory_budget_bytes > 0 &&
+      w.memory_bytes > w.pool->config.memory_budget_bytes) {
+    return Status::InvalidArgument("request exceeds pool memory budget");
+  }
+  if (cancel != nullptr && cancel->cancelled()) {
+    w.pool->cancelled++;
+    w.pool->cancelled_counter->Increment();
+    return Status::Aborted("admission cancelled");
+  }
+
+  const int64_t arrived = NowMicros();
+
+  // Fast path: nothing admissible ahead of us and resources free.
+  w.ticket = next_ticket_++;
+  bool queued = false;
+  if (!IsNextEligibleLocked(w)) {
+    // Refuse, don't queue: past the high-water mark the backlog would
+    // only add latency without adding throughput (Taurus-style shedding).
+    if (w.pool->queue_depth >= w.pool->config.max_queue_depth) {
+      w.pool->shed++;
+      w.pool->shed_counter->Increment();
+      return Status::Overloaded(
+          "resource pool '" + w.pool->config.name +
+          "' queue at high-water mark (" +
+          std::to_string(w.pool->config.max_queue_depth) + ")");
+    }
+    queued = true;
+    waiting_.push_back(&w);
+    std::sort(waiting_.begin(), waiting_.end(),
+              [](const Waiter* a, const Waiter* b) {
+                if (a->priority != b->priority) {
+                  return a->priority > b->priority;
+                }
+                return a->ticket < b->ticket;
+              });
+    w.pool->queue_depth++;
+    w.pool->queue_depth_gauge->Set(w.pool->queue_depth);
+
+    const int64_t timeout = request.timeout_micros >= 0
+                                ? request.timeout_micros
+                                : w.pool->config.queue_timeout_micros;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(timeout);
+    const bool got = cv_.wait_until(lock, deadline, [&] {
+      if (cancel != nullptr && cancel->cancelled()) return true;
+      return IsNextEligibleLocked(w);
+    });
+
+    auto unqueue = [&] {
+      waiting_.erase(std::find(waiting_.begin(), waiting_.end(), &w));
+      w.pool->queue_depth--;
+      w.pool->queue_depth_gauge->Set(w.pool->queue_depth);
+      // Our departure may unblock a waiter that was behind us.
+      cv_.notify_all();
+    };
+    if (cancel != nullptr && cancel->cancelled()) {
+      unqueue();
+      w.pool->cancelled++;
+      w.pool->cancelled_counter->Increment();
+      return Status::Aborted("admission cancelled");
+    }
+    if (!got) {
+      unqueue();
+      w.pool->timed_out++;
+      w.pool->timeout_counter->Increment();
+      return Status::TimedOut(
+          "no execution slot within " + std::to_string(timeout) +
+          " micros (pool '" + w.pool->config.name + "')");
+    }
+    unqueue();
+  }
+
+  AllocateLocked(w);
+  const int64_t waited = queued ? NowMicros() - arrived : 0;
+  w.pool->admitted++;
+  w.pool->queued_micros_total += waited;
+  w.pool->admitted_counter->Increment();
+  w.pool->wait_histogram->Observe(static_cast<double>(waited));
+
+  SlotGrant grant;
+  grant.controller_ = this;
+  grant.pool_ = w.pool->config.name;
+  grant.per_node_ = std::move(w.per_node);
+  grant.total_slots_ = w.total_slots;
+  grant.memory_bytes_ = w.memory_bytes;
+  grant.queued_micros_ = waited;
+  return grant;
+}
+
+bool AdmissionController::HasPool(const std::string& name) const {
+  // pools_ and default_pool_ are immutable after construction.
+  return pools_.count(name.empty() ? default_pool_ : name) > 0;
+}
+
+void AdmissionController::Cancel(CancelToken* token) {
+  if (token == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    token->cancelled_.store(true, std::memory_order_release);
+  }
+  cv_.notify_all();
+}
+
+void AdmissionController::ReleaseGrant(SlotGrant* grant) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [node, k] : grant->per_node_) {
+      auto it = node_in_use_.find(node);
+      EON_CHECK(it != node_in_use_.end() && it->second >= k);
+      it->second -= k;
+    }
+    slots_in_use_ -= grant->total_slots_;
+    EON_CHECK(slots_in_use_ >= 0);
+    Pool* pool = FindPool(grant->pool_);
+    EON_CHECK(pool != nullptr);
+    pool->slots_in_use -= grant->total_slots_;
+    pool->memory_in_use -= grant->memory_bytes_;
+    pool->slots_gauge->Set(pool->slots_in_use);
+  }
+  cv_.notify_all();
+}
+
+AdmissionController::Stats AdmissionController::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.total_slots = total_slots();
+  stats.slots_in_use = slots_in_use_;
+  stats.peak_slots_in_use = peak_slots_in_use_;
+  stats.queue_depth = static_cast<int>(waiting_.size());
+  for (const auto& [name, pool] : pools_) {
+    (void)name;
+    PoolStats ps;
+    ps.name = pool.config.name;
+    ps.priority = pool.config.priority;
+    ps.max_slots = pool.config.max_slots;
+    ps.slots_in_use = pool.slots_in_use;
+    ps.memory_budget_bytes = pool.config.memory_budget_bytes;
+    ps.memory_in_use_bytes = pool.memory_in_use;
+    ps.queue_depth = pool.queue_depth;
+    ps.max_queue_depth = pool.config.max_queue_depth;
+    ps.queue_timeout_micros = pool.config.queue_timeout_micros;
+    ps.admitted = pool.admitted;
+    ps.shed = pool.shed;
+    ps.timed_out = pool.timed_out;
+    ps.cancelled = pool.cancelled;
+    ps.queued_micros_total = pool.queued_micros_total;
+    stats.pools.push_back(std::move(ps));
+  }
+  return stats;
+}
+
+}  // namespace eon

@@ -1,0 +1,242 @@
+#ifndef EON_SERVER_ADMISSION_H_
+#define EON_SERVER_ADMISSION_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/metrics.h"
+
+namespace eon {
+
+/// Admission control for the serving layer: the paper's S-of-N·E
+/// query-slot model (Section 4.2) as a live scheduler. The cluster
+/// exposes N nodes × E execution slots; a query reserves one slot on a
+/// node for every shard that node serves for it (S slots total), holds
+/// them for the duration of execution, and releases them on completion.
+/// Requests that cannot start immediately wait in a bounded
+/// FIFO-within-priority queue with a per-query timeout; once a pool's
+/// queue passes its high-water mark, further requests are refused
+/// immediately with a typed kOverloaded error — overload sheds instead of
+/// building an unbounded backlog (refuse, don't queue).
+
+/// One tenant's resource pool: a slice of the cluster's slots and memory
+/// with a scheduling priority (the C-Store/Vertica resource-pool design).
+struct ResourcePoolConfig {
+  std::string name = "general";
+  /// Higher priority pools are served first when slots free up; FIFO
+  /// within a priority level.
+  int priority = 0;
+  /// Cap on slots this pool may hold concurrently; -1 = bounded only by
+  /// the cluster-wide N·E ledger.
+  int max_slots = -1;
+  /// Memory budget across the pool's running queries; 0 = unlimited.
+  uint64_t memory_budget_bytes = 0;
+  /// Queue high-water mark: an arriving request that would make the
+  /// pool's wait queue exceed this depth is shed with kOverloaded.
+  int max_queue_depth = 64;
+  /// Default wait bound for requests in this pool.
+  int64_t queue_timeout_micros = 5LL * 1000 * 1000;
+};
+
+struct AdmissionOptions {
+  /// Cluster size N; the slot ledger is bounded by num_nodes *
+  /// slots_per_node at all times.
+  int num_nodes = 0;
+  /// Execution slots per node E. 0 = auto: the EON_EXEC_SLOTS environment
+  /// variable if set, else 4 (the paper's per-node slot count).
+  int slots_per_node = 0;
+  /// Resource pools; empty = a single default "general" pool.
+  std::vector<ResourcePoolConfig> pools;
+  /// Registry for queue-depth / wait-time instruments; null = default.
+  obs::MetricsRegistry* registry = nullptr;
+};
+
+/// One admission request: the slots a query needs, by node. A node oid
+/// appearing k times requests k slots on that node (a node serving k
+/// shards of the query, or Enterprise-style double duty).
+struct AdmissionRequest {
+  std::string pool;  ///< Empty = the first configured pool.
+  std::vector<uint64_t> node_slots;
+  uint64_t memory_bytes = 0;  ///< Estimated; charged to the pool budget.
+  /// Wait bound; -1 = the pool's queue_timeout_micros.
+  int64_t timeout_micros = -1;
+};
+
+class AdmissionController;
+
+/// Cooperative cancellation for a waiting request (client disconnect,
+/// statement cancel). Cancel() is safe from any thread, before or after
+/// the Admit call observes it.
+class CancelToken {
+ public:
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class AdmissionController;
+  std::atomic<bool> cancelled_{false};
+};
+
+/// RAII slot reservation: releasing (or destroying) the grant returns its
+/// slots and memory to the ledger and wakes waiters. Move-only.
+class SlotGrant {
+ public:
+  SlotGrant() = default;
+  ~SlotGrant() { Release(); }
+  SlotGrant(SlotGrant&& o) noexcept { *this = std::move(o); }
+  SlotGrant& operator=(SlotGrant&& o) noexcept;
+  SlotGrant(const SlotGrant&) = delete;
+  SlotGrant& operator=(const SlotGrant&) = delete;
+
+  void Release();
+  bool active() const { return controller_ != nullptr; }
+  /// Time the request waited in the admission queue before its slots
+  /// were granted (0 when admitted immediately).
+  int64_t queued_micros() const { return queued_micros_; }
+  const std::string& pool() const { return pool_; }
+  /// Total slots held.
+  int slots() const { return total_slots_; }
+
+ private:
+  friend class AdmissionController;
+  AdmissionController* controller_ = nullptr;
+  std::string pool_;
+  std::map<uint64_t, int> per_node_;
+  int total_slots_ = 0;
+  uint64_t memory_bytes_ = 0;
+  int64_t queued_micros_ = 0;
+};
+
+class AdmissionController {
+ public:
+  friend class SlotGrant;
+  explicit AdmissionController(const AdmissionOptions& options);
+  ~AdmissionController();
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Reserve the request's slots, blocking in the wait queue up to its
+  /// timeout. Every call resolves:
+  ///  - a SlotGrant holding the slots;
+  ///  - kOverloaded when the pool's queue is at its high-water mark
+  ///    (immediate, never queued);
+  ///  - kTimedOut when the wait bound expired;
+  ///  - kAborted when `cancel` was cancelled;
+  ///  - kInvalidArgument when the request could never be satisfied (more
+  ///    slots on one node than E, more total than N·E, pool caps) or
+  ///    names an unknown pool.
+  Result<SlotGrant> Admit(const AdmissionRequest& request,
+                          CancelToken* cancel = nullptr);
+
+  /// Cancel a token and wake any Admit call waiting on it.
+  void Cancel(CancelToken* token);
+
+  /// True when `name` is a configured pool ("" = the default pool).
+  bool HasPool(const std::string& name) const;
+
+  struct PoolStats {
+    std::string name;
+    int priority = 0;
+    int max_slots = -1;
+    int slots_in_use = 0;
+    uint64_t memory_budget_bytes = 0;
+    uint64_t memory_in_use_bytes = 0;
+    int queue_depth = 0;
+    int max_queue_depth = 0;
+    int64_t queue_timeout_micros = 0;
+    uint64_t admitted = 0;
+    uint64_t shed = 0;
+    uint64_t timed_out = 0;
+    uint64_t cancelled = 0;
+    /// Sum of queue wait across admitted requests.
+    int64_t queued_micros_total = 0;
+  };
+
+  struct Stats {
+    int total_slots = 0;      ///< N·E.
+    int slots_in_use = 0;     ///< Sum over nodes; ≤ total_slots always.
+    int peak_slots_in_use = 0;
+    int queue_depth = 0;      ///< Waiters across all pools.
+    std::vector<PoolStats> pools;
+  };
+  Stats GetStats() const;
+
+  /// The pool an empty pool name resolves to (first configured).
+  const std::string& default_pool() const { return default_pool_; }
+
+  int num_nodes() const { return num_nodes_; }
+  int slots_per_node() const { return slots_per_node_; }
+  int total_slots() const { return num_nodes_ * slots_per_node_; }
+
+  /// AdmissionOptions::slots_per_node → effective E (see its doc).
+  static int ResolveSlotsPerNode(int configured);
+
+ private:
+  struct Pool {
+    ResourcePoolConfig config;
+    int slots_in_use = 0;
+    uint64_t memory_in_use = 0;
+    int queue_depth = 0;
+    uint64_t admitted = 0;
+    uint64_t shed = 0;
+    uint64_t timed_out = 0;
+    uint64_t cancelled = 0;
+    int64_t queued_micros_total = 0;
+    /// Registry instruments (labels {"pool": name}).
+    obs::Gauge* queue_depth_gauge = nullptr;
+    obs::Gauge* slots_gauge = nullptr;
+    obs::Counter* admitted_counter = nullptr;
+    obs::Counter* shed_counter = nullptr;
+    obs::Counter* timeout_counter = nullptr;
+    obs::Counter* cancelled_counter = nullptr;
+    obs::Histogram* wait_histogram = nullptr;
+  };
+
+  /// A queued request. Waiters are ordered by (priority desc, ticket
+  /// asc): strict FIFO within a priority level.
+  struct Waiter {
+    uint64_t ticket = 0;
+    int priority = 0;
+    Pool* pool = nullptr;
+    std::map<uint64_t, int> per_node;
+    int total_slots = 0;
+    uint64_t memory_bytes = 0;
+    CancelToken* cancel = nullptr;
+  };
+
+  Pool* FindPool(const std::string& name);
+  /// Both Locked helpers require mu_ held.
+  bool CanAdmitLocked(const Waiter& w) const;
+  /// True when `w` is the next waiter the scheduler would admit: it fits,
+  /// and no waiter ahead of it (priority desc, FIFO within priority) fits.
+  bool IsNextEligibleLocked(const Waiter& w) const;
+  void AllocateLocked(const Waiter& w);
+  void ReleaseGrant(SlotGrant* grant);
+
+  int num_nodes_ = 0;
+  int slots_per_node_ = 0;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, Pool> pools_;
+  std::string default_pool_;
+  /// Sorted by (priority desc, ticket asc); owned by the Admit frames.
+  std::vector<Waiter*> waiting_;
+  std::map<uint64_t, int> node_in_use_;
+  int slots_in_use_ = 0;
+  int peak_slots_in_use_ = 0;
+  uint64_t next_ticket_ = 1;
+};
+
+}  // namespace eon
+
+#endif  // EON_SERVER_ADMISSION_H_

@@ -1,0 +1,165 @@
+#include "server/client.h"
+
+#include <utility>
+
+namespace eon {
+
+namespace {
+
+Result<DataType> DataTypeFromName(const std::string& name) {
+  if (name == "int64") return DataType::kInt64;
+  if (name == "double") return DataType::kDouble;
+  if (name == "string") return DataType::kString;
+  return Status::Corruption("unknown column type on wire: " + name);
+}
+
+Result<Value> DecodeValue(const JsonValue& v, DataType type) {
+  if (v.is_null()) return Value::Null(type);
+  switch (type) {
+    case DataType::kInt64:
+      if (v.type() != JsonValue::Type::kInt) break;
+      return Value::Int(v.int_value());
+    case DataType::kDouble:
+      if (v.type() != JsonValue::Type::kDouble &&
+          v.type() != JsonValue::Type::kInt) {
+        break;
+      }
+      return Value::Dbl(v.double_value());
+    case DataType::kString:
+      if (v.type() != JsonValue::Type::kString) break;
+      return Value::Str(v.string_value());
+  }
+  return Status::Corruption("wire value does not match column type");
+}
+
+Result<WireQueryResult> DecodeResult(const JsonValue& response) {
+  WireQueryResult result;
+  std::vector<ColumnDef> columns;
+  const JsonValue& cols = response.Get("columns");
+  for (size_t i = 0; i < cols.size(); ++i) {
+    ColumnDef def;
+    def.name = cols.at(i).Get("name").string_value();
+    EON_ASSIGN_OR_RETURN(
+        def.type, DataTypeFromName(cols.at(i).Get("type").string_value()));
+    columns.push_back(std::move(def));
+  }
+  result.schema = Schema(std::move(columns));
+
+  const JsonValue& rows = response.Get("rows");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const JsonValue& in = rows.at(i);
+    if (in.size() != result.schema.num_columns()) {
+      return Status::Corruption("wire row arity mismatch");
+    }
+    Row row;
+    for (size_t c = 0; c < in.size(); ++c) {
+      EON_ASSIGN_OR_RETURN(
+          Value v, DecodeValue(in.at(c), result.schema.column(c).type));
+      row.push_back(std::move(v));
+    }
+    result.rows.push_back(std::move(row));
+  }
+
+  const JsonValue& stats = response.Get("stats");
+  result.participating_nodes =
+      static_cast<uint64_t>(stats.Get("participating_nodes").int_value());
+  result.rows_scanned =
+      static_cast<uint64_t>(stats.Get("rows_scanned").int_value());
+  result.rows_shuffled =
+      static_cast<uint64_t>(stats.Get("rows_shuffled").int_value());
+  result.network_bytes =
+      static_cast<uint64_t>(stats.Get("network_bytes").int_value());
+  result.queued_micros = response.Get("queued_micros").int_value();
+  result.pool = response.Get("pool").string_value();
+  return result;
+}
+
+}  // namespace
+
+EonClient::~EonClient() {
+  if (transport_ != nullptr) transport_->Close();
+}
+
+Result<JsonValue> EonClient::RoundTrip(const JsonValue& request) {
+  EON_RETURN_IF_ERROR(WriteFrame(transport_.get(), request.Dump()));
+  EON_ASSIGN_OR_RETURN(std::string frame, ReadFrame(transport_.get()));
+  EON_ASSIGN_OR_RETURN(JsonValue response, JsonValue::Parse(frame));
+  if (!response.Get("ok").bool_value()) {
+    return WireStatusFromCode(response.Get("code").string_value(),
+                              response.Get("error").string_value());
+  }
+  return response;
+}
+
+Result<uint64_t> EonClient::Hello(const std::string& node,
+                                  const std::string& pool) {
+  JsonValue request = JsonValue::Object();
+  request.Set("op", JsonValue::Str("hello"));
+  if (!node.empty()) request.Set("node", JsonValue::Str(node));
+  if (!pool.empty()) request.Set("pool", JsonValue::Str(pool));
+  EON_ASSIGN_OR_RETURN(JsonValue response, RoundTrip(request));
+  session_id_ = static_cast<uint64_t>(response.Get("session").int_value());
+  server_num_nodes_ = static_cast<int>(response.Get("num_nodes").int_value());
+  server_slots_per_node_ =
+      static_cast<int>(response.Get("slots_per_node").int_value());
+  return session_id_;
+}
+
+Result<WireQueryResult> EonClient::RunResultOp(const JsonValue& request) {
+  EON_ASSIGN_OR_RETURN(JsonValue response, RoundTrip(request));
+  return DecodeResult(response);
+}
+
+Result<WireQueryResult> EonClient::Query(const std::string& sql) {
+  JsonValue request = JsonValue::Object();
+  request.Set("op", JsonValue::Str("query"));
+  request.Set("sql", JsonValue::Str(sql));
+  return RunResultOp(request);
+}
+
+Status EonClient::Prepare(const std::string& name, const std::string& sql) {
+  JsonValue request = JsonValue::Object();
+  request.Set("op", JsonValue::Str("prepare"));
+  request.Set("name", JsonValue::Str(name));
+  request.Set("sql", JsonValue::Str(sql));
+  return RoundTrip(request).status();
+}
+
+Result<WireQueryResult> EonClient::ExecutePrepared(const std::string& name) {
+  JsonValue request = JsonValue::Object();
+  request.Set("op", JsonValue::Str("execute"));
+  request.Set("name", JsonValue::Str(name));
+  return RunResultOp(request);
+}
+
+Status EonClient::ClosePrepared(const std::string& name) {
+  JsonValue request = JsonValue::Object();
+  request.Set("op", JsonValue::Str("close_prepared"));
+  request.Set("name", JsonValue::Str(name));
+  return RoundTrip(request).status();
+}
+
+Status EonClient::Set(const std::string& key, const std::string& value) {
+  JsonValue request = JsonValue::Object();
+  request.Set("op", JsonValue::Str("set"));
+  request.Set("key", JsonValue::Str(key));
+  request.Set("value", JsonValue::Str(value));
+  return RoundTrip(request).status();
+}
+
+Result<std::string> EonClient::ProfileText() {
+  JsonValue request = JsonValue::Object();
+  request.Set("op", JsonValue::Str("profile"));
+  EON_ASSIGN_OR_RETURN(JsonValue response, RoundTrip(request));
+  return response.Get("text").string_value();
+}
+
+Status EonClient::Bye() {
+  JsonValue request = JsonValue::Object();
+  request.Set("op", JsonValue::Str("bye"));
+  Status status = RoundTrip(request).status();
+  session_id_ = 0;
+  return status;
+}
+
+}  // namespace eon

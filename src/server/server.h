@@ -1,0 +1,106 @@
+#ifndef EON_SERVER_SERVER_H_
+#define EON_SERVER_SERVER_H_
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/system_tables.h"
+#include "server/admission.h"
+#include "server/session_manager.h"
+#include "server/wire.h"
+
+namespace eon {
+
+/// The serving layer's front door: owns the AdmissionController and
+/// SessionManager for one cluster, speaks the framed JSON wire protocol
+/// to clients, and registers itself as the row source for the
+/// system_resource_pools / system_sessions tables.
+///
+/// Connections arrive two ways:
+///  - ConnectInProcess(): an in-process duplex channel (always available;
+///    eonsql and the traffic driver use it);
+///  - ListenLoopback(): a real loopback TCP listener (POSIX only).
+/// Each connection gets a dedicated service thread running the
+/// read-dispatch-write loop; one session per connection.
+///
+/// Wire protocol (one JSON object per frame; every request carries "op"):
+///   {"op":"hello","node":...,"pool":...}  -> {"ok":true,"session":id,...}
+///   {"op":"query","sql":...}              -> result document
+///   {"op":"prepare","name":...,"sql":...} -> {"ok":true}
+///   {"op":"execute","name":...}           -> result document
+///   {"op":"close_prepared","name":...}    -> {"ok":true}
+///   {"op":"set","key":...,"value":...}    -> {"ok":true}
+///   {"op":"profile"}                      -> {"ok":true,"text":...}
+///   {"op":"bye"}                          -> {"ok":true}, then close
+/// Failures answer {"ok":false,"code":"<StatusCode>","error":"<message>"}
+/// and keep the connection open (the statement failed, not the session).
+class EonServer : public ServingIntrospection {
+ public:
+  struct Options {
+    /// When false, queries bypass slot reservation entirely (the A/B
+    /// baseline; results are identical either way).
+    bool admission = true;
+    /// Slot ledger and pool configuration. num_nodes 0 = the cluster's
+    /// node count; slots_per_node 0 = EON_EXEC_SLOTS, else 4.
+    AdmissionOptions admission_options;
+  };
+
+  EonServer(EonCluster* cluster, Options options);
+  explicit EonServer(EonCluster* cluster) : EonServer(cluster, Options()) {}
+  ~EonServer() override;
+
+  EonServer(const EonServer&) = delete;
+  EonServer& operator=(const EonServer&) = delete;
+
+  /// Open an in-process connection; returns the client end. A service
+  /// thread owns the server end until the client says bye / closes.
+  std::unique_ptr<WireTransport> ConnectInProcess();
+
+  /// Start a loopback TCP listener (port 0 = pick a free port). Returns
+  /// the bound port. NotSupported where sockets are unavailable.
+  Result<int> ListenLoopback(int port = 0);
+  /// The bound loopback port, or -1 when not listening.
+  int loopback_port() const { return loopback_port_; }
+
+  /// Stop accepting, close every live connection and join all service
+  /// threads. Idempotent; the destructor calls it.
+  void Shutdown();
+
+  /// Null when Options::admission was false.
+  AdmissionController* admission() { return admission_.get(); }
+  SessionManager* sessions() { return sessions_.get(); }
+
+  // ServingIntrospection:
+  EonCluster* serving_cluster() override { return cluster_; }
+  std::vector<Row> ResourcePoolRows() override;
+  std::vector<Row> SessionRows() override;
+
+ private:
+  void Serve(std::shared_ptr<WireTransport> transport);
+  void AcceptLoop(int listen_fd);
+  /// Handle one request; `bye` is set when the client ended the
+  /// conversation. `session_id` 0 = not yet connected.
+  JsonValue Dispatch(const JsonValue& request, uint64_t* session_id,
+                     bool* bye);
+
+  EonCluster* cluster_;
+  std::unique_ptr<AdmissionController> admission_;
+  std::unique_ptr<SessionManager> sessions_;
+
+  std::mutex mu_;
+  bool shutdown_ = false;
+  /// Transports of live connections (Shutdown closes them to unblock
+  /// their service threads); threads joined on Shutdown.
+  std::vector<std::shared_ptr<WireTransport>> conns_;
+  std::vector<std::thread> threads_;
+
+  int listen_fd_ = -1;
+  int loopback_port_ = -1;
+  std::thread accept_thread_;
+};
+
+}  // namespace eon
+
+#endif  // EON_SERVER_SERVER_H_

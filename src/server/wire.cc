@@ -1,0 +1,356 @@
+#include "server/wire.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define EON_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace eon {
+
+Status WriteFrame(WireTransport* transport, const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame exceeds kMaxFrameBytes");
+  }
+  const uint32_t n = static_cast<uint32_t>(payload.size());
+  uint8_t header[4] = {static_cast<uint8_t>(n & 0xff),
+                       static_cast<uint8_t>((n >> 8) & 0xff),
+                       static_cast<uint8_t>((n >> 16) & 0xff),
+                       static_cast<uint8_t>((n >> 24) & 0xff)};
+  EON_RETURN_IF_ERROR(transport->Write(header, sizeof(header)));
+  if (n > 0) EON_RETURN_IF_ERROR(transport->Write(payload.data(), n));
+  return Status::OK();
+}
+
+namespace {
+
+/// Read exactly `n` bytes. `clean_eof` reports EOF before the first byte
+/// as kNotFound (an orderly close between frames).
+Status ReadFull(WireTransport* transport, void* buf, size_t n,
+                bool clean_eof) {
+  uint8_t* out = static_cast<uint8_t*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    EON_ASSIGN_OR_RETURN(size_t got, transport->Read(out + done, n - done));
+    if (got == 0) {
+      if (done == 0 && clean_eof) {
+        return Status::NotFound("connection closed");
+      }
+      return Status::IOError("connection closed mid-frame");
+    }
+    done += got;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::string> ReadFrame(WireTransport* transport) {
+  uint8_t header[4];
+  EON_RETURN_IF_ERROR(
+      ReadFull(transport, header, sizeof(header), /*clean_eof=*/true));
+  const uint32_t n = static_cast<uint32_t>(header[0]) |
+                     (static_cast<uint32_t>(header[1]) << 8) |
+                     (static_cast<uint32_t>(header[2]) << 16) |
+                     (static_cast<uint32_t>(header[3]) << 24);
+  if (n > kMaxFrameBytes) {
+    return Status::Corruption("frame length " + std::to_string(n) +
+                              " exceeds cap");
+  }
+  std::string payload(n, '\0');
+  if (n > 0) {
+    EON_RETURN_IF_ERROR(
+        ReadFull(transport, payload.data(), n, /*clean_eof=*/false));
+  }
+  return payload;
+}
+
+namespace {
+
+struct CodeName {
+  Status::Code code;
+  const char* name;
+};
+
+constexpr CodeName kCodeNames[] = {
+    {Status::Code::kNotFound, "NotFound"},
+    {Status::Code::kAlreadyExists, "AlreadyExists"},
+    {Status::Code::kInvalidArgument, "InvalidArgument"},
+    {Status::Code::kIOError, "IOError"},
+    {Status::Code::kCorruption, "Corruption"},
+    {Status::Code::kNotSupported, "NotSupported"},
+    {Status::Code::kAborted, "Aborted"},
+    {Status::Code::kUnavailable, "Unavailable"},
+    {Status::Code::kTimedOut, "TimedOut"},
+    {Status::Code::kOutOfRange, "OutOfRange"},
+    {Status::Code::kInternal, "Internal"},
+    {Status::Code::kOverloaded, "Overloaded"},
+};
+
+}  // namespace
+
+const char* WireStatusCode(const Status& status) {
+  for (const CodeName& entry : kCodeNames) {
+    if (entry.code == status.code()) return entry.name;
+  }
+  return "Internal";
+}
+
+Status WireStatusFromCode(const std::string& code, std::string message) {
+  for (const CodeName& entry : kCodeNames) {
+    if (code != entry.name) continue;
+    switch (entry.code) {
+      case Status::Code::kOk: break;
+      case Status::Code::kNotFound: return Status::NotFound(std::move(message));
+      case Status::Code::kAlreadyExists:
+        return Status::AlreadyExists(std::move(message));
+      case Status::Code::kInvalidArgument:
+        return Status::InvalidArgument(std::move(message));
+      case Status::Code::kIOError: return Status::IOError(std::move(message));
+      case Status::Code::kCorruption:
+        return Status::Corruption(std::move(message));
+      case Status::Code::kNotSupported:
+        return Status::NotSupported(std::move(message));
+      case Status::Code::kAborted: return Status::Aborted(std::move(message));
+      case Status::Code::kUnavailable:
+        return Status::Unavailable(std::move(message));
+      case Status::Code::kTimedOut: return Status::TimedOut(std::move(message));
+      case Status::Code::kOutOfRange:
+        return Status::OutOfRange(std::move(message));
+      case Status::Code::kInternal: return Status::Internal(std::move(message));
+      case Status::Code::kOverloaded:
+        return Status::Overloaded(std::move(message));
+    }
+  }
+  return Status::Internal("unknown wire status '" + code + "': " + message);
+}
+
+namespace {
+
+/// One direction of the in-process channel: a bounded-ish byte queue.
+/// Close() wakes blocked readers with EOF.
+class BytePipe {
+ public:
+  Status Write(const void* data, size_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return Status::IOError("channel closed");
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    bytes_.insert(bytes_.end(), p, p + n);
+    cv_.notify_all();
+    return Status::OK();
+  }
+
+  Result<size_t> Read(void* buf, size_t n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || !bytes_.empty(); });
+    if (bytes_.empty()) return static_cast<size_t>(0);  // EOF.
+    const size_t take = std::min(n, bytes_.size());
+    uint8_t* out = static_cast<uint8_t*>(buf);
+    for (size_t i = 0; i < take; ++i) {
+      out[i] = bytes_.front();
+      bytes_.pop_front();
+    }
+    return take;
+  }
+
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<uint8_t> bytes_;
+  bool closed_ = false;
+};
+
+/// One endpoint of the duplex channel: reads from one pipe, writes the
+/// other. Both endpoints share the pipes; Close closes both directions.
+class ChannelTransport : public WireTransport {
+ public:
+  ChannelTransport(std::shared_ptr<BytePipe> read,
+                   std::shared_ptr<BytePipe> write)
+      : read_(std::move(read)), write_(std::move(write)) {}
+  ~ChannelTransport() override { Close(); }
+
+  Status Write(const void* data, size_t n) override {
+    return write_->Write(data, n);
+  }
+  Result<size_t> Read(void* buf, size_t n) override {
+    return read_->Read(buf, n);
+  }
+  void Close() override {
+    read_->Close();
+    write_->Close();
+  }
+
+ private:
+  std::shared_ptr<BytePipe> read_;
+  std::shared_ptr<BytePipe> write_;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<WireTransport>, std::unique_ptr<WireTransport>>
+CreateChannelPair() {
+  auto a_to_b = std::make_shared<BytePipe>();
+  auto b_to_a = std::make_shared<BytePipe>();
+  return {std::make_unique<ChannelTransport>(b_to_a, a_to_b),
+          std::make_unique<ChannelTransport>(a_to_b, b_to_a)};
+}
+
+#if EON_HAVE_SOCKETS
+
+namespace {
+
+class SocketTransport : public WireTransport {
+ public:
+  explicit SocketTransport(int fd) : fd_(fd) {}
+  ~SocketTransport() override { Close(); }
+
+  Status Write(const void* data, size_t n) override {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    size_t done = 0;
+    while (done < n) {
+      const ssize_t w = ::send(fd_, p + done, n - done, MSG_NOSIGNAL);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError("send failed");
+      }
+      done += static_cast<size_t>(w);
+    }
+    return Status::OK();
+  }
+
+  Result<size_t> Read(void* buf, size_t n) override {
+    while (true) {
+      const ssize_t r = ::recv(fd_, buf, n, 0);
+      if (r >= 0) return static_cast<size_t>(r);
+      if (errno == EINTR) continue;
+      return Status::IOError("recv failed");
+    }
+  }
+
+  void Close() override {
+    int fd = fd_.exchange(-1);
+    if (fd >= 0) {
+      ::shutdown(fd, SHUT_RDWR);
+      ::close(fd);
+    }
+  }
+
+ private:
+  std::atomic<int> fd_;
+};
+
+}  // namespace
+
+bool LoopbackAvailable() { return true; }
+
+Result<std::unique_ptr<WireTransport>> ConnectLoopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::Unavailable("connect to 127.0.0.1:" +
+                               std::to_string(port) + " failed");
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<WireTransport>(new SocketTransport(fd));
+}
+
+namespace wire {
+
+Result<int> ListenLoopbackSocket(int port, int* listen_fd) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError("socket() failed");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    ::close(fd);
+    return Status::IOError("bind/listen on loopback failed");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return Status::IOError("getsockname failed");
+  }
+  *listen_fd = fd;
+  return static_cast<int>(ntohs(addr.sin_port));
+}
+
+Result<std::unique_ptr<WireTransport>> AcceptLoopback(int listen_fd) {
+  while (true) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return std::unique_ptr<WireTransport>(new SocketTransport(fd));
+    }
+    if (errno == EINTR) continue;
+    // The listener was shut down (fd closed) — an orderly stop.
+    return Status::NotFound("listener closed");
+  }
+}
+
+void CloseListenSocket(int listen_fd) {
+  if (listen_fd >= 0) {
+    ::shutdown(listen_fd, SHUT_RDWR);
+    ::close(listen_fd);
+  }
+}
+
+}  // namespace wire
+
+#else  // !EON_HAVE_SOCKETS
+
+bool LoopbackAvailable() { return false; }
+
+Result<std::unique_ptr<WireTransport>> ConnectLoopback(int port) {
+  (void)port;
+  return Status::NotSupported("loopback sockets not available");
+}
+
+namespace wire {
+
+Result<int> ListenLoopbackSocket(int port, int* listen_fd) {
+  (void)port;
+  (void)listen_fd;
+  return Status::NotSupported("loopback sockets not available");
+}
+
+Result<std::unique_ptr<WireTransport>> AcceptLoopback(int listen_fd) {
+  (void)listen_fd;
+  return Status::NotSupported("loopback sockets not available");
+}
+
+void CloseListenSocket(int listen_fd) { (void)listen_fd; }
+
+}  // namespace wire
+
+#endif  // EON_HAVE_SOCKETS
+
+}  // namespace eon

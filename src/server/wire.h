@@ -1,0 +1,81 @@
+#ifndef EON_SERVER_WIRE_H_
+#define EON_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/result.h"
+
+namespace eon {
+
+/// The serving layer's wire format: length-prefixed frames carrying JSON
+/// request/response documents over a blocking byte stream. Two transports
+/// implement the stream: an in-process duplex channel (always available;
+/// eonsql and the traffic driver use it) and a loopback TCP socket (POSIX
+/// systems; a real client connection). Framing and message encoding are
+/// transport-independent, so the server handles both identically.
+
+/// A blocking, bidirectional byte stream. Implementations are safe for
+/// one reader plus one writer concurrently (a client thread writing a
+/// request while the server's connection thread blocks in Read).
+class WireTransport {
+ public:
+  virtual ~WireTransport() = default;
+
+  /// Write all `n` bytes or fail.
+  virtual Status Write(const void* data, size_t n) = 0;
+
+  /// Read up to `n` bytes; blocks until at least one byte or EOF.
+  /// Returns 0 at EOF (peer closed).
+  virtual Result<size_t> Read(void* buf, size_t n) = 0;
+
+  /// Close both directions; pending and future reads on either end see
+  /// EOF, writes fail. Idempotent and safe concurrently with Read/Write.
+  virtual void Close() = 0;
+};
+
+/// Frame cap: a parse bomb or corrupt length prefix fails cleanly instead
+/// of allocating without bound.
+constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Write one frame: 4-byte little-endian payload length, then payload.
+Status WriteFrame(WireTransport* transport, const std::string& payload);
+
+/// Read one frame's payload. EOF before the first length byte returns
+/// kNotFound ("clean close"); EOF mid-frame returns kIOError.
+Result<std::string> ReadFrame(WireTransport* transport);
+
+/// Wire form of a Status code ("NotFound", "Overloaded", ...) and its
+/// inverse. Unknown names decode as kInternal so a skewed peer version
+/// degrades to a visible error rather than a silent kOk.
+const char* WireStatusCode(const Status& status);
+Status WireStatusFromCode(const std::string& code, std::string message);
+
+/// An in-process duplex channel: two connected transports, each reading
+/// what the other writes (socketpair semantics without a kernel).
+std::pair<std::unique_ptr<WireTransport>, std::unique_ptr<WireTransport>>
+CreateChannelPair();
+
+/// True when loopback TCP transports are compiled in (POSIX).
+bool LoopbackAvailable();
+
+/// Connect to a loopback listener on 127.0.0.1:`port`.
+Result<std::unique_ptr<WireTransport>> ConnectLoopback(int port);
+
+namespace wire {
+
+/// Listening socket guts for EonServer (POSIX only). `port` 0 picks a
+/// free port; the bound port is returned.
+Result<int> ListenLoopbackSocket(int port, int* listen_fd);
+/// Blocking accept; returns the connection transport, kNotFound once the
+/// listen fd is closed (shutdown), kIOError otherwise.
+Result<std::unique_ptr<WireTransport>> AcceptLoopback(int listen_fd);
+void CloseListenSocket(int listen_fd);
+
+}  // namespace wire
+
+}  // namespace eon
+
+#endif  // EON_SERVER_WIRE_H_

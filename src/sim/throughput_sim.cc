@@ -25,9 +25,7 @@ ThroughputSim::RunResult ThroughputSim::Run(const Options& options) {
   EON_CHECK(options.num_nodes > 0 && options.num_shards > 0);
   const int n = options.num_nodes;
   const int s = options.num_shards;
-  // The deprecated `threads` spelling wins when a caller still sets it.
-  const int clients = options.threads >= 0 ? options.threads
-                                           : options.clients;
+  const int clients = options.clients;
   EON_CHECK(clients > 0);
 
   std::vector<int> busy(n, 0);       // Occupied slots per node.

@@ -26,12 +26,9 @@ class ThroughputSim {
     int num_shards = 3;
     int slots_per_node = 4;
     int k_safety = 2;  ///< Subscribers per shard (ring layout).
-    /// Closed-loop clients, each issuing queries back to back. (These are
-    /// simulated sessions, not OS threads — renamed from `threads` to
-    /// avoid confusion with the executor's thread pool.)
+    /// Closed-loop clients, each issuing queries back to back (simulated
+    /// sessions, not OS threads).
     int clients = 10;
-    /// Deprecated alias for `clients`; when >= 0 it takes precedence.
-    int threads = -1;
     /// Slot hold time per query (the short dashboard query ~100 ms).
     int64_t service_micros = 100000;
     /// Client think time between a completion and the next issue (result

@@ -1,0 +1,215 @@
+#include "sim/traffic_driver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "server/client.h"
+#include "server/server.h"
+
+namespace eon {
+
+namespace {
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SleepUntilMicros(int64_t deadline) {
+  const int64_t now = NowMicros();
+  if (deadline > now) {
+    std::this_thread::sleep_for(std::chrono::microseconds(deadline - now));
+  }
+}
+
+/// One completed query: when it arrived and how long until its rows came
+/// back (client-side wait included).
+struct Sample {
+  int64_t arrival_micros;
+  int64_t latency_micros;
+};
+
+/// Per-worker tallies, merged after join (no shared mutable state on the
+/// hot path).
+struct WorkerStats {
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t overloaded = 0;
+  uint64_t timed_out = 0;
+  uint64_t errors = 0;
+  std::vector<Sample> samples;
+
+  void Record(int64_t arrival, const Status& status) {
+    submitted++;
+    if (status.ok()) {
+      completed++;
+      samples.push_back(Sample{arrival, NowMicros() - arrival});
+    } else if (status.IsOverloaded()) {
+      overloaded++;
+    } else if (status.IsTimedOut()) {
+      timed_out++;
+    } else {
+      errors++;
+    }
+  }
+};
+
+/// Open-loop arrival queue: the dispatcher pushes scheduled arrival
+/// instants, workers pop them. Close() lets workers drain what remains
+/// and then stop.
+class ArrivalQueue {
+ public:
+  void Push(int64_t arrival_micros) {
+    std::lock_guard<std::mutex> lock(mu_);
+    arrivals_.push_back(arrival_micros);
+    cv_.notify_one();
+  }
+
+  bool Pop(int64_t* arrival_micros) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || !arrivals_.empty(); });
+    if (arrivals_.empty()) return false;
+    *arrival_micros = arrivals_.front();
+    arrivals_.pop_front();
+    return true;
+  }
+
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<int64_t> arrivals_;
+  bool closed_ = false;
+};
+
+int64_t Percentile(const std::vector<int64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const size_t idx = static_cast<size_t>(p * (sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+const char* const kStmtName = "traffic";
+
+}  // namespace
+
+Result<TrafficResult> RunTraffic(const TrafficOptions& options) {
+  if (options.server == nullptr) {
+    return Status::InvalidArgument("traffic driver needs a server");
+  }
+  if (options.clients <= 0) {
+    return Status::InvalidArgument("traffic driver needs clients > 0");
+  }
+
+  // Open every connection and prepare the statement up front, so the
+  // measured window contains only query traffic.
+  std::vector<std::unique_ptr<EonClient>> clients;
+  for (int i = 0; i < options.clients; ++i) {
+    auto client = std::make_unique<EonClient>(
+        options.server->ConnectInProcess());
+    EON_RETURN_IF_ERROR(client->Hello("", options.pool).status());
+    EON_RETURN_IF_ERROR(client->Prepare(kStmtName, options.sql));
+    clients.push_back(std::move(client));
+  }
+
+  const bool open_loop = options.offered_qps > 0;
+  const int64_t start = NowMicros();
+  const int64_t deadline = start + options.duration_micros;
+
+  std::vector<WorkerStats> stats(options.clients);
+  std::vector<std::thread> workers;
+
+  ArrivalQueue queue;
+  if (open_loop) {
+    for (int i = 0; i < options.clients; ++i) {
+      workers.emplace_back([&, i] {
+        int64_t arrival;
+        while (queue.Pop(&arrival)) {
+          Status status = clients[i]->ExecutePrepared(kStmtName).status();
+          stats[i].Record(arrival, status);
+        }
+      });
+    }
+    // Dispatcher: Poisson process — exponential gaps at the offered rate.
+    std::mt19937_64 rng(options.seed);
+    std::exponential_distribution<double> gap(options.offered_qps / 1e6);
+    int64_t next = start;
+    while (true) {
+      next += static_cast<int64_t>(gap(rng)) + 1;
+      if (next >= deadline) break;
+      SleepUntilMicros(next);
+      queue.Push(next);
+    }
+    queue.Close();
+  } else {
+    for (int i = 0; i < options.clients; ++i) {
+      workers.emplace_back([&, i] {
+        while (true) {
+          const int64_t arrival = NowMicros();
+          if (arrival >= deadline) break;
+          Status status = clients[i]->ExecutePrepared(kStmtName).status();
+          stats[i].Record(arrival, status);
+          if (options.think_micros > 0) {
+            SleepUntilMicros(NowMicros() + options.think_micros);
+          }
+        }
+      });
+    }
+  }
+  for (std::thread& w : workers) w.join();
+  const int64_t elapsed = NowMicros() - start;
+
+  TrafficResult result;
+  std::vector<Sample> samples;
+  for (const WorkerStats& s : stats) {
+    result.submitted += s.submitted;
+    result.completed += s.completed;
+    result.overloaded += s.overloaded;
+    result.timed_out += s.timed_out;
+    result.errors += s.errors;
+    samples.insert(samples.end(), s.samples.begin(), s.samples.end());
+  }
+
+  std::vector<int64_t> latencies;
+  std::vector<int64_t> first_half;
+  std::vector<int64_t> second_half;
+  const int64_t midpoint = start + options.duration_micros / 2;
+  for (const Sample& s : samples) {
+    latencies.push_back(s.latency_micros);
+    (s.arrival_micros < midpoint ? first_half : second_half)
+        .push_back(s.latency_micros);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  std::sort(first_half.begin(), first_half.end());
+  std::sort(second_half.begin(), second_half.end());
+  result.p50_micros = Percentile(latencies, 0.50);
+  result.p95_micros = Percentile(latencies, 0.95);
+  result.p99_micros = Percentile(latencies, 0.99);
+  result.max_micros = latencies.empty() ? 0 : latencies.back();
+  result.first_half_p99_micros = Percentile(first_half, 0.99);
+  result.second_half_p99_micros = Percentile(second_half, 0.99);
+  result.elapsed_micros = elapsed;
+  result.completed_qps =
+      options.duration_micros > 0
+          ? static_cast<double>(result.completed) * 1e6 /
+                static_cast<double>(options.duration_micros)
+          : 0;
+
+  for (auto& client : clients) (void)client->Bye();
+  return result;
+}
+
+}  // namespace eon

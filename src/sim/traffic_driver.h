@@ -1,0 +1,75 @@
+#ifndef EON_SIM_TRAFFIC_DRIVER_H_
+#define EON_SIM_TRAFFIC_DRIVER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace eon {
+
+class EonServer;
+
+/// Drives real query traffic at a live EonServer over in-process wire
+/// connections — the measurement harness for the serving layer, where
+/// ThroughputSim is its discrete-event model. Two shapes:
+///
+///  - Closed loop (offered_qps == 0): `clients` sessions, each issuing
+///    its statement back to back with optional think time. Load is
+///    self-limiting — a slow server slows the clients.
+///  - Open loop (offered_qps > 0): Poisson arrivals at the offered rate,
+///    executed by a pool of `clients` connections. Arrivals do not wait
+///    for completions, so when the server saturates, a backlog builds and
+///    arrival-to-completion latency grows without bound — exactly the
+///    overload regime admission control exists to cap.
+///
+/// Latency is always measured from ARRIVAL (the scheduled instant, not
+/// the dispatch instant) to completion, so client-side queueing counts.
+struct TrafficOptions {
+  EonServer* server = nullptr;
+  /// Statement under test; prepared once per connection, executed many.
+  std::string sql;
+  /// Closed loop: concurrent sessions. Open loop: connection-pool width.
+  int clients = 8;
+  /// Resource pool sessions connect into ("" = server default).
+  std::string pool;
+  /// Closed-loop think time between completion and next issue.
+  int64_t think_micros = 0;
+  /// > 0 switches to open loop with Poisson arrivals at this rate.
+  double offered_qps = 0;
+  /// New arrivals stop after this long; in-flight and backlogged queries
+  /// then drain (their latencies land in the second half).
+  int64_t duration_micros = 1000000;
+  uint64_t seed = 1;
+};
+
+struct TrafficResult {
+  /// Accounting is exact: submitted == completed + overloaded +
+  /// timed_out + errors. Nothing is lost and nothing hangs.
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t overloaded = 0;  ///< Shed by admission (kOverloaded).
+  uint64_t timed_out = 0;   ///< Admission queue timeout (kTimedOut).
+  uint64_t errors = 0;      ///< Everything else non-OK.
+
+  /// Arrival-to-completion latency over completed queries, micros.
+  int64_t p50_micros = 0;
+  int64_t p95_micros = 0;
+  int64_t p99_micros = 0;
+  int64_t max_micros = 0;
+  /// p99 split by arrival time halves: an unstable (overloaded open-loop)
+  /// system shows second >> first as the backlog compounds.
+  int64_t first_half_p99_micros = 0;
+  int64_t second_half_p99_micros = 0;
+
+  int64_t elapsed_micros = 0;  ///< Wall time including drain.
+  double completed_qps = 0;    ///< completed / arrival window.
+};
+
+/// Run one traffic shape to completion. Fails if the server is null, the
+/// statement fails to prepare, or no connection could be opened.
+Result<TrafficResult> RunTraffic(const TrafficOptions& options);
+
+}  // namespace eon
+
+#endif  // EON_SIM_TRAFFIC_DRIVER_H_
