@@ -1,13 +1,21 @@
 // Micro-benchmarks (google-benchmark): column encodings, hashing,
-// checksums, ROS scan with and without pruning, max flow, LRU cache ops.
+// checksums, ROS scan with and without pruning, max flow, LRU cache ops,
+// and the vectorized scan kernels (SIMD vs forced-scalar). Each kernel
+// benchmark publishes its measured throughput (values/s) as a gauge in the
+// default metrics registry, dumped to BENCH_micro_components.metrics.json
+// at exit.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "cache/file_cache.h"
 #include "columnar/encoding.h"
+#include "columnar/kernels.h"
 #include "columnar/ros.h"
 #include "common/hash.h"
 #include "common/random.h"
+#include "obs/export.h"
 #include "shard/maxflow.h"
 #include "storage/object_store.h"
 
@@ -152,7 +160,116 @@ void BM_SegmentationHash(benchmark::State& state) {
 }
 BENCHMARK(BM_SegmentationHash);
 
+// ------------------------------------------------ vectorized scan kernels
+
+constexpr size_t kKernelN = 1 << 16;
+
+/// Publish a kernel benchmark's throughput into the default registry so
+/// the metrics sidecar carries per-kernel values/s next to the
+/// google-benchmark numbers.
+void ReportKernelThroughput(benchmark::State& state, const char* kernel,
+                            bool scalar, int64_t values_per_sec) {
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kKernelN));
+  state.SetLabel(scalar ? "scalar" : simd::IsaName(simd::ActiveIsa()));
+  obs::MetricsRegistry::Default()
+      ->GetGauge("eon_bench_kernel_values_per_sec",
+                 obs::LabelSet{{"kernel", kernel},
+                               {"isa", scalar
+                                           ? "scalar"
+                                           : simd::IsaName(simd::ActiveIsa())}})
+      ->Set(values_per_sec);
+}
+
+/// Times `fn` (which processes kKernelN values) around the benchmark loop
+/// and returns values/s.
+template <typename Fn>
+int64_t TimeKernelLoop(benchmark::State& state, bool scalar, Fn&& fn) {
+  simd::ForceScalarForTest(scalar);
+  const auto t0 = std::chrono::steady_clock::now();
+  int64_t iters = 0;
+  for (auto _ : state) {
+    fn();
+    ++iters;
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  simd::ForceScalarForTest(false);
+  return secs > 0 ? static_cast<int64_t>(
+                        static_cast<double>(iters) * kKernelN / secs)
+                  : 0;
+}
+
+void BM_KernelCompareInt64(benchmark::State& state) {
+  const bool scalar = state.range(0) != 0;
+  Random rng(11);
+  std::vector<int64_t> v(kKernelN);
+  for (int64_t& x : v) x = static_cast<int64_t>(rng.Uniform(1000));
+  std::vector<uint8_t> sel(kKernelN);
+  const int64_t vps = TimeKernelLoop(state, scalar, [&] {
+    simd::CompareInt64(v.data(), kKernelN, CmpOp::kLt, 500, nullptr,
+                       sel.data());
+    benchmark::DoNotOptimize(sel.data());
+  });
+  ReportKernelThroughput(state, "compare_int64", scalar, vps);
+}
+BENCHMARK(BM_KernelCompareInt64)->Arg(0)->Arg(1);
+
+void BM_KernelFoldInt64(benchmark::State& state) {
+  const bool scalar = state.range(0) != 0;
+  Random rng(13);
+  std::vector<int64_t> v(kKernelN);
+  for (int64_t& x : v) x = static_cast<int64_t>(rng.Uniform(1000));
+  const int64_t vps = TimeKernelLoop(state, scalar, [&] {
+    simd::Int64Fold f = simd::FoldInt64(v.data(), kKernelN, nullptr, nullptr);
+    benchmark::DoNotOptimize(f);
+  });
+  ReportKernelThroughput(state, "fold_int64", scalar, vps);
+}
+BENCHMARK(BM_KernelFoldInt64)->Arg(0)->Arg(1);
+
+void BM_KernelSegHashInt64(benchmark::State& state) {
+  const bool scalar = state.range(0) != 0;
+  Random rng(17);
+  std::vector<int64_t> v(kKernelN);
+  for (int64_t& x : v) x = static_cast<int64_t>(rng.Next());
+  std::vector<uint32_t> out(kKernelN);
+  const int64_t vps = TimeKernelLoop(state, scalar, [&] {
+    simd::SegHashInt64(v.data(), kKernelN, nullptr, out.data());
+    benchmark::DoNotOptimize(out.data());
+  });
+  ReportKernelThroughput(state, "seg_hash_int64", scalar, vps);
+}
+BENCHMARK(BM_KernelSegHashInt64)->Arg(0)->Arg(1);
+
+void BM_KernelSelCompact(benchmark::State& state) {
+  const bool scalar = state.range(0) != 0;
+  Random rng(19);
+  std::vector<uint8_t> sel(kKernelN);
+  for (uint8_t& b : sel) b = rng.Bernoulli(0.1) ? 1 : 0;
+  std::vector<uint32_t> idx(kKernelN);
+  const int64_t vps = TimeKernelLoop(state, scalar, [&] {
+    size_t n = simd::SelCompact(sel.data(), kKernelN, idx.data());
+    benchmark::DoNotOptimize(n);
+  });
+  ReportKernelThroughput(state, "sel_compact", scalar, vps);
+}
+BENCHMARK(BM_KernelSelCompact)->Arg(0)->Arg(1);
+
 }  // namespace
 }  // namespace eon
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  // Per-kernel values/s gauges land in the metrics sidecar.
+  eon::Status s =
+      eon::obs::WriteSnapshotJsonFile("BENCH_micro_components.metrics.json");
+  if (s.ok()) {
+    fprintf(stderr, "metrics snapshot: BENCH_micro_components.metrics.json\n");
+  }
+  return 0;
+}

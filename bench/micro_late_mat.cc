@@ -78,6 +78,11 @@ Dataset MakeDataset(const std::string& name) {
       // pruning helps both modes at low selectivity.
       d.domain = static_cast<int64_t>(kRows);
       key = Value::Int(static_cast<int64_t>(i));
+    } else if (name == "bp") {
+      // Small-domain unsorted ints, no runs: bit-packs at width 10. The
+      // encoded path screens 128-value blocks and SIMD-compares the rest.
+      d.domain = 1000;
+      key = Value::Int(static_cast<int64_t>(i * 2654435761ULL % 1000));
     } else {  // plain: high-cardinality, unsorted, runless.
       d.domain = 1000000;
       key = Value::Int(static_cast<int64_t>(i * 2654435761ULL % 1000000));
@@ -153,7 +158,7 @@ int main() {
   double worst_full_sel_ratio = 0;  // late/eager wall at 100% selectivity.
 
   for (const std::string& name : {std::string("rle"), std::string("dict"),
-                                  std::string("plain"),
+                                  std::string("bp"), std::string("plain"),
                                   std::string("delta")}) {
     const Dataset d = MakeDataset(name);
     RosWriteOptions wopts;

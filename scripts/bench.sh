@@ -13,7 +13,8 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build-release}"
 BENCHES=("$@")
 if [ "${#BENCHES[@]}" -eq 0 ]; then
-  BENCHES=(micro_parallel_scan micro_late_mat micro_prefetch ab_admission)
+  BENCHES=(micro_parallel_scan micro_late_mat micro_simd_kernels
+           micro_prefetch ab_admission)
 fi
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release

@@ -13,6 +13,11 @@
 # plus many wire clients on one server (test_admission). Uses a separate
 # build directory so the normal build/ stays sanitizer-free.
 #
+# A second configuration builds with -DEON_SIMD=off (every kernel pinned to
+# the scalar reference) and reruns the kernel differentials and the
+# parallel differential suite, so the scalar fallback paths get the same
+# TSan coverage as the dispatched SIMD ones.
+#
 #   scripts/tsan.sh            # configure + build + run
 #   BUILD_DIR=out scripts/tsan.sh
 set -euo pipefail
@@ -23,7 +28,18 @@ BUILD_DIR="${BUILD_DIR:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DEON_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" \
-      --target test_obs test_cache test_common test_parallel_differential \
+      --target test_obs test_cache test_common test_kernels \
+               test_parallel_differential \
                test_system_tables test_prefetch test_admission \
       -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" -L race --output-on-failure
+
+SIMD_OFF_DIR="${SIMD_OFF_DIR:-${BUILD_DIR}-simd-off}"
+
+cmake -B "$SIMD_OFF_DIR" -S . -DEON_SANITIZE=thread -DEON_SIMD=off \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$SIMD_OFF_DIR" \
+      --target test_kernels test_parallel_differential \
+      -j "$(nproc)"
+ctest --test-dir "$SIMD_OFF_DIR" \
+      -R 'test_kernels|test_parallel_differential' --output-on-failure

@@ -2,6 +2,12 @@
 #define EON_COLUMNAR_AGG_H_
 
 #include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "columnar/batch.h"
+#include "columnar/types.h"
 
 namespace eon {
 
@@ -17,6 +23,55 @@ enum class AggFn : uint8_t {
 };
 
 const char* AggFnName(AggFn fn);
+
+/// Aggregation state for one group. Partials fold over ColumnBatches via
+/// the SIMD kernels (int64 SUM/MIN/MAX/COUNT); doubles, strings, and
+/// COUNT DISTINCT take the per-value path, in ascending row order so the
+/// result is independent of morsel width. SUM keeps both an exact int64
+/// (mod 2^64) accumulator and a double accumulator, matching the scalar
+/// engine's historical semantics.
+struct AggState {
+  int64_t count = 0;
+  double sum = 0;
+  bool sum_is_int = true;
+  int64_t sum_int = 0;
+  Value min, max;
+  std::set<Value> distinct;
+
+  /// Per-value accumulation (the scalar reference; also the fallback for
+  /// non-int64 batch folds).
+  void Accumulate(AggFn fn, const Value& v);
+
+  /// Folds the batch rows named by idx[0..nidx) (ascending); idx == nullptr
+  /// means rows [0, nidx). int64 SUM/MIN/MAX/COUNT route through the
+  /// simd::FoldInt64* kernels (kernel_calls, when non-null, is incremented
+  /// per kernel invocation); everything else falls back to Accumulate.
+  void Fold(AggFn fn, const ColumnBatch& batch, const uint32_t* idx,
+            size_t nidx, uint64_t* kernel_calls = nullptr);
+
+  /// COUNT(*) without an input column: every row counts, nulls included.
+  void FoldCountOnly(size_t n) { count += static_cast<int64_t>(n); }
+
+  void Merge(const AggState& o);
+  Value Finalize(AggFn fn, DataType input_type) const;
+
+  /// Approximate transfer size when shipped as a partial aggregate.
+  uint64_t TransferBytes() const;
+};
+
+using GroupKey = std::vector<Value>;
+
+struct GroupKeyLess {
+  bool operator()(const GroupKey& a, const GroupKey& b) const {
+    for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+      int c = a[i].Compare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  }
+};
+
+using GroupMap = std::map<GroupKey, std::vector<AggState>, GroupKeyLess>;
 
 }  // namespace eon
 

@@ -1,0 +1,158 @@
+#include "columnar/batch.h"
+
+#include "columnar/kernels.h"
+
+namespace eon {
+
+ColumnBatch ColumnBatch::FromValues(DataType type,
+                                    const std::vector<Value>& values) {
+  ColumnBatch b(type);
+  b.Reserve(values.size());
+  for (const Value& v : values) b.AppendValue(v);
+  return b;
+}
+
+ColumnBatch ColumnBatch::FromRows(const std::vector<Row>& rows, size_t col,
+                                  DataType type) {
+  ColumnBatch b(type);
+  b.Reserve(rows.size());
+  for (const Row& row : rows) b.AppendValue(row[col]);
+  return b;
+}
+
+void ColumnBatch::Reset(DataType type) {
+  type_ = type;
+  size_ = 0;
+  ints_.clear();
+  dbls_.clear();
+  strs_.clear();
+  valid_.clear();
+}
+
+void ColumnBatch::Reserve(size_t n) {
+  switch (type_) {
+    case DataType::kInt64:
+      ints_.reserve(n);
+      break;
+    case DataType::kDouble:
+      dbls_.reserve(n);
+      break;
+    case DataType::kString:
+      strs_.reserve(n);
+      break;
+  }
+}
+
+void ColumnBatch::MaterializeValidity() {
+  if (!valid_.empty()) return;
+  valid_.assign((size_ + 64) / 64, ~uint64_t{0});
+  // Clear the bits past size_ so whole-word consumers see exact state.
+  const size_t tail = size_ & 63;
+  if (tail != 0) valid_.back() = (uint64_t{1} << tail) - 1;
+}
+
+void ColumnBatch::AppendValue(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return;
+  }
+  switch (type_) {
+    case DataType::kInt64:
+      AppendInt(v.int_value());
+      break;
+    case DataType::kDouble:
+      AppendDouble(v.dbl_value());
+      break;
+    case DataType::kString:
+      AppendString(v.str_value());
+      break;
+  }
+}
+
+void ColumnBatch::AppendInt(int64_t v) {
+  ints_.push_back(v);
+  ++size_;
+  if (!valid_.empty()) {
+    if (size_ > valid_.size() * 64) valid_.push_back(0);
+    valid_[(size_ - 1) >> 6] |= uint64_t{1} << ((size_ - 1) & 63);
+  }
+}
+
+void ColumnBatch::AppendDouble(double v) {
+  dbls_.push_back(v);
+  ++size_;
+  if (!valid_.empty()) {
+    if (size_ > valid_.size() * 64) valid_.push_back(0);
+    valid_[(size_ - 1) >> 6] |= uint64_t{1} << ((size_ - 1) & 63);
+  }
+}
+
+void ColumnBatch::AppendString(std::string v) {
+  strs_.push_back(std::move(v));
+  ++size_;
+  if (!valid_.empty()) {
+    if (size_ > valid_.size() * 64) valid_.push_back(0);
+    valid_[(size_ - 1) >> 6] |= uint64_t{1} << ((size_ - 1) & 63);
+  }
+}
+
+void ColumnBatch::AppendNull() {
+  MaterializeValidity();
+  switch (type_) {
+    case DataType::kInt64:
+      ints_.push_back(0);
+      break;
+    case DataType::kDouble:
+      dbls_.push_back(0.0);
+      break;
+    case DataType::kString:
+      strs_.emplace_back();
+      break;
+  }
+  ++size_;
+  if (size_ > valid_.size() * 64) valid_.push_back(0);
+  valid_[(size_ - 1) >> 6] &= ~(uint64_t{1} << ((size_ - 1) & 63));
+}
+
+Value ColumnBatch::GetValue(size_t i) const {
+  EON_CHECK(i < size_);
+  if (IsNull(i)) return Value::Null(type_);
+  switch (type_) {
+    case DataType::kInt64:
+      return Value::Int(ints_[i]);
+    case DataType::kDouble:
+      return Value::Dbl(dbls_[i]);
+    case DataType::kString:
+      return Value::Str(strs_[i]);
+  }
+  return Value::Null(type_);
+}
+
+BatchSelection BatchSelection::All(size_t row_count) {
+  BatchSelection s;
+  s.rep_ = Rep::kAll;
+  s.row_count_ = row_count;
+  s.count_ = row_count;
+  return s;
+}
+
+BatchSelection BatchSelection::FromMask(const uint8_t* sel, size_t row_count) {
+  BatchSelection s;
+  s.row_count_ = row_count;
+  s.count_ = simd::SelCount(sel, row_count);
+  if (s.count_ == row_count) {
+    s.rep_ = Rep::kAll;
+    return s;
+  }
+  if (s.count_ * 4 < row_count) {
+    s.rep_ = Rep::kIndices;
+    s.indices_.resize(s.count_);
+    simd::SelCompact(sel, row_count, s.indices_.data());
+    return s;
+  }
+  s.rep_ = Rep::kMask;
+  s.mask_.assign(sel, sel + row_count);
+  return s;
+}
+
+}  // namespace eon

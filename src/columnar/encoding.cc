@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "columnar/kernels.h"
 #include "columnar/value_codec.h"
 #include "common/codec.h"
 
@@ -14,11 +15,306 @@ const char* EncodingName(Encoding e) {
     case Encoding::kRle: return "rle";
     case Encoding::kDict: return "dict";
     case Encoding::kDeltaVarint: return "delta";
+    case Encoding::kBitPacked: return "bitpacked";
   }
   return "?";
 }
 
 namespace {
+
+// ---- SIMD-BP128-style bit packing ----------------------------------------
+
+constexpr size_t kBpBlockLen = 128;
+
+/// Bits needed to store `range` (0 for a constant block).
+inline int BitWidth64(uint64_t range) {
+  return range == 0 ? 0 : 64 - __builtin_clzll(range);
+}
+
+inline uint64_t WidthMask(int width) {
+  return width >= 64 ? ~uint64_t{0} : (uint64_t{1} << width) - 1;
+}
+
+/// Appends ceil(len*width/8) bytes: each value's low `width` bits,
+/// LSB-first across the byte stream. The 128-bit accumulator keeps the
+/// width-64 case shift-safe.
+void PackBits(const uint64_t* vals, size_t len, int width, std::string* out) {
+  if (width == 0) return;
+  unsigned __int128 acc = 0;
+  int nbits = 0;
+  for (size_t i = 0; i < len; ++i) {
+    acc |= static_cast<unsigned __int128>(vals[i]) << nbits;
+    nbits += width;
+    while (nbits >= 8) {
+      out->push_back(static_cast<char>(static_cast<uint8_t>(acc)));
+      acc >>= 8;
+      nbits -= 8;
+    }
+  }
+  if (nbits > 0) out->push_back(static_cast<char>(static_cast<uint8_t>(acc)));
+}
+
+/// Reads ceil(len*width/8) bytes from `in` and reconstructs
+/// out[i] = min + packed[i] (wraparound add, mirroring the encoder's
+/// wraparound subtract).
+Status UnpackBits(Slice* in, size_t len, int width, int64_t min,
+                  int64_t* out) {
+  if (width == 0) {
+    std::fill(out, out + len, min);
+    return Status::OK();
+  }
+  const size_t nbytes = (len * static_cast<size_t>(width) + 7) / 8;
+  if (in->size() < nbytes) {
+    return Status::Corruption("bit-packed block truncated");
+  }
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(in->data());
+  const uint64_t mask = WidthMask(width);
+  unsigned __int128 acc = 0;
+  int navail = 0;
+  size_t consumed = 0;
+  for (size_t i = 0; i < len; ++i) {
+    while (navail < width) {
+      acc |= static_cast<unsigned __int128>(p[consumed++]) << navail;
+      navail += 8;
+    }
+    const uint64_t d = static_cast<uint64_t>(acc) & mask;
+    acc >>= width;
+    navail -= width;
+    out[i] = static_cast<int64_t>(static_cast<uint64_t>(min) + d);
+  }
+  in->remove_prefix(nbytes);
+  return Status::OK();
+}
+
+Status EncodeBitPacked(const std::vector<Value>& values, std::string* out) {
+  std::vector<int64_t> nonnull;
+  nonnull.reserve(values.size());
+  bool any_null = false;
+  for (const Value& v : values) {
+    if (v.is_null()) {
+      any_null = true;
+      continue;
+    }
+    if (v.type() != DataType::kInt64) {
+      return Status::InvalidArgument("bit-packed encoding needs int64");
+    }
+    nonnull.push_back(v.int_value());
+  }
+  PutVarint64(out, nonnull.size());
+  if (any_null) {
+    std::string bitmap((values.size() + 7) / 8, '\0');
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (!values[i].is_null()) {
+        bitmap[i >> 3] = static_cast<char>(
+            static_cast<uint8_t>(bitmap[i >> 3]) | (1u << (i & 7)));
+      }
+    }
+    out->append(bitmap);
+  }
+  uint64_t deltas[kBpBlockLen];
+  for (size_t b = 0; b < nonnull.size(); b += kBpBlockLen) {
+    const size_t len = std::min(kBpBlockLen, nonnull.size() - b);
+    int64_t mn = nonnull[b];
+    int64_t mx = nonnull[b];
+    for (size_t j = 1; j < len; ++j) {
+      mn = std::min(mn, nonnull[b + j]);
+      mx = std::max(mx, nonnull[b + j]);
+    }
+    const int width =
+        BitWidth64(static_cast<uint64_t>(mx) - static_cast<uint64_t>(mn));
+    PutVarint64Signed(out, mn);
+    out->push_back(static_cast<char>(width));
+    for (size_t j = 0; j < len; ++j) {
+      deltas[j] =
+          static_cast<uint64_t>(nonnull[b + j]) - static_cast<uint64_t>(mn);
+    }
+    PackBits(deltas, len, width, out);
+  }
+  return Status::OK();
+}
+
+/// Parses the [n_valid][bitmap] prefix. `validbyte` comes back empty when
+/// the chunk has no nulls (n_valid == count).
+Status ParseBitPackedPrefix(Slice* in, uint64_t count, uint64_t* n_valid,
+                            std::vector<uint8_t>* validbyte) {
+  EON_RETURN_IF_ERROR(GetVarint64(in, n_valid));
+  if (*n_valid > count) {
+    return Status::Corruption("bit-packed valid count overflow");
+  }
+  if (*n_valid == count) return Status::OK();
+  const size_t nbytes = (count + 7) / 8;
+  if (in->size() < nbytes) {
+    return Status::Corruption("bit-packed bitmap truncated");
+  }
+  const uint8_t* bm = reinterpret_cast<const uint8_t*>(in->data());
+  validbyte->resize(count);
+  uint64_t seen = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    (*validbyte)[i] = (bm[i >> 3] >> (i & 7)) & 1;
+    seen += (*validbyte)[i];
+  }
+  if (seen != *n_valid) {
+    return Status::Corruption("bit-packed bitmap mismatch");
+  }
+  in->remove_prefix(nbytes);
+  return Status::OK();
+}
+
+Status DecodeBitPackedSelected(Slice* in, DataType type, uint64_t count,
+                               const uint8_t* sel, std::vector<Value>* out,
+                               uint64_t* decoded, uint64_t* unpacked) {
+  uint64_t n_valid = 0;
+  std::vector<uint8_t> validbyte;
+  EON_RETURN_IF_ERROR(ParseBitPackedPrefix(in, count, &n_valid, &validbyte));
+  auto is_valid = [&](uint64_t i) {
+    return validbyte.empty() || validbyte[i] != 0;
+  };
+  int64_t buf[kBpBlockLen];
+  uint64_t row = 0;
+  for (uint64_t block = 0; block < n_valid; block += kBpBlockLen) {
+    const size_t len = static_cast<size_t>(
+        std::min<uint64_t>(kBpBlockLen, n_valid - block));
+    // The rows whose packed values live in this block form a contiguous
+    // span; walk it once to learn whether any selected row needs the
+    // block's values.
+    const uint64_t span_begin = row;
+    size_t consumed = 0;
+    bool demand = false;
+    while (row < count && consumed < len) {
+      if (is_valid(row)) {
+        ++consumed;
+        if (sel == nullptr || sel[row]) demand = true;
+      }
+      ++row;
+    }
+    if (consumed < len) {
+      return Status::Corruption("bit-packed bitmap short");
+    }
+    int64_t mn;
+    EON_RETURN_IF_ERROR(GetVarint64Signed(in, &mn));
+    if (in->empty()) return Status::Corruption("bit-packed width truncated");
+    const int width = static_cast<uint8_t>((*in)[0]);
+    in->remove_prefix(1);
+    if (width > 64) return Status::Corruption("bit-packed width out of range");
+    if (demand) {
+      EON_RETURN_IF_ERROR(UnpackBits(in, len, width, mn, buf));
+      if (unpacked != nullptr) *unpacked += len;
+      size_t j = 0;
+      for (uint64_t r = span_begin; r < row; ++r) {
+        if (is_valid(r)) {
+          if (sel == nullptr || sel[r]) {
+            out->push_back(Value::Int(buf[j]));
+            ++*decoded;
+          }
+          ++j;
+        } else if (sel == nullptr || sel[r]) {
+          out->push_back(Value::Null(type));
+          ++*decoded;
+        }
+      }
+    } else {
+      // Nothing selected maps into this block: skip its packed bytes
+      // without unpacking. Selected null rows in the span still emit.
+      const size_t nbytes = (len * static_cast<size_t>(width) + 7) / 8;
+      if (in->size() < nbytes) {
+        return Status::Corruption("bit-packed block truncated");
+      }
+      in->remove_prefix(nbytes);
+      for (uint64_t r = span_begin; r < row; ++r) {
+        if (!is_valid(r) && (sel == nullptr || sel[r])) {
+          out->push_back(Value::Null(type));
+          ++*decoded;
+        }
+      }
+    }
+  }
+  // Any remaining rows are all null (their packed stream is exhausted).
+  for (; row < count; ++row) {
+    if (is_valid(row)) {
+      return Status::Corruption("bit-packed value without block");
+    }
+    if (sel == nullptr || sel[row]) {
+      out->push_back(Value::Null(type));
+      ++*decoded;
+    }
+  }
+  return Status::OK();
+}
+
+Status DecodeBitPackedToBatch(Slice* in, uint64_t count, ColumnBatch* out,
+                              uint64_t* unpacked) {
+  uint64_t n_valid = 0;
+  std::vector<uint8_t> validbyte;
+  EON_RETURN_IF_ERROR(ParseBitPackedPrefix(in, count, &n_valid, &validbyte));
+  auto is_valid = [&](uint64_t i) {
+    return validbyte.empty() || validbyte[i] != 0;
+  };
+  int64_t buf[kBpBlockLen];
+  uint64_t row = 0;
+  for (uint64_t block = 0; block < n_valid; block += kBpBlockLen) {
+    const size_t len = static_cast<size_t>(
+        std::min<uint64_t>(kBpBlockLen, n_valid - block));
+    int64_t mn;
+    EON_RETURN_IF_ERROR(GetVarint64Signed(in, &mn));
+    if (in->empty()) return Status::Corruption("bit-packed width truncated");
+    const int width = static_cast<uint8_t>((*in)[0]);
+    in->remove_prefix(1);
+    if (width > 64) return Status::Corruption("bit-packed width out of range");
+    EON_RETURN_IF_ERROR(UnpackBits(in, len, width, mn, buf));
+    if (unpacked != nullptr) *unpacked += len;
+    size_t j = 0;
+    while (row < count && j < len) {
+      if (is_valid(row)) {
+        out->AppendInt(buf[j]);
+        ++j;
+      } else {
+        out->AppendNull();
+      }
+      ++row;
+    }
+    if (j < len) return Status::Corruption("bit-packed bitmap short");
+  }
+  for (; row < count; ++row) {
+    if (is_valid(row)) {
+      return Status::Corruption("bit-packed value without block");
+    }
+    out->AppendNull();
+  }
+  return Status::OK();
+}
+
+/// Interval screen for one bit-packed block: every value lies in
+/// [min, hi]. Returns 1 when the whole interval satisfies the comparison,
+/// -1 when no point of it can, 0 when mixed.
+int BitPackedBlockVerdict(CmpOp op, int64_t mn, int64_t hi, int64_t lit) {
+  switch (op) {
+    case CmpOp::kEq:
+      if (mn == lit && hi == lit) return 1;
+      if (lit < mn || lit > hi) return -1;
+      return 0;
+    case CmpOp::kNe:
+      if (lit < mn || lit > hi) return 1;
+      if (mn == lit && hi == lit) return -1;
+      return 0;
+    case CmpOp::kLt:
+      if (hi < lit) return 1;
+      if (mn >= lit) return -1;
+      return 0;
+    case CmpOp::kLe:
+      if (hi <= lit) return 1;
+      if (mn > lit) return -1;
+      return 0;
+    case CmpOp::kGt:
+      if (mn > lit) return 1;
+      if (hi <= lit) return -1;
+      return 0;
+    case CmpOp::kGe:
+      if (mn >= lit) return 1;
+      if (hi < lit) return -1;
+      return 0;
+  }
+  return 0;
+}
 
 void EncodePlain(const std::vector<Value>& values, std::string* out) {
   for (const Value& v : values) PutValue(out, v);
@@ -222,7 +518,7 @@ Result<ChunkView> ParseChunk(Slice chunk) {
   if (chunk.empty()) return Status::Corruption("empty chunk");
   const uint8_t enc_byte = static_cast<uint8_t>(chunk[0]);
   chunk.remove_prefix(1);
-  if (enc_byte > static_cast<uint8_t>(Encoding::kDeltaVarint)) {
+  if (enc_byte > static_cast<uint8_t>(Encoding::kBitPacked)) {
     return Status::Corruption("unknown encoding byte");
   }
   ChunkView view;
@@ -234,7 +530,8 @@ Result<ChunkView> ParseChunk(Slice chunk) {
 
 Status DecodeChunkSelected(const ChunkView& chunk, DataType type,
                            const uint8_t* sel, std::vector<Value>* out,
-                           uint64_t* values_decoded) {
+                           uint64_t* values_decoded,
+                           uint64_t* values_unpacked) {
   uint64_t decoded = 0;
   if (sel == nullptr) out->reserve(out->size() + chunk.count);
   Slice in = chunk.payload;
@@ -252,14 +549,62 @@ Status DecodeChunkSelected(const ChunkView& chunk, DataType type,
     case Encoding::kDeltaVarint:
       s = DecodeDeltaSelected(&in, chunk.count, sel, out, &decoded);
       break;
+    case Encoding::kBitPacked:
+      s = DecodeBitPackedSelected(&in, type, chunk.count, sel, out, &decoded,
+                                  values_unpacked);
+      break;
   }
   if (values_decoded != nullptr) *values_decoded += decoded;
   return s;
 }
 
+Status DecodeChunkToBatch(const ChunkView& chunk, DataType type,
+                          ColumnBatch* out, uint64_t* values_unpacked) {
+  out->Reset(type);
+  out->Reserve(chunk.count);
+  Slice in = chunk.payload;
+  switch (chunk.encoding) {
+    case Encoding::kBitPacked: {
+      if (type != DataType::kInt64) {
+        return Status::Corruption("bit-packed chunk on non-int64 column");
+      }
+      return DecodeBitPackedToBatch(&in, chunk.count, out, values_unpacked);
+    }
+    case Encoding::kDeltaVarint: {
+      if (type != DataType::kInt64) {
+        return Status::Corruption("delta chunk on non-int64 column");
+      }
+      int64_t prev = 0;
+      for (uint64_t i = 0; i < chunk.count; ++i) {
+        int64_t delta;
+        EON_RETURN_IF_ERROR(GetVarint64Signed(&in, &delta));
+        prev += delta;
+        out->AppendInt(prev);
+      }
+      return Status::OK();
+    }
+    case Encoding::kPlain: {
+      for (uint64_t i = 0; i < chunk.count; ++i) {
+        Value v;
+        EON_RETURN_IF_ERROR(GetValue(&in, type, &v));
+        out->AppendValue(v);
+      }
+      return Status::OK();
+    }
+    default: {
+      std::vector<Value> tmp;
+      tmp.reserve(chunk.count);
+      EON_RETURN_IF_ERROR(DecodeChunkSelected(chunk, type, nullptr, &tmp));
+      for (const Value& v : tmp) out->AppendValue(v);
+      return Status::OK();
+    }
+  }
+}
+
 Result<bool> EvalChunkCmp(const ChunkView& chunk, DataType type, CmpOp op,
                           const Value& literal, uint8_t* sel,
-                          uint64_t* values_evaluated) {
+                          uint64_t* values_evaluated,
+                          uint64_t* values_unpacked, uint64_t* kernel_calls) {
   Slice in = chunk.payload;
   uint64_t evals = 0;
   switch (chunk.encoding) {
@@ -305,6 +650,85 @@ Result<bool> EvalChunkCmp(const ChunkView& chunk, DataType type, CmpOp op,
       if (values_evaluated != nullptr) *values_evaluated += evals;
       return true;
     }
+    case Encoding::kBitPacked: {
+      // Block screening on the frame-of-reference headers: an all- or
+      // none-match block costs one evaluation and its packed bytes are
+      // skipped; mixed blocks unpack and run the SIMD compare kernel, with
+      // verdicts scattered back to row positions through the validity
+      // bitmap. NULL rows never match.
+      if (type != DataType::kInt64 || literal.is_null() ||
+          literal.type() != DataType::kInt64) {
+        return false;  // Caller decodes and evaluates value-wise.
+      }
+      const int64_t lit = literal.int_value();
+      uint64_t n_valid = 0;
+      std::vector<uint8_t> validbyte;
+      EON_RETURN_IF_ERROR(
+          ParseBitPackedPrefix(&in, chunk.count, &n_valid, &validbyte));
+      auto is_valid = [&](uint64_t i) {
+        return validbyte.empty() || validbyte[i] != 0;
+      };
+      std::fill(sel, sel + chunk.count, uint8_t{0});
+      int64_t buf[kBpBlockLen];
+      uint8_t verdict[kBpBlockLen];
+      uint64_t row = 0;
+      for (uint64_t block = 0; block < n_valid; block += kBpBlockLen) {
+        const size_t len = static_cast<size_t>(
+            std::min<uint64_t>(kBpBlockLen, n_valid - block));
+        const uint64_t span_begin = row;
+        size_t consumed = 0;
+        while (row < chunk.count && consumed < len) {
+          if (is_valid(row)) ++consumed;
+          ++row;
+        }
+        if (consumed < len) {
+          return Status::Corruption("bit-packed bitmap short");
+        }
+        int64_t mn;
+        EON_RETURN_IF_ERROR(GetVarint64Signed(&in, &mn));
+        if (in.empty()) {
+          return Status::Corruption("bit-packed width truncated");
+        }
+        const int width = static_cast<uint8_t>(in[0]);
+        in.remove_prefix(1);
+        if (width > 64) {
+          return Status::Corruption("bit-packed width out of range");
+        }
+        // Conservative block range: [mn, mn + 2^width - 1], saturated at
+        // INT64_MAX (the true max never exceeds it; the mask only widens
+        // the interval).
+        const uint64_t uhi = static_cast<uint64_t>(mn) + WidthMask(width);
+        const int64_t hi =
+            static_cast<int64_t>(uhi) < mn ? INT64_MAX
+                                           : static_cast<int64_t>(uhi);
+        const int screen = BitPackedBlockVerdict(op, mn, hi, lit);
+        if (screen != 0) {
+          ++evals;
+          const size_t nbytes = (len * static_cast<size_t>(width) + 7) / 8;
+          if (in.size() < nbytes) {
+            return Status::Corruption("bit-packed block truncated");
+          }
+          in.remove_prefix(nbytes);
+          if (screen > 0) {
+            for (uint64_t r = span_begin; r < row; ++r) {
+              if (is_valid(r)) sel[r] = 1;
+            }
+          }
+          continue;
+        }
+        EON_RETURN_IF_ERROR(UnpackBits(&in, len, width, mn, buf));
+        if (values_unpacked != nullptr) *values_unpacked += len;
+        evals += len;
+        simd::CompareInt64(buf, len, op, lit, nullptr, verdict);
+        if (kernel_calls != nullptr) ++*kernel_calls;
+        size_t j = 0;
+        for (uint64_t r = span_begin; r < row; ++r) {
+          if (is_valid(r)) sel[r] = verdict[j++];
+        }
+      }
+      if (values_evaluated != nullptr) *values_evaluated += evals;
+      return true;
+    }
     case Encoding::kPlain:
     case Encoding::kDeltaVarint:
       return false;  // No encoded-eval path; caller decodes.
@@ -331,6 +755,9 @@ Result<std::string> EncodeChunk(const std::vector<Value>& values,
     case Encoding::kDeltaVarint:
       EON_RETURN_IF_ERROR(EncodeDelta(values, &out));
       break;
+    case Encoding::kBitPacked:
+      EON_RETURN_IF_ERROR(EncodeBitPacked(values, &out));
+      break;
   }
   return out;
 }
@@ -339,7 +766,7 @@ Status DecodeChunk(Slice data, DataType type, std::vector<Value>* out) {
   if (data.empty()) return Status::Corruption("empty chunk");
   uint8_t enc_byte = static_cast<uint8_t>(data[0]);
   data.remove_prefix(1);
-  if (enc_byte > static_cast<uint8_t>(Encoding::kDeltaVarint)) {
+  if (enc_byte > static_cast<uint8_t>(Encoding::kBitPacked)) {
     return Status::Corruption("unknown encoding byte");
   }
   Encoding encoding = static_cast<Encoding>(enc_byte);
@@ -355,6 +782,11 @@ Status DecodeChunk(Slice data, DataType type, std::vector<Value>* out) {
       return DecodeDict(&data, type, count, out);
     case Encoding::kDeltaVarint:
       return DecodeDelta(&data, count, out);
+    case Encoding::kBitPacked: {
+      uint64_t decoded = 0;
+      return DecodeBitPackedSelected(&data, type, count, nullptr, out,
+                                     &decoded, nullptr);
+    }
   }
   return Status::Corruption("unknown encoding");
 }
@@ -379,10 +811,32 @@ Encoding ChooseEncoding(const std::vector<Value>& values, DataType type) {
   std::map<Value, int> distinct;
   const size_t kDistinctCap = std::min(n, kExactThreshold) / 4 + 2;
   bool low_cardinality = true;
+  // Bit-packed candidate inputs: the sampled non-null ints (cost is exact
+  // per 128-block over the sample) and the exact plain-encoded size of the
+  // sampled values (1 flag byte per value + zigzag varint per non-null —
+  // see PutValue in value_codec.cc).
+  std::vector<int64_t> int_sample;
+  size_t plain_bytes = 0;
+  const auto signed_varint_len = [](int64_t v) {
+    uint64_t u = (static_cast<uint64_t>(v) << 1) ^
+                 static_cast<uint64_t>(v >> 63);
+    size_t len = 1;
+    while (u >= 0x80) {
+      u >>= 7;
+      ++len;
+    }
+    return len;
+  };
 
   auto scan_window = [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
-      if (values[i].is_null()) has_null = true;
+      if (values[i].is_null()) {
+        has_null = true;
+        plain_bytes += 1;
+      } else if (type == DataType::kInt64) {
+        int_sample.push_back(values[i].int_value());
+        plain_bytes += 1 + signed_varint_len(values[i].int_value());
+      }
       if (i > begin) {
         ++pairs;
         if (values[i] != values[i - 1]) ++breaks;
@@ -423,6 +877,29 @@ Encoding ChooseEncoding(const std::vector<Value>& values, DataType type) {
   // writer falls back to kPlain.
   if (type == DataType::kInt64 && !has_null && sorted) {
     return Encoding::kDeltaVarint;
+  }
+  // Bit-packed candidate: exact cost over the sample (per-128-block max
+  // bit width, mirroring EncodeBitPacked) must beat plain by 2x — the
+  // margin keeps borderline chunks on the simpler encoding and absorbs
+  // sampling error on large chunks.
+  if (type == DataType::kInt64 && !int_sample.empty()) {
+    size_t packed_bytes = 2;  // n_valid varint.
+    if (has_null) packed_bytes += (examined + 7) / 8;
+    for (size_t b = 0; b < int_sample.size(); b += 128) {
+      const size_t len = std::min<size_t>(128, int_sample.size() - b);
+      int64_t mn = int_sample[b];
+      int64_t mx = int_sample[b];
+      for (size_t j = 1; j < len; ++j) {
+        mn = std::min(mn, int_sample[b + j]);
+        mx = std::max(mx, int_sample[b + j]);
+      }
+      const uint64_t range =
+          static_cast<uint64_t>(mx) - static_cast<uint64_t>(mn);
+      const int width = range == 0 ? 0 : 64 - __builtin_clzll(range);
+      packed_bytes += signed_varint_len(mn) + 1 +
+                      (len * static_cast<size_t>(width) + 7) / 8;
+    }
+    if (packed_bytes * 2 <= plain_bytes) return Encoding::kBitPacked;
   }
   if (low_cardinality && distinct.size() <= examined / 4 + 1) {
     return Encoding::kDict;

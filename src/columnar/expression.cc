@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "columnar/kernels.h"
+#include "common/logging.h"
+
 namespace eon {
 
 namespace {
@@ -65,6 +68,54 @@ void EvalCmpValues(const std::vector<Value>& v, CmpOp op, const Value& lit,
   std::fill(sel, sel + row_count, uint8_t{0});
 }
 
+/// One comparison over a columnar batch. int64 columns go through the
+/// vectorized compare kernel (validity handled by the bitmap); double and
+/// string columns run the same typed scalar loops as EvalCmpValues. The
+/// EON_CHECK on batch type mirrors the typed-accessor CHECK of the
+/// Value-wise path.
+void EvalCmpBatchValues(const ColumnBatch& b, CmpOp op, const Value& lit,
+                        size_t row_count, uint8_t* sel,
+                        uint64_t* kernel_calls) {
+  switch (lit.type()) {
+    case DataType::kInt64: {
+      EON_CHECK(b.type() == DataType::kInt64);
+      simd::CompareInt64(b.ints(), row_count, op, lit.int_value(),
+                         b.validity_words(), sel);
+      if (kernel_calls != nullptr) ++*kernel_calls;
+      return;
+    }
+    case DataType::kDouble: {
+      EON_CHECK(b.type() == DataType::kDouble);
+      const double x = lit.dbl_value();
+      const double* v = b.dbls();
+      for (size_t i = 0; i < row_count; ++i) {
+        if (b.IsNull(i)) {
+          sel[i] = 0;
+          continue;
+        }
+        const double y = v[i];
+        sel[i] = CmpHolds(op, y < x ? -1 : (y > x ? 1 : 0));
+      }
+      return;
+    }
+    case DataType::kString: {
+      EON_CHECK(b.type() == DataType::kString);
+      const std::string& x = lit.str_value();
+      const std::string* v = b.strs();
+      for (size_t i = 0; i < row_count; ++i) {
+        if (b.IsNull(i)) {
+          sel[i] = 0;
+          continue;
+        }
+        const int c = v[i].compare(x);
+        sel[i] = CmpHolds(op, c < 0 ? -1 : (c > 0 ? 1 : 0));
+      }
+      return;
+    }
+  }
+  std::fill(sel, sel + row_count, uint8_t{0});
+}
+
 /// Comparison leaf of EvalBlock: missing (never-materialized) columns and
 /// NULL literals fail every row, everything else runs the typed loop.
 void EvalCmpBlock(const Predicate& p,
@@ -93,19 +144,64 @@ void EvalBlockInto(const Predicate& p,
       EvalBlockInto(*p.left(), columns, row_count, sel);
       SelectionVector tmp(row_count);
       EvalBlockInto(*p.right(), columns, row_count, tmp.data());
-      for (size_t i = 0; i < row_count; ++i) sel[i] &= tmp[i];
+      simd::SelAnd(sel, tmp.data(), row_count);
       return;
     }
     case Predicate::Kind::kOr: {
       EvalBlockInto(*p.left(), columns, row_count, sel);
       SelectionVector tmp(row_count);
       EvalBlockInto(*p.right(), columns, row_count, tmp.data());
-      for (size_t i = 0; i < row_count; ++i) sel[i] |= tmp[i];
+      simd::SelOr(sel, tmp.data(), row_count);
       return;
     }
     case Predicate::Kind::kNot:
       EvalBlockInto(*p.left(), columns, row_count, sel);
-      for (size_t i = 0; i < row_count; ++i) sel[i] = sel[i] ? 0 : 1;
+      simd::SelNot(sel, row_count);
+      return;
+  }
+  std::fill(sel, sel + row_count, uint8_t{0});
+}
+
+/// EvalBlockInto over columnar batches: the same recursion with batch
+/// comparison leaves and vectorized selection-vector combines.
+void EvalBlockBatchInto(const Predicate& p,
+                        const std::vector<const ColumnBatch*>& columns,
+                        size_t row_count, uint8_t* sel,
+                        uint64_t* kernel_calls) {
+  switch (p.kind()) {
+    case Predicate::Kind::kTrue:
+      std::fill(sel, sel + row_count, uint8_t{1});
+      return;
+    case Predicate::Kind::kCmp: {
+      const size_t col = p.col_index();
+      const Value& lit = p.literal();
+      if (col >= columns.size() || columns[col] == nullptr || lit.is_null()) {
+        std::fill(sel, sel + row_count, uint8_t{0});
+        return;
+      }
+      EvalCmpBatchValues(*columns[col], p.op(), lit, row_count, sel,
+                         kernel_calls);
+      return;
+    }
+    case Predicate::Kind::kAnd: {
+      EvalBlockBatchInto(*p.left(), columns, row_count, sel, kernel_calls);
+      SelectionVector tmp(row_count);
+      EvalBlockBatchInto(*p.right(), columns, row_count, tmp.data(),
+                         kernel_calls);
+      simd::SelAnd(sel, tmp.data(), row_count);
+      return;
+    }
+    case Predicate::Kind::kOr: {
+      EvalBlockBatchInto(*p.left(), columns, row_count, sel, kernel_calls);
+      SelectionVector tmp(row_count);
+      EvalBlockBatchInto(*p.right(), columns, row_count, tmp.data(),
+                         kernel_calls);
+      simd::SelOr(sel, tmp.data(), row_count);
+      return;
+    }
+    case Predicate::Kind::kNot:
+      EvalBlockBatchInto(*p.left(), columns, row_count, sel, kernel_calls);
+      simd::SelNot(sel, row_count);
       return;
   }
   std::fill(sel, sel + row_count, uint8_t{0});
@@ -115,7 +211,8 @@ void EvalBlockInto(const Predicate& p,
 /// recursion, but a kCmp node is answered by the EncodedBlockSource when
 /// the column's encoding supports it, decoding only as a fallback.
 void EvalBlockEncodedInto(const Predicate& p, EncodedBlockSource* src,
-                          size_t row_count, uint8_t* sel) {
+                          size_t row_count, uint8_t* sel,
+                          uint64_t* kernel_calls) {
   switch (p.kind()) {
     case Predicate::Kind::kTrue:
       std::fill(sel, sel + row_count, uint8_t{1});
@@ -127,31 +224,33 @@ void EvalBlockEncodedInto(const Predicate& p, EncodedBlockSource* src,
         return;
       }
       if (src->TryEvalCmpEncoded(p.col_index(), p.op(), lit, sel)) return;
-      const std::vector<Value>* decoded = src->DecodedColumn(p.col_index());
+      const ColumnBatch* decoded = src->DecodedColumn(p.col_index());
       if (decoded == nullptr) {
         std::fill(sel, sel + row_count, uint8_t{0});
         return;
       }
-      EvalCmpValues(*decoded, p.op(), lit, row_count, sel);
+      EvalCmpBatchValues(*decoded, p.op(), lit, row_count, sel, kernel_calls);
       return;
     }
     case Predicate::Kind::kAnd: {
-      EvalBlockEncodedInto(*p.left(), src, row_count, sel);
+      EvalBlockEncodedInto(*p.left(), src, row_count, sel, kernel_calls);
       SelectionVector tmp(row_count);
-      EvalBlockEncodedInto(*p.right(), src, row_count, tmp.data());
-      for (size_t i = 0; i < row_count; ++i) sel[i] &= tmp[i];
+      EvalBlockEncodedInto(*p.right(), src, row_count, tmp.data(),
+                           kernel_calls);
+      simd::SelAnd(sel, tmp.data(), row_count);
       return;
     }
     case Predicate::Kind::kOr: {
-      EvalBlockEncodedInto(*p.left(), src, row_count, sel);
+      EvalBlockEncodedInto(*p.left(), src, row_count, sel, kernel_calls);
       SelectionVector tmp(row_count);
-      EvalBlockEncodedInto(*p.right(), src, row_count, tmp.data());
-      for (size_t i = 0; i < row_count; ++i) sel[i] |= tmp[i];
+      EvalBlockEncodedInto(*p.right(), src, row_count, tmp.data(),
+                           kernel_calls);
+      simd::SelOr(sel, tmp.data(), row_count);
       return;
     }
     case Predicate::Kind::kNot:
-      EvalBlockEncodedInto(*p.left(), src, row_count, sel);
-      for (size_t i = 0; i < row_count; ++i) sel[i] = sel[i] ? 0 : 1;
+      EvalBlockEncodedInto(*p.left(), src, row_count, sel, kernel_calls);
+      simd::SelNot(sel, row_count);
       return;
   }
   std::fill(sel, sel + row_count, uint8_t{0});
@@ -238,11 +337,20 @@ void Predicate::EvalBlock(
   EvalBlockInto(*this, columns, row_count, sel->data());
 }
 
-void Predicate::EvalBlockEncoded(EncodedBlockSource* src, size_t row_count,
-                                 SelectionVector* sel) const {
+void Predicate::EvalBlockBatch(const std::vector<const ColumnBatch*>& columns,
+                               size_t row_count, SelectionVector* sel,
+                               uint64_t* kernel_calls) const {
   sel->resize(row_count);
   if (row_count == 0) return;
-  EvalBlockEncodedInto(*this, src, row_count, sel->data());
+  EvalBlockBatchInto(*this, columns, row_count, sel->data(), kernel_calls);
+}
+
+void Predicate::EvalBlockEncoded(EncodedBlockSource* src, size_t row_count,
+                                 SelectionVector* sel,
+                                 uint64_t* kernel_calls) const {
+  sel->resize(row_count);
+  if (row_count == 0) return;
+  EvalBlockEncodedInto(*this, src, row_count, sel->data(), kernel_calls);
 }
 
 bool Predicate::CouldMatch(const std::vector<ValueRange>& ranges) const {

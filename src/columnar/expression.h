@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "columnar/batch.h"
 #include "columnar/types.h"
 
 namespace eon {
@@ -56,9 +57,10 @@ class EncodedBlockSource {
   virtual bool TryEvalCmpEncoded(size_t col, CmpOp op, const Value& literal,
                                  uint8_t* sel) = 0;
 
-  /// Decoded values of `col` for the current block; nullptr when the
-  /// column is unavailable (treated like NULLs: fails every comparison).
-  virtual const std::vector<Value>* DecodedColumn(size_t col) = 0;
+  /// Decoded values of `col` for the current block, in columnar batch
+  /// layout; nullptr when the column is unavailable (treated like NULLs:
+  /// fails every comparison).
+  virtual const ColumnBatch* DecodedColumn(size_t col) = 0;
 };
 
 /// Boolean predicate tree over a projection's rows: comparisons against
@@ -100,14 +102,26 @@ class Predicate {
   void EvalBlock(const std::vector<const std::vector<Value>*>& columns,
                  size_t row_count, SelectionVector* sel) const;
 
+  /// EvalBlock over columnar batches: comparison leaves on int64 columns
+  /// run the vectorized compare kernel against the batch's contiguous
+  /// value array and validity bitmap; double/string leaves run typed
+  /// scalar loops. Produces exactly the selection vector EvalBlock would
+  /// over the same data. `kernel_calls` (optional) counts SIMD kernel
+  /// invocations for the scan profile.
+  void EvalBlockBatch(const std::vector<const ColumnBatch*>& columns,
+                      size_t row_count, SelectionVector* sel,
+                      uint64_t* kernel_calls = nullptr) const;
+
   /// Encoding-aware block evaluation: like EvalBlock, but each comparison
   /// leaf first asks `src` to evaluate directly on the column's encoded
   /// representation (one verdict per RLE run fanned across the run, one
   /// per dictionary entry translated through the code stream); only
   /// columns whose encoding lacks that path are decoded. Produces exactly
-  /// the selection vector EvalBlock would.
+  /// the selection vector EvalBlock would. `kernel_calls` (optional)
+  /// counts SIMD kernel invocations in decode-fallback leaves.
   void EvalBlockEncoded(EncodedBlockSource* src, size_t row_count,
-                        SelectionVector* sel) const;
+                        SelectionVector* sel,
+                        uint64_t* kernel_calls = nullptr) const;
 
   /// Conservative test: false only if no row within `ranges` can satisfy
   /// the predicate. `ranges` is indexed by projection column position;

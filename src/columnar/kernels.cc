@@ -1,0 +1,727 @@
+// Runtime-dispatched SIMD variants of the scan kernels. Every kernel has a
+// scalar reference in kernels_scalar.cc; the dispatcher picks the widest
+// ISA the CPU supports (cpuid on x86-64, NEON on aarch64) and falls back
+// per kernel when a variant does not exist for that ISA:
+//
+//   kernel            scalar  sse4.2  avx2  neon
+//   CompareInt64        x       x      x     x
+//   SelAnd/Or/Not       x       x      x     x
+//   SelCount            x       x      x     .
+//   SelCompact          x       .      .     .   (branchless scalar)
+//   SegHashInt64        x       .      x     .   (needs 64x64 multiply)
+//   FoldInt64           x       .      x     .
+//   FoldInt64Indexed    x       .      x     .   (i32gather)
+//
+// All variants are bit-identical to the scalar reference by construction:
+// compares emit the same 0/1 bytes, SUM accumulates mod 2^64 (wraparound
+// addition commutes), and COUNT/MIN/MAX are order-independent.
+
+#include "columnar/kernels.h"
+
+#include <atomic>
+#include <cstring>
+
+#include "columnar/expression.h"
+#include "common/hash.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define EON_KERNELS_X86 1
+#include <immintrin.h>
+#elif defined(__aarch64__)
+#define EON_KERNELS_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace eon {
+namespace simd {
+
+namespace {
+
+std::atomic<bool> g_force_scalar{false};
+
+Isa DetectIsa() {
+#if defined(EON_SIMD_DISABLED)
+  return Isa::kScalar;
+#elif defined(EON_KERNELS_X86)
+  if (__builtin_cpu_supports("avx2")) return Isa::kAvx2;
+  if (__builtin_cpu_supports("sse4.2")) return Isa::kSse42;
+  return Isa::kScalar;
+#elif defined(EON_KERNELS_NEON)
+  return Isa::kNeon;
+#else
+  return Isa::kScalar;
+#endif
+}
+
+inline bool ValidBit(const uint64_t* validity, size_t i) {
+  return validity == nullptr || ((validity[i >> 6] >> (i & 63)) & 1) != 0;
+}
+
+/// Validity bits for rows [i, i+4), i % 4 == 0 so the nibble never spans a
+/// word boundary.
+inline uint32_t ValidNibble(const uint64_t* validity, size_t i) {
+  return static_cast<uint32_t>((validity[i >> 6] >> (i & 63)) & 0xF);
+}
+
+/// 4-lane verdict nibble -> four 0/1 bytes, little-endian.
+constexpr uint32_t kNibbleBytes[16] = {
+    0x00000000u, 0x00000001u, 0x00000100u, 0x00000101u,
+    0x00010000u, 0x00010001u, 0x00010100u, 0x00010101u,
+    0x01000000u, 0x01000001u, 0x01000100u, 0x01000101u,
+    0x01010000u, 0x01010001u, 0x01010100u, 0x01010101u,
+};
+
+}  // namespace
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kSse42:
+      return "sse4.2";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+Isa ActiveIsa() {
+  if (g_force_scalar.load(std::memory_order_relaxed)) return Isa::kScalar;
+  static const Isa isa = DetectIsa();
+  return isa;
+}
+
+void ForceScalarForTest(bool force) {
+  g_force_scalar.store(force, std::memory_order_relaxed);
+}
+
+#if defined(EON_KERNELS_X86)
+
+namespace {
+
+__attribute__((target("avx2"))) void CompareInt64Avx2(
+    const int64_t* v, size_t n, CmpOp op, int64_t literal,
+    const uint64_t* validity, uint8_t* sel) {
+  const __m256i lit = _mm256_set1_epi64x(literal);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    __m256i m;
+    bool invert = false;
+    switch (op) {
+      case CmpOp::kEq:
+        m = _mm256_cmpeq_epi64(x, lit);
+        break;
+      case CmpOp::kNe:
+        m = _mm256_cmpeq_epi64(x, lit);
+        invert = true;
+        break;
+      case CmpOp::kLt:
+        m = _mm256_cmpgt_epi64(lit, x);
+        break;
+      case CmpOp::kGe:
+        m = _mm256_cmpgt_epi64(lit, x);
+        invert = true;
+        break;
+      case CmpOp::kGt:
+        m = _mm256_cmpgt_epi64(x, lit);
+        break;
+      case CmpOp::kLe:
+        m = _mm256_cmpgt_epi64(x, lit);
+        invert = true;
+        break;
+      default:
+        m = _mm256_setzero_si256();
+        break;
+    }
+    uint32_t bits =
+        static_cast<uint32_t>(_mm256_movemask_pd(_mm256_castsi256_pd(m)));
+    if (invert) bits ^= 0xF;
+    if (validity != nullptr) bits &= ValidNibble(validity, i);
+    std::memcpy(sel + i, &kNibbleBytes[bits], 4);
+  }
+  for (; i < n; ++i) {
+    detail::CompareInt64Scalar(v + i, 1, op, literal, nullptr, sel + i);
+    if (!ValidBit(validity, i)) sel[i] = 0;
+  }
+}
+
+__attribute__((target("sse4.2"))) void CompareInt64Sse42(
+    const int64_t* v, size_t n, CmpOp op, int64_t literal,
+    const uint64_t* validity, uint8_t* sel) {
+  const __m128i lit = _mm_set1_epi64x(literal);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + i));
+    __m128i m;
+    bool invert = false;
+    switch (op) {
+      case CmpOp::kEq:
+        m = _mm_cmpeq_epi64(x, lit);
+        break;
+      case CmpOp::kNe:
+        m = _mm_cmpeq_epi64(x, lit);
+        invert = true;
+        break;
+      case CmpOp::kLt:
+        m = _mm_cmpgt_epi64(lit, x);
+        break;
+      case CmpOp::kGe:
+        m = _mm_cmpgt_epi64(lit, x);
+        invert = true;
+        break;
+      case CmpOp::kGt:
+        m = _mm_cmpgt_epi64(x, lit);
+        break;
+      case CmpOp::kLe:
+        m = _mm_cmpgt_epi64(x, lit);
+        invert = true;
+        break;
+      default:
+        m = _mm_setzero_si128();
+        break;
+    }
+    uint32_t bits =
+        static_cast<uint32_t>(_mm_movemask_pd(_mm_castsi128_pd(m)));
+    if (invert) bits ^= 0x3;
+    if (validity != nullptr) {
+      bits &= static_cast<uint32_t>((validity[i >> 6] >> (i & 63)) & 0x3);
+    }
+    sel[i] = bits & 1;
+    sel[i + 1] = (bits >> 1) & 1;
+  }
+  for (; i < n; ++i) {
+    detail::CompareInt64Scalar(v + i, 1, op, literal, nullptr, sel + i);
+    if (!ValidBit(validity, i)) sel[i] = 0;
+  }
+}
+
+__attribute__((target("avx2"))) void SelAndAvx2(uint8_t* dst,
+                                                const uint8_t* src, size_t n) {
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_and_si256(a, b));
+  }
+  for (; i < n; ++i) dst[i] &= src[i];
+}
+
+__attribute__((target("avx2"))) void SelOrAvx2(uint8_t* dst,
+                                               const uint8_t* src, size_t n) {
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_or_si256(a, b));
+  }
+  for (; i < n; ++i) dst[i] |= src[i];
+}
+
+__attribute__((target("avx2"))) void SelNotAvx2(uint8_t* sel, size_t n) {
+  const __m256i one = _mm256_set1_epi8(1);
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sel + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(sel + i),
+                        _mm256_xor_si256(a, one));
+  }
+  for (; i < n; ++i) sel[i] ^= 1;
+}
+
+__attribute__((target("avx2"))) uint64_t SelCountAvx2(const uint8_t* sel,
+                                                      size_t n) {
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sel + i));
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(a, zero));
+  }
+  uint64_t count = static_cast<uint64_t>(_mm256_extract_epi64(acc, 0)) +
+                   static_cast<uint64_t>(_mm256_extract_epi64(acc, 1)) +
+                   static_cast<uint64_t>(_mm256_extract_epi64(acc, 2)) +
+                   static_cast<uint64_t>(_mm256_extract_epi64(acc, 3));
+  for (; i < n; ++i) count += sel[i];
+  return count;
+}
+
+void SelAndSse2(uint8_t* dst, const uint8_t* src, size_t n) {
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm_and_si128(a, b));
+  }
+  for (; i < n; ++i) dst[i] &= src[i];
+}
+
+void SelOrSse2(uint8_t* dst, const uint8_t* src, size_t n) {
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm_or_si128(a, b));
+  }
+  for (; i < n; ++i) dst[i] |= src[i];
+}
+
+void SelNotSse2(uint8_t* sel, size_t n) {
+  const __m128i one = _mm_set1_epi8(1);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(sel + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(sel + i), _mm_xor_si128(a, one));
+  }
+  for (; i < n; ++i) sel[i] ^= 1;
+}
+
+uint64_t SelCountSse2(const uint8_t* sel, size_t n) {
+  const __m128i zero = _mm_setzero_si128();
+  __m128i acc = _mm_setzero_si128();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(sel + i));
+    acc = _mm_add_epi64(acc, _mm_sad_epu8(a, zero));
+  }
+  uint64_t count = static_cast<uint64_t>(_mm_cvtsi128_si64(acc)) +
+                   static_cast<uint64_t>(
+                       _mm_cvtsi128_si64(_mm_unpackhi_epi64(acc, acc)));
+  for (; i < n; ++i) count += sel[i];
+  return count;
+}
+
+/// Full 64x64->64 multiply from 32-bit lane products (AVX2 has no
+/// _mm256_mullo_epi64): lo + ((hi_lo_cross) << 32), correct mod 2^64 —
+/// exactly what Mix64's wrapping multiplies need.
+__attribute__((target("avx2"))) inline __m256i Mul64Avx2(__m256i a,
+                                                         __m256i b) {
+  const __m256i lo = _mm256_mul_epu32(a, b);
+  const __m256i ah = _mm256_srli_epi64(a, 32);
+  const __m256i bh = _mm256_srli_epi64(b, 32);
+  const __m256i mid =
+      _mm256_add_epi64(_mm256_mul_epu32(ah, b), _mm256_mul_epu32(a, bh));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(mid, 32));
+}
+
+// xxhash-style avalanche constants; must match Mix64 in common/hash.cc.
+constexpr uint64_t kMixPrime2 = 0xC2B2AE3D27D4EB4FULL;
+constexpr uint64_t kMixPrime3 = 0x165667B19E3779F9ULL;
+
+__attribute__((target("avx2"))) void SegHashInt64Avx2(
+    const int64_t* v, size_t n, const uint64_t* validity, uint32_t* out) {
+  const __m256i seed = _mm256_set1_epi64x(0x5e47);
+  const __m256i p2 = _mm256_set1_epi64x(static_cast<int64_t>(kMixPrime2));
+  const __m256i p3 = _mm256_set1_epi64x(static_cast<int64_t>(kMixPrime3));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i x = _mm256_add_epi64(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i)), seed);
+    x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 33));
+    x = Mul64Avx2(x, p2);
+    x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 29));
+    x = Mul64Avx2(x, p3);
+    x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 32));
+    const __m256i h = _mm256_srli_epi64(x, 32);
+    out[i] = static_cast<uint32_t>(_mm256_extract_epi64(h, 0));
+    out[i + 1] = static_cast<uint32_t>(_mm256_extract_epi64(h, 1));
+    out[i + 2] = static_cast<uint32_t>(_mm256_extract_epi64(h, 2));
+    out[i + 3] = static_cast<uint32_t>(_mm256_extract_epi64(h, 3));
+    if (validity != nullptr) {
+      const uint32_t bits = ValidNibble(validity, i);
+      if (bits != 0xF) {
+        for (size_t j = 0; j < 4; ++j) {
+          if (((bits >> j) & 1) == 0) out[i + j] = kNullSegHash;
+        }
+      }
+    }
+  }
+  for (; i < n; ++i) {
+    out[i] = ValidBit(validity, i) ? SegmentationHashInt(v[i]) : kNullSegHash;
+  }
+}
+
+alignas(32) constexpr uint64_t kNibbleLaneMask[16][4] = {
+    {0, 0, 0, 0},
+    {~0ull, 0, 0, 0},
+    {0, ~0ull, 0, 0},
+    {~0ull, ~0ull, 0, 0},
+    {0, 0, ~0ull, 0},
+    {~0ull, 0, ~0ull, 0},
+    {0, ~0ull, ~0ull, 0},
+    {~0ull, ~0ull, ~0ull, 0},
+    {0, 0, 0, ~0ull},
+    {~0ull, 0, 0, ~0ull},
+    {0, ~0ull, 0, ~0ull},
+    {~0ull, ~0ull, 0, ~0ull},
+    {0, 0, ~0ull, ~0ull},
+    {~0ull, 0, ~0ull, ~0ull},
+    {0, ~0ull, ~0ull, ~0ull},
+    {~0ull, ~0ull, ~0ull, ~0ull},
+};
+
+__attribute__((target("avx2"))) Int64Fold FoldInt64MaskedAvx2(
+    const int64_t* v, size_t n, const uint64_t* validity, const uint8_t* sel) {
+  __m256i sum = _mm256_setzero_si256();
+  __m256i mn = _mm256_set1_epi64x(INT64_MAX);
+  __m256i mx = _mm256_set1_epi64x(INT64_MIN);
+  const __m256i neutral_min = mn;
+  const __m256i neutral_max = mx;
+  uint64_t count = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    uint32_t bits = 0xF;
+    if (validity != nullptr) bits &= ValidNibble(validity, i);
+    if (sel != nullptr) {
+      bits &= static_cast<uint32_t>((sel[i] & 1) | ((sel[i + 1] & 1) << 1) |
+                                    ((sel[i + 2] & 1) << 2) |
+                                    ((sel[i + 3] & 1) << 3));
+    }
+    if (bits == 0) continue;
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    const __m256i m = _mm256_load_si256(
+        reinterpret_cast<const __m256i*>(kNibbleLaneMask[bits]));
+    count += static_cast<uint64_t>(__builtin_popcount(bits));
+    sum = _mm256_add_epi64(sum, _mm256_and_si256(x, m));
+    const __m256i xmin = _mm256_blendv_epi8(neutral_min, x, m);
+    mn = _mm256_blendv_epi8(mn, xmin, _mm256_cmpgt_epi64(mn, xmin));
+    const __m256i xmax = _mm256_blendv_epi8(neutral_max, x, m);
+    mx = _mm256_blendv_epi8(mx, xmax, _mm256_cmpgt_epi64(xmax, mx));
+  }
+  Int64Fold f;
+  f.count = count;
+  f.sum = static_cast<uint64_t>(_mm256_extract_epi64(sum, 0)) +
+          static_cast<uint64_t>(_mm256_extract_epi64(sum, 1)) +
+          static_cast<uint64_t>(_mm256_extract_epi64(sum, 2)) +
+          static_cast<uint64_t>(_mm256_extract_epi64(sum, 3));
+  for (int lane = 0; lane < 4; ++lane) {
+    int64_t lo;
+    int64_t hi;
+    switch (lane) {
+      case 0:
+        lo = _mm256_extract_epi64(mn, 0);
+        hi = _mm256_extract_epi64(mx, 0);
+        break;
+      case 1:
+        lo = _mm256_extract_epi64(mn, 1);
+        hi = _mm256_extract_epi64(mx, 1);
+        break;
+      case 2:
+        lo = _mm256_extract_epi64(mn, 2);
+        hi = _mm256_extract_epi64(mx, 2);
+        break;
+      default:
+        lo = _mm256_extract_epi64(mn, 3);
+        hi = _mm256_extract_epi64(mx, 3);
+        break;
+    }
+    if (lo < f.min) f.min = lo;
+    if (hi > f.max) f.max = hi;
+  }
+  for (size_t r = i; r < n; ++r) {
+    if (!ValidBit(validity, r)) continue;
+    if (sel != nullptr && sel[r] == 0) continue;
+    ++f.count;
+    f.sum += static_cast<uint64_t>(v[r]);
+    if (v[r] < f.min) f.min = v[r];
+    if (v[r] > f.max) f.max = v[r];
+  }
+  return f;
+}
+
+__attribute__((target("avx2"))) Int64Fold FoldInt64IndexedAvx2(
+    const int64_t* v, const uint64_t* validity, const uint32_t* idx,
+    size_t nidx) {
+  __m256i sum = _mm256_setzero_si256();
+  __m256i mn = _mm256_set1_epi64x(INT64_MAX);
+  __m256i mx = _mm256_set1_epi64x(INT64_MIN);
+  const __m256i neutral_min = mn;
+  const __m256i neutral_max = mx;
+  uint64_t count = 0;
+  size_t i = 0;
+  for (; i + 4 <= nidx; i += 4) {
+    uint32_t bits = 0xF;
+    if (validity != nullptr) {
+      bits = 0;
+      for (size_t j = 0; j < 4; ++j) {
+        const size_t r = idx[i + j];
+        bits |= static_cast<uint32_t>((validity[r >> 6] >> (r & 63)) & 1) << j;
+      }
+      if (bits == 0) continue;
+    }
+    const __m128i id =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + i));
+    const __m256i x =
+        _mm256_i32gather_epi64(reinterpret_cast<const long long*>(v), id, 8);
+    const __m256i m = _mm256_load_si256(
+        reinterpret_cast<const __m256i*>(kNibbleLaneMask[bits]));
+    count += static_cast<uint64_t>(__builtin_popcount(bits));
+    sum = _mm256_add_epi64(sum, _mm256_and_si256(x, m));
+    const __m256i xmin = _mm256_blendv_epi8(neutral_min, x, m);
+    mn = _mm256_blendv_epi8(mn, xmin, _mm256_cmpgt_epi64(mn, xmin));
+    const __m256i xmax = _mm256_blendv_epi8(neutral_max, x, m);
+    mx = _mm256_blendv_epi8(mx, xmax, _mm256_cmpgt_epi64(xmax, mx));
+  }
+  Int64Fold f;
+  f.count = count;
+  f.sum = static_cast<uint64_t>(_mm256_extract_epi64(sum, 0)) +
+          static_cast<uint64_t>(_mm256_extract_epi64(sum, 1)) +
+          static_cast<uint64_t>(_mm256_extract_epi64(sum, 2)) +
+          static_cast<uint64_t>(_mm256_extract_epi64(sum, 3));
+  const int64_t mins[4] = {_mm256_extract_epi64(mn, 0),
+                           _mm256_extract_epi64(mn, 1),
+                           _mm256_extract_epi64(mn, 2),
+                           _mm256_extract_epi64(mn, 3)};
+  const int64_t maxs[4] = {_mm256_extract_epi64(mx, 0),
+                           _mm256_extract_epi64(mx, 1),
+                           _mm256_extract_epi64(mx, 2),
+                           _mm256_extract_epi64(mx, 3)};
+  for (int lane = 0; lane < 4; ++lane) {
+    if (mins[lane] < f.min) f.min = mins[lane];
+    if (maxs[lane] > f.max) f.max = maxs[lane];
+  }
+  const Int64Fold tail =
+      detail::FoldInt64IndexedScalar(v, validity, idx + i, nidx - i);
+  f.count += tail.count;
+  f.sum += tail.sum;
+  if (tail.min < f.min) f.min = tail.min;
+  if (tail.max > f.max) f.max = tail.max;
+  return f;
+}
+
+}  // namespace
+
+#elif defined(EON_KERNELS_NEON)
+
+namespace {
+
+void CompareInt64Neon(const int64_t* v, size_t n, CmpOp op, int64_t literal,
+                      const uint64_t* validity, uint8_t* sel) {
+  const int64x2_t lit = vdupq_n_s64(literal);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const int64x2_t x = vld1q_s64(v + i);
+    uint64x2_t m;
+    bool invert = false;
+    switch (op) {
+      case CmpOp::kEq:
+        m = vceqq_s64(x, lit);
+        break;
+      case CmpOp::kNe:
+        m = vceqq_s64(x, lit);
+        invert = true;
+        break;
+      case CmpOp::kLt:
+        m = vcltq_s64(x, lit);
+        break;
+      case CmpOp::kGe:
+        m = vcltq_s64(x, lit);
+        invert = true;
+        break;
+      case CmpOp::kGt:
+        m = vcgtq_s64(x, lit);
+        break;
+      case CmpOp::kLe:
+        m = vcgtq_s64(x, lit);
+        invert = true;
+        break;
+      default:
+        m = vdupq_n_u64(0);
+        break;
+    }
+    uint32_t bits = static_cast<uint32_t>(vgetq_lane_u64(m, 0) & 1) |
+                    (static_cast<uint32_t>(vgetq_lane_u64(m, 1) & 1) << 1);
+    if (invert) bits ^= 0x3;
+    if (validity != nullptr) {
+      bits &= static_cast<uint32_t>((validity[i >> 6] >> (i & 63)) & 0x3);
+    }
+    sel[i] = bits & 1;
+    sel[i + 1] = (bits >> 1) & 1;
+  }
+  for (; i < n; ++i) {
+    detail::CompareInt64Scalar(v + i, 1, op, literal, nullptr, sel + i);
+    if (!ValidBit(validity, i)) sel[i] = 0;
+  }
+}
+
+void SelAndNeon(uint8_t* dst, const uint8_t* src, size_t n) {
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    vst1q_u8(dst + i, vandq_u8(vld1q_u8(dst + i), vld1q_u8(src + i)));
+  }
+  for (; i < n; ++i) dst[i] &= src[i];
+}
+
+void SelOrNeon(uint8_t* dst, const uint8_t* src, size_t n) {
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    vst1q_u8(dst + i, vorrq_u8(vld1q_u8(dst + i), vld1q_u8(src + i)));
+  }
+  for (; i < n; ++i) dst[i] |= src[i];
+}
+
+void SelNotNeon(uint8_t* sel, size_t n) {
+  const uint8x16_t one = vdupq_n_u8(1);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    vst1q_u8(sel + i, veorq_u8(vld1q_u8(sel + i), one));
+  }
+  for (; i < n; ++i) sel[i] ^= 1;
+}
+
+}  // namespace
+
+#endif  // EON_KERNELS_X86 / EON_KERNELS_NEON
+
+void CompareInt64(const int64_t* v, size_t n, CmpOp op, int64_t literal,
+                  const uint64_t* validity, uint8_t* sel) {
+  switch (ActiveIsa()) {
+#if defined(EON_KERNELS_X86)
+    case Isa::kAvx2:
+      CompareInt64Avx2(v, n, op, literal, validity, sel);
+      return;
+    case Isa::kSse42:
+      CompareInt64Sse42(v, n, op, literal, validity, sel);
+      return;
+#elif defined(EON_KERNELS_NEON)
+    case Isa::kNeon:
+      CompareInt64Neon(v, n, op, literal, validity, sel);
+      return;
+#endif
+    default:
+      detail::CompareInt64Scalar(v, n, op, literal, validity, sel);
+      return;
+  }
+}
+
+void SelAnd(uint8_t* dst, const uint8_t* src, size_t n) {
+  switch (ActiveIsa()) {
+#if defined(EON_KERNELS_X86)
+    case Isa::kAvx2:
+      SelAndAvx2(dst, src, n);
+      return;
+    case Isa::kSse42:
+      SelAndSse2(dst, src, n);
+      return;
+#elif defined(EON_KERNELS_NEON)
+    case Isa::kNeon:
+      SelAndNeon(dst, src, n);
+      return;
+#endif
+    default:
+      detail::SelAndScalar(dst, src, n);
+      return;
+  }
+}
+
+void SelOr(uint8_t* dst, const uint8_t* src, size_t n) {
+  switch (ActiveIsa()) {
+#if defined(EON_KERNELS_X86)
+    case Isa::kAvx2:
+      SelOrAvx2(dst, src, n);
+      return;
+    case Isa::kSse42:
+      SelOrSse2(dst, src, n);
+      return;
+#elif defined(EON_KERNELS_NEON)
+    case Isa::kNeon:
+      SelOrNeon(dst, src, n);
+      return;
+#endif
+    default:
+      detail::SelOrScalar(dst, src, n);
+      return;
+  }
+}
+
+void SelNot(uint8_t* sel, size_t n) {
+  switch (ActiveIsa()) {
+#if defined(EON_KERNELS_X86)
+    case Isa::kAvx2:
+      SelNotAvx2(sel, n);
+      return;
+    case Isa::kSse42:
+      SelNotSse2(sel, n);
+      return;
+#elif defined(EON_KERNELS_NEON)
+    case Isa::kNeon:
+      SelNotNeon(sel, n);
+      return;
+#endif
+    default:
+      detail::SelNotScalar(sel, n);
+      return;
+  }
+}
+
+uint64_t SelCount(const uint8_t* sel, size_t n) {
+  switch (ActiveIsa()) {
+#if defined(EON_KERNELS_X86)
+    case Isa::kAvx2:
+      return SelCountAvx2(sel, n);
+    case Isa::kSse42:
+      return SelCountSse2(sel, n);
+#endif
+    default:
+      return detail::SelCountScalar(sel, n);
+  }
+}
+
+size_t SelCompact(const uint8_t* sel, size_t n, uint32_t* out) {
+  // Branchless scalar on every ISA; the unconditional store + masked
+  // cursor advance is already store-port bound.
+  return detail::SelCompactScalar(sel, n, out);
+}
+
+void SegHashInt64(const int64_t* v, size_t n, const uint64_t* validity,
+                  uint32_t* out) {
+  switch (ActiveIsa()) {
+#if defined(EON_KERNELS_X86)
+    case Isa::kAvx2:
+      SegHashInt64Avx2(v, n, validity, out);
+      return;
+#endif
+    default:
+      detail::SegHashInt64Scalar(v, n, validity, out);
+      return;
+  }
+}
+
+Int64Fold FoldInt64(const int64_t* v, size_t n, const uint64_t* validity,
+                    const uint8_t* sel) {
+  switch (ActiveIsa()) {
+#if defined(EON_KERNELS_X86)
+    case Isa::kAvx2:
+      return FoldInt64MaskedAvx2(v, n, validity, sel);
+#endif
+    default:
+      return detail::FoldInt64Scalar(v, n, validity, sel);
+  }
+}
+
+Int64Fold FoldInt64Indexed(const int64_t* v, const uint64_t* validity,
+                           const uint32_t* idx, size_t nidx) {
+  switch (ActiveIsa()) {
+#if defined(EON_KERNELS_X86)
+    case Isa::kAvx2:
+      return FoldInt64IndexedAvx2(v, validity, idx, nidx);
+#endif
+    default:
+      return detail::FoldInt64IndexedScalar(v, validity, idx, nidx);
+  }
+}
+
+}  // namespace simd
+}  // namespace eon

@@ -1,0 +1,103 @@
+#ifndef EON_COLUMNAR_KERNELS_H_
+#define EON_COLUMNAR_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace eon {
+
+enum class CmpOp;  // columnar/expression.h
+
+namespace simd {
+
+/// Instruction sets the kernels can dispatch to at runtime. x86-64 binaries
+/// carry scalar + SSE4.2 + AVX2 variants (selected via cpuid); aarch64
+/// builds use NEON where a kernel has a NEON variant. Building with
+/// -DEON_SIMD=off (compile define EON_SIMD_DISABLED) pins every kernel to
+/// the scalar reference.
+enum class Isa : uint8_t { kScalar = 0, kSse42 = 1, kAvx2 = 2, kNeon = 3 };
+
+const char* IsaName(Isa isa);
+
+/// The ISA the dispatcher currently routes to (after ForceScalarForTest
+/// and EON_SIMD_DISABLED are applied).
+Isa ActiveIsa();
+
+/// Pins all kernels to the scalar reference implementations. Used by the
+/// differential tests and benches to compare SIMD vs scalar in one binary.
+/// Affects all threads; flip only around single-threaded harness sections
+/// or before spawning workers.
+void ForceScalarForTest(bool force);
+
+/// SegHash of a NULL value — must match Value::SegHash() in types.cc.
+inline constexpr uint32_t kNullSegHash = 0x9E3779B9u;
+
+/// COUNT/SUM/MIN/MAX partial over masked int64 lanes. `sum` accumulates in
+/// two's complement (mod 2^64), so any lane order gives the identical
+/// result; callers cast back to int64_t. min/max are only meaningful when
+/// count > 0.
+struct Int64Fold {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  int64_t min = INT64_MAX;
+  int64_t max = INT64_MIN;
+};
+
+// All validity bitmaps below are LSB-first 64-bit words (bit i of word
+// i/64 set = row i valid); nullptr = all rows valid. Selection vectors are
+// byte masks holding exactly 0 or 1.
+
+/// sel[i] = 1 iff row i is valid and (v[i] op literal) holds; 0 otherwise.
+void CompareInt64(const int64_t* v, size_t n, CmpOp op, int64_t literal,
+                  const uint64_t* validity, uint8_t* sel);
+
+/// dst[i] &= src[i] (0/1 bytes).
+void SelAnd(uint8_t* dst, const uint8_t* src, size_t n);
+/// dst[i] |= src[i] (0/1 bytes).
+void SelOr(uint8_t* dst, const uint8_t* src, size_t n);
+/// sel[i] = 1 - sel[i] (0/1 bytes).
+void SelNot(uint8_t* sel, size_t n);
+/// Number of selected rows.
+uint64_t SelCount(const uint8_t* sel, size_t n);
+/// Compacts the mask to an ascending index list; returns the count.
+/// `out` must have room for SelCount(sel, n) entries.
+size_t SelCompact(const uint8_t* sel, size_t n, uint32_t* out);
+
+/// out[i] = SegmentationHashInt(v[i]) for valid rows, kNullSegHash for
+/// null rows — bit-identical to Value::SegHash() on an int64 column.
+void SegHashInt64(const int64_t* v, size_t n, const uint64_t* validity,
+                  uint32_t* out);
+
+/// Folds rows where validity and sel (either may be nullptr = all) both
+/// hold.
+Int64Fold FoldInt64(const int64_t* v, size_t n, const uint64_t* validity,
+                    const uint8_t* sel);
+/// Folds the rows named by idx[0..nidx) (ascending), skipping null rows.
+Int64Fold FoldInt64Indexed(const int64_t* v, const uint64_t* validity,
+                           const uint32_t* idx, size_t nidx);
+
+namespace detail {
+
+// Scalar reference implementations (kernels_scalar.cc). Compiled with
+// auto-vectorization disabled so scalar-vs-SIMD bench ratios are honest.
+// The dispatcher falls back to these; tests call them directly.
+void CompareInt64Scalar(const int64_t* v, size_t n, CmpOp op, int64_t literal,
+                        const uint64_t* validity, uint8_t* sel);
+void SelAndScalar(uint8_t* dst, const uint8_t* src, size_t n);
+void SelOrScalar(uint8_t* dst, const uint8_t* src, size_t n);
+void SelNotScalar(uint8_t* sel, size_t n);
+uint64_t SelCountScalar(const uint8_t* sel, size_t n);
+size_t SelCompactScalar(const uint8_t* sel, size_t n, uint32_t* out);
+void SegHashInt64Scalar(const int64_t* v, size_t n, const uint64_t* validity,
+                        uint32_t* out);
+Int64Fold FoldInt64Scalar(const int64_t* v, size_t n, const uint64_t* validity,
+                          const uint8_t* sel);
+Int64Fold FoldInt64IndexedScalar(const int64_t* v, const uint64_t* validity,
+                                 const uint32_t* idx, size_t nidx);
+
+}  // namespace detail
+
+}  // namespace simd
+}  // namespace eon
+
+#endif  // EON_COLUMNAR_KERNELS_H_

@@ -1,0 +1,114 @@
+// Scalar reference implementations of the vectorized scan kernels. This
+// translation unit is compiled with auto-vectorization disabled (see
+// src/columnar/CMakeLists.txt) so that scalar-vs-SIMD comparisons in the
+// benches measure a genuinely scalar baseline, and so the "forced scalar"
+// path (-DEON_SIMD=off, ForceScalarForTest) has stable, portable codegen.
+
+#include "columnar/expression.h"
+#include "columnar/kernels.h"
+#include "common/hash.h"
+
+namespace eon {
+namespace simd {
+namespace detail {
+
+namespace {
+
+inline bool ValidBit(const uint64_t* validity, size_t i) {
+  return validity == nullptr || ((validity[i >> 6] >> (i & 63)) & 1) != 0;
+}
+
+inline bool HoldsInt(CmpOp op, int64_t v, int64_t lit) {
+  switch (op) {
+    case CmpOp::kEq:
+      return v == lit;
+    case CmpOp::kNe:
+      return v != lit;
+    case CmpOp::kLt:
+      return v < lit;
+    case CmpOp::kLe:
+      return v <= lit;
+    case CmpOp::kGt:
+      return v > lit;
+    case CmpOp::kGe:
+      return v >= lit;
+  }
+  return false;
+}
+
+}  // namespace
+
+void CompareInt64Scalar(const int64_t* v, size_t n, CmpOp op, int64_t literal,
+                        const uint64_t* validity, uint8_t* sel) {
+  for (size_t i = 0; i < n; ++i) {
+    sel[i] = (ValidBit(validity, i) && HoldsInt(op, v[i], literal)) ? 1 : 0;
+  }
+}
+
+void SelAndScalar(uint8_t* dst, const uint8_t* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] &= src[i];
+}
+
+void SelOrScalar(uint8_t* dst, const uint8_t* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] |= src[i];
+}
+
+void SelNotScalar(uint8_t* sel, size_t n) {
+  for (size_t i = 0; i < n; ++i) sel[i] = sel[i] ? 0 : 1;
+}
+
+uint64_t SelCountScalar(const uint8_t* sel, size_t n) {
+  uint64_t count = 0;
+  for (size_t i = 0; i < n; ++i) count += sel[i];
+  return count;
+}
+
+size_t SelCompactScalar(const uint8_t* sel, size_t n, uint32_t* out) {
+  // Branchless store-with-increment: the store is unconditional, only the
+  // cursor advance depends on the mask byte.
+  size_t k = 0;
+  for (size_t i = 0; i < n; ++i) {
+    out[k] = static_cast<uint32_t>(i);
+    k += sel[i] & 1;
+  }
+  return k;
+}
+
+void SegHashInt64Scalar(const int64_t* v, size_t n, const uint64_t* validity,
+                        uint32_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = ValidBit(validity, i) ? SegmentationHashInt(v[i]) : kNullSegHash;
+  }
+}
+
+Int64Fold FoldInt64Scalar(const int64_t* v, size_t n, const uint64_t* validity,
+                          const uint8_t* sel) {
+  Int64Fold f;
+  for (size_t i = 0; i < n; ++i) {
+    if (!ValidBit(validity, i)) continue;
+    if (sel != nullptr && sel[i] == 0) continue;
+    ++f.count;
+    f.sum += static_cast<uint64_t>(v[i]);
+    if (v[i] < f.min) f.min = v[i];
+    if (v[i] > f.max) f.max = v[i];
+  }
+  return f;
+}
+
+Int64Fold FoldInt64IndexedScalar(const int64_t* v, const uint64_t* validity,
+                                 const uint32_t* idx, size_t nidx) {
+  Int64Fold f;
+  for (size_t i = 0; i < nidx; ++i) {
+    const size_t r = idx[i];
+    if (!ValidBit(validity, r)) continue;
+    ++f.count;
+    f.sum += static_cast<uint64_t>(v[r]);
+    if (v[r] < f.min) f.min = v[r];
+    if (v[r] > f.max) f.max = v[r];
+  }
+  return f;
+}
+
+}  // namespace detail
+}  // namespace simd
+}  // namespace eon

@@ -293,11 +293,19 @@ Status ColumnFileReader::DecodeBlock(size_t i, std::vector<Value>* out) const {
   return DecodeChunkSelected(view, type_, /*sel=*/nullptr, out);
 }
 
+Status ColumnFileReader::DecodeBlockBatch(size_t i, ColumnBatch* out,
+                                          uint64_t* values_unpacked) const {
+  EON_ASSIGN_OR_RETURN(ChunkView view, BlockChunk(i));
+  return DecodeChunkToBatch(view, type_, out, values_unpacked);
+}
+
 Status ColumnFileReader::DecodeSelected(size_t i, const uint8_t* sel,
                                         std::vector<Value>* out,
-                                        uint64_t* values_decoded) const {
+                                        uint64_t* values_decoded,
+                                        uint64_t* values_unpacked) const {
   EON_ASSIGN_OR_RETURN(ChunkView view, BlockChunk(i));
-  return DecodeChunkSelected(view, type_, sel, out, values_decoded);
+  return DecodeChunkSelected(view, type_, sel, out, values_decoded,
+                             values_unpacked);
 }
 
 const char* ScanModeName(ScanMode mode) {
@@ -349,9 +357,10 @@ Status FetchColumnsAsync(const Schema& schema, const std::string& base_key,
 /// latched in status() — check it after every EvalBlockEncoded.
 class BlockPredicateSource : public EncodedBlockSource {
  public:
+  /// `st` (nullable) receives decode/unpack/kernel accounting.
   BlockPredicateSource(const std::map<size_t, ColumnFileReader>& readers,
-                       uint64_t* values_decoded)
-      : readers_(readers), values_decoded_(values_decoded) {}
+                       RosScanStats* st)
+      : readers_(readers), st_(st) {}
 
   void SetBlock(size_t block, uint64_t row_count) {
     block_ = block;
@@ -374,8 +383,11 @@ class BlockPredicateSource : public EncodedBlockSource {
       std::fill(sel, sel + row_count_, uint8_t{0});
       return true;
     }
-    Result<bool> handled = EvalChunkCmp(*view, it->second.type(), op, literal,
-                                        sel, values_decoded_);
+    Result<bool> handled = EvalChunkCmp(
+        *view, it->second.type(), op, literal, sel,
+        st_ ? &st_->values_decoded : nullptr,
+        st_ ? &st_->values_unpacked : nullptr,
+        st_ ? &st_->kernel_calls : nullptr);
     if (!handled.ok()) {
       status_ = handled.status();
       std::fill(sel, sel + row_count_, uint8_t{0});
@@ -384,27 +396,28 @@ class BlockPredicateSource : public EncodedBlockSource {
     return handled.value();
   }
 
-  const std::vector<Value>* DecodedColumn(size_t col) override {
+  const ColumnBatch* DecodedColumn(size_t col) override {
     if (!status_.ok()) return nullptr;
     auto cached = decoded_.find(col);
     if (cached != decoded_.end()) return &cached->second;
     auto it = readers_.find(col);
     if (it == readers_.end()) return nullptr;
-    std::vector<Value> values;
-    Status s = it->second.DecodeBlock(block_, &values);
+    ColumnBatch batch;
+    Status s = it->second.DecodeBlockBatch(
+        block_, &batch, st_ ? &st_->values_unpacked : nullptr);
     if (!s.ok()) {
       status_ = s;
       return nullptr;
     }
-    if (values_decoded_ != nullptr) *values_decoded_ += values.size();
-    return &decoded_.emplace(col, std::move(values)).first->second;
+    if (st_ != nullptr) st_->values_decoded += batch.size();
+    return &decoded_.emplace(col, std::move(batch)).first->second;
   }
 
   /// Move out the fallback-decoded column of the current block, if phase 1
   /// produced one — lets the scan keep predicate∩output columns for
   /// phase 2 without paying for a second decode. Consumes the cache entry
   /// (the next SetBlock would clear it anyway).
-  bool TakeDecoded(size_t col, std::vector<Value>* out) {
+  bool TakeDecoded(size_t col, ColumnBatch* out) {
     auto it = decoded_.find(col);
     if (it == decoded_.end()) return false;
     *out = std::move(it->second);
@@ -427,11 +440,11 @@ class BlockPredicateSource : public EncodedBlockSource {
   }
 
   const std::map<size_t, ColumnFileReader>& readers_;
-  uint64_t* values_decoded_;
+  RosScanStats* st_;
   size_t block_ = 0;
   uint64_t row_count_ = 0;
   std::map<size_t, ChunkView> chunks_;
-  std::map<size_t, std::vector<Value>> decoded_;
+  std::map<size_t, ColumnBatch> decoded_;
   Status status_;
 };
 
@@ -480,7 +493,7 @@ Result<std::vector<Row>> ScanLateMaterialized(const Schema& schema,
     SelectionVector sel;
     /// Phase-1 fallback decodes of predicate∩output columns; compacted in
     /// phase 2 without a second decode.
-    std::map<size_t, std::vector<Value>> phase1;
+    std::map<size_t, ColumnBatch> phase1;
   };
   std::vector<Survivor> survivors;
   std::vector<std::pair<size_t, PendingFile>> out_pending;
@@ -497,7 +510,7 @@ Result<std::vector<Row>> ScanLateMaterialized(const Schema& schema,
   };
 
   std::vector<Row> out;
-  BlockPredicateSource src(readers, &st->values_decoded);
+  BlockPredicateSource src(readers, st);
   for (size_t b = 0; b < num_blocks; ++b) {
     const BlockMeta& bm = first.block(b);
     st->blocks_total++;
@@ -525,7 +538,8 @@ Result<std::vector<Row>> ScanLateMaterialized(const Schema& schema,
     // tombstones into the selection vector.
     src.SetBlock(b, bm.row_count);
     SelectionVector sel;
-    options.predicate->EvalBlockEncoded(&src, bm.row_count, &sel);
+    options.predicate->EvalBlockEncoded(&src, bm.row_count, &sel,
+                                        &st->kernel_calls);
     EON_RETURN_IF_ERROR(src.status());
     uint64_t selected = 0;
     if (options.deletes == nullptr && options.row_begin <= block_begin &&
@@ -555,7 +569,7 @@ Result<std::vector<Row>> ScanLateMaterialized(const Schema& schema,
     sv.selected = selected;
     for (size_t col : out_distinct) {
       if (pred_cols.count(col) == 0) continue;
-      std::vector<Value> vals;
+      ColumnBatch vals;
       if (src.TakeDecoded(col, &vals)) sv.phase1.emplace(col, std::move(vals));
     }
     sv.sel = std::move(sel);
@@ -595,13 +609,14 @@ Result<std::vector<Row>> ScanLateMaterialized(const Schema& schema,
       vals.reserve(sv.selected);
       auto p1 = sv.phase1.find(col);
       if (p1 != sv.phase1.end()) {
-        const std::vector<Value>& full = p1->second;
+        const ColumnBatch& full = p1->second;
         for (uint64_t i = 0; i < bm.row_count; ++i) {
-          if (sv.sel[i]) vals.push_back(full[i]);
+          if (sv.sel[i]) vals.push_back(full.GetValue(i));
         }
       } else {
         EON_RETURN_IF_ERROR(readers.at(col).DecodeSelected(
-            sv.block, sv.sel.data(), &vals, &st->values_decoded));
+            sv.block, sv.sel.data(), &vals, &st->values_decoded,
+            &st->values_unpacked));
       }
       if (vals.size() != sv.selected) {
         return Status::Corruption("selective decode count mismatch");
@@ -706,28 +721,31 @@ Result<std::vector<Row>> ScanRosContainer(const Schema& schema,
       }
     }
 
-    // Decode the block for each needed column.
-    std::map<size_t, std::vector<Value>> cols;
+    // Decode the block for each needed column, straight into columnar
+    // batch layout (typed arrays + validity bitmap).
+    std::map<size_t, ColumnBatch> cols;
     for (const auto& [col, r] : readers) {
-      std::vector<Value> values;
-      EON_RETURN_IF_ERROR(r.DecodeBlock(b, &values));
-      st->values_decoded += values.size();
-      cols.emplace(col, std::move(values));
+      ColumnBatch batch;
+      EON_RETURN_IF_ERROR(
+          r.DecodeBlockBatch(b, &batch, &st->values_unpacked));
+      st->values_decoded += batch.size();
+      cols.emplace(col, std::move(batch));
     }
 
     // Block-at-a-time predicate: one selection vector for the whole
-    // block, then only survivors are materialized below.
+    // block via the vectorized kernels, then only survivors are
+    // materialized below.
     SelectionVector sel;
     const bool use_sel = options.predicate != nullptr && options.block_eval;
     if (use_sel) {
-      std::vector<const std::vector<Value>*> col_ptrs(schema.num_columns(),
-                                                      nullptr);
-      for (const auto& [col, values] : cols) col_ptrs[col] = &values;
-      options.predicate->EvalBlock(col_ptrs, bm.row_count, &sel);
+      std::vector<const ColumnBatch*> col_ptrs(schema.num_columns(), nullptr);
+      for (const auto& [col, batch] : cols) col_ptrs[col] = &batch;
+      options.predicate->EvalBlockBatch(col_ptrs, bm.row_count, &sel,
+                                        &st->kernel_calls);
     }
 
     // Output columns in output order, resolved once per block.
-    std::vector<const std::vector<Value>*> out_cols;
+    std::vector<const ColumnBatch*> out_cols;
     out_cols.reserve(options.output_columns.size());
     for (size_t col : options.output_columns) {
       out_cols.push_back(&cols.at(col));
@@ -742,13 +760,13 @@ Result<std::vector<Row>> ScanRosContainer(const Schema& schema,
       if (use_sel) {
         if (!sel[i]) continue;
       } else if (options.predicate) {
-        for (const auto& [col, values] : cols) probe[col] = values[i];
+        for (const auto& [col, batch] : cols) probe[col] = batch.GetValue(i);
         if (!options.predicate->Eval(probe)) continue;
       }
       Row out_row;
       out_row.reserve(out_cols.size());
-      for (const std::vector<Value>* values : out_cols) {
-        out_row.push_back((*values)[i]);
+      for (const ColumnBatch* batch : out_cols) {
+        out_row.push_back(batch->GetValue(i));
       }
       out.push_back(std::move(out_row));
       st->rows_output++;
@@ -781,7 +799,7 @@ Result<std::vector<uint64_t>> FindMatchingPositions(
   // Same phase-1 machinery as the late-materialization scan: the predicate
   // evaluates on the encoded representation where possible, so DELETEs
   // never decode more than they must.
-  BlockPredicateSource src(readers, /*values_decoded=*/nullptr);
+  BlockPredicateSource src(readers, /*st=*/nullptr);
   SelectionVector sel;
   for (size_t b = 0; b < first.num_blocks(); ++b) {
     const BlockMeta& bm = first.block(b);

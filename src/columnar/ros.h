@@ -150,14 +150,24 @@ class ColumnFileReader {
   /// Decode block `i`, appending its values to `out`.
   Status DecodeBlock(size_t i, std::vector<Value>* out) const;
 
+  /// Decode block `i` into columnar batch layout (the scan's hot path —
+  /// bit-packed and delta chunks fill the typed array directly, skipping
+  /// Value materialization). `values_unpacked` (optional) accumulates the
+  /// bit-packed values unpacked.
+  Status DecodeBlockBatch(size_t i, ColumnBatch* out,
+                          uint64_t* values_unpacked = nullptr) const;
+
   /// Selective decode (late materialization): append only the rows of
   /// block `i` with sel[j] != 0, densely, in block order. `sel` must cover
   /// the block's row count; nullptr selects everything. Skipped values are
   /// parsed past, not materialized; RLE runs and dictionary codes outside
-  /// the selection are never expanded. `values_decoded` (optional)
-  /// accumulates decode work (see DecodeChunkSelected).
+  /// the selection are never expanded; bit-packed 128-value blocks no
+  /// selected row maps into are skipped whole. `values_decoded` /
+  /// `values_unpacked` (optional) accumulate decode work (see
+  /// DecodeChunkSelected).
   Status DecodeSelected(size_t i, const uint8_t* sel, std::vector<Value>* out,
-                        uint64_t* values_decoded = nullptr) const;
+                        uint64_t* values_decoded = nullptr,
+                        uint64_t* values_unpacked = nullptr) const;
 
   /// CRC-verify block `i` and return its parsed chunk header without
   /// decoding any values — the entry point for encoded predicate
@@ -238,6 +248,11 @@ struct RosScanStats {
   /// stall the prefetch pipeline exists to hide (0 when every fetch
   /// completed before the scan needed it).
   int64_t fetch_wait_micros = 0;
+  /// Bit-packed values actually unpacked (block screening and whole-block
+  /// skipping keep this below the row count on selective scans).
+  uint64_t values_unpacked = 0;
+  /// Vectorized kernel invocations (compare / fold / hash dispatches).
+  uint64_t kernel_calls = 0;
 
   void Add(const RosScanStats& o) {
     files_fetched += o.files_fetched;
@@ -249,6 +264,8 @@ struct RosScanStats {
     values_decoded += o.values_decoded;
     files_skipped += o.files_skipped;
     fetch_wait_micros += o.fetch_wait_micros;
+    values_unpacked += o.values_unpacked;
+    kernel_calls += o.kernel_calls;
   }
 };
 

@@ -7,6 +7,9 @@
 #include <set>
 
 #include "cache/file_cache.h"
+#include "columnar/agg.h"
+#include "columnar/batch.h"
+#include "columnar/kernels.h"
 #include "columnar/ros.h"
 #include "common/codec.h"
 #include "common/thread_pool.h"
@@ -446,8 +449,30 @@ Result<ScanOutput> ScanDistributed(EonCluster* cluster,
                            m.executor->cache(), scan, &res.scan));
       res.rows_scanned = rows.size();
       res.rows.reserve(rows.size());
+      const bool hash_filter =
+          m.k > 1 && context.crunch == CrunchMode::kHashFilter;
+      if (hash_filter && seg_positions_in_scan.size() == 1 &&
+          proj_schema.column(scan_cols[seg_positions_in_scan[0]]).type ==
+              DataType::kInt64) {
+        // Single int64 segmentation column (the common fan-out shape):
+        // hash the whole morsel with the vectorized kernel — bit-identical
+        // to Value::SegHash per row — then keep rank-owned rows.
+        const size_t seg_pos = seg_positions_in_scan[0];
+        ColumnBatch seg =
+            ColumnBatch::FromRows(rows, seg_pos, DataType::kInt64);
+        std::vector<uint32_t> hashes(rows.size());
+        simd::SegHashInt64(seg.ints(), rows.size(), seg.validity_words(),
+                           hashes.data());
+        res.scan.kernel_calls++;
+        for (size_t r = 0; r < rows.size(); ++r) {
+          if (hashes[r] % m.k != m.rank) continue;
+          rows[r].resize(out_proj_cols.size());  // Strip seg columns.
+          res.rows.push_back(std::move(rows[r]));
+        }
+        return Status::OK();
+      }
       for (Row& row : rows) {
-        if (m.k > 1 && context.crunch == CrunchMode::kHashFilter) {
+        if (hash_filter) {
           // Secondary hash segmentation predicate applied per row: only
           // rank (hash % k) keeps the row (Section 4.4).
           uint32_t h = 0;
@@ -486,104 +511,73 @@ Result<ScanOutput> ScanDistributed(EonCluster* cluster,
   return output;
 }
 
-/// Aggregation state for one group.
-struct AggState {
-  int64_t count = 0;
-  double sum = 0;
-  bool sum_is_int = true;
-  int64_t sum_int = 0;
-  Value min, max;
-  std::set<Value> distinct;
+/// Fold one row batch into per-group aggregation states through the
+/// columnar kernels: each distinct aggregate input column is columnarized
+/// once (ColumnBatch::FromRows), then every group folds its rows — the
+/// whole batch contiguously for a global aggregate, an ascending index
+/// list per group otherwise — so int64 SUM/AVG/MIN/MAX partials run the
+/// vectorized fold kernel instead of a per-Value switch per row.
+///
+/// Aggregates with no input column (agg_pos SIZE_MAX): COUNT folds the
+/// row count directly; any other function accumulates `*missing_input`
+/// per row, or row[0] when missing_input is null (the historical behavior
+/// of the distributed path).
+void FoldRowsIntoGroups(const std::vector<Row>& rows,
+                        const std::vector<size_t>& group_pos,
+                        const std::vector<AggSpec>& aggs,
+                        const std::vector<size_t>& agg_pos,
+                        const std::vector<DataType>& agg_types,
+                        const Value* missing_input, GroupMap* groups,
+                        uint64_t* kernel_calls) {
+  if (rows.empty()) return;
+  std::map<size_t, ColumnBatch> batches;
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    if (agg_pos[a] == SIZE_MAX || batches.count(agg_pos[a])) continue;
+    batches.emplace(agg_pos[a],
+                    ColumnBatch::FromRows(rows, agg_pos[a], agg_types[a]));
+  }
 
-  void Accumulate(const AggSpec& spec, const Value& v) {
-    switch (spec.fn) {
-      case AggFn::kCount:
-        count++;
-        return;
-      case AggFn::kSum:
-      case AggFn::kAvg:
-        if (v.is_null()) return;
-        count++;
-        if (v.type() == DataType::kInt64) {
-          sum_int += v.int_value();
+  auto fold_group = [&](std::vector<AggState>& states, const uint32_t* idx,
+                        size_t nidx) {
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      AggState& st = states[a];
+      if (agg_pos[a] == SIZE_MAX) {
+        if (aggs[a].fn == AggFn::kCount) {
+          st.FoldCountOnly(nidx);
         } else {
-          sum_is_int = false;
+          for (size_t i = 0; i < nidx; ++i) {
+            const size_t r = idx == nullptr ? i : idx[i];
+            st.Accumulate(aggs[a].fn,
+                          missing_input != nullptr ? *missing_input : rows[r][0]);
+          }
         }
-        sum += v.AsDouble();
-        return;
-      case AggFn::kMin:
-        if (v.is_null()) return;
-        if (min.is_null() || v.Compare(min) < 0) min = v;
-        return;
-      case AggFn::kMax:
-        if (v.is_null()) return;
-        if (max.is_null() || v.Compare(max) > 0) max = v;
-        return;
-      case AggFn::kCountDistinct:
-        if (!v.is_null()) distinct.insert(v);
-        return;
+        continue;
+      }
+      st.Fold(aggs[a].fn, batches.at(agg_pos[a]), idx, nidx, kernel_calls);
     }
+  };
+
+  if (group_pos.empty()) {
+    auto [it, inserted] =
+        groups->try_emplace(GroupKey{}, std::vector<AggState>(aggs.size()));
+    fold_group(it->second, nullptr, rows.size());
+    return;
   }
-
-  void Merge(const AggState& o) {
-    count += o.count;
-    sum += o.sum;
-    sum_int += o.sum_int;
-    sum_is_int = sum_is_int && o.sum_is_int;
-    if (!o.min.is_null() && (min.is_null() || o.min.Compare(min) < 0)) {
-      min = o.min;
-    }
-    if (!o.max.is_null() && (max.is_null() || o.max.Compare(max) > 0)) {
-      max = o.max;
-    }
-    distinct.insert(o.distinct.begin(), o.distinct.end());
+  // Bucket row indices by group key; each group's list is ascending, so
+  // order-sensitive accumulators (doubles) see rows in the original order.
+  std::map<GroupKey, std::vector<uint32_t>, GroupKeyLess> buckets;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    GroupKey key;
+    key.reserve(group_pos.size());
+    for (size_t p : group_pos) key.push_back(rows[i][p]);
+    buckets[std::move(key)].push_back(static_cast<uint32_t>(i));
   }
-
-  Value Finalize(const AggSpec& spec, DataType input_type) const {
-    switch (spec.fn) {
-      case AggFn::kCount:
-        return Value::Int(count);
-      case AggFn::kSum:
-        if (count == 0) return Value::Null(input_type);
-        return sum_is_int && input_type == DataType::kInt64
-                   ? Value::Int(sum_int)
-                   : Value::Dbl(sum);
-      case AggFn::kAvg:
-        return count == 0 ? Value::Null(DataType::kDouble)
-                          : Value::Dbl(sum / static_cast<double>(count));
-      case AggFn::kMin:
-        return min.is_null() ? Value::Null(input_type) : min;
-      case AggFn::kMax:
-        return max.is_null() ? Value::Null(input_type) : max;
-      case AggFn::kCountDistinct:
-        return Value::Int(static_cast<int64_t>(distinct.size()));
-    }
-    return Value::Null(input_type);
+  for (auto& [key, idx] : buckets) {
+    auto [it, inserted] =
+        groups->try_emplace(key, std::vector<AggState>(aggs.size()));
+    fold_group(it->second, idx.data(), idx.size());
   }
-
-  /// Approximate transfer size when shipped as a partial aggregate.
-  uint64_t TransferBytes() const {
-    uint64_t bytes = 32;
-    for (const Value& v : distinct) {
-      bytes += v.type() == DataType::kString ? v.str_value().size() + 4 : 9;
-    }
-    return bytes;
-  }
-};
-
-using GroupKey = std::vector<Value>;
-
-struct GroupKeyLess {
-  bool operator()(const GroupKey& a, const GroupKey& b) const {
-    for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
-      int c = a[i].Compare(b[i]);
-      if (c != 0) return c < 0;
-    }
-    return a.size() < b.size();
-  }
-};
-
-using GroupMap = std::map<GroupKey, std::vector<AggState>, GroupKeyLess>;
+}
 
 /// Rebase a base-table predicate onto a live aggregate projection's
 /// columns (only group columns may be referenced). Returns null predicate
@@ -812,17 +806,8 @@ Result<QueryResult> ExecuteSystemQuery(EonCluster* cluster,
 
     static const Value kIgnored = Value::Int(0);  // COUNT ignores its input.
     GroupMap groups;
-    for (const Row& row : rows) {
-      GroupKey key;
-      key.reserve(group_pos.size());
-      for (size_t p : group_pos) key.push_back(row[p]);
-      auto [it, inserted] = groups.try_emplace(
-          std::move(key), std::vector<AggState>(spec.aggregates.size()));
-      for (size_t a = 0; a < spec.aggregates.size(); ++a) {
-        const Value& v = agg_pos[a] == SIZE_MAX ? kIgnored : row[agg_pos[a]];
-        it->second[a].Accumulate(spec.aggregates[a], v);
-      }
-    }
+    FoldRowsIntoGroups(rows, group_pos, spec.aggregates, agg_pos, agg_types,
+                       &kIgnored, &groups, /*kernel_calls=*/nullptr);
 
     std::vector<ColumnDef> cols;
     for (size_t i = 0; i < spec.group_by.size(); ++i) {
@@ -859,7 +844,8 @@ Result<QueryResult> ExecuteSystemQuery(EonCluster* cluster,
     for (const auto& [key, states] : groups) {
       Row row = key;
       for (size_t a = 0; a < states.size(); ++a) {
-        row.push_back(states[a].Finalize(spec.aggregates[a], agg_types[a]));
+        row.push_back(
+            states[a].Finalize(spec.aggregates[a].fn, agg_types[a]));
       }
       final_rows.push_back(std::move(row));
     }
@@ -1263,34 +1249,25 @@ Result<QueryResult> ExecuteQuery(EonCluster* cluster,
             spec.group_by.end();
     stats.local_group_by = local;
 
-    auto aggregate_into = [&](const std::vector<Row>& rows, GroupMap* groups) {
-      for (const Row& row : rows) {
-        GroupKey key;
-        key.reserve(group_pos.size());
-        for (size_t p : group_pos) key.push_back(row[p]);
-        auto [it, inserted] = groups->try_emplace(
-            std::move(key), std::vector<AggState>(spec.aggregates.size()));
-        for (size_t a = 0; a < spec.aggregates.size(); ++a) {
-          const Value& v = agg_pos[a] == SIZE_MAX ? row[0] : row[agg_pos[a]];
-          it->second[a].Accumulate(spec.aggregates[a], v);
-        }
-      }
-    };
-
     GroupMap merged;
     {
       // One partial GroupMap per node, computed as independent pool tasks
       // (a node's rows are self-contained), merged in node order so the
       // result is the same at every pool width. In the local case the
       // partials are final — groups never span nodes — and the merge is
-      // pure insertion.
+      // pure insertion. Kernel-call counters are per-task slots, summed
+      // after the barrier, so the tasks stay write-disjoint.
       std::vector<const std::vector<Row>*> node_rows;
       node_rows.reserve(data.size());
       for (auto& [node, rows] : data) node_rows.push_back(&rows);
       std::vector<GroupMap> partials(node_rows.size());
+      std::vector<uint64_t> partial_kernel_calls(node_rows.size(), 0);
       par.Run(node_rows.size(), [&](size_t i) {
-        aggregate_into(*node_rows[i], &partials[i]);
+        FoldRowsIntoGroups(*node_rows[i], group_pos, spec.aggregates, agg_pos,
+                           agg_types, /*missing_input=*/nullptr, &partials[i],
+                           &partial_kernel_calls[i]);
       });
+      for (uint64_t k : partial_kernel_calls) stats.scan.kernel_calls += k;
       for (GroupMap& partial : partials) {
         for (auto& [key, states] : partial) {
           if (!local) {
@@ -1351,7 +1328,8 @@ Result<QueryResult> ExecuteQuery(EonCluster* cluster,
     for (const auto& [key, states] : merged) {
       Row row = key;
       for (size_t a = 0; a < states.size(); ++a) {
-        row.push_back(states[a].Finalize(spec.aggregates[a], agg_types[a]));
+        row.push_back(
+            states[a].Finalize(spec.aggregates[a].fn, agg_types[a]));
       }
       final_rows.push_back(std::move(row));
     }
@@ -1399,6 +1377,9 @@ Result<QueryResult> ExecuteQuery(EonCluster* cluster,
   profile.exec_values_decoded = stats.scan.values_decoded;
   profile.exec_files_skipped = stats.scan.files_skipped;
   profile.exec_fetch_wait_micros = stats.scan.fetch_wait_micros;
+  profile.exec_values_unpacked = stats.scan.values_unpacked;
+  profile.exec_kernel_calls = stats.scan.kernel_calls;
+  profile.exec_kernel_isa = simd::IsaName(simd::ActiveIsa());
   const CacheStats cache_after = cache_totals();
   profile.cache_hits = cache_after.hits - cache_before.hits;
   profile.cache_misses = cache_after.misses - cache_before.misses;

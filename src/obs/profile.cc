@@ -100,6 +100,11 @@ JsonValue QueryProfile::ToJson() const {
   exec.Set("files_skipped",
            JsonValue::Int(static_cast<int64_t>(exec_files_skipped)));
   exec.Set("fetch_wait_micros", JsonValue::Int(exec_fetch_wait_micros));
+  exec.Set("values_unpacked",
+           JsonValue::Int(static_cast<int64_t>(exec_values_unpacked)));
+  exec.Set("kernel_calls",
+           JsonValue::Int(static_cast<int64_t>(exec_kernel_calls)));
+  exec.Set("kernel_isa", JsonValue::Str(exec_kernel_isa));
   JsonValue prefetch = JsonValue::Object();
   prefetch.Set("issued", JsonValue::Int(static_cast<int64_t>(prefetch_issued)));
   prefetch.Set("useful", JsonValue::Int(static_cast<int64_t>(prefetch_useful)));
@@ -179,6 +184,12 @@ std::string QueryProfile::ToText() const {
            " decode: %llu values decoded, %llu column files skipped\n",
            static_cast<unsigned long long>(exec_values_decoded),
            static_cast<unsigned long long>(exec_files_skipped));
+  out += buf;
+  snprintf(buf, sizeof(buf),
+           " kernels: %llu calls (%s), %llu values unpacked\n",
+           static_cast<unsigned long long>(exec_kernel_calls),
+           exec_kernel_isa.empty() ? "?" : exec_kernel_isa.c_str(),
+           static_cast<unsigned long long>(exec_values_unpacked));
   out += buf;
   snprintf(buf, sizeof(buf),
            " prefetch: %llu issued, %llu useful, %llu wasted, "

@@ -83,6 +83,14 @@ struct QueryProfile {
   /// (RosScanStats::fetch_wait_micros rollup): the part of the store
   /// latency the prefetch pipeline did NOT manage to hide.
   int64_t exec_fetch_wait_micros = 0;
+  /// Bit-packed values actually unpacked during scans (block screening
+  /// and whole-block skipping keep this below the row count).
+  uint64_t exec_values_unpacked = 0;
+  /// Vectorized kernel invocations (compare / fold / hash dispatches).
+  uint64_t exec_kernel_calls = 0;
+  /// Instruction set the kernel dispatcher routed to (scalar / sse4.2 /
+  /// avx2 / neon).
+  std::string exec_kernel_isa;
 
   // Prefetch pipeline deltas over the participating nodes' caches:
   // speculative fetches issued / later read by a demand fetch / evicted

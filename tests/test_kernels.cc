@@ -1,0 +1,344 @@
+// Differential tests for the vectorized scan kernels: every dispatched
+// kernel (whatever ISA the host routes to) must agree bit-for-bit with the
+// scalar reference in simd::detail on random data, odd lengths, validity
+// bitmaps, and every CmpOp. The same binary covers both sides via
+// ForceScalarForTest, which is also what the benches use, so these tests
+// pin the exact comparison the speedup numbers rely on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "columnar/batch.h"
+#include "columnar/expression.h"
+#include "columnar/kernels.h"
+#include "common/random.h"
+
+namespace eon {
+namespace {
+
+// Lengths chosen to hit every tail case: empty, sub-lane, one full SSE/AVX
+// lane, lane + tail, and a large odd size spanning many 64-row validity
+// words.
+const size_t kLengths[] = {0, 1, 3, 4, 7, 8, 15, 16, 31, 32, 63, 64, 65,
+                           127, 128, 129, 1000, 4097};
+
+const CmpOp kAllOps[] = {CmpOp::kEq, CmpOp::kNe, CmpOp::kLt,
+                         CmpOp::kLe, CmpOp::kGt, CmpOp::kGe};
+
+std::vector<int64_t> RandomInts(Random* rng, size_t n, int64_t domain) {
+  std::vector<int64_t> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = domain > 0 ? static_cast<int64_t>(rng->Uniform(domain))
+                      : static_cast<int64_t>(rng->Next());
+  }
+  return v;
+}
+
+// LSB-first validity words with ~`null_rate` rows null. Null rows keep
+// whatever payload value is in v (kernels must ignore it).
+std::vector<uint64_t> RandomValidity(Random* rng, size_t n, double null_rate) {
+  std::vector<uint64_t> words((n + 63) / 64, ~0ULL);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng->Bernoulli(null_rate)) words[i / 64] &= ~(1ULL << (i % 64));
+  }
+  return words;
+}
+
+std::vector<uint8_t> RandomSel(Random* rng, size_t n, double rate) {
+  std::vector<uint8_t> sel(n);
+  for (size_t i = 0; i < n; ++i) sel[i] = rng->Bernoulli(rate) ? 1 : 0;
+  return sel;
+}
+
+TEST(KernelTest, ForceScalarPinsDispatcher) {
+  simd::ForceScalarForTest(true);
+  EXPECT_EQ(simd::ActiveIsa(), simd::Isa::kScalar);
+  simd::ForceScalarForTest(false);
+  // Whatever the host dispatches to, it must have a printable name.
+  EXPECT_NE(simd::IsaName(simd::ActiveIsa()), nullptr);
+}
+
+TEST(KernelTest, CompareInt64MatchesScalarAllOps) {
+  Random rng(17);
+  for (size_t n : kLengths) {
+    // Small domain so every op produces a mix of 0s and 1s.
+    std::vector<int64_t> v = RandomInts(&rng, n, 16);
+    std::vector<uint64_t> validity = RandomValidity(&rng, n, 0.25);
+    for (CmpOp op : kAllOps) {
+      for (const uint64_t* val :
+           {static_cast<const uint64_t*>(nullptr),
+            static_cast<const uint64_t*>(validity.data())}) {
+        std::vector<uint8_t> got(n, 0xAA), want(n, 0x55);
+        simd::CompareInt64(v.data(), n, op, 7, val, got.data());
+        simd::detail::CompareInt64Scalar(v.data(), n, op, 7, val, want.data());
+        ASSERT_EQ(got, want) << "n=" << n << " op=" << static_cast<int>(op);
+        // Outputs are exactly 0/1 bytes (SelAnd/SelOr rely on this).
+        for (uint8_t b : got) ASSERT_LE(b, 1);
+      }
+    }
+  }
+}
+
+TEST(KernelTest, CompareInt64ExtremeLiterals) {
+  Random rng(23);
+  std::vector<int64_t> v = RandomInts(&rng, 257, 0);
+  v[0] = INT64_MIN;
+  v[1] = INT64_MAX;
+  for (int64_t lit : {INT64_MIN, INT64_MAX, int64_t{0}, int64_t{-1}}) {
+    for (CmpOp op : kAllOps) {
+      std::vector<uint8_t> got(v.size()), want(v.size());
+      simd::CompareInt64(v.data(), v.size(), op, lit, nullptr, got.data());
+      simd::detail::CompareInt64Scalar(v.data(), v.size(), op, lit, nullptr,
+                                       want.data());
+      ASSERT_EQ(got, want) << "lit=" << lit << " op=" << static_cast<int>(op);
+    }
+  }
+}
+
+TEST(KernelTest, SelLogicMatchesScalar) {
+  Random rng(31);
+  for (size_t n : kLengths) {
+    std::vector<uint8_t> a = RandomSel(&rng, n, 0.5);
+    std::vector<uint8_t> b = RandomSel(&rng, n, 0.3);
+
+    std::vector<uint8_t> got = a, want = a;
+    simd::SelAnd(got.data(), b.data(), n);
+    simd::detail::SelAndScalar(want.data(), b.data(), n);
+    ASSERT_EQ(got, want) << "SelAnd n=" << n;
+
+    got = a;
+    want = a;
+    simd::SelOr(got.data(), b.data(), n);
+    simd::detail::SelOrScalar(want.data(), b.data(), n);
+    ASSERT_EQ(got, want) << "SelOr n=" << n;
+
+    got = a;
+    want = a;
+    simd::SelNot(got.data(), n);
+    simd::detail::SelNotScalar(want.data(), n);
+    ASSERT_EQ(got, want) << "SelNot n=" << n;
+    for (uint8_t x : got) ASSERT_LE(x, 1);
+
+    ASSERT_EQ(simd::SelCount(a.data(), n),
+              simd::detail::SelCountScalar(a.data(), n));
+  }
+}
+
+TEST(KernelTest, SelCompactMatchesScalarAndIsAscending) {
+  Random rng(37);
+  for (size_t n : kLengths) {
+    for (double rate : {0.0, 0.02, 0.5, 1.0}) {
+      std::vector<uint8_t> sel = RandomSel(&rng, n, rate);
+      const uint64_t count = simd::SelCount(sel.data(), n);
+      std::vector<uint32_t> got(count + 1, 0xDEADBEEF);
+      std::vector<uint32_t> want(count + 1, 0xDEADBEEF);
+      const size_t got_n = simd::SelCompact(sel.data(), n, got.data());
+      const size_t want_n =
+          simd::detail::SelCompactScalar(sel.data(), n, want.data());
+      ASSERT_EQ(got_n, count);
+      ASSERT_EQ(got_n, want_n);
+      got.resize(got_n);
+      want.resize(want_n);
+      ASSERT_EQ(got, want) << "n=" << n << " rate=" << rate;
+      ASSERT_TRUE(std::is_sorted(got.begin(), got.end()));
+      for (uint32_t idx : got) ASSERT_EQ(sel[idx], 1);
+    }
+  }
+}
+
+TEST(KernelTest, SegHashInt64MatchesScalarAndValueSegHash) {
+  Random rng(41);
+  for (size_t n : kLengths) {
+    std::vector<int64_t> v = RandomInts(&rng, n, 0);
+    std::vector<uint64_t> validity = RandomValidity(&rng, n, 0.2);
+    for (const uint64_t* val :
+         {static_cast<const uint64_t*>(nullptr),
+            static_cast<const uint64_t*>(validity.data())}) {
+      std::vector<uint32_t> got(n, 1), want(n, 2);
+      simd::SegHashInt64(v.data(), n, val, got.data());
+      simd::detail::SegHashInt64Scalar(v.data(), n, val, want.data());
+      ASSERT_EQ(got, want) << "n=" << n;
+      // The kernel is the crunch fan-out's replacement for per-row
+      // Value::SegHash — pin the exact equivalence.
+      for (size_t i = 0; i < n; ++i) {
+        const bool valid = val == nullptr || (val[i / 64] >> (i % 64)) & 1;
+        const Value row =
+            valid ? Value::Int(v[i]) : Value::Null(DataType::kInt64);
+        ASSERT_EQ(got[i], row.SegHash()) << "row " << i;
+      }
+    }
+  }
+}
+
+TEST(KernelTest, SegHashNullRowsUseNullSegHash) {
+  const int64_t v[2] = {123, 456};
+  const uint64_t validity[1] = {0x1};  // row 1 null
+  uint32_t out[2];
+  simd::SegHashInt64(v, 2, validity, out);
+  EXPECT_EQ(out[1], simd::kNullSegHash);
+  EXPECT_EQ(out[1], Value::Null(DataType::kInt64).SegHash());
+}
+
+void ExpectFoldEq(const simd::Int64Fold& got, const simd::Int64Fold& want,
+                  const char* what, size_t n) {
+  ASSERT_EQ(got.count, want.count) << what << " n=" << n;
+  ASSERT_EQ(got.sum, want.sum) << what << " n=" << n;
+  if (got.count > 0) {
+    ASSERT_EQ(got.min, want.min) << what << " n=" << n;
+    ASSERT_EQ(got.max, want.max) << what << " n=" << n;
+  }
+}
+
+TEST(KernelTest, FoldInt64MatchesScalar) {
+  Random rng(43);
+  for (size_t n : kLengths) {
+    // Full-width values exercise two's-complement wraparound of `sum`.
+    std::vector<int64_t> v = RandomInts(&rng, n, 0);
+    std::vector<uint64_t> validity = RandomValidity(&rng, n, 0.3);
+    std::vector<uint8_t> sel = RandomSel(&rng, n, 0.4);
+    const uint64_t* vals[] = {nullptr, validity.data()};
+    const uint8_t* sels[] = {nullptr, sel.data()};
+    for (const uint64_t* val : vals) {
+      for (const uint8_t* s : sels) {
+        ExpectFoldEq(simd::FoldInt64(v.data(), n, val, s),
+                     simd::detail::FoldInt64Scalar(v.data(), n, val, s),
+                     "FoldInt64", n);
+      }
+    }
+  }
+}
+
+TEST(KernelTest, FoldInt64IndexedMatchesScalar) {
+  Random rng(47);
+  for (size_t n : kLengths) {
+    std::vector<int64_t> v = RandomInts(&rng, n, 0);
+    std::vector<uint64_t> validity = RandomValidity(&rng, n, 0.3);
+    std::vector<uint8_t> sel = RandomSel(&rng, n, 0.25);
+    std::vector<uint32_t> idx(simd::SelCount(sel.data(), n));
+    simd::SelCompact(sel.data(), n, idx.data());
+    for (const uint64_t* val :
+         {static_cast<const uint64_t*>(nullptr),
+            static_cast<const uint64_t*>(validity.data())}) {
+      ExpectFoldEq(
+          simd::FoldInt64Indexed(v.data(), val, idx.data(), idx.size()),
+          simd::detail::FoldInt64IndexedScalar(v.data(), val, idx.data(),
+                                               idx.size()),
+          "FoldInt64Indexed", n);
+    }
+  }
+}
+
+TEST(KernelTest, FoldSumWrapsModulo64) {
+  // Two INT64_MAX values: the mod-2^64 sum is exact even though the signed
+  // sum overflows; AggState casts back and stays correct in aggregate.
+  const int64_t v[2] = {INT64_MAX, INT64_MAX};
+  const simd::Int64Fold f = simd::FoldInt64(v, 2, nullptr, nullptr);
+  EXPECT_EQ(f.count, 2u);
+  EXPECT_EQ(f.sum, 2ULL * static_cast<uint64_t>(INT64_MAX));
+  EXPECT_EQ(f.min, INT64_MAX);
+  EXPECT_EQ(f.max, INT64_MAX);
+}
+
+TEST(KernelTest, FoldEmptyAndAllNull) {
+  const simd::Int64Fold empty = simd::FoldInt64(nullptr, 0, nullptr, nullptr);
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_EQ(empty.sum, 0u);
+
+  const int64_t v[3] = {1, 2, 3};
+  const uint64_t none[1] = {0};
+  const simd::Int64Fold all_null = simd::FoldInt64(v, 3, none, nullptr);
+  EXPECT_EQ(all_null.count, 0u);
+  EXPECT_EQ(all_null.sum, 0u);
+}
+
+// The dispatched kernels must produce identical bytes whether the host
+// routes to SIMD or the scalar pin — the whole-query differential the
+// benches and -DEON_SIMD=off builds rely on.
+TEST(KernelTest, ForcedScalarBitIdenticalToDispatched) {
+  Random rng(53);
+  const size_t n = 4097;
+  std::vector<int64_t> v = RandomInts(&rng, n, 100);
+  std::vector<uint64_t> validity = RandomValidity(&rng, n, 0.1);
+
+  std::vector<uint8_t> sel_simd(n), sel_scalar(n);
+  std::vector<uint32_t> hash_simd(n), hash_scalar(n);
+  simd::CompareInt64(v.data(), n, CmpOp::kLt, 50, validity.data(),
+                     sel_simd.data());
+  simd::SegHashInt64(v.data(), n, validity.data(), hash_simd.data());
+  const simd::Int64Fold fold_simd =
+      simd::FoldInt64(v.data(), n, validity.data(), sel_simd.data());
+
+  simd::ForceScalarForTest(true);
+  ASSERT_EQ(simd::ActiveIsa(), simd::Isa::kScalar);
+  simd::CompareInt64(v.data(), n, CmpOp::kLt, 50, validity.data(),
+                     sel_scalar.data());
+  simd::SegHashInt64(v.data(), n, validity.data(), hash_scalar.data());
+  const simd::Int64Fold fold_scalar =
+      simd::FoldInt64(v.data(), n, validity.data(), sel_scalar.data());
+  simd::ForceScalarForTest(false);
+
+  EXPECT_EQ(sel_simd, sel_scalar);
+  EXPECT_EQ(hash_simd, hash_scalar);
+  EXPECT_EQ(fold_simd.count, fold_scalar.count);
+  EXPECT_EQ(fold_simd.sum, fold_scalar.sum);
+  EXPECT_EQ(fold_simd.min, fold_scalar.min);
+  EXPECT_EQ(fold_simd.max, fold_scalar.max);
+}
+
+// ------------------------------------------------- ColumnBatch plumbing
+
+TEST(BatchTest, FromValuesRoundTripsWithNulls) {
+  std::vector<Value> vals = {Value::Int(5), Value::Null(DataType::kInt64),
+                             Value::Int(-7)};
+  ColumnBatch b = ColumnBatch::FromValues(DataType::kInt64, vals);
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_TRUE(b.has_nulls());
+  EXPECT_FALSE(b.IsNull(0));
+  EXPECT_TRUE(b.IsNull(1));
+  EXPECT_EQ(b.GetValue(0).int_value(), 5);
+  EXPECT_TRUE(b.GetValue(1).is_null());
+  EXPECT_EQ(b.GetValue(2).int_value(), -7);
+  // Null rows keep a zero placeholder in the typed array so kernels can
+  // read every lane.
+  EXPECT_EQ(b.ints()[1], 0);
+  ASSERT_NE(b.validity_words(), nullptr);
+  EXPECT_EQ(b.validity_words()[0] & 0x7, 0x5u);
+}
+
+TEST(BatchTest, AllValidBatchHasNullValidity) {
+  std::vector<Value> vals = {Value::Int(1), Value::Int(2)};
+  ColumnBatch b = ColumnBatch::FromValues(DataType::kInt64, vals);
+  EXPECT_FALSE(b.has_nulls());
+  EXPECT_EQ(b.validity_words(), nullptr);
+}
+
+TEST(BatchTest, SelectionFromMaskPicksDensityRepresentation) {
+  const size_t n = 1000;
+  std::vector<uint8_t> all(n, 1);
+  BatchSelection s = BatchSelection::FromMask(all.data(), n);
+  EXPECT_EQ(s.rep(), BatchSelection::Rep::kAll);
+  EXPECT_EQ(s.count(), n);
+  EXPECT_TRUE(s.Selected(0));
+
+  std::vector<uint8_t> sparse(n, 0);
+  sparse[3] = sparse[999] = 1;
+  s = BatchSelection::FromMask(sparse.data(), n);
+  EXPECT_EQ(s.rep(), BatchSelection::Rep::kIndices);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_TRUE(s.Selected(3));
+  EXPECT_FALSE(s.Selected(4));
+
+  std::vector<uint8_t> dense(n, 1);
+  dense[0] = 0;
+  s = BatchSelection::FromMask(dense.data(), n);
+  EXPECT_EQ(s.rep(), BatchSelection::Rep::kMask);
+  EXPECT_EQ(s.count(), n - 1);
+  EXPECT_FALSE(s.Selected(0));
+  EXPECT_TRUE(s.Selected(1));
+}
+
+}  // namespace
+}  // namespace eon

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "columnar/kernels.h"
 #include "engine/session.h"
 #include "storage/sim_object_store.h"
 #include "tests/reference_executor.h"
@@ -252,6 +253,23 @@ std::vector<std::pair<std::string, QuerySpec>> ParallelQuerySet() {
     q.order_by = "o_orderkey";
     out.emplace_back("ordered_scan", q);
   }
+  {
+    // Low-cardinality int64 predicate + aggregate column: l_quantity's
+    // chunks bit-pack, so this exercises the encoded screening path, the
+    // SIMD compare on unpacked blocks, and the batch SUM/MIN/MAX fold.
+    QuerySpec q;
+    q.scan.table = "lineitem";
+    q.scan.columns = {"l_quantity"};
+    q.scan.predicate = Predicate::And(
+        Predicate::Cmp(*li.IndexOf("l_quantity"), CmpOp::kGe, Value::Int(10)),
+        Predicate::Cmp(*li.IndexOf("l_quantity"), CmpOp::kLt, Value::Int(40)));
+    q.aggregates = {{AggFn::kCount, "", "n"},
+                    {AggFn::kSum, "l_quantity", "s"},
+                    {AggFn::kMin, "l_quantity", "lo"},
+                    {AggFn::kMax, "l_quantity", "hi"},
+                    {AggFn::kAvg, "l_quantity", "m"}};
+    out.emplace_back("bitpacked_predicate_agg", q);
+  }
   return out;
 }
 
@@ -317,6 +335,45 @@ TEST(ParallelDifferential, ScanModesAreBitIdenticalAcrossWidthsAndCrunch) {
               << ScanModeName(mode) << " width " << width
               << " diverged from row-wise serial: " << diff;
         }
+      }
+    }
+  }
+}
+
+// SIMD-vs-scalar differential: pinning every kernel to the scalar
+// reference (what -DEON_SIMD=off compiles in permanently) must not change
+// a single output bit, for every query shape, at serial and parallel
+// widths, under all three scan pipelines. ForceScalarForTest flips a
+// global, so the scalar runs are grouped after the SIMD baseline of each
+// (query, mode, width) cell with no query in flight across the flip.
+TEST(ParallelDifferential, ScalarKernelsAreBitIdenticalToSimd) {
+  WidthedClusters* wc = WidthedClusters::Get();
+  constexpr ScanMode kModes[] = {ScanMode::kRowWise, ScanMode::kBlockEval,
+                                 ScanMode::kLateMat};
+  for (const auto& [name, spec] : ParallelQuerySet()) {
+    for (ScanMode mode : kModes) {
+      for (int width : {1, 4}) {
+        EonSession simd_session(wc->by_width[width]->cluster.get(), "",
+                                /*seed=*/31);
+        simd_session.set_scan_mode(mode);
+        auto with_simd = simd_session.Execute(spec);
+        ASSERT_TRUE(with_simd.ok()) << name << ": "
+                                    << with_simd.status().ToString();
+
+        simd::ForceScalarForTest(true);
+        EonSession scalar_session(wc->by_width[width]->cluster.get(), "",
+                                  /*seed=*/31);
+        scalar_session.set_scan_mode(mode);
+        auto with_scalar = scalar_session.Execute(spec);
+        simd::ForceScalarForTest(false);
+        ASSERT_TRUE(with_scalar.ok()) << name << ": "
+                                      << with_scalar.status().ToString();
+        EXPECT_EQ(with_scalar->profile.exec_kernel_isa, "scalar") << name;
+
+        std::string diff;
+        EXPECT_TRUE(BitIdentical(with_scalar->rows, with_simd->rows, &diff))
+            << name << " mode " << ScanModeName(mode) << " width " << width
+            << ": scalar diverged from SIMD: " << diff;
       }
     }
   }
