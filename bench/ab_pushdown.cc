@@ -1,0 +1,293 @@
+// A/B: predicate pushdown into the object store (near-data processing) —
+// bytes moved over the store interface and query time, cost-based
+// pushdown ON vs OFF, across predicate selectivities, cold vs warm.
+//
+// Fixture: an `events` table (id int64, v int64 uniform [0,10000), 64-byte
+// string payload) over simulated S3 with the default latency/bandwidth/NDP
+// model, one cluster per pushdown mode loaded identically. The query
+// SELECTs id,payload WHERE v < X for X in {10000, 1000, 100, 1} (100%,
+// 10%, 1%, 0.01% selectivity). Cold runs clear every node cache first; a
+// pushed morsel then ships only surviving rows instead of whole column
+// files. Warm runs (everything resident) must stay local under cost-based
+// planning, so the planner's overhead is the only possible regression.
+//
+// Shape checks (exit 2 on failure):
+//  - cold bytes over the interface at 1% selectivity: OFF >= 10x ON
+//  - ON actually pushed morsels on every cold selective run
+//  - warm p50 regression ON vs OFF <= 2% + 1 ms (planner overhead only)
+// Emits BENCH_pushdown.json plus metrics/systables sidecars.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "engine/ddl.h"
+#include "engine/dml.h"
+#include "engine/executor.h"
+
+namespace eon {
+namespace {
+
+constexpr int64_t kRows = 40000;
+constexpr int64_t kVRange = 10000;
+constexpr int64_t kCutoffs[] = {10000, 1000, 100, 1};
+constexpr int64_t kGateCutoff = 100;  // The 1%-selectivity gate point.
+constexpr int kWarmRepeats = 7;
+
+struct Fixture {
+  SimClock clock;
+  std::unique_ptr<SimObjectStore> store;
+  std::unique_ptr<EonCluster> cluster;
+};
+
+std::unique_ptr<Fixture> MakeFixture(int pushdown) {
+  auto f = std::make_unique<Fixture>();
+  SimStoreOptions sopts;  // Default S3-like latency + NDP model.
+  f->store = std::make_unique<SimObjectStore>(sopts, &f->clock);
+
+  ClusterOptions copts;
+  copts.num_shards = 2;
+  copts.k_safety = 1;
+  copts.exec_threads = 1;
+  copts.pushdown = pushdown;
+  auto cluster = EonCluster::Create(f->store.get(), &f->clock, copts,
+                                    {NodeSpec{"node1", ""}, NodeSpec{"node2", ""}});
+  if (!cluster.ok()) {
+    fprintf(stderr, "cluster create failed: %s\n",
+            cluster.status().ToString().c_str());
+    return nullptr;
+  }
+  f->cluster = std::move(cluster).value();
+
+  Schema schema({ColumnDef{"id", DataType::kInt64},
+                 ColumnDef{"v", DataType::kInt64},
+                 ColumnDef{"payload", DataType::kString}});
+  ProjectionSpec proj;
+  proj.name = "events_super";
+  proj.columns = {"id", "v", "payload"};
+  proj.sort_columns = {"id"};
+  proj.segmentation_columns = {"id"};
+  // No partition column: a few large containers per shard, so pushdown
+  // filters inside containers rather than partition pruning doing it all.
+  if (!CreateTable(f->cluster.get(), "events", schema, std::nullopt, {proj})
+           .ok()) {
+    fprintf(stderr, "create table failed\n");
+    return nullptr;
+  }
+
+  // Deterministic data: v uniform-ish over [0, kVRange); payload is a
+  // high-cardinality 64-byte string, so dictionary encoding cannot shrink
+  // the column — those are the bytes a pushed scan avoids moving.
+  std::vector<Row> rows;
+  rows.reserve(kRows);
+  uint64_t state = 12345;
+  for (int64_t i = 0; i < kRows; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    std::string payload = "payload-" + std::to_string(state);
+    payload.resize(64, 'x');
+    rows.push_back(Row{Value::Int(i),
+                       Value::Int(static_cast<int64_t>(state >> 33) % kVRange),
+                       Value::Str(std::move(payload))});
+  }
+  CopyOptions lopts;
+  lopts.rows_per_block = 512;
+  if (!CopyInto(f->cluster.get(), "events", rows, lopts).ok()) {
+    fprintf(stderr, "load failed\n");
+    return nullptr;
+  }
+  return f;
+}
+
+QuerySpec SelectiveQuery(int64_t cutoff) {
+  QuerySpec q;
+  q.scan.table = "events";
+  q.scan.columns = {"id", "payload"};
+  q.scan.predicate = Predicate::Cmp(1, CmpOp::kLt, Value::Int(cutoff));
+  return q;
+}
+
+void ClearAllCaches(EonCluster* cluster) {
+  for (const auto& node : cluster->nodes()) node->cache()->Clear();
+}
+
+struct ColdRun {
+  uint64_t bytes_moved = 0;  ///< Interface-crossing store bytes.
+  uint64_t containers_pushed = 0;
+  uint64_t store_bytes_scanned = 0;
+  uint64_t rows_out = 0;
+  int64_t total_micros = 0;  ///< CPU wall + SimClock-charged I/O.
+};
+
+}  // namespace
+}  // namespace eon
+
+int main() {
+  using namespace eon;
+
+  auto off = MakeFixture(/*pushdown=*/0);
+  auto on = MakeFixture(/*pushdown=*/1);  // Cost-based.
+  if (off == nullptr || on == nullptr) return 1;
+  auto off_ctx = BuildExecContext(off->cluster.get(), "", /*variation_seed=*/1);
+  auto on_ctx = BuildExecContext(on->cluster.get(), "", /*variation_seed=*/1);
+  if (!off_ctx.ok() || !on_ctx.ok()) return 1;
+
+  printf("# Predicate pushdown A/B: %lld events rows, SELECT id,payload "
+         "WHERE v < X, cost-based pushdown vs off\n",
+         static_cast<long long>(kRows));
+  printf("%8s %6s %14s %14s %10s %8s %12s %12s\n", "cutoff", "sel%",
+         "off_cold_KB", "on_cold_KB", "byte_redx", "pushed", "off_cold_ms",
+         "on_cold_ms");
+
+  JsonValue arr = JsonValue::Array();
+  double gate_reduction = 0;
+  uint64_t gate_pushed = 1;
+  bool pushed_every_selective = true;
+
+  for (int64_t cutoff : kCutoffs) {
+    const QuerySpec q = SelectiveQuery(cutoff);
+    ColdRun runs[2];  // [0]=off, [1]=on.
+    Fixture* fixtures[2] = {off.get(), on.get()};
+    const ExecContext* ctxs[2] = {&*off_ctx, &*on_ctx};
+    for (int m = 0; m < 2; ++m) {
+      ClearAllCaches(fixtures[m]->cluster.get());
+      Result<QueryResult> result = Status::Internal("unrun");
+      const bench::MeasuredMicros t =
+          bench::Measure(&fixtures[m]->clock, [&] {
+            result = ExecuteQuery(fixtures[m]->cluster.get(), q, *ctxs[m]);
+          });
+      if (!result.ok()) {
+        fprintf(stderr, "query failed: %s\n",
+                result.status().ToString().c_str());
+        return 1;
+      }
+      runs[m].bytes_moved = result->profile.store_bytes_read;
+      runs[m].containers_pushed = result->profile.pushdown_containers_pushed;
+      runs[m].store_bytes_scanned =
+          result->profile.pushdown_store_bytes_scanned;
+      runs[m].rows_out = result->rows.size();
+      runs[m].total_micros = t.total();
+    }
+    if (runs[0].rows_out != runs[1].rows_out) {
+      fprintf(stderr, "FAIL: row count diverged at cutoff %lld\n",
+              static_cast<long long>(cutoff));
+      return 1;
+    }
+    const double reduction =
+        runs[1].bytes_moved > 0
+            ? static_cast<double>(runs[0].bytes_moved) /
+                  static_cast<double>(runs[1].bytes_moved)
+            : 0.0;
+    if (cutoff == kGateCutoff) {
+      gate_reduction = reduction;
+      gate_pushed = runs[1].containers_pushed;
+    }
+    if (cutoff < kVRange && runs[1].containers_pushed == 0) {
+      pushed_every_selective = false;
+    }
+    printf("%8lld %6.2f %14.1f %14.1f %9.1fx %8llu %12.3f %12.3f\n",
+           static_cast<long long>(cutoff),
+           100.0 * static_cast<double>(std::min(cutoff, kVRange)) /
+               static_cast<double>(kVRange),
+           static_cast<double>(runs[0].bytes_moved) / 1000.0,
+           static_cast<double>(runs[1].bytes_moved) / 1000.0, reduction,
+           static_cast<unsigned long long>(runs[1].containers_pushed),
+           static_cast<double>(runs[0].total_micros) / 1000.0,
+           static_cast<double>(runs[1].total_micros) / 1000.0);
+
+    JsonValue e = JsonValue::Object();
+    e.Set("cutoff", JsonValue::Int(cutoff));
+    e.Set("rows_out", JsonValue::Int(static_cast<int64_t>(runs[0].rows_out)));
+    e.Set("off_cold_bytes_moved",
+          JsonValue::Int(static_cast<int64_t>(runs[0].bytes_moved)));
+    e.Set("on_cold_bytes_moved",
+          JsonValue::Int(static_cast<int64_t>(runs[1].bytes_moved)));
+    e.Set("bytes_reduction", JsonValue::Double(reduction));
+    e.Set("on_containers_pushed",
+          JsonValue::Int(static_cast<int64_t>(runs[1].containers_pushed)));
+    e.Set("on_store_bytes_scanned",
+          JsonValue::Int(static_cast<int64_t>(runs[1].store_bytes_scanned)));
+    e.Set("off_cold_micros", JsonValue::Int(runs[0].total_micros));
+    e.Set("on_cold_micros", JsonValue::Int(runs[1].total_micros));
+    arr.Append(std::move(e));
+  }
+
+  // Warm phase: fill every cache with a full (predicate-free) scan — which
+  // cost-based planning never pushes — then measure the selective query
+  // p50. The planner must keep warm morsels local, so ON may cost at most
+  // its own decision overhead vs OFF.
+  int64_t warm_p50[2] = {0, 0};
+  uint64_t warm_pushed = 0;
+  {
+    QuerySpec full;
+    full.scan.table = "events";
+    full.scan.columns = {"id", "v", "payload"};
+    const QuerySpec q = SelectiveQuery(kGateCutoff);
+    Fixture* fixtures[2] = {off.get(), on.get()};
+    const ExecContext* ctxs[2] = {&*off_ctx, &*on_ctx};
+    for (int m = 0; m < 2; ++m) {
+      auto fill = ExecuteQuery(fixtures[m]->cluster.get(), full, *ctxs[m]);
+      if (!fill.ok()) return 1;
+      std::vector<int64_t> samples;
+      for (int rep = 0; rep < kWarmRepeats; ++rep) {
+        Result<QueryResult> result = Status::Internal("unrun");
+        const bench::MeasuredMicros t =
+            bench::Measure(&fixtures[m]->clock, [&] {
+              result = ExecuteQuery(fixtures[m]->cluster.get(), q, *ctxs[m]);
+            });
+        if (!result.ok()) return 1;
+        if (m == 1) warm_pushed += result->profile.pushdown_containers_pushed;
+        samples.push_back(t.total());
+      }
+      std::sort(samples.begin(), samples.end());
+      warm_p50[m] = samples[samples.size() / 2];
+    }
+  }
+
+  JsonValue out = JsonValue::Object();
+  out.Set("bench", JsonValue::Str("pushdown"));
+  out.Set("rows", JsonValue::Int(kRows));
+  out.Set("results", std::move(arr));
+
+  // Shape checks.
+  const bool bytes_ok = gate_reduction >= 10.0;
+  const bool pushed_ok = pushed_every_selective && gate_pushed > 0;
+  // 2% warm budget with a 1 ms absolute floor (same rationale as the
+  // prefetch bench: warm scans are a few ms, pure percentages gate on
+  // scheduler noise).
+  const bool warm_ok =
+      warm_p50[1] <= warm_p50[0] + std::max<int64_t>(warm_p50[0] / 50, 1000);
+  const bool warm_local_ok = warm_pushed == 0;
+  JsonValue gates = JsonValue::Object();
+  gates.Set("bytes_reduction_at_1pct", JsonValue::Double(gate_reduction));
+  gates.Set("warm_off_p50_micros", JsonValue::Int(warm_p50[0]));
+  gates.Set("warm_on_p50_micros", JsonValue::Int(warm_p50[1]));
+  gates.Set("warm_pushed_containers",
+            JsonValue::Int(static_cast<int64_t>(warm_pushed)));
+  gates.Set("pass", JsonValue::Bool(bytes_ok && pushed_ok && warm_ok &&
+                                    warm_local_ok));
+  out.Set("gates", std::move(gates));
+
+  FILE* fp = fopen("BENCH_pushdown.json", "w");
+  if (fp != nullptr) {
+    const std::string text = out.Dump();
+    fwrite(text.data(), 1, text.size(), fp);
+    fclose(fp);
+    fprintf(stderr, "wrote BENCH_pushdown.json\n");
+  }
+  bench::DumpBenchSidecars("BENCH_pushdown", on->cluster.get());
+
+  printf("# shape check: %.1fx bytes-moved reduction at 1%% selectivity "
+         "(target >= 10x); warm p50 %.3f ms ON vs %.3f ms OFF (budget 2%% + "
+         "1 ms); %llu warm morsels pushed (target 0)\n",
+         gate_reduction, static_cast<double>(warm_p50[1]) / 1000.0,
+         static_cast<double>(warm_p50[0]) / 1000.0,
+         static_cast<unsigned long long>(warm_pushed));
+  if (!bytes_ok) fprintf(stderr, "FAIL: bytes reduction below 10x\n");
+  if (!pushed_ok) fprintf(stderr, "FAIL: no morsels pushed on a cold selective run\n");
+  if (!warm_ok) fprintf(stderr, "FAIL: warm regression over budget\n");
+  if (!warm_local_ok) fprintf(stderr, "FAIL: warm morsels were pushed\n");
+  return (bytes_ok && pushed_ok && warm_ok && warm_local_ok) ? 0 : 2;
+}

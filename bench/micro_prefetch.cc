@@ -47,12 +47,14 @@ struct WallFixture {
 };
 
 std::unique_ptr<WallFixture> MakeFixture(int io_threads, int depth,
-                                         const TpchData& data) {
+                                         const TpchData& data,
+                                         int pushdown = 0) {
   auto f = std::make_unique<WallFixture>();
   SimStoreOptions sopts;
   sopts.get_latency_micros = kGetLatencyMicros;
   sopts.put_latency_micros = 0;
   sopts.list_latency_micros = 0;
+  sopts.scan_latency_micros = 0;
   f->store = std::make_unique<SimObjectStore>(sopts, &f->clock);
 
   ClusterOptions copts;
@@ -61,6 +63,7 @@ std::unique_ptr<WallFixture> MakeFixture(int io_threads, int depth,
   copts.exec_threads = 1;  // Isolate fetch overlap from morsel parallelism.
   copts.io_threads = io_threads;
   copts.prefetch_depth = depth;
+  copts.pushdown = pushdown;
   copts.node.cache.capacity_bytes = 1ULL << 30;
   auto cluster = EonCluster::Create(f->store.get(), &f->clock, copts,
                                     {NodeSpec{"node1", ""}});
@@ -244,6 +247,33 @@ int main() {
   }
   out.Set("results", std::move(arr));
 
+  // Pushdown interaction: a morsel the planner pushes into the object
+  // store never materializes column files locally, so read-ahead for it is
+  // pure waste — the executor must not issue ANY prefetch for pushed
+  // morsels. Forced pushdown + a predicate pushes every morsel: a cold
+  // scan must report zero prefetches issued at depth 4.
+  uint64_t pushed_issued = 0, pushed_containers = 0;
+  {
+    auto f = MakeFixture(/*io_threads=*/4, /*depth=*/4, data, /*pushdown=*/2);
+    if (f == nullptr) return 1;
+    auto ctx = BuildExecContext(f->cluster.get(), "", /*variation_seed=*/1);
+    if (!ctx.ok()) return 1;
+    QuerySpec pushed_query = query;
+    const auto qcol = TpchLineitemSchema().IndexOf("l_quantity");
+    if (!qcol.ok()) return 1;
+    pushed_query.scan.predicate =
+        Predicate::Cmp(*qcol, CmpOp::kLt, Value::Int(10));
+    ClearAllCaches(f->cluster.get());
+    auto result = ExecuteQuery(f->cluster.get(), pushed_query, *ctx);
+    if (!result.ok()) {
+      fprintf(stderr, "pushed query failed: %s\n",
+              result.status().ToString().c_str());
+      return 1;
+    }
+    pushed_issued = result->profile.prefetch_issued;
+    pushed_containers = result->profile.pushdown_containers_pushed;
+  }
+
   // Shape checks.
   const bool speedup_ok = speedup_d4_io4 >= 2.0;
   // 2% warm budget with a 1 ms absolute floor: warm scans take a few ms,
@@ -252,6 +282,7 @@ int main() {
                                                               1000);
   const bool useful_ok = gate_useful > 0;
   const bool wasted_ok = gate_wasted * 2 <= gate_issued;
+  const bool pushed_ok = pushed_containers > 0 && pushed_issued == 0;
   JsonValue gates = JsonValue::Object();
   gates.Set("cold_speedup_depth4_io4", JsonValue::Double(speedup_d4_io4));
   gates.Set("warm_depth0_micros", JsonValue::Int(warm_d0));
@@ -260,8 +291,12 @@ int main() {
             JsonValue::Int(static_cast<int64_t>(gate_useful)));
   gates.Set("wasted_prefetches",
             JsonValue::Int(static_cast<int64_t>(gate_wasted)));
+  gates.Set("pushed_containers",
+            JsonValue::Int(static_cast<int64_t>(pushed_containers)));
+  gates.Set("pushed_prefetches_issued",
+            JsonValue::Int(static_cast<int64_t>(pushed_issued)));
   gates.Set("pass", JsonValue::Bool(speedup_ok && warm_ok && useful_ok &&
-                                    wasted_ok));
+                                    wasted_ok && pushed_ok));
   out.Set("gates", std::move(gates));
 
   FILE* fp = fopen("BENCH_prefetch.json", "w");
@@ -281,9 +316,18 @@ int main() {
          static_cast<unsigned long long>(gate_useful),
          static_cast<unsigned long long>(gate_wasted),
          static_cast<unsigned long long>(gate_issued));
+  printf("# pushdown: %llu containers pushed, %llu prefetches issued "
+         "(target 0 — pushed morsels bypass read-ahead)\n",
+         static_cast<unsigned long long>(pushed_containers),
+         static_cast<unsigned long long>(pushed_issued));
   if (!speedup_ok) fprintf(stderr, "FAIL: cold speedup below 2x\n");
   if (!warm_ok) fprintf(stderr, "FAIL: warm-scan regression over budget\n");
   if (!useful_ok) fprintf(stderr, "FAIL: no useful prefetches\n");
   if (!wasted_ok) fprintf(stderr, "FAIL: wasted > 50%% of issued\n");
-  return (speedup_ok && warm_ok && useful_ok && wasted_ok) ? 0 : 2;
+  if (!pushed_ok) {
+    fprintf(stderr, "FAIL: pushed morsels issued prefetches (or none "
+                    "pushed)\n");
+  }
+  return (speedup_ok && warm_ok && useful_ok && wasted_ok && pushed_ok) ? 0
+                                                                        : 2;
 }

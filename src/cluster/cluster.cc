@@ -69,6 +69,9 @@ EonCluster::EonCluster(ObjectStore* shared_storage, Clock* clock,
   // copies options_.node into each Node).
   options_.node.cache.io_pool = io_pool_.get();
   prefetch_depth_ = ResolvePrefetchDepth(options_.prefetch_depth);
+  pushdown_mode_ = ResolvePushdown(options_.pushdown);
+  pushdown_selectivity_cutoff_ =
+      ResolvePushdownCutoff(options_.pushdown_selectivity_cutoff);
 }
 
 int EonCluster::ResolveExecThreads(int configured) {
@@ -98,6 +101,26 @@ int EonCluster::ResolvePrefetchDepth(int configured) {
     if (end != env && v >= 0) return static_cast<int>(v);
   }
   return 4;
+}
+
+int EonCluster::ResolvePushdown(int configured) {
+  if (configured >= 0) return configured;
+  if (const char* env = std::getenv("EON_PUSHDOWN")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 0 && v <= 2) return static_cast<int>(v);
+  }
+  return 0;
+}
+
+double EonCluster::ResolvePushdownCutoff(double configured) {
+  if (configured >= 0) return configured;
+  if (const char* env = std::getenv("EON_PUSHDOWN_SELECTIVITY_CUTOFF")) {
+    char* end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end != env && v >= 0 && v <= 1.0) return v;
+  }
+  return 0.35;
 }
 
 Status EonCluster::BuildNodes(const std::vector<NodeSpec>& specs) {

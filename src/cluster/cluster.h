@@ -50,6 +50,17 @@ struct ClusterOptions {
   /// node's cache through the I/O pool. 0 disables prefetch; < 0 = auto:
   /// EON_PREFETCH_DEPTH if set, else 4.
   int prefetch_depth = -1;
+  /// Near-data predicate/aggregate pushdown (ObjectStore::ScanObject).
+  /// 0 = off; 1 = cost-based (push a morsel's scan into the store when
+  /// the container is cold and the predicate selective enough that the
+  /// response is cheaper than fetching the column files); 2 = force (push
+  /// every eligible morsel — benchmarking / tests). < 0 = auto:
+  /// EON_PUSHDOWN if set, else 0.
+  int pushdown = -1;
+  /// Cost-based mode's selectivity ceiling: predicates expected to keep
+  /// more than this fraction of rows stay on the local path. < 0 = auto:
+  /// EON_PUSHDOWN_SELECTIVITY_CUTOFF if set, else 0.35.
+  double pushdown_selectivity_cutoff = -1.0;
 };
 
 /// A file awaiting deletion from shared storage (Section 6.5): reclaimed
@@ -119,6 +130,12 @@ class EonCluster {
   IoPool* io_pool() { return io_pool_.get(); }
   /// Effective scan read-ahead depth (ClusterOptions::prefetch_depth).
   int prefetch_depth() const { return prefetch_depth_; }
+  /// Effective pushdown mode (ClusterOptions::pushdown).
+  int pushdown_mode() const { return pushdown_mode_; }
+  /// Effective cost-model selectivity ceiling for pushdown.
+  double pushdown_selectivity_cutoff() const {
+    return pushdown_selectivity_cutoff_;
+  }
 
   // --- Distributed commit (Section 3.2) ---
 
@@ -211,6 +228,10 @@ class EonCluster {
   static int ResolveIoThreads(int configured);
   /// ClusterOptions::prefetch_depth → effective read-ahead depth.
   static int ResolvePrefetchDepth(int configured);
+  /// ClusterOptions::pushdown → effective pushdown mode.
+  static int ResolvePushdown(int configured);
+  /// ClusterOptions::pushdown_selectivity_cutoff → effective ceiling.
+  static double ResolvePushdownCutoff(double configured);
 
   Status BuildNodes(const std::vector<NodeSpec>& specs);
   /// Apply log records the target missed, fetched from any up peer.
@@ -233,6 +254,8 @@ class EonCluster {
   /// nodes (destroyed first, reverse declaration order) shut down.
   std::unique_ptr<IoPool> io_pool_;
   int prefetch_depth_ = 0;
+  int pushdown_mode_ = 0;
+  double pushdown_selectivity_cutoff_ = 0.35;
   IncarnationId incarnation_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<PendingFileDelete> pending_deletes_;

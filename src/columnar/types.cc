@@ -4,6 +4,16 @@
 
 namespace eon {
 
+uint64_t RowBytes(const Row& row) {
+  uint64_t bytes = 0;
+  for (const Value& v : row) {
+    bytes += 1;  // Null/type tag.
+    if (v.is_null()) continue;
+    bytes += v.type() == DataType::kString ? v.str_value().size() + 4 : 8;
+  }
+  return bytes;
+}
+
 const char* DataTypeName(DataType t) {
   switch (t) {
     case DataType::kInt64: return "int64";

@@ -98,6 +98,9 @@ class Value {
 /// A tuple: one Value per schema column.
 using Row = std::vector<Value>;
 
+/// Rough serialized size of a row (network / response cost accounting).
+uint64_t RowBytes(const Row& row);
+
 }  // namespace eon
 
 #endif  // EON_COLUMNAR_TYPES_H_

@@ -10,6 +10,7 @@
 #include "columnar/agg.h"
 #include "columnar/batch.h"
 #include "columnar/kernels.h"
+#include "columnar/ndp.h"
 #include "columnar/ros.h"
 #include "common/codec.h"
 #include "common/thread_pool.h"
@@ -19,16 +20,6 @@
 #include "obs/trace.h"
 
 namespace eon {
-
-uint64_t RowBytes(const Row& row) {
-  uint64_t bytes = 0;
-  for (const Value& v : row) {
-    bytes += 1;  // Null/type tag.
-    if (v.is_null()) continue;
-    bytes += v.type() == DataType::kString ? v.str_value().size() + 4 : 8;
-  }
-  return bytes;
-}
 
 namespace {
 
@@ -87,6 +78,11 @@ struct ScanOutput {
   /// segmentation column, when the scan preserved row placement by its
   /// hash — the locality token joins and group-bys test.
   std::string segmented_by;
+  /// Store-side partial aggregates from pushed-aggregate morsels, merged
+  /// per executing node in morsel order (empty when the fold stayed
+  /// local). The aggregation phase splices these into its per-node fold.
+  std::map<Oid, GroupMap> partials_by_node;
+  bool aggs_pushed = false;
 };
 
 Result<const ProjectionDef*> ChooseProjection(
@@ -172,6 +168,7 @@ Result<ScanOutput> ScanDistributed(EonCluster* cluster,
                                    const CatalogState& snapshot,
                                    const ScanSpec& spec,
                                    const std::vector<std::string>& extra_cols,
+                                   const QuerySpec* agg_push,
                                    ExecStats* stats,
                                    obs::QueryProfile* profile,
                                    ExecParallel* par) {
@@ -280,6 +277,50 @@ Result<ScanOutput> ScanDistributed(EonCluster* cluster,
     }
   }
 
+  // Aggregate-push resolution: when the caller's aggregation phase is
+  // eligible (no join, no crunch — the caller only passes `agg_push`
+  // then), map its grouping keys and aggregate inputs onto positions in
+  // the output row and keep them only if EVERY aggregate is exactly
+  // mergeable store-side (IsPushableAggregate). Any miss disables
+  // aggregate pushdown for the whole scan; row pushdown is unaffected.
+  std::vector<size_t> push_group_pos;
+  std::vector<NdpAggSpec> push_agg_specs;
+  bool agg_push_ok = agg_push != nullptr && !agg_push->aggregates.empty() &&
+                     cluster->pushdown_mode() > 0;
+  if (agg_push_ok) {
+    for (const std::string& g : agg_push->group_by) {
+      auto it = std::find(out_names.begin(), out_names.end(), g);
+      if (it == out_names.end()) {
+        agg_push_ok = false;
+        break;
+      }
+      push_group_pos.push_back(static_cast<size_t>(it - out_names.begin()));
+    }
+    for (const AggSpec& a : agg_push->aggregates) {
+      if (!agg_push_ok) break;
+      NdpAggSpec s;
+      s.fn = a.fn;
+      if (a.column.empty()) {
+        if (a.fn != AggFn::kCount) {
+          agg_push_ok = false;
+          break;
+        }
+      } else {
+        auto it = std::find(out_names.begin(), out_names.end(), a.column);
+        if (it == out_names.end()) {
+          agg_push_ok = false;
+          break;
+        }
+        s.column = static_cast<size_t>(it - out_names.begin());
+        if (!IsPushableAggregate(a.fn, output.schema.column(s.column).type)) {
+          agg_push_ok = false;
+          break;
+        }
+      }
+      push_agg_specs.push_back(s);
+    }
+  }
+
   // Shard worklist: segment shards for segmented projections; the replica
   // shard (served by one participating node) for replicated ones.
   struct ShardWork {
@@ -316,7 +357,30 @@ Result<ScanOutput> ScanDistributed(EonCluster* cluster,
     const StorageContainerMeta* container;
     size_t k = 1;     ///< Sharing-group size (crunch fan-out).
     size_t rank = 0;  ///< This morsel's rank within the sharing group.
+    bool push = false;       ///< Planner chose the near-data scan path.
+    bool push_aggs = false;  ///< The store folds partial aggregates too.
+    uint64_t cold_bytes = 0;  ///< Planner's cold-fetch estimate (profile).
   };
+
+  // Per-morsel pushdown inputs that do not depend on the container: the
+  // needed column set (scan + predicate, deduplicated), the estimated
+  // wire size of one output row (fixed-width values ship as ~9 bytes of
+  // tag + payload, strings as ~24), and the predicate selectivity prior.
+  const int pushdown_mode = cluster->pushdown_mode();
+  std::vector<size_t> needed_cols = scan_cols;
+  for (size_t c : pred_proj_cols) {
+    if (std::find(needed_cols.begin(), needed_cols.end(), c) ==
+        needed_cols.end()) {
+      needed_cols.push_back(c);
+    }
+  }
+  uint64_t est_row_bytes = 0;
+  for (size_t pos : out_proj_cols) {
+    est_row_bytes +=
+        proj_schema.column(pos).type == DataType::kString ? 24 : 9;
+  }
+  const double selectivity = pred ? pred->EstimatedSelectivity() : 1.0;
+
   std::vector<Morsel> morsels;
   for (const ShardWork& sw : work) {
     // "When an executor node receives a query plan, it attaches storage
@@ -344,8 +408,44 @@ Result<ScanOutput> ScanDistributed(EonCluster* cluster,
         if (executor == nullptr || !executor->is_up()) {
           return Status::Unavailable("participating node is down");
         }
-        morsels.push_back(Morsel{sw.nodes[rank], executor, serving_snapshot,
-                                 container, k, rank});
+        Morsel m{sw.nodes[rank], executor, serving_snapshot,
+                 container,      k,        rank};
+        if (pushdown_mode > 0) {
+          // Cost-based near-data decision, per morsel: estimate what a
+          // LOCAL scan would fetch cold (needed column files not resident
+          // in this node's cache) against what a PUSHED scan would return
+          // (selectivity prior x rows x row wire size, or flat partials
+          // for an aggregate push, plus a per-request surcharge).
+          PushdownDecision d;
+          d.mode = pushdown_mode;
+          d.has_predicate = pred != nullptr;
+          d.has_aggregates = agg_push_ok;
+          d.selectivity = selectivity;
+          d.selectivity_cutoff = cluster->pushdown_selectivity_cutoff();
+          const uint64_t file_bytes =
+              container->total_bytes /
+              std::max<uint64_t>(1, container->num_columns);
+          for (size_t col : needed_cols) {
+            if (!executor->cache()->Contains(RosContainerWriter::ColumnKey(
+                    container->base_key, col))) {
+              d.cold_bytes += file_bytes;
+            }
+          }
+          uint64_t range_rows = container->row_count;
+          if (k > 1 && context.crunch == CrunchMode::kContainerSplit) {
+            range_rows = container->row_count * (rank + 1) / k -
+                         container->row_count * rank / k;
+          }
+          d.pushed_bytes =
+              agg_push_ok ? 1024
+                          : static_cast<uint64_t>(selectivity * range_rows *
+                                                  est_row_bytes) +
+                                256;
+          m.cold_bytes = d.cold_bytes;
+          m.push = ChoosePushdown(d);
+          m.push_aggs = m.push && agg_push_ok;
+        }
+        morsels.push_back(std::move(m));
       }
     }
   }
@@ -392,6 +492,9 @@ Result<ScanOutput> ScanDistributed(EonCluster* cluster,
     size_t missing = 0;
     for (size_t j = begin; j < end; ++j) {
       const Morsel& next = morsels[j];
+      // Pushed morsels never read through the cache: prefetching their
+      // column files would fetch the very bytes the push exists to avoid.
+      if (next.push) continue;
       // Per-file size estimate for the admission window; the catalog does
       // not track per-column sizes.
       const uint64_t hint =
@@ -421,6 +524,15 @@ Result<ScanOutput> ScanDistributed(EonCluster* cluster,
     std::vector<Row> rows;     ///< Post-filter, stripped output rows.
     size_t rows_scanned = 0;   ///< Pre-filter count (profile semantics).
     RosScanStats scan;
+    // Near-data outcome: set when the morsel actually executed store-side
+    // (a NotSupported store silently falls back to the local path).
+    bool pushed = false;
+    bool has_partials = false;  ///< `partials` replaces `rows`.
+    GroupMap partials;          ///< Store-side partial aggregates.
+    uint64_t response_bytes = 0;
+    uint64_t store_bytes_scanned = 0;
+    uint64_t store_rows_filtered = 0;
+    uint64_t bytes_saved = 0;  ///< Estimated cold fetch the push avoided.
   };
   std::vector<MorselResult> results(morsels.size());
   par->Run(morsels.size(), [&](size_t i) {
@@ -431,22 +543,67 @@ Result<ScanOutput> ScanDistributed(EonCluster* cluster,
       EON_ASSIGN_OR_RETURN(
           DeleteVector deletes,
           LoadDeleteVector(*m.snapshot, *m.container, m.executor->cache()));
-      RosScanOptions scan;
-      scan.output_columns = scan_cols;
-      scan.predicate = pred;
-      scan.predicate_columns = pred_proj_cols;
-      scan.deletes = &deletes;
-      ApplyScanMode(context.scan_mode, &scan);
-      if (m.k > 1 && context.crunch == CrunchMode::kContainerSplit) {
-        // Physical split: each sharing node reads a distinct row range
-        // (each row read once; segmentation property lost).
-        scan.row_begin = m.container->row_count * m.rank / m.k;
-        scan.row_end = m.container->row_count * (m.rank + 1) / m.k;
+      std::vector<Row> rows;
+      bool pushed = false;
+      if (m.push) {
+        // Near-data path: the store runs the same scan pipeline next to
+        // the data and returns only surviving rows (or agg partials),
+        // bypassing this node's cache entirely.
+        ScanObjectRequest req;
+        req.base_key = m.container->base_key;
+        req.schema = proj_schema;
+        req.output_columns = scan_cols;
+        req.predicate = pred;
+        req.predicate_columns = pred_proj_cols;
+        req.deletes = &deletes;
+        if (m.k > 1 && context.crunch == CrunchMode::kContainerSplit) {
+          req.row_begin = m.container->row_count * m.rank / m.k;
+          req.row_end = m.container->row_count * (m.rank + 1) / m.k;
+        }
+        if (m.push_aggs) {
+          req.aggregates = push_agg_specs;
+          req.group_columns = push_group_pos;
+        }
+        ScanObjectResponse resp;
+        Status s = m.executor->shared_storage()->ScanObject(req, &resp);
+        if (s.ok()) {
+          pushed = true;
+          res.pushed = true;
+          res.response_bytes = resp.response_bytes;
+          res.store_bytes_scanned = resp.bytes_scanned;
+          res.store_rows_filtered = resp.rows_visited - resp.rows_output;
+          res.bytes_saved = m.cold_bytes;
+          res.scan = resp.scan;
+          if (m.push_aggs) {
+            res.partials = std::move(resp.groups);
+            res.has_partials = true;
+            res.rows_scanned = resp.rows_output;
+            return Status::OK();
+          }
+          rows = std::move(resp.rows);
+        } else if (!s.IsNotSupported()) {
+          return s;
+        }
+        // NotSupported: the store has no near-data capability — fall
+        // back to the ordinary cache-mediated scan below.
       }
-      EON_ASSIGN_OR_RETURN(
-          std::vector<Row> rows,
-          ScanRosContainer(proj_schema, m.container->base_key,
-                           m.executor->cache(), scan, &res.scan));
+      if (!pushed) {
+        RosScanOptions scan;
+        scan.output_columns = scan_cols;
+        scan.predicate = pred;
+        scan.predicate_columns = pred_proj_cols;
+        scan.deletes = &deletes;
+        ApplyScanMode(context.scan_mode, &scan);
+        if (m.k > 1 && context.crunch == CrunchMode::kContainerSplit) {
+          // Physical split: each sharing node reads a distinct row range
+          // (each row read once; segmentation property lost).
+          scan.row_begin = m.container->row_count * m.rank / m.k;
+          scan.row_end = m.container->row_count * (m.rank + 1) / m.k;
+        }
+        EON_ASSIGN_OR_RETURN(
+            rows, ScanRosContainer(proj_schema, m.container->base_key,
+                                   m.executor->cache(), scan, &res.scan));
+      }
       res.rows_scanned = rows.size();
       res.rows.reserve(rows.size());
       const bool hash_filter =
@@ -498,8 +655,32 @@ Result<ScanOutput> ScanDistributed(EonCluster* cluster,
     EON_RETURN_IF_ERROR(results[i].status);
     MorselResult& res = results[i];
     stats->scan.Add(res.scan);
+    if (res.pushed) {
+      stats->pushdown.containers_pushed++;
+      stats->pushdown.response_bytes += res.response_bytes;
+      stats->pushdown.store_bytes_scanned += res.store_bytes_scanned;
+      stats->pushdown.store_rows_filtered += res.store_rows_filtered;
+      stats->pushdown.bytes_saved += res.bytes_saved;
+    } else {
+      stats->pushdown.containers_local++;
+    }
     profile->rows_scanned_by_node[morsels[i].node] += res.rows_scanned;
     profile->rows_scanned_total += res.rows_scanned;
+    if (res.has_partials) {
+      // Aggregate pushdown: partials merge per executing node (exactly
+      // mergeable by construction, so morsel order cannot change a bit).
+      output.aggs_pushed = true;
+      GroupMap& psink = output.partials_by_node[morsels[i].node];
+      for (auto& [key, states] : res.partials) {
+        auto [it, inserted] = psink.try_emplace(key, std::move(states));
+        if (!inserted) {
+          for (size_t a = 0; a < it->second.size(); ++a) {
+            it->second[a].Merge(states[a]);
+          }
+        }
+      }
+      continue;
+    }
     std::vector<Row>& sink = output.rows_by_node[morsels[i].node];
     if (sink.empty()) {
       sink = std::move(res.rows);
@@ -889,6 +1070,22 @@ Result<QueryResult> ExecuteSystemQuery(EonCluster* cluster,
 
 }  // namespace
 
+bool ChoosePushdown(const PushdownDecision& d) {
+  if (d.mode <= 0) return false;
+  // Nothing to do near the data: an unfiltered, unaggregated push ships
+  // every byte anyway — with store-side work and a request surcharge on
+  // top of it.
+  if (!d.has_predicate && !d.has_aggregates) return false;
+  if (d.mode >= 2) return true;
+  // Fully warm cache: the local scan reads nothing from the store, so any
+  // push is pure regression.
+  if (d.cold_bytes == 0) return false;
+  // Row pushdown only pays off when the predicate drops most rows; the
+  // cutoff guards against optimistic byte estimates near break-even.
+  if (!d.has_aggregates && d.selectivity > d.selectivity_cutoff) return false;
+  return d.pushed_bytes < d.cold_bytes;
+}
+
 Result<ExecContext> BuildExecContext(EonCluster* cluster,
                                      const std::string& connected_node,
                                      uint64_t variation_seed,
@@ -1052,11 +1249,26 @@ Result<QueryResult> ExecuteQuery(EonCluster* cluster,
   const CacheStats cache_before = cache_totals();
   const ObjectStoreMetrics store_before = cluster->shared_storage()->metrics();
 
+  // Aggregate pushdown is offered to the scan only when the fold's inputs
+  // are exactly the scanned rows: no join to run in between, and no
+  // crunch fan-out (hash-filter would need a post-scan row filter the
+  // store-side fold has already consumed).
+  const QuerySpec* agg_push =
+      (!spec.join && context.crunch == CrunchMode::kNone &&
+       !spec.aggregates.empty())
+          ? &spec
+          : nullptr;
   PhaseScope scan_scope(&tracer, &profile, obs::QueryPhase::kScan, root);
   EON_ASSIGN_OR_RETURN(ScanOutput left,
                        ScanDistributed(cluster, context, *snapshot, spec.scan,
-                                       left_extras, &stats, &profile, &par));
+                                       left_extras, agg_push, &stats,
+                                       &profile, &par));
   scan_scope.End();
+
+  // Store-side partial aggregates from pushed morsels; spliced into the
+  // aggregation phase's per-node fold below.
+  std::map<Oid, GroupMap> pushed_partials = std::move(left.partials_by_node);
+  stats.pushdown.aggregates_pushed = left.aggs_pushed;
 
   // --- Join ---
   Schema joined_schema = left.schema;
@@ -1079,7 +1291,8 @@ Result<QueryResult> ExecuteQuery(EonCluster* cluster,
     EON_ASSIGN_OR_RETURN(
         ScanOutput right,
         ScanDistributed(cluster, context, *snapshot, spec.join->right,
-                        right_extras, &stats, &profile, &par));
+                        right_extras, /*agg_push=*/nullptr, &stats, &profile,
+                        &par));
     right_scan_scope.End();
     PhaseScope join_scope(&tracer, &profile, obs::QueryPhase::kJoin, root);
 
@@ -1257,18 +1470,39 @@ Result<QueryResult> ExecuteQuery(EonCluster* cluster,
       // partials are final — groups never span nodes — and the merge is
       // pure insertion. Kernel-call counters are per-task slots, summed
       // after the barrier, so the tasks stay write-disjoint.
-      std::vector<const std::vector<Row>*> node_rows;
+      std::vector<std::pair<Oid, const std::vector<Row>*>> node_rows;
       node_rows.reserve(data.size());
-      for (auto& [node, rows] : data) node_rows.push_back(&rows);
+      for (auto& [node, rows] : data) node_rows.emplace_back(node, &rows);
       std::vector<GroupMap> partials(node_rows.size());
       std::vector<uint64_t> partial_kernel_calls(node_rows.size(), 0);
       par.Run(node_rows.size(), [&](size_t i) {
-        FoldRowsIntoGroups(*node_rows[i], group_pos, spec.aggregates, agg_pos,
-                           agg_types, /*missing_input=*/nullptr, &partials[i],
-                           &partial_kernel_calls[i]);
+        FoldRowsIntoGroups(*node_rows[i].second, group_pos, spec.aggregates,
+                           agg_pos, agg_types, /*missing_input=*/nullptr,
+                           &partials[i], &partial_kernel_calls[i]);
       });
       for (uint64_t k : partial_kernel_calls) stats.scan.kernel_calls += k;
-      for (GroupMap& partial : partials) {
+      // Splice in store-side partials from pushed-aggregate morsels: each
+      // joins its executing node's fold (keyed and merged per node, in
+      // node order) so transfer accounting and merge order are identical
+      // to the all-local path. A node whose morsels ALL pushed has no row
+      // fold at all and enters the map here.
+      std::map<Oid, GroupMap> by_node;
+      for (size_t i = 0; i < node_rows.size(); ++i) {
+        by_node[node_rows[i].first] = std::move(partials[i]);
+      }
+      for (auto& [node, pushed] : pushed_partials) {
+        GroupMap& sink = by_node[node];
+        for (auto& [key, states] : pushed) {
+          auto [it, inserted] = sink.try_emplace(key, std::move(states));
+          if (!inserted) {
+            for (size_t a = 0; a < it->second.size(); ++a) {
+              it->second[a].Merge(states[a]);
+            }
+          }
+        }
+      }
+      for (auto& [node_oid, partial] : by_node) {
+        (void)node_oid;
         for (auto& [key, states] : partial) {
           if (!local) {
             // Partial-state transfer to the initiator is accounted; local
@@ -1398,9 +1632,17 @@ Result<QueryResult> ExecuteQuery(EonCluster* cluster,
   profile.store_gets = store_after.gets - store_before.gets;
   profile.store_puts = store_after.puts - store_before.puts;
   profile.store_lists = store_after.lists - store_before.lists;
+  profile.store_scans = store_after.scans - store_before.scans;
   profile.store_bytes_read = store_after.bytes_read - store_before.bytes_read;
   profile.store_cost_microdollars =
       store_after.cost_microdollars - store_before.cost_microdollars;
+  profile.pushdown_containers_pushed = stats.pushdown.containers_pushed;
+  profile.pushdown_containers_local = stats.pushdown.containers_local;
+  profile.pushdown_response_bytes = stats.pushdown.response_bytes;
+  profile.pushdown_store_bytes_scanned = stats.pushdown.store_bytes_scanned;
+  profile.pushdown_store_rows_filtered = stats.pushdown.store_rows_filtered;
+  profile.pushdown_bytes_saved = stats.pushdown.bytes_saved;
+  profile.pushdown_aggregates = stats.pushdown.aggregates_pushed;
   par.Flush(&profile);
   root.End();
 

@@ -41,6 +41,34 @@ struct ExecContext {
   std::string resource_pool;
 };
 
+/// Inputs to the per-morsel pushdown decision (near-data processing). The
+/// executor fills one of these per container; exported so tests can pin
+/// the planner's choices without standing up a cluster.
+struct PushdownDecision {
+  /// Cluster pushdown mode: 0 = off, 1 = cost-based, 2 = force.
+  int mode = 0;
+  bool has_predicate = false;
+  bool has_aggregates = false;  ///< Aggregate partials would be pushed.
+  /// Predicate selectivity prior (fraction of rows expected to survive).
+  double selectivity = 1.0;
+  double selectivity_cutoff = 0.35;
+  /// Estimated bytes a LOCAL scan would fetch from the store: the sizes of
+  /// the needed column files that are not resident in this node's cache.
+  /// 0 means fully warm — a local scan touches the store not at all.
+  uint64_t cold_bytes = 0;
+  /// Estimated bytes a pushed scan would return (surviving rows or agg
+  /// partials, plus a flat per-request surcharge).
+  uint64_t pushed_bytes = 0;
+};
+
+/// Cost-based choice: push the scan to the object store iff pushdown is
+/// enabled, the scan filters or aggregates (otherwise pushing ships the
+/// same bytes with extra store-side work), the predicate is selective
+/// enough, the cache is cold for at least one needed file, and the
+/// estimated response is smaller than the estimated cold fetch. Mode 2
+/// forces pushing whenever there is anything to push.
+bool ChoosePushdown(const PushdownDecision& d);
+
 /// Execute a query against the cluster under the given context. Planning
 /// follows the paper's Section 4:
 ///  - each participating node scans only the shards the session assigned

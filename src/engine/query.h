@@ -69,6 +69,21 @@ struct ExecStats {
   Crunch crunch = Crunch::kNone;
   /// The optimizer answered from a live aggregate projection (§2.1).
   bool used_live_aggregate = false;
+  /// Near-data processing: per-morsel outcome of the pushdown planner and
+  /// what the store-side scans did (tentpole of the NDP change).
+  struct PushdownStats {
+    uint64_t containers_pushed = 0;  ///< Morsels executed via ScanObject.
+    uint64_t containers_local = 0;   ///< Morsels scanned through the cache.
+    uint64_t response_bytes = 0;     ///< Bytes the store actually returned.
+    /// Column-file bytes the store read next to the data (never shipped).
+    uint64_t store_bytes_scanned = 0;
+    /// Rows the store-side predicate dropped before the network.
+    uint64_t store_rows_filtered = 0;
+    /// Planner's estimate of the cold fetch bytes the push avoided.
+    uint64_t bytes_saved = 0;
+    /// True when group-by/aggregate partials were computed store-side.
+    bool aggregates_pushed = false;
+  } pushdown;
 };
 
 /// Query output: schema + rows + stats + the catalog version it read.
@@ -82,9 +97,6 @@ struct QueryResult {
   obs::QueryProfile profile;
   uint64_t catalog_version = 0;
 };
-
-/// Rough serialized size of a row (network cost accounting).
-uint64_t RowBytes(const Row& row);
 
 }  // namespace eon
 

@@ -49,7 +49,7 @@ const std::map<std::string, Schema>& Registry() {
         Col("store", kS), Col("node", kS), Col("at_micros", kI),
         Col("op", kS), Col("key", kS), Col("bytes", kI),
         Col("latency_micros", kI), Col("cost", kI), Col("ok", kI),
-        Col("origin", kS)});
+        Col("origin", kS), Col("bytes_scanned", kI)});
     (*m)["dc_mergeout_events"] = Schema({
         Col("node", kS), Col("at_micros", kI), Col("projection", kS),
         Col("shard", kI), Col("inputs", kI), Col("rows_written", kI),
@@ -165,7 +165,7 @@ std::vector<Row> StoreRequestRows(EonCluster* cluster) {
       rows.push_back(Row{S(e.store), S(e.node), I(e.at_micros), S(e.op),
                          S(e.key), U(e.bytes), I(e.latency_micros),
                          U(e.cost_microdollars), I(e.ok ? 1 : 0),
-                         S(e.origin)});
+                         S(e.origin), U(e.bytes_scanned)});
     }
   }
   return rows;

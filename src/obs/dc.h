@@ -67,9 +67,12 @@ struct DcStoreRequest {
   std::string store;
   std::string node;
   int64_t at_micros = 0;
-  std::string op;  ///< get / put / list / delete.
+  std::string op;  ///< get / put / list / delete / scan.
   std::string key;
+  /// Bytes that crossed the wire (response payload for op=scan).
   uint64_t bytes = 0;
+  /// op=scan only: column-file bytes the store filtered locally.
+  uint64_t bytes_scanned = 0;
   int64_t latency_micros = 0;
   uint64_t cost_microdollars = 0;
   bool ok = true;

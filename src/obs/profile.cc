@@ -76,11 +76,30 @@ JsonValue QueryProfile::ToJson() const {
   store.Set("gets", JsonValue::Int(static_cast<int64_t>(store_gets)));
   store.Set("puts", JsonValue::Int(static_cast<int64_t>(store_puts)));
   store.Set("lists", JsonValue::Int(static_cast<int64_t>(store_lists)));
+  store.Set("scans", JsonValue::Int(static_cast<int64_t>(store_scans)));
   store.Set("bytes_read",
             JsonValue::Int(static_cast<int64_t>(store_bytes_read)));
   store.Set("cost_microdollars",
             JsonValue::Int(static_cast<int64_t>(store_cost_microdollars)));
   out.Set("object_store", std::move(store));
+
+  JsonValue pushdown = JsonValue::Object();
+  pushdown.Set("containers_pushed",
+               JsonValue::Int(static_cast<int64_t>(pushdown_containers_pushed)));
+  pushdown.Set("containers_local",
+               JsonValue::Int(static_cast<int64_t>(pushdown_containers_local)));
+  pushdown.Set("response_bytes",
+               JsonValue::Int(static_cast<int64_t>(pushdown_response_bytes)));
+  pushdown.Set(
+      "store_bytes_scanned",
+      JsonValue::Int(static_cast<int64_t>(pushdown_store_bytes_scanned)));
+  pushdown.Set(
+      "store_rows_filtered",
+      JsonValue::Int(static_cast<int64_t>(pushdown_store_rows_filtered)));
+  pushdown.Set("bytes_saved",
+               JsonValue::Int(static_cast<int64_t>(pushdown_bytes_saved)));
+  pushdown.Set("aggregates_pushed", JsonValue::Bool(pushdown_aggregates));
+  out.Set("pushdown", std::move(pushdown));
 
   out.Set("network_bytes",
           JsonValue::Int(static_cast<int64_t>(network_bytes)));
@@ -161,13 +180,29 @@ std::string QueryProfile::ToText() const {
            static_cast<double>(cache_fill_bytes) / 1e6);
   out += buf;
   snprintf(buf, sizeof(buf),
-           " s3: %llu GET, %llu PUT, %llu LIST, %.2f MB read, cost $%.6f\n",
+           " s3: %llu GET, %llu PUT, %llu LIST, %llu SCAN, %.2f MB read, "
+           "cost $%.6f\n",
            static_cast<unsigned long long>(store_gets),
            static_cast<unsigned long long>(store_puts),
            static_cast<unsigned long long>(store_lists),
+           static_cast<unsigned long long>(store_scans),
            static_cast<double>(store_bytes_read) / 1e6,
            static_cast<double>(store_cost_microdollars) / 1e6);
   out += buf;
+  if (pushdown_containers_pushed > 0) {
+    snprintf(buf, sizeof(buf),
+             " pushdown: %llu/%llu containers pushed%s; %.2f MB returned, "
+             "%.2f MB scanned in-store, %llu rows filtered, ~%.2f MB saved\n",
+             static_cast<unsigned long long>(pushdown_containers_pushed),
+             static_cast<unsigned long long>(pushdown_containers_pushed +
+                                             pushdown_containers_local),
+             pushdown_aggregates ? " (aggregates)" : "",
+             static_cast<double>(pushdown_response_bytes) / 1e6,
+             static_cast<double>(pushdown_store_bytes_scanned) / 1e6,
+             static_cast<unsigned long long>(pushdown_store_rows_filtered),
+             static_cast<double>(pushdown_bytes_saved) / 1e6);
+    out += buf;
+  }
   snprintf(buf, sizeof(buf), " network: %.2f MB, %llu rows shuffled\n",
            static_cast<double>(network_bytes) / 1e6,
            static_cast<unsigned long long>(rows_shuffled));

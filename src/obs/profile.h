@@ -53,8 +53,20 @@ struct QueryProfile {
   uint64_t store_gets = 0;
   uint64_t store_puts = 0;
   uint64_t store_lists = 0;
+  uint64_t store_scans = 0;  ///< Near-data ScanObject requests.
   uint64_t store_bytes_read = 0;
   uint64_t store_cost_microdollars = 0;
+
+  // Near-data processing (predicate/aggregate pushdown): how many scan
+  // morsels the planner pushed into the object store vs ran locally, and
+  // what the pushed scans moved / filtered / saved.
+  uint64_t pushdown_containers_pushed = 0;
+  uint64_t pushdown_containers_local = 0;
+  uint64_t pushdown_response_bytes = 0;
+  uint64_t pushdown_store_bytes_scanned = 0;  ///< Read next to the data.
+  uint64_t pushdown_store_rows_filtered = 0;  ///< Dropped before the wire.
+  uint64_t pushdown_bytes_saved = 0;  ///< Estimated cold bytes avoided.
+  bool pushdown_aggregates = false;   ///< Partials computed store-side.
 
   uint64_t network_bytes = 0;
   uint64_t rows_shuffled = 0;

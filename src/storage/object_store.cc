@@ -3,21 +3,28 @@
 #include <map>
 #include <mutex>
 
+#include "columnar/ndp.h"
+
 namespace eon {
 
+Status ObjectStore::ScanObject(const ScanObjectRequest& request,
+                               ScanObjectResponse* response) {
+  (void)request;
+  (void)response;
+  return Status::NotSupported("store has no near-data scan capability");
+}
+
+// List returns keys >= the prefix in sorted order, so an exact match can
+// only be the FIRST entry — no linear walk of every object under the
+// prefix (cache admission probes a hot path through here).
 Result<bool> ObjectStore::Exists(const std::string& key) {
   EON_ASSIGN_OR_RETURN(std::vector<ObjectMeta> metas, List(key));
-  for (const ObjectMeta& m : metas) {
-    if (m.key == key) return true;
-  }
-  return false;
+  return !metas.empty() && metas.front().key == key;
 }
 
 Result<uint64_t> ObjectStore::Size(const std::string& key) {
   EON_ASSIGN_OR_RETURN(std::vector<ObjectMeta> metas, List(key));
-  for (const ObjectMeta& m : metas) {
-    if (m.key == key) return m.size;
-  }
+  if (!metas.empty() && metas.front().key == key) return metas.front().size;
   return Status::NotFound("object not found: " + key);
 }
 
@@ -94,6 +101,29 @@ Status MemObjectStore::Delete(const std::string& key) {
   impl_->total_bytes -= it->second.size();
   impl_->objects.erase(it);
   return Status::OK();
+}
+
+Status MemObjectStore::ScanObject(const ScanObjectRequest& request,
+                                  ScanObjectResponse* response) {
+  Status result = ExecuteObjectScan(
+      [this](const std::string& key) { return RawRead(key); }, request,
+      response);
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->metrics.scans++;
+  if (result.ok()) {
+    impl_->metrics.bytes_read += response->response_bytes;
+    impl_->metrics.bytes_scanned += response->bytes_scanned;
+  }
+  return result;
+}
+
+Result<std::string> MemObjectStore::RawRead(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->objects.find(key);
+  if (it == impl_->objects.end()) {
+    return Status::NotFound("object not found: " + key);
+  }
+  return it->second;
 }
 
 ObjectStoreMetrics MemObjectStore::metrics() const {

@@ -30,14 +30,27 @@ struct ObjectStoreMetrics {
   uint64_t gets = 0;
   uint64_t lists = 0;
   uint64_t deletes = 0;
+  /// Near-data ScanObject requests served store-side.
+  uint64_t scans = 0;
   uint64_t bytes_written = 0;
+  /// Bytes that crossed the store's interface toward clients (object
+  /// payloads for Get/ReadRange, response payloads for ScanObject).
   uint64_t bytes_read = 0;
+  /// Column-file bytes ScanObject read locally (never shipped): the
+  /// bytes_read savings near-data processing bought.
+  uint64_t bytes_scanned = 0;
   uint64_t failures_injected = 0;
   uint64_t throttled = 0;
 
   /// Estimated request cost in micro-dollars (S3-style pricing knobs).
   uint64_t cost_microdollars = 0;
 };
+
+/// Near-data scan request/response (columnar/ndp.h). Declared here so the
+/// storage API can carry them by reference without the storage layer
+/// depending on columnar headers at declaration time.
+struct ScanObjectRequest;
+struct ScanObjectResponse;
 
 /// The UDFS storage abstraction (paper Section 5.3, Figure 9). Vertica's
 /// execution engine accesses all filesystems through this API; we provide
@@ -73,10 +86,21 @@ class ObjectStore {
   /// Delete an object. Deleting a missing key returns NotFound.
   virtual Status Delete(const std::string& key) = 0;
 
-  /// Existence via List-with-prefix (the paper's strongly consistent idiom).
+  /// Near-data scan (S3-Select-shaped): evaluate a predicate — and
+  /// optionally fold partial aggregates — against one ROS container's
+  /// column files WHERE THEY LIVE, returning only survivors. Backends that
+  /// can compute next to the data override this; the default refuses with
+  /// NotSupported and callers fall back to fetching whole files.
+  virtual Status ScanObject(const ScanObjectRequest& request,
+                            ScanObjectResponse* response);
+
+  /// Existence via List-with-prefix (the paper's strongly consistent
+  /// idiom). List returns keys sorted, so an exact match — when present —
+  /// is the first entry: one comparison, not a linear walk of everything
+  /// under the prefix.
   Result<bool> Exists(const std::string& key);
 
-  /// Size of an object via List.
+  /// Size of an object via List (same first-entry early-out as Exists).
   Result<uint64_t> Size(const std::string& key);
 
   virtual ObjectStoreMetrics metrics() const = 0;
@@ -102,8 +126,14 @@ class MemObjectStore : public ObjectStore {
                                 uint64_t len) override;
   Result<std::vector<ObjectMeta>> List(const std::string& prefix) override;
   Status Delete(const std::string& key) override;
+  Status ScanObject(const ScanObjectRequest& request,
+                    ScanObjectResponse* response) override;
   ObjectStoreMetrics metrics() const override;
   void ResetForTest() override;
+
+  /// Unmetered whole-object read: the near-data scan engine's local I/O
+  /// path (reads that never cross the store's interface).
+  Result<std::string> RawRead(const std::string& key) const;
 
   /// Total bytes stored (for tests and capacity reports).
   uint64_t TotalBytes() const;

@@ -8,6 +8,7 @@
 #include <fstream>
 #include <mutex>
 
+#include "columnar/ndp.h"
 #include "common/hash.h"
 #include "obs/dc.h"
 #include "obs/metrics.h"
@@ -242,6 +243,39 @@ Status PosixObjectStore::Delete(const std::string& key) {
     return Status::NotFound("object not found: " + key);
   }
   return Status::OK();
+}
+
+Status PosixObjectStore::ScanObject(const ScanObjectRequest& request,
+                                    ScanObjectResponse* response) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const int64_t t0 = Impl::WallMicros();
+  // Raw reads are local disk I/O next to the data: unmetered (the scan
+  // response is the only thing that crosses the store's interface).
+  auto reader = [this](const std::string& key) -> Result<std::string> {
+    fs::path path = impl_->PathFor(key);
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::NotFound("object not found: " + key);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  };
+  Status result = ExecuteObjectScan(reader, request, response);
+  impl_->metrics.scans++;
+  if (result.ok()) {
+    impl_->metrics.bytes_read += response->response_bytes;
+    impl_->metrics.bytes_scanned += response->bytes_scanned;
+    impl_->reg_bytes_read->Increment(response->response_bytes);
+  }
+  obs::DcStoreRequest e;
+  e.store = impl_->name;
+  e.at_micros = Impl::WallMicros();
+  e.op = "scan";
+  e.key = request.base_key;
+  e.bytes = result.ok() ? response->response_bytes : 0;
+  e.bytes_scanned = result.ok() ? response->bytes_scanned : 0;
+  e.latency_micros = Impl::WallMicros() - t0;
+  e.ok = result.ok();
+  obs::DataCollector::Default()->RecordStoreRequest(std::move(e));
+  return result;
 }
 
 ObjectStoreMetrics PosixObjectStore::metrics() const {

@@ -28,6 +28,10 @@ class PosixObjectStore : public ObjectStore {
                                 uint64_t len) override;
   Result<std::vector<ObjectMeta>> List(const std::string& prefix) override;
   Status Delete(const std::string& key) override;
+  /// Near-data scan over the backing files (reads are local disk I/O, not
+  /// metered as bytes_read; only the response payload is).
+  Status ScanObject(const ScanObjectRequest& request,
+                    ScanObjectResponse* response) override;
   ObjectStoreMetrics metrics() const override;
   void ResetForTest() override;
 

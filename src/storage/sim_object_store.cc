@@ -5,6 +5,7 @@
 #include <map>
 #include <mutex>
 
+#include "columnar/ndp.h"
 #include "obs/dc.h"
 
 namespace eon {
@@ -24,7 +25,7 @@ struct SimObjectStore::Impl {
     obs::Counter* requests = nullptr;
     obs::Histogram* latency_micros = nullptr;
   };
-  Op op_get, op_put, op_list, op_delete;
+  Op op_get, op_put, op_list, op_delete, op_scan;
   obs::Counter* bytes_read = nullptr;
   obs::Counter* bytes_written = nullptr;
   obs::Counter* cost_microdollars = nullptr;
@@ -51,6 +52,7 @@ struct SimObjectStore::Impl {
     op_put = make_op("put");
     op_list = make_op("list");
     op_delete = make_op("delete");
+    op_scan = make_op("scan");
     const obs::LabelSet labels{{"store", name}};
     bytes_read = reg->GetCounter("eon_store_bytes_read_total", labels);
     bytes_written = reg->GetCounter("eon_store_bytes_written_total", labels);
@@ -99,13 +101,15 @@ struct SimObjectStore::Impl {
   /// attribution comes from the caller's DcNodeScope (the file cache
   /// opens one around miss fills).
   void RecordDc(const char* op, const std::string& key, uint64_t bytes,
-                int64_t latency_micros, uint64_t cost, bool ok) {
+                int64_t latency_micros, uint64_t cost, bool ok,
+                uint64_t bytes_scanned = 0) {
     obs::DcStoreRequest e;
     e.store = name;
     e.at_micros = clock->NowMicros();
     e.op = op;
     e.key = key;
     e.bytes = bytes;
+    e.bytes_scanned = bytes_scanned;
     e.latency_micros = latency_micros;
     e.cost_microdollars = cost;
     e.ok = ok;
@@ -233,6 +237,47 @@ Status SimObjectStore::Delete(const std::string& key) {
   }();
   impl_->RecordDc("delete", key, 0, impl_->clock->NowMicros() - t0, 0,
                   result.ok());
+  return result;
+}
+
+Status SimObjectStore::ScanObject(const ScanObjectRequest& request,
+                                  ScanObjectResponse* response) {
+  const int64_t t0 = impl_->clock->NowMicros();
+  uint64_t cost = impl_->options.scan_cost_microdollars;
+  Status result = [&]() -> Status {
+    {
+      std::lock_guard<std::mutex> lock(impl_->mu);
+      impl_->Charge(impl_->op_scan, cost);
+      EON_RETURN_IF_ERROR(impl_->MaybeInjectFault());
+    }
+    EON_RETURN_IF_ERROR(impl_->backing.ScanObject(request, response));
+    // NDP compute: the storage tier streams `bytes_scanned` through its
+    // filter engine before the (much smaller) response pays the regular
+    // transfer term.
+    const int64_t ndp_micros =
+        impl_->options.ndp_scan_bytes_per_sec > 0
+            ? static_cast<int64_t>(
+                  response->bytes_scanned * 1000000.0 /
+                  static_cast<double>(impl_->options.ndp_scan_bytes_per_sec))
+            : 0;
+    impl_->ChargeTime(impl_->options.scan_latency_micros + ndp_micros,
+                      response->response_bytes, impl_->op_scan);
+    const uint64_t gb_cost = static_cast<uint64_t>(
+        response->bytes_scanned / 1e9 *
+        static_cast<double>(impl_->options.scan_cost_per_gb_microdollars));
+    if (gb_cost > 0) {
+      std::lock_guard<std::mutex> lock(impl_->mu);
+      cost += gb_cost;
+      impl_->extra.cost_microdollars += gb_cost;
+      impl_->cost_microdollars->Increment(gb_cost);
+    }
+    impl_->bytes_read->Increment(response->response_bytes);
+    return Status::OK();
+  }();
+  impl_->RecordDc("scan", request.base_key,
+                  result.ok() ? response->response_bytes : 0,
+                  impl_->clock->NowMicros() - t0, cost, result.ok(),
+                  result.ok() ? response->bytes_scanned : 0);
   return result;
 }
 
@@ -381,6 +426,24 @@ Result<std::vector<ObjectMeta>> RetryingObjectStore::List(
     if (!Impl::IsRetryable(last)) return last;
   }
   return Status::TimedOut("List retries exhausted: " + last.ToString());
+}
+
+Status RetryingObjectStore::ScanObject(const ScanObjectRequest& request,
+                                       ScanObjectResponse* response) {
+  Status last;
+  for (int attempt = 0; attempt < impl_->options.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      impl_->CountRetry();
+      impl_->Backoff(attempt - 1);
+    }
+    last = impl_->base->ScanObject(request, response);
+    if (last.ok()) return last;
+    // NotSupported (base store without scan capability) is a property of
+    // the store, not a transient fault: pass it through so the caller
+    // falls back to fetching whole files.
+    if (!Impl::IsRetryable(last)) return last;
+  }
+  return Status::TimedOut("ScanObject retries exhausted: " + last.ToString());
 }
 
 Status RetryingObjectStore::Delete(const std::string& key) {

@@ -20,8 +20,23 @@ struct SimStoreOptions {
   int64_t list_latency_micros = 30000;    // ~30 ms.
   int64_t delete_latency_micros = 15000;
 
-  /// Streaming bandwidth once a transfer starts, bytes/second.
+  /// Streaming bandwidth once a transfer starts, bytes/second. Applied to
+  /// every response payload — Get/ReadRange object bytes and ScanObject
+  /// result bytes — so moving fewer bytes shows up as simulated latency,
+  /// not just smaller byte counters.
   int64_t bandwidth_bytes_per_sec = 200LL * 1000 * 1000;  // ~200 MB/s.
+
+  /// Near-data scan (ScanObject) model: first-byte latency of a scan
+  /// request (S3-Select-style requests pay more setup than a plain GET)…
+  int64_t scan_latency_micros = 30000;  // ~30 ms.
+  /// …plus compute time proportional to the column-file bytes the store
+  /// scans locally (the storage tier's weaker CPUs stream-filter the
+  /// data). Response bytes then pay the regular bandwidth term.
+  int64_t ndp_scan_bytes_per_sec = 1000LL * 1000 * 1000;  // ~1 GB/s.
+  /// Scan request pricing: a per-request charge plus a per-GB-scanned
+  /// charge (the S3-Select pricing shape).
+  uint64_t scan_cost_microdollars = 2;
+  uint64_t scan_cost_per_gb_microdollars = 2000;
 
   /// Probability that any single request fails transiently with IOError
   /// ("operations that would rarely fail in a real filesystem do fail
@@ -74,6 +89,12 @@ class SimObjectStore : public ObjectStore {
                                 uint64_t len) override;
   Result<std::vector<ObjectMeta>> List(const std::string& prefix) override;
   Status Delete(const std::string& key) override;
+  /// Near-data scan with the fault/latency/cost model applied: faults
+  /// inject before any compute, latency charges the scan setup + per-byte
+  /// NDP compute + response transfer, and cost charges per request plus
+  /// per GB scanned. Records an op="scan" dc_store_requests row.
+  Status ScanObject(const ScanObjectRequest& request,
+                    ScanObjectResponse* response) override;
   ObjectStoreMetrics metrics() const override;
   void ResetForTest() override;
 
@@ -116,6 +137,12 @@ class RetryingObjectStore : public ObjectStore {
                                 uint64_t len) override;
   Result<std::vector<ObjectMeta>> List(const std::string& prefix) override;
   Status Delete(const std::string& key) override;
+  /// Retried like Get: transient IOError/Unavailable back off and rerun
+  /// (the response is reset each attempt); NotSupported from a base store
+  /// without scan capability passes through untouched so callers can fall
+  /// back to the fetch-whole-files path.
+  Status ScanObject(const ScanObjectRequest& request,
+                    ScanObjectResponse* response) override;
   ObjectStoreMetrics metrics() const override;
   /// Forwards to the base store and zeroes the retry counter.
   void ResetForTest() override;

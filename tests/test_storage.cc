@@ -54,6 +54,26 @@ TEST(MemObjectStoreTest, ExistsViaListNeverHead) {
   EXPECT_FALSE(*store.Exists("k2"));
   EXPECT_EQ(*store.Size("k1"), 1u);
   EXPECT_TRUE(store.Size("k2").status().IsNotFound());
+  // Request-count pin: each probe is exactly ONE List — no Get, no extra
+  // requests (requests cost money, Section 5.3).
+  const ObjectStoreMetrics m = store.metrics();
+  EXPECT_EQ(m.lists, 4u);
+  EXPECT_EQ(m.gets, 0u);
+}
+
+TEST(MemObjectStoreTest, ExistsDistinguishesPrefixFromExactMatch) {
+  // List returns sorted keys under the prefix; Exists must compare the
+  // FIRST entry for an exact match, not accept any prefix hit.
+  MemObjectStore store;
+  ASSERT_TRUE(store.Put("data/abc", "v").ok());
+  EXPECT_FALSE(*store.Exists("data/ab"));  // Prefix of a key, not a key.
+  EXPECT_TRUE(store.Size("data/ab").status().IsNotFound());
+  EXPECT_TRUE(*store.Exists("data/abc"));
+  EXPECT_EQ(*store.Size("data/abc"), 1u);
+  // Still one List per probe, even with prefix-sharing keys present.
+  const ObjectStoreMetrics m = store.metrics();
+  EXPECT_EQ(m.lists, 4u);
+  EXPECT_EQ(m.gets, 0u);
 }
 
 TEST(MemObjectStoreTest, ReadRange) {
