@@ -13,6 +13,8 @@
 
 #include "bench/bench_util.h"
 #include "engine/session.h"
+#include "engine/trace.h"
+#include "obs/trace.h"
 #include "sim/throughput_sim.h"
 
 namespace eon {
@@ -35,11 +37,32 @@ int Run() {
   for (const auto& n : fixture->cluster->nodes()) {
     if (n->is_up()) n->cache()->Clear();
   }
-  auto after = session.Execute(dash);
+  // Trace the post-kill cold query end-to-end (forced, so retention does
+  // not depend on the slow-query policy) and drop the span tree next to
+  // the figure data as fig12_node_down.trace.json — one real example of
+  // where a degraded query's time goes (cache_fetch spans against shared
+  // storage dominating the morsel spans of the re-subscribed shards).
+  QueryTraceGuard trace_guard(fixture->cluster.get(), "query",
+                              /*force=*/true);
+  const uint64_t trace_id = trace_guard.context().trace_id;
+  auto after = [&] {
+    obs::TraceScope trace_scope(trace_guard.context());
+    return session.Execute(dash);
+  }();
   if (!after.ok()) {
     fprintf(stderr, "query failed after node kill: %s\n",
             after.status().ToString().c_str());
     return 1;
+  }
+  trace_guard.Finish(after->profile);
+  Status trace_status = WriteQueryTraceJsonFile("fig12_node_down.trace.json",
+                                                fixture->cluster.get(),
+                                                trace_id);
+  if (trace_status.ok()) {
+    fprintf(stderr, "trace sidecar: fig12_node_down.trace.json\n");
+  } else {
+    fprintf(stderr, "trace sidecar failed: %s\n",
+            trace_status.ToString().c_str());
   }
   printf("# functional: dashboard query returns %zu groups before and %zu "
          "after killing node2 (plan shape unchanged, different server)\n",

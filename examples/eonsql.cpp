@@ -15,9 +15,17 @@
 //   \nodes             node status + cache stats
 //   \sessions          live serving sessions (system_sessions)
 //   \pools             admission resource pools (system_resource_pools)
-//   \set <key> <v>     session option: scan_mode / crunch / pool
+//   \set <key> <v>     session option: scan_mode / crunch / pool / trace
 //   \storage           shared-storage metrics
 //   \profile           full profile of the last query (phases, cache, $)
+//   \trace [id]        latency attribution of a traced query + Chrome
+//                      trace-event JSON dump (trace_<id>.json, loadable
+//                      in chrome://tracing or Perfetto). `\set trace on`
+//                      forces tracing for every query on this session;
+//                      otherwise slow queries (and an EON_TRACE_SAMPLE
+//                      fraction) are traced. The footer prints each
+//                      traced query's id; spans are also plain SQL via
+//                      SELECT ... FROM dc_trace_spans WHERE trace_id = N.
 //   \metrics           Prometheus-text dump of all registry instruments
 //   \kill <node>       stop a node (queries keep working)
 //   \restart <node>    recover a node
@@ -32,6 +40,7 @@
 // the per-node slot budget E (default 4).
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -123,6 +132,10 @@ void PrintWireResult(const WireQueryResult& wire) {
   fputs(FormatResult(shim).c_str(), stdout);
 }
 
+/// Trace id of the most recent traced query (0 = none); `\trace` with no
+/// argument exports this one.
+uint64_t g_last_trace_id = 0;
+
 /// Run a query over the wire and print it; used by SQL input and the
 /// system-table meta commands alike.
 void QueryAndPrint(EonClient* client, const std::string& sql,
@@ -133,14 +146,69 @@ void QueryAndPrint(EonClient* client, const std::string& sql,
     return;
   }
   PrintWireResult(*result);
+  if (result->trace_id != 0) g_last_trace_id = result->trace_id;
   if (footer) {
     printf("-- %llu nodes, %llu rows scanned, %llu rows shuffled, pool %s, "
-           "queued %.3f ms\n\n",
+           "queued %.3f ms",
            static_cast<unsigned long long>(result->participating_nodes),
            static_cast<unsigned long long>(result->rows_scanned),
            static_cast<unsigned long long>(result->rows_shuffled),
            result->pool.empty() ? "-" : result->pool.c_str(),
            static_cast<double>(result->queued_micros) / 1000.0);
+    if (result->trace_id != 0) {
+      printf(", trace %llu (\\trace)",
+             static_cast<unsigned long long>(result->trace_id));
+    }
+    printf("\n\n");
+  }
+}
+
+/// `\trace [id]`: fetch the span tree over the wire, print the latency
+/// attribution, and dump the Chrome trace-event JSON to trace_<id>.json.
+void ShowTrace(EonClient* client, const std::string& arg) {
+  uint64_t trace_id = g_last_trace_id;
+  if (!arg.empty()) trace_id = strtoull(arg.c_str(), nullptr, 10);
+  if (trace_id == 0) {
+    printf("no traced query yet — `\\set trace on` forces tracing, or pass "
+           "an id from dc_trace_spans / dc_query_executions\n");
+    return;
+  }
+  auto json = client->Trace(trace_id);
+  if (!json.ok()) {
+    printf("%s\n", json.status().ToString().c_str());
+    return;
+  }
+  const JsonValue& attr = json->Get("attribution");
+  printf("trace %llu: %zu spans\n",
+         static_cast<unsigned long long>(trace_id),
+         json->Get("traceEvents").size());
+  const char* kBuckets[] = {"wall_micros",      "queued_micros",
+                            "plan_micros",      "fetch_wait_micros",
+                            "scan_cpu_micros",  "join_micros",
+                            "aggregate_micros", "merge_micros",
+                            "serialize_micros", "other_micros"};
+  for (const char* key : kBuckets) {
+    const int64_t v = attr.Get(key).int_value();
+    if (v == 0 && std::string(key) != "wall_micros") continue;
+    printf("  %-18s %10.3f ms\n", key, static_cast<double>(v) / 1000.0);
+  }
+  const JsonValue& path = attr.Get("critical_path");
+  if (path.size() > 0) {
+    printf("  critical path:     ");
+    for (size_t i = 0; i < path.size(); ++i) {
+      printf("%s%s", i ? " -> " : "", path.at(i).string_value().c_str());
+    }
+    printf("\n");
+  }
+  const std::string file = "trace_" + std::to_string(trace_id) + ".json";
+  FILE* fp = fopen(file.c_str(), "w");
+  if (fp != nullptr) {
+    const std::string text = json->Dump();
+    fwrite(text.data(), 1, text.size(), fp);
+    fclose(fp);
+    printf("  wrote %s (chrome://tracing / Perfetto; validate with "
+           "scripts/trace_view.sh)\n",
+           file.c_str());
   }
 }
 
@@ -186,8 +254,10 @@ int main() {
   printf("Try: SELECT l_returnflag, COUNT(*) AS n FROM lineitem GROUP BY "
          "l_returnflag ORDER BY l_returnflag;\n");
   printf("Meta: \\tables \\dt+ \\projections <t> \\nodes \\sessions "
-         "\\pools \\set <k> <v> \\storage \\profile \\metrics \\kill <n> "
-         "\\restart <n> \\q\n");
+         "\\pools \\set <k> <v> \\storage \\profile \\trace [id] \\metrics "
+         "\\kill <n> \\restart <n> \\q\n");
+  printf("Tracing: \\set trace on, run a query, then \\trace — or SELECT "
+         "... FROM dc_trace_spans WHERE trace_id = <id>.\n");
   printf("System tables: SELECT ... FROM system_subscriptions / "
          "system_resource_pools / system_sessions / dc_query_executions "
          "...\n\n");
@@ -245,6 +315,8 @@ int main() {
                static_cast<double>(m.bytes_written) / 1e6,
                static_cast<double>(m.bytes_read) / 1e6,
                static_cast<double>(m.cost_microdollars) / 1e6);
+      } else if (cmd == "trace") {
+        ShowTrace(&client, arg);
       } else if (cmd == "profile") {
         auto text = client.ProfileText();
         if (!text.ok()) {

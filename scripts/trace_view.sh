@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Validate an exported Chrome trace-event JSON file (as written by the
+# `\trace <id>` eonsql command, the wire "trace" op, or a bench's
+# *.trace.json sidecar): the file must parse, use the trace-event array
+# form, and its complete ("X") spans must nest — every child interval
+# inside its parent's (fire-and-forget prefetch spans are exempt from the
+# end bound, mirroring obs::SpansNest). Prints a per-trace span summary.
+#
+#   scripts/trace_view.sh fig12_node_down.trace.json
+#
+# Exit codes: 0 valid, 1 usage/missing file, 2 malformed trace.
+set -euo pipefail
+
+if [ "$#" -ne 1 ]; then
+  echo "usage: $0 <trace.json>" >&2
+  exit 1
+fi
+TRACE_FILE="$1"
+if [ ! -f "$TRACE_FILE" ]; then
+  echo "no such file: $TRACE_FILE" >&2
+  exit 1
+fi
+
+if ! command -v python3 > /dev/null 2>&1; then
+  echo "python3 not available; skipping validation of $TRACE_FILE" >&2
+  exit 0
+fi
+
+python3 - "$TRACE_FILE" <<'PYEOF'
+import json
+import sys
+
+path = sys.argv[1]
+try:
+    with open(path) as f:
+        doc = json.load(f)
+except (OSError, ValueError) as e:
+    print(f"FAIL: {path}: does not parse as JSON: {e}")
+    sys.exit(2)
+
+events = doc.get("traceEvents") if isinstance(doc, dict) else doc
+if not isinstance(events, list):
+    print(f"FAIL: {path}: no traceEvents array")
+    sys.exit(2)
+
+spans = []
+for ev in events:
+    if not isinstance(ev, dict) or ev.get("ph") != "X":
+        continue
+    for field in ("name", "ts", "dur", "pid", "tid"):
+        if field not in ev:
+            print(f"FAIL: {path}: complete event missing '{field}': {ev}")
+            sys.exit(2)
+    spans.append(ev)
+
+if not spans:
+    print(f"FAIL: {path}: no complete ('X') span events")
+    sys.exit(2)
+
+# Nesting: every child span's interval lies inside its parent's. The
+# exporter records span/parent ids in args; fire-and-forget "prefetch"
+# spans may outlive their parent (SpansNest exempts their end bound).
+by_id = {}
+for ev in spans:
+    args = ev.get("args", {})
+    sid = args.get("span_id")
+    if sid is not None:
+        by_id[int(sid)] = ev
+bad = 0
+for ev in spans:
+    args = ev.get("args", {})
+    parent = by_id.get(int(args.get("parent_id", 0) or 0))
+    if parent is None:
+        continue
+    start, end = ev["ts"], ev["ts"] + ev["dur"]
+    pstart, pend = parent["ts"], parent["ts"] + parent["dur"]
+    if start < pstart or (end > pend and ev["name"] != "prefetch"):
+        print(f"FAIL: {path}: span '{ev['name']}' [{start},{end}] escapes "
+              f"parent '{parent['name']}' [{pstart},{pend}]")
+        bad += 1
+if bad:
+    sys.exit(2)
+
+roots = sum(1 for ev in spans
+            if int(ev.get("args", {}).get("parent_id", 0) or 0) not in by_id)
+threads = {(ev["pid"], ev["tid"]) for ev in spans}
+total_us = sum(ev["dur"] for ev in spans)
+print(f"OK: {path}: {len(spans)} spans ({roots} root), "
+      f"{len(threads)} lanes, {total_us} span-us total; nesting holds")
+PYEOF

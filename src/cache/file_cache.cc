@@ -313,8 +313,14 @@ Result<FileRef> FileCache::FetchShared(const std::string& key,
   }
 
   // Attribute the shared-storage request to this cache's node in the
-  // store's Data Collector events.
+  // store's Data Collector events; under a live trace the demand fetch is
+  // a "cache_fetch" span (fetch-wait attribution charges these).
   Result<std::string> got = [&]() -> Result<std::string> {
+    obs::Span fetch_span = obs::StartTraceSpan("cache_fetch");
+    if (fetch_span.valid()) {
+      fetch_span.SetNode(metrics_name_);
+      fetch_span.SetAttribute("key", key);
+    }
     obs::DcNodeScope dc_scope(metrics_name_);
     return shared_->Get(key);
   }();
@@ -389,10 +395,15 @@ PendingFile FileCache::FetchRefAsync(const std::string& key) {
   }
   PendingFile pending = PendingFile::MakePending(metrics_.fetch_wait_micros);
   BeginAsyncTask();
-  options_.io_pool->Submit([this, key, pending]() mutable {
-    pending.Complete(FetchShared(key, /*allow_insert=*/true, /*pin=*/true));
-    EndAsyncTask();
-  });
+  // The issuing thread's trace context rides into the pool task by value
+  // (the context shared-owns its tracer, so it stays valid even if the
+  // query finishes first).
+  options_.io_pool->Submit(
+      [this, key, pending, trace = obs::CurrentTraceCopy()]() mutable {
+        obs::TraceScope task_trace(std::move(trace));
+        pending.Complete(FetchShared(key, /*allow_insert=*/true, /*pin=*/true));
+        EndAsyncTask();
+      });
   return pending;
 }
 
@@ -434,7 +445,9 @@ size_t FileCache::PrefetchAsync(const std::vector<PrefetchRequest>& requests) {
       continue;
     }
     BeginAsyncTask();
-    options_.io_pool->Submit([this, key = r.key, hint = r.size_hint] {
+    options_.io_pool->Submit([this, key = r.key, hint = r.size_hint,
+                              trace = obs::CurrentTraceCopy()] {
+      obs::TraceScope task_trace(std::move(trace));
       DoPrefetch(key, hint);
       EndAsyncTask();
     });
@@ -468,6 +481,14 @@ void FileCache::DoPrefetch(const std::string& key, uint64_t hint) {
     // would dangle.
     static const std::string kPrefetchOrigin = "prefetch";
     Result<std::string> got = [&]() -> Result<std::string> {
+      // "prefetch" spans are fire-and-forget: they may end after the
+      // issuing query's span does (SpansNest exempts them).
+      obs::Span prefetch_span = obs::StartTraceSpan("prefetch");
+      if (prefetch_span.valid()) {
+        prefetch_span.SetNode(metrics_name_);
+        prefetch_span.SetAttribute("key", key);
+        prefetch_span.SetAttribute("size_hint", static_cast<int64_t>(hint));
+      }
       obs::DcNodeScope node_scope(metrics_name_);
       obs::DcOriginScope origin_scope(kPrefetchOrigin);
       return shared_->Get(key);

@@ -72,6 +72,7 @@ EonCluster::EonCluster(ObjectStore* shared_storage, Clock* clock,
   pushdown_mode_ = ResolvePushdown(options_.pushdown);
   pushdown_selectivity_cutoff_ =
       ResolvePushdownCutoff(options_.pushdown_selectivity_cutoff);
+  trace_sample_ = ResolveTraceSample(options_.trace_sample);
 }
 
 int EonCluster::ResolveExecThreads(int configured) {
@@ -111,6 +112,17 @@ int EonCluster::ResolvePushdown(int configured) {
     if (end != env && v >= 0 && v <= 2) return static_cast<int>(v);
   }
   return 0;
+}
+
+double EonCluster::ResolveTraceSample(double configured) {
+  if (configured >= 0 && configured <= 1.0) return configured;
+  if (configured <= ClusterOptions::kTraceDisabled) return -1.0;
+  if (const char* env = std::getenv("EON_TRACE_SAMPLE")) {
+    char* end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end != env) return v < 0 ? -1.0 : std::min(v, 1.0);
+  }
+  return 0.0;  // Armed: collect spans, retain slow/forced traces only.
 }
 
 double EonCluster::ResolvePushdownCutoff(double configured) {

@@ -61,6 +61,15 @@ struct ClusterOptions {
   /// more than this fraction of rows stay on the local path. < 0 = auto:
   /// EON_PUSHDOWN_SELECTIVITY_CUTOFF if set, else 0.35.
   double pushdown_selectivity_cutoff = -1.0;
+  /// Distributed-tracing sample rate. In [0,1]: every query is traced
+  /// (spans collected) and the trace is *retained* into dc_trace_spans
+  /// when the query is slow (EON_SLOW_QUERY_MICROS), sampled with this
+  /// probability, or session-forced — so 0 means "slow queries only".
+  /// kTraceDisabled turns span collection off entirely (the benchmarked
+  /// zero-overhead baseline). Default -1 = auto: EON_TRACE_SAMPLE if set
+  /// (negative value = disabled), else 0.
+  static constexpr double kTraceDisabled = -2.0;
+  double trace_sample = -1.0;
 };
 
 /// A file awaiting deletion from shared storage (Section 6.5): reclaimed
@@ -136,6 +145,14 @@ class EonCluster {
   double pushdown_selectivity_cutoff() const {
     return pushdown_selectivity_cutoff_;
   }
+  /// Effective trace sample rate (ClusterOptions::trace_sample): < 0 =
+  /// tracing disabled, else the probabilistic retention rate.
+  double trace_sample() const { return trace_sample_; }
+  /// Flip the sampling policy on a live cluster (tests and the overhead
+  /// bench, which compares tracing modes on one fixture so the
+  /// comparison is not polluted by allocator/cache placement differences
+  /// between separately built clusters). Call only between queries.
+  void set_trace_sample(double rate) { trace_sample_ = rate; }
 
   // --- Distributed commit (Section 3.2) ---
 
@@ -232,6 +249,8 @@ class EonCluster {
   static int ResolvePushdown(int configured);
   /// ClusterOptions::pushdown_selectivity_cutoff → effective ceiling.
   static double ResolvePushdownCutoff(double configured);
+  /// ClusterOptions::trace_sample → effective rate (-1 = disabled).
+  static double ResolveTraceSample(double configured);
 
   Status BuildNodes(const std::vector<NodeSpec>& specs);
   /// Apply log records the target missed, fetched from any up peer.
@@ -256,6 +275,7 @@ class EonCluster {
   int prefetch_depth_ = 0;
   int pushdown_mode_ = 0;
   double pushdown_selectivity_cutoff_ = 0.35;
+  double trace_sample_ = -1.0;
   IncarnationId incarnation_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<PendingFileDelete> pending_deletes_;

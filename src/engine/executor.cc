@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <functional>
+#include <optional>
 #include <set>
 
 #include "cache/file_cache.h"
@@ -16,6 +17,7 @@
 #include "common/thread_pool.h"
 #include "engine/dml.h"
 #include "engine/system_tables.h"
+#include "engine/trace.h"
 #include "obs/dc.h"
 #include "obs/trace.h"
 
@@ -123,37 +125,46 @@ Result<const ProjectionDef*> ChooseProjection(
   return best;
 }
 
-/// Phase timing scope: one span under the query's root span plus the
-/// (sim, wall) accumulation into the profile. End() is idempotent;
-/// destruction accounts early error returns.
+/// Phase timing scope: one span under the current trace (inert when the
+/// query is untraced) plus the (sim, wall) accumulation into the
+/// profile. While open it re-parents the thread's trace context under
+/// its own span, so work inside the phase — morsel tasks captured onto
+/// the exec pool, fetches hopping to the I/O pool — nests under the
+/// phase span. End() is idempotent; destruction accounts early error
+/// returns. PhaseScopes are strictly LIFO on the coordinator thread.
 class PhaseScope {
  public:
-  PhaseScope(obs::Tracer* tracer, obs::QueryProfile* profile,
-             obs::QueryPhase phase, const obs::Span& parent)
-      : tracer_(tracer),
+  PhaseScope(Clock* clock, obs::QueryProfile* profile, obs::QueryPhase phase)
+      : clock_(clock),
         profile_(profile),
         phase_(phase),
-        span_(tracer->StartSpan(obs::QueryPhaseName(phase), parent)),
-        sim_start_(tracer->clock()->NowMicros()),
-        wall_start_(std::chrono::steady_clock::now()) {}
+        span_(obs::StartTraceSpan(obs::QueryPhaseName(phase))),
+        sim_start_(clock->NowMicros()),
+        wall_start_(std::chrono::steady_clock::now()) {
+    if (span_.valid()) {
+      scope_.emplace(obs::CurrentTraceWithParent(span_.id()));
+    }
+  }
   ~PhaseScope() { End(); }
 
   void End() {
     if (ended_) return;
     ended_ = true;
+    scope_.reset();
     span_.End();
     obs::PhaseTiming& t = profile_->Phase(phase_);
-    t.sim_micros += tracer_->clock()->NowMicros() - sim_start_;
+    t.sim_micros += clock_->NowMicros() - sim_start_;
     t.wall_micros += std::chrono::duration_cast<std::chrono::microseconds>(
                          std::chrono::steady_clock::now() - wall_start_)
                          .count();
   }
 
  private:
-  obs::Tracer* tracer_;
+  Clock* clock_;
   obs::QueryProfile* profile_;
   obs::QueryPhase phase_;
   obs::Span span_;
+  std::optional<obs::TraceScope> scope_;
   int64_t sim_start_;
   std::chrono::steady_clock::time_point wall_start_;
   bool ended_ = false;
@@ -535,9 +546,36 @@ Result<ScanOutput> ScanDistributed(EonCluster* cluster,
     uint64_t bytes_saved = 0;  ///< Estimated cold fetch the push avoided.
   };
   std::vector<MorselResult> results(morsels.size());
+  // Tracing: morsel tasks hop threads, so the coordinator's context is
+  // captured once here (by reference — Run is a barrier, the frame
+  // outlives every task) and reinstalled inside each task. Each morsel
+  // gets its own span, tagged with pool lane and executing node, and
+  // re-parents the context under itself so cache fetches, prefetches and
+  // near-data scans issued by the morsel nest below it.
+  const obs::TraceContext scan_trace = obs::CurrentTraceCopy();
   par->Run(morsels.size(), [&](size_t i) {
     const Morsel& m = morsels[i];
     MorselResult& res = results[i];
+    obs::TraceScope task_trace(scan_trace);
+    obs::Span morsel_span = obs::StartTraceSpan("morsel");
+    if (morsel_span.valid()) {
+      morsel_span.SetNode(m.executor->name());
+      morsel_span.SetAttribute(
+          "lane", static_cast<int64_t>(cluster->exec_pool()->CurrentSlot()));
+      morsel_span.SetAttribute("container", m.container->base_key);
+      morsel_span.SetAttribute("rows",
+                               static_cast<int64_t>(m.container->row_count));
+      if (m.k > 1) {
+        morsel_span.SetAttribute("rank", static_cast<int64_t>(m.rank));
+        morsel_span.SetAttribute("k", static_cast<int64_t>(m.k));
+      }
+      if (m.push) morsel_span.SetAttribute("pushed", 1);
+    }
+    obs::TraceScope morsel_trace(
+        obs::CurrentTraceWithParent(morsel_span.id()));
+    // Store requests the morsel triggers are attributed to the executing
+    // node (DcNodeScope) — pushed ScanObject calls included.
+    obs::DcNodeScope node_scope(m.executor->name());
     res.status = [&]() -> Status {
       if (prefetch_depth > 0) prefetch_window(i);
       EON_ASSIGN_OR_RETURN(
@@ -565,7 +603,17 @@ Result<ScanOutput> ScanDistributed(EonCluster* cluster,
           req.group_columns = push_group_pos;
         }
         ScanObjectResponse resp;
+        obs::Span push_span = obs::StartTraceSpan("scan_object");
         Status s = m.executor->shared_storage()->ScanObject(req, &resp);
+        if (push_span.valid()) {
+          push_span.SetAttribute("container", m.container->base_key);
+          push_span.SetAttribute(
+              "response_bytes", static_cast<int64_t>(resp.response_bytes));
+          push_span.SetAttribute("bytes_scanned",
+                                 static_cast<int64_t>(resp.bytes_scanned));
+          push_span.SetAttribute("ok", s.ok() ? 1 : 0);
+          push_span.End();
+        }
         if (s.ok()) {
           pushed = true;
           res.pushed = true;
@@ -909,11 +957,17 @@ Result<QueryResult> ExecuteSystemQuery(EonCluster* cluster,
   const Schema& table_schema = *SystemTableSchema(spec.scan.table);
 
   obs::QueryProfile profile;
-  obs::Tracer tracer(cluster->clock());
-  obs::Span root = tracer.StartSpan("system_query");
+  // Introspection queries ride the session's trace when one is live
+  // (inert otherwise): they never mint their own.
+  obs::Span root = obs::StartTraceSpan("system_query");
   root.SetAttribute("table", spec.scan.table);
+  std::optional<obs::TraceScope> root_scope;
+  if (root.valid()) {
+    profile.trace_id = obs::TraceScope::Current()->trace_id;
+    root_scope.emplace(obs::CurrentTraceWithParent(root.id()));
+  }
 
-  PhaseScope scan_scope(&tracer, &profile, obs::QueryPhase::kScan, root);
+  PhaseScope scan_scope(cluster->clock(), &profile, obs::QueryPhase::kScan);
   EON_ASSIGN_OR_RETURN(std::vector<Row> all_rows,
                        MaterializeSystemTable(cluster, spec.scan.table));
   profile.rows_scanned_total = all_rows.size();
@@ -957,8 +1011,8 @@ Result<QueryResult> ExecuteSystemQuery(EonCluster* cluster,
   std::vector<Row> final_rows;
 
   if (!spec.aggregates.empty() || !spec.group_by.empty()) {
-    PhaseScope agg_scope(&tracer, &profile, obs::QueryPhase::kAggregate,
-                         root);
+    PhaseScope agg_scope(cluster->clock(), &profile,
+                         obs::QueryPhase::kAggregate);
     std::vector<size_t> group_pos;
     for (const std::string& g : spec.group_by) {
       auto it = std::find(out_names.begin(), out_names.end(), g);
@@ -1034,7 +1088,7 @@ Result<QueryResult> ExecuteSystemQuery(EonCluster* cluster,
     final_rows = std::move(rows);
   }
 
-  PhaseScope merge_scope(&tracer, &profile, obs::QueryPhase::kMerge, root);
+  PhaseScope merge_scope(cluster->clock(), &profile, obs::QueryPhase::kMerge);
   if (spec.order_by) {
     size_t pos = SIZE_MAX;
     for (size_t i = 0; i < out_schema.num_columns(); ++i) {
@@ -1055,6 +1109,7 @@ Result<QueryResult> ExecuteSystemQuery(EonCluster* cluster,
     final_rows.resize(static_cast<size_t>(spec.limit));
   }
   merge_scope.End();
+  root_scope.reset();
   root.End();
 
   QueryResult result;
@@ -1160,13 +1215,32 @@ Result<QueryResult> ExecuteQuery(EonCluster* cluster,
     return result;
   }
 
-  // Profiling scaffold: a clock-driven tracer (deterministic under
-  // SimClock) whose phase spans feed the QueryProfile on the result.
+  // Tracing scaffold: adopt a caller-minted TraceContext when one is live
+  // on this thread (serving layer / wire dispatch); mint our own guard
+  // otherwise so direct ExecuteQuery callers still get a span tree.
+  // Phase spans are deterministic under SimClock and feed QueryProfile.
   obs::QueryProfile profile;
-  obs::Tracer tracer(cluster->clock());
-  obs::Span root = tracer.StartSpan("query");
-  root.SetAttribute("table", original_spec.scan.table);
-  PhaseScope plan_scope(&tracer, &profile, obs::QueryPhase::kPlan, root);
+  QueryTraceGuard own_trace;
+  if (obs::TraceScope::Current() == nullptr) {
+    own_trace = QueryTraceGuard(cluster, "query", /*force=*/false);
+  }
+  std::optional<obs::TraceScope> own_scope;
+  if (own_trace.active()) own_scope.emplace(own_trace.context());
+  obs::Span query_span;
+  std::optional<obs::TraceScope> query_scope;
+  if (!own_trace.active()) {
+    query_span = obs::StartTraceSpan("query");
+    query_span.SetAttribute("table", original_spec.scan.table);
+    if (query_span.valid()) {
+      query_scope.emplace(obs::CurrentTraceWithParent(query_span.id()));
+    }
+  } else {
+    own_trace.root().SetAttribute("table", original_spec.scan.table);
+  }
+  if (const obs::TraceContext* cur = obs::TraceScope::Current()) {
+    profile.trace_id = cur->trace_id;
+  }
+  PhaseScope plan_scope(cluster->clock(), &profile, obs::QueryPhase::kPlan);
 
   auto snapshot = coord->catalog()->snapshot();
 
@@ -1258,7 +1332,7 @@ Result<QueryResult> ExecuteQuery(EonCluster* cluster,
        !spec.aggregates.empty())
           ? &spec
           : nullptr;
-  PhaseScope scan_scope(&tracer, &profile, obs::QueryPhase::kScan, root);
+  PhaseScope scan_scope(cluster->clock(), &profile, obs::QueryPhase::kScan);
   EON_ASSIGN_OR_RETURN(ScanOutput left,
                        ScanDistributed(cluster, context, *snapshot, spec.scan,
                                        left_extras, agg_push, &stats,
@@ -1286,15 +1360,15 @@ Result<QueryResult> ExecuteQuery(EonCluster* cluster,
         right_extras.push_back(g);
       }
     }
-    PhaseScope right_scan_scope(&tracer, &profile, obs::QueryPhase::kScan,
-                                root);
+    PhaseScope right_scan_scope(cluster->clock(), &profile,
+                                obs::QueryPhase::kScan);
     EON_ASSIGN_OR_RETURN(
         ScanOutput right,
         ScanDistributed(cluster, context, *snapshot, spec.join->right,
                         right_extras, /*agg_push=*/nullptr, &stats, &profile,
                         &par));
     right_scan_scope.End();
-    PhaseScope join_scope(&tracer, &profile, obs::QueryPhase::kJoin, root);
+    PhaseScope join_scope(cluster->clock(), &profile, obs::QueryPhase::kJoin);
 
     size_t left_key_pos = SIZE_MAX, right_key_pos = SIZE_MAX;
     for (size_t i = 0; i < left.names.size(); ++i) {
@@ -1425,8 +1499,8 @@ Result<QueryResult> ExecuteQuery(EonCluster* cluster,
   std::vector<Row> final_rows;
 
   if (!spec.aggregates.empty() || !spec.group_by.empty()) {
-    PhaseScope agg_scope(&tracer, &profile, obs::QueryPhase::kAggregate,
-                         root);
+    PhaseScope agg_scope(cluster->clock(), &profile,
+                         obs::QueryPhase::kAggregate);
     // Resolve group and aggregate column positions in the joined layout.
     std::vector<size_t> group_pos;
     for (const std::string& g : spec.group_by) {
@@ -1490,6 +1564,12 @@ Result<QueryResult> ExecuteQuery(EonCluster* cluster,
       for (size_t i = 0; i < node_rows.size(); ++i) {
         by_node[node_rows[i].first] = std::move(partials[i]);
       }
+      obs::Span partials_span;
+      if (!pushed_partials.empty()) {
+        partials_span = obs::StartTraceSpan("merge_partials");
+        partials_span.SetAttribute("nodes",
+                                   (int64_t)pushed_partials.size());
+      }
       for (auto& [node, pushed] : pushed_partials) {
         GroupMap& sink = by_node[node];
         for (auto& [key, states] : pushed) {
@@ -1501,6 +1581,7 @@ Result<QueryResult> ExecuteQuery(EonCluster* cluster,
           }
         }
       }
+      partials_span.End();
       for (auto& [node_oid, partial] : by_node) {
         (void)node_oid;
         for (auto& [key, states] : partial) {
@@ -1570,7 +1651,8 @@ Result<QueryResult> ExecuteQuery(EonCluster* cluster,
   } else {
     // No aggregation: gather all node outputs on the initiator (accounted
     // as network transfer for rows produced on other nodes).
-    PhaseScope gather_scope(&tracer, &profile, obs::QueryPhase::kMerge, root);
+    PhaseScope gather_scope(cluster->clock(), &profile,
+                            obs::QueryPhase::kMerge);
     for (auto& [node, rows] : data) {
       for (Row& r : rows) {
         if (node != coord->oid()) stats.network_bytes += RowBytes(r);
@@ -1580,7 +1662,7 @@ Result<QueryResult> ExecuteQuery(EonCluster* cluster,
   }
 
   // --- Order / limit ---
-  PhaseScope merge_scope(&tracer, &profile, obs::QueryPhase::kMerge, root);
+  PhaseScope merge_scope(cluster->clock(), &profile, obs::QueryPhase::kMerge);
   if (spec.order_by) {
     size_t pos = SIZE_MAX;
     for (size_t i = 0; i < out_schema.num_columns(); ++i) {
@@ -1644,7 +1726,8 @@ Result<QueryResult> ExecuteQuery(EonCluster* cluster,
   profile.pushdown_bytes_saved = stats.pushdown.bytes_saved;
   profile.pushdown_aggregates = stats.pushdown.aggregates_pushed;
   par.Flush(&profile);
-  root.End();
+  query_scope.reset();
+  query_span.End();
 
   // Registry-level query instruments for exported snapshots.
   obs::MetricsRegistry* reg = obs::MetricsRegistry::Default();
@@ -1679,8 +1762,13 @@ Result<QueryResult> ExecuteQuery(EonCluster* cluster,
   dc_event.cost_microdollars = result.profile.store_cost_microdollars;
   dc_event.queued_micros = context.queued_micros;
   dc_event.pool = context.resource_pool;
+  dc_event.trace_id = result.profile.trace_id;
   dc_event.profile = result.profile;
   coord->dc()->RecordQuery(std::move(dc_event));
+  // When this call minted its own trace, retention is decided here; a
+  // caller-minted trace is finished by that caller (serving layer).
+  own_scope.reset();
+  if (own_trace.active()) own_trace.Finish(result.profile);
   return result;
 }
 

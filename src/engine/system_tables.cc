@@ -41,7 +41,7 @@ const std::map<std::string, Schema>& Registry() {
         Col("slow", kI), Col("plan_sim_micros", kI), Col("scan_sim_micros", kI),
         Col("join_sim_micros", kI), Col("aggregate_sim_micros", kI),
         Col("merge_sim_micros", kI), Col("queued_micros", kI),
-        Col("pool", kS)});
+        Col("pool", kS), Col("trace_id", kI)});
     (*m)["dc_cache_events"] = Schema({
         Col("node", kS), Col("at_micros", kI), Col("kind", kS),
         Col("key", kS), Col("bytes", kI)});
@@ -49,7 +49,12 @@ const std::map<std::string, Schema>& Registry() {
         Col("store", kS), Col("node", kS), Col("at_micros", kI),
         Col("op", kS), Col("key", kS), Col("bytes", kI),
         Col("latency_micros", kI), Col("cost", kI), Col("ok", kI),
-        Col("origin", kS), Col("bytes_scanned", kI)});
+        Col("origin", kS), Col("bytes_scanned", kI), Col("trace_id", kI)});
+    (*m)["dc_trace_spans"] = Schema({
+        Col("node", kS), Col("trace_id", kI), Col("span_id", kI),
+        Col("parent_id", kI), Col("name", kS), Col("start_micros", kI),
+        Col("end_micros", kI), Col("duration_micros", kI),
+        Col("attributes", kS)});
     (*m)["dc_mergeout_events"] = Schema({
         Col("node", kS), Col("at_micros", kI), Col("projection", kS),
         Col("shard", kI), Col("inputs", kI), Col("rows_written", kI),
@@ -140,7 +145,7 @@ std::vector<Row> QueryExecutionRows(EonCluster* cluster) {
           I(p.Phase(obs::QueryPhase::kJoin).sim_micros),
           I(p.Phase(obs::QueryPhase::kAggregate).sim_micros),
           I(p.Phase(obs::QueryPhase::kMerge).sim_micros),
-          I(e.queued_micros), S(e.pool)});
+          I(e.queued_micros), S(e.pool), U(e.trace_id)});
     }
   }
   return rows;
@@ -165,7 +170,26 @@ std::vector<Row> StoreRequestRows(EonCluster* cluster) {
       rows.push_back(Row{S(e.store), S(e.node), I(e.at_micros), S(e.op),
                          S(e.key), U(e.bytes), I(e.latency_micros),
                          U(e.cost_microdollars), I(e.ok ? 1 : 0),
-                         S(e.origin), U(e.bytes_scanned)});
+                         S(e.origin), U(e.bytes_scanned), U(e.trace_id)});
+    }
+  }
+  return rows;
+}
+
+std::vector<Row> TraceSpanRows(EonCluster* cluster) {
+  std::vector<Row> rows;
+  for (const obs::DataCollector* dc : Collectors(cluster)) {
+    for (const obs::SpanData& s : dc->TraceSpans()) {
+      // Attributes flatten to "k=v,k=v" — enough for eyeballing and LIKE
+      // filters; the Chrome export keeps them structured.
+      std::string attrs;
+      for (const auto& [k, v] : s.attributes) {
+        if (!attrs.empty()) attrs += ",";
+        attrs += k + "=" + v;
+      }
+      rows.push_back(Row{S(s.node), U(s.trace_id), U(s.id), U(s.parent_id),
+                         S(s.name), I(s.start_micros), I(s.end_micros),
+                         I(s.DurationMicros()), S(std::move(attrs))});
     }
   }
   return rows;
@@ -384,6 +408,7 @@ Result<std::vector<Row>> MaterializeSystemTable(EonCluster* cluster,
   if (name == "dc_query_executions") return QueryExecutionRows(cluster);
   if (name == "dc_cache_events") return CacheEventRows(cluster);
   if (name == "dc_store_requests") return StoreRequestRows(cluster);
+  if (name == "dc_trace_spans") return TraceSpanRows(cluster);
   if (name == "dc_mergeout_events") return MergeoutRows(cluster);
   if (name == "dc_subscription_events") return SubscriptionEventRows(cluster);
   if (name == "system_nodes") return NodeRows(cluster);
@@ -449,6 +474,7 @@ JsonValue ExportSystemTables(EonCluster* cluster) {
     per.Set("queries", CountersJson(dc->query_counters()));
     per.Set("cache_events", CountersJson(dc->cache_counters()));
     per.Set("store_requests", CountersJson(dc->store_counters()));
+    per.Set("trace_spans", CountersJson(dc->trace_counters()));
     per.Set("mergeouts", CountersJson(dc->mergeout_counters()));
     per.Set("subscriptions", CountersJson(dc->subscription_counters()));
     counters.Set(label, std::move(per));

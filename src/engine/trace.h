@@ -1,0 +1,85 @@
+#ifndef EON_ENGINE_TRACE_H_
+#define EON_ENGINE_TRACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
+
+namespace eon {
+
+class EonCluster;
+
+/// Engine-side glue between the pure obs tracing primitives and the
+/// cluster: minting a query's TraceContext at the outermost boundary
+/// (serving layer, or ExecuteQuery itself for direct callers), deciding
+/// retention when the query finishes, and routing retained spans into
+/// each node's Data Collector ring (dc_trace_spans).
+
+/// Owns one query's trace from mint to flush. Constructed at the
+/// outermost layer that sees the query (wire dispatch > SessionManager >
+/// ExecuteQuery — inner layers skip minting when a TraceScope is already
+/// live on the thread) and finished exactly once with the query's
+/// profile. Inert when the cluster's tracing is disabled and the session
+/// did not force tracing, so the off-path costs two branches.
+class QueryTraceGuard {
+ public:
+  QueryTraceGuard() = default;
+  /// `root_name` is the root span's label ("session" at the serving
+  /// boundary, "query" for direct execution); `force` retains the trace
+  /// regardless of sampling or slow-query policy (`\set trace on`).
+  QueryTraceGuard(EonCluster* cluster, const std::string& root_name,
+                  bool force);
+  QueryTraceGuard(QueryTraceGuard&&) = default;
+  QueryTraceGuard& operator=(QueryTraceGuard&&) = default;
+  QueryTraceGuard(const QueryTraceGuard&) = delete;
+  QueryTraceGuard& operator=(const QueryTraceGuard&) = delete;
+  /// An unfinished guard (error path) ends the root and discards.
+  ~QueryTraceGuard() = default;
+
+  bool active() const { return context_.active(); }
+  uint64_t trace_id() const { return context_.trace_id; }
+  /// Context to install with an obs::TraceScope (children parent under
+  /// the root span).
+  const obs::TraceContext& context() const { return context_; }
+  /// The still-open root span (attributes).
+  obs::Span& root() { return root_; }
+
+  /// End the root span, decide retention — forced, sampled (cluster
+  /// trace_sample), or slow (profile sim total at or past the
+  /// coordinator collector's slow-query threshold) — and flush the span
+  /// tree into the per-node DC rings. Returns the trace id when
+  /// retained, 0 otherwise.
+  uint64_t Finish(const obs::QueryProfile& profile);
+
+ private:
+  EonCluster* cluster_ = nullptr;
+  obs::TraceContext context_;
+  obs::Span root_;
+  bool forced_ = false;
+  bool finished_ = false;
+};
+
+/// All retained spans of `trace_id` across every node's collector (plus
+/// the process-default collector), oldest first. Empty when the trace
+/// was not retained or already fell off the rings.
+std::vector<obs::SpanData> CollectTraceSpans(EonCluster* cluster,
+                                             uint64_t trace_id);
+
+/// Chrome trace-event JSON for `trace_id` with the latency-attribution
+/// rollup attached under "attribution" (chrome://tracing and Perfetto
+/// ignore unknown top-level keys). NotFound when no spans survive.
+Result<JsonValue> ExportTraceJson(EonCluster* cluster, uint64_t trace_id);
+
+/// ExportTraceJson to a file (bench sidecars: `<figure>.trace.json`).
+Status WriteQueryTraceJsonFile(const std::string& path, EonCluster* cluster,
+                               uint64_t trace_id);
+
+}  // namespace eon
+
+#endif  // EON_ENGINE_TRACE_H_

@@ -8,6 +8,7 @@ namespace obs {
 namespace {
 
 constexpr int64_t kDefaultSlowQueryMicros = 10000;  // 10 sim-ms.
+constexpr size_t kDefaultTraceRing = 4096;
 
 int64_t ResolveSlowQueryMicros(int64_t configured) {
   if (configured >= 0) return configured;
@@ -18,6 +19,17 @@ int64_t ResolveSlowQueryMicros(int64_t configured) {
     if (end != env && parsed >= 0) return static_cast<int64_t>(parsed);
   }
   return kDefaultSlowQueryMicros;
+}
+
+size_t ResolveTraceRing(size_t configured) {
+  if (configured != 0) return configured;
+  const char* env = std::getenv("EON_TRACE_RING");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long long parsed = std::strtoll(env, &end, 10);
+    if (end != env && parsed > 0) return static_cast<size_t>(parsed);
+  }
+  return kDefaultTraceRing;
 }
 
 thread_local const std::string* tls_dc_node = nullptr;
@@ -46,7 +58,8 @@ DataCollector::DataCollector(std::string node, Clock* clock,
       cache_events_(options.cache_ring),
       store_requests_(options.store_ring),
       mergeouts_(options.mergeout_ring),
-      subscriptions_(options.subscription_ring) {}
+      subscriptions_(options.subscription_ring),
+      trace_spans_(ResolveTraceRing(options.trace_ring)) {}
 
 DataCollector* DataCollector::Default() {
   static DataCollector* instance = new DataCollector();
@@ -80,6 +93,10 @@ void DataCollector::RecordStoreRequest(DcStoreRequest event) {
     event.origin = DcOriginScope::Current();
     if (event.origin.empty()) event.origin = "demand";
   }
+  if (event.trace_id == 0) {
+    const TraceContext* trace = TraceScope::Current();
+    if (trace != nullptr) event.trace_id = trace->trace_id;
+  }
   store_requests_.Push(std::move(event));
 }
 
@@ -93,6 +110,11 @@ void DataCollector::RecordSubscription(DcSubscriptionEvent event) {
   event.at_micros = Stamp(event.at_micros);
   if (event.node.empty()) event.node = node_;
   subscriptions_.Push(std::move(event));
+}
+
+void DataCollector::RecordTraceSpan(SpanData span) {
+  if (span.node.empty()) span.node = node_;
+  trace_spans_.Push(std::move(span));
 }
 
 std::vector<DcQueryExecution> DataCollector::QueryExecutions() const {
@@ -110,6 +132,9 @@ std::vector<DcMergeoutEvent> DataCollector::MergeoutEvents() const {
 std::vector<DcSubscriptionEvent> DataCollector::SubscriptionEvents() const {
   return subscriptions_.Snapshot();
 }
+std::vector<SpanData> DataCollector::TraceSpans() const {
+  return trace_spans_.Snapshot();
+}
 
 DcRingCounters DataCollector::query_counters() const {
   return queries_.counters();
@@ -126,6 +151,9 @@ DcRingCounters DataCollector::mergeout_counters() const {
 DcRingCounters DataCollector::subscription_counters() const {
   return subscriptions_.counters();
 }
+DcRingCounters DataCollector::trace_counters() const {
+  return trace_spans_.counters();
+}
 
 int64_t DataCollector::slow_query_micros() const {
   return slow_query_micros_.load(std::memory_order_relaxed);
@@ -140,6 +168,7 @@ void DataCollector::Clear() {
   store_requests_.Clear();
   mergeouts_.Clear();
   subscriptions_.Clear();
+  trace_spans_.Clear();
 }
 
 DcNodeScope::DcNodeScope(const std::string& node) : previous_(tls_dc_node) {

@@ -10,6 +10,7 @@
 
 #include "common/clock.h"
 #include "obs/profile.h"
+#include "obs/trace.h"
 
 namespace eon {
 namespace obs {
@@ -46,6 +47,9 @@ struct DcQueryExecution {
   /// bypassed the serving layer) and the resource pool that admitted it.
   int64_t queued_micros = 0;
   std::string pool;
+  /// Distributed-trace id (0 = untraced): joins against dc_trace_spans
+  /// so a slow query links straight to its full span tree.
+  uint64_t trace_id = 0;
   QueryProfile profile;  ///< Cleared unless `slow`.
 };
 
@@ -80,6 +84,9 @@ struct DcStoreRequest {
   /// speculative read ahead of the scan). Defaults to "demand" when no
   /// DcOriginScope is live.
   std::string origin;
+  /// Trace of the query that triggered the request (0 = untraced);
+  /// stamped from the thread's TraceScope when unset.
+  uint64_t trace_id = 0;
 };
 
 /// One tuple-mover mergeout job run on this node.
@@ -111,6 +118,9 @@ struct DataCollectorOptions {
   size_t store_ring = 4096;
   size_t mergeout_ring = 256;
   size_t subscription_ring = 256;
+  /// Retained trace spans per node (dc_trace_spans). 0 resolves the
+  /// EON_TRACE_RING env var, defaulting to 4096.
+  size_t trace_ring = 0;
   /// Queries whose total sim time meets this threshold keep their full
   /// QueryProfile in the ring (slow-query log). < 0 resolves the
   /// EON_SLOW_QUERY_MICROS env var, defaulting to 10000 (10 sim-ms).
@@ -194,6 +204,10 @@ class DataCollector {
   void RecordStoreRequest(DcStoreRequest event);
   void RecordMergeout(DcMergeoutEvent event);
   void RecordSubscription(DcSubscriptionEvent event);
+  /// One retained span of a sampled/slow/forced trace; spans whose
+  /// `node` is this collector's node land here (dc_trace_spans). Drops
+  /// are counted like every other ring — the honesty counter.
+  void RecordTraceSpan(SpanData span);
 
   // Snapshots, oldest first.
   std::vector<DcQueryExecution> QueryExecutions() const;
@@ -201,12 +215,14 @@ class DataCollector {
   std::vector<DcStoreRequest> StoreRequests() const;
   std::vector<DcMergeoutEvent> MergeoutEvents() const;
   std::vector<DcSubscriptionEvent> SubscriptionEvents() const;
+  std::vector<SpanData> TraceSpans() const;
 
   DcRingCounters query_counters() const;
   DcRingCounters cache_counters() const;
   DcRingCounters store_counters() const;
   DcRingCounters mergeout_counters() const;
   DcRingCounters subscription_counters() const;
+  DcRingCounters trace_counters() const;
 
   int64_t slow_query_micros() const;
   void set_slow_query_micros(int64_t micros);
@@ -230,6 +246,7 @@ class DataCollector {
   internal::DcRing<DcStoreRequest> store_requests_;
   internal::DcRing<DcMergeoutEvent> mergeouts_;
   internal::DcRing<DcSubscriptionEvent> subscriptions_;
+  internal::DcRing<SpanData> trace_spans_;
 };
 
 /// RAII thread-local attribution: store requests recorded while a scope

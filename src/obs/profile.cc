@@ -101,6 +101,7 @@ JsonValue QueryProfile::ToJson() const {
   pushdown.Set("aggregates_pushed", JsonValue::Bool(pushdown_aggregates));
   out.Set("pushdown", std::move(pushdown));
 
+  out.Set("trace_id", JsonValue::Int(static_cast<int64_t>(trace_id)));
   out.Set("network_bytes",
           JsonValue::Int(static_cast<int64_t>(network_bytes)));
   out.Set("rows_shuffled",
@@ -156,6 +157,11 @@ std::string QueryProfile::ToText() const {
     snprintf(buf, sizeof(buf), " admission: pool %s, queued %.3f ms\n",
              resource_pool.c_str(),
              static_cast<double>(queued_micros) / 1000.0);
+    out += buf;
+  }
+  if (trace_id != 0) {
+    snprintf(buf, sizeof(buf), " trace: id %llu (dc_trace_spans)\n",
+             static_cast<unsigned long long>(trace_id));
     out += buf;
   }
   snprintf(buf, sizeof(buf),

@@ -77,6 +77,10 @@ struct QueryProfile {
   int64_t queued_micros = 0;
   std::string resource_pool;
 
+  /// Distributed-trace id labeling this query's spans (0 = untraced).
+  /// Join key into dc_trace_spans and the `\trace` wire op.
+  uint64_t trace_id = 0;
+
   // Morsel-parallel execution (cluster exec pool). Task CPU is measured
   // with the per-thread CPU clock, so these stay meaningful even when
   // workers oversubscribe the machine's cores.

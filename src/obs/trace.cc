@@ -1,9 +1,29 @@
 #include "obs/trace.h"
 
+#include <algorithm>
+#include <atomic>
+
+#include "obs/dc.h"
 #include "obs/metrics.h"
 
 namespace eon {
 namespace obs {
+
+namespace {
+
+thread_local const TraceContext* tls_trace = nullptr;
+
+/// SplitMix64 finalizer: a well-mixed bijection over uint64, used both
+/// to mint trace ids from a plain counter and to hash ids for the
+/// sampling decision.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
 
 Span& Span::operator=(Span&& o) noexcept {
   if (this != &o) {
@@ -17,11 +37,19 @@ Span& Span::operator=(Span&& o) noexcept {
 
 void Span::SetAttribute(const std::string& key, const std::string& value) {
   if (tracer_ == nullptr) return;
+  // One allocation for a typical attribute set instead of log2(n) vector
+  // doublings — morsel tasks set several attributes per span.
+  if (data_.attributes.capacity() == 0) data_.attributes.reserve(4);
   data_.attributes.emplace_back(key, value);
 }
 
 void Span::SetAttribute(const std::string& key, int64_t value) {
   SetAttribute(key, std::to_string(value));
+}
+
+void Span::SetNode(const std::string& node) {
+  if (tracer_ == nullptr) return;
+  data_.node = node;
 }
 
 void Span::End() {
@@ -36,25 +64,28 @@ Span Tracer::StartSpanAt(const std::string& name, uint64_t parent_id) {
   SpanData data;
   data.name = name;
   data.parent_id = parent_id;
+  data.trace_id = trace_id_;
+  data.node = DcNodeScope::Current();
   data.start_micros = clock_->NowMicros();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    data.id = next_id_++;
-  }
+  data.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   return Span(this, std::move(data));
 }
 
 void Tracer::Finish(SpanData data) {
+  // Sequential ids round-robin across stripes, so concurrent finishers
+  // on different pool lanes almost never contend on one lock.
+  Stripe& stripe = stripes_[data.id % num_stripes_];
+  const size_t stripe_cap = std::max<size_t>(1, max_finished_ / num_stripes_);
   bool dropped = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    finished_total_++;
-    if (finished_.size() >= max_finished_) {
-      finished_.pop_front();
-      spans_dropped_++;
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.finished_total++;
+    if (stripe.finished.size() >= stripe_cap) {
+      stripe.finished.pop_front();
+      stripe.spans_dropped++;
       dropped = true;
     }
-    finished_.push_back(std::move(data));
+    stripe.finished.push_back(std::move(data));
   }
   if (dropped) {
     OrDefault(registry_)
@@ -64,25 +95,115 @@ void Tracer::Finish(SpanData data) {
 }
 
 std::vector<SpanData> Tracer::FinishedSpans() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return std::vector<SpanData>(finished_.begin(), finished_.end());
+  std::vector<SpanData> out;
+  out.reserve(max_finished_);
+  for (size_t s = 0; s < num_stripes_; ++s) {
+    std::lock_guard<std::mutex> lock(stripes_[s].mu);
+    out.insert(out.end(), stripes_[s].finished.begin(),
+               stripes_[s].finished.end());
+  }
+  // Deterministic merge of the striped buffers that preserves the
+  // single-buffer contract: spans come back in finish order (children
+  // before parents), with creation order breaking end-time ties.
+  std::sort(out.begin(), out.end(), [](const SpanData& a, const SpanData& b) {
+    if (a.end_micros != b.end_micros) return a.end_micros < b.end_micros;
+    return a.id < b.id;
+  });
+  return out;
+}
+
+std::vector<SpanData> Tracer::DrainFinished() {
+  std::vector<SpanData> out;
+  out.reserve(max_finished_);
+  for (size_t s = 0; s < num_stripes_; ++s) {
+    std::lock_guard<std::mutex> lock(stripes_[s].mu);
+    out.insert(out.end(),
+               std::make_move_iterator(stripes_[s].finished.begin()),
+               std::make_move_iterator(stripes_[s].finished.end()));
+    stripes_[s].finished.clear();
+  }
+  std::sort(out.begin(), out.end(), [](const SpanData& a, const SpanData& b) {
+    if (a.end_micros != b.end_micros) return a.end_micros < b.end_micros;
+    return a.id < b.id;
+  });
+  return out;
 }
 
 uint64_t Tracer::finished_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return finished_total_;
+  uint64_t total = 0;
+  for (size_t s = 0; s < num_stripes_; ++s) {
+    std::lock_guard<std::mutex> lock(stripes_[s].mu);
+    total += stripes_[s].finished_total;
+  }
+  return total;
 }
 
 uint64_t Tracer::spans_dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return spans_dropped_;
+  uint64_t total = 0;
+  for (size_t s = 0; s < num_stripes_; ++s) {
+    std::lock_guard<std::mutex> lock(stripes_[s].mu);
+    total += stripes_[s].spans_dropped;
+  }
+  return total;
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  finished_.clear();
-  finished_total_ = 0;
-  spans_dropped_ = 0;
+  for (size_t s = 0; s < num_stripes_; ++s) {
+    std::lock_guard<std::mutex> lock(stripes_[s].mu);
+    stripes_[s].finished.clear();
+    stripes_[s].finished_total = 0;
+    stripes_[s].spans_dropped = 0;
+  }
+}
+
+TraceScope::TraceScope(TraceContext context)
+    : context_(std::move(context)), previous_(tls_trace) {
+  tls_trace = &context_;
+}
+
+TraceScope::~TraceScope() { tls_trace = previous_; }
+
+const TraceContext* TraceScope::Current() {
+  if (tls_trace == nullptr || !tls_trace->active()) return nullptr;
+  return tls_trace;
+}
+
+TraceContext CurrentTraceCopy() {
+  const TraceContext* current = TraceScope::Current();
+  return current == nullptr ? TraceContext{} : *current;
+}
+
+TraceContext CurrentTraceWithParent(uint64_t parent_span_id) {
+  TraceContext context = CurrentTraceCopy();
+  if (context.active()) context.parent_span_id = parent_span_id;
+  return context;
+}
+
+Span StartTraceSpan(const std::string& name) {
+  const TraceContext* context = TraceScope::Current();
+  if (context == nullptr) return Span();
+  return context->tracer->StartSpanWithParent(name, context->parent_span_id);
+}
+
+uint64_t NextTraceId() {
+  static std::atomic<uint64_t> sequence{0};
+  const uint64_t seq = sequence.fetch_add(1, std::memory_order_relaxed) + 1;
+  // 63-bit so the id round-trips through the SQL int64 column without
+  // going negative; Mix64 never maps two small counters to the same
+  // truncation in any realistic run, and 0 is reserved for "untraced".
+  uint64_t id = Mix64(seq) & 0x7fffffffffffffffULL;
+  if (id == 0) id = 1;
+  return id;
+}
+
+bool TraceSampled(uint64_t trace_id, double probability) {
+  if (probability <= 0.0) return false;
+  if (probability >= 1.0) return true;
+  // Compare a re-mix of the id against the probability scaled to the
+  // 53-bit mantissa range — exact, clock-free, and stable across runs.
+  const uint64_t hash = Mix64(trace_id) >> 11;  // top 53 bits.
+  return static_cast<double>(hash) <
+         probability * 9007199254740992.0 /* 2^53 */;
 }
 
 }  // namespace obs

@@ -1,8 +1,10 @@
 #ifndef EON_OBS_TRACE_H_
 #define EON_OBS_TRACE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -19,6 +21,12 @@ class MetricsRegistry;
 struct SpanData {
   uint64_t id = 0;
   uint64_t parent_id = 0;  ///< 0 = root.
+  /// Query-scoped trace the span belongs to (0 = untraced). Stamped from
+  /// the owning Tracer so every span in one query shares one id.
+  uint64_t trace_id = 0;
+  /// Node the span ran on ("" = coordinator / unknown). Stamped from the
+  /// innermost DcNodeScope at start; explicit SetNode overrides.
+  std::string node;
   std::string name;
   int64_t start_micros = 0;
   int64_t end_micros = 0;
@@ -47,6 +55,9 @@ class Span {
 
   void SetAttribute(const std::string& key, const std::string& value);
   void SetAttribute(const std::string& key, int64_t value);
+  /// Override the node the span is attributed to (morsel tasks know
+  /// their executor; the DcNodeScope default covers cache/store spans).
+  void SetNode(const std::string& node);
 
   /// Stamp the end time from the tracer's clock and hand the span to the
   /// tracer's finished buffer.
@@ -73,6 +84,11 @@ class Tracer {
                   MetricsRegistry* registry = nullptr)
       : clock_(clock),
         max_finished_(max_finished_spans),
+        // Lock-striped buffer for large rings: morsel tasks on every pool
+        // lane finish spans concurrently, and a single mutex convoys them.
+        // Small rings (tests pin exact oldest-first eviction) stay single-
+        // stripe, where per-stripe semantics are exact global semantics.
+        num_stripes_(max_finished_spans >= 1024 ? kMaxStripes : 1),
         registry_(registry) {}
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
@@ -85,10 +101,26 @@ class Tracer {
     return StartSpanAt(name, parent.data_.id);
   }
 
+  /// Start a child span of the span with id `parent_id` (0 = root).
+  /// Cross-thread instrumentation links by id because the parent Span
+  /// object lives on another stack.
+  Span StartSpanWithParent(const std::string& name, uint64_t parent_id) {
+    return StartSpanAt(name, parent_id);
+  }
+
   Clock* clock() const { return clock_; }
 
-  /// Finished spans, oldest first.
+  /// Trace id stamped onto every span this tracer starts (0 = untraced).
+  void set_trace_id(uint64_t trace_id) { trace_id_ = trace_id; }
+  uint64_t trace_id() const { return trace_id_; }
+
+  /// Finished spans in finish order (children before parents; creation
+  /// order breaks end-time ties).
   std::vector<SpanData> FinishedSpans() const;
+  /// Like FinishedSpans, but moves the spans out (the buffer is left
+  /// empty; counters are unchanged). Retention uses this so a query's
+  /// span strings are not copied on their way to the Data Collector.
+  std::vector<SpanData> DrainFinished();
   /// Total spans finished, including any dropped from the buffer.
   uint64_t finished_count() const;
   /// Spans evicted from the bounded buffer since construction / Clear().
@@ -97,18 +129,91 @@ class Tracer {
 
  private:
   friend class Span;
+  static constexpr size_t kMaxStripes = 8;
+
   Span StartSpanAt(const std::string& name, uint64_t parent_id);
   void Finish(SpanData data);
 
+  /// One shard of the finished-span buffer. Sequential span ids round-
+  /// robin across stripes, so concurrent finishers rarely share a lock
+  /// and the per-stripe bound (max_finished_ / num_stripes_) keeps the
+  /// global capacity; eviction is oldest-first per stripe, which for the
+  /// round-robin assignment approximates global oldest-first.
+  struct Stripe {
+    mutable std::mutex mu;
+    std::deque<SpanData> finished;
+    uint64_t finished_total = 0;
+    uint64_t spans_dropped = 0;
+  };
+
   Clock* clock_;
   const size_t max_finished_;
+  const size_t num_stripes_;
   MetricsRegistry* registry_;
-  mutable std::mutex mu_;
-  std::deque<SpanData> finished_;
-  uint64_t finished_total_ = 0;
-  uint64_t spans_dropped_ = 0;
-  uint64_t next_id_ = 1;
+  uint64_t trace_id_ = 0;
+  Stripe stripes_[kMaxStripes];
+  std::atomic<uint64_t> next_id_{1};
 };
+
+/// The ambient trace of the query a thread is working on: which tracer
+/// collects spans, which trace id labels them, and which open span new
+/// work should parent under. Copyable by design — cross-thread hops
+/// (morsel tasks on the exec pool, fetches and prefetches on the I/O
+/// pool) capture the context *by value* into the task lambda and
+/// reinstall it with a TraceScope inside the task body. The tracer is
+/// held by shared_ptr so fire-and-forget prefetch tasks can outlive the
+/// query that issued them without dangling.
+struct TraceContext {
+  std::shared_ptr<Tracer> tracer;
+  uint64_t trace_id = 0;
+  /// Innermost open span on the minting path; new spans parent here.
+  uint64_t parent_span_id = 0;
+  /// Session forced tracing (`\set trace on`): retain regardless of
+  /// sampling or slow-query policy.
+  bool forced = false;
+
+  bool active() const { return tracer != nullptr; }
+};
+
+/// RAII thread-local install of a TraceContext (same discipline as
+/// DcNodeScope). The scope stores its own copy, so capturing a context
+/// by value into a lambda and constructing a TraceScope inside the task
+/// is safe even after the originating stack frame is gone.
+class TraceScope {
+ public:
+  explicit TraceScope(TraceContext context);
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  /// The innermost live scope's context on this thread, or null.
+  static const TraceContext* Current();
+
+ private:
+  TraceContext context_;
+  const TraceContext* previous_;
+};
+
+/// Copy of the current thread's trace context (inactive when none).
+TraceContext CurrentTraceCopy();
+/// Copy of the current context re-parented under `parent_span_id` —
+/// install with a TraceScope so child work nests under a new span.
+TraceContext CurrentTraceWithParent(uint64_t parent_span_id);
+
+/// Start a span under the current thread's trace context; returns an
+/// inert Span (no allocation, no lock) when no trace is live. This is
+/// the one call sites use — instrumentation costs two branches when
+/// tracing is off.
+Span StartTraceSpan(const std::string& name);
+
+/// Process-unique 63-bit nonzero trace id (deterministic sequence — the
+/// i-th call always yields the same id, so SimClock runs reproduce).
+uint64_t NextTraceId();
+
+/// Deterministic sampling decision: a pure hash of the trace id against
+/// `probability` in [0,1]. The same id always samples the same way, on
+/// any node, at any time — no clock, no RNG.
+bool TraceSampled(uint64_t trace_id, double probability);
 
 }  // namespace obs
 }  // namespace eon

@@ -1,0 +1,214 @@
+#include "obs/trace_export.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <unordered_map>
+
+namespace eon {
+namespace obs {
+
+namespace {
+
+/// Phase-level spans run sequentially on the coordinator thread; their
+/// durations are the attribution buckets.
+bool IsPhaseName(const std::string& name) {
+  return name == "admission_wait" || name == "plan" || name == "scan" ||
+         name == "join" || name == "aggregate" || name == "merge" ||
+         name == "serialize";
+}
+
+const SpanData* FindRoot(const std::vector<SpanData>& spans) {
+  const SpanData* root = nullptr;
+  for (const SpanData& s : spans) {
+    if (s.parent_id != 0) continue;
+    if (root == nullptr || s.start_micros < root->start_micros) root = &s;
+  }
+  return root;
+}
+
+int64_t AttrInt(const SpanData& span, const std::string& key,
+                int64_t fallback) {
+  for (const auto& [k, v] : span.attributes) {
+    if (k == key) return std::strtoll(v.c_str(), nullptr, 10);
+  }
+  return fallback;
+}
+
+}  // namespace
+
+JsonValue ChromeTraceJson(const std::vector<SpanData>& spans) {
+  JsonValue root = JsonValue::Object();
+  JsonValue events = JsonValue::Array();
+  // One tid lane per node; coordinator/unknown ("") gets lane 0.
+  std::map<std::string, int64_t> tids;
+  tids[""] = 0;
+  for (const SpanData& s : spans) {
+    if (tids.find(s.node) == tids.end()) {
+      tids[s.node] = static_cast<int64_t>(tids.size());
+    }
+  }
+  for (const SpanData& s : spans) {
+    JsonValue e = JsonValue::Object();
+    e.Set("name", JsonValue::Str(s.name));
+    e.Set("cat", JsonValue::Str("query"));
+    e.Set("ph", JsonValue::Str("X"));
+    e.Set("ts", JsonValue::Int(s.start_micros));
+    e.Set("dur", JsonValue::Int(s.DurationMicros()));
+    e.Set("pid", JsonValue::Int(1));
+    e.Set("tid", JsonValue::Int(tids[s.node]));
+    JsonValue args = JsonValue::Object();
+    args.Set("span_id", JsonValue::Int(static_cast<int64_t>(s.id)));
+    args.Set("parent_id", JsonValue::Int(static_cast<int64_t>(s.parent_id)));
+    args.Set("trace_id", JsonValue::Int(static_cast<int64_t>(s.trace_id)));
+    args.Set("node", JsonValue::Str(s.node));
+    for (const auto& [k, v] : s.attributes) args.Set(k, JsonValue::Str(v));
+    e.Set("args", std::move(args));
+    events.Append(std::move(e));
+  }
+  // Name the per-node lanes so Perfetto shows node names, not bare tids.
+  for (const auto& [node, tid] : tids) {
+    JsonValue meta = JsonValue::Object();
+    meta.Set("name", JsonValue::Str("thread_name"));
+    meta.Set("ph", JsonValue::Str("M"));
+    meta.Set("pid", JsonValue::Int(1));
+    meta.Set("tid", JsonValue::Int(tid));
+    JsonValue args = JsonValue::Object();
+    args.Set("name",
+             JsonValue::Str(node.empty() ? std::string("coordinator") : node));
+    meta.Set("args", std::move(args));
+    events.Append(std::move(meta));
+  }
+  root.Set("traceEvents", std::move(events));
+  root.Set("displayTimeUnit", JsonValue::Str("ms"));
+  return root;
+}
+
+TraceAttribution AttributeTrace(const std::vector<SpanData>& spans) {
+  TraceAttribution a;
+  const SpanData* root = FindRoot(spans);
+  if (root == nullptr) return a;
+  a.wall_micros = root->DurationMicros();
+
+  std::unordered_map<uint64_t, const SpanData*> by_id;
+  by_id.reserve(spans.size());
+  for (const SpanData& s : spans) by_id[s.id] = &s;
+
+  // Phase buckets: sum durations by name. Phase spans never nest in one
+  // another, so this never double-counts.
+  for (const SpanData& s : spans) {
+    if (!IsPhaseName(s.name)) continue;
+    const int64_t d = s.DurationMicros();
+    if (s.name == "admission_wait") a.queued_micros += d;
+    else if (s.name == "plan") a.plan_micros += d;
+    else if (s.name == "scan") a.scan_micros += d;
+    else if (s.name == "join") a.join_micros += d;
+    else if (s.name == "aggregate") a.aggregate_micros += d;
+    else if (s.name == "merge") a.merge_micros += d;
+    else if (s.name == "serialize") a.serialize_micros += d;
+  }
+  a.other_micros = a.wall_micros -
+                   (a.queued_micros + a.plan_micros + a.scan_micros +
+                    a.join_micros + a.aggregate_micros + a.merge_micros +
+                    a.serialize_micros);
+
+  // Split the scan phase into fetch-wait vs CPU along the critical lane:
+  // group morsel spans by lane, pick the busiest lane, and charge its
+  // demand-fetch child spans as fetch-wait.
+  std::map<int64_t, int64_t> lane_busy;
+  std::unordered_map<uint64_t, int64_t> morsel_lane;
+  for (const SpanData& s : spans) {
+    if (s.name != "morsel") continue;
+    const int64_t lane = AttrInt(s, "lane", 0);
+    lane_busy[lane] += s.DurationMicros();
+    morsel_lane[s.id] = lane;
+  }
+  int64_t critical_lane = 0;
+  int64_t critical_busy = -1;
+  for (const auto& [lane, busy] : lane_busy) {
+    if (busy > critical_busy) {
+      critical_busy = busy;
+      critical_lane = lane;
+    }
+  }
+  int64_t fetch_wait = 0;
+  for (const SpanData& s : spans) {
+    if (s.name != "cache_fetch") continue;
+    auto it = morsel_lane.find(s.parent_id);
+    if (it == morsel_lane.end() || it->second != critical_lane) continue;
+    fetch_wait += s.DurationMicros();
+  }
+  a.fetch_wait_micros = std::min(fetch_wait, a.scan_micros);
+  a.scan_cpu_micros = a.scan_micros - a.fetch_wait_micros;
+
+  // Critical path: descend into the child that finishes last.
+  std::unordered_map<uint64_t, std::vector<const SpanData*>> children;
+  for (const SpanData& s : spans) {
+    if (s.parent_id != 0) children[s.parent_id].push_back(&s);
+  }
+  const SpanData* at = root;
+  while (at != nullptr) {
+    a.critical_path.push_back(at->name + "(" +
+                              std::to_string(at->DurationMicros()) + "us)");
+    auto it = children.find(at->id);
+    if (it == children.end()) break;
+    const SpanData* last = nullptr;
+    for (const SpanData* c : it->second) {
+      if (last == nullptr || c->end_micros > last->end_micros) last = c;
+    }
+    at = last;
+  }
+  return a;
+}
+
+JsonValue TraceAttribution::ToJson() const {
+  JsonValue o = JsonValue::Object();
+  o.Set("wall_micros", JsonValue::Int(wall_micros));
+  o.Set("queued_micros", JsonValue::Int(queued_micros));
+  o.Set("plan_micros", JsonValue::Int(plan_micros));
+  o.Set("scan_micros", JsonValue::Int(scan_micros));
+  o.Set("fetch_wait_micros", JsonValue::Int(fetch_wait_micros));
+  o.Set("scan_cpu_micros", JsonValue::Int(scan_cpu_micros));
+  o.Set("join_micros", JsonValue::Int(join_micros));
+  o.Set("aggregate_micros", JsonValue::Int(aggregate_micros));
+  o.Set("merge_micros", JsonValue::Int(merge_micros));
+  o.Set("serialize_micros", JsonValue::Int(serialize_micros));
+  o.Set("other_micros", JsonValue::Int(other_micros));
+  JsonValue path = JsonValue::Array();
+  for (const std::string& step : critical_path) {
+    path.Append(JsonValue::Str(step));
+  }
+  o.Set("critical_path", std::move(path));
+  return o;
+}
+
+bool SpansNest(const std::vector<SpanData>& spans, std::string* error) {
+  std::unordered_map<uint64_t, const SpanData*> by_id;
+  by_id.reserve(spans.size());
+  for (const SpanData& s : spans) by_id[s.id] = &s;
+  for (const SpanData& s : spans) {
+    if (s.parent_id == 0) continue;
+    auto it = by_id.find(s.parent_id);
+    if (it == by_id.end()) continue;  // Parent fell off the ring.
+    const SpanData* p = it->second;
+    if (s.start_micros < p->start_micros) {
+      if (error != nullptr) {
+        *error = "span " + s.name + " starts before parent " + p->name;
+      }
+      return false;
+    }
+    // Async fire-and-forget spans (prefetches) may legitimately outlive
+    // the span that issued them; everything else must end inside its
+    // parent.
+    if (s.name != "prefetch" && s.end_micros > p->end_micros) {
+      if (error != nullptr) {
+        *error = "span " + s.name + " ends after parent " + p->name;
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace obs
+}  // namespace eon

@@ -1,0 +1,76 @@
+#ifndef EON_OBS_TRACE_EXPORT_H_
+#define EON_OBS_TRACE_EXPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "obs/trace.h"
+
+namespace eon {
+namespace obs {
+
+/// Pure span-tree analysis and export: everything here consumes a flat
+/// vector of SpanData (one query's trace) and touches no cluster state,
+/// so the same code serves the engine, the wire `trace` op, benches and
+/// tests.
+
+/// Render one trace as Chrome trace-event JSON (the format chrome://
+/// tracing and Perfetto open directly): an object with a `traceEvents`
+/// array of complete ("ph":"X") events. Spans are grouped into one pid
+/// per trace and one tid per node so per-node lanes line up visually;
+/// span attributes ride in `args`.
+JsonValue ChromeTraceJson(const std::vector<SpanData>& spans);
+
+/// Where a query's wall time went, decomposed from the span tree. The
+/// named buckets come from the phase-level spans (which run sequentially
+/// on the coordinator thread), `other_micros` is the remainder against
+/// the root span, so the components sum to `wall_micros` *exactly* by
+/// construction at any thread width — the interesting assertions are
+/// that each bucket is non-negative and `other` stays small.
+struct TraceAttribution {
+  int64_t wall_micros = 0;     ///< Root span duration.
+  int64_t queued_micros = 0;   ///< admission_wait span.
+  int64_t plan_micros = 0;
+  int64_t scan_micros = 0;     ///< Whole scan phase (fetch_wait + cpu).
+  /// Heuristic split of the scan phase: demand-fetch time on the
+  /// critical lane (the lane with the largest morsel-span sum) vs the
+  /// rest. fetch_wait + scan_cpu == scan by construction.
+  int64_t fetch_wait_micros = 0;
+  int64_t scan_cpu_micros = 0;
+  int64_t join_micros = 0;
+  int64_t aggregate_micros = 0;
+  int64_t merge_micros = 0;
+  int64_t serialize_micros = 0;
+  int64_t other_micros = 0;  ///< wall - sum(named); gaps between phases.
+
+  /// Greedy critical-path walk from the root: at each level descend into
+  /// the child that finishes last. Rendered as "name(duration)" steps.
+  std::vector<std::string> critical_path;
+
+  /// Named buckets + other (== wall by construction; kept as a method so
+  /// tests assert the invariant against the real arithmetic).
+  int64_t SumMicros() const {
+    return queued_micros + plan_micros + scan_micros + join_micros +
+           aggregate_micros + merge_micros + serialize_micros + other_micros;
+  }
+
+  JsonValue ToJson() const;
+};
+
+/// Decompose the trace rooted at the span with parent_id == 0 (or the
+/// earliest span when several roots exist — defensive against ring
+/// truncation). Returns a zeroed attribution for an empty trace.
+TraceAttribution AttributeTrace(const std::vector<SpanData>& spans);
+
+/// True when every span's [start,end] interval lies within its parent's
+/// (children may end after an async handoff — prefetches — so only
+/// spans whose parent is present are checked). Used by trace_view.sh's
+/// C++-side test twin.
+bool SpansNest(const std::vector<SpanData>& spans, std::string* error);
+
+}  // namespace obs
+}  // namespace eon
+
+#endif  // EON_OBS_TRACE_EXPORT_H_

@@ -71,6 +71,8 @@ Result<WireQueryResult> DecodeResult(const JsonValue& response) {
       static_cast<uint64_t>(stats.Get("network_bytes").int_value());
   result.queued_micros = response.Get("queued_micros").int_value();
   result.pool = response.Get("pool").string_value();
+  result.trace_id =
+      static_cast<uint64_t>(response.Get("trace_id").int_value());
   return result;
 }
 
@@ -152,6 +154,14 @@ Result<std::string> EonClient::ProfileText() {
   request.Set("op", JsonValue::Str("profile"));
   EON_ASSIGN_OR_RETURN(JsonValue response, RoundTrip(request));
   return response.Get("text").string_value();
+}
+
+Result<JsonValue> EonClient::Trace(uint64_t trace_id) {
+  JsonValue request = JsonValue::Object();
+  request.Set("op", JsonValue::Str("trace"));
+  request.Set("trace_id", JsonValue::Int(static_cast<int64_t>(trace_id)));
+  EON_ASSIGN_OR_RETURN(JsonValue response, RoundTrip(request));
+  return response.Get("trace");
 }
 
 Status EonClient::Bye() {

@@ -25,6 +25,9 @@ struct WireQueryResult {
   /// Admission wait reported by the server (0 with admission off).
   int64_t queued_micros = 0;
   std::string pool;
+  /// Trace id of the query's span tree (0 = untraced). Nonzero ids join
+  /// dc_trace_spans / dc_query_executions and feed Trace().
+  uint64_t trace_id = 0;
 };
 
 /// Client half of the serving protocol: one connection, one session.
@@ -57,6 +60,11 @@ class EonClient {
 
   /// Full profile text of the session's last successful query.
   Result<std::string> ProfileText();
+
+  /// Retained span tree of a traced query as Chrome trace-event JSON
+  /// (with the "attribution" rollup). NotFound when the trace was not
+  /// retained or has aged out of the DC rings.
+  Result<JsonValue> Trace(uint64_t trace_id);
 
   /// Orderly goodbye; the server closes its end after acknowledging.
   Status Bye();

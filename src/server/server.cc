@@ -1,8 +1,11 @@
 #include "server/server.h"
 
+#include <optional>
 #include <utility>
 
 #include "cluster/cluster.h"
+#include "engine/trace.h"
+#include "obs/trace.h"
 
 namespace eon {
 
@@ -216,12 +219,38 @@ JsonValue EonServer::Dispatch(const JsonValue& request, uint64_t* session_id,
         Status::InvalidArgument("no session: say hello first"));
   }
 
-  if (op == "query") {
-    Result<QueryResult> result =
-        sessions_->ExecuteSql(*session_id, request.Get("sql").string_value());
+  // Statement ops mint the query's trace at the wire boundary: the root
+  // "session" span then covers admission queueing, execution, AND result
+  // serialization. Inner layers (SessionManager, ExecuteQuery) see the
+  // installed scope and skip minting their own.
+  const auto traced = [&](auto&& exec) -> JsonValue {
+    QueryTraceGuard trace_guard(cluster_, "session",
+                                sessions_->TraceForced(*session_id));
+    std::optional<obs::TraceScope> trace_scope;
+    if (trace_guard.active()) trace_scope.emplace(trace_guard.context());
+    Result<QueryResult> result = exec();
     if (!result.ok()) return ErrorResponse(result.status());
-    return EncodeResult(result.value(), result->profile.queued_micros,
-                        result->profile.resource_pool);
+    JsonValue r;
+    {
+      obs::Span serialize_span = obs::StartTraceSpan("serialize");
+      serialize_span.SetAttribute(
+          "rows", static_cast<int64_t>(result->rows.size()));
+      r = EncodeResult(result.value(), result->profile.queued_micros,
+                       result->profile.resource_pool);
+    }
+    trace_scope.reset();
+    if (trace_guard.active()) trace_guard.Finish(result->profile);
+    // 0 = untraced; nonzero joins dc_query_executions / dc_trace_spans.
+    r.Set("trace_id",
+          JsonValue::Int(static_cast<int64_t>(result->profile.trace_id)));
+    return r;
+  };
+
+  if (op == "query") {
+    return traced([&] {
+      return sessions_->ExecuteSql(*session_id,
+                                   request.Get("sql").string_value());
+    });
   }
   if (op == "prepare") {
     Status status = sessions_->Prepare(*session_id,
@@ -230,11 +259,19 @@ JsonValue EonServer::Dispatch(const JsonValue& request, uint64_t* session_id,
     return status.ok() ? OkResponse() : ErrorResponse(status);
   }
   if (op == "execute") {
-    Result<QueryResult> result = sessions_->ExecutePrepared(
-        *session_id, request.Get("name").string_value());
-    if (!result.ok()) return ErrorResponse(result.status());
-    return EncodeResult(result.value(), result->profile.queued_micros,
-                        result->profile.resource_pool);
+    return traced([&] {
+      return sessions_->ExecutePrepared(*session_id,
+                                        request.Get("name").string_value());
+    });
+  }
+  if (op == "trace") {
+    const uint64_t trace_id =
+        static_cast<uint64_t>(request.Get("trace_id").int_value());
+    Result<JsonValue> json = ExportTraceJson(cluster_, trace_id);
+    if (!json.ok()) return ErrorResponse(json.status());
+    JsonValue r = OkResponse();
+    r.Set("trace", std::move(json).value());
+    return r;
   }
   if (op == "close_prepared") {
     Status status = sessions_->ClosePrepared(

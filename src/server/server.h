@@ -33,7 +33,11 @@ namespace eon {
 ///   {"op":"close_prepared","name":...}    -> {"ok":true}
 ///   {"op":"set","key":...,"value":...}    -> {"ok":true}
 ///   {"op":"profile"}                      -> {"ok":true,"text":...}
+///   {"op":"trace","trace_id":id}          -> {"ok":true,"trace":{...}}
 ///   {"op":"bye"}                          -> {"ok":true}, then close
+/// Result documents carry "trace_id" (0 = untraced); a retained trace is
+/// fetchable via the trace op as Chrome trace-event JSON with the
+/// latency-attribution rollup attached.
 /// Failures answer {"ok":false,"code":"<StatusCode>","error":"<message>"}
 /// and keep the connection open (the statement failed, not the session).
 class EonServer : public ServingIntrospection {

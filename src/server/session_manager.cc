@@ -4,6 +4,8 @@
 
 #include "cluster/cluster.h"
 #include "columnar/ros.h"
+#include "engine/trace.h"
+#include "obs/trace.h"
 
 namespace eon {
 
@@ -92,6 +94,16 @@ Result<QueryResult> SessionManager::Execute(uint64_t session_id,
   }
   std::lock_guard<std::mutex> exec_lock(state->exec_mu);
 
+  // Trace mint at the session boundary, unless an outer layer (the wire
+  // server) already installed one on this thread. The root "session" span
+  // covers admission queueing, execution, and everything downstream.
+  QueryTraceGuard trace_guard;
+  std::optional<obs::TraceScope> trace_scope;
+  if (obs::TraceScope::Current() == nullptr) {
+    trace_guard = QueryTraceGuard(cluster_, "session", state->trace);
+    if (trace_guard.active()) trace_scope.emplace(trace_guard.context());
+  }
+
   EON_ASSIGN_OR_RETURN(ExecContext context, state->session.PrepareContext());
 
   SlotGrant grant;
@@ -115,6 +127,7 @@ Result<QueryResult> SessionManager::Execute(uint64_t session_id,
     CancelToken token;
     SetWaiting(state.get(), &token);
     state->state.store(kQueued, std::memory_order_relaxed);
+    obs::Span admit_span = obs::StartTraceSpan("admission_wait");
     Result<SlotGrant> admitted = admission_->Admit(request, &token);
     SetWaiting(state.get(), nullptr);
     if (!admitted.ok()) {
@@ -122,6 +135,14 @@ Result<QueryResult> SessionManager::Execute(uint64_t session_id,
       return admitted.status();
     }
     grant = std::move(admitted).value();
+    if (admit_span.valid()) {
+      admit_span.SetAttribute("pool", grant.pool());
+      admit_span.SetAttribute(
+          "queued_micros", static_cast<int64_t>(grant.queued_micros()));
+      admit_span.SetAttribute(
+          "slots", static_cast<int64_t>(request.node_slots.size()));
+    }
+    admit_span.End();
     context.queued_micros = grant.queued_micros();
     context.resource_pool = grant.pool();
   }
@@ -132,6 +153,10 @@ Result<QueryResult> SessionManager::Execute(uint64_t session_id,
   if (result.ok()) {
     state->queries.fetch_add(1, std::memory_order_relaxed);
     state->last_profile = result->profile;
+  }
+  trace_scope.reset();
+  if (trace_guard.active() && result.ok()) {
+    trace_guard.Finish(result->profile);
   }
   return result;
 }
@@ -245,7 +270,27 @@ Status SessionManager::SetOption(uint64_t session_id, const std::string& key,
     state->pool = value;
     return Status::OK();
   }
+  if (key == "trace") {
+    bool on;
+    if (value == "on") {
+      on = true;
+    } else if (value == "off") {
+      on = false;
+    } else {
+      return Status::InvalidArgument("trace expects on|off, got: " + value);
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    state->trace = on;
+    return Status::OK();
+  }
   return Status::InvalidArgument("unknown session option: " + key);
+}
+
+bool SessionManager::TraceForced(uint64_t session_id) const {
+  std::shared_ptr<SessionState> state = Find(session_id);
+  if (state == nullptr) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  return state->trace;
 }
 
 Result<std::string> SessionManager::LastProfileText(uint64_t session_id) {

@@ -54,9 +54,14 @@ class SessionManager {
 
   /// Session options: "scan_mode" (row_wise | block_eval | late_mat),
   /// "crunch" (none | hash_filter | container_split), "pool" (a
-  /// configured resource pool).
+  /// configured resource pool), "trace" (on | off — force span retention
+  /// for this session's queries regardless of sampling).
   Status SetOption(uint64_t session_id, const std::string& key,
                    const std::string& value);
+
+  /// Whether the session has forced tracing (`SET trace on`). False for
+  /// unknown sessions.
+  bool TraceForced(uint64_t session_id) const;
 
   /// Full profile of the session's last successful query.
   Result<std::string> LastProfileText(uint64_t session_id);
@@ -91,6 +96,8 @@ class SessionManager {
     std::string pool;
     ScanMode scan_mode = ScanMode::kLateMat;
     CrunchMode crunch = CrunchMode::kNone;
+    /// Force trace retention for this session's queries.
+    bool trace = false;
   };
 
   std::shared_ptr<SessionState> Find(uint64_t session_id) const;
