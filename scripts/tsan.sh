@@ -13,8 +13,10 @@
 # plus many wire clients on one server (test_admission); and near-data
 # ScanObject pushdown racing against one store (test_pushdown); and traced
 # queries — span producers on the exec and I/O pools racing dc_trace_spans
-# scans (test_trace). Uses a separate build directory so the normal
-# build/ stays sanitizer-free.
+# scans (test_trace); and the write path — concurrent committers racing
+# the group-commit leader (test_wal) plus moveout + inserts racing
+# union-scan queries (test_wos). Uses a separate build directory so the
+# normal build/ stays sanitizer-free.
 #
 # A second configuration builds with -DEON_SIMD=off (every kernel pinned to
 # the scalar reference) and reruns the kernel differentials and the
@@ -34,7 +36,7 @@ cmake --build "$BUILD_DIR" \
       --target test_obs test_cache test_common test_kernels \
                test_parallel_differential \
                test_system_tables test_prefetch test_admission \
-               test_pushdown test_trace \
+               test_pushdown test_trace test_wal test_wos \
       -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" -L race --output-on-failure
 

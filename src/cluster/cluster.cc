@@ -73,6 +73,42 @@ EonCluster::EonCluster(ObjectStore* shared_storage, Clock* clock,
   pushdown_selectivity_cutoff_ =
       ResolvePushdownCutoff(options_.pushdown_selectivity_cutoff);
   trace_sample_ = ResolveTraceSample(options_.trace_sample);
+  // Resolve the WOS fast-path knobs into the node options BuildNodes
+  // copies into every node.
+  options_.node.wos.enabled = ResolveWos(options_.wos);
+  options_.node.wos.group_commit_micros =
+      ResolveGroupCommitMicros(options_.group_commit_micros);
+  options_.node.wos.flush_rows = ResolveWosFlushRows(options_.wos_flush_rows);
+}
+
+bool EonCluster::ResolveWos(int configured) {
+  if (configured >= 0) return configured != 0;
+  if (const char* env = std::getenv("EON_WOS")) {
+    const std::string v(env);
+    if (v == "off" || v == "0" || v == "false") return false;
+    return true;
+  }
+  return true;
+}
+
+int64_t EonCluster::ResolveGroupCommitMicros(int64_t configured) {
+  if (configured >= 0) return configured;
+  if (const char* env = std::getenv("EON_GROUP_COMMIT_MICROS")) {
+    char* end = nullptr;
+    const long long v = std::strtoll(env, &end, 10);
+    if (end != env && v >= 0) return static_cast<int64_t>(v);
+  }
+  return 200;
+}
+
+uint64_t EonCluster::ResolveWosFlushRows(int64_t configured) {
+  if (configured >= 0) return static_cast<uint64_t>(configured);
+  if (const char* env = std::getenv("EON_WOS_FLUSH_ROWS")) {
+    char* end = nullptr;
+    const long long v = std::strtoll(env, &end, 10);
+    if (end != env && v > 0) return static_cast<uint64_t>(v);
+  }
+  return 4096;
 }
 
 int EonCluster::ResolveExecThreads(int configured) {
@@ -141,6 +177,9 @@ Status EonCluster::BuildNodes(const std::vector<NodeSpec>& specs) {
     nodes_.push_back(std::make_unique<Node>(
         static_cast<Oid>(i + 1), specs[i].name, specs[i].subcluster, shared_,
         clock_, options_.node, options_.seed + i * 7919));
+    // Replay any surviving WAL into a fresh WOS: a no-op on first
+    // creation, the crash-recovery path on revive.
+    EON_RETURN_IF_ERROR(nodes_.back()->RecoverWos());
   }
   return Status::OK();
 }
@@ -244,6 +283,12 @@ Result<uint64_t> EonCluster::CommitDistributed(
   if (coord == nullptr || !coord->is_up()) {
     return Status::Unavailable("coordinator node is down");
   }
+
+  // Commit point: validation, the coordinator's catalog commit, and the
+  // replication of its log record to peers are one atomic section, so
+  // records reach every peer in version order even when loads commit
+  // concurrently (the prepare work above this point ran lock-free).
+  std::lock_guard<std::mutex> commit_lock(commit_mu_);
 
   // Subscription invariant (Sections 3.2, 4.5): metadata was eagerly
   // pushed to the subscribers observed at planning time. If a shard
@@ -564,6 +609,14 @@ Status EonCluster::RestartNode(Oid node_oid, bool warm_cache) {
   target->MarkUp();
   target->SetIncarnation(incarnation_);
 
+  // The restarted process replays its WAL from shared storage: committed
+  // WOS rows that were lost with the old process's memory come back.
+  Status wos_recovered = target->RecoverWos();
+  if (!wos_recovered.ok()) {
+    target->MarkDown();
+    return wos_recovered;
+  }
+
   // Catch up on log records missed while down (local logs survived the
   // process termination; only the delta transfers).
   Status caught_up = BringNodeUpToDate(target);
@@ -616,6 +669,9 @@ Status EonCluster::RecoverDestroyedNode(Oid node_oid, bool warm_cache) {
   target->ReplaceCatalog(std::move(rebuilt));
   target->MarkUp();
   target->SetIncarnation(incarnation_);
+  // Instance loss wiped local disk, not the shared-storage WAL: replay
+  // restores committed-but-unflushed WOS rows.
+  EON_RETURN_IF_ERROR(target->RecoverWos());
 
   for (ShardId shard : target->SubscribedShards(
            {SubscriptionState::kActive, SubscriptionState::kPassive,
@@ -788,6 +844,9 @@ Result<std::unique_ptr<EonCluster>> EonCluster::AttachReadOnly(
   }
   auto cluster = std::unique_ptr<EonCluster>(
       new EonCluster(shared_storage, clock, options));
+  // Readers never ingest and must not adopt (or replay) the writer
+  // cluster's write-ahead logs.
+  cluster->options_.node.wos.enabled = false;
   EON_RETURN_IF_ERROR(cluster->BuildNodes(specs));
   cluster->read_only_ = true;
   cluster->incarnation_ = info.incarnation;  // Source provenance.

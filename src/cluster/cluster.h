@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -70,6 +71,20 @@ struct ClusterOptions {
   /// (negative value = disabled), else 0.
   static constexpr double kTraceDisabled = -2.0;
   double trace_sample = -1.0;
+  /// WOS ingest fast path (WAL + in-memory memtable): INSERT and small
+  /// COPY batches commit to the write-ahead log and land in ROS later via
+  /// moveout. 0 = off (every write takes the direct-ROS path); 1 = on.
+  /// < 0 = auto: EON_WOS if set ("off"/"0"/"false" disables), else on.
+  int wos = -1;
+  /// Group-commit window in microseconds: the flush leader holds its WAL
+  /// upload open this long so concurrent writers share one durability
+  /// round-trip. 0 = flush immediately. < 0 = auto:
+  /// EON_GROUP_COMMIT_MICROS if set, else 200.
+  int64_t group_commit_micros = -1;
+  /// Moveout threshold: unflushed WOS rows per table at or above this
+  /// count snapshot to real ROS containers and truncate the log. < 0 =
+  /// auto: EON_WOS_FLUSH_ROWS if set, else 4096.
+  int64_t wos_flush_rows = -1;
 };
 
 /// A file awaiting deletion from shared storage (Section 6.5): reclaimed
@@ -153,6 +168,14 @@ class EonCluster {
   /// comparison is not polluted by allocator/cache placement differences
   /// between separately built clusters). Call only between queries.
   void set_trace_sample(double rate) { trace_sample_ = rate; }
+  /// Effective WOS fast-path switch (ClusterOptions::wos).
+  bool wos_enabled() const { return options_.node.wos.enabled; }
+  /// Effective group-commit window (ClusterOptions::group_commit_micros).
+  int64_t group_commit_micros() const {
+    return options_.node.wos.group_commit_micros;
+  }
+  /// Effective moveout row threshold (ClusterOptions::wos_flush_rows).
+  uint64_t wos_flush_rows() const { return options_.node.wos.flush_rows; }
 
   // --- Distributed commit (Section 3.2) ---
 
@@ -251,6 +274,12 @@ class EonCluster {
   static double ResolvePushdownCutoff(double configured);
   /// ClusterOptions::trace_sample → effective rate (-1 = disabled).
   static double ResolveTraceSample(double configured);
+  /// ClusterOptions::wos → effective fast-path switch.
+  static bool ResolveWos(int configured);
+  /// ClusterOptions::group_commit_micros → effective window.
+  static int64_t ResolveGroupCommitMicros(int64_t configured);
+  /// ClusterOptions::wos_flush_rows → effective moveout threshold.
+  static uint64_t ResolveWosFlushRows(int64_t configured);
 
   Status BuildNodes(const std::vector<NodeSpec>& specs);
   /// Apply log records the target missed, fetched from any up peer.
@@ -281,6 +310,12 @@ class EonCluster {
   std::vector<PendingFileDelete> pending_deletes_;
   uint64_t last_truncation_ = 0;
   bool shutdown_ = false;
+  /// Serializes the commit point of CommitDistributed: the coordinator's
+  /// catalog commit and the replication of its log record to peers must
+  /// be atomic, or a later version can reach a peer before an earlier
+  /// one. Prepare work (container writes, uploads) stays outside — only
+  /// the short commit section serializes (the OCC regime of Section 4).
+  std::mutex commit_mu_;
   /// Cluster-level registry instruments.
   struct {
     obs::Counter* commits = nullptr;        ///< eon_cluster_commits_total

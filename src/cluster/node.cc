@@ -55,6 +55,13 @@ std::set<ShardId> Node::AllSubscribedShards() const {
 void Node::MarkDown() {
   up_ = false;
   up_gauge_->Set(0);
+  // Process termination loses the in-memory WOS; the records survive in
+  // the shared-storage WAL and RecoverWos replays them on restart. The
+  // writer is dropped too so buffered-but-uncommitted appends vanish,
+  // exactly like a crash before group commit.
+  wal_.reset();
+  if (wos_ != nullptr) wos_->Clear();
+  wos_.reset();
 }
 
 void Node::MarkUp() {
@@ -70,6 +77,10 @@ void Node::DestroyLocalState() {
   catalog_ = std::make_unique<Catalog>();
   cache_->Clear();
   sync_.reset();
+  // Instance loss wipes the memtable with the rest of local state; the
+  // WAL lives on shared storage and survives for RecoverWos.
+  wal_.reset();
+  wos_.reset();
   up_ = false;
   up_gauge_->Set(0);
 }
@@ -94,6 +105,31 @@ void Node::UnregisterQuery(uint64_t version) {
   if (it != running_query_versions_.end()) {
     running_query_versions_.erase(it);
   }
+}
+
+Status Node::RecoverWos() {
+  if (!options_.wos.enabled) return Status::OK();
+  wos_ = std::make_unique<Wos>();
+  WalOptions wopts;
+  wopts.group_commit_micros = options_.wos.group_commit_micros;
+  wopts.segment_bytes = options_.wos.wal_segment_bytes;
+  wopts.registry = options_.cache.registry;
+  wopts.collector = dc_.get();
+  wal_ = std::make_unique<WalWriter>(
+      shared_, WalPrefix(), clock_, wopts,
+      [this](const WalRecord& record) { wos_->Apply(record); });
+
+  EON_ASSIGN_OR_RETURN(WalReplay replay, ReadWal(shared_, WalPrefix()));
+  for (const WalRecord& record : replay.records) wos_->Apply(record);
+  if (replay.max_lsn > 0) {
+    wal_->SetNextLsn(replay.max_lsn + 1);
+    obs::DcWalEvent e;
+    e.kind = "replay";
+    e.lsn = replay.max_lsn;
+    e.records = replay.records.size();
+    dc_->RecordWalEvent(std::move(e));
+  }
+  return Status::OK();
 }
 
 uint64_t Node::MinRunningQueryVersion() const {

@@ -13,14 +13,33 @@
 #include "common/clock.h"
 #include "common/sid.h"
 #include "storage/object_store.h"
+#include "wal/wal.h"
+#include "wos/wos.h"
 
 namespace eon {
+
+/// Per-node write-optimized-store configuration (WAL + WOS ingest fast
+/// path). Effective values are resolved by EonCluster from the EON_WOS /
+/// EON_GROUP_COMMIT_MICROS / EON_WOS_FLUSH_ROWS environment variables.
+struct WosNodeOptions {
+  bool enabled = true;
+  /// Group-commit window passed to the node's WalWriter.
+  int64_t group_commit_micros = 200;
+  /// WAL segment rotation threshold (bytes).
+  uint64_t wal_segment_bytes = 1 << 20;
+  /// Moveout trigger: unflushed WOS rows per table at or above this count
+  /// snapshot to ROS containers. Conservative upper-bound stand-in for
+  /// the per-(projection, shard) threshold (any one shard holds at most
+  /// this many rows when the total is below it).
+  uint64_t flush_rows = 4096;
+};
 
 struct NodeOptions {
   CacheOptions cache;
   uint64_t sync_checkpoint_every = 8;
   /// Ring capacities / slow-query threshold for the node's Data Collector.
   obs::DataCollectorOptions dc;
+  WosNodeOptions wos;
 };
 
 /// One Eon compute node: a catalog replica (global objects + storage
@@ -53,6 +72,26 @@ class Node {
   CatalogSync* sync() { return sync_.get(); }
   Clock* clock() { return clock_; }
   ObjectStore* shared_storage() { return shared_; }
+
+  /// Write-optimized store (null until RecoverWos ran, or when the WOS
+  /// fast path is disabled for the cluster).
+  Wos* wos() { return wos_.get(); }
+  const Wos* wos() const { return wos_.get(); }
+  WalWriter* wal() { return wal_.get(); }
+  bool wos_enabled() const { return wal_ != nullptr && wos_ != nullptr; }
+  const WosNodeOptions& wos_options() const { return options_.wos; }
+
+  /// (Re)build the WOS from the node's WAL on shared storage: fresh
+  /// memtable + writer, replay surviving records (checkpoint-filtered,
+  /// torn tails dropped), resume LSN assignment past the replayed
+  /// maximum. Called on cluster build, restart and instance recovery; a
+  /// no-op when the WOS is disabled.
+  Status RecoverWos();
+
+  /// This node's WAL object prefix on shared storage. Keyed by node name
+  /// (stable across restarts and instance loss) so recovery always finds
+  /// the log.
+  std::string WalPrefix() const { return "wal/" + name_ + "/"; }
 
   const NodeInstanceId& instance_id() const { return instance_id_; }
 
@@ -111,6 +150,8 @@ class Node {
   std::unique_ptr<obs::DataCollector> dc_;  ///< Before cache_: cache records into it.
   std::unique_ptr<FileCache> cache_;
   std::unique_ptr<CatalogSync> sync_;
+  std::unique_ptr<Wos> wos_;        ///< Before wal_: the writer applies into it.
+  std::unique_ptr<WalWriter> wal_;
   std::atomic<bool> up_{true};
   obs::Gauge* up_gauge_ = nullptr;  ///< eon_node_up{node=<name>}.
 

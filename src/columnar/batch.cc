@@ -146,8 +146,8 @@ BatchSelection BatchSelection::FromMask(const uint8_t* sel, size_t row_count) {
   }
   if (s.count_ * 4 < row_count) {
     s.rep_ = Rep::kIndices;
-    s.indices_.resize(s.count_);
-    simd::SelCompact(sel, row_count, s.indices_.data());
+    s.indices_.resize(s.count_ + 1);  // +1: SelCompact's branchless store.
+    s.indices_.resize(simd::SelCompact(sel, row_count, s.indices_.data()));
     return s;
   }
   s.rep_ = Rep::kMask;

@@ -60,7 +60,9 @@ void SelNot(uint8_t* sel, size_t n);
 /// Number of selected rows.
 uint64_t SelCount(const uint8_t* sel, size_t n);
 /// Compacts the mask to an ascending index list; returns the count.
-/// `out` must have room for SelCount(sel, n) entries.
+/// `out` must have room for SelCount(sel, n) + 1 entries (the branchless
+/// store writes the slot past the last selected index before the cursor
+/// check skips it); sizing to `n` is always safe.
 size_t SelCompact(const uint8_t* sel, size_t n, uint32_t* out);
 
 /// out[i] = SegmentationHashInt(v[i]) for valid rows, kNullSegHash for

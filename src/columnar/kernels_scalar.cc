@@ -65,7 +65,8 @@ uint64_t SelCountScalar(const uint8_t* sel, size_t n) {
 
 size_t SelCompactScalar(const uint8_t* sel, size_t n, uint32_t* out) {
   // Branchless store-with-increment: the store is unconditional, only the
-  // cursor advance depends on the mask byte.
+  // cursor advance depends on the mask byte — so `out` needs one slot of
+  // slack past the final count (see the header contract).
   size_t k = 0;
   for (size_t i = 0; i < n; ++i) {
     out[k] = static_cast<uint32_t>(i);

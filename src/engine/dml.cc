@@ -6,6 +6,7 @@
 #include "columnar/sort.h"
 #include "engine/executor.h"
 #include "obs/dc.h"
+#include "obs/trace.h"
 
 namespace eon {
 
@@ -110,6 +111,18 @@ std::optional<size_t> PartitionColInProj(const TableDef& table,
     if (proj.columns[pos] == *table.partition_column) return pos;
   }
   return std::nullopt;
+}
+
+/// Up nodes with a live WOS, in node-oid order — the global lock order
+/// for their moveout/delete gates.
+std::vector<Node*> WosNodes(EonCluster* cluster) {
+  std::vector<Node*> out;
+  for (const auto& n : cluster->nodes()) {
+    if (n->is_up() && n->wos_enabled()) out.push_back(n.get());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Node* a, const Node* b) { return a->oid() < b->oid(); });
+  return out;
 }
 
 }  // namespace
@@ -280,6 +293,198 @@ Result<uint64_t> CopyInto(EonCluster* cluster, const std::string& table,
     }
   }
   return LoadIntoTables(cluster, loads, options);
+}
+
+Result<uint64_t> InsertInto(EonCluster* cluster, const std::string& table,
+                            const std::vector<Row>& rows,
+                            const InsertOptions& options,
+                            obs::QueryProfile* profile) {
+  if (rows.empty()) return 0;
+  Node* coord = nullptr;
+  if (!options.connected_node.empty()) {
+    for (const auto& n : cluster->nodes()) {
+      if (n->name() == options.connected_node && n->is_up()) {
+        coord = n.get();
+        break;
+      }
+    }
+  }
+  if (coord == nullptr) coord = cluster->AnyUpNode();
+  if (coord == nullptr) return Status::Unavailable("no up nodes");
+  auto snapshot = coord->catalog()->snapshot();
+  const TableDef* tdef = snapshot->FindTableByName(table);
+  if (tdef == nullptr) return Status::NotFound("no such table: " + table);
+  if (tdef->is_live_aggregate()) {
+    return Status::InvalidArgument(
+        "cannot INSERT into a live aggregate projection");
+  }
+
+  // The fast path covers plain tables. Flattened targets (load-time
+  // dimension joins) and LAP bases (aggregate maintenance must ride the
+  // same commit) stay on the direct-ROS COPY path.
+  bool direct = !coord->wos_enabled() || tdef->is_flattened();
+  if (!direct) {
+    for (const auto& [toid, t] : snapshot->tables) {
+      if (t.lap_base == tdef->oid) {
+        direct = true;
+        break;
+      }
+    }
+  }
+  if (direct) {
+    EON_ASSIGN_OR_RETURN(uint64_t version, CopyInto(cluster, table, rows));
+    (void)version;
+    return rows.size();
+  }
+
+  for (const Row& row : rows) {
+    if (!tdef->schema.RowMatches(row)) {
+      return Status::InvalidArgument("row does not match table schema of " +
+                                     table);
+    }
+  }
+
+  obs::Span span = obs::StartTraceSpan("insert_wos");
+  if (span.valid()) {
+    span.SetNode(coord->name());
+    span.SetAttribute("table", table);
+    span.SetAttribute("rows", static_cast<int64_t>(rows.size()));
+  }
+  WalRecord rec;
+  rec.kind = WalRecord::Kind::kInsert;
+  rec.payload = EncodeWosInsert(tdef->oid, rows);
+  const uint64_t lsn = coord->wal()->Append(std::move(rec));
+  EON_ASSIGN_OR_RETURN(WalCommitInfo info, coord->wal()->Commit(lsn));
+  if (span.valid()) {
+    span.SetAttribute("lsn", static_cast<int64_t>(lsn));
+    span.SetAttribute("commit_wait_micros", info.wait_micros);
+    span.End();
+  }
+  if (profile != nullptr) {
+    profile->wal_records_appended++;
+    profile->wal_rows += rows.size();
+    profile->wal_commit_wait_micros += info.wait_micros;
+    if (info.led_group) {
+      profile->wal_led_group = true;
+      profile->wal_group_size = std::max(profile->wal_group_size,
+                                         info.group_size);
+    }
+  }
+
+  // Moveout threshold: once this node's unflushed rows for the table
+  // reach the configured budget, snapshot them to ROS synchronously (the
+  // TupleMover also sweeps on its own cadence).
+  if (coord->wos()->UnflushedRows(tdef->oid) >=
+      coord->wos_options().flush_rows) {
+    Result<uint64_t> moved = MoveoutWos(cluster, table);
+    if (!moved.ok()) return moved.status();
+  }
+  return rows.size();
+}
+
+Result<uint64_t> MoveoutWos(EonCluster* cluster, const std::string& table) {
+  Node* coord = cluster->AnyUpNode();
+  if (coord == nullptr) return Status::Unavailable("no up nodes");
+  auto snapshot = coord->catalog()->snapshot();
+  const TableDef* tdef = snapshot->FindTableByName(table);
+  if (tdef == nullptr) return Status::NotFound("no such table: " + table);
+
+  std::vector<Node*> wos_nodes = WosNodes(cluster);
+  if (wos_nodes.empty()) return 0;
+
+  obs::Span span = obs::StartTraceSpan("moveout");
+  if (span.valid()) span.SetAttribute("table", table);
+
+  // Gate every node for the whole {gather, container commit, flush-marker
+  // commit} window: a query either collects the WOS before the catalog
+  // commit (rows visible in memory, containers absent from its snapshot)
+  // or after the flush markers applied (rows excluded by flush_version,
+  // containers present) — never both, never neither.
+  std::vector<std::unique_lock<std::mutex>> gates;
+  gates.reserve(wos_nodes.size());
+  for (Node* n : wos_nodes) gates.push_back(n->wos()->LockGate());
+
+  struct NodeFlush {
+    Node* node = nullptr;
+    uint64_t up_to_lsn = 0;
+    uint64_t rows = 0;
+  };
+  std::vector<NodeFlush> flushes;
+  std::vector<Row> rows;
+  for (Node* n : wos_nodes) {
+    Wos::Unflushed u = n->wos()->GatherUnflushed(tdef->oid);
+    if (u.up_to_lsn == 0) continue;
+    flushes.push_back(NodeFlush{n, u.up_to_lsn, u.rows.size()});
+    for (Row& r : u.rows) rows.push_back(std::move(r));
+  }
+  if (rows.empty()) {
+    span.End();
+    return 0;
+  }
+  const uint64_t moved = rows.size();
+  if (span.valid()) span.SetAttribute("rows", static_cast<int64_t>(moved));
+
+  std::vector<std::pair<std::string, std::vector<Row>>> loads;
+  loads.emplace_back(table, std::move(rows));
+  Result<uint64_t> version = LoadIntoTables(cluster, loads);
+  if (!version.ok()) return version.status();  // Gates release on unwind.
+  if (span.valid()) {
+    span.SetAttribute("version", static_cast<int64_t>(*version));
+  }
+
+  // Mark the moved batches flushed, durably, before the gates drop. The
+  // only double-exposure window left is a crash between the container
+  // commit above and this marker becoming durable (DESIGN.md §14).
+  for (const NodeFlush& f : flushes) {
+    WosFlushPayload p;
+    p.table_oid = tdef->oid;
+    p.up_to_lsn = f.up_to_lsn;
+    p.version = *version;
+    WalRecord rec;
+    rec.kind = WalRecord::Kind::kFlush;
+    rec.payload = EncodeWosFlush(p);
+    const uint64_t lsn = f.node->wal()->Append(std::move(rec));
+    Result<WalCommitInfo> committed = f.node->wal()->Commit(lsn);
+    if (!committed.ok()) return committed.status();
+    obs::DcWalEvent e;
+    e.kind = "moveout";
+    e.table = table;
+    e.lsn = f.up_to_lsn;
+    e.records = f.rows;
+    f.node->dc()->RecordWalEvent(std::move(e));
+  }
+  gates.clear();
+  span.End();
+
+  // Log truncation, outside the gates. The WAL is shared by every table
+  // on a node, so each node's safe watermark is just below its oldest
+  // still-unflushed batch (any table); with nothing unflushed the whole
+  // synced log can go.
+  for (const NodeFlush& f : flushes) {
+    const uint64_t min_unflushed = f.node->wos()->MinUnflushedLsn();
+    const uint64_t safe = min_unflushed == 0 ? f.node->wal()->synced_lsn()
+                                             : min_unflushed - 1;
+    if (safe == 0) continue;
+    Status truncated = f.node->wal()->Truncate(safe);
+    if (!truncated.ok()) continue;  // Retried by the next moveout.
+    obs::DcWalEvent e;
+    e.kind = "checkpoint";
+    e.lsn = safe;
+    f.node->dc()->RecordWalEvent(std::move(e));
+  }
+
+  // Drop retained flushed batches no running query can still read
+  // (Section 6.5 gossip: the minimum running-query version across nodes).
+  uint64_t min_running = UINT64_MAX;
+  for (const auto& n : cluster->nodes()) {
+    if (n->is_up()) {
+      min_running = std::min(min_running, n->MinRunningQueryVersion());
+    }
+  }
+  if (min_running != UINT64_MAX) {
+    for (Node* n : wos_nodes) n->wos()->ReleaseFlushed(min_running);
+  }
+  return moved;
 }
 
 namespace {
@@ -461,6 +666,15 @@ Result<uint64_t> DeleteWhere(EonCluster* cluster, const std::string& table,
                              const PredicatePtr& table_predicate) {
   Node* coord = cluster->AnyUpNode();
   if (coord == nullptr) return Status::Unavailable("no up nodes");
+  // WOS gates before the snapshot: with the gates held, no moveout can
+  // commit between the container sweep below (which would miss its new
+  // containers) and the WOS sweep (which would find its rows already
+  // flushed) — every matching row is in exactly one of the two stores
+  // this statement reads.
+  std::vector<Node*> wos_nodes = WosNodes(cluster);
+  std::vector<std::unique_lock<std::mutex>> gates;
+  gates.reserve(wos_nodes.size());
+  for (Node* n : wos_nodes) gates.push_back(n->wos()->LockGate());
   auto snapshot = coord->catalog()->snapshot();
   const TableDef* tdef = snapshot->FindTableByName(table);
   if (tdef == nullptr) return Status::NotFound("no such table: " + table);
@@ -553,12 +767,40 @@ Result<uint64_t> DeleteWhere(EonCluster* cluster, const std::string& table,
     first_projection = false;
   }
 
-  if (txn.empty()) return 0;
+  // WOS sweep: the DELETE predicate is bound to table column positions
+  // and memtable rows are full-width table rows, so it evaluates directly.
+  std::vector<std::pair<Node*, std::vector<WosRowRef>>> wos_hits;
+  uint64_t wos_deleted = 0;
+  for (Node* n : wos_nodes) {
+    std::vector<WosRowRef> refs =
+        n->wos()->FindRows(tdef->oid, [&](const Row& row) {
+          return table_predicate == nullptr || table_predicate->Eval(row);
+        });
+    if (refs.empty()) continue;
+    wos_deleted += refs.size();
+    wos_hits.emplace_back(n, std::move(refs));
+  }
+
+  if (txn.empty() && wos_hits.empty()) return 0;
+  // A WOS-only DELETE still commits (an empty transaction mints a
+  // version): the tombstones need a snapshot boundary to be MVCC-visible.
   EON_ASSIGN_OR_RETURN(
       uint64_t version,
       cluster->CommitDistributed(coord->oid(), txn, &observed_subscribers));
+  for (auto& [n, refs] : wos_hits) {
+    WosTombstonePayload p;
+    p.table_oid = tdef->oid;
+    p.version = version;
+    p.refs = std::move(refs);
+    WalRecord rec;
+    rec.kind = WalRecord::Kind::kTombstone;
+    rec.payload = EncodeWosTombstone(p);
+    const uint64_t lsn = n->wal()->Append(std::move(rec));
+    EON_ASSIGN_OR_RETURN(WalCommitInfo committed, n->wal()->Commit(lsn));
+    (void)committed;
+  }
   cluster->TrackDroppedFiles(superseded_dv_keys, version);
-  return deleted_rows;
+  return deleted_rows + wos_deleted;
 }
 
 Result<uint64_t> UpdateWhere(EonCluster* cluster, const std::string& table,
@@ -615,6 +857,15 @@ Result<uint64_t> UpdateWhere(EonCluster* cluster, const std::string& table,
         ScanRosContainer(proj_schema, container->base_key, executor->cache(),
                          scan));
     for (Row& row : rows) matched.push_back(std::move(row));
+  }
+  // WOS-resident rows match too; the superprojection's column order
+  // equals the table's, so memtable rows join the set unprojected.
+  for (Node* n : WosNodes(cluster)) {
+    for (Row& row : n->wos()->CollectVisible(tdef->oid, snapshot->version)) {
+      if (table_predicate == nullptr || table_predicate->Eval(row)) {
+        matched.push_back(std::move(row));
+      }
+    }
   }
   if (matched.empty()) return 0;
 

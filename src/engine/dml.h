@@ -36,10 +36,40 @@ Result<uint64_t> CopyInto(EonCluster* cluster, const std::string& table,
                           const std::vector<Row>& rows,
                           const CopyOptions& options = {});
 
+struct InsertOptions {
+  /// The session's connected node: its WAL/WOS absorb the batch so the
+  /// commit needs one log append instead of per-projection container
+  /// uploads. Empty = any up node.
+  std::string connected_node;
+};
+
+/// Real-time ingest fast path: append the rows to the coordinator's WAL
+/// (durability = the group-commit upload) and absorb them into its
+/// in-memory WOS; moveout later snapshots them into real ROS containers.
+/// Tables that need load-time work in the commit transaction (flattened
+/// denormalization, live-aggregate maintenance) and clusters with
+/// EON_WOS=off fall back to the direct-ROS COPY path — both paths yield
+/// bit-identical query results. Returns the number of rows inserted;
+/// `profile` (optional) receives the wal block of the commit.
+Result<uint64_t> InsertInto(EonCluster* cluster, const std::string& table,
+                            const std::vector<Row>& rows,
+                            const InsertOptions& options = {},
+                            obs::QueryProfile* profile = nullptr);
+
+/// Moveout (TupleMover): snapshot every node's unflushed WOS rows of
+/// `table` into ROS containers via the shared load path, mark them
+/// flushed in each node's WAL, and truncate the logs up to the
+/// node-global safe watermark. Holds every node's WOS gate across the
+/// catalog commit so concurrent queries see the rows exactly once.
+/// Returns the number of rows moved (0 = nothing to do).
+Result<uint64_t> MoveoutWos(EonCluster* cluster, const std::string& table);
+
 /// DELETE ... WHERE: computes matching positions in every projection's
 /// containers and commits new (immutable) delete-vector objects; data
 /// files are never modified (Section 2.3). Superseded delete vectors are
-/// handed to the cluster reaper. Returns the number of deleted rows.
+/// handed to the cluster reaper. WOS-resident rows are tombstoned in the
+/// owning node's WAL under the same commit version. Returns the number of
+/// deleted rows.
 Result<uint64_t> DeleteWhere(EonCluster* cluster, const std::string& table,
                              const PredicatePtr& table_predicate);
 

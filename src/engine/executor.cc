@@ -354,23 +354,87 @@ Result<ScanOutput> ScanDistributed(EonCluster* cluster,
     }
   }
 
+  // Read point: the serving nodes' catalog snapshots (ROS container
+  // lists, "the node subscribed to the shard tracks its storage
+  // metadata", Section 4) and the WOS memtable rows, captured TOGETHER
+  // under every WOS node's moveout/delete gate. Moveout commits its new
+  // containers and marks the moved batches flushed while holding all the
+  // gates, so a gated capture sees either fully-before (rows in the WOS,
+  // containers absent) or fully-after (rows flush-excluded, containers
+  // present) — capturing the two sides without the gates is the race
+  // that double-counts rows a concurrent moveout is landing in ROS. The
+  // WOS visibility version is the newest serving snapshot version, which
+  // under the gates agrees with the container lists on every gate-held
+  // commit. Memtable rows are placed per shard exactly as a moveout
+  // would persist them (GroupWosRowsForProjection mirrors the load
+  // path's SplitRows), so the unioned scan is bit-identical to a
+  // flush-then-query oracle. Rows are full projection-width; the morsel
+  // task projects them onto the scan columns after the predicate.
+  std::map<Oid, std::shared_ptr<const CatalogState>> serving_snapshots;
+  std::map<ShardId, std::shared_ptr<const std::vector<Row>>> wos_by_shard;
+  {
+    std::vector<Node*> wos_nodes;
+    for (const auto& n : cluster->nodes()) {
+      if (n->is_up() && n->wos_enabled()) wos_nodes.push_back(n.get());
+    }
+    std::sort(wos_nodes.begin(), wos_nodes.end(),
+              [](const Node* a, const Node* b) { return a->oid() < b->oid(); });
+    // Gates in node-oid order — the same global lock order moveout and
+    // DELETE use (dml.cc WosNodes).
+    std::vector<std::unique_lock<std::mutex>> gates;
+    gates.reserve(wos_nodes.size());
+    for (Node* n : wos_nodes) gates.push_back(n->wos()->LockGate());
+
+    uint64_t read_version = snapshot.version;
+    for (const ShardWork& sw : work) {
+      Node* serving = cluster->node(sw.nodes[0]);
+      if (serving == nullptr || !serving->is_up()) {
+        return Status::Unavailable("participating node is down");
+      }
+      auto [it, inserted] =
+          serving_snapshots.emplace(serving->oid(), nullptr);
+      if (inserted) it->second = serving->catalog()->snapshot();
+      read_version = std::max(read_version, it->second->version);
+    }
+
+    std::vector<Row> wos_rows;
+    for (Node* n : wos_nodes) {
+      std::vector<Row> visible =
+          n->wos()->CollectVisibleLocked(table->oid, read_version);
+      for (Row& r : visible) wos_rows.push_back(std::move(r));
+    }
+    if (!wos_rows.empty()) {
+      std::map<ShardId, std::vector<Row>> grouped = GroupWosRowsForProjection(
+          snapshot.sharding, *proj, *table, wos_rows);
+      for (auto& [shard, rows] : grouped) {
+        wos_by_shard[shard] =
+            std::make_shared<const std::vector<Row>>(std::move(rows));
+      }
+    }
+  }
+
   // Morsel construction is serial: walk shards/containers in plan order,
   // apply pruning, and emit one morsel per (container, sharing rank). The
   // fixed decomposition is independent of pool width — only the morsel
   // EXECUTION below is parallel — which is what makes results reproducible
   // across thread counts.
   struct Morsel {
-    Oid node;        ///< Executing node (cache owner + row sink).
-    Node* executor;  ///< Resolved node pointer.
+    Oid node = 0;              ///< Executing node (cache owner + row sink).
+    Node* executor = nullptr;  ///< Resolved node pointer.
     /// Keeps the serving node's catalog snapshot (and thus `container`)
     /// alive for the duration of the parallel section.
     std::shared_ptr<const CatalogState> snapshot;
-    const StorageContainerMeta* container;
+    /// Null for a WOS morsel (whose rows live in `wos_rows` instead).
+    const StorageContainerMeta* container = nullptr;
     size_t k = 1;     ///< Sharing-group size (crunch fan-out).
     size_t rank = 0;  ///< This morsel's rank within the sharing group.
     bool push = false;       ///< Planner chose the near-data scan path.
     bool push_aggs = false;  ///< The store folds partial aggregates too.
     uint64_t cold_bytes = 0;  ///< Planner's cold-fetch estimate (profile).
+    /// WOS morsel source: this shard's memtable rows (full projection
+    /// width, placement order). Shared so ranks of a sharing group read
+    /// one copy.
+    std::shared_ptr<const std::vector<Row>> wos_rows;
   };
 
   // Per-morsel pushdown inputs that do not depend on the container: the
@@ -394,16 +458,10 @@ Result<ScanOutput> ScanDistributed(EonCluster* cluster,
 
   std::vector<Morsel> morsels;
   for (const ShardWork& sw : work) {
-    // "When an executor node receives a query plan, it attaches storage
-    // for the shards the session has instructed it to serve" (Section 4):
-    // the container list comes from the serving node's own catalog — the
-    // node subscribed to the shard tracks its storage metadata.
-    Node* serving = cluster->node(sw.nodes[0]);
-    if (serving == nullptr || !serving->is_up()) {
-      return Status::Unavailable("participating node is down");
-    }
-    std::shared_ptr<const CatalogState> serving_snapshot =
-        serving->catalog()->snapshot();
+    // Container list from the serving node's catalog snapshot captured
+    // under the WOS gates above (one consistent cut with the memtable).
+    const std::shared_ptr<const CatalogState>& serving_snapshot =
+        serving_snapshots.at(sw.nodes[0]);
     for (const StorageContainerMeta* container :
          serving_snapshot->ContainersOf(proj->oid, sw.shard)) {
       stats->containers_total++;
@@ -419,8 +477,13 @@ Result<ScanOutput> ScanDistributed(EonCluster* cluster,
         if (executor == nullptr || !executor->is_up()) {
           return Status::Unavailable("participating node is down");
         }
-        Morsel m{sw.nodes[rank], executor, serving_snapshot,
-                 container,      k,        rank};
+        Morsel m;
+        m.node = sw.nodes[rank];
+        m.executor = executor;
+        m.snapshot = serving_snapshot;
+        m.container = container;
+        m.k = k;
+        m.rank = rank;
         if (pushdown_mode > 0) {
           // Cost-based near-data decision, per morsel: estimate what a
           // LOCAL scan would fetch cold (needed column files not resident
@@ -456,6 +519,27 @@ Result<ScanOutput> ScanDistributed(EonCluster* cluster,
           m.push = ChoosePushdown(d);
           m.push_aggs = m.push && agg_push_ok;
         }
+        morsels.push_back(std::move(m));
+      }
+    }
+    // WOS morsels last within the shard: the union scan appends memtable
+    // rows after the shard's containers, matching the order a moveout
+    // followed by a rescan would produce (new containers commit after the
+    // existing ones in oid order).
+    auto wit = wos_by_shard.find(sw.shard);
+    if (wit != wos_by_shard.end() && !wit->second->empty()) {
+      const size_t k = sw.nodes.size();
+      for (size_t rank = 0; rank < k; ++rank) {
+        Node* executor = cluster->node(sw.nodes[rank]);
+        if (executor == nullptr || !executor->is_up()) {
+          return Status::Unavailable("participating node is down");
+        }
+        Morsel m;
+        m.node = sw.nodes[rank];
+        m.executor = executor;
+        m.k = k;
+        m.rank = rank;
+        m.wos_rows = wit->second;
         morsels.push_back(std::move(m));
       }
     }
@@ -505,7 +589,8 @@ Result<ScanOutput> ScanDistributed(EonCluster* cluster,
       const Morsel& next = morsels[j];
       // Pushed morsels never read through the cache: prefetching their
       // column files would fetch the very bytes the push exists to avoid.
-      if (next.push) continue;
+      // WOS morsels have no files at all.
+      if (next.push || next.container == nullptr) continue;
       // Per-file size estimate for the admission window; the catalog does
       // not track per-column sizes.
       const uint64_t hint =
@@ -562,9 +647,15 @@ Result<ScanOutput> ScanDistributed(EonCluster* cluster,
       morsel_span.SetNode(m.executor->name());
       morsel_span.SetAttribute(
           "lane", static_cast<int64_t>(cluster->exec_pool()->CurrentSlot()));
-      morsel_span.SetAttribute("container", m.container->base_key);
-      morsel_span.SetAttribute("rows",
-                               static_cast<int64_t>(m.container->row_count));
+      if (m.container != nullptr) {
+        morsel_span.SetAttribute("container", m.container->base_key);
+        morsel_span.SetAttribute(
+            "rows", static_cast<int64_t>(m.container->row_count));
+      } else {
+        morsel_span.SetAttribute("wos", 1);
+        morsel_span.SetAttribute("rows",
+                                 static_cast<int64_t>(m.wos_rows->size()));
+      }
       if (m.k > 1) {
         morsel_span.SetAttribute("rank", static_cast<int64_t>(m.rank));
         morsel_span.SetAttribute("k", static_cast<int64_t>(m.k));
@@ -577,11 +668,55 @@ Result<ScanOutput> ScanDistributed(EonCluster* cluster,
     // node (DcNodeScope) — pushed ScanObject calls included.
     obs::DcNodeScope node_scope(m.executor->name());
     res.status = [&]() -> Status {
+      std::vector<Row> rows;
+      if (m.container == nullptr) {
+        // WOS morsel: materialize this shard's memtable rows into the
+        // scan's currency. Row-wise mode evaluates the predicate with the
+        // reference Eval; block modes columnarize the predicate columns
+        // and run the same vectorized kernels as the container scan —
+        // both produce identical selections, so output is bit-identical
+        // across scan modes.
+        const std::vector<Row>& src = *m.wos_rows;
+        size_t row_begin = 0, row_end = src.size();
+        if (m.k > 1 && context.crunch == CrunchMode::kContainerSplit) {
+          row_begin = src.size() * m.rank / m.k;
+          row_end = src.size() * (m.rank + 1) / m.k;
+        }
+        const size_t n = row_end - row_begin;
+        std::vector<uint8_t> sel(n, 1);
+        if (pred != nullptr && n > 0) {
+          if (context.scan_mode == ScanMode::kRowWise) {
+            for (size_t r = 0; r < n; ++r) {
+              sel[r] = pred->Eval(src[row_begin + r]) ? 1 : 0;
+            }
+          } else {
+            std::vector<Row> slice(src.begin() + row_begin,
+                                   src.begin() + row_end);
+            std::map<size_t, ColumnBatch> owned;
+            std::vector<const ColumnBatch*> cols(proj_schema.num_columns(),
+                                                 nullptr);
+            for (size_t c : pred_proj_cols) {
+              owned.emplace(c, ColumnBatch::FromRows(
+                                   slice, c, proj_schema.column(c).type));
+              cols[c] = &owned.at(c);
+            }
+            pred->EvalBlockBatch(cols, n, &sel, &res.scan.kernel_calls);
+          }
+        }
+        rows.reserve(n);
+        for (size_t r = 0; r < n; ++r) {
+          if (!sel[r]) continue;
+          const Row& full = src[row_begin + r];
+          Row out_row;
+          out_row.reserve(scan_cols.size());
+          for (size_t pos : scan_cols) out_row.push_back(full[pos]);
+          rows.push_back(std::move(out_row));
+        }
+      } else {
       if (prefetch_depth > 0) prefetch_window(i);
       EON_ASSIGN_OR_RETURN(
           DeleteVector deletes,
           LoadDeleteVector(*m.snapshot, *m.container, m.executor->cache()));
-      std::vector<Row> rows;
       bool pushed = false;
       if (m.push) {
         // Near-data path: the store runs the same scan pipeline next to
@@ -651,6 +786,7 @@ Result<ScanOutput> ScanDistributed(EonCluster* cluster,
         EON_ASSIGN_OR_RETURN(
             rows, ScanRosContainer(proj_schema, m.container->base_key,
                                    m.executor->cache(), scan, &res.scan));
+      }
       }
       res.rows_scanned = rows.size();
       res.rows.reserve(rows.size());
@@ -1297,6 +1433,16 @@ Result<QueryResult> ExecuteQuery(EonCluster* cluster,
       if (left_table->schema.IndexOf(name).ok()) filtered.push_back(name);
     }
     left_extras = std::move(filtered);
+  }
+  if (left_extras.empty() && spec.scan.columns.empty() &&
+      !spec.aggregates.empty()) {
+    // A bare COUNT(*) (no predicate, no other select item) references no
+    // columns at all, but row counts come from column data — ride the
+    // first schema column along so the scan actually produces rows.
+    const TableDef* left_table = snapshot->FindTableByName(spec.scan.table);
+    if (left_table != nullptr && left_table->schema.num_columns() > 0) {
+      left_extras.push_back(left_table->schema.column(0).name);
+    }
   }
   plan_scope.End();
 

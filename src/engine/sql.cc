@@ -401,6 +401,63 @@ Result<QuerySpec> ParseSelect(const CatalogState& state,
   return spec;
 }
 
+bool IsInsertStatement(const std::string& sql) {
+  Lexer lex(sql);
+  return lex.peek().type == Token::Type::kIdent &&
+         lex.peek().upper == "INSERT";
+}
+
+Result<InsertSpec> ParseInsert(const CatalogState& state,
+                               const std::string& sql) {
+  Lexer lex(sql);
+  if (!lex.ConsumeKeyword("INSERT") || !lex.ConsumeKeyword("INTO")) {
+    return Status::InvalidArgument("expected INSERT INTO");
+  }
+  Token table = lex.Take();
+  if (table.type != Token::Type::kIdent) {
+    return Status::InvalidArgument("expected table name after INSERT INTO");
+  }
+  const TableDef* tdef = state.FindTableByName(table.text);
+  if (tdef == nullptr) {
+    return Status::NotFound("no such table: " + table.text);
+  }
+  if (!lex.ConsumeKeyword("VALUES")) {
+    return Status::InvalidArgument("expected VALUES");
+  }
+
+  InsertSpec spec;
+  spec.table = table.text;
+  do {
+    if (!lex.ConsumeSymbol("(")) {
+      return Status::InvalidArgument("expected '(' before values tuple");
+    }
+    Row row;
+    for (size_t c = 0; c < tdef->schema.num_columns(); ++c) {
+      if (c > 0 && !lex.ConsumeSymbol(",")) {
+        return Status::InvalidArgument(
+            "expected " + std::to_string(tdef->schema.num_columns()) +
+            " values for table " + table.text);
+      }
+      EON_ASSIGN_OR_RETURN(Value v,
+                           ParseLiteral(&lex, tdef->schema.column(c).type));
+      row.push_back(std::move(v));
+    }
+    if (!lex.ConsumeSymbol(")")) {
+      return Status::InvalidArgument(
+          "expected ')' after " + std::to_string(tdef->schema.num_columns()) +
+          " values");
+    }
+    spec.rows.push_back(std::move(row));
+  } while (lex.ConsumeSymbol(","));
+
+  (void)lex.ConsumeSymbol(";");
+  if (lex.peek().type != Token::Type::kEnd) {
+    return Status::InvalidArgument("unexpected trailing input: '" +
+                                   lex.peek().text + "'");
+  }
+  return spec;
+}
+
 std::string FormatResult(const QueryResult& result) {
   std::vector<size_t> widths(result.schema.num_columns());
   std::vector<std::vector<std::string>> cells;

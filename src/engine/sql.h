@@ -33,6 +33,26 @@ namespace eon {
 Result<QuerySpec> ParseSelect(const CatalogState& state,
                               const std::string& sql);
 
+/// One parsed INSERT statement: the target table plus the literal rows,
+/// already typed against the table's schema.
+struct InsertSpec {
+  std::string table;
+  std::vector<Row> rows;
+};
+
+/// Cheap statement router: true when `sql` begins with the INSERT keyword.
+bool IsInsertStatement(const std::string& sql);
+
+/// Parse a minimal SQL INSERT. Grammar:
+///
+///   INSERT INTO table VALUES (literal [, literal]...) [, (...)]...
+///
+/// Every tuple must match the table's arity; literal types are checked
+/// against the column types. Execution routes through the WAL/WOS fast
+/// path (InsertInto) rather than the bulk COPY path.
+Result<InsertSpec> ParseInsert(const CatalogState& state,
+                               const std::string& sql);
+
 /// Render a result set as an aligned text table (REPL output).
 std::string FormatResult(const QueryResult& result);
 

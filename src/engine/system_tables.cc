@@ -62,6 +62,10 @@ const std::map<std::string, Schema>& Registry() {
     (*m)["dc_subscription_events"] = Schema({
         Col("node", kS), Col("at_micros", kI), Col("shard", kI),
         Col("from_state", kS), Col("to_state", kS), Col("reason", kS)});
+    (*m)["dc_wal_events"] = Schema({
+        Col("node", kS), Col("at_micros", kI), Col("kind", kS),
+        Col("table", kS), Col("lsn", kI), Col("records", kI),
+        Col("bytes", kI), Col("wait_micros", kI)});
     (*m)["system_nodes"] = Schema({
         Col("name", kS), Col("oid", kI), Col("subcluster", kS),
         Col("state", kS), Col("cache_bytes", kI), Col("cache_files", kI),
@@ -96,6 +100,11 @@ const std::map<std::string, Schema>& Registry() {
         Col("session_id", kI), Col("connected_node", kS), Col("pool", kS),
         Col("scan_mode", kS), Col("crunch", kS), Col("state", kS),
         Col("queries", kI), Col("prepared_statements", kI)});
+    (*m)["system_wos"] = Schema({
+        Col("node", kS), Col("table", kS), Col("table_oid", kI),
+        Col("batches", kI), Col("rows", kI), Col("unflushed_rows", kI),
+        Col("flushed_batches", kI), Col("tombstoned_rows", kI),
+        Col("bytes", kI), Col("min_lsn", kI), Col("max_lsn", kI)});
     return m;
   }();
   return *kTables;
@@ -213,6 +222,38 @@ std::vector<Row> SubscriptionEventRows(EonCluster* cluster) {
     for (const obs::DcSubscriptionEvent& e : dc->SubscriptionEvents()) {
       rows.push_back(Row{S(e.node), I(e.at_micros), U(e.shard),
                          S(e.from_state), S(e.to_state), S(e.reason)});
+    }
+  }
+  return rows;
+}
+
+std::vector<Row> WalEventRows(EonCluster* cluster) {
+  std::vector<Row> rows;
+  for (const obs::DataCollector* dc : Collectors(cluster)) {
+    for (const obs::DcWalEvent& e : dc->WalEvents()) {
+      rows.push_back(Row{S(e.node), I(e.at_micros), S(e.kind), S(e.table),
+                         U(e.lsn), U(e.records), U(e.bytes),
+                         I(e.wait_micros)});
+    }
+  }
+  return rows;
+}
+
+std::vector<Row> WosRows(EonCluster* cluster) {
+  std::vector<Row> rows;
+  if (cluster == nullptr) return rows;
+  auto snapshot = BestSnapshot(cluster);
+  for (const auto& node : cluster->nodes()) {
+    if (node->wos() == nullptr) continue;
+    for (const WosTableStats& s : node->wos()->SnapshotStats()) {
+      const TableDef* table =
+          snapshot == nullptr ? nullptr : snapshot->FindTable(s.table_oid);
+      rows.push_back(Row{S(node->name()),
+                         S(table != nullptr ? table->name : ""),
+                         U(s.table_oid), U(s.batches), U(s.rows),
+                         U(s.unflushed_rows), U(s.flushed_batches),
+                         U(s.tombstoned_rows), U(s.bytes), U(s.min_lsn),
+                         U(s.max_lsn)});
     }
   }
   return rows;
@@ -411,7 +452,9 @@ Result<std::vector<Row>> MaterializeSystemTable(EonCluster* cluster,
   if (name == "dc_trace_spans") return TraceSpanRows(cluster);
   if (name == "dc_mergeout_events") return MergeoutRows(cluster);
   if (name == "dc_subscription_events") return SubscriptionEventRows(cluster);
+  if (name == "dc_wal_events") return WalEventRows(cluster);
   if (name == "system_nodes") return NodeRows(cluster);
+  if (name == "system_wos") return WosRows(cluster);
   if (name == "system_subscriptions") return SubscriptionRows(cluster);
   if (name == "system_cache") return CacheRows(cluster);
   if (name == "system_storage_containers") return StorageContainerRows(cluster);
@@ -477,6 +520,7 @@ JsonValue ExportSystemTables(EonCluster* cluster) {
     per.Set("trace_spans", CountersJson(dc->trace_counters()));
     per.Set("mergeouts", CountersJson(dc->mergeout_counters()));
     per.Set("subscriptions", CountersJson(dc->subscription_counters()));
+    per.Set("wal_events", CountersJson(dc->wal_counters()));
     counters.Set(label, std::move(per));
   };
   if (cluster != nullptr) {

@@ -59,6 +59,7 @@ DataCollector::DataCollector(std::string node, Clock* clock,
       store_requests_(options.store_ring),
       mergeouts_(options.mergeout_ring),
       subscriptions_(options.subscription_ring),
+      wal_events_(options.wal_ring),
       trace_spans_(ResolveTraceRing(options.trace_ring)) {}
 
 DataCollector* DataCollector::Default() {
@@ -112,6 +113,12 @@ void DataCollector::RecordSubscription(DcSubscriptionEvent event) {
   subscriptions_.Push(std::move(event));
 }
 
+void DataCollector::RecordWalEvent(DcWalEvent event) {
+  event.at_micros = Stamp(event.at_micros);
+  if (event.node.empty()) event.node = node_;
+  wal_events_.Push(std::move(event));
+}
+
 void DataCollector::RecordTraceSpan(SpanData span) {
   if (span.node.empty()) span.node = node_;
   trace_spans_.Push(std::move(span));
@@ -132,6 +139,9 @@ std::vector<DcMergeoutEvent> DataCollector::MergeoutEvents() const {
 std::vector<DcSubscriptionEvent> DataCollector::SubscriptionEvents() const {
   return subscriptions_.Snapshot();
 }
+std::vector<DcWalEvent> DataCollector::WalEvents() const {
+  return wal_events_.Snapshot();
+}
 std::vector<SpanData> DataCollector::TraceSpans() const {
   return trace_spans_.Snapshot();
 }
@@ -151,6 +161,9 @@ DcRingCounters DataCollector::mergeout_counters() const {
 DcRingCounters DataCollector::subscription_counters() const {
   return subscriptions_.counters();
 }
+DcRingCounters DataCollector::wal_counters() const {
+  return wal_events_.counters();
+}
 DcRingCounters DataCollector::trace_counters() const {
   return trace_spans_.counters();
 }
@@ -168,6 +181,7 @@ void DataCollector::Clear() {
   store_requests_.Clear();
   mergeouts_.Clear();
   subscriptions_.Clear();
+  wal_events_.Clear();
   trace_spans_.Clear();
 }
 

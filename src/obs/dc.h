@@ -101,6 +101,22 @@ struct DcMergeoutEvent {
   int64_t sim_micros = 0;
 };
 
+/// One write-ahead-log event on this node (dc_wal_events): appends are
+/// too frequent to ring individually, so the recorded kinds are the
+/// durability milestones — group_commit (one uploaded object covering
+/// `records` appends), moveout (WOS snapshot to ROS), replay (recovery),
+/// and checkpoint (log truncation after moveout).
+struct DcWalEvent {
+  std::string node;
+  int64_t at_micros = 0;
+  std::string kind;  ///< group_commit / moveout / replay / checkpoint.
+  std::string table;
+  uint64_t lsn = 0;       ///< Highest LSN the event covers.
+  uint64_t records = 0;   ///< Records made durable / moved / replayed.
+  uint64_t bytes = 0;
+  int64_t wait_micros = 0;  ///< group_commit: leader's wall wait.
+};
+
 /// One subscription state transition on this node (Figure 4 lifecycle).
 struct DcSubscriptionEvent {
   std::string node;
@@ -118,6 +134,7 @@ struct DataCollectorOptions {
   size_t store_ring = 4096;
   size_t mergeout_ring = 256;
   size_t subscription_ring = 256;
+  size_t wal_ring = 512;
   /// Retained trace spans per node (dc_trace_spans). 0 resolves the
   /// EON_TRACE_RING env var, defaulting to 4096.
   size_t trace_ring = 0;
@@ -204,6 +221,7 @@ class DataCollector {
   void RecordStoreRequest(DcStoreRequest event);
   void RecordMergeout(DcMergeoutEvent event);
   void RecordSubscription(DcSubscriptionEvent event);
+  void RecordWalEvent(DcWalEvent event);
   /// One retained span of a sampled/slow/forced trace; spans whose
   /// `node` is this collector's node land here (dc_trace_spans). Drops
   /// are counted like every other ring — the honesty counter.
@@ -215,6 +233,7 @@ class DataCollector {
   std::vector<DcStoreRequest> StoreRequests() const;
   std::vector<DcMergeoutEvent> MergeoutEvents() const;
   std::vector<DcSubscriptionEvent> SubscriptionEvents() const;
+  std::vector<DcWalEvent> WalEvents() const;
   std::vector<SpanData> TraceSpans() const;
 
   DcRingCounters query_counters() const;
@@ -222,6 +241,7 @@ class DataCollector {
   DcRingCounters store_counters() const;
   DcRingCounters mergeout_counters() const;
   DcRingCounters subscription_counters() const;
+  DcRingCounters wal_counters() const;
   DcRingCounters trace_counters() const;
 
   int64_t slow_query_micros() const;
@@ -246,6 +266,7 @@ class DataCollector {
   internal::DcRing<DcStoreRequest> store_requests_;
   internal::DcRing<DcMergeoutEvent> mergeouts_;
   internal::DcRing<DcSubscriptionEvent> subscriptions_;
+  internal::DcRing<DcWalEvent> wal_events_;
   internal::DcRing<SpanData> trace_spans_;
 };
 

@@ -101,6 +101,15 @@ JsonValue QueryProfile::ToJson() const {
   pushdown.Set("aggregates_pushed", JsonValue::Bool(pushdown_aggregates));
   out.Set("pushdown", std::move(pushdown));
 
+  JsonValue wal = JsonValue::Object();
+  wal.Set("records_appended",
+          JsonValue::Int(static_cast<int64_t>(wal_records_appended)));
+  wal.Set("rows", JsonValue::Int(static_cast<int64_t>(wal_rows)));
+  wal.Set("group_size", JsonValue::Int(static_cast<int64_t>(wal_group_size)));
+  wal.Set("commit_wait_micros", JsonValue::Int(wal_commit_wait_micros));
+  wal.Set("led_group", JsonValue::Bool(wal_led_group));
+  out.Set("wal", std::move(wal));
+
   out.Set("trace_id", JsonValue::Int(static_cast<int64_t>(trace_id)));
   out.Set("network_bytes",
           JsonValue::Int(static_cast<int64_t>(network_bytes)));
@@ -207,6 +216,17 @@ std::string QueryProfile::ToText() const {
              static_cast<double>(pushdown_store_bytes_scanned) / 1e6,
              static_cast<unsigned long long>(pushdown_store_rows_filtered),
              static_cast<double>(pushdown_bytes_saved) / 1e6);
+    out += buf;
+  }
+  if (wal_records_appended > 0) {
+    snprintf(buf, sizeof(buf),
+             " wal: %llu records (%llu rows), group of %llu%s, "
+             "%.3f ms commit wait\n",
+             static_cast<unsigned long long>(wal_records_appended),
+             static_cast<unsigned long long>(wal_rows),
+             static_cast<unsigned long long>(wal_group_size),
+             wal_led_group ? " (led)" : "",
+             static_cast<double>(wal_commit_wait_micros) / 1000.0);
     out += buf;
   }
   snprintf(buf, sizeof(buf), " network: %.2f MB, %llu rows shuffled\n",

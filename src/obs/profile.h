@@ -68,6 +68,14 @@ struct QueryProfile {
   uint64_t pushdown_bytes_saved = 0;  ///< Estimated cold bytes avoided.
   bool pushdown_aggregates = false;   ///< Partials computed store-side.
 
+  // Ingest fast path (WAL + WOS): filled by INSERT statements that ran
+  // through the write-optimized store instead of direct-ROS COPY.
+  uint64_t wal_records_appended = 0;  ///< Log records this statement wrote.
+  uint64_t wal_rows = 0;              ///< Rows absorbed by the memtable.
+  uint64_t wal_group_size = 0;  ///< Records in the group that carried us.
+  int64_t wal_commit_wait_micros = 0;  ///< Group-commit wait (durability).
+  bool wal_led_group = false;  ///< This statement was the flush leader.
+
   uint64_t network_bytes = 0;
   uint64_t rows_shuffled = 0;
   uint64_t participating_nodes = 0;

@@ -4,6 +4,7 @@
 
 #include "cluster/cluster.h"
 #include "columnar/ros.h"
+#include "engine/dml.h"
 #include "engine/trace.h"
 #include "obs/trace.h"
 
@@ -165,9 +166,54 @@ Result<QueryResult> SessionManager::ExecuteSql(uint64_t session_id,
                                                const std::string& sql) {
   Node* coord = cluster_->AnyUpNode();
   if (coord == nullptr) return Status::Unavailable("no up nodes");
+  if (IsInsertStatement(sql)) {
+    EON_ASSIGN_OR_RETURN(InsertSpec insert,
+                         ParseInsert(*coord->catalog()->snapshot(), sql));
+    return ExecuteInsert(session_id, insert);
+  }
   EON_ASSIGN_OR_RETURN(QuerySpec spec,
                        ParseSelect(*coord->catalog()->snapshot(), sql));
   return Execute(session_id, spec);
+}
+
+Result<QueryResult> SessionManager::ExecuteInsert(uint64_t session_id,
+                                                  const InsertSpec& insert) {
+  std::shared_ptr<SessionState> state = Find(session_id);
+  if (state == nullptr) {
+    return Status::NotFound("no such session: " + std::to_string(session_id));
+  }
+  std::lock_guard<std::mutex> exec_lock(state->exec_mu);
+
+  // Same trace-mint rule as Execute: the root span covers the WAL append,
+  // group-commit wait, and any synchronous moveout the insert triggers.
+  QueryTraceGuard trace_guard;
+  std::optional<obs::TraceScope> trace_scope;
+  if (obs::TraceScope::Current() == nullptr) {
+    trace_guard = QueryTraceGuard(cluster_, "session", state->trace);
+    if (trace_guard.active()) trace_scope.emplace(trace_guard.context());
+  }
+
+  // Inserts bypass slot admission: the slot model reserves scan capacity
+  // per (shard -> node) assignment, and the fast path's cost is one log
+  // append on the connected node, not a distributed scan.
+  state->state.store(kActive, std::memory_order_relaxed);
+  QueryResult result;
+  InsertOptions options;
+  options.connected_node = state->session.connected_node();
+  Result<uint64_t> inserted =
+      InsertInto(cluster_, insert.table, insert.rows, options, &result.profile);
+  state->state.store(kIdle, std::memory_order_relaxed);
+  if (!inserted.ok()) return inserted.status();
+
+  result.schema = Schema({{"rows_inserted", DataType::kInt64}});
+  result.rows.push_back(Row{Value::Int(static_cast<int64_t>(*inserted))});
+  state->queries.fetch_add(1, std::memory_order_relaxed);
+  state->last_profile = result.profile;
+  trace_scope.reset();
+  if (trace_guard.active()) {
+    trace_guard.Finish(result.profile);
+  }
+  return result;
 }
 
 Status SessionManager::Prepare(uint64_t session_id, const std::string& name,

@@ -41,8 +41,15 @@ class SessionManager {
   Status Disconnect(uint64_t session_id);
 
   Result<QueryResult> Execute(uint64_t session_id, const QuerySpec& spec);
-  /// Parse against the current catalog, then Execute.
+  /// Parse against the current catalog, then Execute. INSERT statements
+  /// route through the WAL/WOS ingest fast path (InsertInto) on the
+  /// session's connected node; everything else parses as a SELECT.
   Result<QueryResult> ExecuteSql(uint64_t session_id, const std::string& sql);
+
+  /// Run a parsed INSERT through the ingest fast path. The result carries
+  /// one row (`rows_inserted`) and the profile's wal block.
+  Result<QueryResult> ExecuteInsert(uint64_t session_id,
+                                    const InsertSpec& insert);
 
   /// Prepared statements: parse once under `name`, execute many times.
   /// Re-preparing an existing name replaces it.

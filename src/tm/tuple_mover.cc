@@ -19,6 +19,37 @@ TupleMover::TupleMover(EonCluster* cluster, MergeoutOptions options)
   metrics_.rows_written = reg->GetCounter("eon_mergeout_rows_written_total");
   metrics_.deleted_rows_purged =
       reg->GetCounter("eon_mergeout_deleted_rows_purged_total");
+  metrics_.moveout_runs = reg->GetCounter("eon_moveout_runs_total");
+  metrics_.moveout_rows = reg->GetCounter("eon_moveout_rows_total");
+}
+
+Result<uint64_t> TupleMover::RunMoveout() {
+  Node* coord = cluster_->AnyUpNode();
+  if (coord == nullptr) return Status::Unavailable("no up nodes");
+  auto snapshot = coord->catalog()->snapshot();
+
+  // Union of tables holding unflushed WOS rows on any up node; MoveoutWos
+  // itself gathers across every node, so each table is swept once.
+  std::set<Oid> table_oids;
+  for (const auto& n : cluster_->nodes()) {
+    if (!n->is_up() || !n->wos_enabled()) continue;
+    for (Oid oid : n->wos()->TablesWithUnflushed()) table_oids.insert(oid);
+  }
+
+  uint64_t moved_total = 0;
+  for (Oid oid : table_oids) {
+    const TableDef* table = snapshot->FindTable(oid);
+    if (table == nullptr) continue;  // Dropped after the rows landed.
+    EON_ASSIGN_OR_RETURN(uint64_t moved, MoveoutWos(cluster_, table->name));
+    moved_total += moved;
+  }
+  if (moved_total > 0) {
+    stats_.moveout_runs++;
+    stats_.moveout_rows += moved_total;
+    metrics_.moveout_runs->Increment();
+    metrics_.moveout_rows->Increment(moved_total);
+  }
+  return moved_total;
 }
 
 uint32_t TupleMover::StratumOf(const StorageContainerMeta& c) const {

@@ -36,13 +36,16 @@ struct MergeoutStats {
   uint64_t containers_created = 0;
   uint64_t rows_written = 0;
   uint64_t deleted_rows_purged = 0;
+  uint64_t moveout_runs = 0;  ///< RunMoveout sweeps that moved rows.
+  uint64_t moveout_rows = 0;  ///< WOS rows snapshotted into ROS.
 };
 
-/// Eon-mode tuple mover (Section 6.2): no moveout (the WOS does not exist
-/// in Eon mode), only mergeout. One subscriber per shard is the mergeout
-/// coordinator, ensuring conflicting jobs never run concurrently; on
-/// coordinator failure the cluster selects a replacement, keeping the
-/// workload balanced.
+/// Tuple mover: mergeout (Section 6.2 — one subscriber per shard is the
+/// mergeout coordinator, ensuring conflicting jobs never run concurrently;
+/// on coordinator failure the cluster selects a replacement) plus moveout
+/// for the ingest fast path's write-optimized store — unflushed WOS rows
+/// are snapshotted into real ROS containers, which then feed the mergeout
+/// strata like any freshly loaded container.
 class TupleMover {
  public:
   TupleMover(EonCluster* cluster, MergeoutOptions options = {});
@@ -51,6 +54,11 @@ class TupleMover {
   /// purged; input containers (and their delete vectors) are dropped and
   /// their files handed to the reaper. Returns the number of jobs run.
   Result<uint64_t> RunOnce();
+
+  /// Moveout sweep: snapshot every table with unflushed WOS rows (on any
+  /// up node) into ROS containers via MoveoutWos, truncating the WALs up
+  /// to the safe watermark. Returns the number of rows moved.
+  Result<uint64_t> RunMoveout();
 
   /// The current mergeout coordinator of a shard; reassigned on failure.
   Result<Oid> CoordinatorFor(ShardId shard);
@@ -86,6 +94,8 @@ class TupleMover {
     obs::Counter* containers_created = nullptr;
     obs::Counter* rows_written = nullptr;
     obs::Counter* deleted_rows_purged = nullptr;
+    obs::Counter* moveout_runs = nullptr;
+    obs::Counter* moveout_rows = nullptr;
   } metrics_;
 };
 

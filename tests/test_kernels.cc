@@ -217,8 +217,8 @@ TEST(KernelTest, FoldInt64IndexedMatchesScalar) {
     std::vector<int64_t> v = RandomInts(&rng, n, 0);
     std::vector<uint64_t> validity = RandomValidity(&rng, n, 0.3);
     std::vector<uint8_t> sel = RandomSel(&rng, n, 0.25);
-    std::vector<uint32_t> idx(simd::SelCount(sel.data(), n));
-    simd::SelCompact(sel.data(), n, idx.data());
+    std::vector<uint32_t> idx(simd::SelCount(sel.data(), n) + 1);
+    idx.resize(simd::SelCompact(sel.data(), n, idx.data()));
     for (const uint64_t* val :
          {static_cast<const uint64_t*>(nullptr),
             static_cast<const uint64_t*>(validity.data())}) {

@@ -62,6 +62,19 @@ TEST_F(SqlTest, SimpleProjection) {
   EXPECT_EQ(result->rows.size(), 5u);
 }
 
+TEST_F(SqlTest, BareCountStarScansRows) {
+  // No predicate, no other select item: the scan references no columns,
+  // so the planner must ride one along or the count comes back 0.
+  auto result = Run("SELECT COUNT(*) AS n FROM lineitem");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows[0][0].int_value(),
+            static_cast<int64_t>(data_.lineitems.size()));
+  result = Run("SELECT COUNT(l_orderkey) AS n FROM lineitem");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows[0][0].int_value(),
+            static_cast<int64_t>(data_.lineitems.size()));
+}
+
 TEST_F(SqlTest, WherePredicateTypesAndOps) {
   auto result = Run(
       "SELECT COUNT(*) AS n FROM lineitem "

@@ -1,0 +1,529 @@
+// Write-optimized-store tests: INSERT fast path through the WAL + WOS,
+// union scans vs the flush-then-query oracle (bit-identical across scan
+// modes and thread widths), DELETE/UPDATE over WOS-resident rows,
+// moveout (threshold, TupleMover sweep, shared-WAL truncation safety),
+// crash recovery via WAL replay, and the SQL/session INSERT surface.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "cluster/cluster.h"
+#include "engine/ddl.h"
+#include "engine/dml.h"
+#include "engine/session.h"
+#include "engine/sql.h"
+#include "engine/system_tables.h"
+#include "server/session_manager.h"
+#include "storage/sim_object_store.h"
+#include "tm/tuple_mover.h"
+
+namespace eon {
+namespace {
+
+/// One self-contained cluster (clock + store + nodes) so tests can stand
+/// up several side by side (WOS on vs off, width 1 vs 4).
+struct Bundle {
+  SimClock clock;
+  std::unique_ptr<SimObjectStore> store;
+  std::unique_ptr<EonCluster> cluster;
+};
+
+std::unique_ptr<Bundle> MakeCluster(int exec_threads, int wos,
+                                    int64_t flush_rows = int64_t{1} << 40) {
+  auto b = std::make_unique<Bundle>();
+  SimStoreOptions sopts;
+  sopts.get_latency_micros = 0;
+  sopts.put_latency_micros = 0;
+  sopts.list_latency_micros = 0;
+  b->store = std::make_unique<SimObjectStore>(sopts, &b->clock);
+
+  ClusterOptions copts;
+  copts.num_shards = 2;
+  copts.k_safety = 2;
+  copts.exec_threads = exec_threads;
+  copts.wos = wos;
+  copts.group_commit_micros = 0;  // Flush immediately: deterministic tests.
+  copts.wos_flush_rows = flush_rows;
+  std::vector<NodeSpec> specs;
+  for (int i = 1; i <= 3; ++i) {
+    specs.push_back(NodeSpec{"n" + std::to_string(i), ""});
+  }
+  auto cluster = EonCluster::Create(b->store.get(), &b->clock, copts, specs);
+  EXPECT_TRUE(cluster.ok()) << cluster.status().ToString();
+  if (!cluster.ok()) return nullptr;
+  b->cluster = std::move(cluster).value();
+
+  Schema schema({{"id", DataType::kInt64}, {"v", DataType::kDouble}});
+  EXPECT_TRUE(CreateTable(b->cluster.get(), "t", schema, std::nullopt,
+                          {ProjectionSpec{"t_super", {}, {"id"}, {"id"}}})
+                  .ok());
+  return b;
+}
+
+std::vector<Row> MakeRows(int64_t from, int64_t n) {
+  std::vector<Row> rows;
+  for (int64_t i = from; i < from + n; ++i) {
+    rows.push_back(Row{Value::Int(i), Value::Dbl(static_cast<double>(i) / 2)});
+  }
+  return rows;
+}
+
+Result<QueryResult> RunQuery(EonCluster* cluster, ScanMode mode,
+                        const QuerySpec& spec) {
+  EonSession session(cluster);
+  session.set_scan_mode(mode);
+  return session.Execute(spec);
+}
+
+QuerySpec FullScan() {
+  QuerySpec q;
+  q.scan.table = "t";
+  q.scan.columns = {"id", "v"};
+  return q;
+}
+
+QuerySpec PredScan() {
+  QuerySpec q = FullScan();
+  q.scan.predicate = Predicate::And(
+      Predicate::Cmp(0, CmpOp::kGe, Value::Int(10)),
+      Predicate::Cmp(1, CmpOp::kLt, Value::Dbl(27.0)));
+  return q;
+}
+
+QuerySpec AggQuery() {
+  QuerySpec q;
+  q.scan.table = "t";
+  q.scan.columns = {"id", "v"};
+  q.aggregates = {{AggFn::kSum, "id", "s"}, {AggFn::kCount, "", "c"}};
+  return q;
+}
+
+::testing::AssertionResult RowsIdentical(const std::vector<Row>& a,
+                                         const std::vector<Row>& b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure()
+           << "row counts differ: " << a.size() << " vs " << b.size();
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].size() != b[i].size()) {
+      return ::testing::AssertionFailure() << "arity differs at row " << i;
+    }
+    for (size_t c = 0; c < a[i].size(); ++c) {
+      if (!(a[i][c] == b[i][c])) {
+        return ::testing::AssertionFailure()
+               << "value differs at row " << i << " col " << c << ": "
+               << a[i][c].ToString() << " vs " << b[i][c].ToString();
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+uint64_t TotalUnflushed(EonCluster* cluster) {
+  uint64_t total = 0;
+  for (const auto& n : cluster->nodes()) {
+    if (n->wos() != nullptr) total += n->wos()->total_unflushed_rows();
+  }
+  return total;
+}
+
+size_t ContainerCount(EonCluster* cluster) {
+  return cluster->AnyUpNode()->catalog()->snapshot()->containers.size();
+}
+
+constexpr ScanMode kModes[] = {ScanMode::kRowWise, ScanMode::kBlockEval,
+                               ScanMode::kLateMat};
+
+TEST(WosTest, InsertVisibleBeforeMoveout) {
+  auto b = MakeCluster(/*exec_threads=*/1, /*wos=*/1);
+  ASSERT_NE(b, nullptr);
+  const size_t containers_before = ContainerCount(b->cluster.get());
+
+  auto inserted = InsertInto(b->cluster.get(), "t", MakeRows(0, 10));
+  ASSERT_TRUE(inserted.ok()) << inserted.status().ToString();
+  EXPECT_EQ(*inserted, 10u);
+
+  // Durable in the log, resident in a memtable — no new ROS containers.
+  EXPECT_EQ(ContainerCount(b->cluster.get()), containers_before);
+  EXPECT_EQ(TotalUnflushed(b->cluster.get()), 10u);
+
+  auto r = RunQuery(b->cluster.get(), ScanMode::kLateMat, FullScan());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows.size(), 10u);
+}
+
+// The tentpole gate: a WOS+ROS union scan returns bit-identical rows to
+// querying after the WOS flushed — across all scan modes, at thread
+// widths 1 and 4, for plain scans, predicated scans, and aggregates.
+TEST(WosTest, UnionScanBitIdenticalToFlushOracle) {
+  for (int width : {1, 4}) {
+    auto b = MakeCluster(width, /*wos=*/1);
+    ASSERT_NE(b, nullptr);
+    // ROS population: two committed loads; WOS population: three INSERT
+    // statements (split sizes exercise multi-batch memtables).
+    ASSERT_TRUE(CopyInto(b->cluster.get(), "t", MakeRows(0, 25)).ok());
+    ASSERT_TRUE(CopyInto(b->cluster.get(), "t", MakeRows(25, 15)).ok());
+    ASSERT_TRUE(InsertInto(b->cluster.get(), "t", MakeRows(40, 7)).ok());
+    ASSERT_TRUE(InsertInto(b->cluster.get(), "t", MakeRows(47, 7)).ok());
+    ASSERT_TRUE(InsertInto(b->cluster.get(), "t", MakeRows(54, 6)).ok());
+
+    const QuerySpec specs[] = {FullScan(), PredScan(), AggQuery()};
+    std::vector<std::vector<Row>> before;
+    for (ScanMode mode : kModes) {
+      for (const QuerySpec& spec : specs) {
+        auto r = RunQuery(b->cluster.get(), mode, spec);
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        before.push_back(r->rows);
+      }
+    }
+
+    auto moved = MoveoutWos(b->cluster.get(), "t");
+    ASSERT_TRUE(moved.ok()) << moved.status().ToString();
+    EXPECT_EQ(*moved, 20u);
+    EXPECT_EQ(TotalUnflushed(b->cluster.get()), 0u);
+
+    size_t i = 0;
+    for (ScanMode mode : kModes) {
+      for (const QuerySpec& spec : specs) {
+        auto r = RunQuery(b->cluster.get(), mode, spec);
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        EXPECT_TRUE(RowsIdentical(before[i], r->rows))
+            << "width " << width << " mode " << static_cast<int>(mode)
+            << " spec " << (i % 3);
+        ++i;
+      }
+    }
+    // All scan modes agree with each other too (9 = 3 modes x 3 specs).
+    for (size_t m = 1; m < 3; ++m) {
+      for (size_t s = 0; s < 3; ++s) {
+        EXPECT_TRUE(RowsIdentical(before[s], before[m * 3 + s]));
+      }
+    }
+  }
+}
+
+// EON_WOS=off falls back to direct-ROS COPY; with a deterministic sort
+// (unique ids) both paths answer every query identically.
+TEST(WosTest, WosOffFallbackBitIdentical) {
+  auto on = MakeCluster(1, /*wos=*/1);
+  auto off = MakeCluster(1, /*wos=*/0);
+  ASSERT_NE(on, nullptr);
+  ASSERT_NE(off, nullptr);
+  EXPECT_TRUE(on->cluster->wos_enabled());
+  EXPECT_FALSE(off->cluster->wos_enabled());
+  for (const auto& n : off->cluster->nodes()) {
+    EXPECT_FALSE(n->wos_enabled());
+  }
+
+  for (auto* b : {on.get(), off.get()}) {
+    ASSERT_TRUE(CopyInto(b->cluster.get(), "t", MakeRows(0, 20)).ok());
+    ASSERT_TRUE(InsertInto(b->cluster.get(), "t", MakeRows(20, 9)).ok());
+    ASSERT_TRUE(InsertInto(b->cluster.get(), "t", MakeRows(29, 11)).ok());
+  }
+  // The off cluster wrote containers immediately; the on cluster holds
+  // the inserts in memtables.
+  EXPECT_EQ(TotalUnflushed(off->cluster.get()), 0u);
+  EXPECT_EQ(TotalUnflushed(on->cluster.get()), 20u);
+
+  QuerySpec ordered = FullScan();
+  ordered.order_by = "id";
+  QuerySpec pred = PredScan();
+  pred.order_by = "id";
+  for (ScanMode mode : kModes) {
+    for (const QuerySpec& spec : {ordered, pred, AggQuery()}) {
+      auto a = RunQuery(on->cluster.get(), mode, spec);
+      auto c = RunQuery(off->cluster.get(), mode, spec);
+      ASSERT_TRUE(a.ok() && c.ok());
+      EXPECT_TRUE(RowsIdentical(a->rows, c->rows));
+    }
+  }
+}
+
+TEST(WosTest, DeleteAndUpdateCoverWosRows) {
+  auto b = MakeCluster(1, 1);
+  ASSERT_NE(b, nullptr);
+  ASSERT_TRUE(CopyInto(b->cluster.get(), "t", MakeRows(0, 20)).ok());
+  ASSERT_TRUE(InsertInto(b->cluster.get(), "t", MakeRows(20, 20)).ok());
+
+  // WOS-only delete (ids 30..39) — needs a commit version even though no
+  // delete vector is written.
+  auto del_wos = DeleteWhere(b->cluster.get(), "t",
+                             Predicate::Cmp(0, CmpOp::kGe, Value::Int(30)));
+  ASSERT_TRUE(del_wos.ok()) << del_wos.status().ToString();
+  EXPECT_EQ(*del_wos, 10u);
+
+  // Mixed delete: ids 0..4 live in ROS, none left in WOS below 5.
+  auto del_ros = DeleteWhere(b->cluster.get(), "t",
+                             Predicate::Cmp(0, CmpOp::kLt, Value::Int(5)));
+  ASSERT_TRUE(del_ros.ok());
+  EXPECT_EQ(*del_ros, 5u);
+
+  auto r = RunQuery(b->cluster.get(), ScanMode::kLateMat, AggQuery());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][1].int_value(), 25);  // 40 - 10 - 5.
+
+  // UPDATE touching a WOS-resident row (id 25): delete + reinsert.
+  auto updated = UpdateWhere(
+      b->cluster.get(), "t", Predicate::Cmp(0, CmpOp::kEq, Value::Int(25)),
+      [](Row* row) { (*row)[1] = Value::Dbl(999.0); });
+  ASSERT_TRUE(updated.ok()) << updated.status().ToString();
+  EXPECT_EQ(*updated, 1u);
+
+  QuerySpec q = FullScan();
+  q.scan.predicate = Predicate::Cmp(0, CmpOp::kEq, Value::Int(25));
+  auto row = RunQuery(b->cluster.get(), ScanMode::kLateMat, q);
+  ASSERT_TRUE(row.ok());
+  ASSERT_EQ(row->rows.size(), 1u);
+  EXPECT_EQ(row->rows[0][1].dbl_value(), 999.0);
+
+  // The flush oracle agrees after everything lands in ROS.
+  auto before = RunQuery(b->cluster.get(), ScanMode::kLateMat, FullScan());
+  ASSERT_TRUE(MoveoutWos(b->cluster.get(), "t").ok());
+  auto after = RunQuery(b->cluster.get(), ScanMode::kLateMat, FullScan());
+  ASSERT_TRUE(before.ok() && after.ok());
+  EXPECT_TRUE(RowsIdentical(before->rows, after->rows));
+}
+
+TEST(WosTest, MoveoutThresholdTriggersSynchronously) {
+  auto b = MakeCluster(1, 1, /*flush_rows=*/8);
+  ASSERT_NE(b, nullptr);
+  const size_t containers_before = ContainerCount(b->cluster.get());
+
+  // Below threshold: stays in the memtable.
+  ASSERT_TRUE(InsertInto(b->cluster.get(), "t", MakeRows(0, 5)).ok());
+  EXPECT_EQ(ContainerCount(b->cluster.get()), containers_before);
+  EXPECT_EQ(TotalUnflushed(b->cluster.get()), 5u);
+
+  // Crossing it: the INSERT itself runs moveout before returning.
+  ASSERT_TRUE(InsertInto(b->cluster.get(), "t", MakeRows(5, 5)).ok());
+  EXPECT_GT(ContainerCount(b->cluster.get()), containers_before);
+  EXPECT_EQ(TotalUnflushed(b->cluster.get()), 0u);
+
+  auto r = RunQuery(b->cluster.get(), ScanMode::kLateMat, AggQuery());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][1].int_value(), 10);
+}
+
+TEST(WosTest, TupleMoverSweepAndSystemTables) {
+  auto b = MakeCluster(1, 1);
+  ASSERT_NE(b, nullptr);
+  Schema schema({{"id", DataType::kInt64}, {"v", DataType::kDouble}});
+  ASSERT_TRUE(CreateTable(b->cluster.get(), "u", schema, std::nullopt,
+                          {ProjectionSpec{"u_super", {}, {"id"}, {"id"}}})
+                  .ok());
+  ASSERT_TRUE(InsertInto(b->cluster.get(), "t", MakeRows(0, 12)).ok());
+  ASSERT_TRUE(InsertInto(b->cluster.get(), "u", MakeRows(0, 8)).ok());
+
+  // system_wos sees the memtables before the sweep.
+  auto wos_rows = MaterializeSystemTable(b->cluster.get(), "system_wos");
+  ASSERT_TRUE(wos_rows.ok());
+  uint64_t unflushed = 0;
+  for (const Row& row : *wos_rows) unflushed += row[5].int_value();
+  EXPECT_EQ(unflushed, 20u);
+
+  TupleMover tm(b->cluster.get());
+  auto moved = tm.RunMoveout();
+  ASSERT_TRUE(moved.ok()) << moved.status().ToString();
+  EXPECT_EQ(*moved, 20u);
+  EXPECT_EQ(tm.stats().moveout_rows, 20u);
+  EXPECT_EQ(TotalUnflushed(b->cluster.get()), 0u);
+
+  // Idempotent when dry.
+  auto again = tm.RunMoveout();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, 0u);
+
+  // dc_wal_events recorded the durability milestones.
+  auto events = MaterializeSystemTable(b->cluster.get(), "dc_wal_events");
+  ASSERT_TRUE(events.ok());
+  bool saw_group = false, saw_moveout = false, saw_checkpoint = false;
+  for (const Row& row : *events) {
+    const std::string& kind = row[2].str_value();
+    if (kind == "group_commit") saw_group = true;
+    if (kind == "moveout") saw_moveout = true;
+    if (kind == "checkpoint") saw_checkpoint = true;
+  }
+  EXPECT_TRUE(saw_group);
+  EXPECT_TRUE(saw_moveout);
+  EXPECT_TRUE(saw_checkpoint);
+}
+
+// The WAL is one log per node shared by every table: moveout of one
+// table must not truncate another table's unflushed inserts.
+TEST(WosTest, MoveoutTruncationPreservesOtherTablesRecords) {
+  auto b = MakeCluster(1, 1);
+  ASSERT_NE(b, nullptr);
+  Schema schema({{"id", DataType::kInt64}, {"v", DataType::kDouble}});
+  ASSERT_TRUE(CreateTable(b->cluster.get(), "u", schema, std::nullopt,
+                          {ProjectionSpec{"u_super", {}, {"id"}, {"id"}}})
+                  .ok());
+  InsertOptions on_n1;
+  on_n1.connected_node = "n1";
+  ASSERT_TRUE(InsertInto(b->cluster.get(), "t", MakeRows(0, 6), on_n1).ok());
+  ASSERT_TRUE(InsertInto(b->cluster.get(), "u", MakeRows(0, 7), on_n1).ok());
+
+  // Moving out t truncates n1's WAL — only up to just below u's batch.
+  ASSERT_TRUE(MoveoutWos(b->cluster.get(), "t").ok());
+
+  // Crash n1: its memtable is gone; replay must resurrect u's rows.
+  Node* n1 = b->cluster->node_by_name("n1");
+  ASSERT_NE(n1, nullptr);
+  ASSERT_TRUE(b->cluster->KillNode(n1->oid()).ok());
+  ASSERT_TRUE(b->cluster->RestartNode(n1->oid()).ok());
+
+  QuerySpec qu;
+  qu.scan.table = "u";
+  qu.scan.columns = {"id", "v"};
+  qu.aggregates = {{AggFn::kCount, "", "c"}};
+  auto ru = RunQuery(b->cluster.get(), ScanMode::kLateMat, qu);
+  ASSERT_TRUE(ru.ok()) << ru.status().ToString();
+  EXPECT_EQ(ru->rows[0][0].int_value(), 7);
+
+  auto rt = RunQuery(b->cluster.get(), ScanMode::kLateMat, AggQuery());
+  ASSERT_TRUE(rt.ok());
+  EXPECT_EQ(rt->rows[0][1].int_value(), 6);
+}
+
+TEST(WosTest, RecoveryAfterKillReplaysToCommittedState) {
+  auto b = MakeCluster(1, 1);
+  ASSERT_NE(b, nullptr);
+  ASSERT_TRUE(CopyInto(b->cluster.get(), "t", MakeRows(0, 10)).ok());
+  InsertOptions on_n1;
+  on_n1.connected_node = "n1";
+  ASSERT_TRUE(InsertInto(b->cluster.get(), "t", MakeRows(10, 8), on_n1).ok());
+  ASSERT_TRUE(InsertInto(b->cluster.get(), "t", MakeRows(18, 7), on_n1).ok());
+  // A committed tombstone over WOS rows must also survive the crash.
+  auto deleted = DeleteWhere(b->cluster.get(), "t",
+                             Predicate::Cmp(0, CmpOp::kEq, Value::Int(12)));
+  ASSERT_TRUE(deleted.ok());
+  EXPECT_EQ(*deleted, 1u);
+
+  auto before = RunQuery(b->cluster.get(), ScanMode::kLateMat, FullScan());
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->rows.size(), 24u);
+
+  Node* n1 = b->cluster->node_by_name("n1");
+  ASSERT_TRUE(b->cluster->KillNode(n1->oid()).ok());
+  ASSERT_TRUE(b->cluster->RestartNode(n1->oid()).ok());
+  EXPECT_TRUE(n1->wos_enabled());
+
+  auto after = RunQuery(b->cluster.get(), ScanMode::kLateMat, FullScan());
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_TRUE(RowsIdentical(before->rows, after->rows));
+
+  // And the replayed memtable still feeds a clean moveout.
+  auto moved = MoveoutWos(b->cluster.get(), "t");
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(*moved, 14u);  // 15 inserted minus 1 tombstoned.
+  auto oracle = RunQuery(b->cluster.get(), ScanMode::kLateMat, FullScan());
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_TRUE(RowsIdentical(before->rows, oracle->rows));
+}
+
+TEST(WosTest, SqlInsertRoutesThroughSessionAndProfile) {
+  auto b = MakeCluster(1, 1);
+  ASSERT_NE(b, nullptr);
+  SessionManager sessions(b->cluster.get(), nullptr, "default");
+  auto sid = sessions.Connect("n1");
+  ASSERT_TRUE(sid.ok());
+
+  auto r = sessions.ExecuteSql(*sid,
+                               "INSERT INTO t VALUES (1, 0.5), (2, 1.5);");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->schema.column(0).name, "rows_inserted");
+  EXPECT_EQ(r->rows[0][0].int_value(), 2);
+  EXPECT_EQ(r->profile.wal_records_appended, 1u);
+  EXPECT_EQ(r->profile.wal_rows, 2u);
+  EXPECT_TRUE(r->profile.wal_led_group);
+  EXPECT_GE(r->profile.wal_group_size, 1u);
+
+  // The profile's wal block renders in both formats.
+  const std::string text = r->profile.ToText();
+  EXPECT_NE(text.find("wal:"), std::string::npos);
+  EXPECT_NE(r->profile.ToJson().Dump().find("\"wal\""), std::string::npos);
+
+  auto count =
+      sessions.ExecuteSql(*sid, "SELECT COUNT(*) AS c FROM t");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->rows[0][0].int_value(), 2);
+
+  // Parse errors: arity, type, unknown table, trailing garbage.
+  EXPECT_FALSE(sessions.ExecuteSql(*sid, "INSERT INTO t VALUES (1)").ok());
+  EXPECT_FALSE(
+      sessions.ExecuteSql(*sid, "INSERT INTO t VALUES ('a', 1.0)").ok());
+  EXPECT_FALSE(
+      sessions.ExecuteSql(*sid, "INSERT INTO nope VALUES (1, 1.0)").ok());
+  EXPECT_FALSE(
+      sessions.ExecuteSql(*sid, "INSERT INTO t VALUES (3, 3.0) extra").ok());
+  // Failures above must not have inserted anything.
+  count = sessions.ExecuteSql(*sid, "SELECT COUNT(*) AS c FROM t");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->rows[0][0].int_value(), 2);
+}
+
+// Moveout concurrent with queries: every result observes an atomic batch
+// prefix — never a row twice (WOS and ROS), never a torn batch.
+TEST(WosTest, MoveoutUnderConcurrentQueriesStaysConsistent) {
+  auto b = MakeCluster(/*exec_threads=*/4, 1);
+  ASSERT_NE(b, nullptr);
+  constexpr int kBatches = 24;
+  constexpr int64_t kBatchRows = 10;
+
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+  std::thread writer([&] {
+    for (int i = 0; i < kBatches; ++i) {
+      auto ins = InsertInto(b->cluster.get(), "t",
+                            MakeRows(i * kBatchRows, kBatchRows));
+      if (!ins.ok()) {
+        failures++;
+        break;
+      }
+      if (i % 6 == 5) {
+        auto moved = MoveoutWos(b->cluster.get(), "t");
+        if (!moved.ok()) failures++;
+      }
+    }
+    done.store(true);
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      EonSession session(b->cluster.get());
+      while (!done.load()) {
+        auto res = session.Execute(AggQuery());
+        if (!res.ok()) {
+          failures++;
+          return;
+        }
+        const int64_t count = res->rows[0][1].int_value();
+        // An empty prefix is valid: the reader can outrun the first batch
+        // (SUM over zero rows is NULL, so don't touch it).
+        if (count == 0) continue;
+        const int64_t sum = res->rows[0][0].int_value();
+        // Batches are atomic and apply in LSN order: the visible set is
+        // always ids [0, count) with count a whole number of batches.
+        if (count % kBatchRows != 0 || sum != count * (count - 1) / 2) {
+          ADD_FAILURE() << "inconsistent snapshot: count=" << count
+                        << " sum=" << sum;
+          failures++;
+          return;
+        }
+      }
+    });
+  }
+  writer.join();
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  auto final = RunQuery(b->cluster.get(), ScanMode::kLateMat, AggQuery());
+  ASSERT_TRUE(final.ok());
+  EXPECT_EQ(final->rows[0][1].int_value(), kBatches * kBatchRows);
+}
+
+}  // namespace
+}  // namespace eon
