@@ -26,6 +26,20 @@ Node::Node(Oid oid, std::string name, std::string subcluster,
   up_gauge_ = obs::OrDefault(cache_opts.registry)
                   ->GetGauge("eon_node_up", obs::LabelSet{{"node", name_}});
   up_gauge_->Set(1);
+  // WAL + WOS live for the whole node lifetime: up/down transitions
+  // close/clear them in place (see MarkDown) so in-flight statements
+  // never race their destruction.
+  if (options_.wos.enabled) {
+    wos_ = std::make_unique<Wos>();
+    WalOptions wopts;
+    wopts.group_commit_micros = options_.wos.group_commit_micros;
+    wopts.segment_bytes = options_.wos.wal_segment_bytes;
+    wopts.registry = options_.cache.registry;
+    wopts.collector = dc_.get();
+    wal_ = std::make_unique<WalWriter>(
+        shared_, WalPrefix(), clock_, wopts,
+        [this](const WalRecord& record) { wos_->Apply(record); });
+  }
 }
 
 std::string Node::MintStorageKey(const std::string& prefix) {
@@ -57,11 +71,12 @@ void Node::MarkDown() {
   up_gauge_->Set(0);
   // Process termination loses the in-memory WOS; the records survive in
   // the shared-storage WAL and RecoverWos replays them on restart. The
-  // writer is dropped too so buffered-but-uncommitted appends vanish,
-  // exactly like a crash before group commit.
-  wal_.reset();
+  // writer is closed (not destroyed) so buffered-but-uncommitted appends
+  // vanish exactly like a crash before group commit, while statements
+  // that already hold the pointer fail their Commit cleanly instead of
+  // touching freed memory.
+  if (wal_ != nullptr) wal_->Close();
   if (wos_ != nullptr) wos_->Clear();
-  wos_.reset();
 }
 
 void Node::MarkUp() {
@@ -78,9 +93,10 @@ void Node::DestroyLocalState() {
   cache_->Clear();
   sync_.reset();
   // Instance loss wipes the memtable with the rest of local state; the
-  // WAL lives on shared storage and survives for RecoverWos.
-  wal_.reset();
-  wos_.reset();
+  // WAL lives on shared storage and survives for RecoverWos. Close/clear
+  // in place — in-flight statements may still hold the pointers.
+  if (wal_ != nullptr) wal_->Close();
+  if (wos_ != nullptr) wos_->Clear();
   up_ = false;
   up_gauge_->Set(0);
 }
@@ -108,24 +124,23 @@ void Node::UnregisterQuery(uint64_t version) {
 }
 
 Status Node::RecoverWos() {
-  if (!options_.wos.enabled) return Status::OK();
-  wos_ = std::make_unique<Wos>();
-  WalOptions wopts;
-  wopts.group_commit_micros = options_.wos.group_commit_micros;
-  wopts.segment_bytes = options_.wos.wal_segment_bytes;
-  wopts.registry = options_.cache.registry;
-  wopts.collector = dc_.get();
-  wal_ = std::make_unique<WalWriter>(
-      shared_, WalPrefix(), clock_, wopts,
-      [this](const WalRecord& record) { wos_->Apply(record); });
+  if (!options_.wos.enabled || wal_ == nullptr) return Status::OK();
+  wos_->Clear();
+  wal_->Reopen();
 
   EON_ASSIGN_OR_RETURN(WalReplay replay, ReadWal(shared_, WalPrefix()));
   for (const WalRecord& record : replay.records) wos_->Apply(record);
-  if (replay.max_lsn > 0) {
-    wal_->SetNextLsn(replay.max_lsn + 1);
+  // Resume past the checkpoint too, not just the surviving records: a
+  // moveout that flushed everything truncates the whole log, leaving
+  // max_lsn == 0 with a checkpoint at L. Restarting LSNs at 1 would let
+  // subsequently committed inserts land at LSNs <= L — which the NEXT
+  // restart's checkpoint filter silently discards.
+  const uint64_t resume = std::max(replay.max_lsn, replay.checkpoint_lsn);
+  if (resume > 0) {
+    wal_->SetNextLsn(resume + 1);
     obs::DcWalEvent e;
     e.kind = "replay";
-    e.lsn = replay.max_lsn;
+    e.lsn = resume;
     e.records = replay.records.size();
     dc_->RecordWalEvent(std::move(e));
   }

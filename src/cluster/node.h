@@ -73,19 +73,24 @@ class Node {
   Clock* clock() { return clock_; }
   ObjectStore* shared_storage() { return shared_; }
 
-  /// Write-optimized store (null until RecoverWos ran, or when the WOS
-  /// fast path is disabled for the cluster).
+  /// Write-optimized store (null only when the WOS fast path is disabled
+  /// for the cluster). Both objects are NODE-lifetime: down/destroyed
+  /// states close or clear them in place rather than freeing them, so a
+  /// statement that already picked up the pointer races a node kill into
+  /// a clean error, never a use-after-free.
   Wos* wos() { return wos_.get(); }
   const Wos* wos() const { return wos_.get(); }
   WalWriter* wal() { return wal_.get(); }
-  bool wos_enabled() const { return wal_ != nullptr && wos_ != nullptr; }
+  bool wos_enabled() const {
+    return wal_ != nullptr && wal_->is_open() && wos_ != nullptr;
+  }
   const WosNodeOptions& wos_options() const { return options_.wos; }
 
-  /// (Re)build the WOS from the node's WAL on shared storage: fresh
-  /// memtable + writer, replay surviving records (checkpoint-filtered,
-  /// torn tails dropped), resume LSN assignment past the replayed
-  /// maximum. Called on cluster build, restart and instance recovery; a
-  /// no-op when the WOS is disabled.
+  /// (Re)build the WOS from the node's WAL on shared storage: clear the
+  /// memtable, reopen the writer, replay surviving records (checkpoint-
+  /// filtered, torn tails dropped), resume LSN assignment past both the
+  /// replayed maximum AND the checkpoint. Called on cluster build,
+  /// restart and instance recovery; a no-op when the WOS is disabled.
   Status RecoverWos();
 
   /// This node's WAL object prefix on shared storage. Keyed by node name
@@ -150,7 +155,10 @@ class Node {
   std::unique_ptr<obs::DataCollector> dc_;  ///< Before cache_: cache records into it.
   std::unique_ptr<FileCache> cache_;
   std::unique_ptr<CatalogSync> sync_;
-  std::unique_ptr<Wos> wos_;        ///< Before wal_: the writer applies into it.
+  /// Node-lifetime (created in the constructor when enabled, never
+  /// reset): concurrent statements hold raw pointers across node
+  /// up/down transitions. wos_ before wal_: the writer applies into it.
+  std::unique_ptr<Wos> wos_;
   std::unique_ptr<WalWriter> wal_;
   std::atomic<bool> up_{true};
   obs::Gauge* up_gauge_ = nullptr;  ///< eon_node_up{node=<name>}.

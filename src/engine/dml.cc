@@ -662,8 +662,17 @@ Result<uint64_t> BackfillProjection(EonCluster* cluster,
   return LoadIntoTablesFiltered(cluster, loads, options, projection_oid);
 }
 
-Result<uint64_t> DeleteWhere(EonCluster* cluster, const std::string& table,
-                             const PredicatePtr& table_predicate) {
+namespace {
+
+/// Shared core of DELETE and UPDATE. When `matched_out` is non-null
+/// (UPDATE), the full pre-image rows of every tombstoned/position-deleted
+/// superprojection row are collected INSIDE the same gated window that
+/// picks the delete targets — collecting them in a separate earlier pass
+/// would let a row inserted between the two passes be deleted here yet
+/// be missing from the reinsert set, losing it entirely.
+Result<uint64_t> DeleteWhereImpl(EonCluster* cluster, const std::string& table,
+                                 const PredicatePtr& table_predicate,
+                                 std::vector<Row>* matched_out) {
   Node* coord = cluster->AnyUpNode();
   if (coord == nullptr) return Status::Unavailable("no up nodes");
   // WOS gates before the snapshot: with the gates held, no moveout can
@@ -690,6 +699,21 @@ Result<uint64_t> DeleteWhere(EonCluster* cluster, const std::string& table,
       return Status::NotSupported(
           "table " + table + " has live aggregate projection " + t.name +
           "; DELETE/UPDATE are restricted (drop the projection first)");
+    }
+  }
+
+  // UPDATE reads complete matching tuples from the superprojection.
+  const ProjectionDef* super = nullptr;
+  if (matched_out != nullptr) {
+    for (const auto& [poid, proj] : snapshot->projections) {
+      if (proj.table_oid == tdef->oid &&
+          proj.columns.size() == tdef->schema.num_columns()) {
+        super = &proj;
+        break;
+      }
+    }
+    if (super == nullptr) {
+      return Status::InvalidArgument("table lacks a superprojection");
     }
   }
 
@@ -735,6 +759,22 @@ Result<uint64_t> DeleteWhere(EonCluster* cluster, const std::string& table,
       if (positions.empty()) continue;
       if (first_projection) deleted_rows += positions.size();
 
+      if (super != nullptr && proj.oid == super->oid) {
+        // Pre-images of exactly the rows this statement deletes, read
+        // under the same gates and against the same delete vector.
+        RosScanOptions mscan;
+        for (size_t c = 0; c < proj_schema.num_columns(); ++c) {
+          mscan.output_columns.push_back(c);
+        }
+        mscan.predicate = pred;
+        mscan.deletes = &existing;
+        EON_ASSIGN_OR_RETURN(
+            std::vector<Row> matched_rows,
+            ScanRosContainer(proj_schema, container->base_key,
+                             executor->cache(), mscan));
+        for (Row& row : matched_rows) matched_out->push_back(std::move(row));
+      }
+
       DeleteVector merged(positions);
       merged.Union(existing);
 
@@ -772,10 +812,12 @@ Result<uint64_t> DeleteWhere(EonCluster* cluster, const std::string& table,
   std::vector<std::pair<Node*, std::vector<WosRowRef>>> wos_hits;
   uint64_t wos_deleted = 0;
   for (Node* n : wos_nodes) {
-    std::vector<WosRowRef> refs =
-        n->wos()->FindRows(tdef->oid, [&](const Row& row) {
+    std::vector<WosRowRef> refs = n->wos()->FindRows(
+        tdef->oid,
+        [&](const Row& row) {
           return table_predicate == nullptr || table_predicate->Eval(row);
-        });
+        },
+        matched_out);
     if (refs.empty()) continue;
     wos_deleted += refs.size();
     wos_hits.emplace_back(n, std::move(refs));
@@ -803,6 +845,13 @@ Result<uint64_t> DeleteWhere(EonCluster* cluster, const std::string& table,
   return deleted_rows + wos_deleted;
 }
 
+}  // namespace
+
+Result<uint64_t> DeleteWhere(EonCluster* cluster, const std::string& table,
+                             const PredicatePtr& table_predicate) {
+  return DeleteWhereImpl(cluster, table, table_predicate, nullptr);
+}
+
 Result<uint64_t> UpdateWhere(EonCluster* cluster, const std::string& table,
                              const PredicatePtr& table_predicate,
                              const std::function<void(Row*)>& updater) {
@@ -812,68 +861,20 @@ Result<uint64_t> UpdateWhere(EonCluster* cluster, const std::string& table,
   const TableDef* tdef = snapshot->FindTableByName(table);
   if (tdef == nullptr) return Status::NotFound("no such table: " + table);
 
-  // Read complete matching tuples from the superprojection.
-  const ProjectionDef* super = nullptr;
-  for (const auto& [poid, proj] : snapshot->projections) {
-    if (proj.table_oid == tdef->oid &&
-        proj.columns.size() == tdef->schema.num_columns()) {
-      super = &proj;
-      break;
-    }
-  }
-  if (super == nullptr) {
-    return Status::InvalidArgument("table lacks a superprojection");
-  }
-
-  ParticipationOptions popts;
-  EON_ASSIGN_OR_RETURN(
-      ParticipationResult participation,
-      SelectParticipatingNodes(*snapshot, cluster->up_node_oids(), popts));
-  EON_ASSIGN_OR_RETURN(PredicatePtr pred,
-                       RebindPredicate(table_predicate, *super));
-  const Schema proj_schema = super->DeriveSchema(tdef->schema);
-
+  // Match collection and deletion happen in ONE gated window inside
+  // DeleteWhereImpl: a row inserted concurrently is either in `matched`
+  // AND tombstoned (so the reinsert below carries it, updated) or
+  // neither (it survives untouched) — never tombstoned without being
+  // reinserted. The superprojection's column order equals the table's,
+  // so the collected pre-images reinsert unprojected.
   std::vector<Row> matched;
-  for (const StorageContainerMeta* container :
-       snapshot->ContainersOf(super->oid)) {
-    Oid exec_oid = container->shard == snapshot->sharding.replica_shard()
-                       ? *participation.Nodes().begin()
-                       : participation.shard_to_node.at(container->shard);
-    Node* executor = cluster->node(exec_oid);
-    if (executor == nullptr || !executor->is_up()) {
-      return Status::Unavailable("executor node is down");
-    }
-    EON_ASSIGN_OR_RETURN(
-        DeleteVector deletes,
-        LoadDeleteVector(*snapshot, *container, executor->cache()));
-    RosScanOptions scan;
-    for (size_t c = 0; c < proj_schema.num_columns(); ++c) {
-      scan.output_columns.push_back(c);
-    }
-    scan.predicate = pred;
-    scan.deletes = &deletes;
-    EON_ASSIGN_OR_RETURN(
-        std::vector<Row> rows,
-        ScanRosContainer(proj_schema, container->base_key, executor->cache(),
-                         scan));
-    for (Row& row : rows) matched.push_back(std::move(row));
-  }
-  // WOS-resident rows match too; the superprojection's column order
-  // equals the table's, so memtable rows join the set unprojected.
-  for (Node* n : WosNodes(cluster)) {
-    for (Row& row : n->wos()->CollectVisible(tdef->oid, snapshot->version)) {
-      if (table_predicate == nullptr || table_predicate->Eval(row)) {
-        matched.push_back(std::move(row));
-      }
-    }
-  }
+  EON_ASSIGN_OR_RETURN(
+      uint64_t deleted,
+      DeleteWhereImpl(cluster, table, table_predicate, &matched));
+  (void)deleted;
   if (matched.empty()) return 0;
 
-  // The superprojection's column order equals the table's.
   for (Row& row : matched) updater(&row);
-  EON_ASSIGN_OR_RETURN(uint64_t deleted,
-                       DeleteWhere(cluster, table, table_predicate));
-  (void)deleted;
   // Flattened tables reload base columns; derived values are re-looked-up.
   if (tdef->is_flattened()) {
     const size_t base_arity =

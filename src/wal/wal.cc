@@ -55,6 +55,10 @@ size_t DecodeWalRecords(Slice data, std::vector<WalRecord>* out) {
     if (!GetFixed32(&cursor, &crc).ok()) return consumed;
     if (!GetFixed32(&cursor, &len).ok()) return consumed;
     if (cursor.size() < len) return consumed;  // Torn body.
+    // A real record is never shorter than kind + LSN, but a zero-filled
+    // torn tail decodes as crc=0 len=0 — and Crc32c of an empty body IS
+    // 0, so the CRC check alone would pass it straight into body[0].
+    if (len < 2) return consumed;
     Slice body(cursor.data(), len);
     if (Crc32c(body.data(), body.size()) != crc) return consumed;
     WalRecord rec;
@@ -86,18 +90,26 @@ uint64_t WalWriter::Append(WalRecord record) {
   obs::Span span = obs::StartTraceSpan("wal_append");
   std::string encoded;
   uint64_t lsn;
+  bool buffered = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     lsn = next_lsn_++;
     record.lsn = lsn;
     EncodeWalRecord(record, &encoded);
-    pending_bytes_ += encoded.size();
-    stats_.records_appended++;
-    stats_.bytes_appended += encoded.size();
-    pending_.push_back(std::move(record));
+    // A closed writer (node down) still burns the LSN but drops the
+    // record; the caller's Commit reports the failure.
+    if (!closed_.load(std::memory_order_relaxed)) {
+      pending_bytes_ += encoded.size();
+      stats_.records_appended++;
+      stats_.bytes_appended += encoded.size();
+      pending_.push_back(std::move(record));
+      buffered = true;
+    }
   }
-  metrics_.records->Increment();
-  metrics_.bytes->Increment(encoded.size());
+  if (buffered) {
+    metrics_.records->Increment();
+    metrics_.bytes->Increment(encoded.size());
+  }
   if (span.valid()) {
     span.SetAttribute("lsn", static_cast<int64_t>(lsn));
     span.SetAttribute("bytes", static_cast<int64_t>(encoded.size()));
@@ -135,6 +147,7 @@ Status WalWriter::FlushLocked(std::unique_lock<std::mutex>* lock,
       prefix_ + "seg" + Pad(segment_, 6) + "/p" + Pad(part_++, 6) + "-" +
       Pad(max_lsn, 20);
 
+  const uint64_t epoch = epoch_;
   lock->unlock();
   obs::Span span = obs::StartTraceSpan("group_commit");
   if (span.valid()) {
@@ -154,6 +167,14 @@ Status WalWriter::FlushLocked(std::unique_lock<std::mutex>* lock,
   if (!put.ok()) {
     sticky_error_ = put;
     return put;
+  }
+  // A close (or close+reopen) raced the upload: the group IS durable in
+  // the log, but the memtable was cleared — recovery replay owns these
+  // records now. Applying them here would double them after a reopen's
+  // replay. The committers get an error, the ambiguity is the same as a
+  // crash between upload and ack.
+  if (epoch_ != epoch || closed_.load(std::memory_order_relaxed)) {
+    return Status::Unavailable("wal closed during group flush");
   }
   // Apply BEFORE publishing the durable LSN: a reader that observes
   // synced_lsn >= L is guaranteed the memtable already contains L.
@@ -182,6 +203,9 @@ Result<WalCommitInfo> WalWriter::Commit(uint64_t lsn) {
   const int64_t start = SteadyMicros();
   std::unique_lock<std::mutex> lock(mu_);
   while (synced_lsn_ < lsn) {
+    if (closed_.load(std::memory_order_relaxed)) {
+      return Status::Unavailable("wal is closed (node down)");
+    }
     if (!sticky_error_.ok()) return sticky_error_;
     if (flush_in_progress_) {
       cv_.wait(lock);
@@ -226,7 +250,37 @@ Status WalWriter::Truncate(uint64_t up_to_lsn) {
   // when a straddling part survived the deletes above.
   Status ck = store_->Put(prefix_ + "ckpt/" + Pad(up_to_lsn, 20), "");
   if (!ck.ok() && !ck.IsAlreadyExists()) return ck;
+  // Older markers are redundant (replay takes the max) — prune them so a
+  // long-lived node doesn't accumulate one object per truncation. Best
+  // effort: a survivor is picked up by the next truncation.
+  EON_ASSIGN_OR_RETURN(std::vector<ObjectMeta> ckpts,
+                       store_->List(prefix_ + "ckpt/"));
+  for (const ObjectMeta& m : ckpts) {
+    const size_t slash = m.key.rfind('/');
+    const uint64_t lsn = strtoull(m.key.c_str() + slash + 1, nullptr, 10);
+    if (lsn < up_to_lsn) store_->Delete(m.key);
+  }
   return Status::OK();
+}
+
+void WalWriter::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_.store(true, std::memory_order_release);
+  epoch_++;
+  // Buffered-but-uncommitted appends vanish, exactly like a crash before
+  // group commit; their committers wake up into the closed check.
+  pending_.clear();
+  pending_bytes_ = 0;
+  cv_.notify_all();
+}
+
+void WalWriter::Reopen() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_.store(false, std::memory_order_release);
+  epoch_++;
+  sticky_error_ = Status::OK();
+  pending_.clear();
+  pending_bytes_ = 0;
 }
 
 uint64_t WalWriter::last_lsn() const {

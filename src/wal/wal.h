@@ -1,6 +1,7 @@
 #ifndef EON_WAL_WAL_H_
 #define EON_WAL_WAL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -127,6 +128,23 @@ class WalWriter {
   /// records' LSNs stay unique).
   void SetNextLsn(uint64_t next);
 
+  // --- Lifecycle. The writer is a node-lifetime object: a down node
+  // closes it in place instead of destroying it, so statements that
+  // already hold the pointer fail their Commit instead of touching freed
+  // memory. ---
+
+  /// Stop accepting work: buffered-but-uncommitted records are dropped
+  /// (exactly like a crash before group commit), blocked committers wake
+  /// with an error, later Append/Commit calls fail. Counters (LSN,
+  /// segment, part) are retained so a Reopen never reuses a key.
+  void Close();
+
+  /// Accept work again after a Close (node restart). The caller replays
+  /// the surviving log and calls SetNextLsn before new traffic arrives.
+  void Reopen();
+
+  bool is_open() const { return !closed_.load(std::memory_order_acquire); }
+
  private:
   Status FlushLocked(std::unique_lock<std::mutex>* lock,
                      uint64_t* group_size, uint64_t* group_bytes);
@@ -144,6 +162,10 @@ class WalWriter {
   uint64_t next_lsn_ = 1;
   uint64_t synced_lsn_ = 0;
   bool flush_in_progress_ = false;
+  std::atomic<bool> closed_{false};  ///< Writes under mu_; lock-free reads.
+  uint64_t epoch_ = 0;  ///< Bumped by Close/Reopen: a flush that straddles
+                        ///< a close must not apply into the recovered WOS
+                        ///< (replay already owns those records).
   Status sticky_error_ = Status::OK();
   uint64_t segment_ = 0;
   uint64_t segment_bytes_used_ = 0;

@@ -240,7 +240,8 @@ uint64_t Wos::MinUnflushedLsn() const {
 }
 
 std::vector<WosRowRef> Wos::FindRows(
-    Oid table_oid, const std::function<bool(const Row&)>& pred) const {
+    Oid table_oid, const std::function<bool(const Row&)>& pred,
+    std::vector<Row>* rows_out) const {
   std::lock_guard<std::mutex> lock(data_mu_);
   std::vector<WosRowRef> out;
   auto it = tables_.find(table_oid);
@@ -251,6 +252,7 @@ std::vector<WosRowRef> Wos::FindRows(
       if (batch.tombstone_versions[r] != 0) continue;
       if (pred((*batch.rows)[r])) {
         out.push_back(WosRowRef{batch.lsn, static_cast<uint32_t>(r)});
+        if (rows_out != nullptr) rows_out->push_back((*batch.rows)[r]);
       }
     }
   }

@@ -145,8 +145,13 @@ class Wos {
 
   /// Refs of unflushed live rows matching `pred` (DELETE planning).
   /// Caller must hold the gate so moveout cannot flush them mid-delete.
-  std::vector<WosRowRef> FindRows(
-      Oid table_oid, const std::function<bool(const Row&)>& pred) const;
+  /// When `rows_out` is non-null the matching rows are appended to it in
+  /// the same order as the refs — UPDATE collects its pre-images in the
+  /// SAME pass that picks the tombstone targets, so a row inserted
+  /// concurrently is either matched-and-tombstoned or neither.
+  std::vector<WosRowRef> FindRows(Oid table_oid,
+                                  const std::function<bool(const Row&)>& pred,
+                                  std::vector<Row>* rows_out = nullptr) const;
 
   /// Acquire this node's moveout/delete gate. Cross-node mutators collect
   /// gates from every node in node-oid order before committing.

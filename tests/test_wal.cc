@@ -93,6 +93,28 @@ TEST_F(WalTest, TornTailAtEveryByteBoundary) {
   EXPECT_EQ(out.size(), 3u);
 }
 
+TEST_F(WalTest, ZeroFilledTornTailIsDropped) {
+  // Crc32c of an empty body is 0, so an 8-byte zero-filled tail passes
+  // the CRC check as a "valid" zero-length frame. It must be treated as
+  // a tear — decoding it used to read body[0] out of bounds.
+  const std::string zeros(8, '\0');
+  std::vector<WalRecord> out;
+  EXPECT_EQ(DecodeWalRecords(Slice(zeros), &out), 0u);
+  EXPECT_TRUE(out.empty());
+
+  // A good record followed by a zero-padded tail yields only the record.
+  std::string buf;
+  WalRecord r = Rec(WalRecord::Kind::kInsert, "survivor");
+  r.lsn = 1;
+  EncodeWalRecord(r, &buf);
+  const size_t intact = buf.size();
+  buf.append(std::string(16, '\0'));
+  out.clear();
+  EXPECT_EQ(DecodeWalRecords(Slice(buf), &out), intact);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].payload, "survivor");
+}
+
 TEST_F(WalTest, CorruptionStopsReplayCleanly) {
   std::string intact;
   for (uint64_t i = 1; i <= 2; ++i) {
@@ -236,6 +258,96 @@ TEST_F(WalTest, TruncateDropsPartsAndCheckpoints) {
   ASSERT_TRUE(replay.ok());
   ASSERT_EQ(replay->records.size(), 1u);
   EXPECT_EQ(replay->records.front().lsn, 12u);
+}
+
+TEST_F(WalTest, TruncatePrunesStaleCheckpointMarkers) {
+  WalOptions options;
+  options.group_commit_micros = 0;
+  auto wal = MakeWriter(options);
+  for (int i = 0; i < 6; ++i) {
+    const uint64_t lsn =
+        wal->Append(Rec(WalRecord::Kind::kInsert, "r" + std::to_string(i)));
+    ASSERT_TRUE(wal->Commit(lsn).ok());
+  }
+  ASSERT_TRUE(wal->Truncate(2).ok());
+  ASSERT_TRUE(wal->Truncate(4).ok());
+  ASSERT_TRUE(wal->Truncate(6).ok());
+
+  // Only the newest marker survives; older ones are redundant (replay
+  // takes the max) and must not accumulate one object per truncation.
+  auto ckpts = store_->List("wal/n1/ckpt/");
+  ASSERT_TRUE(ckpts.ok());
+  EXPECT_EQ(ckpts->size(), 1u);
+  auto replay = ReadWal(store_.get(), "wal/n1/");
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->checkpoint_lsn, 6u);
+  EXPECT_TRUE(replay->records.empty());
+}
+
+TEST_F(WalTest, CloseDropsPendingAndReopenRecovers) {
+  WalOptions options;
+  options.group_commit_micros = 0;
+  auto wal = MakeWriter(options);
+  const uint64_t committed =
+      wal->Append(Rec(WalRecord::Kind::kInsert, "durable"));
+  ASSERT_TRUE(wal->Commit(committed).ok());
+
+  // Buffered but uncommitted at close: dropped like a pre-commit crash.
+  const uint64_t buffered = wal->Append(Rec(WalRecord::Kind::kInsert, "lost"));
+  wal->Close();
+  EXPECT_FALSE(wal->is_open());
+  EXPECT_FALSE(wal->Commit(buffered).ok());
+  // Appends against a closed writer burn an LSN but never commit.
+  const uint64_t rejected = wal->Append(Rec(WalRecord::Kind::kInsert, "no"));
+  EXPECT_FALSE(wal->Commit(rejected).ok());
+
+  // Reopen (node restart): the log still holds only the committed record,
+  // and new appends flow again.
+  wal->Reopen();
+  EXPECT_TRUE(wal->is_open());
+  auto replay = ReadWal(store_.get(), "wal/n1/");
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay->records.size(), 1u);
+  EXPECT_EQ(replay->records[0].payload, "durable");
+  wal->SetNextLsn(replay->max_lsn + 1);
+  const uint64_t fresh = wal->Append(Rec(WalRecord::Kind::kInsert, "again"));
+  ASSERT_TRUE(wal->Commit(fresh).ok());
+  replay = ReadWal(store_.get(), "wal/n1/");
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->records.back().payload, "again");
+}
+
+TEST_F(WalTest, RestartResumesLsnPastCheckpointAfterFullTruncation) {
+  WalOptions options;
+  options.group_commit_micros = 0;
+  uint64_t checkpoint = 0;
+  {
+    auto wal = MakeWriter(options);
+    uint64_t lsn = 0;
+    for (int i = 0; i < 4; ++i) {
+      lsn = wal->Append(Rec(WalRecord::Kind::kInsert, "r" + std::to_string(i)));
+    }
+    ASSERT_TRUE(wal->Commit(lsn).ok());
+    checkpoint = wal->synced_lsn();
+    ASSERT_TRUE(wal->Truncate(checkpoint).ok());  // Whole log truncated.
+  }
+  auto replay = ReadWal(store_.get(), "wal/n1/");
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->max_lsn, 0u);  // No parts survived...
+  EXPECT_EQ(replay->checkpoint_lsn, checkpoint);  // ...only the marker.
+
+  // Recovery must resume past the checkpoint, not just max_lsn: LSNs at
+  // or below it are filtered by every future replay, so reusing them
+  // silently discards committed records on the next restart.
+  auto wal = MakeWriter(options);
+  wal->SetNextLsn(std::max(replay->max_lsn, replay->checkpoint_lsn) + 1);
+  const uint64_t lsn = wal->Append(Rec(WalRecord::Kind::kInsert, "after"));
+  EXPECT_EQ(lsn, checkpoint + 1);
+  ASSERT_TRUE(wal->Commit(lsn).ok());
+  replay = ReadWal(store_.get(), "wal/n1/");
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay->records.size(), 1u);
+  EXPECT_EQ(replay->records[0].payload, "after");
 }
 
 TEST_F(WalTest, RestartResumesLsnPastReplay) {

@@ -422,6 +422,119 @@ TEST(WosTest, RecoveryAfterKillReplaysToCommittedState) {
   EXPECT_TRUE(RowsIdentical(before->rows, oracle->rows));
 }
 
+// Regression: after a moveout flushes EVERYTHING, truncation deletes every
+// WAL part and leaves only a checkpoint marker at LSN L. A restarted node
+// must resume LSN assignment above L — resuming at 1 hands out LSNs the
+// next restart's checkpoint filter silently discards, losing committed,
+// acknowledged inserts.
+TEST(WosTest, RestartAfterFullTruncationKeepsLaterInserts) {
+  auto b = MakeCluster(1, 1);
+  ASSERT_NE(b, nullptr);
+  InsertOptions on_n1;
+  on_n1.connected_node = "n1";
+  ASSERT_TRUE(InsertInto(b->cluster.get(), "t", MakeRows(0, 6), on_n1).ok());
+  ASSERT_TRUE(MoveoutWos(b->cluster.get(), "t").ok());  // Truncates all.
+
+  Node* n1 = b->cluster->node_by_name("n1");
+  ASSERT_NE(n1, nullptr);
+  const uint64_t checkpoint = n1->wal()->last_lsn();
+  ASSERT_TRUE(b->cluster->KillNode(n1->oid()).ok());
+  ASSERT_TRUE(b->cluster->RestartNode(n1->oid()).ok());
+
+  // Committed and acknowledged after the first restart...
+  ASSERT_TRUE(InsertInto(b->cluster.get(), "t", MakeRows(6, 4), on_n1).ok());
+  EXPECT_GT(n1->wal()->last_lsn(), checkpoint);
+
+  // ...must survive the second: with LSNs reused from 1 the replay's
+  // checkpoint filter would drop them.
+  ASSERT_TRUE(b->cluster->KillNode(n1->oid()).ok());
+  ASSERT_TRUE(b->cluster->RestartNode(n1->oid()).ok());
+  auto r = RunQuery(b->cluster.get(), ScanMode::kLateMat, AggQuery());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows[0][1].int_value(), 10);
+}
+
+// An UPDATE races concurrent INSERTs: match collection and tombstoning
+// happen in one gated window, so a racing row is either updated-and-
+// reinserted or untouched — never tombstoned without reinsertion (the
+// lost-row bug of collecting matches in a separate earlier pass).
+TEST(WosTest, UpdateConcurrentWithInsertsLosesNoRows) {
+  auto b = MakeCluster(/*exec_threads=*/4, 1);
+  ASSERT_NE(b, nullptr);
+  constexpr int kBatches = 20;
+  constexpr int64_t kBatchRows = 5;
+
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+  std::thread writer([&] {
+    for (int i = 0; i < kBatches; ++i) {
+      auto ins = InsertInto(b->cluster.get(), "t",
+                            MakeRows(i * kBatchRows, kBatchRows));
+      if (!ins.ok()) {
+        failures++;
+        break;
+      }
+    }
+    done.store(true);
+  });
+  std::thread updater([&] {
+    while (!done.load()) {
+      auto u = UpdateWhere(
+          b->cluster.get(), "t", Predicate::Cmp(0, CmpOp::kGe, Value::Int(0)),
+          [](Row* row) { (*row)[1] = Value::Dbl(-1.0); });
+      if (!u.ok()) {
+        failures++;
+        return;
+      }
+    }
+  });
+  writer.join();
+  updater.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  auto r = RunQuery(b->cluster.get(), ScanMode::kLateMat, AggQuery());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows[0][1].int_value(), kBatches * kBatchRows);
+}
+
+// Node lifecycle vs in-flight statements: the WAL/WOS are node-lifetime
+// objects (down = close/clear in place), so kill/restart racing inserts
+// that already hold the pointers must fail cleanly, never crash, and
+// every acknowledged row must still be readable afterwards.
+TEST(WosTest, KillAndRestartUnderConcurrentInsertsIsSafe) {
+  auto b = MakeCluster(1, 1);
+  ASSERT_NE(b, nullptr);
+  Node* n1 = b->cluster->node_by_name("n1");
+  ASSERT_NE(n1, nullptr);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> acked{0};
+  std::thread writer([&] {
+    InsertOptions on_n1;
+    on_n1.connected_node = "n1";
+    int64_t next = 0;
+    while (!stop.load()) {
+      // Mid-kill inserts may fail (node down, WAL closed) — never crash.
+      auto ins = InsertInto(b->cluster.get(), "t", MakeRows(next, 1), on_n1);
+      if (ins.ok()) acked++;
+      next++;
+    }
+  });
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(b->cluster->KillNode(n1->oid()).ok());
+    ASSERT_TRUE(b->cluster->RestartNode(n1->oid()).ok());
+  }
+  stop.store(true);
+  writer.join();
+
+  // Acknowledged inserts were durable before their ack: all are visible.
+  auto r = RunQuery(b->cluster.get(), ScanMode::kLateMat, AggQuery());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GE(r->rows[0][1].int_value(), acked.load());
+  // The survivors still feed a clean moveout.
+  ASSERT_TRUE(MoveoutWos(b->cluster.get(), "t").ok());
+}
+
 TEST(WosTest, SqlInsertRoutesThroughSessionAndProfile) {
   auto b = MakeCluster(1, 1);
   ASSERT_NE(b, nullptr);
